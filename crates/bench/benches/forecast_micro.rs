@@ -1,0 +1,68 @@
+//! Forecasting benchmarks: per-observation learning cost and 12-step
+//! forecast cost per model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icewafl_forecast::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| 30.0 + 10.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin())
+        .collect()
+}
+
+fn bench_learn(c: &mut Criterion) {
+    let data = series(24 * 30);
+    let mut group = c.benchmark_group("learn_one_month");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(30);
+    group.throughput(criterion::Throughput::Elements(data.len() as u64));
+    group.bench_function("arima_24_0_2", |b| {
+        b.iter(|| {
+            let mut m = Snarimax::arima(24, 0, 2, 0.05);
+            for y in &data {
+                m.learn_one(*y, &[]);
+            }
+            black_box(m.observations())
+        })
+    });
+    group.bench_function("arimax_24_0_2_x7", |b| {
+        let x = vec![0.5; 7];
+        b.iter(|| {
+            let mut m = Snarimax::arimax(24, 0, 2, 7, 0.05);
+            for y in &data {
+                m.learn_one(*y, &x);
+            }
+            black_box(m.observations())
+        })
+    });
+    group.bench_function("holt_winters_24", |b| {
+        b.iter(|| {
+            let mut m = HoltWinters::new(0.25, 0.02, 0.25, 24);
+            for y in &data {
+                m.learn_one(*y, &[]);
+            }
+            black_box(m.observations())
+        })
+    });
+    group.finish();
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let data = series(24 * 30);
+    let mut group = c.benchmark_group("forecast_12h");
+    group.measurement_time(Duration::from_secs(3));
+    let mut arima = Snarimax::arima(24, 0, 2, 0.05);
+    let mut hw = HoltWinters::new(0.25, 0.02, 0.25, 24);
+    for y in &data {
+        arima.learn_one(*y, &[]);
+        hw.learn_one(*y, &[]);
+    }
+    group.bench_function("arima", |b| b.iter(|| black_box(arima.forecast(12, &[]))));
+    group.bench_function("holt_winters", |b| b.iter(|| black_box(hw.forecast(12, &[]))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_learn, bench_forecast);
+criterion_main!(benches);

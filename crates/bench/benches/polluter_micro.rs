@@ -1,0 +1,93 @@
+//! Microbenchmarks of the individual error functions and conditions:
+//! per-tuple pollution cost by error type.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icewafl_core::error_fn::{
+    Constant, ErrorFunction, GaussianNoise, IncorrectCategory, MissingValue, Rounding,
+    ScaleByFactor, StringTypo, TypoKind, UniformMultiplicativeNoise, UnitConversion,
+};
+use icewafl_core::prelude::*;
+use icewafl_types::{StampedTuple, Timestamp, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(1)
+}
+
+fn numeric_tuple() -> Tuple {
+    Tuple::new(vec![Value::Timestamp(Timestamp(0)), Value::Float(42.5), Value::Int(7)])
+}
+
+fn string_tuple() -> Tuple {
+    Tuple::new(vec![Value::Timestamp(Timestamp(0)), Value::Str("sensor-reading".into())])
+}
+
+fn bench_error_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_functions");
+    group.measurement_time(Duration::from_secs(3));
+    type Case = (&'static str, Box<dyn ErrorFunction>, Tuple, Vec<usize>);
+    let cases: Vec<Case> = vec![
+        ("gaussian_noise", Box::new(GaussianNoise::additive(1.0, rng())), numeric_tuple(), vec![1]),
+        (
+            "uniform_noise",
+            Box::new(UniformMultiplicativeNoise::new(0.0, 0.5, rng())),
+            numeric_tuple(),
+            vec![1],
+        ),
+        ("scale", Box::new(ScaleByFactor::new(0.125)), numeric_tuple(), vec![1]),
+        ("missing_value", Box::new(MissingValue), numeric_tuple(), vec![1]),
+        ("constant", Box::new(Constant::new(Value::Int(0))), numeric_tuple(), vec![2]),
+        ("rounding", Box::new(Rounding::new(2)), numeric_tuple(), vec![1]),
+        ("unit_conversion", Box::new(UnitConversion::km_to_cm()), numeric_tuple(), vec![1]),
+        (
+            "incorrect_category",
+            Box::new(IncorrectCategory::new(
+                vec!["N".into(), "S".into(), "E".into(), "W".into()],
+                rng(),
+            )),
+            string_tuple(),
+            vec![1],
+        ),
+        ("string_typo", Box::new(StringTypo::new(TypoKind::Any, rng())), string_tuple(), vec![1]),
+    ];
+    for (name, mut f, template, attrs) in cases {
+        group.bench_function(name, |b| {
+            let mut t = template.clone();
+            b.iter(|| {
+                t.clone_from(&template);
+                f.apply(&mut t, &attrs, Timestamp(0), 1.0);
+                black_box(&t);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conditions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conditions");
+    group.measurement_time(Duration::from_secs(3));
+    let tuple = StampedTuple::new(1, Timestamp(50_000_000), numeric_tuple());
+    let cases: Vec<(&str, Box<dyn Condition>)> = vec![
+        ("probability", Box::new(Probability::new(0.5, rng()))),
+        ("value_gt", Box::new(ValueCondition::new(1, CmpOp::Gt, Value::Float(10.0)))),
+        ("hour_range", Box::new(HourRange::new(13, 15))),
+        ("sinusoidal", Box::new(SinusoidalProbability::paper_default(rng()))),
+        (
+            "and_nested",
+            Box::new(AndCondition::new(vec![
+                Box::new(HourRange::new(0, 24)),
+                Box::new(Probability::new(0.5, rng())),
+            ])),
+        ),
+    ];
+    for (name, mut cond) in cases {
+        group.bench_function(name, |b| b.iter(|| black_box(cond.evaluate(&tuple))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_error_functions, bench_conditions);
+criterion_main!(benches);

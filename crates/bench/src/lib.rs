@@ -1,0 +1,13 @@
+//! # icewafl-bench
+//!
+//! Criterion benchmark crate of the Icewafl reproduction. The library
+//! itself is empty; everything lives in `benches/`:
+//!
+//! * `runtime_overhead` — Figure 8 (pollution overhead vs. a
+//!   pass-through pipeline);
+//! * `polluter_micro` — per-error-function / per-condition cost;
+//! * `pipeline_scaling` — the §2.3 complexity ablation (pipeline
+//!   length ℓ, sub-stream count m, sequential vs. parallel);
+//! * `stream_runtime` — raw stream-framework throughput;
+//! * `dq_micro` — expectation validation and the regex engine;
+//! * `forecast_micro` — model learn/forecast cost.

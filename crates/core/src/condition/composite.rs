@@ -1,0 +1,178 @@
+//! Composite conditions: conjunction, disjunction, negation.
+//!
+//! "In addition, Icewafl supports … composite conditions that allow to
+//! conjoin any of the aforementioned conditions" (§2.2). The bad-network
+//! scenario, for instance, nests a 20 % probability inside a 13:00–15:00
+//! hour range: `And(HourRange, Probability)`.
+
+use super::{BoxCondition, Condition};
+use icewafl_types::StampedTuple;
+
+/// Fires iff all children fire. Short-circuits, so stochastic children
+/// after the first failing child draw no randomness for that tuple.
+pub struct AndCondition {
+    children: Vec<BoxCondition>,
+}
+
+impl AndCondition {
+    /// Conjunction of `children` (true when empty).
+    pub fn new(children: Vec<BoxCondition>) -> Self {
+        AndCondition { children }
+    }
+}
+
+impl Condition for AndCondition {
+    fn evaluate(&mut self, tuple: &StampedTuple) -> bool {
+        self.children.iter_mut().all(|c| c.evaluate(tuple))
+    }
+
+    /// Product of child probabilities — exact when children are
+    /// independent, which holds for Icewafl's built-in conditions (each
+    /// stochastic condition owns its own RNG).
+    fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
+        self.children.iter().map(|c| c.expected_probability(tuple)).product()
+    }
+
+    fn name(&self) -> &'static str {
+        "and"
+    }
+}
+
+/// Fires iff at least one child fires. Short-circuits.
+pub struct OrCondition {
+    children: Vec<BoxCondition>,
+}
+
+impl OrCondition {
+    /// Disjunction of `children` (false when empty).
+    pub fn new(children: Vec<BoxCondition>) -> Self {
+        OrCondition { children }
+    }
+}
+
+impl Condition for OrCondition {
+    fn evaluate(&mut self, tuple: &StampedTuple) -> bool {
+        self.children.iter_mut().any(|c| c.evaluate(tuple))
+    }
+
+    /// `1 − ∏(1 − pᵢ)` under child independence.
+    fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
+        1.0 - self.children.iter().map(|c| 1.0 - c.expected_probability(tuple)).product::<f64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "or"
+    }
+}
+
+/// Fires iff the inner condition does not.
+pub struct NotCondition {
+    inner: BoxCondition,
+}
+
+impl NotCondition {
+    /// Negation of `inner`.
+    pub fn new(inner: BoxCondition) -> Self {
+        NotCondition { inner }
+    }
+}
+
+impl Condition for NotCondition {
+    fn evaluate(&mut self, tuple: &StampedTuple) -> bool {
+        !self.inner.evaluate(tuple)
+    }
+
+    fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
+        1.0 - self.inner.expected_probability(tuple)
+    }
+
+    fn name(&self) -> &'static str {
+        "not"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::test_util::tuple_at;
+    use crate::condition::{Always, HourRange, Never, Probability};
+    use icewafl_types::time::MILLIS_PER_HOUR;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn and_requires_all() {
+        let mut c = AndCondition::new(vec![Box::new(Always), Box::new(Always)]);
+        assert!(c.evaluate(&tuple_at(0, 0i64)));
+        let mut c = AndCondition::new(vec![Box::new(Always), Box::new(Never)]);
+        assert!(!c.evaluate(&tuple_at(0, 0i64)));
+    }
+
+    #[test]
+    fn empty_and_is_true_empty_or_is_false() {
+        let t = tuple_at(0, 0i64);
+        assert!(AndCondition::new(vec![]).evaluate(&t));
+        assert_eq!(AndCondition::new(vec![]).expected_probability(&t), 1.0);
+        assert!(!OrCondition::new(vec![]).evaluate(&t));
+        assert_eq!(OrCondition::new(vec![]).expected_probability(&t), 0.0);
+    }
+
+    #[test]
+    fn or_requires_any() {
+        let t = tuple_at(0, 0i64);
+        assert!(OrCondition::new(vec![Box::new(Never), Box::new(Always)]).evaluate(&t));
+        assert!(!OrCondition::new(vec![Box::new(Never), Box::new(Never)]).evaluate(&t));
+    }
+
+    #[test]
+    fn not_inverts() {
+        let t = tuple_at(0, 0i64);
+        assert!(!NotCondition::new(Box::new(Always)).evaluate(&t));
+        assert!(NotCondition::new(Box::new(Never)).evaluate(&t));
+        assert_eq!(NotCondition::new(Box::new(Always)).expected_probability(&t), 0.0);
+    }
+
+    #[test]
+    fn bad_network_composite_probability() {
+        // HourRange(13..15) ∧ Probability(0.2): expected probability is
+        // 0.2 inside the window, 0 outside — the §3.1.3 configuration.
+        let c = AndCondition::new(vec![
+            Box::new(HourRange::new(13, 15)),
+            Box::new(Probability::new(0.2, StdRng::seed_from_u64(3))),
+        ]);
+        let inside = tuple_at(13 * MILLIS_PER_HOUR, 0i64);
+        let outside = tuple_at(9 * MILLIS_PER_HOUR, 0i64);
+        assert!((c.expected_probability(&inside) - 0.2).abs() < 1e-12);
+        assert_eq!(c.expected_probability(&outside), 0.0);
+    }
+
+    #[test]
+    fn and_sampling_rate_matches_product() {
+        let mut c = AndCondition::new(vec![
+            Box::new(Probability::new(0.5, StdRng::seed_from_u64(1))),
+            Box::new(Probability::new(0.5, StdRng::seed_from_u64(2))),
+        ]);
+        let t = tuple_at(0, 0i64);
+        let hits = (0..20_000).filter(|_| c.evaluate(&t)).count();
+        assert!((4500..5500).contains(&hits), "expected ~25%, hits {hits}");
+    }
+
+    #[test]
+    fn or_probability_formula() {
+        let c = OrCondition::new(vec![
+            Box::new(Probability::new(0.5, StdRng::seed_from_u64(1))),
+            Box::new(Probability::new(0.5, StdRng::seed_from_u64(2))),
+        ]);
+        assert!((c.expected_probability(&tuple_at(0, 0i64)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        // Not(And(Or(Never, Always), Always)) == Not(true) == false
+        let mut c = NotCondition::new(Box::new(AndCondition::new(vec![
+            Box::new(OrCondition::new(vec![Box::new(Never), Box::new(Always)])),
+            Box::new(Always),
+        ])));
+        assert!(!c.evaluate(&tuple_at(0, 0i64)));
+    }
+}

@@ -1,0 +1,304 @@
+//! Change patterns over time.
+//!
+//! Derived temporal error types (paper Fig. 3) combine a *static* error
+//! type with a *pattern of change over time*, following the concept-drift
+//! taxonomy of Gama et al.: **abrupt**, **incremental**, and
+//! **intermediate (gradual)** transitions, plus a **periodic** pattern
+//! for daily/seasonal cycles.
+//!
+//! A pattern maps the event time `τ` to an intensity in `[0, 1]`. The
+//! intensity modulates either the *magnitude* of an error function
+//! (e.g. the noise bounds of the paper's equation (3)) or the
+//! *probability* of a condition (equation (4) and the "probability of
+//! missing values increases from 40 % to 90 %" example in §2.2).
+
+use icewafl_types::{Duration, Timestamp};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// A time-to-intensity mapping in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ChangePattern {
+    /// Always full intensity — turns a derived temporal error back into a
+    /// plain static error.
+    Constant,
+    /// 0 before `at`, 1 from `at` on (abrupt drift).
+    Abrupt {
+        /// The switch-over instant.
+        at: Timestamp,
+    },
+    /// Linear ramp from 0 at `from` to 1 at `to` (incremental drift).
+    /// Clamped outside the interval.
+    Incremental {
+        /// Ramp start (intensity 0).
+        from: Timestamp,
+        /// Ramp end (intensity 1).
+        to: Timestamp,
+    },
+    /// Intermediate/gradual drift: inside the transition window the
+    /// intensity flips between 0 and 1 at random, with the probability of
+    /// 1 growing linearly — the "intermediate" pattern of Gama et al.
+    Gradual {
+        /// Transition start.
+        from: Timestamp,
+        /// Transition end (from here on, always 1).
+        to: Timestamp,
+    },
+    /// Sinusoidal cycle: `offset + amplitude · cos(2π · (t − phase) /
+    /// period)`, clamped to `[0, 1]`. With `period` = 24 h this is the
+    /// daily cycle of experiment 3.1.1.
+    Periodic {
+        /// Cycle length.
+        period: Duration,
+        /// Phase shift: the cycle peaks at multiples of `period` after
+        /// `phase` (of the day for daily cycles).
+        phase: Duration,
+        /// Cosine amplitude.
+        amplitude: f64,
+        /// Vertical offset.
+        offset: f64,
+    },
+}
+
+impl ChangePattern {
+    /// A daily sinusoid `offset + amplitude·cos(π/12 · t)` over the hour
+    /// of the day `t` — the exact error pattern of experiment 3.1.1.
+    pub fn daily_sinusoid(amplitude: f64, offset: f64) -> Self {
+        ChangePattern::Periodic {
+            period: Duration::from_hours(24),
+            phase: Duration::ZERO,
+            amplitude,
+            offset,
+        }
+    }
+
+    /// The intensity at event time `tau`, in `[0, 1]`.
+    ///
+    /// Only [`ChangePattern::Gradual`] consumes randomness; the other
+    /// patterns ignore `rng`.
+    pub fn intensity(&self, tau: Timestamp, rng: &mut StdRng) -> f64 {
+        match self {
+            ChangePattern::Constant => 1.0,
+            ChangePattern::Abrupt { at } => {
+                if tau >= *at {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ChangePattern::Incremental { from, to } => linear_progress(tau, *from, *to),
+            ChangePattern::Gradual { from, to } => {
+                let p = linear_progress(tau, *from, *to);
+                match p {
+                    p if p <= 0.0 => 0.0,
+                    p if p >= 1.0 => 1.0,
+                    p => f64::from(rng.random_bool(p)),
+                }
+            }
+            ChangePattern::Periodic { period, phase, amplitude, offset } => {
+                let period_ms = period.millis().max(1) as f64;
+                let t = (tau.millis() - phase.millis()).rem_euclid(period.millis().max(1)) as f64;
+                let angle = 2.0 * std::f64::consts::PI * t / period_ms;
+                (offset + amplitude * angle.cos()).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// The *expected* intensity at `tau` (deterministic even for
+    /// [`ChangePattern::Gradual`]): used to compute expected error counts
+    /// for ground-truth tables.
+    pub fn expected_intensity(&self, tau: Timestamp) -> f64 {
+        match self {
+            ChangePattern::Gradual { from, to } => linear_progress(tau, *from, *to),
+            ChangePattern::Constant => 1.0,
+            ChangePattern::Abrupt { at } => {
+                if tau >= *at {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ChangePattern::Incremental { from, to } => linear_progress(tau, *from, *to),
+            ChangePattern::Periodic { .. } => {
+                // Deterministic anyway; reuse intensity with a throwaway
+                // formula (no rng needed on this arm).
+                let period_params = self;
+                if let ChangePattern::Periodic { period, phase, amplitude, offset } = period_params
+                {
+                    let period_ms = period.millis().max(1) as f64;
+                    let t =
+                        (tau.millis() - phase.millis()).rem_euclid(period.millis().max(1)) as f64;
+                    let angle = 2.0 * std::f64::consts::PI * t / period_ms;
+                    (offset + amplitude * angle.cos()).clamp(0.0, 1.0)
+                } else {
+                    unreachable!()
+                }
+            }
+        }
+    }
+}
+
+impl ChangePattern {
+    /// The probability that the intensity at `tau` is non-zero, i.e.
+    /// that an error function modulated by this pattern modifies the
+    /// value at all. For [`ChangePattern::Gradual`] this is the flip
+    /// probability; for deterministic patterns it is an indicator.
+    pub fn modification_probability(&self, tau: Timestamp) -> f64 {
+        match self {
+            ChangePattern::Gradual { .. } => self.expected_intensity(tau),
+            _ => {
+                if self.expected_intensity(tau) > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Progress of `tau` through `[from, to]`, clamped to `[0, 1]`.
+fn linear_progress(tau: Timestamp, from: Timestamp, to: Timestamp) -> f64 {
+    if to <= from {
+        // Degenerate window: behaves like an abrupt switch at `from`.
+        return if tau >= from { 1.0 } else { 0.0 };
+    }
+    let span = (to.millis() - from.millis()) as f64;
+    (((tau.millis() - from.millis()) as f64) / span).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        let mut r = rng();
+        assert_eq!(ChangePattern::Constant.intensity(Timestamp(0), &mut r), 1.0);
+        assert_eq!(ChangePattern::Constant.intensity(Timestamp(i64::MAX), &mut r), 1.0);
+    }
+
+    #[test]
+    fn abrupt_switches_at_threshold() {
+        let p = ChangePattern::Abrupt { at: Timestamp(100) };
+        let mut r = rng();
+        assert_eq!(p.intensity(Timestamp(99), &mut r), 0.0);
+        assert_eq!(p.intensity(Timestamp(100), &mut r), 1.0);
+        assert_eq!(p.intensity(Timestamp(101), &mut r), 1.0);
+    }
+
+    #[test]
+    fn incremental_ramps_linearly() {
+        let p = ChangePattern::Incremental { from: Timestamp(0), to: Timestamp(100) };
+        let mut r = rng();
+        assert_eq!(p.intensity(Timestamp(-10), &mut r), 0.0);
+        assert!((p.intensity(Timestamp(25), &mut r) - 0.25).abs() < 1e-12);
+        assert!((p.intensity(Timestamp(50), &mut r) - 0.5).abs() < 1e-12);
+        assert_eq!(p.intensity(Timestamp(100), &mut r), 1.0);
+        assert_eq!(p.intensity(Timestamp(1000), &mut r), 1.0);
+    }
+
+    #[test]
+    fn degenerate_ramp_is_abrupt() {
+        let p = ChangePattern::Incremental { from: Timestamp(50), to: Timestamp(50) };
+        let mut r = rng();
+        assert_eq!(p.intensity(Timestamp(49), &mut r), 0.0);
+        assert_eq!(p.intensity(Timestamp(50), &mut r), 1.0);
+    }
+
+    #[test]
+    fn gradual_is_binary_with_growing_frequency() {
+        let p = ChangePattern::Gradual { from: Timestamp(0), to: Timestamp(1000) };
+        let mut r = rng();
+        let mut early_ones = 0;
+        let mut late_ones = 0;
+        for _ in 0..2000 {
+            let e = p.intensity(Timestamp(100), &mut r);
+            assert!(e == 0.0 || e == 1.0);
+            early_ones += (e == 1.0) as i32;
+            let l = p.intensity(Timestamp(900), &mut r);
+            late_ones += (l == 1.0) as i32;
+        }
+        // ~10% vs ~90%
+        assert!(early_ones < 400, "early ones {early_ones}");
+        assert!(late_ones > 1600, "late ones {late_ones}");
+        // Outside the window it is deterministic.
+        assert_eq!(p.intensity(Timestamp(-1), &mut r), 0.0);
+        assert_eq!(p.intensity(Timestamp(1001), &mut r), 1.0);
+    }
+
+    #[test]
+    fn daily_sinusoid_matches_paper_formula() {
+        // p(t) = 0.25·cos(π/12·t) + 0.25 over the hour of the day t.
+        let p = ChangePattern::daily_sinusoid(0.25, 0.25);
+        let mut r = rng();
+        for hour in 0..24 {
+            let tau = Timestamp(hour * icewafl_types::time::MILLIS_PER_HOUR);
+            let expected = 0.25 * (std::f64::consts::PI / 12.0 * hour as f64).cos() + 0.25;
+            let got = p.intensity(tau, &mut r);
+            assert!(
+                (got - expected.clamp(0.0, 1.0)).abs() < 1e-12,
+                "hour {hour}: got {got}, expected {expected}"
+            );
+        }
+        // Midnight peak 0.5, noon trough 0.
+        assert!((p.intensity(Timestamp(0), &mut r) - 0.5).abs() < 1e-12);
+        assert!(p.intensity(Timestamp(12 * icewafl_types::time::MILLIS_PER_HOUR), &mut r) < 1e-12);
+    }
+
+    #[test]
+    fn periodic_clamps_to_unit_interval() {
+        let p = ChangePattern::Periodic {
+            period: Duration::from_hours(24),
+            phase: Duration::ZERO,
+            amplitude: 3.0,
+            offset: 0.0,
+        };
+        let mut r = rng();
+        for h in 0..24 {
+            let v = p.intensity(Timestamp(h * icewafl_types::time::MILLIS_PER_HOUR), &mut r);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn periodic_phase_shifts_peak() {
+        let p = ChangePattern::Periodic {
+            period: Duration::from_hours(24),
+            phase: Duration::from_hours(6),
+            amplitude: 0.5,
+            offset: 0.5,
+        };
+        let mut r = rng();
+        // Peak moved to 06:00.
+        assert!((p.intensity(Timestamp(6 * icewafl_types::time::MILLIS_PER_HOUR), &mut r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_intensity_matches_mean_for_gradual() {
+        let p = ChangePattern::Gradual { from: Timestamp(0), to: Timestamp(1000) };
+        assert!((p.expected_intensity(Timestamp(250)) - 0.25).abs() < 1e-12);
+        let det = ChangePattern::Incremental { from: Timestamp(0), to: Timestamp(1000) };
+        assert_eq!(det.expected_intensity(Timestamp(250)), 0.25);
+        assert_eq!(ChangePattern::Constant.expected_intensity(Timestamp(0)), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let patterns = vec![
+            ChangePattern::Constant,
+            ChangePattern::Abrupt { at: Timestamp(5) },
+            ChangePattern::daily_sinusoid(0.25, 0.25),
+        ];
+        let json = serde_json::to_string(&patterns).unwrap();
+        let back: Vec<ChangePattern> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, patterns);
+    }
+}

@@ -1,0 +1,355 @@
+//! The polluter abstraction and the standard polluter `⟨e, c, A_p⟩`.
+//!
+//! A polluter processes one enriched tuple at a time and may emit zero,
+//! one, or many tuples — value errors are 1:1, but the native temporal
+//! error types change the stream's shape (a dropped tuple emits nothing,
+//! a duplicate emits several, a delayed tuple emits later, from the
+//! watermark callback).
+
+use crate::condition::BoxCondition;
+use crate::error_fn::ErrorFunction;
+use crate::log::{LogEntry, PollutionLog};
+use crate::pattern::ChangePattern;
+use icewafl_types::{Result, Schema, StampedTuple, Timestamp, Value};
+use rand::rngs::StdRng;
+
+/// Where a polluter emits tuples and ground-truth log entries.
+pub struct Emission<'a> {
+    out: &'a mut Vec<StampedTuple>,
+    log: &'a mut PollutionLog,
+}
+
+impl<'a> Emission<'a> {
+    /// Creates an emission target over an output buffer and a log.
+    pub fn new(out: &'a mut Vec<StampedTuple>, log: &'a mut PollutionLog) -> Self {
+        Emission { out, log }
+    }
+
+    /// Emits a tuple downstream.
+    pub fn emit(&mut self, tuple: StampedTuple) {
+        self.out.push(tuple);
+    }
+
+    /// Records a ground-truth log entry.
+    pub fn record(&mut self, entry: LogEntry) {
+        self.log.record(entry);
+    }
+
+    /// Re-borrows the emission for a nested scope.
+    pub fn reborrow(&mut self) -> Emission<'_> {
+        Emission { out: self.out, log: self.log }
+    }
+
+    /// Splits into (fresh buffer, same log) — used by pipeline chaining.
+    pub fn with_buffer<'b>(&'b mut self, buf: &'b mut Vec<StampedTuple>) -> Emission<'b> {
+        Emission { out: buf, log: self.log }
+    }
+}
+
+/// A pollution operator over the enriched tuple stream.
+pub trait Polluter: Send {
+    /// Processes one tuple, emitting any number of output tuples.
+    fn process(&mut self, tuple: StampedTuple, out: &mut Emission);
+
+    /// Event-time progress notification: stateful polluters (delay,
+    /// freeze) release buffered work here.
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
+        let _ = (wm, out);
+    }
+
+    /// End of stream: flush everything still held back.
+    fn finish(&mut self, out: &mut Emission) {
+        let _ = out;
+    }
+
+    /// The polluter's configured name (appears in log entries).
+    fn name(&self) -> &str;
+
+    /// The probability that this polluter *modifies* the given tuple —
+    /// analytic ground truth for expected-error tables.
+    fn expected_probability(&self, tuple: &StampedTuple) -> f64;
+}
+
+/// Boxed polluter, the unit of pipeline composition.
+pub type BoxPolluter = Box<dyn Polluter>;
+
+/// The paper's standard polluter: an error function `e`, a condition
+/// `c`, a target attribute set `A_p`, and (for derived temporal error
+/// types) a [`ChangePattern`] modulating the error magnitude over `τ`.
+pub struct StandardPolluter {
+    name: String,
+    error_fn: Box<dyn ErrorFunction>,
+    condition: BoxCondition,
+    attrs: Vec<usize>,
+    attr_names: Vec<String>,
+    pattern: ChangePattern,
+    pattern_rng: StdRng,
+    /// Scratch buffer for before-values, reused across tuples.
+    before: Vec<Value>,
+}
+
+impl StandardPolluter {
+    /// Binds a polluter to a schema: resolves the attribute names of
+    /// `A_p` to column indices and validates them against the error
+    /// function's requirements.
+    pub fn bind(
+        name: impl Into<String>,
+        error_fn: Box<dyn ErrorFunction>,
+        condition: BoxCondition,
+        attr_names: &[&str],
+        pattern: ChangePattern,
+        schema: &Schema,
+        pattern_rng: StdRng,
+    ) -> Result<Self> {
+        let attrs: Vec<usize> =
+            attr_names.iter().map(|n| schema.require(n)).collect::<Result<_>>()?;
+        error_fn.validate(schema, &attrs)?;
+        Ok(StandardPolluter {
+            name: name.into(),
+            error_fn,
+            condition,
+            attr_names: attr_names.iter().map(|s| s.to_string()).collect(),
+            attrs,
+            pattern,
+            pattern_rng,
+            before: Vec::new(),
+        })
+    }
+
+    /// The resolved target column indices.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+}
+
+impl Polluter for StandardPolluter {
+    fn process(&mut self, mut tuple: StampedTuple, out: &mut Emission) {
+        if self.condition.evaluate(&tuple) {
+            let intensity = self.pattern.intensity(tuple.tau, &mut self.pattern_rng);
+            if intensity > 0.0 {
+                self.before.clear();
+                self.before
+                    .extend(self.attrs.iter().map(|&i| tuple.tuple.get(i).cloned().unwrap_or(Value::Null)));
+                self.error_fn.apply(&mut tuple.tuple, &self.attrs, tuple.tau, intensity);
+                for (k, &idx) in self.attrs.iter().enumerate() {
+                    let after = tuple.tuple.get(idx).cloned().unwrap_or(Value::Null);
+                    if self.before[k] != after {
+                        out.record(LogEntry::ValueChanged {
+                            tuple_id: tuple.id,
+                            polluter: self.name.clone(),
+                            attr: self.attr_names[k].clone(),
+                            before: std::mem::replace(&mut self.before[k], Value::Null),
+                            after,
+                            tau: tuple.tau,
+                        });
+                    }
+                }
+            }
+        }
+        out.emit(tuple);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
+        self.condition.expected_probability(tuple)
+            * self.pattern.modification_probability(tuple.tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Always, Never, Probability};
+    use crate::error_fn::{Constant, MissingValue};
+    use icewafl_types::{DataType, Tuple};
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::from_pairs([
+            ("Time", DataType::Timestamp),
+            ("BPM", DataType::Int),
+            ("Distance", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn tuple(id: u64, bpm: i64, dist: f64) -> StampedTuple {
+        StampedTuple::new(
+            id,
+            Timestamp(id as i64 * 1000),
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp(id as i64 * 1000)),
+                Value::Int(bpm),
+                Value::Float(dist),
+            ]),
+        )
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    fn run(p: &mut dyn Polluter, tuples: Vec<StampedTuple>) -> (Vec<StampedTuple>, PollutionLog) {
+        let mut out = Vec::new();
+        let mut log = PollutionLog::new();
+        for t in tuples {
+            let mut em = Emission::new(&mut out, &mut log);
+            p.process(t, &mut em);
+        }
+        let mut em = Emission::new(&mut out, &mut log);
+        p.finish(&mut em);
+        (out, log)
+    }
+
+    #[test]
+    fn fires_when_condition_true() {
+        let s = schema();
+        let mut p = StandardPolluter::bind(
+            "null-distance",
+            Box::new(MissingValue),
+            Box::new(Always),
+            &["Distance"],
+            ChangePattern::Constant,
+            &s,
+            rng(),
+        )
+        .unwrap();
+        let (out, log) = run(&mut p, vec![tuple(1, 70, 1.5)]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].tuple.get(2).unwrap().is_null());
+        assert_eq!(out[0].tuple.get(1).unwrap(), &Value::Int(70), "other attrs untouched");
+        assert_eq!(log.len(), 1);
+        match &log.entries()[0] {
+            LogEntry::ValueChanged { attr, before, after, polluter, .. } => {
+                assert_eq!(attr, "Distance");
+                assert_eq!(before, &Value::Float(1.5));
+                assert_eq!(after, &Value::Null);
+                assert_eq!(polluter, "null-distance");
+            }
+            other => panic!("unexpected entry {other:?}"),
+        }
+    }
+
+    #[test]
+    fn passes_through_when_condition_false() {
+        let s = schema();
+        let mut p = StandardPolluter::bind(
+            "never",
+            Box::new(MissingValue),
+            Box::new(Never),
+            &["Distance"],
+            ChangePattern::Constant,
+            &s,
+            rng(),
+        )
+        .unwrap();
+        let (out, log) = run(&mut p, vec![tuple(1, 70, 1.5)]);
+        assert_eq!(out[0].tuple.get(2).unwrap(), &Value::Float(1.5));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn no_log_entry_when_value_unchanged() {
+        // Setting BPM to 0 on a tuple that already has BPM = 0.
+        let s = schema();
+        let mut p = StandardPolluter::bind(
+            "zero",
+            Box::new(Constant::new(Value::Int(0))),
+            Box::new(Always),
+            &["BPM"],
+            ChangePattern::Constant,
+            &s,
+            rng(),
+        )
+        .unwrap();
+        let (_, log) = run(&mut p, vec![tuple(1, 0, 1.0)]);
+        assert!(log.is_empty(), "no-op pollution must not be logged");
+    }
+
+    #[test]
+    fn bind_rejects_unknown_attribute() {
+        let s = schema();
+        let r = StandardPolluter::bind(
+            "x",
+            Box::new(MissingValue),
+            Box::new(Always),
+            &["Nope"],
+            ChangePattern::Constant,
+            &s,
+            rng(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bind_runs_error_fn_validation() {
+        let s = schema();
+        // Gaussian noise on a timestamp attribute must be rejected.
+        let r = StandardPolluter::bind(
+            "x",
+            Box::new(crate::error_fn::GaussianNoise::additive(1.0, rng())),
+            Box::new(Always),
+            &["Time"],
+            ChangePattern::Constant,
+            &s,
+            rng(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn probability_condition_pollutes_fraction() {
+        let s = schema();
+        let mut p = StandardPolluter::bind(
+            "p20",
+            Box::new(MissingValue),
+            Box::new(Probability::new(0.2, StdRng::seed_from_u64(77))),
+            &["BPM"],
+            ChangePattern::Constant,
+            &s,
+            rng(),
+        )
+        .unwrap();
+        let tuples: Vec<_> = (0..10_000).map(|i| tuple(i, 70, 1.0)).collect();
+        let (out, log) = run(&mut p, tuples);
+        assert_eq!(out.len(), 10_000, "value polluters are 1:1");
+        assert!((1800..2200).contains(&log.len()), "log {}", log.len());
+        let e = p.expected_probability(&tuple(0, 70, 1.0));
+        assert!((e - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abrupt_pattern_gates_pollution_in_time() {
+        let s = schema();
+        let mut p = StandardPolluter::bind(
+            "later",
+            Box::new(MissingValue),
+            Box::new(Always),
+            &["BPM"],
+            ChangePattern::Abrupt { at: Timestamp(5_000) },
+            &s,
+            rng(),
+        )
+        .unwrap();
+        let (out, log) = run(&mut p, (0..10).map(|i| tuple(i, 70, 1.0)).collect());
+        // Tuples 0..4 have tau < 5000 → untouched; 5..9 polluted.
+        assert_eq!(log.len(), 5);
+        assert!(!out[4].tuple.get(1).unwrap().is_null());
+        assert!(out[5].tuple.get(1).unwrap().is_null());
+    }
+
+    #[test]
+    fn emission_reborrow_and_buffer() {
+        let mut out = Vec::new();
+        let mut log = PollutionLog::new();
+        let mut em = Emission::new(&mut out, &mut log);
+        em.reborrow().emit(tuple(1, 1, 1.0));
+        let mut buf = Vec::new();
+        em.with_buffer(&mut buf).emit(tuple(2, 2, 2.0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(buf.len(), 1);
+    }
+}

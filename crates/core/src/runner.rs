@@ -1,0 +1,435 @@
+//! The end-to-end pollution process (Algorithm 1).
+//!
+//! prepare → split into `m` (overlapping) sub-streams → pollute each
+//! sub-stream with its pipeline → union with sub-stream ids → sort by
+//! arrival time → output the clean stream `D`, the dirty stream `Dᵖ`,
+//! and the ground-truth log.
+
+use crate::log::PollutionLog;
+use crate::pipeline::PollutionPipeline;
+use crate::polluter::Emission;
+use crate::prepare::PrepareOperator;
+use icewafl_stream::prelude::*;
+use icewafl_stream::SubPipelineBuilder;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+use icewafl_types::{Result, Schema, StampedTuple, Timestamp, Tuple};
+
+/// How tuples are assigned to the `m` sub-streams
+/// (`createOverlappingSubStreams`, Algorithm 1 line 4).
+pub enum SubStreamAssigner {
+    /// Every tuple goes to every sub-stream (fully overlapping — models
+    /// redundant sensor feeds and produces duplicates after the union).
+    Broadcast,
+    /// Tuple `i` goes to sub-stream `i mod m` (disjoint partition).
+    RoundRobin,
+    /// Each tuple joins each sub-stream independently with probability
+    /// `p` (partially overlapping); a tuple selected by no sub-stream is
+    /// routed to one uniformly at random so nothing is silently lost.
+    Probabilistic {
+        /// Per-sub-stream membership probability.
+        p: f64,
+        /// Seed for the assignment RNG.
+        seed: u64,
+    },
+}
+
+/// Per-tuple sub-stream membership selector.
+type Selector = Box<dyn FnMut(&StampedTuple, &mut Vec<usize>) + Send>;
+
+impl SubStreamAssigner {
+    /// Builds the per-tuple membership selector.
+    fn selector(&self, m: usize) -> Selector {
+        match self {
+            SubStreamAssigner::Broadcast => Box::new(move |_, out| out.extend(0..m)),
+            SubStreamAssigner::RoundRobin => {
+                Box::new(move |t, out| out.push((t.id % m as u64) as usize))
+            }
+            SubStreamAssigner::Probabilistic { p, seed } => {
+                let p = p.clamp(0.0, 1.0);
+                let mut rng = StdRng::seed_from_u64(*seed);
+                Box::new(move |_, out| {
+                    for i in 0..m {
+                        if rng.random_bool(p) {
+                            out.push(i);
+                        }
+                    }
+                    if out.is_empty() {
+                        out.push(rng.random_range(0..m));
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// A stream [`Operator`] wrapping a [`PollutionPipeline`], sharing a log
+/// across sub-streams.
+pub struct PipelineOperator {
+    pipeline: PollutionPipeline,
+    sub_stream: u32,
+    log: Arc<Mutex<PollutionLog>>,
+    scratch: Vec<StampedTuple>,
+}
+
+impl PipelineOperator {
+    /// Wraps a pipeline as the operator of sub-stream `sub_stream`.
+    pub fn new(
+        pipeline: PollutionPipeline,
+        sub_stream: u32,
+        log: Arc<Mutex<PollutionLog>>,
+    ) -> Self {
+        PipelineOperator { pipeline, sub_stream, log, scratch: Vec::new() }
+    }
+
+    fn drain_scratch(&mut self, out: &mut dyn Collector<StampedTuple>) {
+        for mut t in self.scratch.drain(..) {
+            t.sub_stream = self.sub_stream;
+            out.collect(t);
+        }
+    }
+}
+
+impl Operator<StampedTuple, StampedTuple> for PipelineOperator {
+    fn on_element(&mut self, record: StampedTuple, out: &mut dyn Collector<StampedTuple>) {
+        {
+            let mut log = self.log.lock();
+            let mut em = Emission::new(&mut self.scratch, &mut log);
+            self.pipeline.process(record, &mut em);
+        }
+        self.drain_scratch(out);
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector<StampedTuple>) {
+        {
+            let mut log = self.log.lock();
+            let mut em = Emission::new(&mut self.scratch, &mut log);
+            self.pipeline.on_watermark(wm, &mut em);
+        }
+        self.drain_scratch(out);
+    }
+
+    fn on_end(&mut self, out: &mut dyn Collector<StampedTuple>) {
+        {
+            let mut log = self.log.lock();
+            let mut em = Emission::new(&mut self.scratch, &mut log);
+            self.pipeline.finish(&mut em);
+        }
+        self.drain_scratch(out);
+    }
+
+    fn name(&self) -> &'static str {
+        "pollution_pipeline"
+    }
+}
+
+/// The result of a pollution run: the clean stream, the dirty stream,
+/// and the ground-truth log.
+pub struct PollutionOutput {
+    /// The prepared clean stream `D` (ids and `τ` assigned, values
+    /// untouched).
+    pub clean: Vec<StampedTuple>,
+    /// The polluted stream `Dᵖ`, sorted by arrival time.
+    pub polluted: Vec<StampedTuple>,
+    /// Ground truth of every applied error.
+    pub log: PollutionLog,
+}
+
+/// A configured pollution job: `m` pipelines plus a sub-stream
+/// assignment strategy over a fixed schema.
+pub struct PollutionJob {
+    schema: Schema,
+    assigner: SubStreamAssigner,
+    /// Emit a watermark every this many source tuples.
+    watermark_period: u64,
+    /// Run sub-stream pipelines on their own threads.
+    parallel: bool,
+    /// Record ground truth (disable for overhead benchmarks).
+    logging: bool,
+}
+
+impl PollutionJob {
+    /// A job over `schema` with a single sub-stream.
+    pub fn new(schema: Schema) -> Self {
+        PollutionJob {
+            schema,
+            assigner: SubStreamAssigner::Broadcast,
+            watermark_period: 64,
+            parallel: false,
+            logging: true,
+        }
+    }
+
+    /// Sets the sub-stream assignment strategy (only relevant with
+    /// multiple pipelines).
+    pub fn with_assigner(mut self, assigner: SubStreamAssigner) -> Self {
+        self.assigner = assigner;
+        self
+    }
+
+    /// Sets the source watermark period (tuples per watermark).
+    pub fn with_watermark_period(mut self, period: u64) -> Self {
+        self.watermark_period = period.max(1);
+        self
+    }
+
+    /// Runs sub-stream pipelines on worker threads.
+    pub fn parallel(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+
+    /// Disables ground-truth logging.
+    pub fn without_logging(mut self) -> Self {
+        self.logging = false;
+        self
+    }
+
+    /// Executes Algorithm 1 over an in-memory stream with the given
+    /// pollution pipelines (one per sub-stream; `m = pipelines.len()`).
+    ///
+    /// Pipelines are consumed by the run (they hold RNG state); rebuild
+    /// them — e.g. from a [`JobConfig`](crate::config::JobConfig) — to
+    /// repeat a run, as the experiments do 50 times per scenario.
+    pub fn run(
+        &self,
+        tuples: Vec<Tuple>,
+        pipelines: Vec<PollutionPipeline>,
+    ) -> Result<PollutionOutput> {
+        if pipelines.is_empty() {
+            return Err(icewafl_types::Error::config("at least one pipeline is required"));
+        }
+        // Step 1 (Algorithm 1 lines 1–3): prepare. The prepared tuples
+        // are both the clean output and the source of the streaming job
+        // (watermarks are generated from τ, which only exists after
+        // preparation).
+        let mut prepare = PrepareOperator::new(&self.schema)?;
+        let clean: Vec<StampedTuple> = tuples.into_iter().map(|t| prepare.prepare(t)).collect();
+
+        let log = Arc::new(Mutex::new(if self.logging {
+            PollutionLog::new()
+        } else {
+            PollutionLog::disabled()
+        }));
+
+        let m = pipelines.len();
+        let selector = self.assigner.selector(m);
+        let builders: Vec<SubPipelineBuilder<StampedTuple, StampedTuple>> = pipelines
+            .into_iter()
+            .enumerate()
+            .map(|(i, pipeline)| {
+                let op = PipelineOperator::new(pipeline, i as u32, Arc::clone(&log));
+                let b: SubPipelineBuilder<StampedTuple, StampedTuple> =
+                    Box::new(move |s: DataStream<StampedTuple>| s.transform(op));
+                b
+            })
+            .collect();
+
+        let strategy = WatermarkStrategy::bounded_out_of_orderness(
+            |t: &StampedTuple| t.tau,
+            icewafl_types::Duration::ZERO,
+            self.watermark_period,
+        );
+        let stream = DataStream::from_source(VecSource::new(clean.clone()), strategy);
+        let merged = if self.parallel {
+            stream.split_merge_parallel(selector, builders)
+        } else {
+            stream.split_merge(selector, builders)
+        };
+        // Algorithm 1, line 11: sortByTimestamp — by *arrival* time, so
+        // delayed tuples surface late (see `StampedTuple::arrival`).
+        let polluted = merged.sort_by_event_time(|t| t.arrival).collect();
+
+        let log = Arc::try_unwrap(log)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|arc| arc.lock().clone());
+
+        Ok(PollutionOutput { clean, polluted, log })
+    }
+}
+
+/// Convenience: runs a single pipeline over a stream with default
+/// settings.
+pub fn pollute_stream(
+    schema: &Schema,
+    tuples: Vec<Tuple>,
+    pipeline: PollutionPipeline,
+) -> Result<PollutionOutput> {
+    PollutionJob::new(schema.clone()).run(tuples, vec![pipeline])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{HourRange, Probability};
+    use crate::error_fn::MissingValue;
+    use crate::pattern::ChangePattern;
+    use crate::polluter::StandardPolluter;
+    use crate::temporal::DelayPolluter;
+    use icewafl_types::{DataType, Duration, Value};
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
+    }
+
+    fn raw_stream(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Timestamp(Timestamp(i * 60_000)),
+                    Value::Float(i as f64),
+                ])
+            })
+            .collect()
+    }
+
+    fn null_pipeline(p: f64, seed: u64) -> PollutionPipeline {
+        PollutionPipeline::new(vec![Box::new(
+            StandardPolluter::bind(
+                "null-x",
+                Box::new(MissingValue),
+                Box::new(Probability::new(p, StdRng::seed_from_u64(seed))),
+                &["x"],
+                ChangePattern::Constant,
+                &schema(),
+                StdRng::seed_from_u64(seed + 1),
+            )
+            .unwrap(),
+        )])
+    }
+
+    #[test]
+    fn clean_and_polluted_align_by_id() {
+        let out = pollute_stream(&schema(), raw_stream(100), null_pipeline(0.5, 1)).unwrap();
+        assert_eq!(out.clean.len(), 100);
+        assert_eq!(out.polluted.len(), 100);
+        // Every polluted tuple joins a clean one with identical tau.
+        for p in &out.polluted {
+            let c = out.clean.iter().find(|c| c.id == p.id).expect("clean partner");
+            assert_eq!(c.tau, p.tau);
+        }
+        // The log ids match the actually nulled tuples.
+        let nulled: std::collections::HashSet<u64> = out
+            .polluted
+            .iter()
+            .filter(|t| t.tuple.get(1).unwrap().is_null())
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(nulled, out.log.polluted_tuple_ids());
+        assert!(!nulled.is_empty());
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let a = pollute_stream(&schema(), raw_stream(200), null_pipeline(0.3, 7)).unwrap();
+        let b = pollute_stream(&schema(), raw_stream(200), null_pipeline(0.3, 7)).unwrap();
+        assert_eq!(a.polluted, b.polluted);
+        assert_eq!(a.log.entries(), b.log.entries());
+        let c = pollute_stream(&schema(), raw_stream(200), null_pipeline(0.3, 8)).unwrap();
+        assert_ne!(a.log.entries(), c.log.entries(), "different seed differs");
+    }
+
+    #[test]
+    fn delay_polluter_reorders_output() {
+        // Delay tuples in hour 0 (the first 60 tuples) by 2 hours.
+        let pipeline = PollutionPipeline::new(vec![Box::new(
+            DelayPolluter::new(
+                "net",
+                Box::new(HourRange::new(0, 1)),
+                Duration::from_hours(2),
+            )
+            .unwrap(),
+        )]);
+        let out = pollute_stream(&schema(), raw_stream(240), pipeline).unwrap();
+        assert_eq!(out.polluted.len(), 240);
+        // Output is sorted by arrival...
+        assert!(out.polluted.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // ...but NOT by the Time attribute: delayed tuples surface late.
+        let times: Vec<i64> = out
+            .polluted
+            .iter()
+            .map(|t| t.tuple.get(0).unwrap().as_timestamp().unwrap().millis())
+            .collect();
+        assert!(times.windows(2).any(|w| w[0] > w[1]), "increasing order must be violated");
+        assert_eq!(out.log.len(), 60);
+    }
+
+    #[test]
+    fn broadcast_substreams_duplicate_tuples() {
+        let job = PollutionJob::new(schema()).with_assigner(SubStreamAssigner::Broadcast);
+        let out = job
+            .run(raw_stream(10), vec![PollutionPipeline::empty(), PollutionPipeline::empty()])
+            .unwrap();
+        assert_eq!(out.polluted.len(), 20, "every tuple through both sub-streams");
+        let subs: std::collections::HashSet<u32> =
+            out.polluted.iter().map(|t| t.sub_stream).collect();
+        assert_eq!(subs.len(), 2);
+    }
+
+    #[test]
+    fn round_robin_partitions() {
+        let job = PollutionJob::new(schema()).with_assigner(SubStreamAssigner::RoundRobin);
+        let out = job
+            .run(raw_stream(10), vec![PollutionPipeline::empty(), PollutionPipeline::empty()])
+            .unwrap();
+        assert_eq!(out.polluted.len(), 10);
+        for t in &out.polluted {
+            assert_eq!(u64::from(t.sub_stream), t.id % 2);
+        }
+    }
+
+    #[test]
+    fn probabilistic_assignment_loses_nothing() {
+        let job = PollutionJob::new(schema())
+            .with_assigner(SubStreamAssigner::Probabilistic { p: 0.3, seed: 5 });
+        let out = job
+            .run(raw_stream(500), vec![PollutionPipeline::empty(), PollutionPipeline::empty()])
+            .unwrap();
+        let ids: std::collections::HashSet<u64> = out.polluted.iter().map(|t| t.id).collect();
+        assert_eq!(ids.len(), 500, "every tuple reaches at least one sub-stream");
+        assert!(out.polluted.len() > 500, "some overlap expected at p=0.3 per stream");
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_content() {
+        let seq = PollutionJob::new(schema())
+            .with_assigner(SubStreamAssigner::RoundRobin)
+            .run(raw_stream(300), vec![null_pipeline(0.5, 3), null_pipeline(0.5, 4)])
+            .unwrap();
+        let par = PollutionJob::new(schema())
+            .with_assigner(SubStreamAssigner::RoundRobin)
+            .parallel()
+            .run(raw_stream(300), vec![null_pipeline(0.5, 3), null_pipeline(0.5, 4)])
+            .unwrap();
+        let mut a = seq.polluted.clone();
+        let mut b = par.polluted.clone();
+        a.sort_by_key(|t| t.id);
+        b.sort_by_key(|t| t.id);
+        assert_eq!(a, b, "same seeds → identical pollution, independent of threading");
+    }
+
+    #[test]
+    fn without_logging_produces_empty_log() {
+        let job = PollutionJob::new(schema()).without_logging();
+        let out = job.run(raw_stream(50), vec![null_pipeline(1.0, 1)]).unwrap();
+        assert!(out.log.is_empty());
+        assert!(out.polluted.iter().all(|t| t.tuple.get(1).unwrap().is_null()));
+    }
+
+    #[test]
+    fn requires_at_least_one_pipeline() {
+        assert!(PollutionJob::new(schema()).run(raw_stream(1), vec![]).is_err());
+    }
+
+    #[test]
+    fn pollute_then_sort_is_stable_for_value_errors() {
+        // Value-only pollution must preserve the input order exactly.
+        let out = pollute_stream(&schema(), raw_stream(100), null_pipeline(0.5, 2)).unwrap();
+        let ids: Vec<u64> = out.polluted.iter().map(|t| t.id).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,228 @@
+//! Minimal CSV reader/writer, from scratch (RFC 4180 quoting).
+//!
+//! Icewafl's Fig. 2 pipeline reads batch input and persists clean and
+//! dirty streams; this module provides that I/O for [`Tuple`]s under a
+//! [`Schema`].
+
+use icewafl_types::{Error, Result, Schema, Tuple, Value};
+use std::io::{BufRead, Write};
+
+/// Serializes one field with RFC 4180 quoting when needed.
+pub(crate) fn write_field(out: &mut String, field: &str) {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Writes a header plus one line per tuple.
+pub fn write_csv(w: &mut impl Write, schema: &Schema, tuples: &[Tuple]) -> Result<()> {
+    let mut line = String::new();
+    for (i, f) in schema.fields().iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        write_field(&mut line, &f.name);
+    }
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    for t in tuples {
+        line.clear();
+        for (i, v) in t.values().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write_field(&mut line, &v.to_string());
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Splits one CSV record, honoring quotes. Returns an error on an
+/// unterminated quote.
+fn split_record(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::parse(line, "CSV record (unterminated quote)"));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Checks a header line against the schema's attribute names, in
+/// order.
+pub(crate) fn validate_header(header_line: &str, schema: &Schema) -> Result<()> {
+    let header = split_record(header_line)?;
+    let expected: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
+    if header != expected {
+        return Err(Error::SchemaMismatch {
+            detail: format!("CSV header {header:?} does not match schema {expected:?}"),
+        });
+    }
+    Ok(())
+}
+
+/// Parses one data record against the schema.
+pub(crate) fn parse_record(line: &str, schema: &Schema) -> Result<Tuple> {
+    let fields = split_record(line)?;
+    if fields.len() != schema.len() {
+        return Err(Error::SchemaMismatch {
+            detail: format!(
+                "CSV row has {} fields, schema has {}",
+                fields.len(),
+                schema.len()
+            ),
+        });
+    }
+    let values: Result<Vec<Value>> = fields
+        .iter()
+        .zip(schema.fields())
+        .map(|(raw, f)| Value::parse(raw, f.dtype))
+        .collect();
+    Ok(Tuple::new(values?))
+}
+
+/// Reads a CSV with a header line, parsing fields per the schema's
+/// types. The header must name exactly the schema's attributes, in
+/// order.
+pub fn read_csv(r: &mut impl BufRead, schema: &Schema) -> Result<Vec<Tuple>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(Error::parse("", "CSV header"));
+    }
+    validate_header(line.trim_end_matches(['\n', '\r']), schema)?;
+    let mut tuples = Vec::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        tuples.push(parse_record(trimmed, schema)?);
+    }
+    Ok(tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icewafl_types::{DataType, Timestamp};
+    use std::io::Cursor;
+
+    fn schema() -> Schema {
+        Schema::from_pairs([
+            ("Time", DataType::Timestamp),
+            ("x", DataType::Float),
+            ("label", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn sample() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp::from_ymd(2016, 2, 27).unwrap()),
+                Value::Float(1.5),
+                Value::Str("plain".into()),
+            ]),
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp::from_ymd(2016, 2, 28).unwrap()),
+                Value::Null,
+                Value::Str("with,comma and \"quotes\"".into()),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &schema(), &sample()).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("Time,x,label\n"));
+        assert!(text.contains(r#""with,comma and ""quotes""""#));
+        let back = read_csv(&mut Cursor::new(buf), &schema()).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn null_round_trips_as_empty_field() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &schema(), &sample()).unwrap();
+        let back = read_csv(&mut Cursor::new(buf), &schema()).unwrap();
+        assert!(back[1].get(1).unwrap().is_null());
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let data = "a,b,c\n";
+        assert!(read_csv(&mut Cursor::new(data.as_bytes()), &schema()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let data = "Time,x,label\n2016-02-27 00:00:00,1.5\n";
+        assert!(read_csv(&mut Cursor::new(data.as_bytes()), &schema()).is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        let data = "Time,x,label\n2016-02-27 00:00:00,1.5,\"broken\n";
+        assert!(read_csv(&mut Cursor::new(data.as_bytes()), &schema()).is_err());
+    }
+
+    #[test]
+    fn rejects_unparseable_value() {
+        let data = "Time,x,label\n2016-02-27 00:00:00,not-a-number,ok\n";
+        assert!(read_csv(&mut Cursor::new(data.as_bytes()), &schema()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines_and_handles_crlf() {
+        let data = "Time,x,label\r\n2016-02-27 00:00:00,1.5,ok\r\n\r\n";
+        let back = read_csv(&mut Cursor::new(data.as_bytes()), &schema()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].get(2).unwrap().as_str().unwrap(), "ok");
+    }
+
+    #[test]
+    fn empty_file_errors() {
+        assert!(read_csv(&mut Cursor::new(&b""[..]), &schema()).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Missing-value imputation.
+//!
+//! §3.2.1: "we imputed missing values for each region in the NO2
+//! attribute using the forward/backward fill method `ffill` of Python
+//! Pandas".
+
+use icewafl_types::{Result, Schema, Tuple, Value};
+
+/// Forward fill: replaces each NULL in `column` with the last non-NULL
+/// value before it. Leading NULLs stay NULL (use [`bfill`] after).
+pub fn ffill(schema: &Schema, tuples: &mut [Tuple], column: &str) -> Result<usize> {
+    let idx = schema.require(column)?;
+    let mut last: Option<Value> = None;
+    let mut filled = 0;
+    for t in tuples.iter_mut() {
+        let v = t.get_mut(idx).expect("index validated against schema");
+        if v.is_null() {
+            if let Some(fill) = &last {
+                v.clone_from(fill);
+                filled += 1;
+            }
+        } else {
+            last = Some(v.clone());
+        }
+    }
+    Ok(filled)
+}
+
+/// Backward fill: replaces each NULL in `column` with the next non-NULL
+/// value after it. Trailing NULLs stay NULL.
+pub fn bfill(schema: &Schema, tuples: &mut [Tuple], column: &str) -> Result<usize> {
+    let idx = schema.require(column)?;
+    let mut next: Option<Value> = None;
+    let mut filled = 0;
+    for t in tuples.iter_mut().rev() {
+        let v = t.get_mut(idx).expect("index validated against schema");
+        if v.is_null() {
+            if let Some(fill) = &next {
+                v.clone_from(fill);
+                filled += 1;
+            }
+        } else {
+            next = Some(v.clone());
+        }
+    }
+    Ok(filled)
+}
+
+/// Pandas-style `ffill` then `bfill`: every NULL is filled as long as
+/// the column has at least one non-NULL value.
+pub fn ffill_bfill(schema: &Schema, tuples: &mut [Tuple], column: &str) -> Result<usize> {
+    let a = ffill(schema, tuples, column)?;
+    let b = bfill(schema, tuples, column)?;
+    Ok(a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icewafl_types::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs([("x", DataType::Float)]).unwrap()
+    }
+
+    fn col(tuples: &[Tuple]) -> Vec<Option<f64>> {
+        tuples.iter().map(|t| t.get(0).unwrap().as_f64()).collect()
+    }
+
+    fn mk(values: &[Option<f64>]) -> Vec<Tuple> {
+        values
+            .iter()
+            .map(|v| Tuple::new(vec![v.map_or(Value::Null, Value::Float)]))
+            .collect()
+    }
+
+    #[test]
+    fn ffill_carries_forward() {
+        let mut t = mk(&[Some(1.0), None, None, Some(4.0), None]);
+        let filled = ffill(&schema(), &mut t, "x").unwrap();
+        assert_eq!(filled, 3);
+        assert_eq!(col(&t), vec![Some(1.0), Some(1.0), Some(1.0), Some(4.0), Some(4.0)]);
+    }
+
+    #[test]
+    fn ffill_leaves_leading_nulls() {
+        let mut t = mk(&[None, None, Some(2.0)]);
+        let filled = ffill(&schema(), &mut t, "x").unwrap();
+        assert_eq!(filled, 0);
+        assert_eq!(col(&t), vec![None, None, Some(2.0)]);
+    }
+
+    #[test]
+    fn bfill_carries_backward() {
+        let mut t = mk(&[None, Some(2.0), None]);
+        let filled = bfill(&schema(), &mut t, "x").unwrap();
+        assert_eq!(filled, 1);
+        assert_eq!(col(&t), vec![Some(2.0), Some(2.0), None]);
+    }
+
+    #[test]
+    fn ffill_bfill_fills_everything() {
+        let mut t = mk(&[None, None, Some(3.0), None, Some(5.0), None]);
+        let filled = ffill_bfill(&schema(), &mut t, "x").unwrap();
+        assert_eq!(filled, 4);
+        assert_eq!(
+            col(&t),
+            vec![Some(3.0), Some(3.0), Some(3.0), Some(3.0), Some(5.0), Some(5.0)]
+        );
+    }
+
+    #[test]
+    fn all_null_column_stays_null() {
+        let mut t = mk(&[None, None]);
+        let filled = ffill_bfill(&schema(), &mut t, "x").unwrap();
+        assert_eq!(filled, 0);
+        assert_eq!(col(&t), vec![None, None]);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let mut t = mk(&[Some(1.0)]);
+        assert!(ffill(&schema(), &mut t, "nope").is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Synthetic wearable-device dataset.
+//!
+//! Substitute for the PLOS-Biology wearable dataset of volunteer
+//! `0216-0051-NHC` used in experiment 1 (§3.1): heart rate plus
+//! activity data spanning 264.75 hours from 2016-02-26, resampled to
+//! the MainTable granularity.
+//!
+//! The cadence is derived from the paper itself: the bad-network window
+//! 13:00–14:59 contains 88 tuples over the 11 full days of the span,
+//! i.e. 8 tuples per 2 hours → **one tuple every 15 minutes**, 1059
+//! tuples total. The stream starts at 2016-02-26 23:15 so that exactly
+//! 1056 tuples fall at/after 2016-02-27 (the software-update gate of
+//! §3.1.2).
+//!
+//! The generator is calibrated so the paper's scenario counts hold
+//! approximately:
+//!
+//! * ≈ 33 of the post-update tuples have `BPM > 100` (exercise bouts);
+//! * ≈ 374 post-update tuples have `Distance > 0` (movement);
+//! * ≈ 960 post-update tuples have `CaloriesBurned` with ≥ 4 decimal
+//!   digits (the remainder are idle tuples with calories exactly 0);
+//! * exactly 2 tuples violate the "BPM = 0 ⟹ no activity" rule, the
+//!   pre-existing anomalies the paper found in the original data.
+
+use icewafl_types::{DataType, Duration, Schema, Timestamp, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Number of tuples in the stream.
+pub const TUPLE_COUNT: usize = 1059;
+
+/// Tuple cadence (15 minutes).
+pub const CADENCE: Duration = Duration::from_minutes(15);
+
+/// The schema of the wearable stream.
+pub fn schema() -> Schema {
+    Schema::from_pairs([
+        ("Time", DataType::Timestamp),
+        ("BPM", DataType::Int),
+        ("Steps", DataType::Int),
+        ("Distance", DataType::Float),
+        ("CaloriesBurned", DataType::Float),
+        ("ActiveMinutes", DataType::Int),
+    ])
+    .expect("static schema is valid")
+}
+
+/// The first tuple's timestamp: 2016-02-26 23:15.
+pub fn stream_start() -> Timestamp {
+    Timestamp::from_ymd_hms(2016, 2, 26, 23, 15, 0).expect("valid date")
+}
+
+/// The software-update instant of §3.1.2: 2016-02-27 00:00.
+pub fn software_update_time() -> Timestamp {
+    Timestamp::from_ymd(2016, 2, 27).expect("valid date")
+}
+
+/// Per-interval activity regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    /// Tracker not worn: everything zero.
+    NotWorn,
+    /// Worn, resting (sleep / desk): heart rate low, no movement.
+    Resting,
+    /// Worn, light movement: some steps, moderate heart rate.
+    Light,
+    /// Worn, exercising: high heart rate, many steps.
+    Exercise,
+}
+
+/// Generates the wearable stream with the default calibration seed.
+pub fn generate() -> Vec<Tuple> {
+    generate_seeded(2016)
+}
+
+/// Generates the wearable stream from an explicit seed. The regime
+/// schedule is deterministic in the hour of day; only within-regime
+/// noise depends on the seed.
+pub fn generate_seeded(seed: u64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bpm_noise: Normal<f64> = Normal::new(0.0, 3.0).expect("valid sigma");
+    let start = stream_start();
+    let mut tuples = Vec::with_capacity(TUPLE_COUNT);
+    // Exercise schedule: one ~45-minute workout (3 intervals) on 11
+    // mornings at 07:00–07:45 → 33 high-BPM tuples, all after the
+    // software update.
+    for i in 0..TUPLE_COUNT {
+        let ts = start + Duration::from_millis(CADENCE.millis() * i as i64);
+        let hour = ts.fractional_hour_of_day();
+        let regime = regime_for(ts, &mut rng);
+        let (bpm, steps, active_minutes) = match regime {
+            Regime::NotWorn => (0i64, 0i64, 0i64),
+            Regime::Resting => {
+                let base = if (0.0..6.0).contains(&hour) { 54.0 } else { 64.0 };
+                ((base + bpm_noise.sample(&mut rng)).round() as i64, rng.random_range(0..30), 0)
+            }
+            Regime::Light => (
+                (78.0 + bpm_noise.sample(&mut rng) * 2.0).round() as i64,
+                rng.random_range(150..900),
+                rng.random_range(3..12),
+            ),
+            Regime::Exercise => (
+                // Base 120 with σ = 6 keeps every workout tuple above
+                // the BPM > 100 gate of §3.1.2 (P(≤100) ≈ 4·10⁻⁴).
+                (120.0 + bpm_noise.sample(&mut rng) * 2.0).round() as i64,
+                rng.random_range(1200..2200),
+                rng.random_range(12..16),
+            ),
+        };
+        // Distance follows steps (stride ≈ 0.75 m), but strolling below
+        // 50 steps does not register as distance.
+        let distance_km =
+            if steps >= 50 { (steps as f64) * 0.00075 * rng.random_range(0.9..1.1) } else { 0.0 };
+        // Calories: zero when not worn; otherwise BMR share plus
+        // activity, with full float precision.
+        let calories = if regime == Regime::NotWorn {
+            0.0
+        } else {
+            let bmr = 1700.0 / 96.0; // per 15-minute interval
+            bmr + steps as f64 * 0.04 + rng.random_range(0.0..1.0)
+        };
+        tuples.push(Tuple::new(vec![
+            Value::Timestamp(ts),
+            Value::Int(bpm),
+            Value::Int(steps),
+            Value::Float(distance_km),
+            Value::Float(calories),
+            Value::Int(active_minutes),
+        ]));
+    }
+    inject_known_anomalies(&mut tuples);
+    tuples
+}
+
+/// The regime schedule. Deterministic in the timestamp except for the
+/// light-activity coin flips.
+fn regime_for(ts: Timestamp, rng: &mut StdRng) -> Regime {
+    let hour = ts.fractional_hour_of_day();
+    let day = ts.floor_to_day();
+    let update = software_update_time();
+    // Morning workout: 07:00–07:45 on every full day after the update.
+    if day >= update && (7.0..7.75).contains(&hour) {
+        return Regime::Exercise;
+    }
+    // Shower, charging, commute without the tracker: 08:00–10:15 not
+    // worn (9 intervals/day × 11 days = 99 post-update zero tuples —
+    // this calibrates the CaloriesBurned precision count to the paper's
+    // 960/1056, since not-worn calories are exactly 0).
+    if (8.0..10.25).contains(&hour) {
+        return Regime::NotWorn;
+    }
+    // Night: resting.
+    if !(6.0..23.0).contains(&hour) {
+        return Regime::Resting;
+    }
+    // Daytime: mix of light activity and rest, calibrated so that
+    // Distance > 0 holds for ≈ 374 of the 1056 post-update tuples.
+    // Daytime spans 17 h/day = 68 intervals; exercise contributes 3
+    // moving intervals per day and not-worn removes 9, so light
+    // activity fills the remaining 56: (374/11 − 3) / 56 ≈ 0.557.
+    if rng.random_bool(0.557) {
+        Regime::Light
+    } else {
+        Regime::Resting
+    }
+}
+
+/// Plants the two pre-existing "BPM = 0 but activity recorded"
+/// violations the paper reports in the original stream (§3.1.2), at
+/// fixed post-update positions.
+fn inject_known_anomalies(tuples: &mut [Tuple]) {
+    for &idx in &[200usize, 700usize] {
+        let t = &mut tuples[idx];
+        t.replace(1, Value::Int(0)); // BPM = 0 …
+        t.replace(2, Value::Int(420)); // … but steps recorded
+        t.replace(3, Value::Float(0.3));
+        t.replace(5, Value::Int(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col_f64(t: &Tuple, idx: usize) -> f64 {
+        t.get(idx).unwrap().as_f64().unwrap()
+    }
+
+    fn col_ts(t: &Tuple) -> Timestamp {
+        t.get(0).unwrap().as_timestamp().unwrap()
+    }
+
+    #[test]
+    fn has_paper_cadence_and_length() {
+        let data = generate();
+        assert_eq!(data.len(), TUPLE_COUNT);
+        let first = col_ts(&data[0]);
+        let second = col_ts(&data[1]);
+        assert_eq!(second - first, Duration::from_minutes(15));
+        // Span: 1058 intervals of 15 min = 264.5 h elapsed, 264.75 h of
+        // coverage.
+        let last = col_ts(&data[TUPLE_COUNT - 1]);
+        assert!((last.hours_since(first) - 264.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exactly_1056_tuples_after_software_update() {
+        let data = generate();
+        let update = software_update_time();
+        let after = data.iter().filter(|t| col_ts(t) >= update).count();
+        assert_eq!(after, 1056, "the §3.1.2 gate must select 1056 tuples");
+    }
+
+    #[test]
+    fn bad_network_window_contains_88_tuples() {
+        let data = generate();
+        let in_window = data
+            .iter()
+            .filter(|t| {
+                let h = col_ts(t).hour_of_day();
+                (13..15).contains(&h)
+            })
+            .count();
+        assert_eq!(in_window, 88, "the §3.1.3 window must contain 88 tuples");
+    }
+
+    #[test]
+    fn high_bpm_count_matches_paper_scale() {
+        let data = generate();
+        let update = software_update_time();
+        let high = data
+            .iter()
+            .filter(|t| col_ts(t) >= update && col_f64(t, 1) > 100.0)
+            .count();
+        assert_eq!(high, 33, "11 workouts × 3 intervals, paper reports 33");
+    }
+
+    #[test]
+    fn moving_tuples_match_paper_scale() {
+        let data = generate();
+        let update = software_update_time();
+        let moving = data
+            .iter()
+            .filter(|t| col_ts(t) >= update && col_f64(t, 3) > 0.0)
+            .count();
+        // Paper's Distance row in Table 1: 374. Calibrated to within
+        // ±10 %.
+        assert!((340..=410).contains(&moving), "moving tuples: {moving}");
+    }
+
+    #[test]
+    fn calories_precision_matches_paper_scale() {
+        let data = generate();
+        let update = software_update_time();
+        let precise = data
+            .iter()
+            .filter(|t| {
+                if col_ts(t) < update {
+                    return false;
+                }
+                let text = t.get(4).unwrap().to_string();
+                matches!(text.split_once('.'), Some((_, frac)) if frac.len() > 2)
+            })
+            .count();
+        // Paper's CaloriesBurned row: 960 of 1056 change under rounding
+        // to 2 decimals. Not-worn tuples have calories exactly 0:
+        // 1056 − 99 = 957 precise values.
+        assert!((940..=975).contains(&precise), "precise calories: {precise}");
+    }
+
+    #[test]
+    fn exactly_two_preexisting_violations() {
+        let data = generate();
+        let violations = data
+            .iter()
+            .filter(|t| {
+                let bpm = col_f64(t, 1);
+                let activity = col_f64(t, 2) + col_f64(t, 3) + col_f64(t, 5);
+                bpm == 0.0 && activity > 0.0
+            })
+            .count();
+        assert_eq!(violations, 2, "the paper found 2 pre-existing anomalies");
+    }
+
+    #[test]
+    fn steps_exceed_distance_on_clean_data() {
+        // The §3.1.2 unit-error detector relies on Steps ≥ Distance(km)
+        // holding in clean data.
+        let data = generate();
+        for t in &data {
+            let steps = col_f64(t, 2);
+            let dist = col_f64(t, 3);
+            assert!(steps >= dist, "steps {steps} < distance {dist}");
+        }
+    }
+
+    #[test]
+    fn conforms_to_schema() {
+        let s = schema();
+        for t in generate() {
+            s.validate(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate_seeded(1), generate_seeded(1));
+        assert_ne!(generate_seeded(1), generate_seeded(2));
+        assert_eq!(generate(), generate());
+    }
+
+    #[test]
+    fn timestamps_strictly_increasing() {
+        let data = generate();
+        for w in data.windows(2) {
+            assert!(col_ts(&w[1]) > col_ts(&w[0]));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The expectation abstraction — Great Expectations' core concept,
+//! rebuilt.
+//!
+//! An expectation is a data characteristic expected to hold in clean
+//! data (§3.1 of the paper). Validating an expectation against a batch
+//! yields the number of *unexpected* rows (plus their tuple ids, our
+//! ground-truth hook) or, for aggregate expectations, an observed value.
+
+use icewafl_types::{Result, Schema, StampedTuple};
+
+/// The outcome of validating one expectation against a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectationResult {
+    /// The expectation's self-description, e.g.
+    /// `expect_column_values_to_not_be_null(Distance)`.
+    pub expectation: String,
+    /// Whether the expectation held (within its `mostly` tolerance).
+    pub success: bool,
+    /// Rows examined.
+    pub element_count: usize,
+    /// Rows violating the expectation (0 for aggregate expectations
+    /// that fail — see `observed_value`).
+    pub unexpected_count: usize,
+    /// Ids of the violating tuples, in batch order (row-level
+    /// expectations only).
+    pub unexpected_ids: Vec<u64>,
+    /// Observed aggregate value (aggregate expectations only).
+    pub observed_value: Option<f64>,
+}
+
+impl ExpectationResult {
+    /// A row-level result; success is decided by `mostly` (the minimum
+    /// tolerated fraction of conforming rows, 1.0 = all).
+    pub fn row_level(
+        expectation: String,
+        element_count: usize,
+        unexpected_ids: Vec<u64>,
+        mostly: f64,
+    ) -> Self {
+        let unexpected_count = unexpected_ids.len();
+        let success = if element_count == 0 {
+            true
+        } else {
+            let conforming = (element_count - unexpected_count) as f64 / element_count as f64;
+            conforming + 1e-12 >= mostly
+        };
+        ExpectationResult {
+            expectation,
+            success,
+            element_count,
+            unexpected_count,
+            unexpected_ids,
+            observed_value: None,
+        }
+    }
+
+    /// An aggregate result.
+    pub fn aggregate(
+        expectation: String,
+        element_count: usize,
+        observed: f64,
+        success: bool,
+    ) -> Self {
+        ExpectationResult {
+            expectation,
+            success,
+            element_count,
+            unexpected_count: 0,
+            unexpected_ids: Vec::new(),
+            observed_value: Some(observed),
+        }
+    }
+
+    /// The fraction of unexpected rows in `[0, 1]`.
+    pub fn unexpected_fraction(&self) -> f64 {
+        if self.element_count == 0 {
+            0.0
+        } else {
+            self.unexpected_count as f64 / self.element_count as f64
+        }
+    }
+}
+
+/// A validatable data-quality constraint.
+pub trait Expectation: Send {
+    /// A human-readable identifier including the configured columns.
+    fn describe(&self) -> String;
+
+    /// Validates against a batch of tuples under a schema.
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult>;
+}
+
+/// Boxed expectation, the unit of suite composition.
+pub type BoxExpectation = Box<dyn Expectation>;
+
+/// Shared helper: resolves a column and runs a per-row predicate,
+/// collecting violating ids. `predicate` returns `true` when the row
+/// CONFORMS.
+pub(crate) fn validate_rows(
+    describe: String,
+    schema: &Schema,
+    rows: &[StampedTuple],
+    column: &str,
+    mostly: f64,
+    mut predicate: impl FnMut(&icewafl_types::Value) -> bool,
+) -> Result<ExpectationResult> {
+    let idx = schema.require(column)?;
+    let mut unexpected = Vec::new();
+    for row in rows {
+        let value = row.tuple.get(idx).unwrap_or(&icewafl_types::Value::Null);
+        if !predicate(value) {
+            unexpected.push(row.id);
+        }
+    }
+    Ok(ExpectationResult::row_level(describe, rows.len(), unexpected, mostly))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_level_success_requires_all_by_default() {
+        let r = ExpectationResult::row_level("e".into(), 10, vec![3], 1.0);
+        assert!(!r.success);
+        assert_eq!(r.unexpected_count, 1);
+        assert!((r.unexpected_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mostly_tolerates_a_fraction() {
+        let r = ExpectationResult::row_level("e".into(), 10, vec![1], 0.9);
+        assert!(r.success, "10% unexpected tolerated at mostly=0.9");
+        let r = ExpectationResult::row_level("e".into(), 10, vec![1, 2], 0.9);
+        assert!(!r.success);
+    }
+
+    #[test]
+    fn empty_batch_succeeds() {
+        let r = ExpectationResult::row_level("e".into(), 0, vec![], 1.0);
+        assert!(r.success);
+        assert_eq!(r.unexpected_fraction(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_result_carries_observed() {
+        let r = ExpectationResult::aggregate("mean".into(), 5, 2.5, true);
+        assert_eq!(r.observed_value, Some(2.5));
+        assert!(r.success);
+        assert_eq!(r.unexpected_count, 0);
+    }
+}

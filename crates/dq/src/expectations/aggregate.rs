@@ -1,0 +1,182 @@
+//! Aggregate and uniqueness expectations.
+
+use crate::expectation::{Expectation, ExpectationResult};
+use icewafl_types::{Result, Schema, StampedTuple, Value};
+use std::collections::HashMap;
+
+/// `expect_column_mean_to_be_between` — aggregate sanity check on a
+/// numeric column (NULLs excluded from the mean).
+pub struct ExpectColumnMeanToBeBetween {
+    column: String,
+    min: f64,
+    max: f64,
+}
+
+impl ExpectColumnMeanToBeBetween {
+    /// Requires `min ≤ mean(column) ≤ max`.
+    pub fn new(column: impl Into<String>, min: f64, max: f64) -> Self {
+        ExpectColumnMeanToBeBetween { column: column.into(), min, max }
+    }
+}
+
+impl Expectation for ExpectColumnMeanToBeBetween {
+    fn describe(&self) -> String {
+        format!("expect_column_mean_to_be_between({}, {}..{})", self.column, self.min, self.max)
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let idx = schema.require(&self.column)?;
+        let values: Vec<f64> =
+            rows.iter().filter_map(|r| r.tuple.get(idx).and_then(Value::as_f64)).collect();
+        let mean = if values.is_empty() {
+            f64::NAN
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        };
+        let success = !values.is_empty() && mean >= self.min && mean <= self.max;
+        Ok(ExpectationResult::aggregate(self.describe(), rows.len(), mean, success))
+    }
+}
+
+/// `expect_column_stdev_to_be_between` — detects noise injection
+/// (population standard deviation; NULLs excluded).
+pub struct ExpectColumnStdevToBeBetween {
+    column: String,
+    min: f64,
+    max: f64,
+}
+
+impl ExpectColumnStdevToBeBetween {
+    /// Requires `min ≤ σ(column) ≤ max`.
+    pub fn new(column: impl Into<String>, min: f64, max: f64) -> Self {
+        ExpectColumnStdevToBeBetween { column: column.into(), min, max }
+    }
+}
+
+impl Expectation for ExpectColumnStdevToBeBetween {
+    fn describe(&self) -> String {
+        format!("expect_column_stdev_to_be_between({}, {}..{})", self.column, self.min, self.max)
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let idx = schema.require(&self.column)?;
+        let values: Vec<f64> =
+            rows.iter().filter_map(|r| r.tuple.get(idx).and_then(Value::as_f64)).collect();
+        let stdev = if values.is_empty() {
+            f64::NAN
+        } else {
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            (values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+        };
+        let success = !values.is_empty() && stdev >= self.min && stdev <= self.max;
+        Ok(ExpectationResult::aggregate(self.describe(), rows.len(), stdev, success))
+    }
+}
+
+/// `expect_column_values_to_be_unique` — detects duplicated tuples
+/// (every repeated occurrence beyond the first is unexpected; NULLs
+/// conform).
+pub struct ExpectColumnValuesToBeUnique {
+    column: String,
+}
+
+impl ExpectColumnValuesToBeUnique {
+    /// Requires distinct values in `column`.
+    pub fn new(column: impl Into<String>) -> Self {
+        ExpectColumnValuesToBeUnique { column: column.into() }
+    }
+}
+
+impl Expectation for ExpectColumnValuesToBeUnique {
+    fn describe(&self) -> String {
+        format!("expect_column_values_to_be_unique({})", self.column)
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let idx = schema.require(&self.column)?;
+        // Key values by display form — Value is not Hash (contains f64),
+        // and the textual form is exactly what distinguishes duplicates
+        // in CSV-shaped data.
+        let mut seen: HashMap<String, bool> = HashMap::new();
+        let mut unexpected = Vec::new();
+        for row in rows {
+            let v = row.tuple.get(idx).unwrap_or(&Value::Null);
+            if v.is_null() {
+                continue;
+            }
+            let key = format!("{}:{}", v.type_name(), v);
+            if seen.insert(key, true).is_some() {
+                unexpected.push(row.id);
+            }
+        }
+        Ok(ExpectationResult::row_level(self.describe(), rows.len(), unexpected, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icewafl_types::{DataType, Timestamp, Tuple};
+
+    fn schema() -> Schema {
+        Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
+    }
+
+    fn row(id: u64, x: Value) -> StampedTuple {
+        StampedTuple::new(
+            id,
+            Timestamp(id as i64),
+            Tuple::new(vec![Value::Timestamp(Timestamp(id as i64)), x]),
+        )
+    }
+
+    #[test]
+    fn mean_in_and_out_of_bounds() {
+        let rows: Vec<StampedTuple> =
+            (0..4).map(|i| row(i, Value::Float(i as f64))).collect(); // mean 1.5
+        let ok = ExpectColumnMeanToBeBetween::new("x", 1.0, 2.0);
+        let r = ok.validate(&schema(), &rows).unwrap();
+        assert!(r.success);
+        assert_eq!(r.observed_value, Some(1.5));
+        let bad = ExpectColumnMeanToBeBetween::new("x", 2.0, 3.0);
+        assert!(!bad.validate(&schema(), &rows).unwrap().success);
+    }
+
+    #[test]
+    fn mean_ignores_nulls() {
+        let rows = vec![row(0, Value::Float(2.0)), row(1, Value::Null)];
+        let e = ExpectColumnMeanToBeBetween::new("x", 1.9, 2.1);
+        assert!(e.validate(&schema(), &rows).unwrap().success);
+    }
+
+    #[test]
+    fn mean_of_empty_fails() {
+        let e = ExpectColumnMeanToBeBetween::new("x", 0.0, 1.0);
+        let r = e.validate(&schema(), &[]).unwrap();
+        assert!(!r.success, "no data: cannot assert a mean");
+    }
+
+    #[test]
+    fn stdev_detects_spread() {
+        let tight: Vec<StampedTuple> = (0..10).map(|i| row(i, Value::Float(5.0))).collect();
+        let e = ExpectColumnStdevToBeBetween::new("x", 0.0, 0.1);
+        assert!(e.validate(&schema(), &tight).unwrap().success);
+        let spread: Vec<StampedTuple> =
+            (0..10).map(|i| row(i, Value::Float(i as f64 * 100.0))).collect();
+        assert!(!e.validate(&schema(), &spread).unwrap().success);
+    }
+
+    #[test]
+    fn unique_flags_second_occurrence() {
+        let rows = vec![
+            row(0, Value::Float(1.0)),
+            row(1, Value::Float(2.0)),
+            row(2, Value::Float(1.0)),
+            row(3, Value::Null),
+            row(4, Value::Null), // NULLs never flagged
+        ];
+        let e = ExpectColumnValuesToBeUnique::new("x");
+        let r = e.validate(&schema(), &rows).unwrap();
+        assert_eq!(r.unexpected_ids, vec![2]);
+    }
+}

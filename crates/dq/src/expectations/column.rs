@@ -1,0 +1,331 @@
+//! Single-column row-level expectations.
+
+use crate::expectation::{validate_rows, Expectation, ExpectationResult};
+use crate::regex::Regex;
+use icewafl_types::{Result, Schema, StampedTuple, Value};
+use std::cmp::Ordering;
+
+/// `expect_column_values_to_not_be_null` — the §3.1.1 detector.
+pub struct ExpectColumnValuesToNotBeNull {
+    column: String,
+    mostly: f64,
+}
+
+impl ExpectColumnValuesToNotBeNull {
+    /// Requires every value of `column` to be non-NULL.
+    pub fn new(column: impl Into<String>) -> Self {
+        ExpectColumnValuesToNotBeNull { column: column.into(), mostly: 1.0 }
+    }
+
+    /// Tolerates up to `1 − mostly` NULLs.
+    pub fn mostly(mut self, mostly: f64) -> Self {
+        self.mostly = mostly.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Expectation for ExpectColumnValuesToNotBeNull {
+    fn describe(&self) -> String {
+        format!("expect_column_values_to_not_be_null({})", self.column)
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        validate_rows(self.describe(), schema, rows, &self.column, self.mostly, |v| !v.is_null())
+    }
+}
+
+/// `expect_column_values_to_be_null` — the inverse check.
+pub struct ExpectColumnValuesToBeNull {
+    column: String,
+}
+
+impl ExpectColumnValuesToBeNull {
+    /// Requires every value of `column` to be NULL.
+    pub fn new(column: impl Into<String>) -> Self {
+        ExpectColumnValuesToBeNull { column: column.into() }
+    }
+}
+
+impl Expectation for ExpectColumnValuesToBeNull {
+    fn describe(&self) -> String {
+        format!("expect_column_values_to_be_null({})", self.column)
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        validate_rows(self.describe(), schema, rows, &self.column, 1.0, Value::is_null)
+    }
+}
+
+/// `expect_column_values_to_be_between` — range check. NULLs conform
+/// (GX semantics: null handling is `not_be_null`'s job).
+pub struct ExpectColumnValuesToBeBetween {
+    column: String,
+    min: Option<Value>,
+    max: Option<Value>,
+    mostly: f64,
+}
+
+impl ExpectColumnValuesToBeBetween {
+    /// Requires `min ≤ value ≤ max`; either bound may be `None`.
+    pub fn new(column: impl Into<String>, min: Option<Value>, max: Option<Value>) -> Self {
+        ExpectColumnValuesToBeBetween { column: column.into(), min, max, mostly: 1.0 }
+    }
+
+    /// Tolerates up to `1 − mostly` violations.
+    pub fn mostly(mut self, mostly: f64) -> Self {
+        self.mostly = mostly.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Expectation for ExpectColumnValuesToBeBetween {
+    fn describe(&self) -> String {
+        format!(
+            "expect_column_values_to_be_between({}, {:?}..{:?})",
+            self.column,
+            self.min.as_ref().map(ToString::to_string),
+            self.max.as_ref().map(ToString::to_string)
+        )
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let min = self.min.clone();
+        let max = self.max.clone();
+        validate_rows(self.describe(), schema, rows, &self.column, self.mostly, move |v| {
+            if v.is_null() {
+                return true;
+            }
+            let above_min = min.as_ref().is_none_or(|m| {
+                matches!(v.compare(m), Some(Ordering::Greater | Ordering::Equal))
+            });
+            let below_max = max.as_ref().is_none_or(|m| {
+                matches!(v.compare(m), Some(Ordering::Less | Ordering::Equal))
+            });
+            above_min && below_max
+        })
+    }
+}
+
+/// `expect_column_values_to_be_in_set` — domain membership. NULLs
+/// conform.
+pub struct ExpectColumnValuesToBeInSet {
+    column: String,
+    set: Vec<Value>,
+}
+
+impl ExpectColumnValuesToBeInSet {
+    /// Requires every value to be a member of `set`.
+    pub fn new(column: impl Into<String>, set: Vec<Value>) -> Self {
+        ExpectColumnValuesToBeInSet { column: column.into(), set }
+    }
+}
+
+impl Expectation for ExpectColumnValuesToBeInSet {
+    fn describe(&self) -> String {
+        format!("expect_column_values_to_be_in_set({}, {} values)", self.column, self.set.len())
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let set = self.set.clone();
+        validate_rows(self.describe(), schema, rows, &self.column, 1.0, move |v| {
+            v.is_null() || set.iter().any(|s| v.compare(s) == Some(Ordering::Equal))
+        })
+    }
+}
+
+/// `expect_column_values_to_match_regex` — the §3.1.2 precision
+/// detector. Matching is anchored at the start (Python `re.match`
+/// semantics, as in GX). Non-string values are rendered with their
+/// display form; NULLs conform.
+pub struct ExpectColumnValuesToMatchRegex {
+    column: String,
+    regex: Regex,
+}
+
+impl ExpectColumnValuesToMatchRegex {
+    /// Requires every value to match `pattern`.
+    pub fn new(column: impl Into<String>, pattern: &str) -> Result<Self> {
+        Ok(ExpectColumnValuesToMatchRegex { column: column.into(), regex: Regex::new(pattern)? })
+    }
+}
+
+impl Expectation for ExpectColumnValuesToMatchRegex {
+    fn describe(&self) -> String {
+        format!("expect_column_values_to_match_regex({}, {})", self.column, self.regex.pattern())
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let regex = self.regex.clone();
+        validate_rows(self.describe(), schema, rows, &self.column, 1.0, move |v| {
+            if v.is_null() {
+                return true;
+            }
+            let text = v.to_string();
+            regex.matches_start(&text)
+        })
+    }
+}
+
+/// `expect_column_value_lengths_to_be_between` — string length bounds.
+/// NULLs conform; non-strings violate.
+pub struct ExpectColumnValueLengthsToBeBetween {
+    column: String,
+    min: usize,
+    max: usize,
+}
+
+impl ExpectColumnValueLengthsToBeBetween {
+    /// Requires `min ≤ len(value) ≤ max` (in chars).
+    pub fn new(column: impl Into<String>, min: usize, max: usize) -> Self {
+        ExpectColumnValueLengthsToBeBetween { column: column.into(), min, max }
+    }
+}
+
+impl Expectation for ExpectColumnValueLengthsToBeBetween {
+    fn describe(&self) -> String {
+        format!(
+            "expect_column_value_lengths_to_be_between({}, {}..{})",
+            self.column, self.min, self.max
+        )
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let (min, max) = (self.min, self.max);
+        validate_rows(self.describe(), schema, rows, &self.column, 1.0, move |v| match v {
+            Value::Null => true,
+            Value::Str(s) => {
+                let n = s.chars().count();
+                n >= min && n <= max
+            }
+            _ => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icewafl_types::{DataType, Timestamp, Tuple};
+
+    fn schema() -> Schema {
+        Schema::from_pairs([
+            ("Time", DataType::Timestamp),
+            ("x", DataType::Float),
+            ("s", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn row(id: u64, x: Value, s: Value) -> StampedTuple {
+        StampedTuple::new(
+            id,
+            Timestamp(id as i64),
+            Tuple::new(vec![Value::Timestamp(Timestamp(id as i64)), x, s]),
+        )
+    }
+
+    fn rows() -> Vec<StampedTuple> {
+        vec![
+            row(0, Value::Float(1.0), Value::Str("walk".into())),
+            row(1, Value::Null, Value::Str("run".into())),
+            row(2, Value::Float(3.5), Value::Null),
+            row(3, Value::Float(-2.0), Value::Str("swim".into())),
+        ]
+    }
+
+    #[test]
+    fn not_be_null_finds_nulls() {
+        let e = ExpectColumnValuesToNotBeNull::new("x");
+        let r = e.validate(&schema(), &rows()).unwrap();
+        assert!(!r.success);
+        assert_eq!(r.unexpected_ids, vec![1]);
+        assert_eq!(r.element_count, 4);
+    }
+
+    #[test]
+    fn not_be_null_with_mostly() {
+        let e = ExpectColumnValuesToNotBeNull::new("x").mostly(0.75);
+        let r = e.validate(&schema(), &rows()).unwrap();
+        assert!(r.success, "1 of 4 null tolerated at mostly=0.75");
+    }
+
+    #[test]
+    fn be_null_is_inverse() {
+        let e = ExpectColumnValuesToBeNull::new("x");
+        let r = e.validate(&schema(), &rows()).unwrap();
+        assert_eq!(r.unexpected_ids, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn between_bounds() {
+        let e = ExpectColumnValuesToBeBetween::new(
+            "x",
+            Some(Value::Float(0.0)),
+            Some(Value::Float(2.0)),
+        );
+        let r = e.validate(&schema(), &rows()).unwrap();
+        // 3.5 too big, −2 too small; NULL conforms.
+        assert_eq!(r.unexpected_ids, vec![2, 3]);
+        let open = ExpectColumnValuesToBeBetween::new("x", Some(Value::Float(0.0)), None);
+        let r = open.validate(&schema(), &rows()).unwrap();
+        assert_eq!(r.unexpected_ids, vec![3]);
+    }
+
+    #[test]
+    fn in_set() {
+        let e = ExpectColumnValuesToBeInSet::new(
+            "s",
+            vec![Value::Str("walk".into()), Value::Str("run".into())],
+        );
+        let r = e.validate(&schema(), &rows()).unwrap();
+        assert_eq!(r.unexpected_ids, vec![3], "swim not in set; NULL conforms");
+    }
+
+    #[test]
+    fn match_regex_anchored_at_start() {
+        let e = ExpectColumnValuesToMatchRegex::new("s", "[a-z]+$").unwrap();
+        let r = e.validate(&schema(), &rows()).unwrap();
+        assert!(r.success, "all non-null activity strings are lowercase words");
+        let digits = ExpectColumnValuesToMatchRegex::new("s", r"\d").unwrap();
+        let r = digits.validate(&schema(), &rows()).unwrap();
+        assert_eq!(r.unexpected_count, 3);
+    }
+
+    #[test]
+    fn match_regex_on_numeric_column_uses_display() {
+        // The paper's precision check runs against a float column.
+        let e = ExpectColumnValuesToMatchRegex::new("x", r"^-?\d+(\.\d{1,3})?$").unwrap();
+        let r = e.validate(&schema(), &rows()).unwrap();
+        assert!(r.success);
+        let strict = ExpectColumnValuesToMatchRegex::new("x", r"^\d+$").unwrap();
+        let r = strict.validate(&schema(), &rows()).unwrap();
+        // 1.0 renders as `1` (conforms); 3.5 and −2 do not.
+        assert_eq!(r.unexpected_ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn bad_regex_is_rejected() {
+        assert!(ExpectColumnValuesToMatchRegex::new("s", "(").is_err());
+    }
+
+    #[test]
+    fn value_lengths() {
+        let e = ExpectColumnValueLengthsToBeBetween::new("s", 4, 10);
+        let r = e.validate(&schema(), &rows()).unwrap();
+        assert_eq!(r.unexpected_ids, vec![1], "`run` is too short");
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let e = ExpectColumnValuesToNotBeNull::new("nope");
+        assert!(e.validate(&schema(), &rows()).is_err());
+    }
+
+    #[test]
+    fn empty_batch_succeeds() {
+        let e = ExpectColumnValuesToNotBeNull::new("x");
+        let r = e.validate(&schema(), &[]).unwrap();
+        assert!(r.success);
+        assert_eq!(r.element_count, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! The expectation catalogue.
+//!
+//! Includes every expectation the paper's experiments use —
+//! `not_be_null` (§3.1.1), `pair_values_a_to_be_greater_than_b`,
+//! `match_regex`, `multicolumn_sum_to_equal` (§3.1.2), and
+//! `values_to_be_increasing` (§3.1.3) — plus the common rest of the GX
+//! core set.
+
+mod aggregate;
+mod column;
+mod multi;
+mod table;
+
+pub use aggregate::{
+    ExpectColumnMeanToBeBetween, ExpectColumnStdevToBeBetween, ExpectColumnValuesToBeUnique,
+};
+pub use column::{
+    ExpectColumnValueLengthsToBeBetween, ExpectColumnValuesToBeBetween,
+    ExpectColumnValuesToBeInSet, ExpectColumnValuesToBeNull, ExpectColumnValuesToMatchRegex,
+    ExpectColumnValuesToNotBeNull,
+};
+pub use multi::{
+    ExpectColumnPairValuesAToBeGreaterThanB, ExpectColumnValuesToBeIncreasing,
+    ExpectMulticolumnSumToEqual,
+};
+pub use table::{
+    ExpectColumnMedianToBeBetween, ExpectColumnQuantileToBeBetween,
+    ExpectCompoundColumnsToBeUnique, ExpectTableRowCountToBeBetween,
+};

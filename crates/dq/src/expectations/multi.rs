@@ -1,0 +1,292 @@
+//! Multi-column and order-sensitive expectations.
+
+use crate::expectation::{Expectation, ExpectationResult};
+use icewafl_types::{Result, Schema, StampedTuple, Value};
+use std::cmp::Ordering;
+
+/// `expect_column_pair_values_a_to_be_greater_than_b` — the §3.1.2
+/// detector for the km→cm unit error ("Steps < Distance after the
+/// conversion"). Pairs with a NULL or incomparable side conform.
+pub struct ExpectColumnPairValuesAToBeGreaterThanB {
+    column_a: String,
+    column_b: String,
+    or_equal: bool,
+}
+
+impl ExpectColumnPairValuesAToBeGreaterThanB {
+    /// Requires `a > b` per row.
+    pub fn new(column_a: impl Into<String>, column_b: impl Into<String>) -> Self {
+        ExpectColumnPairValuesAToBeGreaterThanB {
+            column_a: column_a.into(),
+            column_b: column_b.into(),
+            or_equal: false,
+        }
+    }
+
+    /// Relaxes to `a ≥ b`.
+    pub fn or_equal(mut self) -> Self {
+        self.or_equal = true;
+        self
+    }
+}
+
+impl Expectation for ExpectColumnPairValuesAToBeGreaterThanB {
+    fn describe(&self) -> String {
+        format!(
+            "expect_column_pair_values_a_to_be_greater_than_b({}, {})",
+            self.column_a, self.column_b
+        )
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let a_idx = schema.require(&self.column_a)?;
+        let b_idx = schema.require(&self.column_b)?;
+        let mut unexpected = Vec::new();
+        for row in rows {
+            let a = row.tuple.get(a_idx).unwrap_or(&Value::Null);
+            let b = row.tuple.get(b_idx).unwrap_or(&Value::Null);
+            let conforms = match a.compare(b) {
+                Some(Ordering::Greater) => true,
+                Some(Ordering::Equal) => self.or_equal,
+                Some(Ordering::Less) => false,
+                None => true, // NULL / incomparable: undefined, conforms
+            };
+            if !conforms {
+                unexpected.push(row.id);
+            }
+        }
+        Ok(ExpectationResult::row_level(self.describe(), rows.len(), unexpected, 1.0))
+    }
+}
+
+/// `expect_multicolumn_sum_to_equal` — the §3.1.2 detector for
+/// "BPM = 0 while the tracker was clearly worn": the sum of
+/// ActiveMinutes + Distance + Steps must be 0 whenever BPM is 0.
+///
+/// Matching GX, the expectation checks `Σ columns == total` per row;
+/// rows with any NULL in the summed columns conform.
+pub struct ExpectMulticolumnSumToEqual {
+    columns: Vec<String>,
+    total: f64,
+}
+
+impl ExpectMulticolumnSumToEqual {
+    /// Requires the per-row sum over `columns` to equal `total`.
+    pub fn new(columns: Vec<String>, total: f64) -> Self {
+        ExpectMulticolumnSumToEqual { columns, total }
+    }
+}
+
+impl Expectation for ExpectMulticolumnSumToEqual {
+    fn describe(&self) -> String {
+        format!(
+            "expect_multicolumn_sum_to_equal([{}], {})",
+            self.columns.join(", "),
+            self.total
+        )
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let idxs: Vec<usize> =
+            self.columns.iter().map(|c| schema.require(c)).collect::<Result<_>>()?;
+        let mut unexpected = Vec::new();
+        for row in rows {
+            let mut sum = 0.0;
+            let mut has_null = false;
+            for &i in &idxs {
+                match row.tuple.get(i).unwrap_or(&Value::Null).as_f64() {
+                    Some(x) => sum += x,
+                    None => {
+                        has_null = true;
+                        break;
+                    }
+                }
+            }
+            if !has_null && (sum - self.total).abs() > 1e-9 {
+                unexpected.push(row.id);
+            }
+        }
+        Ok(ExpectationResult::row_level(self.describe(), rows.len(), unexpected, 1.0))
+    }
+}
+
+/// `expect_column_values_to_be_increasing` — the §3.1.3 detector for
+/// delayed tuples: a late tuple breaks the stream's increasing
+/// timestamp order.
+///
+/// A row is unexpected if its value is smaller than (or, with
+/// `strictly`, not larger than) the running maximum of the previous
+/// non-NULL values — matching how a monotonicity check flags the
+/// out-of-place element rather than its neighbour.
+pub struct ExpectColumnValuesToBeIncreasing {
+    column: String,
+    strictly: bool,
+}
+
+impl ExpectColumnValuesToBeIncreasing {
+    /// Requires non-decreasing values in batch order.
+    pub fn new(column: impl Into<String>) -> Self {
+        ExpectColumnValuesToBeIncreasing { column: column.into(), strictly: false }
+    }
+
+    /// Requires strictly increasing values.
+    pub fn strictly(mut self) -> Self {
+        self.strictly = true;
+        self
+    }
+}
+
+impl Expectation for ExpectColumnValuesToBeIncreasing {
+    fn describe(&self) -> String {
+        format!(
+            "expect_column_values_to_be_increasing({}{})",
+            self.column,
+            if self.strictly { ", strictly" } else { "" }
+        )
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let idx = schema.require(&self.column)?;
+        let mut unexpected = Vec::new();
+        let mut running_max: Option<&Value> = None;
+        for row in rows {
+            let v = row.tuple.get(idx).unwrap_or(&Value::Null);
+            if v.is_null() {
+                continue;
+            }
+            if let Some(max) = running_max {
+                let ok = match v.compare(max) {
+                    Some(Ordering::Greater) => true,
+                    Some(Ordering::Equal) => !self.strictly,
+                    Some(Ordering::Less) => false,
+                    None => true,
+                };
+                if !ok {
+                    unexpected.push(row.id);
+                    // A late tuple does not lower the running max.
+                    continue;
+                }
+            }
+            running_max = Some(v);
+        }
+        Ok(ExpectationResult::row_level(self.describe(), rows.len(), unexpected, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icewafl_types::{DataType, Timestamp, Tuple};
+
+    fn schema() -> Schema {
+        Schema::from_pairs([
+            ("Time", DataType::Timestamp),
+            ("Steps", DataType::Int),
+            ("Distance", DataType::Float),
+            ("Active", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn row(id: u64, ts: i64, steps: Value, dist: Value, active: Value) -> StampedTuple {
+        StampedTuple::new(
+            id,
+            Timestamp(ts),
+            Tuple::new(vec![Value::Timestamp(Timestamp(ts)), steps, dist, active]),
+        )
+    }
+
+    #[test]
+    fn pair_greater_flags_conversion_errors() {
+        let rows = vec![
+            // Steps 100 > Distance 1.2 km: fine.
+            row(0, 0, Value::Int(100), Value::Float(1.2), Value::Int(5)),
+            // After km→cm: Distance 120000 > Steps — flagged.
+            row(1, 1, Value::Int(100), Value::Float(120_000.0), Value::Int(5)),
+            // NULL distance conforms.
+            row(2, 2, Value::Int(100), Value::Null, Value::Int(5)),
+        ];
+        let e = ExpectColumnPairValuesAToBeGreaterThanB::new("Steps", "Distance");
+        let r = e.validate(&schema(), &rows).unwrap();
+        assert_eq!(r.unexpected_ids, vec![1]);
+    }
+
+    #[test]
+    fn pair_greater_equal_boundary() {
+        let rows = vec![row(0, 0, Value::Int(5), Value::Float(5.0), Value::Int(0))];
+        let strict = ExpectColumnPairValuesAToBeGreaterThanB::new("Steps", "Distance");
+        assert_eq!(strict.validate(&schema(), &rows).unwrap().unexpected_count, 1);
+        let relaxed =
+            ExpectColumnPairValuesAToBeGreaterThanB::new("Steps", "Distance").or_equal();
+        assert_eq!(relaxed.validate(&schema(), &rows).unwrap().unexpected_count, 0);
+    }
+
+    #[test]
+    fn multicolumn_sum_detects_impossible_zero_bpm() {
+        // Using Steps+Distance+Active == 0 as the "not worn" criterion.
+        let rows = vec![
+            row(0, 0, Value::Int(0), Value::Float(0.0), Value::Int(0)), // truly idle
+            row(1, 1, Value::Int(500), Value::Float(0.4), Value::Int(10)), // active → flagged
+            row(2, 2, Value::Null, Value::Float(1.0), Value::Int(3)),   // NULL conforms
+        ];
+        let e = ExpectMulticolumnSumToEqual::new(
+            vec!["Steps".into(), "Distance".into(), "Active".into()],
+            0.0,
+        );
+        let r = e.validate(&schema(), &rows).unwrap();
+        assert_eq!(r.unexpected_ids, vec![1]);
+    }
+
+    #[test]
+    fn increasing_flags_late_tuples_only() {
+        // Timestamps 1, 2, 5, 3, 4, 6 — with running-max semantics the
+        // late tuples are 3 and 4 (both below the max 5).
+        let mk = |id: u64, ts: i64| {
+            row(id, ts, Value::Int(0), Value::Float(0.0), Value::Int(0))
+        };
+        let rows: Vec<StampedTuple> =
+            [(0, 1), (1, 2), (2, 5), (3, 3), (4, 4), (5, 6)].map(|(i, t)| mk(i, t)).into();
+        let e = ExpectColumnValuesToBeIncreasing::new("Time");
+        let r = e.validate(&schema(), &rows).unwrap();
+        assert_eq!(r.unexpected_ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn increasing_equal_values() {
+        let mk = |id: u64, ts: i64| {
+            row(id, ts, Value::Int(0), Value::Float(0.0), Value::Int(0))
+        };
+        let rows: Vec<StampedTuple> = [(0, 1), (1, 1), (2, 2)].map(|(i, t)| mk(i, t)).into();
+        let non_strict = ExpectColumnValuesToBeIncreasing::new("Time");
+        assert!(non_strict.validate(&schema(), &rows).unwrap().success);
+        let strict = ExpectColumnValuesToBeIncreasing::new("Time").strictly();
+        assert_eq!(strict.validate(&schema(), &rows).unwrap().unexpected_ids, vec![1]);
+    }
+
+    #[test]
+    fn increasing_skips_nulls() {
+        let rows = vec![
+            row(0, 1, Value::Int(0), Value::Float(0.0), Value::Int(0)),
+            StampedTuple::new(
+                1,
+                Timestamp(2),
+                Tuple::new(vec![Value::Null, Value::Int(0), Value::Float(0.0), Value::Int(0)]),
+            ),
+            row(2, 3, Value::Int(0), Value::Float(0.0), Value::Int(0)),
+        ];
+        let e = ExpectColumnValuesToBeIncreasing::new("Time");
+        assert!(e.validate(&schema(), &rows).unwrap().success);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let rows: Vec<StampedTuple> = vec![];
+        assert!(ExpectColumnPairValuesAToBeGreaterThanB::new("a", "Steps")
+            .validate(&schema(), &rows)
+            .is_err());
+        assert!(ExpectMulticolumnSumToEqual::new(vec!["a".into()], 0.0)
+            .validate(&schema(), &rows)
+            .is_err());
+        assert!(ExpectColumnValuesToBeIncreasing::new("a").validate(&schema(), &rows).is_err());
+    }
+}

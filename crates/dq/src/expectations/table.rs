@@ -1,0 +1,265 @@
+//! Table-level and order-statistic expectations.
+
+use crate::expectation::{Expectation, ExpectationResult};
+use icewafl_types::{Result, Schema, StampedTuple, Value};
+use std::collections::HashMap;
+
+/// `expect_table_row_count_to_be_between` — detects dropped and
+/// duplicated tuples at the batch level (a stream that should carry one
+/// tuple per minute has a predictable count per window).
+pub struct ExpectTableRowCountToBeBetween {
+    min: usize,
+    max: usize,
+}
+
+impl ExpectTableRowCountToBeBetween {
+    /// Requires `min ≤ |batch| ≤ max`.
+    pub fn new(min: usize, max: usize) -> Self {
+        ExpectTableRowCountToBeBetween { min, max }
+    }
+}
+
+impl Expectation for ExpectTableRowCountToBeBetween {
+    fn describe(&self) -> String {
+        format!("expect_table_row_count_to_be_between({}..{})", self.min, self.max)
+    }
+
+    fn validate(&self, _schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let n = rows.len();
+        Ok(ExpectationResult::aggregate(
+            self.describe(),
+            n,
+            n as f64,
+            n >= self.min && n <= self.max,
+        ))
+    }
+}
+
+/// `expect_column_median_to_be_between` — robust central-tendency check
+/// (immune to the outliers a mean check would chase).
+pub struct ExpectColumnMedianToBeBetween {
+    column: String,
+    min: f64,
+    max: f64,
+}
+
+impl ExpectColumnMedianToBeBetween {
+    /// Requires `min ≤ median(column) ≤ max`.
+    pub fn new(column: impl Into<String>, min: f64, max: f64) -> Self {
+        ExpectColumnMedianToBeBetween { column: column.into(), min, max }
+    }
+}
+
+impl Expectation for ExpectColumnMedianToBeBetween {
+    fn describe(&self) -> String {
+        format!("expect_column_median_to_be_between({}, {}..{})", self.column, self.min, self.max)
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let q = ExpectColumnQuantileToBeBetween::new(&self.column, 0.5, self.min, self.max);
+        let mut r = q.validate(schema, rows)?;
+        r.expectation = self.describe();
+        Ok(r)
+    }
+}
+
+/// `expect_column_quantile_values_to_be_between` — a single quantile
+/// with bounds. NULLs are excluded; an empty column fails.
+pub struct ExpectColumnQuantileToBeBetween {
+    column: String,
+    q: f64,
+    min: f64,
+    max: f64,
+}
+
+impl ExpectColumnQuantileToBeBetween {
+    /// Requires `min ≤ quantile_q(column) ≤ max` with `q ∈ [0, 1]`.
+    pub fn new(column: impl Into<String>, q: f64, min: f64, max: f64) -> Self {
+        ExpectColumnQuantileToBeBetween {
+            column: column.into(),
+            q: q.clamp(0.0, 1.0),
+            min,
+            max,
+        }
+    }
+}
+
+impl Expectation for ExpectColumnQuantileToBeBetween {
+    fn describe(&self) -> String {
+        format!(
+            "expect_column_quantile_values_to_be_between({}, q{}, {}..{})",
+            self.column, self.q, self.min, self.max
+        )
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let idx = schema.require(&self.column)?;
+        let mut values: Vec<f64> =
+            rows.iter().filter_map(|r| r.tuple.get(idx).and_then(Value::as_f64)).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let observed = if values.is_empty() {
+            f64::NAN
+        } else {
+            let rank = self.q * (values.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                values[lo]
+            } else {
+                values[lo] + (rank - lo as f64) * (values[hi] - values[lo])
+            }
+        };
+        let success = !values.is_empty() && observed >= self.min && observed <= self.max;
+        Ok(ExpectationResult::aggregate(self.describe(), rows.len(), observed, success))
+    }
+}
+
+/// `expect_compound_columns_to_be_unique` — a multi-column key must not
+/// repeat. Detects exact duplicates from the duplicate polluter and the
+/// overlapping-sub-stream merge (§2.2.2) even when no single column is
+/// a key. Rows with a NULL in any key column conform.
+pub struct ExpectCompoundColumnsToBeUnique {
+    columns: Vec<String>,
+}
+
+impl ExpectCompoundColumnsToBeUnique {
+    /// Requires the tuple of `columns` values to be distinct per row.
+    pub fn new(columns: Vec<String>) -> Self {
+        ExpectCompoundColumnsToBeUnique { columns }
+    }
+}
+
+impl Expectation for ExpectCompoundColumnsToBeUnique {
+    fn describe(&self) -> String {
+        format!("expect_compound_columns_to_be_unique([{}])", self.columns.join(", "))
+    }
+
+    fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
+        let idxs: Vec<usize> =
+            self.columns.iter().map(|c| schema.require(c)).collect::<Result<_>>()?;
+        let mut seen: HashMap<String, bool> = HashMap::new();
+        let mut unexpected = Vec::new();
+        let mut key = String::new();
+        'rows: for row in rows {
+            key.clear();
+            for &i in &idxs {
+                let v = row.tuple.get(i).unwrap_or(&Value::Null);
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push_str(v.type_name());
+                key.push(':');
+                key.push_str(&v.to_string());
+                key.push('\u{1f}');
+            }
+            if seen.insert(key.clone(), true).is_some() {
+                unexpected.push(row.id);
+            }
+        }
+        Ok(ExpectationResult::row_level(self.describe(), rows.len(), unexpected, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icewafl_types::{DataType, Timestamp, Tuple};
+
+    fn schema() -> Schema {
+        Schema::from_pairs([
+            ("Time", DataType::Timestamp),
+            ("x", DataType::Float),
+            ("s", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn row(id: u64, x: Value, s: &str) -> StampedTuple {
+        StampedTuple::new(
+            id,
+            Timestamp(id as i64),
+            Tuple::new(vec![Value::Timestamp(Timestamp(id as i64)), x, Value::Str(s.into())]),
+        )
+    }
+
+    fn rows() -> Vec<StampedTuple> {
+        (0..9).map(|i| row(i, Value::Float(i as f64), "a")).collect()
+    }
+
+    #[test]
+    fn row_count_bounds() {
+        let ok = ExpectTableRowCountToBeBetween::new(5, 10);
+        let r = ok.validate(&schema(), &rows()).unwrap();
+        assert!(r.success);
+        assert_eq!(r.observed_value, Some(9.0));
+        assert!(!ExpectTableRowCountToBeBetween::new(10, 20)
+            .validate(&schema(), &rows())
+            .unwrap()
+            .success);
+    }
+
+    #[test]
+    fn median_and_quantiles() {
+        // x = 0..8 → median 4, q0.25 = 2.
+        let med = ExpectColumnMedianToBeBetween::new("x", 3.5, 4.5);
+        let r = med.validate(&schema(), &rows()).unwrap();
+        assert!(r.success);
+        assert_eq!(r.observed_value, Some(4.0));
+        let q25 = ExpectColumnQuantileToBeBetween::new("x", 0.25, 1.9, 2.1);
+        assert!(q25.validate(&schema(), &rows()).unwrap().success);
+        let q100 = ExpectColumnQuantileToBeBetween::new("x", 1.0, 8.0, 8.0);
+        assert!(q100.validate(&schema(), &rows()).unwrap().success);
+    }
+
+    #[test]
+    fn median_robust_to_one_outlier_where_mean_is_not() {
+        let mut rs = rows();
+        rs[0].tuple.replace(1, Value::Float(1e9));
+        let med = ExpectColumnMedianToBeBetween::new("x", 3.5, 5.5);
+        assert!(med.validate(&schema(), &rs).unwrap().success, "median barely moves");
+        let mean = crate::expectations::ExpectColumnMeanToBeBetween::new("x", 0.0, 10.0);
+        assert!(!mean.validate(&schema(), &rs).unwrap().success, "mean explodes");
+    }
+
+    #[test]
+    fn quantile_of_empty_fails() {
+        let q = ExpectColumnQuantileToBeBetween::new("x", 0.5, 0.0, 1.0);
+        assert!(!q.validate(&schema(), &[]).unwrap().success);
+    }
+
+    #[test]
+    fn compound_unique_detects_duplicate_pairs() {
+        let rs = vec![
+            row(0, Value::Float(1.0), "a"),
+            row(1, Value::Float(1.0), "b"), // same x, different s: fine
+            row(2, Value::Float(1.0), "a"), // duplicate (x, s) pair
+            row(3, Value::Null, "a"),       // NULL in key: conforms
+            row(4, Value::Null, "a"),
+        ];
+        let e = ExpectCompoundColumnsToBeUnique::new(vec!["x".into(), "s".into()]);
+        let r = e.validate(&schema(), &rs).unwrap();
+        assert_eq!(r.unexpected_ids, vec![2]);
+    }
+
+    #[test]
+    fn compound_unique_key_separator_prevents_collisions() {
+        // ("ab", "c") vs ("a", "bc") must be distinct keys.
+        let rs = vec![row(0, Value::Float(1.0), "ab"), row(1, Value::Float(1.0), "ab")];
+        let e = ExpectCompoundColumnsToBeUnique::new(vec!["s".into(), "s".into()]);
+        let r = e.validate(&schema(), &rs).unwrap();
+        assert_eq!(r.unexpected_count, 1);
+        let distinct = vec![row(0, Value::Float(1.0), "ab"), row(1, Value::Float(2.0), "ab")];
+        let e2 = ExpectCompoundColumnsToBeUnique::new(vec!["x".into(), "s".into()]);
+        assert!(e2.validate(&schema(), &distinct).unwrap().success);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        assert!(ExpectColumnQuantileToBeBetween::new("nope", 0.5, 0.0, 1.0)
+            .validate(&schema(), &[])
+            .is_err());
+        assert!(ExpectCompoundColumnsToBeUnique::new(vec!["nope".into()])
+            .validate(&schema(), &[])
+            .is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! # icewafl-dq
+//!
+//! An expectation-based data-quality validation engine — the Great
+//! Expectations (GX) substitute of the Icewafl reproduction.
+//!
+//! Experiment 1 of the paper (§3.1) validates polluted streams with GX
+//! expectations; this crate provides the same semantics:
+//!
+//! * an [`Expectation`] trait with row-level (`unexpected_count`,
+//!   violating tuple ids) and aggregate (`observed_value`) results;
+//! * the full set of expectations the paper uses —
+//!   [`ExpectColumnValuesToNotBeNull`](expectations::ExpectColumnValuesToNotBeNull),
+//!   [`ExpectColumnPairValuesAToBeGreaterThanB`](expectations::ExpectColumnPairValuesAToBeGreaterThanB),
+//!   [`ExpectColumnValuesToMatchRegex`](expectations::ExpectColumnValuesToMatchRegex),
+//!   [`ExpectMulticolumnSumToEqual`](expectations::ExpectMulticolumnSumToEqual),
+//!   [`ExpectColumnValuesToBeIncreasing`](expectations::ExpectColumnValuesToBeIncreasing) —
+//!   plus the common rest of the GX core set;
+//! * [`ExpectationSuite`]s and [`ValidationReport`]s;
+//! * a from-scratch [regular-expression engine](regex) backing
+//!   `match_regex`;
+//! * a column [profiler](profiler) that suggests a suite from a clean
+//!   sample.
+//!
+//! ```
+//! use icewafl_dq::prelude::*;
+//! use icewafl_types::{DataType, Schema, StampedTuple, Timestamp, Tuple, Value};
+//!
+//! let schema = Schema::from_pairs([
+//!     ("Time", DataType::Timestamp),
+//!     ("Distance", DataType::Float),
+//! ]).unwrap();
+//! let rows = vec![StampedTuple::new(0, Timestamp(0), Tuple::new(vec![
+//!     Value::Timestamp(Timestamp(0)), Value::Null,
+//! ]))];
+//!
+//! let suite = ExpectationSuite::new("demo")
+//!     .with(ExpectColumnValuesToNotBeNull::new("Distance"));
+//! let report = suite.validate(&schema, &rows).unwrap();
+//! assert!(!report.success());
+//! assert_eq!(report.total_unexpected(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod expectation;
+pub mod expectations;
+pub mod monitor;
+pub mod profiler;
+pub mod regex;
+pub mod suite;
+
+pub use config::{ExpectationConfig, SuiteConfig};
+pub use expectation::{BoxExpectation, Expectation, ExpectationResult};
+pub use monitor::{DqMonitorOperator, WindowedReport};
+pub use profiler::{profile, suggest_suite, ColumnProfile};
+pub use regex::Regex;
+pub use suite::{ExpectationSuite, ValidationReport};
+
+/// Everything needed for typical validation tasks.
+pub mod prelude {
+    pub use crate::config::{ExpectationConfig, SuiteConfig};
+    pub use crate::expectation::{BoxExpectation, Expectation, ExpectationResult};
+    pub use crate::expectations::*;
+    pub use crate::monitor::{DqMonitorOperator, WindowedReport};
+    pub use crate::profiler::{profile, suggest_suite, ColumnProfile};
+    pub use crate::regex::Regex;
+    pub use crate::suite::{ExpectationSuite, ValidationReport};
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::regex::Regex;
+    use proptest::prelude::*;
+
+    /// A reference matcher for a tiny regex subset (literal strings
+    /// only) to cross-check the engine's search semantics.
+    fn naive_contains(haystack: &str, needle: &str) -> bool {
+        haystack.contains(needle)
+    }
+
+    proptest! {
+        /// On literal-only patterns, the engine agrees with substring
+        /// search.
+        #[test]
+        fn literal_patterns_agree_with_contains(
+            needle in "[a-z]{0,6}",
+            haystack in "[a-z]{0,24}",
+        ) {
+            let re = Regex::new(&needle).unwrap();
+            prop_assert_eq!(re.is_match(&haystack), naive_contains(&haystack, &needle));
+        }
+
+        /// Fully anchored literal patterns agree with equality.
+        #[test]
+        fn anchored_literals_agree_with_equality(
+            needle in "[a-z]{0,6}",
+            haystack in "[a-z]{0,8}",
+        ) {
+            let re = Regex::new(&format!("^{needle}$")).unwrap();
+            prop_assert_eq!(re.is_match(&haystack), haystack == needle);
+        }
+
+        /// `x*` always matches; `x+` matches iff an `x` is present.
+        #[test]
+        fn star_and_plus_semantics(haystack in "[a-c]{0,16}") {
+            prop_assert!(Regex::new("a*").unwrap().is_match(&haystack));
+            prop_assert_eq!(
+                Regex::new("a+").unwrap().is_match(&haystack),
+                haystack.contains('a')
+            );
+        }
+
+        /// A `{n}` counted repetition of a literal agrees with substring
+        /// search of the repeated literal.
+        #[test]
+        fn counted_repetition_agrees(haystack in "[ab]{0,16}", n in 1usize..5) {
+            let re = Regex::new(&format!("a{{{n}}}")).unwrap();
+            let needle = "a".repeat(n);
+            prop_assert_eq!(re.is_match(&haystack), haystack.contains(&needle));
+        }
+
+        /// The digit-precision pattern of §3.1.2 accepts exactly the
+        /// numbers with ≤ 3 decimals.
+        #[test]
+        fn precision_pattern_classifies_floats(int_part in 0u32..10_000, frac_digits in 0usize..6) {
+            let text = if frac_digits == 0 {
+                int_part.to_string()
+            } else {
+                format!("{int_part}.{}", "7".repeat(frac_digits))
+            };
+            let re = Regex::new(r"^\d+(\.\d{1,3})?$").unwrap();
+            prop_assert_eq!(re.matches_full(&text), frac_digits <= 3);
+        }
+    }
+}

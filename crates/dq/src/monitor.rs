@@ -1,0 +1,180 @@
+//! Continuous data-quality monitoring over a stream.
+//!
+//! The paper's introduction motivates Icewafl with DQ tools that
+//! *monitor* streams; this module closes the loop: a stream operator
+//! that validates an [`ExpectationSuite`] over tumbling event-time
+//! windows, emitting one [`ValidationReport`] per window as the
+//! watermark passes it. Combined with a pollution pipeline it answers
+//! "when did the stream go bad, and how badly?" online.
+
+use crate::suite::{ExpectationSuite, ValidationReport};
+use icewafl_stream::window::WindowPane;
+use icewafl_stream::{Collector, Operator, TumblingWindow};
+use icewafl_types::{Duration, Schema, StampedTuple, Timestamp};
+
+/// A per-window validation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedReport {
+    /// Inclusive window start.
+    pub start: Timestamp,
+    /// Exclusive window end.
+    pub end: Timestamp,
+    /// The suite's results for this window's rows.
+    pub report: ValidationReport,
+}
+
+/// Stream operator: groups tuples into tumbling event-time windows (by
+/// `τ`) and validates each completed window against a suite.
+///
+/// Windows fire when the watermark passes their end; remaining windows
+/// fire at end of stream. Validation errors (an expectation referencing
+/// a column missing from the schema) surface as a panic at the first
+/// window rather than silently skewing results — bind-time validation
+/// belongs in the suite builder.
+pub struct DqMonitorOperator {
+    window: TumblingWindow<StampedTuple, fn(&StampedTuple) -> Timestamp>,
+    suite: ExpectationSuite,
+    schema: Schema,
+}
+
+fn tau_of(t: &StampedTuple) -> Timestamp {
+    t.tau
+}
+
+impl DqMonitorOperator {
+    /// A monitor validating `suite` over windows of `size`.
+    pub fn new(schema: Schema, suite: ExpectationSuite, size: Duration) -> Self {
+        DqMonitorOperator { window: TumblingWindow::new(size, tau_of), suite, schema }
+    }
+
+    fn validate_pane(&self, pane: WindowPane<StampedTuple>) -> WindowedReport {
+        let report = self
+            .suite
+            .validate(&self.schema, &pane.records)
+            .expect("suite must be valid for the monitored schema");
+        WindowedReport { start: pane.start, end: pane.end, report }
+    }
+}
+
+impl Operator<StampedTuple, WindowedReport> for DqMonitorOperator {
+    fn on_element(&mut self, record: StampedTuple, _out: &mut dyn Collector<WindowedReport>) {
+        // Buffered in the inner window operator; panes fire on
+        // watermarks.
+        let mut sink: Vec<WindowPane<StampedTuple>> = Vec::new();
+        self.window.on_element(record, &mut sink);
+        debug_assert!(sink.is_empty(), "tumbling windows only fire on watermarks");
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector<WindowedReport>) {
+        let mut panes: Vec<WindowPane<StampedTuple>> = Vec::new();
+        self.window.on_watermark(wm, &mut panes);
+        for pane in panes {
+            out.collect(self.validate_pane(pane));
+        }
+    }
+
+    fn on_end(&mut self, out: &mut dyn Collector<WindowedReport>) {
+        let mut panes: Vec<WindowPane<StampedTuple>> = Vec::new();
+        self.window.on_end(&mut panes);
+        for pane in panes {
+            out.collect(self.validate_pane(pane));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dq_monitor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expectations::ExpectColumnValuesToNotBeNull;
+    use icewafl_stream::prelude::*;
+    use icewafl_types::{DataType, Tuple, Value};
+
+    fn schema() -> Schema {
+        Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
+    }
+
+    fn rows(n: i64) -> Vec<StampedTuple> {
+        (0..n)
+            .map(|i| {
+                // NULL every 5th value in the second half only.
+                let x = if i >= n / 2 && i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(i as f64)
+                };
+                StampedTuple::new(
+                    i as u64,
+                    Timestamp(i * 1000),
+                    Tuple::new(vec![Value::Timestamp(Timestamp(i * 1000)), x]),
+                )
+            })
+            .collect()
+    }
+
+    fn monitor() -> DqMonitorOperator {
+        DqMonitorOperator::new(
+            schema(),
+            ExpectationSuite::new("monitor").with(ExpectColumnValuesToNotBeNull::new("x")),
+            Duration::from_seconds(10),
+        )
+    }
+
+    #[test]
+    fn emits_one_report_per_window() {
+        let reports = DataStream::from_source(
+            VecSource::new(rows(100)),
+            WatermarkStrategy::ascending(|t: &StampedTuple| t.tau),
+        )
+        .transform(monitor())
+        .collect();
+        assert_eq!(reports.len(), 10, "100 s of data in 10 s windows");
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.start, Timestamp(i as i64 * 10_000));
+            assert_eq!(r.report.element_count, 10);
+        }
+    }
+
+    #[test]
+    fn localizes_the_pollution_onset() {
+        let reports = DataStream::from_source(
+            VecSource::new(rows(100)),
+            WatermarkStrategy::ascending(|t: &StampedTuple| t.tau),
+        )
+        .transform(monitor())
+        .collect();
+        // First half clean, second half has NULLs.
+        for r in &reports[..5] {
+            assert!(r.report.success(), "clean window {r:?}");
+        }
+        for r in &reports[5..] {
+            assert!(!r.report.success(), "polluted window {:?}", r.start);
+            assert_eq!(r.report.total_unexpected(), 2, "2 of 10 per window");
+        }
+    }
+
+    #[test]
+    fn windows_fire_incrementally_with_watermarks() {
+        use icewafl_stream::stage::run_operator;
+        use icewafl_stream::StreamElement;
+        let mut elements: Vec<StreamElement<StampedTuple>> =
+            rows(20).into_iter().map(StreamElement::Record).collect();
+        // Watermark after the first window closes.
+        elements.insert(10, StreamElement::Watermark(Timestamp(9_999)));
+        elements.push(StreamElement::End);
+        let out: Vec<WindowedReport> = run_operator(monitor(), elements);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].start, Timestamp(0));
+    }
+
+    #[test]
+    fn empty_stream_produces_no_reports() {
+        let reports = DataStream::from_vec(Vec::<StampedTuple>::new())
+            .transform(monitor())
+            .collect();
+        assert!(reports.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Regex abstract syntax.
+
+/// One element of a character class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character.
+    Char(char),
+    /// An inclusive range `lo-hi`.
+    Range(char, char),
+    /// `\d` — ASCII digits.
+    Digit,
+    /// `\w` — word characters (alphanumeric plus `_`).
+    Word,
+    /// `\s` — whitespace.
+    Space,
+}
+
+impl ClassItem {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            ClassItem::Char(x) => c == *x,
+            ClassItem::Range(lo, hi) => (*lo..=*hi).contains(&c),
+            ClassItem::Digit => c.is_ascii_digit(),
+            ClassItem::Word => c.is_alphanumeric() || c == '_',
+            ClassItem::Space => c.is_whitespace(),
+        }
+    }
+}
+
+/// A character class: a set of items, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSet {
+    /// The class members.
+    pub items: Vec<ClassItem>,
+    /// Whether the class is negated (`[^…]`).
+    pub negated: bool,
+}
+
+impl ClassSet {
+    /// Whether the class accepts `c`.
+    pub fn contains(&self, c: char) -> bool {
+        let hit = self.items.iter().any(|i| i.matches(c));
+        hit != self.negated
+    }
+}
+
+/// A parsed regular expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any single character.
+    AnyChar,
+    /// A character class (also used for `\d` etc. outside brackets).
+    Class(ClassSet),
+    /// `^` — start of text.
+    StartAnchor,
+    /// `$` — end of text.
+    EndAnchor,
+    /// A sequence of nodes.
+    Concat(Vec<Ast>),
+    /// Alternation between branches.
+    Alt(Vec<Ast>),
+    /// Greedy repetition of a node: `{min, max}` with `max = None` for
+    /// unbounded.
+    Repeat {
+        /// The repeated node.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: usize,
+        /// Maximum repetitions (`None` = unbounded).
+        max: Option<usize>,
+    },
+    /// A parenthesized group (no capture semantics).
+    Group(Box<Ast>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_items_match() {
+        assert!(ClassItem::Char('a').matches('a'));
+        assert!(!ClassItem::Char('a').matches('b'));
+        assert!(ClassItem::Range('a', 'f').matches('c'));
+        assert!(!ClassItem::Range('a', 'f').matches('g'));
+        assert!(ClassItem::Digit.matches('7'));
+        assert!(!ClassItem::Digit.matches('x'));
+        assert!(ClassItem::Word.matches('_'));
+        assert!(ClassItem::Space.matches('\t'));
+    }
+
+    #[test]
+    fn negated_class() {
+        let set = ClassSet { items: vec![ClassItem::Digit], negated: true };
+        assert!(set.contains('a'));
+        assert!(!set.contains('5'));
+    }
+}

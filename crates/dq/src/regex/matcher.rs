@@ -1,0 +1,149 @@
+//! Backtracking matcher over the regex AST.
+//!
+//! The matcher is written in continuation-passing style: each node
+//! consumes input and invokes the continuation with the new position.
+//! Greedy quantifiers try the longest expansion first and backtrack
+//! through the continuation. A global step budget bounds pathological
+//! patterns.
+
+use super::ast::Ast;
+use std::cell::Cell;
+
+/// Maximum backtracking steps before the matcher gives up (treated as
+/// "no match"). Generous for validation-sized strings.
+const STEP_BUDGET: u64 = 1_000_000;
+
+/// Attempts to match `ast` at `start`; returns the end position of a
+/// match (greedy-first order) if one exists.
+pub fn match_at(ast: &Ast, chars: &[char], start: usize) -> Option<usize> {
+    let steps = Cell::new(0u64);
+    let mut result = None;
+    let m = Matcher { chars, steps: &steps };
+    m.run(ast, start, &mut |end| {
+        result = Some(end);
+        true
+    });
+    result
+}
+
+struct Matcher<'a> {
+    chars: &'a [char],
+    steps: &'a Cell<u64>,
+}
+
+impl<'a> Matcher<'a> {
+    fn budget_ok(&self) -> bool {
+        let n = self.steps.get() + 1;
+        self.steps.set(n);
+        n <= STEP_BUDGET
+    }
+
+    /// Matches `node` at `pos`; calls `k(end)` for each way the node can
+    /// match, in greedy order, stopping as soon as `k` returns `true`.
+    /// Returns whether `k` accepted.
+    fn run(&self, node: &Ast, pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+        if !self.budget_ok() {
+            return false;
+        }
+        match node {
+            Ast::Empty => k(pos),
+            Ast::Literal(c) => {
+                pos < self.chars.len() && self.chars[pos] == *c && k(pos + 1)
+            }
+            Ast::AnyChar => pos < self.chars.len() && k(pos + 1),
+            Ast::Class(set) => {
+                pos < self.chars.len() && set.contains(self.chars[pos]) && k(pos + 1)
+            }
+            Ast::StartAnchor => pos == 0 && k(pos),
+            Ast::EndAnchor => pos == self.chars.len() && k(pos),
+            Ast::Group(inner) => self.run(inner, pos, k),
+            Ast::Concat(nodes) => self.run_seq(nodes, pos, k),
+            Ast::Alt(branches) => {
+                for b in branches {
+                    if self.run(b, pos, &mut *k) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Ast::Repeat { node, min, max } => self.run_repeat(node, pos, *min, *max, 0, k),
+        }
+    }
+
+    fn run_seq(&self, nodes: &[Ast], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+        match nodes.split_first() {
+            None => k(pos),
+            Some((first, rest)) => {
+                self.run(first, pos, &mut |p| self.run_seq(rest, p, &mut *k))
+            }
+        }
+    }
+
+    fn run_repeat(
+        &self,
+        node: &Ast,
+        pos: usize,
+        min: usize,
+        max: Option<usize>,
+        count: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        if !self.budget_ok() {
+            return false;
+        }
+        // Greedy: try one more repetition first…
+        let can_repeat = max.is_none_or(|m| count < m);
+        if can_repeat {
+            let matched = self.run(node, pos, &mut |p| {
+                // Zero-width repetition would loop forever; require
+                // progress.
+                p > pos && self.run_repeat(node, p, min, max, count + 1, &mut *k)
+            });
+            if matched {
+                return true;
+            }
+        }
+        // …then fall back to stopping here if the minimum is met.
+        count >= min && k(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parser::parse;
+
+    fn end_of_match(pattern: &str, text: &str, start: usize) -> Option<usize> {
+        let ast = parse(pattern).unwrap();
+        let chars: Vec<char> = text.chars().collect();
+        match_at(&ast, &chars, start)
+    }
+
+    #[test]
+    fn greedy_order_returns_longest_first() {
+        assert_eq!(end_of_match("a*", "aaa", 0), Some(3));
+        assert_eq!(end_of_match("a?", "a", 0), Some(1));
+        assert_eq!(end_of_match("a{1,2}", "aaa", 0), Some(2));
+    }
+
+    #[test]
+    fn match_at_offsets() {
+        assert_eq!(end_of_match("b", "abc", 1), Some(2));
+        assert_eq!(end_of_match("b", "abc", 0), None);
+        assert_eq!(end_of_match("", "abc", 3), Some(3));
+    }
+
+    #[test]
+    fn backtracking_gives_back_characters() {
+        // `a*ab`: the star must back off one `a`.
+        assert_eq!(end_of_match("a*ab", "aaab", 0), Some(4));
+    }
+
+    #[test]
+    fn zero_width_repeat_terminates() {
+        // `(a?)*` could loop on zero-width matches; the progress guard
+        // stops it.
+        assert_eq!(end_of_match("(a?)*", "b", 0), Some(0));
+        assert_eq!(end_of_match("(a?)*", "aab", 0), Some(2));
+    }
+}

@@ -1,0 +1,224 @@
+//! A small regular-expression engine, written from scratch.
+//!
+//! The paper's experiment 3.1.2 detects the reduced-precision error with
+//! GX's `expect_column_values_to_match_regex`; this module provides the
+//! matching machinery without an external crate.
+//!
+//! Supported syntax: literals, `.`, escapes (`\d \D \w \W \s \S` and
+//! escaped metacharacters), character classes (`[a-z0-9_]`, negated
+//! `[^…]`, ranges), anchors `^ $`, greedy quantifiers `* + ? {n} {n,}
+//! {n,m}`, alternation `|`, and groups `(...)`.
+//!
+//! The matcher is a classic backtracking interpreter over the parsed
+//! AST. Worst-case time is exponential in pathological patterns
+//! (`(a*)*b`), which is acceptable for validation rules; a step budget
+//! guards against runaway backtracking.
+
+mod ast;
+mod matcher;
+mod parser;
+
+pub use ast::{Ast, ClassItem, ClassSet};
+
+use icewafl_types::{Error, Result};
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    ast: Ast,
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    pub fn new(pattern: &str) -> Result<Self> {
+        let ast = parser::parse(pattern)
+            .map_err(|msg| Error::config(format_args!("bad regex `{pattern}`: {msg}")))?;
+        Ok(Regex { pattern: pattern.to_string(), ast })
+    }
+
+    /// The original pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// `true` iff the pattern matches somewhere in `text` (unanchored
+    /// search, like Python's `re.search`).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        (0..=chars.len()).any(|start| matcher::match_at(&self.ast, &chars, start).is_some())
+    }
+
+    /// `true` iff the pattern matches a prefix of `text` (like Python's
+    /// `re.match`, which GX uses for `match_regex`).
+    pub fn matches_start(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        matcher::match_at(&self.ast, &chars, 0).is_some()
+    }
+
+    /// `true` iff the pattern matches all of `text`.
+    pub fn matches_full(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        matcher::match_at(&self.ast, &chars, 0) == Some(chars.len())
+    }
+
+    /// The end position (in chars) of the leftmost match starting at
+    /// position 0, if any.
+    pub fn match_prefix_len(&self, text: &str) -> Option<usize> {
+        let chars: Vec<char> = text.chars().collect();
+        matcher::match_at(&self.ast, &chars, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap()
+    }
+
+    #[test]
+    fn literals() {
+        assert!(re("abc").is_match("xxabcxx"));
+        assert!(!re("abc").is_match("abd"));
+        assert!(re("abc").matches_full("abc"));
+        assert!(!re("abc").matches_full("abcd"));
+    }
+
+    #[test]
+    fn dot_matches_any_single_char() {
+        assert!(re("a.c").is_match("abc"));
+        assert!(re("a.c").is_match("a💡c"));
+        assert!(!re("a.c").is_match("ac"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(re(r"\d+").matches_full("12345"));
+        assert!(!re(r"\d").is_match("abc"));
+        assert!(re(r"\w+").matches_full("ab_1"));
+        assert!(re(r"\s").is_match("a b"));
+        assert!(re(r"\D+").matches_full("abc"));
+        assert!(re(r"\W").is_match("a-b"));
+        assert!(re(r"\S+").matches_full("abc"));
+        assert!(re(r"a\.b").is_match("a.b"));
+        assert!(!re(r"a\.b").is_match("axb"));
+        assert!(re(r"\\").is_match("a\\b"));
+    }
+
+    #[test]
+    fn character_classes() {
+        assert!(re("[abc]+").matches_full("cab"));
+        assert!(!re("[abc]").is_match("xyz"));
+        assert!(re("[a-z0-9]+").matches_full("ab09"));
+        assert!(re("[^0-9]+").matches_full("abc"));
+        assert!(!re("[^0-9]").is_match("5"));
+        // '-' at the edges is a literal.
+        assert!(re("[-a]").is_match("-"));
+        assert!(re("[a-]").is_match("-"));
+        // Escapes inside classes.
+        assert!(re(r"[\d]+").matches_full("42"));
+        assert!(re(r"[\]]").is_match("]"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(re("^abc").is_match("abcdef"));
+        assert!(!re("^abc").is_match("xabc"));
+        assert!(re("def$").is_match("abcdef"));
+        assert!(!re("def$").is_match("defabc"));
+        assert!(re("^abc$").matches_full("abc"));
+        assert!(!re("^abc$").is_match("abcd"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(re("ab*c").is_match("ac"));
+        assert!(re("ab*c").is_match("abbbc"));
+        assert!(re("ab+c").is_match("abc"));
+        assert!(!re("ab+c").is_match("ac"));
+        assert!(re("ab?c").is_match("ac"));
+        assert!(re("ab?c").is_match("abc"));
+        assert!(!re("ab?c").is_match("abbc"));
+    }
+
+    #[test]
+    fn counted_repetition() {
+        assert!(re(r"\d{3}").matches_full("123"));
+        assert!(!re(r"^\d{3}$").is_match("12"));
+        assert!(re(r"\d{2,}").matches_full("12345"));
+        assert!(!re(r"\d{2,}").is_match("1"));
+        assert!(re(r"\d{1,3}").matches_full("12"));
+        assert!(!re(r"^\d{1,3}$").is_match("1234"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(re("cat|dog").is_match("hotdog"));
+        assert!(re("(ab)+").matches_full("ababab"));
+        assert!(!re("^(ab)+$").is_match("aba"));
+        assert!(re("a(b|c)d").is_match("acd"));
+        assert!(re("(a|b)(c|d)").matches_full("bd"));
+    }
+
+    #[test]
+    fn calories_precision_pattern() {
+        // The §3.1.2 precision check: valid CaloriesBurned values have at
+        // most 3 decimal places.
+        let valid = re(r"^\d+(\.\d{1,3})?$");
+        assert!(valid.matches_full("125"));
+        assert!(valid.matches_full("125.4"));
+        assert!(valid.matches_full("125.456"));
+        assert!(!valid.matches_full("125.4567"), "precision 4 is invalid");
+        assert!(!valid.matches_full("125."));
+        assert!(!valid.matches_full("abc"));
+    }
+
+    #[test]
+    fn greedy_with_backtracking() {
+        assert!(re("a.*c").matches_full("abcabc"));
+        assert!(re(r"^.*b$").is_match("aab"));
+        assert!(re("a*a").is_match("aaa"), "star must give back one");
+    }
+
+    #[test]
+    fn empty_pattern_and_empty_text() {
+        assert!(re("").is_match(""));
+        assert!(re("").is_match("abc"));
+        assert!(re("a*").is_match(""));
+        assert!(!re("a+").is_match(""));
+        assert!(re("^$").matches_full(""));
+        assert!(!re("^$").is_match("x"));
+    }
+
+    #[test]
+    fn pathological_pattern_terminates() {
+        // (a*)*b against many a's with no b — the step budget must cut
+        // the search off (returning "no match") rather than hanging.
+        let r = re("(a*)*b");
+        assert!(!r.is_match(&"a".repeat(64)));
+        assert!(r.is_match("aab"));
+    }
+
+    #[test]
+    fn invalid_patterns_error() {
+        for p in ["(", ")", "[", "a{", "a{2", "*a", "|*", "a{3,2}", r"\q"] {
+            assert!(Regex::new(p).is_err(), "should reject {p:?}");
+        }
+    }
+
+    #[test]
+    fn match_prefix_len() {
+        assert_eq!(re("ab").match_prefix_len("abc"), Some(2));
+        assert_eq!(re("ab").match_prefix_len("xab"), None);
+        // Greedy: longest prefix via backtracking order.
+        assert_eq!(re("a*").match_prefix_len("aaab"), Some(3));
+    }
+
+    #[test]
+    fn matches_start_is_pythons_re_match() {
+        assert!(re("ab").matches_start("abc"));
+        assert!(!re("bc").matches_start("abc"));
+    }
+}

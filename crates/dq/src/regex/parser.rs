@@ -1,0 +1,323 @@
+//! Recursive-descent regex parser.
+//!
+//! Grammar:
+//! ```text
+//! alternation := concat ('|' concat)*
+//! concat      := repeat*
+//! repeat      := atom ('*' | '+' | '?' | '{n}' | '{n,}' | '{n,m}')?
+//! atom        := literal | '.' | '^' | '$' | escape | class | '(' alternation ')'
+//! ```
+
+use super::ast::{Ast, ClassItem, ClassSet};
+
+/// Parses a pattern into an AST, or an error message.
+pub fn parse(pattern: &str) -> Result<Ast, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let ast = p.alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(format!("unexpected `{}` at position {}", p.chars[p.pos], p.pos));
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, String> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, String> {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            nodes.push(self.repeat()?);
+        }
+        Ok(match nodes.len() {
+            0 => Ast::Empty,
+            1 => nodes.pop().expect("one node"),
+            _ => Ast::Concat(nodes),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, String> {
+        let atom = self.atom()?;
+        let quantifiable = !matches!(atom, Ast::StartAnchor | Ast::EndAnchor);
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.pos += 1;
+                let r = self.counted()?;
+                (r.0, r.1)
+            }
+            _ => return Ok(atom),
+        };
+        if !quantifiable {
+            return Err("quantifier after anchor".to_string());
+        }
+        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+    }
+
+    /// Parses the inside of `{…}` (the `{` is already consumed).
+    fn counted(&mut self) -> Result<(usize, Option<usize>), String> {
+        let min = self.number().ok_or("expected number in `{}`")?;
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') {
+                None
+            } else {
+                Some(self.number().ok_or("expected number after `,`")?)
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            return Err("unterminated `{`".to_string());
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(format!("bad repetition range {{{min},{max}}}"));
+            }
+        }
+        Ok((min, max))
+    }
+
+    fn number(&mut self) -> Option<usize> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        self.chars[start..self.pos].iter().collect::<String>().parse().ok()
+    }
+
+    fn atom(&mut self) -> Result<Ast, String> {
+        match self.bump() {
+            None => Err("unexpected end of pattern".to_string()),
+            Some('(') => {
+                let inner = self.alternation()?;
+                if !self.eat(')') {
+                    return Err("unterminated `(`".to_string());
+                }
+                Ok(Ast::Group(Box::new(inner)))
+            }
+            Some(')') => Err("unmatched `)`".to_string()),
+            Some('[') => self.class(),
+            Some(']') => Ok(Ast::Literal(']')),
+            Some('.') => Ok(Ast::AnyChar),
+            Some('^') => Ok(Ast::StartAnchor),
+            Some('$') => Ok(Ast::EndAnchor),
+            Some('*') | Some('+') | Some('?') => Err("quantifier with nothing to repeat".to_string()),
+            Some('{') => Err("`{` with nothing to repeat".to_string()),
+            Some('\\') => self.escape(false),
+            Some(c) => Ok(Ast::Literal(c)),
+        }
+    }
+
+    /// Parses an escape sequence; `in_class` restricts the result to
+    /// class items.
+    fn escape(&mut self, in_class: bool) -> Result<Ast, String> {
+        let Some(c) = self.bump() else {
+            return Err("dangling `\\`".to_string());
+        };
+        let class = |items: Vec<ClassItem>, negated: bool| {
+            Ast::Class(ClassSet { items, negated })
+        };
+        Ok(match c {
+            'd' => class(vec![ClassItem::Digit], false),
+            'D' => class(vec![ClassItem::Digit], true),
+            'w' => class(vec![ClassItem::Word], false),
+            'W' => class(vec![ClassItem::Word], true),
+            's' => class(vec![ClassItem::Space], false),
+            'S' => class(vec![ClassItem::Space], true),
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            '\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$'
+            | '-' | '/' => Ast::Literal(c),
+            other => {
+                let _ = in_class;
+                return Err(format!("unknown escape `\\{other}`"));
+            }
+        })
+    }
+
+    /// Parses a character class; the `[` is already consumed.
+    fn class(&mut self) -> Result<Ast, String> {
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated `[`".to_string()),
+                Some(']') if !items.is_empty() || negated => {
+                    // A leading `]` right after `[` (or `[^`) would be a
+                    // literal in POSIX; we require escaping for clarity,
+                    // so `]` closes here.
+                    self.pos += 1;
+                    break;
+                }
+                Some(']') => {
+                    return Err("empty character class".to_string());
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.escape(true)? {
+                        Ast::Literal(c) => items.push(ClassItem::Char(c)),
+                        Ast::Class(set) if !set.negated && set.items.len() == 1 => {
+                            items.push(set.items[0].clone());
+                        }
+                        _ => return Err("unsupported escape in class".to_string()),
+                    }
+                }
+                Some(c) => {
+                    self.pos += 1;
+                    // Range `c-hi` if `-` is followed by a non-`]` char.
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        self.pos += 1; // consume '-'
+                        let hi = self.bump().expect("checked above");
+                        let hi = if hi == '\\' {
+                            match self.escape(true)? {
+                                Ast::Literal(c) => c,
+                                _ => return Err("bad range end".to_string()),
+                            }
+                        } else {
+                            hi
+                        };
+                        if hi < c {
+                            return Err(format!("invalid range `{c}-{hi}`"));
+                        }
+                        items.push(ClassItem::Range(c, hi));
+                    } else {
+                        items.push(ClassItem::Char(c));
+                    }
+                }
+            }
+        }
+        Ok(Ast::Class(ClassSet { items, negated }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals_to_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+        assert_eq!(parse("a").unwrap(), Ast::Literal('a'));
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+    }
+
+    #[test]
+    fn parses_alternation_tree() {
+        match parse("a|b|c").unwrap() {
+            Ast::Alt(branches) => assert_eq!(branches.len(), 3),
+            other => panic!("expected Alt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        assert_eq!(
+            parse("a*").unwrap(),
+            Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 0, max: None }
+        );
+        assert_eq!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 2, max: Some(5) }
+        );
+        assert_eq!(
+            parse("a{3}").unwrap(),
+            Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 3, max: Some(3) }
+        );
+        assert_eq!(
+            parse("a{2,}").unwrap(),
+            Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 2, max: None }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for p in ["(", "a)", "[", "[]", "a{3,2}", "*", "a**b{", "^*", r"\q", "[z-a]"] {
+            assert!(parse(p).is_err(), "{p:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parses_class_with_ranges_and_escapes() {
+        match parse(r"[a-f0-9\.]").unwrap() {
+            Ast::Class(set) => {
+                assert!(!set.negated);
+                assert_eq!(set.items.len(), 3);
+                assert!(set.contains('c'));
+                assert!(set.contains('7'));
+                assert!(set.contains('.'));
+                assert!(!set.contains('z'));
+            }
+            other => panic!("expected Class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_star_rejected() {
+        // `a**` — the second `*` has nothing to repeat (we do not support
+        // quantified quantifiers).
+        assert!(parse("a**").is_err());
+    }
+
+    #[test]
+    fn anchors_not_quantifiable() {
+        assert!(parse("^*").is_err());
+        assert!(parse("$+").is_err());
+    }
+}

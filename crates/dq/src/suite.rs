@@ -1,0 +1,175 @@
+//! Expectation suites and validation reports.
+
+use crate::expectation::{BoxExpectation, Expectation, ExpectationResult};
+use icewafl_types::{Result, Schema, StampedTuple};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A named collection of expectations validated together — GX's
+/// "expectation suite".
+#[derive(Default)]
+pub struct ExpectationSuite {
+    name: String,
+    expectations: Vec<BoxExpectation>,
+}
+
+impl ExpectationSuite {
+    /// An empty suite.
+    pub fn new(name: impl Into<String>) -> Self {
+        ExpectationSuite { name: name.into(), expectations: Vec::new() }
+    }
+
+    /// Adds an expectation (builder style).
+    pub fn with(mut self, expectation: impl Expectation + 'static) -> Self {
+        self.expectations.push(Box::new(expectation));
+        self
+    }
+
+    /// Adds a boxed expectation.
+    pub fn push(&mut self, expectation: BoxExpectation) {
+        self.expectations.push(expectation);
+    }
+
+    /// Number of expectations.
+    pub fn len(&self) -> usize {
+        self.expectations.len()
+    }
+
+    /// `true` iff the suite has no expectations.
+    pub fn is_empty(&self) -> bool {
+        self.expectations.is_empty()
+    }
+
+    /// Validates all expectations against a batch.
+    pub fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ValidationReport> {
+        let results: Result<Vec<ExpectationResult>> =
+            self.expectations.iter().map(|e| e.validate(schema, rows)).collect();
+        Ok(ValidationReport { suite: self.name.clone(), element_count: rows.len(), results: results? })
+    }
+}
+
+/// The outcome of validating a suite against one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Name of the validated suite.
+    pub suite: String,
+    /// Rows in the validated batch.
+    pub element_count: usize,
+    /// Per-expectation results, in suite order.
+    pub results: Vec<ExpectationResult>,
+}
+
+impl ValidationReport {
+    /// `true` iff every expectation succeeded.
+    pub fn success(&self) -> bool {
+        self.results.iter().all(|r| r.success)
+    }
+
+    /// Total unexpected rows across all expectations (a row violating
+    /// two expectations counts twice — this is the "number of errors
+    /// measured" statistic of the paper's Table 1).
+    pub fn total_unexpected(&self) -> usize {
+        self.results.iter().map(|r| r.unexpected_count).sum()
+    }
+
+    /// Distinct ids of all violating tuples.
+    pub fn unexpected_ids(&self) -> HashSet<u64> {
+        self.results.iter().flat_map(|r| r.unexpected_ids.iter().copied()).collect()
+    }
+
+    /// The result for the expectation whose description contains
+    /// `needle`, if any.
+    pub fn find(&self, needle: &str) -> Option<&ExpectationResult> {
+        self.results.iter().find(|r| r.expectation.contains(needle))
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "suite `{}` on {} rows: {}",
+            self.suite,
+            self.element_count,
+            if self.success() { "PASS" } else { "FAIL" }
+        )?;
+        for r in &self.results {
+            writeln!(
+                f,
+                "  [{}] {} — unexpected {}/{}{}",
+                if r.success { "ok" } else { "fail" },
+                r.expectation,
+                r.unexpected_count,
+                r.element_count,
+                match r.observed_value {
+                    Some(v) => format!(", observed {v:.4}"),
+                    None => String::new(),
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expectations::{ExpectColumnValuesToBeBetween, ExpectColumnValuesToNotBeNull};
+    use icewafl_types::{DataType, Timestamp, Tuple, Value};
+
+    fn schema() -> Schema {
+        Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
+    }
+
+    fn rows() -> Vec<StampedTuple> {
+        vec![
+            StampedTuple::new(
+                0,
+                Timestamp(0),
+                Tuple::new(vec![Value::Timestamp(Timestamp(0)), Value::Float(1.0)]),
+            ),
+            StampedTuple::new(
+                1,
+                Timestamp(1),
+                Tuple::new(vec![Value::Timestamp(Timestamp(1)), Value::Null]),
+            ),
+        ]
+    }
+
+    #[test]
+    fn suite_validates_all() {
+        let suite = ExpectationSuite::new("demo")
+            .with(ExpectColumnValuesToNotBeNull::new("x"))
+            .with(ExpectColumnValuesToBeBetween::new("x", Some(Value::Float(0.0)), None));
+        assert_eq!(suite.len(), 2);
+        let report = suite.validate(&schema(), &rows()).unwrap();
+        assert!(!report.success(), "the null violates not_be_null");
+        assert_eq!(report.total_unexpected(), 1);
+        assert_eq!(report.unexpected_ids().len(), 1);
+        assert!(report.find("not_be_null").is_some());
+        assert!(report.find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn report_displays() {
+        let suite = ExpectationSuite::new("demo").with(ExpectColumnValuesToNotBeNull::new("x"));
+        let report = suite.validate(&schema(), &rows()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("unexpected 1/2"));
+    }
+
+    #[test]
+    fn empty_suite_passes() {
+        let suite = ExpectationSuite::new("empty");
+        assert!(suite.is_empty());
+        let report = suite.validate(&schema(), &rows()).unwrap();
+        assert!(report.success());
+    }
+
+    #[test]
+    fn suite_propagates_errors() {
+        let suite = ExpectationSuite::new("bad").with(ExpectColumnValuesToNotBeNull::new("nope"));
+        assert!(suite.validate(&schema(), &rows()).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # icewafl-experiments
+//!
+//! Shared harness code for the binaries that regenerate every table and
+//! figure of the Icewafl paper's evaluation (§3):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `exp1_random_temporal` | Figure 4 |
+//! | `exp1_software_update` | Table 1 |
+//! | `exp1_bad_network`     | §3.1.3 numbers |
+//! | `exp2_forecast`        | Figures 6 & 7 (and Table 2 splits) |
+//! | `exp3_runtime`         | Figure 8 |
+
+#![warn(missing_docs)]
+
+pub mod forecast_harness;
+pub mod scenarios;
+pub mod stats;
+pub mod suites;
+
+/// Parses `--reps N` / `--seed N` style flags from `std::env::args`,
+/// returning the value after `flag` if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses a numeric CLI flag with a default.
+pub fn arg_num<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    arg_value(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// `true` iff the bare flag is present.
+pub fn arg_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}

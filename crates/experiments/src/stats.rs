@@ -1,0 +1,142 @@
+//! Small statistics and table-printing helpers shared by the
+//! experiment binaries.
+
+/// Mean of a slice (NaN when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stdev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Percentile via linear interpolation on a sorted copy (`p ∈ [0,
+/// 100]`).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (rank - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Box-plot style five-number summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes the five-number summary (Figure 8 is a box plot).
+pub fn five_number(xs: &[f64]) -> FiveNumber {
+    FiveNumber {
+        min: percentile(xs, 0.0),
+        q1: percentile(xs, 25.0),
+        median: percentile(xs, 50.0),
+        q3: percentile(xs, 75.0),
+        max: percentile(xs, 100.0),
+    }
+}
+
+/// Prints a text table: a header row followed by rows of equal arity,
+/// columns padded to the widest cell.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> =
+            cells.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+        println!("  {}", line.join("  "));
+    };
+    print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    println!("  {}", "-".repeat(total));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Renders a simple horizontal ASCII bar for value/scale.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        || value.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+    {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_stdev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(stdev(&xs), 2.0);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        let f = five_number(&xs);
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.median, 2.5);
+        assert_eq!(f.max, 4.0);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10, "clamped");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

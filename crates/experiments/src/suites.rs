@@ -1,0 +1,105 @@
+//! The GX expectation suites of experiment 1, one per scenario,
+//! mirroring §3.1's expectation choices.
+
+use icewafl_dq::prelude::*;
+use icewafl_types::{Result, Schema, StampedTuple, Value};
+
+/// §3.1.1: detect injected NULLs in `Distance`.
+pub fn random_temporal_suite() -> ExpectationSuite {
+    ExpectationSuite::new("random-temporal").with(ExpectColumnValuesToNotBeNull::new("Distance"))
+}
+
+/// §3.1.2 (i): the km→cm conversion makes `Distance` exceed `Steps`.
+/// `or_equal` keeps idle tuples (0 steps, 0 km) conforming, as in the
+/// clean data.
+pub fn unit_error_expectation() -> ExpectColumnPairValuesAToBeGreaterThanB {
+    ExpectColumnPairValuesAToBeGreaterThanB::new("Steps", "Distance").or_equal()
+}
+
+/// §3.1.2 (ii): valid `CaloriesBurned` values are integers (idle
+/// intervals report exactly 0) or carry ≥ 4 decimal digits; a value
+/// with 1–3 decimals is the signature of the reduced-precision error.
+pub fn precision_expectation() -> Result<ExpectColumnValuesToMatchRegex> {
+    ExpectColumnValuesToMatchRegex::new("CaloriesBurned", r"^\d+(\.\d{4,})?$")
+}
+
+/// §3.1.2 (iv): detect `BPM` set to NULL.
+pub fn bpm_null_expectation() -> ExpectColumnValuesToNotBeNull {
+    ExpectColumnValuesToNotBeNull::new("BPM")
+}
+
+/// §3.1.2 (iii): for tuples with `BPM = 0`, the tracker must not have
+/// been worn, i.e. `ActiveMinutes + Distance + Steps = 0`. GX applies
+/// the sum expectation under a row condition; this helper performs the
+/// same two-step validation: filter the rows with `BPM = 0`, then
+/// validate the sum.
+pub fn validate_zero_bpm_rule(
+    schema: &Schema,
+    rows: &[StampedTuple],
+) -> Result<ExpectationResult> {
+    let bpm_idx = schema.require("BPM")?;
+    let zero_bpm: Vec<StampedTuple> = rows
+        .iter()
+        .filter(|t| t.tuple.get(bpm_idx) == Some(&Value::Int(0)))
+        .cloned()
+        .collect();
+    ExpectMulticolumnSumToEqual::new(
+        vec!["ActiveMinutes".into(), "Distance".into(), "Steps".into()],
+        0.0,
+    )
+    .validate(schema, &zero_bpm)
+}
+
+/// §3.1.3: delayed tuples disturb the strictly increasing order of the
+/// `Time` attribute.
+pub fn bad_network_suite() -> ExpectationSuite {
+    ExpectationSuite::new("bad-network").with(ExpectColumnValuesToBeIncreasing::new("Time"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icewafl_core::prelude::pollute_stream;
+    use icewafl_core::PollutionPipeline;
+    use icewafl_data::wearable;
+
+    fn prepared_clean() -> (Schema, Vec<StampedTuple>) {
+        let schema = wearable::schema();
+        let out =
+            pollute_stream(&schema, wearable::generate(), PollutionPipeline::empty()).unwrap();
+        (schema, out.polluted)
+    }
+
+    #[test]
+    fn clean_stream_passes_random_temporal_suite() {
+        let (schema, rows) = prepared_clean();
+        let report = random_temporal_suite().validate(&schema, &rows).unwrap();
+        assert!(report.success(), "{report}");
+    }
+
+    #[test]
+    fn clean_stream_passes_unit_and_precision_checks() {
+        let (schema, rows) = prepared_clean();
+        let unit = unit_error_expectation().validate(&schema, &rows).unwrap();
+        assert!(unit.success, "steps ≥ distance on clean data");
+        let precision = precision_expectation().unwrap().validate(&schema, &rows).unwrap();
+        assert!(precision.success, "clean calories are integer or ≥4 decimals");
+        let nulls = bpm_null_expectation().validate(&schema, &rows).unwrap();
+        assert!(nulls.success);
+    }
+
+    #[test]
+    fn clean_stream_has_exactly_two_zero_bpm_violations() {
+        // The pre-existing anomalies the paper reports.
+        let (schema, rows) = prepared_clean();
+        let r = validate_zero_bpm_rule(&schema, &rows).unwrap();
+        assert_eq!(r.unexpected_count, 2, "{r:?}");
+    }
+
+    #[test]
+    fn clean_stream_passes_increasing_time() {
+        let (schema, rows) = prepared_clean();
+        let report = bad_network_suite().validate(&schema, &rows).unwrap();
+        assert!(report.success(), "{report}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Time-series cross-validation and grid search.
+//!
+//! §3.2.2: "we determined suitable settings for the hyperparameters …
+//! using grid search in combination with a 5-fold time series cross
+//! validation". This module provides scikit-learn's `TimeSeriesSplit`
+//! semantics and a generic grid search over forecaster factories.
+
+use crate::metrics::mae;
+use crate::model::Forecaster;
+
+/// A named forecaster factory, the unit of a grid-search run.
+pub type NamedFactory = (String, Box<dyn FnMut() -> Box<dyn Forecaster>>);
+
+/// One train/test split: index ranges into the series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training indices `0..train_end`.
+    pub train_end: usize,
+    /// Test indices `train_end..test_end`.
+    pub test_end: usize,
+}
+
+/// scikit-learn-style expanding-window splits: fold `k` trains on the
+/// first `(k+1)·chunk` points and tests on the next `chunk`, where
+/// `chunk = n / (n_splits + 1)`.
+pub fn time_series_split(n: usize, n_splits: usize) -> Vec<Split> {
+    let n_splits = n_splits.max(1);
+    let chunk = n / (n_splits + 1);
+    if chunk == 0 {
+        return Vec::new();
+    }
+    (1..=n_splits)
+        .map(|k| Split { train_end: k * chunk, test_end: ((k + 1) * chunk).min(n) })
+        .collect()
+}
+
+/// Evaluates one forecaster on one series with expanding-window CV:
+/// learn through the train range, then forecast the whole test range
+/// and score MAE against it.
+pub fn cv_score(
+    mut factory: impl FnMut() -> Box<dyn Forecaster>,
+    series: &[f64],
+    exog: Option<&[Vec<f64>]>,
+    n_splits: usize,
+) -> f64 {
+    let splits = time_series_split(series.len(), n_splits);
+    if splits.is_empty() {
+        return f64::NAN;
+    }
+    let mut scores = Vec::with_capacity(splits.len());
+    let empty: Vec<f64> = Vec::new();
+    for split in &splits {
+        let mut model = factory();
+        for (i, y) in series[..split.train_end].iter().enumerate() {
+            let x = exog.map_or(&empty, |e| &e[i]);
+            model.learn_one(*y, x);
+        }
+        let horizon = split.test_end - split.train_end;
+        let x_future: Vec<Vec<f64>> = match exog {
+            Some(e) => e[split.train_end..split.test_end].to_vec(),
+            None => vec![Vec::new(); horizon],
+        };
+        let forecast = model.forecast(horizon, &x_future);
+        scores.push(mae(&series[split.train_end..split.test_end], &forecast));
+    }
+    scores.iter().sum::<f64>() / scores.len() as f64
+}
+
+/// Searches a parameter grid: each candidate is a named factory; the
+/// winner has the lowest CV score. Returns `(name, score)` per
+/// candidate sorted best-first.
+pub fn grid_search(
+    candidates: Vec<NamedFactory>,
+    series: &[f64],
+    exog: Option<&[Vec<f64>]>,
+    n_splits: usize,
+) -> Vec<(String, f64)> {
+    let mut results: Vec<(String, f64)> = candidates
+        .into_iter()
+        .map(|(name, factory)| (name, cv_score(factory, series, exog, n_splits)))
+        .collect();
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::holt_winters::HoltWinters;
+    use crate::model::NaiveForecaster;
+
+    #[test]
+    fn split_shapes_match_sklearn() {
+        // n=12, 5 splits → chunk=2: folds train 2/4/6/8/10, test +2.
+        let splits = time_series_split(12, 5);
+        assert_eq!(splits.len(), 5);
+        assert_eq!(splits[0], Split { train_end: 2, test_end: 4 });
+        assert_eq!(splits[4], Split { train_end: 10, test_end: 12 });
+    }
+
+    #[test]
+    fn splits_are_temporal() {
+        for s in time_series_split(100, 5) {
+            assert!(s.train_end < s.test_end, "test strictly after training");
+        }
+    }
+
+    #[test]
+    fn too_small_series_yields_no_splits() {
+        assert!(time_series_split(3, 5).is_empty());
+        assert!(time_series_split(0, 5).is_empty());
+    }
+
+    #[test]
+    fn cv_score_prefers_better_model_on_seasonal_data() {
+        let series: Vec<f64> = (0..24 * 20)
+            .map(|t| 10.0 + 5.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin())
+            .collect();
+        let hw = cv_score(
+            || Box::new(HoltWinters::new(0.3, 0.05, 0.3, 24)),
+            &series,
+            None,
+            5,
+        );
+        let naive = cv_score(|| Box::new(NaiveForecaster::new()), &series, None, 5);
+        assert!(hw < naive, "HW {hw} < naive {naive}");
+    }
+
+    #[test]
+    fn grid_search_ranks_candidates() {
+        let series: Vec<f64> = (0..24 * 20)
+            .map(|t| 10.0 + 5.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin())
+            .collect();
+        let candidates: Vec<NamedFactory> = vec![
+            ("hw_fast".into(), Box::new(|| Box::new(HoltWinters::new(0.5, 0.1, 0.3, 24)) as _)),
+            ("naive".into(), Box::new(|| Box::new(NaiveForecaster::new()) as _)),
+        ];
+        let ranked = grid_search(candidates, &series, None, 5);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, "hw_fast", "best first: {ranked:?}");
+        assert!(ranked[0].1 <= ranked[1].1);
+    }
+
+    #[test]
+    fn cv_score_with_exog_passes_features() {
+        // y depends only on x → a model that uses x wins.
+        let n = 600;
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![if i % 3 == 0 { 1.0 } else { -1.0 }]).collect();
+        let series: Vec<f64> = xs.iter().map(|x| 4.0 * x[0]).collect();
+        let arimax = cv_score(
+            || Box::new(crate::snarimax::Snarimax::arimax(1, 0, 0, 1, 0.1)),
+            &series,
+            Some(&xs),
+            5,
+        );
+        let naive = cv_score(|| Box::new(NaiveForecaster::new()), &series, Some(&xs), 5);
+        assert!(arimax < naive, "arimax {arimax} < naive {naive}");
+    }
+}

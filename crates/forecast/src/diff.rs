@@ -1,0 +1,194 @@
+//! Differencing — the "I" in ARIMA.
+//!
+//! Order-`d` differencing turns a trending series into a (closer to)
+//! stationary one; the integrator reverses it when forecasts are
+//! produced.
+
+use std::collections::VecDeque;
+
+/// Applies and reverses order-`d` differencing, one observation at a
+/// time.
+#[derive(Debug, Clone)]
+pub struct Differencer {
+    d: usize,
+    /// `last[k]` is the previous value of the k-times differenced
+    /// series.
+    last: Vec<Option<f64>>,
+}
+
+impl Differencer {
+    /// An order-`d` differencer (`d = 0` is the identity).
+    pub fn new(d: usize) -> Self {
+        Differencer { d, last: vec![None; d] }
+    }
+
+    /// The differencing order.
+    pub fn order(&self) -> usize {
+        self.d
+    }
+
+    /// Feeds one observation; returns the `d`-times differenced value
+    /// once enough history exists (`None` for the first `d`
+    /// observations).
+    pub fn difference(&mut self, y: f64) -> Option<f64> {
+        let mut current = y;
+        for k in 0..self.d {
+            let prev = self.last[k].replace(current)?;
+            current -= prev;
+        }
+        Some(current)
+    }
+
+    /// Integrates a horizon of differenced forecasts back to the
+    /// original scale, continuing from the current state (without
+    /// mutating it).
+    pub fn integrate(&self, diffed: &[f64]) -> Vec<f64> {
+        // Recover the running "last" values at each level. For a
+        // forecast of h steps, repeatedly cumulative-sum from the
+        // deepest level up.
+        let mut result = diffed.to_vec();
+        for k in (0..self.d).rev() {
+            let Some(base) = self.last[k] else {
+                // Not enough history to integrate: return as-is.
+                return result;
+            };
+            let mut acc = base;
+            for r in result.iter_mut() {
+                acc += *r;
+                *r = acc;
+            }
+        }
+        result
+    }
+
+    /// `true` once `difference` produces values.
+    pub fn is_warm(&self) -> bool {
+        self.last.iter().all(Option::is_some)
+    }
+}
+
+/// Fixed-capacity lag window over a series.
+#[derive(Debug, Clone)]
+pub struct LagWindow {
+    capacity: usize,
+    values: VecDeque<f64>,
+}
+
+impl LagWindow {
+    /// A window of `capacity` most-recent values.
+    pub fn new(capacity: usize) -> Self {
+        LagWindow { capacity, values: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Pushes a new value, evicting the oldest beyond capacity.
+    pub fn push(&mut self, y: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.values.len() == self.capacity {
+            self.values.pop_front();
+        }
+        self.values.push_back(y);
+    }
+
+    /// Fills `out` with the lags, most recent first, zero-padded to
+    /// capacity (River's convention for a cold start).
+    pub fn fill_lags(&self, out: &mut Vec<f64>) {
+        for i in 0..self.capacity {
+            let idx = self.values.len().checked_sub(i + 1);
+            out.push(idx.map_or(0.0, |j| self.values[j]));
+        }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff no values stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_zero_is_identity() {
+        let mut d = Differencer::new(0);
+        assert_eq!(d.difference(5.0), Some(5.0));
+        assert_eq!(d.integrate(&[1.0, 2.0]), vec![1.0, 2.0]);
+        assert!(d.is_warm());
+    }
+
+    #[test]
+    fn first_difference() {
+        let mut d = Differencer::new(1);
+        assert_eq!(d.difference(10.0), None, "needs one value of history");
+        assert_eq!(d.difference(13.0), Some(3.0));
+        assert_eq!(d.difference(12.0), Some(-1.0));
+        assert!(d.is_warm());
+    }
+
+    #[test]
+    fn second_difference() {
+        let mut d = Differencer::new(2);
+        assert_eq!(d.difference(1.0), None);
+        assert_eq!(d.difference(4.0), None);
+        // y: 1, 4, 9 → Δ: 3, 5 → Δ²: 2
+        assert_eq!(d.difference(9.0), Some(2.0));
+    }
+
+    #[test]
+    fn integrate_reverses_difference() {
+        let mut d = Differencer::new(1);
+        for y in [10.0, 12.0, 15.0] {
+            d.difference(y);
+        }
+        // Differenced forecasts +1, +2 → levels 16, 18.
+        assert_eq!(d.integrate(&[1.0, 2.0]), vec![16.0, 18.0]);
+    }
+
+    #[test]
+    fn integrate_order_two_round_trip() {
+        let series = [1.0, 4.0, 9.0, 16.0, 25.0, 36.0];
+        let mut d = Differencer::new(2);
+        let mut diffed = Vec::new();
+        for &y in &series {
+            if let Some(v) = d.difference(y) {
+                diffed.push(v);
+            }
+        }
+        // The next true value is 49 (squares): second difference is
+        // constant 2, so forecasting Δ² = 2 must integrate to 49.
+        assert_eq!(d.integrate(&[2.0]), vec![49.0]);
+        assert_eq!(d.integrate(&[2.0, 2.0]), vec![49.0, 64.0]);
+    }
+
+    #[test]
+    fn lag_window_semantics() {
+        let mut w = LagWindow::new(3);
+        assert!(w.is_empty());
+        let mut lags = Vec::new();
+        w.fill_lags(&mut lags);
+        assert_eq!(lags, vec![0.0, 0.0, 0.0], "cold start zero-pads");
+        for y in [1.0, 2.0, 3.0, 4.0] {
+            w.push(y);
+        }
+        assert_eq!(w.len(), 3);
+        lags.clear();
+        w.fill_lags(&mut lags);
+        assert_eq!(lags, vec![4.0, 3.0, 2.0], "most recent first, oldest evicted");
+    }
+
+    #[test]
+    fn zero_capacity_lag_window() {
+        let mut w = LagWindow::new(0);
+        w.push(1.0);
+        let mut lags = Vec::new();
+        w.fill_lags(&mut lags);
+        assert!(lags.is_empty());
+    }
+}

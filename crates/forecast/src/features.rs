@@ -1,0 +1,80 @@
+//! Time-based feature encodings.
+//!
+//! The ARIMAX models of §3.2.2 receive "the sine and cosine encodings of
+//! the month and the hour of the event timestamp" alongside the weather
+//! attributes.
+
+use icewafl_types::Timestamp;
+
+/// Sine/cosine encoding of the hour of day: `(sin, cos)` of
+/// `2π·hour/24`.
+pub fn encode_hour(ts: Timestamp) -> (f64, f64) {
+    let angle = 2.0 * std::f64::consts::PI * ts.fractional_hour_of_day() / 24.0;
+    (angle.sin(), angle.cos())
+}
+
+/// Sine/cosine encoding of the month: `(sin, cos)` of `2π·(month−1)/12`.
+pub fn encode_month(ts: Timestamp) -> (f64, f64) {
+    let angle = 2.0 * std::f64::consts::PI * f64::from(ts.month() - 1) / 12.0;
+    (angle.sin(), angle.cos())
+}
+
+/// The paper's full cyclic feature block: `[sin_h, cos_h, sin_m,
+/// cos_m]`, appended to `out`.
+pub fn push_cyclic_features(ts: Timestamp, out: &mut Vec<f64>) {
+    let (sh, ch) = encode_hour(ts);
+    let (sm, cm) = encode_month(ts);
+    out.push(sh);
+    out.push(ch);
+    out.push(sm);
+    out.push(cm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icewafl_types::time::MILLIS_PER_HOUR;
+
+    #[test]
+    fn hour_encoding_is_on_unit_circle() {
+        for h in 0..24 {
+            let (s, c) = encode_hour(Timestamp(h * MILLIS_PER_HOUR));
+            assert!((s * s + c * c - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn midnight_and_noon_are_antipodal() {
+        let (s0, c0) = encode_hour(Timestamp(0));
+        let (s12, c12) = encode_hour(Timestamp(12 * MILLIS_PER_HOUR));
+        assert!((s0 + s12).abs() < 1e-9);
+        assert!((c0 + c12).abs() < 1e-9);
+        assert!((c0 - 1.0).abs() < 1e-12, "midnight is angle 0");
+    }
+
+    #[test]
+    fn encoding_is_continuous_across_midnight() {
+        // 23:59 and 00:00 must be close — the reason for cyclic
+        // encodings in the first place.
+        let before = encode_hour(Timestamp(24 * MILLIS_PER_HOUR - 60_000));
+        let after = encode_hour(Timestamp(0));
+        assert!((before.0 - after.0).abs() < 0.01);
+        assert!((before.1 - after.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn month_encoding() {
+        let jan = encode_month(Timestamp::from_ymd(2016, 1, 15).unwrap());
+        assert!((jan.1 - 1.0).abs() < 1e-12, "January is angle 0");
+        let jul = encode_month(Timestamp::from_ymd(2016, 7, 15).unwrap());
+        assert!((jul.1 + 1.0).abs() < 1e-12, "July is antipodal to January");
+    }
+
+    #[test]
+    fn cyclic_block_has_four_features() {
+        let mut out = vec![9.9];
+        push_cyclic_features(Timestamp(0), &mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0], 9.9, "appends, does not overwrite");
+    }
+}

@@ -1,0 +1,206 @@
+//! Additive Holt-Winters (triple exponential smoothing).
+//!
+//! One of the three methods of experiment 2 (§3.2). The additive form
+//! maintains a level `ℓ`, a trend `b`, and `m` seasonal components
+//! `s₀…s_{m−1}`:
+//!
+//! ```text
+//! ℓ_t = α (y_t − s_{t−m}) + (1 − α)(ℓ_{t−1} + b_{t−1})
+//! b_t = β (ℓ_t − ℓ_{t−1}) + (1 − β) b_{t−1}
+//! s_t = γ (y_t − ℓ_t) + (1 − γ) s_{t−m}
+//! ŷ_{t+h} = ℓ_t + h·b_t + s_{t+h−m}
+//! ```
+//!
+//! Initialization follows the textbook recipe (Hyndman &
+//! Athanasopoulos): the first season sets the seasonal components, the
+//! first two seasons set level and trend.
+
+use crate::model::Forecaster;
+
+/// Additive Holt-Winters forecaster.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period: usize,
+    level: f64,
+    trend: f64,
+    seasonals: Vec<f64>,
+    /// Observations buffered during initialization (two full seasons).
+    warmup: Vec<f64>,
+    t: u64,
+}
+
+impl HoltWinters {
+    /// A model with smoothing parameters `alpha` (level), `beta`
+    /// (trend), `gamma` (seasonal) and seasonal `period ≥ 1`.
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        HoltWinters {
+            alpha: alpha.clamp(0.0, 1.0),
+            beta: beta.clamp(0.0, 1.0),
+            gamma: gamma.clamp(0.0, 1.0),
+            period: period.max(1),
+            level: 0.0,
+            trend: 0.0,
+            seasonals: Vec::new(),
+            warmup: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Whether initialization is complete (two seasons observed).
+    pub fn is_initialized(&self) -> bool {
+        !self.seasonals.is_empty()
+    }
+
+    fn initialize(&mut self) {
+        let m = self.period;
+        let w = &self.warmup;
+        debug_assert_eq!(w.len(), 2 * m);
+        let mean1: f64 = w[..m].iter().sum::<f64>() / m as f64;
+        let mean2: f64 = w[m..2 * m].iter().sum::<f64>() / m as f64;
+        self.level = mean2;
+        self.trend = (mean2 - mean1) / m as f64;
+        // Seasonal components: average deviation from the season mean.
+        self.seasonals = (0..m)
+            .map(|i| ((w[i] - mean1) + (w[m + i] - mean2)) / 2.0)
+            .collect();
+        self.warmup.clear();
+        self.warmup.shrink_to_fit();
+    }
+
+    fn season_idx(&self, offset: u64) -> usize {
+        ((self.t + offset) % self.period as u64) as usize
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn learn_one(&mut self, y: f64, _x: &[f64]) {
+        if !self.is_initialized() {
+            self.warmup.push(y);
+            self.t += 1;
+            if self.warmup.len() == 2 * self.period {
+                self.initialize();
+            }
+            return;
+        }
+        let s_idx = self.season_idx(0);
+        let seasonal = self.seasonals[s_idx];
+        let last_level = self.level;
+        self.level = self.alpha * (y - seasonal) + (1.0 - self.alpha) * (last_level + self.trend);
+        self.trend = self.beta * (self.level - last_level) + (1.0 - self.beta) * self.trend;
+        self.seasonals[s_idx] = self.gamma * (y - self.level) + (1.0 - self.gamma) * seasonal;
+        self.t += 1;
+    }
+
+    fn forecast(&self, horizon: usize, _x_future: &[Vec<f64>]) -> Vec<f64> {
+        if !self.is_initialized() {
+            // Cold model: repeat the last warmup value (naive).
+            let last = self.warmup.last().copied().unwrap_or(0.0);
+            return vec![last; horizon];
+        }
+        (1..=horizon)
+            .map(|h| {
+                let s = self.seasonals[self.season_idx(h as u64 - 1)];
+                self.level + h as f64 * self.trend + s
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "holt_winters"
+    }
+
+    fn observations(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mae;
+
+    /// y(t) = 10 + 0.1 t + 5 sin(2π t / 24): trend + daily season.
+    fn synthetic(t: usize) -> f64 {
+        10.0 + 0.1 * t as f64 + 5.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+    }
+
+    #[test]
+    fn initializes_after_two_seasons() {
+        let mut hw = HoltWinters::new(0.3, 0.1, 0.2, 24);
+        for t in 0..47 {
+            hw.learn_one(synthetic(t), &[]);
+            assert!(!hw.is_initialized() || t >= 47);
+        }
+        hw.learn_one(synthetic(47), &[]);
+        assert!(hw.is_initialized());
+    }
+
+    #[test]
+    fn tracks_pure_seasonal_signal_accurately() {
+        let mut hw = HoltWinters::new(0.3, 0.05, 0.3, 24);
+        for t in 0..24 * 30 {
+            hw.learn_one(synthetic(t), &[]);
+        }
+        let start = 24 * 30;
+        let forecast = hw.forecast(12, &[]);
+        let truth: Vec<f64> = (0..12).map(|h| synthetic(start + h)).collect();
+        let err = mae(&truth, &forecast);
+        assert!(err < 1.0, "MAE {err} on a clean trend+season signal");
+    }
+
+    #[test]
+    fn forecast_extends_trend() {
+        // Pure linear series: level+trend must extrapolate it.
+        let mut hw = HoltWinters::new(0.5, 0.5, 0.1, 2);
+        for t in 0..100 {
+            hw.learn_one(t as f64, &[]);
+        }
+        let f = hw.forecast(3, &[]);
+        assert!(f[0] > 99.0 && f[0] < 102.0, "one step ahead ≈ 100, got {}", f[0]);
+        assert!(f[2] > f[0], "trend continues upward");
+    }
+
+    #[test]
+    fn cold_forecast_is_naive() {
+        let mut hw = HoltWinters::new(0.3, 0.1, 0.2, 24);
+        hw.learn_one(42.0, &[]);
+        assert_eq!(hw.forecast(2, &[]), vec![42.0, 42.0]);
+        let empty = HoltWinters::new(0.3, 0.1, 0.2, 24);
+        assert_eq!(empty.forecast(2, &[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn parameters_are_clamped() {
+        let hw = HoltWinters::new(2.0, -1.0, 0.5, 0);
+        assert_eq!(hw.alpha, 1.0);
+        assert_eq!(hw.beta, 0.0);
+        assert_eq!(hw.period, 1);
+    }
+
+    #[test]
+    fn seasonality_beats_naive_on_seasonal_data() {
+        use crate::model::{Forecaster, NaiveForecaster};
+        let mut hw = HoltWinters::new(0.3, 0.05, 0.3, 24);
+        let mut naive = NaiveForecaster::new();
+        let mut hw_errs = Vec::new();
+        let mut naive_errs = Vec::new();
+        for window in 0..20 {
+            let base = window * 24;
+            for t in base..base + 24 {
+                hw.learn_one(synthetic(t), &[]);
+                naive.learn_one(synthetic(t), &[]);
+            }
+            if window >= 5 {
+                let truth: Vec<f64> = (0..12).map(|h| synthetic(base + 24 + h)).collect();
+                hw_errs.push(mae(&truth, &hw.forecast(12, &[])));
+                naive_errs.push(mae(&truth, &naive.forecast(12, &[])));
+            }
+        }
+        let hw_mean = hw_errs.iter().sum::<f64>() / hw_errs.len() as f64;
+        let naive_mean = naive_errs.iter().sum::<f64>() / naive_errs.len() as f64;
+        assert!(hw_mean < naive_mean, "HW {hw_mean} must beat naive {naive_mean}");
+    }
+}

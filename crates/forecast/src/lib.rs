@@ -1,0 +1,131 @@
+//! # icewafl-forecast
+//!
+//! Online time-series forecasting — the River substitute of the Icewafl
+//! reproduction.
+//!
+//! Experiment 2 of the paper (§3.2) measures the robustness of three
+//! online forecasting methods against temporal data errors; this crate
+//! provides all three, trained one observation at a time:
+//!
+//! * [`Snarimax::arima`] — ARIMA(p, d, q) as an online SGD linear model
+//!   over AR lags and MA residuals of the differenced series (River's
+//!   `SNARIMAX` estimator family);
+//! * [`Snarimax::arimax`] — the same plus exogenous regressors (weather
+//!   attributes and [cyclic time encodings](features));
+//! * [`HoltWinters`] — additive triple exponential smoothing;
+//!
+//! plus graded baselines ([naive](model::NaiveForecaster),
+//! [seasonal-naive](model::SeasonalNaiveForecaster),
+//! [SES](smoothing::SimpleExponentialSmoothing),
+//! [Holt](smoothing::HoltLinear)),
+//! [metrics](metrics) (MAE/RMSE/MAPE/sMAPE), and
+//! [`TimeSeriesSplit` cross-validation with grid search](cv) matching
+//! §3.2.2's hyper-parameter protocol.
+
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod diff;
+pub mod features;
+pub mod holt_winters;
+pub mod linear;
+pub mod metrics;
+pub mod model;
+pub mod smoothing;
+pub mod snarimax;
+
+pub use cv::{cv_score, grid_search, time_series_split, Split};
+pub use diff::{Differencer, LagWindow};
+pub use holt_winters::HoltWinters;
+pub use linear::{LinearSgd, OnlineScaler};
+pub use model::{BoxForecaster, Forecaster, NaiveForecaster, SeasonalNaiveForecaster};
+pub use smoothing::{HoltLinear, SimpleExponentialSmoothing};
+pub use snarimax::Snarimax;
+
+/// Everything needed for typical forecasting tasks.
+pub mod prelude {
+    pub use crate::cv::{cv_score, grid_search, time_series_split};
+    pub use crate::features::{encode_hour, encode_month, push_cyclic_features};
+    pub use crate::holt_winters::HoltWinters;
+    pub use crate::metrics::{mae, mape, rmse, smape};
+    pub use crate::model::{BoxForecaster, Forecaster, NaiveForecaster, SeasonalNaiveForecaster};
+    pub use crate::smoothing::{HoltLinear, SimpleExponentialSmoothing};
+    pub use crate::snarimax::Snarimax;
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::prelude::*;
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Differencing then integrating one-step forecasts recovers the
+        /// exact next value when the forecast equals the true
+        /// difference.
+        #[test]
+        fn differencer_round_trip(series in proptest::collection::vec(-1e6f64..1e6, 3..50)) {
+            let mut d = diff::Differencer::new(1);
+            let mut last_diff = None;
+            for &y in &series {
+                last_diff = d.difference(y);
+            }
+            let _ = last_diff;
+            // Integrating the true next difference gives the true next
+            // value.
+            let next = series[series.len() - 1] + 7.5;
+            let integrated = d.integrate(&[7.5]);
+            prop_assert!((integrated[0] - next).abs() < 1e-6);
+        }
+
+        /// Forecast outputs are always finite and of the requested
+        /// length, whatever data the models saw.
+        #[test]
+        fn forecasts_are_finite(
+            series in proptest::collection::vec(-1e3f64..1e3, 0..200),
+            horizon in 0usize..24,
+        ) {
+            let mut models: Vec<BoxForecaster> = vec![
+                Box::new(Snarimax::arima(3, 1, 2, 0.05)),
+                Box::new(HoltWinters::new(0.3, 0.1, 0.2, 24)),
+                Box::new(NaiveForecaster::new()),
+                Box::new(SeasonalNaiveForecaster::new(24)),
+            ];
+            for m in &mut models {
+                for &y in &series {
+                    m.learn_one(y, &[]);
+                }
+                let f = m.forecast(horizon, &[]);
+                prop_assert_eq!(f.len(), horizon);
+                prop_assert!(f.iter().all(|v| v.is_finite()), "{}: {:?}", m.name(), f);
+            }
+        }
+
+        /// MAE is non-negative, zero iff identical, and symmetric in
+        /// sign flips of the error.
+        #[test]
+        fn mae_properties(truth in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+            prop_assert!(mae(&truth, &truth).abs() < 1e-12);
+            let shifted: Vec<f64> = truth.iter().map(|v| v + 1.0).collect();
+            let down: Vec<f64> = truth.iter().map(|v| v - 1.0).collect();
+            prop_assert!((mae(&truth, &shifted) - 1.0).abs() < 1e-9);
+            prop_assert!((mae(&truth, &shifted) - mae(&truth, &down)).abs() < 1e-9);
+        }
+
+        /// Scaled values from the online scaler are finite.
+        #[test]
+        fn scaler_outputs_finite(xs in proptest::collection::vec(-1e9f64..1e9, 2..100)) {
+            let mut s = linear::OnlineScaler::new(1);
+            for &x in &xs {
+                s.update(&[x]);
+            }
+            for &x in &xs {
+                let mut v = [x];
+                s.transform(&mut v);
+                prop_assert!(v[0].is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Online linear regression with SGD — the estimator inside SNARIMAX
+//! (River pairs `SNARIMAX` with a linear model trained one sample at a
+//! time).
+
+/// Online feature standardizer: tracks running mean and variance per
+/// feature (Welford) and scales inputs to approximately zero mean and
+/// unit variance — essential for SGD stability when features live on
+/// very different scales (NO2 lags vs. sin/cos encodings).
+#[derive(Debug, Clone)]
+pub struct OnlineScaler {
+    n: u64,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+}
+
+impl OnlineScaler {
+    /// A scaler over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        OnlineScaler { n: 0, mean: vec![0.0; dim], m2: vec![0.0; dim] }
+    }
+
+    /// Updates the statistics with one sample.
+    pub fn update(&mut self, x: &[f64]) {
+        assert_eq!(x.len(), self.mean.len(), "feature dimension changed");
+        self.n += 1;
+        let n = self.n as f64;
+        for (i, &xi) in x.iter().enumerate() {
+            let delta = xi - self.mean[i];
+            self.mean[i] += delta / n;
+            self.m2[i] += delta * (xi - self.mean[i]);
+        }
+    }
+
+    /// Scales a sample in place using the current statistics.
+    pub fn transform(&self, x: &mut [f64]) {
+        if self.n < 2 {
+            return;
+        }
+        let n = self.n as f64;
+        for (i, xi) in x.iter_mut().enumerate() {
+            let var = self.m2[i] / n;
+            let std = var.sqrt();
+            if std > 1e-12 {
+                *xi = (*xi - self.mean[i]) / std;
+            } else {
+                *xi -= self.mean[i];
+            }
+        }
+    }
+
+    /// Samples seen so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Linear model `ŷ = w·x + b` trained by stochastic gradient descent on
+/// squared error, with inverse-scaling learning-rate decay
+/// (`η_t = η₀ / √t`) and gradient clipping for robustness against the
+/// very outliers Icewafl injects.
+#[derive(Debug, Clone)]
+pub struct LinearSgd {
+    weights: Vec<f64>,
+    bias: f64,
+    eta0: f64,
+    l2: f64,
+    t: u64,
+}
+
+impl LinearSgd {
+    /// A zero-initialized model over `dim` features.
+    pub fn new(dim: usize, eta0: f64, l2: f64) -> Self {
+        LinearSgd { weights: vec![0.0; dim], bias: 0.0, eta0, l2, t: 0 }
+    }
+
+    /// The current prediction for `x`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.weights.len());
+        self.bias + self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>()
+    }
+
+    /// One SGD step on `(x, y)`; returns the pre-update prediction.
+    pub fn learn(&mut self, x: &[f64], y: f64) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension changed");
+        let y_hat = self.predict(x);
+        self.t += 1;
+        let eta = self.eta0 / (self.t as f64).sqrt();
+        // Clip the error gradient: a single injected outlier must not
+        // destroy the model.
+        let err = (y - y_hat).clamp(-1e3, 1e3);
+        for (w, xi) in self.weights.iter_mut().zip(x) {
+            *w += eta * (err * xi - self.l2 * *w);
+        }
+        self.bias += eta * err;
+        y_hat
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_standardizes() {
+        let mut s = OnlineScaler::new(1);
+        for x in [2.0, 4.0, 6.0, 8.0] {
+            s.update(&[x]);
+        }
+        assert_eq!(s.count(), 4);
+        let mut x = [5.0];
+        s.transform(&mut x);
+        assert!(x[0].abs() < 1e-9, "5 is the mean → scales to 0, got {}", x[0]);
+        let mut hi = [8.0];
+        s.transform(&mut hi);
+        assert!(hi[0] > 1.0, "8 is above one std, got {}", hi[0]);
+    }
+
+    #[test]
+    fn scaler_constant_feature_centers_only() {
+        let mut s = OnlineScaler::new(1);
+        for _ in 0..10 {
+            s.update(&[7.0]);
+        }
+        let mut x = [7.0];
+        s.transform(&mut x);
+        assert_eq!(x[0], 0.0);
+    }
+
+    #[test]
+    fn scaler_noop_before_two_samples() {
+        let s = OnlineScaler::new(1);
+        let mut x = [3.0];
+        s.transform(&mut x);
+        assert_eq!(x[0], 3.0);
+    }
+
+    #[test]
+    fn sgd_learns_a_line() {
+        // y = 2x + 1 with standardized-ish inputs.
+        let mut m = LinearSgd::new(1, 0.1, 0.0);
+        for epoch in 0..200 {
+            for x in [-1.0, -0.5, 0.0, 0.5, 1.0] {
+                let _ = m.learn(&[x], 2.0 * x + 1.0);
+            }
+            let _ = epoch;
+        }
+        assert!((m.predict(&[0.25]) - 1.5).abs() < 0.05, "got {}", m.predict(&[0.25]));
+        assert!((m.weights()[0] - 2.0).abs() < 0.1);
+        assert!((m.bias() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn sgd_is_stable_under_outliers() {
+        let mut m = LinearSgd::new(1, 0.05, 0.0);
+        for i in 0..3000 {
+            let x = (i % 10) as f64 / 10.0;
+            let y = if i == 500 { 1e9 } else { 3.0 * x };
+            m.learn(&[x], y);
+        }
+        // Gradient clipping bounds the damage of the single huge target
+        // and the model recovers over the following steps.
+        let p = m.predict(&[0.5]);
+        assert!(p.is_finite());
+        assert!((p - 1.5).abs() < 1.0, "model survived the outlier: {p}");
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let mut free = LinearSgd::new(1, 0.1, 0.0);
+        let mut reg = LinearSgd::new(1, 0.1, 0.5);
+        for _ in 0..500 {
+            free.learn(&[1.0], 10.0);
+            reg.learn(&[1.0], 10.0);
+        }
+        assert!(reg.weights()[0].abs() < free.weights()[0].abs());
+    }
+}

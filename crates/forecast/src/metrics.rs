@@ -1,0 +1,146 @@
+//! Forecast accuracy metrics.
+
+/// Mean absolute error — the metric of Figures 6 and 7.
+pub fn mae(truth: &[f64], predicted: &[f64]) -> f64 {
+    paired_mean(truth, predicted, |t, p| (t - p).abs())
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], predicted: &[f64]) -> f64 {
+    paired_mean(truth, predicted, |t, p| (t - p).powi(2)).sqrt()
+}
+
+/// Mean absolute percentage error (%, pairs with `truth == 0` are
+/// skipped).
+pub fn mape(truth: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in truth.iter().zip(predicted) {
+        if *t != 0.0 {
+            sum += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+/// Symmetric MAPE (%, bounded in `[0, 200]`).
+pub fn smape(truth: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in truth.iter().zip(predicted) {
+        let denom = (t.abs() + p.abs()) / 2.0;
+        if denom > 0.0 {
+            sum += (t - p).abs() / denom;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+fn paired_mean(truth: &[f64], predicted: &[f64], f: impl Fn(f64, f64) -> f64) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    truth.iter().zip(predicted).map(|(t, p)| f(*t, *p)).sum::<f64>() / truth.len() as f64
+}
+
+/// Incrementally updated mean — for streaming evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    sum: f64,
+    n: u64,
+}
+
+impl RunningMean {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn update(&mut self, x: f64) {
+        self.sum += x;
+        self.n += 1;
+    }
+
+    /// The current mean (NaN when empty).
+    pub fn get(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mae(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(mae(&[1.0, 2.0], &[2.0, 0.0]), 1.5);
+    }
+
+    #[test]
+    fn rmse_penalizes_large_errors_more() {
+        let t = [0.0, 0.0];
+        assert!(rmse(&t, &[3.0, 0.0]) > mae(&t, &[3.0, 0.0]));
+        assert!((rmse(&t, &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let v = mape(&[0.0, 10.0], &[5.0, 11.0]);
+        assert!((v - 10.0).abs() < 1e-9, "only the second pair counts: {v}");
+        assert!(mape(&[0.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn smape_is_symmetric_and_bounded() {
+        let a = smape(&[10.0], &[20.0]);
+        let b = smape(&[20.0], &[10.0]);
+        assert!((a - b).abs() < 1e-12);
+        assert!(smape(&[1.0], &[-1.0]) <= 200.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_are_nan() {
+        assert!(mae(&[], &[]).is_nan());
+        assert!(rmse(&[], &[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut m = RunningMean::new();
+        assert!(m.get().is_nan());
+        m.update(2.0);
+        m.update(4.0);
+        assert_eq!(m.get(), 3.0);
+        assert_eq!(m.count(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! The online forecaster abstraction.
+
+/// A forecasting model trained one observation at a time (River's
+/// `learn_one` / `forecast` protocol).
+pub trait Forecaster: Send {
+    /// Learns from one observation `y` with exogenous features `x`
+    /// (empty for purely auto-regressive models).
+    fn learn_one(&mut self, y: f64, x: &[f64]);
+
+    /// Forecasts the next `horizon` values. `x_future` supplies the
+    /// exogenous features of each future step (one slice per step;
+    /// models that ignore exogenous input accept an empty slice).
+    fn forecast(&self, horizon: usize, x_future: &[Vec<f64>]) -> Vec<f64>;
+
+    /// A short name for result tables ("arima", "arimax",
+    /// "holt_winters").
+    fn name(&self) -> &'static str;
+
+    /// Observations learned so far.
+    fn observations(&self) -> u64;
+}
+
+/// Boxed forecaster, for heterogeneous model collections.
+pub type BoxForecaster = Box<dyn Forecaster>;
+
+/// A trivial baseline: predicts the last observed value for the whole
+/// horizon (the "naive" forecast every serious model must beat).
+#[derive(Debug, Clone, Default)]
+pub struct NaiveForecaster {
+    last: f64,
+    n: u64,
+}
+
+impl NaiveForecaster {
+    /// A fresh naive forecaster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for NaiveForecaster {
+    fn learn_one(&mut self, y: f64, _x: &[f64]) {
+        self.last = y;
+        self.n += 1;
+    }
+
+    fn forecast(&self, horizon: usize, _x_future: &[Vec<f64>]) -> Vec<f64> {
+        vec![self.last; horizon]
+    }
+
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+/// A seasonal-naive baseline: predicts the value observed one season
+/// ago.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaiveForecaster {
+    period: usize,
+    history: std::collections::VecDeque<f64>,
+    n: u64,
+}
+
+impl SeasonalNaiveForecaster {
+    /// A seasonal-naive forecaster with the given period (`≥ 1`).
+    pub fn new(period: usize) -> Self {
+        let period = period.max(1);
+        SeasonalNaiveForecaster {
+            period,
+            history: std::collections::VecDeque::with_capacity(period),
+            n: 0,
+        }
+    }
+}
+
+impl Forecaster for SeasonalNaiveForecaster {
+    fn learn_one(&mut self, y: f64, _x: &[f64]) {
+        if self.history.len() == self.period {
+            self.history.pop_front();
+        }
+        self.history.push_back(y);
+        self.n += 1;
+    }
+
+    fn forecast(&self, horizon: usize, _x_future: &[Vec<f64>]) -> Vec<f64> {
+        if self.history.is_empty() {
+            return vec![0.0; horizon];
+        }
+        (0..horizon)
+            .map(|h| {
+                // The value `period` steps before the forecast step; for
+                // horizons past one season, wrap around.
+                let len = self.history.len();
+                self.history[(len - self.period.min(len) + h % self.period.min(len)) % len]
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "seasonal_naive"
+    }
+
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_repeats_last() {
+        let mut m = NaiveForecaster::new();
+        m.learn_one(5.0, &[]);
+        m.learn_one(7.0, &[]);
+        assert_eq!(m.forecast(3, &[]), vec![7.0, 7.0, 7.0]);
+        assert_eq!(m.observations(), 2);
+        assert_eq!(m.name(), "naive");
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_last_season() {
+        let mut m = SeasonalNaiveForecaster::new(3);
+        for y in [1.0, 2.0, 3.0, 10.0, 20.0, 30.0] {
+            m.learn_one(y, &[]);
+        }
+        assert_eq!(m.forecast(3, &[]), vec![10.0, 20.0, 30.0]);
+        // Wraps beyond one season.
+        assert_eq!(m.forecast(5, &[]), vec![10.0, 20.0, 30.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_cold_start() {
+        let m = SeasonalNaiveForecaster::new(4);
+        assert_eq!(m.forecast(2, &[]), vec![0.0, 0.0]);
+        let mut m = SeasonalNaiveForecaster::new(4);
+        m.learn_one(9.0, &[]);
+        let f = m.forecast(2, &[]);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|v| *v == 9.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Simple and double exponential smoothing — the non-seasonal members
+//! of the exponential-smoothing family [`HoltWinters`](crate::HoltWinters)
+//! completes. Useful as graded baselines in robustness studies: SES has
+//! no trend or season to fall back on, Holt adds the trend, Holt-Winters
+//! adds the season, so comparing all three isolates which structure a
+//! pollution pattern destroys.
+
+use crate::model::Forecaster;
+
+/// Simple exponential smoothing: `ℓ_t = α·y_t + (1−α)·ℓ_{t−1}`; flat
+/// forecasts at the current level.
+#[derive(Debug, Clone)]
+pub struct SimpleExponentialSmoothing {
+    alpha: f64,
+    level: f64,
+    n: u64,
+}
+
+impl SimpleExponentialSmoothing {
+    /// A model with smoothing factor `alpha ∈ [0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        SimpleExponentialSmoothing { alpha: alpha.clamp(0.0, 1.0), level: 0.0, n: 0 }
+    }
+
+    /// The current level estimate.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+}
+
+impl Forecaster for SimpleExponentialSmoothing {
+    fn learn_one(&mut self, y: f64, _x: &[f64]) {
+        if self.n == 0 {
+            self.level = y;
+        } else {
+            self.level = self.alpha * y + (1.0 - self.alpha) * self.level;
+        }
+        self.n += 1;
+    }
+
+    fn forecast(&self, horizon: usize, _x_future: &[Vec<f64>]) -> Vec<f64> {
+        vec![self.level; horizon]
+    }
+
+    fn name(&self) -> &'static str {
+        "ses"
+    }
+
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Holt's linear method (double exponential smoothing): level plus
+/// trend, forecasts extrapolate linearly.
+#[derive(Debug, Clone)]
+pub struct HoltLinear {
+    alpha: f64,
+    beta: f64,
+    level: f64,
+    trend: f64,
+    n: u64,
+}
+
+impl HoltLinear {
+    /// A model with level factor `alpha` and trend factor `beta`, both
+    /// clamped to `[0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        HoltLinear {
+            alpha: alpha.clamp(0.0, 1.0),
+            beta: beta.clamp(0.0, 1.0),
+            level: 0.0,
+            trend: 0.0,
+            n: 0,
+        }
+    }
+}
+
+impl Forecaster for HoltLinear {
+    fn learn_one(&mut self, y: f64, _x: &[f64]) {
+        match self.n {
+            0 => self.level = y,
+            1 => {
+                self.trend = y - self.level;
+                self.level = y;
+            }
+            _ => {
+                let last_level = self.level;
+                self.level = self.alpha * y + (1.0 - self.alpha) * (last_level + self.trend);
+                self.trend =
+                    self.beta * (self.level - last_level) + (1.0 - self.beta) * self.trend;
+            }
+        }
+        self.n += 1;
+    }
+
+    fn forecast(&self, horizon: usize, _x_future: &[Vec<f64>]) -> Vec<f64> {
+        (1..=horizon).map(|h| self.level + h as f64 * self.trend).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "holt_linear"
+    }
+
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mae;
+
+    #[test]
+    fn ses_converges_to_constant_signal() {
+        let mut m = SimpleExponentialSmoothing::new(0.3);
+        for _ in 0..100 {
+            m.learn_one(7.0, &[]);
+        }
+        assert!((m.level() - 7.0).abs() < 1e-9);
+        assert_eq!(m.forecast(3, &[]), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn ses_first_observation_initializes_level() {
+        let mut m = SimpleExponentialSmoothing::new(0.1);
+        m.learn_one(42.0, &[]);
+        assert_eq!(m.level(), 42.0, "no smoothing against the zero init");
+    }
+
+    #[test]
+    fn ses_tracks_level_shift_at_alpha_speed() {
+        let mut fast = SimpleExponentialSmoothing::new(0.9);
+        let mut slow = SimpleExponentialSmoothing::new(0.1);
+        for _ in 0..50 {
+            fast.learn_one(0.0, &[]);
+            slow.learn_one(0.0, &[]);
+        }
+        for _ in 0..3 {
+            fast.learn_one(10.0, &[]);
+            slow.learn_one(10.0, &[]);
+        }
+        assert!(fast.level() > 9.0, "fast alpha adapts: {}", fast.level());
+        assert!(slow.level() < 3.0, "slow alpha lags: {}", slow.level());
+    }
+
+    #[test]
+    fn holt_extrapolates_linear_trend() {
+        let mut m = HoltLinear::new(0.5, 0.3);
+        for t in 0..200 {
+            m.learn_one(5.0 + 2.0 * t as f64, &[]);
+        }
+        let f = m.forecast(3, &[]);
+        let truth = [5.0 + 2.0 * 200.0, 5.0 + 2.0 * 201.0, 5.0 + 2.0 * 202.0];
+        assert!(mae(&truth, &f) < 0.5, "trend extrapolation: {f:?}");
+    }
+
+    #[test]
+    fn holt_beats_ses_on_trending_data() {
+        let mut holt = HoltLinear::new(0.3, 0.2);
+        let mut ses = SimpleExponentialSmoothing::new(0.3);
+        for t in 0..300 {
+            let y = t as f64;
+            holt.learn_one(y, &[]);
+            ses.learn_one(y, &[]);
+        }
+        let truth: Vec<f64> = (300..312).map(|t| t as f64).collect();
+        let holt_err = mae(&truth, &holt.forecast(12, &[]));
+        let ses_err = mae(&truth, &ses.forecast(12, &[]));
+        assert!(holt_err < ses_err, "holt {holt_err} < ses {ses_err}");
+    }
+
+    #[test]
+    fn alpha_clamping_and_names() {
+        assert_eq!(SimpleExponentialSmoothing::new(5.0).alpha, 1.0);
+        assert_eq!(HoltLinear::new(-1.0, 2.0).alpha, 0.0);
+        assert_eq!(SimpleExponentialSmoothing::new(0.5).name(), "ses");
+        assert_eq!(HoltLinear::new(0.5, 0.5).name(), "holt_linear");
+    }
+
+    #[test]
+    fn cold_forecasts_are_finite() {
+        let ses = SimpleExponentialSmoothing::new(0.3);
+        assert_eq!(ses.forecast(2, &[]), vec![0.0, 0.0]);
+        let holt = HoltLinear::new(0.3, 0.1);
+        assert!(holt.forecast(5, &[]).iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,83 @@
+//! The unit of flow inside a stream pipeline.
+
+use icewafl_types::Timestamp;
+
+/// What travels along a stream edge: data records interleaved with
+/// event-time watermarks, terminated by an end-of-stream marker.
+///
+/// This mirrors Flink's internal `StreamElement`. A watermark `W(t)` is a
+/// promise that no later record will carry an event time `≤ t`; stateful
+/// operators (sorters, delay buffers) use it to decide when buffered
+/// records are safe to release.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamElement<T> {
+    /// A data record.
+    Record(T),
+    /// An event-time watermark.
+    Watermark(Timestamp),
+    /// End of stream. Always the last element on an edge.
+    End,
+}
+
+impl<T> StreamElement<T> {
+    /// `true` iff this is the end-of-stream marker.
+    pub fn is_end(&self) -> bool {
+        matches!(self, StreamElement::End)
+    }
+
+    /// Borrows the record payload, if this is a record.
+    pub fn record(&self) -> Option<&T> {
+        match self {
+            StreamElement::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the element, yielding the record payload if present.
+    pub fn into_record(self) -> Option<T> {
+        match self {
+            StreamElement::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Maps the record payload, leaving watermarks and end markers alone.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> StreamElement<U> {
+        match self {
+            StreamElement::Record(r) => StreamElement::Record(f(r)),
+            StreamElement::Watermark(w) => StreamElement::Watermark(w),
+            StreamElement::End => StreamElement::End,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accessors() {
+        let e = StreamElement::Record(5);
+        assert_eq!(e.record(), Some(&5));
+        assert!(!e.is_end());
+        assert_eq!(e.into_record(), Some(5));
+    }
+
+    #[test]
+    fn non_records() {
+        let w: StreamElement<i32> = StreamElement::Watermark(Timestamp(3));
+        assert_eq!(w.record(), None);
+        assert_eq!(w.clone().into_record(), None);
+        assert!(StreamElement::<i32>::End.is_end());
+    }
+
+    #[test]
+    fn map_preserves_kind() {
+        assert_eq!(StreamElement::Record(2).map(|x| x * 10), StreamElement::Record(20));
+        assert_eq!(
+            StreamElement::<i32>::Watermark(Timestamp(1)).map(|x| x * 10),
+            StreamElement::Watermark(Timestamp(1))
+        );
+        assert_eq!(StreamElement::<i32>::End.map(|x| x * 10), StreamElement::End);
+    }
+}

@@ -1,0 +1,183 @@
+//! Keyed, stateful processing — the analogue of Flink's
+//! `KeyedProcessFunction`.
+//!
+//! The paper's future-work section (§5, item 2) points at keyed process
+//! functions as the mechanism for stateful, per-key pollution in
+//! distributed settings; this operator provides them for our runtime.
+//! The *frozen value* polluter also builds on per-attribute state of this
+//! shape.
+
+use crate::operator::{Collector, Operator};
+use icewafl_types::Timestamp;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Per-key stateful operator.
+///
+/// Records are partitioned by `key_fn`; each key gets its own state of
+/// type `S` (created by `S::default()` on first use). The process
+/// function receives the state mutably and may emit any number of output
+/// records.
+pub struct KeyedProcessOperator<K, S, KF, PF> {
+    key_fn: KF,
+    process_fn: PF,
+    states: HashMap<K, S>,
+}
+
+impl<K, S, KF, PF> KeyedProcessOperator<K, S, KF, PF>
+where
+    K: Eq + Hash,
+    S: Default,
+{
+    /// Creates a keyed operator from a key extractor and a process
+    /// function.
+    pub fn new(key_fn: KF, process_fn: PF) -> Self {
+        KeyedProcessOperator { key_fn, process_fn, states: HashMap::new() }
+    }
+
+    /// Number of distinct keys seen so far.
+    pub fn key_count(&self) -> usize {
+        self.states.len()
+    }
+}
+
+impl<In, Out, K, S, KF, PF> Operator<In, Out> for KeyedProcessOperator<K, S, KF, PF>
+where
+    K: Eq + Hash + Send,
+    S: Default + Send,
+    KF: FnMut(&In) -> K + Send,
+    PF: FnMut(&mut S, In, &mut dyn Collector<Out>) + Send,
+{
+    fn on_element(&mut self, record: In, out: &mut dyn Collector<Out>) {
+        let key = (self.key_fn)(&record);
+        let state = self.states.entry(key).or_default();
+        (self.process_fn)(state, record, out);
+    }
+
+    fn name(&self) -> &'static str {
+        "keyed_process"
+    }
+}
+
+/// Keyed rolling aggregation: emits `(key, aggregate)` after every
+/// record. A convenience specialization of [`KeyedProcessOperator`]
+/// covering the common monitoring pattern (running counts, running
+/// means).
+pub struct KeyedFoldOperator<K, A, KF, FF> {
+    inner_key: KF,
+    fold: FF,
+    states: HashMap<K, A>,
+}
+
+impl<K, A, KF, FF> KeyedFoldOperator<K, A, KF, FF>
+where
+    K: Eq + Hash,
+    A: Default,
+{
+    /// Creates a keyed fold from a key extractor and a fold function.
+    pub fn new(inner_key: KF, fold: FF) -> Self {
+        KeyedFoldOperator { inner_key, fold, states: HashMap::new() }
+    }
+}
+
+impl<In, K, A, KF, FF> Operator<In, (K, A)> for KeyedFoldOperator<K, A, KF, FF>
+where
+    K: Eq + Hash + Clone + Send,
+    A: Default + Clone + Send,
+    KF: FnMut(&In) -> K + Send,
+    FF: FnMut(&mut A, In) + Send,
+{
+    fn on_element(&mut self, record: In, out: &mut dyn Collector<(K, A)>) {
+        let key = (self.inner_key)(&record);
+        let acc = self.states.entry(key.clone()).or_default();
+        (self.fold)(acc, record);
+        out.collect((key, acc.clone()));
+    }
+
+    fn on_end(&mut self, _out: &mut dyn Collector<(K, A)>) {}
+
+    fn name(&self) -> &'static str {
+        "keyed_fold"
+    }
+}
+
+/// An operator that exposes watermark progress to a callback — useful
+/// for tests and for instrumentation.
+pub struct WatermarkProbe<F> {
+    callback: F,
+}
+
+impl<F> WatermarkProbe<F> {
+    /// Wraps a watermark callback.
+    pub fn new(callback: F) -> Self {
+        WatermarkProbe { callback }
+    }
+}
+
+impl<T, F> Operator<T, T> for WatermarkProbe<F>
+where
+    T: Send,
+    F: FnMut(Timestamp) + Send,
+{
+    fn on_element(&mut self, record: T, out: &mut dyn Collector<T>) {
+        out.collect(record);
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, _out: &mut dyn Collector<T>) {
+        (self.callback)(wm);
+    }
+
+    fn name(&self) -> &'static str {
+        "watermark_probe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_is_partitioned_by_key() {
+        // Running count per parity class.
+        let mut op = KeyedProcessOperator::new(
+            |x: &i32| x % 2,
+            |count: &mut i32, x: i32, out: &mut dyn Collector<(i32, i32)>| {
+                *count += 1;
+                out.collect((x, *count));
+            },
+        );
+        let mut out = Vec::new();
+        for x in [1, 2, 3, 4, 5] {
+            op.on_element(x, &mut out);
+        }
+        assert_eq!(out, vec![(1, 1), (2, 1), (3, 2), (4, 2), (5, 3)]);
+        assert_eq!(op.key_count(), 2);
+    }
+
+    #[test]
+    fn keyed_fold_emits_running_aggregate() {
+        let mut op = KeyedFoldOperator::new(
+            |s: &(&'static str, i64)| -> &'static str { s.0 },
+            |sum: &mut i64, r: (&str, i64)| *sum += r.1,
+        );
+        let mut out = Vec::new();
+        op.on_element(("a", 1), &mut out);
+        op.on_element(("b", 10), &mut out);
+        op.on_element(("a", 2), &mut out);
+        assert_eq!(out, vec![("a", 1), ("b", 10), ("a", 3)]);
+    }
+
+    #[test]
+    fn watermark_probe_sees_watermarks() {
+        let mut seen = Vec::new();
+        {
+            let mut op = WatermarkProbe::new(|wm| seen.push(wm));
+            let mut out: Vec<i32> = Vec::new();
+            op.on_element(1, &mut out);
+            op.on_watermark(Timestamp(10), &mut out);
+            op.on_watermark(Timestamp(20), &mut out);
+            assert_eq!(out, vec![1]);
+        }
+        assert_eq!(seen, vec![Timestamp(10), Timestamp(20)]);
+    }
+}

@@ -1,0 +1,62 @@
+//! # icewafl-stream
+//!
+//! A miniature stream-processing framework — the Apache Flink substitute
+//! of the Icewafl reproduction.
+//!
+//! The original Icewafl is a library of Flink operators; everything it
+//! needs from Flink is provided here, from scratch:
+//!
+//! * typed, stateful [`Operator`]s with event-time
+//!   [watermark](watermark::WatermarkStrategy) callbacks;
+//! * a fluent, lazily composed [`DataStream`] pipeline API with
+//!   `map`/`filter`/`flat_map`/keyed-process/sort/window combinators;
+//! * stream **union** with per-input watermark merging and **fan-out**
+//!   into (overlapping) sub-pipelines
+//!   ([`DataStream::split_merge`]) — the substrate for Icewafl's
+//!   integration scenarios (paper §2.2.2, Algorithm 1);
+//! * a deterministic single-threaded executor plus thread-parallel
+//!   execution via [`DataStream::pipelined`] and
+//!   [`DataStream::split_merge_parallel`], built on crossbeam channels.
+//!
+//! ```
+//! use icewafl_stream::prelude::*;
+//! use icewafl_types::Timestamp;
+//!
+//! let out = DataStream::from_vec(vec![3i64, 1, 2])
+//!     .map(|x| x * 10)
+//!     .sort_by_event_time(|x| Timestamp(*x))
+//!     .collect();
+//! assert_eq!(out, vec![10, 20, 30]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod element;
+pub mod keyed;
+pub mod operator;
+pub mod sink;
+pub mod sort;
+pub mod source;
+pub mod stage;
+pub mod stream;
+pub mod watermark;
+pub mod window;
+
+pub use element::StreamElement;
+pub use operator::{Collector, Operator};
+pub use sink::{CountSink, FnSink, NullSink, SharedVecSink, Sink};
+pub use sort::EventTimeSorter;
+pub use source::{GenSource, IterSource, Source, VecSource};
+pub use stream::{DataStream, SubPipelineBuilder};
+pub use watermark::WatermarkStrategy;
+pub use window::{MicroBatcher, TumblingWindow, WindowPane};
+
+/// Everything needed to build and run pipelines.
+pub mod prelude {
+    pub use crate::element::StreamElement;
+    pub use crate::operator::{Collector, Operator};
+    pub use crate::sink::{CountSink, FnSink, NullSink, SharedVecSink, Sink};
+    pub use crate::source::{GenSource, IterSource, Source, VecSource};
+    pub use crate::stream::{DataStream, SubPipelineBuilder};
+    pub use crate::watermark::WatermarkStrategy;
+}

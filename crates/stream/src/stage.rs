@@ -1,0 +1,292 @@
+//! Runtime stages — the glue between operators, channels, and sinks.
+//!
+//! A *stage* consumes [`StreamElement`]s pushed from upstream. Pipelines
+//! are built back-to-front: the terminal sink stage is wrapped by the
+//! last operator's stage, and so on up to the source driver.
+
+use crate::element::StreamElement;
+use crate::operator::{Collector, Operator};
+use crate::sink::Sink;
+use crossbeam::channel::Sender;
+use icewafl_types::Timestamp;
+
+/// A push-based consumer of stream elements.
+pub trait Stage<T>: Send {
+    /// Accepts the next element. Implementations must tolerate (and
+    /// ignore) elements after `End`.
+    fn push(&mut self, element: StreamElement<T>);
+}
+
+/// Boxed stage, the unit of pipeline composition.
+pub type BoxStage<T> = Box<dyn Stage<T>>;
+
+/// Terminal stage: feeds records into a [`Sink`].
+pub struct SinkStage<S> {
+    sink: S,
+    finished: bool,
+}
+
+impl<S> SinkStage<S> {
+    /// Wraps a sink.
+    pub fn new(sink: S) -> Self {
+        SinkStage { sink, finished: false }
+    }
+}
+
+impl<T, S> Stage<T> for SinkStage<S>
+where
+    T: Send,
+    S: Sink<T>,
+{
+    fn push(&mut self, element: StreamElement<T>) {
+        match element {
+            StreamElement::Record(r) => {
+                if !self.finished {
+                    self.sink.write(r);
+                }
+            }
+            StreamElement::Watermark(_) => {}
+            StreamElement::End => {
+                if !self.finished {
+                    self.finished = true;
+                    self.sink.finish();
+                }
+            }
+        }
+    }
+}
+
+/// Wraps an [`Operator`] and forwards its output to the downstream
+/// stage. Watermarks and the end marker are forwarded *after* the
+/// operator's callback, so buffering operators flush first.
+pub struct OperatorStage<Op, Out> {
+    op: Op,
+    down: BoxStage<Out>,
+    ended: bool,
+}
+
+impl<Op, Out> OperatorStage<Op, Out> {
+    /// Chains an operator in front of a downstream stage.
+    pub fn new(op: Op, down: BoxStage<Out>) -> Self {
+        OperatorStage { op, down, ended: false }
+    }
+}
+
+/// Collector that pushes straight into a stage.
+struct StageCollector<'a, T> {
+    down: &'a mut dyn Stage<T>,
+}
+
+impl<T> Collector<T> for StageCollector<'_, T> {
+    fn collect(&mut self, record: T) {
+        self.down.push(StreamElement::Record(record));
+    }
+}
+
+impl<In, Out, Op> Stage<In> for OperatorStage<Op, Out>
+where
+    In: Send,
+    Out: Send,
+    Op: Operator<In, Out>,
+{
+    fn push(&mut self, element: StreamElement<In>) {
+        if self.ended {
+            return;
+        }
+        match element {
+            StreamElement::Record(r) => {
+                let mut coll = StageCollector { down: self.down.as_mut() };
+                self.op.on_element(r, &mut coll);
+            }
+            StreamElement::Watermark(wm) => {
+                {
+                    let mut coll = StageCollector { down: self.down.as_mut() };
+                    self.op.on_watermark(wm, &mut coll);
+                }
+                self.down.push(StreamElement::Watermark(wm));
+            }
+            StreamElement::End => {
+                self.ended = true;
+                {
+                    let mut coll = StageCollector { down: self.down.as_mut() };
+                    self.op.on_end(&mut coll);
+                }
+                self.down.push(StreamElement::End);
+            }
+        }
+    }
+}
+
+/// Stage that forwards elements into a crossbeam channel (the upstream
+/// half of a thread boundary).
+pub struct ChannelStage<T> {
+    tx: Option<Sender<StreamElement<T>>>,
+}
+
+impl<T> ChannelStage<T> {
+    /// Wraps a sender.
+    pub fn new(tx: Sender<StreamElement<T>>) -> Self {
+        ChannelStage { tx: Some(tx) }
+    }
+}
+
+impl<T: Send> Stage<T> for ChannelStage<T> {
+    fn push(&mut self, element: StreamElement<T>) {
+        let is_end = element.is_end();
+        if let Some(tx) = &self.tx {
+            // A send error means the consumer thread is gone; nothing
+            // sensible to do but stop sending.
+            let _ = tx.send(element);
+        }
+        if is_end {
+            self.tx = None;
+        }
+    }
+}
+
+/// Stage that drops everything (used when a side output is unused).
+pub struct DiscardStage;
+
+impl<T: Send> Stage<T> for DiscardStage {
+    fn push(&mut self, _element: StreamElement<T>) {}
+}
+
+/// Testing/bench helper: drives a single operator with records and a
+/// final end marker, collecting its full output. Watermarks can be
+/// interleaved by the caller via `elements`.
+pub fn run_operator<In, Out, Op>(mut op: Op, elements: Vec<StreamElement<In>>) -> Vec<Out>
+where
+    Op: Operator<In, Out>,
+{
+    let mut out = Vec::new();
+    for e in elements {
+        match e {
+            StreamElement::Record(r) => op.on_element(r, &mut out),
+            StreamElement::Watermark(wm) => op.on_watermark(wm, &mut out),
+            StreamElement::End => op.on_end(&mut out),
+        }
+    }
+    out
+}
+
+/// Convenience: `run_operator` over plain records with a trailing end.
+pub fn run_operator_simple<In, Out, Op>(op: Op, records: Vec<In>) -> Vec<Out>
+where
+    Op: Operator<In, Out>,
+{
+    let mut elements: Vec<StreamElement<In>> =
+        records.into_iter().map(StreamElement::Record).collect();
+    elements.push(StreamElement::End);
+    run_operator(op, elements)
+}
+
+/// Watermark utility shared by merge points: tracks per-input watermarks
+/// and reports the combined (minimum) watermark when it advances.
+#[derive(Debug)]
+pub struct WatermarkMerger {
+    inputs: Vec<Timestamp>,
+    combined: Timestamp,
+}
+
+impl WatermarkMerger {
+    /// A merger over `n` inputs, all starting at `Timestamp::MIN`.
+    pub fn new(n: usize) -> Self {
+        WatermarkMerger { inputs: vec![Timestamp::MIN; n], combined: Timestamp::MIN }
+    }
+
+    /// Records that input `idx` advanced to `wm`; returns the new
+    /// combined watermark if it advanced.
+    pub fn advance(&mut self, idx: usize, wm: Timestamp) -> Option<Timestamp> {
+        if wm > self.inputs[idx] {
+            self.inputs[idx] = wm;
+        }
+        let min = self.inputs.iter().copied().min().unwrap_or(Timestamp::MAX);
+        if min > self.combined {
+            self.combined = min;
+            Some(min)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::MapOperator;
+    use crate::sink::SharedVecSink;
+
+    #[test]
+    fn sink_stage_ignores_elements_after_end() {
+        let sink = SharedVecSink::new();
+        let mut stage = SinkStage::new(sink.clone());
+        stage.push(StreamElement::Record(1));
+        stage.push(StreamElement::End);
+        stage.push(StreamElement::Record(2));
+        assert_eq!(sink.take(), vec![1]);
+    }
+
+    #[test]
+    fn operator_stage_forwards_watermarks_after_callback() {
+        // A sorter-like operator releasing on watermark, observed through
+        // the stage: the record released by the watermark must precede
+        // the watermark itself downstream.
+        struct HoldOne(Option<i32>);
+        impl Operator<i32, i32> for HoldOne {
+            fn on_element(&mut self, r: i32, _out: &mut dyn Collector<i32>) {
+                self.0 = Some(r);
+            }
+            fn on_watermark(&mut self, _wm: Timestamp, out: &mut dyn Collector<i32>) {
+                if let Some(r) = self.0.take() {
+                    out.collect(r);
+                }
+            }
+        }
+        struct Recorder(std::sync::Arc<parking_lot::Mutex<Vec<String>>>);
+        impl Stage<i32> for Recorder {
+            fn push(&mut self, e: StreamElement<i32>) {
+                self.0.lock().push(format!("{e:?}"));
+            }
+        }
+        let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut stage = OperatorStage::new(HoldOne(None), Box::new(Recorder(log.clone())));
+        stage.push(StreamElement::Record(7));
+        stage.push(StreamElement::Watermark(Timestamp(1)));
+        let entries = log.lock().clone();
+        assert_eq!(entries, vec!["Record(7)".to_string(), "Watermark(Timestamp(1))".to_string()]);
+    }
+
+    #[test]
+    fn operator_stage_end_flushes_then_forwards() {
+        let sink = SharedVecSink::new();
+        let mut stage = OperatorStage::new(MapOperator::new(|x: i32| x + 1), Box::new(SinkStage::new(sink.clone())));
+        stage.push(StreamElement::Record(1));
+        stage.push(StreamElement::End);
+        stage.push(StreamElement::Record(5)); // ignored after end
+        assert_eq!(sink.take(), vec![2]);
+    }
+
+    #[test]
+    fn run_operator_helpers() {
+        let out: Vec<i32> = run_operator_simple(MapOperator::new(|x: i32| x * 3), vec![1, 2]);
+        assert_eq!(out, vec![3, 6]);
+    }
+
+    #[test]
+    fn watermark_merger_takes_minimum() {
+        let mut m = WatermarkMerger::new(2);
+        assert_eq!(m.advance(0, Timestamp(10)), None); // other input still MIN
+        assert_eq!(m.advance(1, Timestamp(5)), Some(Timestamp(5)));
+        assert_eq!(m.advance(1, Timestamp(20)), Some(Timestamp(10)));
+        // Regressions are ignored.
+        assert_eq!(m.advance(0, Timestamp(3)), None);
+        assert_eq!(m.advance(0, Timestamp(30)), Some(Timestamp(20)));
+    }
+
+    #[test]
+    fn discard_stage_accepts_everything() {
+        let mut d = DiscardStage;
+        d.push(StreamElement::Record(1));
+        d.push(StreamElement::<i32>::End);
+    }
+}

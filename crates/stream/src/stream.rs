@@ -1,0 +1,693 @@
+//! The fluent `DataStream` pipeline API and its executors.
+//!
+//! A [`DataStream<T>`] is a *description* of a pipeline, composed
+//! back-to-front: each combinator wraps the eventual downstream stage in
+//! another [`Stage`](crate::stage::Stage). Calling
+//! [`DataStream::execute_into`] materializes the chain and drives the
+//! source to completion.
+//!
+//! Two execution flavours exist, mirroring the paper's deterministic
+//! single-node mode and Flink's distributed mode:
+//!
+//! * **sequential** — everything runs on the calling thread, in a fully
+//!   deterministic order (what Icewafl needs for reproducible pollution);
+//! * **parallel** — [`DataStream::pipelined`] inserts a thread boundary
+//!   backed by a bounded crossbeam channel, and
+//!   [`DataStream::split_merge_parallel`] runs sub-pipelines on their own
+//!   threads, with watermark-merged union.
+
+use crate::element::StreamElement;
+use crate::keyed::KeyedProcessOperator;
+use crate::operator::{Collector, FilterOperator, FlatMapOperator, InspectOperator, MapOperator, Operator};
+use crate::sink::{SharedVecSink, Sink};
+use crate::sort::EventTimeSorter;
+use crate::source::{Source, VecSource};
+use crate::stage::{BoxStage, ChannelStage, OperatorStage, SinkStage, Stage, WatermarkMerger};
+use crate::watermark::WatermarkStrategy;
+use crate::window::{MicroBatcher, TumblingWindow, WindowPane};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use icewafl_types::{Duration, Timestamp};
+use parking_lot::Mutex;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Runs a fully built pipeline's source to completion.
+type Driver = Box<dyn FnOnce() + Send>;
+
+/// Deferred pipeline construction: given the downstream stage and the
+/// execution context, produce the driver.
+type BuildFn<T> = Box<dyn FnOnce(BoxStage<T>, &mut ExecutionContext) -> Driver + Send>;
+
+/// Builder for a sub-pipeline inside [`DataStream::split_merge`].
+pub type SubPipelineBuilder<T, U> = Box<dyn FnOnce(DataStream<T>) -> DataStream<U> + Send>;
+
+/// Collects the worker threads spawned while building a pipeline so the
+/// executor can join them.
+#[derive(Default)]
+pub struct ExecutionContext {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ExecutionContext {
+    fn join_all(&mut self) {
+        for h in self.handles.drain(..) {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// A lazily composed stream pipeline over records of type `T`.
+pub struct DataStream<T: Send + 'static> {
+    build: BuildFn<T>,
+}
+
+impl<T: Send + 'static> DataStream<T> {
+    /// A stream fed by `source`, with watermarks per `strategy`.
+    ///
+    /// The runtime always emits a final `W(MAX)` watermark before the end
+    /// marker, so buffering operators flush even under
+    /// [`WatermarkStrategy::none`].
+    pub fn from_source(source: impl Source<T> + 'static, strategy: WatermarkStrategy<T>) -> Self {
+        DataStream {
+            build: Box::new(move |mut down, _ctx| {
+                let mut source = source;
+                let mut generator = strategy.generator();
+                Box::new(move || {
+                    while let Some(record) = source.next() {
+                        let wm = generator.on_record(&record);
+                        down.push(StreamElement::Record(record));
+                        if let Some(wm) = wm {
+                            down.push(StreamElement::Watermark(wm));
+                        }
+                    }
+                    down.push(StreamElement::Watermark(Timestamp::MAX));
+                    down.push(StreamElement::End);
+                })
+            }),
+        }
+    }
+
+    /// A stream over an in-memory vector, without intermediate
+    /// watermarks.
+    pub fn from_vec(items: Vec<T>) -> Self {
+        Self::from_source(VecSource::new(items), WatermarkStrategy::none())
+    }
+
+    /// Internal: a stream that replays raw elements (records *and*
+    /// watermarks) from a channel. Used by split/merge plumbing.
+    fn from_element_channel(rx: Receiver<StreamElement<T>>) -> Self {
+        DataStream {
+            build: Box::new(move |mut down, _ctx| {
+                Box::new(move || {
+                    let mut got_end = false;
+                    for element in rx {
+                        let is_end = element.is_end();
+                        down.push(element);
+                        if is_end {
+                            got_end = true;
+                            break;
+                        }
+                    }
+                    if !got_end {
+                        // Upstream hung up without an end marker; close
+                        // the pipeline cleanly anyway.
+                        down.push(StreamElement::End);
+                    }
+                })
+            }),
+        }
+    }
+
+    /// Applies an arbitrary [`Operator`].
+    pub fn transform<U: Send + 'static>(self, op: impl Operator<T, U> + 'static) -> DataStream<U> {
+        let upstream = self.build;
+        DataStream {
+            build: Box::new(move |down, ctx| upstream(Box::new(OperatorStage::new(op, down)), ctx)),
+        }
+    }
+
+    /// 1:1 record transformation.
+    pub fn map<U: Send + 'static>(self, f: impl FnMut(T) -> U + Send + 'static) -> DataStream<U> {
+        self.transform(MapOperator::new(f))
+    }
+
+    /// Keeps records matching the predicate.
+    pub fn filter(self, predicate: impl FnMut(&T) -> bool + Send + 'static) -> DataStream<T> {
+        self.transform(FilterOperator::new(predicate))
+    }
+
+    /// 1:n record transformation; `f` emits through the collector.
+    pub fn flat_map<U: Send + 'static>(
+        self,
+        f: impl FnMut(T, &mut dyn Collector<U>) + Send + 'static,
+    ) -> DataStream<U> {
+        self.transform(FlatMapOperator::new(f))
+    }
+
+    /// Observes records without changing them.
+    pub fn inspect(self, f: impl FnMut(&T) + Send + 'static) -> DataStream<T> {
+        self.transform(InspectOperator::new(f))
+    }
+
+    /// Keyed stateful processing (see
+    /// [`KeyedProcessOperator`](crate::keyed::KeyedProcessOperator)).
+    pub fn keyed_process<K, S, U>(
+        self,
+        key_fn: impl FnMut(&T) -> K + Send + 'static,
+        process_fn: impl FnMut(&mut S, T, &mut dyn Collector<U>) + Send + 'static,
+    ) -> DataStream<U>
+    where
+        K: Eq + Hash + Send + 'static,
+        S: Default + Send + 'static,
+        U: Send + 'static,
+    {
+        self.transform(KeyedProcessOperator::new(key_fn, process_fn))
+    }
+
+    /// Re-orders records by event time, releasing on watermarks.
+    pub fn sort_by_event_time(
+        self,
+        extract: impl FnMut(&T) -> Timestamp + Send + 'static,
+    ) -> DataStream<T> {
+        self.transform(EventTimeSorter::new(extract))
+    }
+
+    /// Groups records into count-based micro-batches.
+    pub fn micro_batch(self, size: usize) -> DataStream<Vec<T>> {
+        self.transform(MicroBatcher::new(size))
+    }
+
+    /// Groups records into tumbling event-time windows.
+    pub fn tumbling_window(
+        self,
+        size: Duration,
+        extract: impl FnMut(&T) -> Timestamp + Send + 'static,
+    ) -> DataStream<WindowPane<T>> {
+        self.transform(TumblingWindow::new(size, extract))
+    }
+
+    /// Inserts a thread boundary: everything downstream of this point
+    /// runs on its own worker thread, connected through a bounded channel
+    /// of `capacity` elements.
+    pub fn pipelined(self, capacity: usize) -> DataStream<T> {
+        let upstream = self.build;
+        DataStream {
+            build: Box::new(move |down, ctx| {
+                let (tx, rx) = bounded::<StreamElement<T>>(capacity.max(1));
+                let mut down = down;
+                let handle = std::thread::spawn(move || {
+                    for element in rx {
+                        let is_end = element.is_end();
+                        down.push(element);
+                        if is_end {
+                            break;
+                        }
+                    }
+                });
+                ctx.handles.push(handle);
+                upstream(Box::new(ChannelStage::new(tx)), ctx)
+            }),
+        }
+    }
+
+    /// Merges several streams into one. Watermarks are combined by
+    /// minimum; the merged stream ends when all inputs have ended.
+    ///
+    /// With `parallel = false` the input drivers run sequentially on the
+    /// calling thread (deterministic). With `parallel = true` each input
+    /// gets its own thread and records interleave by scheduling order —
+    /// follow with [`DataStream::sort_by_event_time`] to restore order.
+    pub fn union(streams: Vec<DataStream<T>>, parallel: bool) -> DataStream<T> {
+        DataStream {
+            build: Box::new(move |down, ctx| {
+                let n = streams.len();
+                if n == 0 {
+                    let mut down = down;
+                    return Box::new(move || {
+                        down.push(StreamElement::Watermark(Timestamp::MAX));
+                        down.push(StreamElement::End);
+                    });
+                }
+                let shared = Arc::new(Mutex::new(UnionInner {
+                    down,
+                    merger: WatermarkMerger::new(n),
+                    pending: n,
+                    ended: false,
+                }));
+                let drivers: Vec<Driver> = streams
+                    .into_iter()
+                    .enumerate()
+                    .map(|(idx, s)| {
+                        (s.build)(Box::new(UnionInput { inner: Arc::clone(&shared), idx }), ctx)
+                    })
+                    .collect();
+                if parallel {
+                    Box::new(move || {
+                        let handles: Vec<_> =
+                            drivers.into_iter().map(std::thread::spawn).collect();
+                        for h in handles {
+                            if let Err(panic) = h.join() {
+                                std::panic::resume_unwind(panic);
+                            }
+                        }
+                    })
+                } else {
+                    Box::new(move || {
+                        for d in drivers {
+                            d();
+                        }
+                    })
+                }
+            }),
+        }
+    }
+
+    /// Fans the stream out into `builders.len()` sub-pipelines and merges
+    /// their outputs — Icewafl's *integration scenario* (§2.2.2).
+    ///
+    /// For every record, `selector` fills `memberships` with the indices
+    /// of the sub-pipelines that should receive (a clone of) it; indices
+    /// may overlap, which is how "overlapping sub-streams"
+    /// (Algorithm 1, line 4) arise. Runs sequentially and
+    /// deterministically; see [`DataStream::split_merge_parallel`] for
+    /// the threaded variant.
+    pub fn split_merge<U: Send + 'static>(
+        self,
+        selector: impl FnMut(&T, &mut Vec<usize>) + Send + 'static,
+        builders: Vec<SubPipelineBuilder<T, U>>,
+    ) -> DataStream<U>
+    where
+        T: Clone,
+    {
+        self.split_merge_impl(selector, builders, false)
+    }
+
+    /// Like [`DataStream::split_merge`], but each sub-pipeline runs on
+    /// its own thread over bounded channels. Output interleaving is
+    /// nondeterministic; sort downstream if order matters.
+    pub fn split_merge_parallel<U: Send + 'static>(
+        self,
+        selector: impl FnMut(&T, &mut Vec<usize>) + Send + 'static,
+        builders: Vec<SubPipelineBuilder<T, U>>,
+    ) -> DataStream<U>
+    where
+        T: Clone,
+    {
+        self.split_merge_impl(selector, builders, true)
+    }
+
+    fn split_merge_impl<U: Send + 'static>(
+        self,
+        selector: impl FnMut(&T, &mut Vec<usize>) + Send + 'static,
+        builders: Vec<SubPipelineBuilder<T, U>>,
+        parallel: bool,
+    ) -> DataStream<U>
+    where
+        T: Clone,
+    {
+        let upstream = self.build;
+        DataStream {
+            build: Box::new(move |down, ctx| {
+                let m = builders.len();
+                let mut txs = Vec::with_capacity(m);
+                let mut subs: Vec<DataStream<U>> = Vec::with_capacity(m);
+                for builder in builders {
+                    let (tx, rx) = if parallel {
+                        bounded::<StreamElement<T>>(1024)
+                    } else {
+                        unbounded::<StreamElement<T>>()
+                    };
+                    txs.push(tx);
+                    subs.push(builder(DataStream::from_element_channel(rx)));
+                }
+                let router = RouterStage { txs, selector, memberships: Vec::with_capacity(m) };
+                let parent_driver = upstream(Box::new(router), ctx);
+                let union_driver = (DataStream::union(subs, parallel).build)(down, ctx);
+                if parallel {
+                    Box::new(move || {
+                        let parent = std::thread::spawn(parent_driver);
+                        union_driver();
+                        if let Err(panic) = parent.join() {
+                            std::panic::resume_unwind(panic);
+                        }
+                    })
+                } else {
+                    Box::new(move || {
+                        // Unbounded channels: the parent fills all
+                        // sub-stream buffers, then the sub-pipelines
+                        // drain them one after another.
+                        parent_driver();
+                        union_driver();
+                    })
+                }
+            }),
+        }
+    }
+
+    /// Builds and runs the pipeline, writing results into `sink`.
+    pub fn execute_into(self, sink: impl Sink<T> + 'static) {
+        let mut ctx = ExecutionContext::default();
+        let driver = (self.build)(Box::new(SinkStage::new(sink)), &mut ctx);
+        driver();
+        ctx.join_all();
+    }
+
+    /// Builds and runs the pipeline, collecting all results.
+    pub fn collect(self) -> Vec<T> {
+        let sink = SharedVecSink::new();
+        self.execute_into(sink.clone());
+        sink.take()
+    }
+
+    /// Builds and runs the pipeline, counting results.
+    pub fn count(self) -> u64 {
+        let sink = crate::sink::CountSink::new();
+        self.execute_into(sink.clone());
+        sink.count()
+    }
+}
+
+/// Shared downstream state of a union point.
+struct UnionInner<T> {
+    down: BoxStage<T>,
+    merger: WatermarkMerger,
+    pending: usize,
+    ended: bool,
+}
+
+/// One input leg of a union.
+struct UnionInput<T> {
+    inner: Arc<Mutex<UnionInner<T>>>,
+    idx: usize,
+}
+
+impl<T: Send> Stage<T> for UnionInput<T> {
+    fn push(&mut self, element: StreamElement<T>) {
+        let mut inner = self.inner.lock();
+        if inner.ended {
+            return;
+        }
+        match element {
+            StreamElement::Record(r) => inner.down.push(StreamElement::Record(r)),
+            StreamElement::Watermark(wm) => {
+                if let Some(combined) = inner.merger.advance(self.idx, wm) {
+                    inner.down.push(StreamElement::Watermark(combined));
+                }
+            }
+            StreamElement::End => {
+                // An ended input can no longer hold the watermark back.
+                if let Some(combined) = inner.merger.advance(self.idx, Timestamp::MAX) {
+                    inner.down.push(StreamElement::Watermark(combined));
+                }
+                inner.pending -= 1;
+                if inner.pending == 0 {
+                    inner.ended = true;
+                    inner.down.push(StreamElement::End);
+                }
+            }
+        }
+    }
+}
+
+/// Routes records to selected sub-streams, broadcasting watermarks and
+/// the end marker to all of them.
+struct RouterStage<T, F> {
+    txs: Vec<Sender<StreamElement<T>>>,
+    selector: F,
+    memberships: Vec<usize>,
+}
+
+impl<T, F> Stage<T> for RouterStage<T, F>
+where
+    T: Clone + Send,
+    F: FnMut(&T, &mut Vec<usize>) + Send,
+{
+    fn push(&mut self, element: StreamElement<T>) {
+        match element {
+            StreamElement::Record(r) => {
+                self.memberships.clear();
+                (self.selector)(&r, &mut self.memberships);
+                self.memberships.retain(|&i| i < self.txs.len());
+                self.memberships.dedup();
+                // Move into the last target, clone for the rest.
+                if let Some((&last, init)) = self.memberships.split_last() {
+                    for &i in init {
+                        let _ = self.txs[i].send(StreamElement::Record(r.clone()));
+                    }
+                    let _ = self.txs[last].send(StreamElement::Record(r));
+                }
+            }
+            StreamElement::Watermark(wm) => {
+                for tx in &self.txs {
+                    let _ = tx.send(StreamElement::Watermark(wm));
+                }
+            }
+            StreamElement::End => {
+                for tx in self.txs.drain(..) {
+                    let _ = tx.send(StreamElement::End);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_filter_collect() {
+        let out = DataStream::from_vec(vec![1, 2, 3, 4, 5])
+            .map(|x| x * 10)
+            .filter(|x| *x > 20)
+            .collect();
+        assert_eq!(out, vec![30, 40, 50]);
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let out = DataStream::from_vec(vec![2, 0, 1])
+            .flat_map(|x, out| {
+                for _ in 0..x {
+                    out.collect(x);
+                }
+            })
+            .collect();
+        assert_eq!(out, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn inspect_and_count() {
+        let seen = Arc::new(Mutex::new(0));
+        let seen2 = Arc::clone(&seen);
+        let n = DataStream::from_vec(vec![1, 2, 3])
+            .inspect(move |_| *seen2.lock() += 1)
+            .count();
+        assert_eq!(n, 3);
+        assert_eq!(*seen.lock(), 3);
+    }
+
+    #[test]
+    fn sort_with_ascending_watermarks() {
+        // Slightly out-of-order input, bounded disorder of 2.
+        let items = vec![3i64, 1, 2, 6, 4, 5];
+        let src = VecSource::new(items);
+        let strategy = WatermarkStrategy::bounded_out_of_orderness(
+            |x: &i64| Timestamp(*x),
+            Duration::from_millis(2),
+            1,
+        );
+        let out = DataStream::from_source(src, strategy)
+            .sort_by_event_time(|x| Timestamp(*x))
+            .collect();
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn pipelined_preserves_order_and_content() {
+        let input: Vec<i64> = (0..10_000).collect();
+        let out = DataStream::from_vec(input.clone())
+            .map(|x| x + 1)
+            .pipelined(64)
+            .map(|x| x - 1)
+            .pipelined(64)
+            .collect();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn union_sequential_merges_all_records() {
+        let a = DataStream::from_vec(vec![1, 2]);
+        let b = DataStream::from_vec(vec![3, 4]);
+        let mut out = DataStream::union(vec![a, b], false).collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn union_parallel_merges_all_records() {
+        let a = DataStream::from_vec((0..500).collect::<Vec<i64>>());
+        let b = DataStream::from_vec((500..1000).collect::<Vec<i64>>());
+        let mut out = DataStream::union(vec![a, b], true).collect();
+        out.sort_unstable();
+        assert_eq!(out, (0..1000).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn union_of_nothing_is_empty() {
+        let out: Vec<i64> = DataStream::union(vec![], false).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn union_watermarks_are_merged_by_min() {
+        // Two sources with ascending watermarks; a sorter downstream of
+        // the union sees only combined (min) watermarks, so the merged
+        // output is globally sorted.
+        let mk = |items: Vec<i64>| {
+            DataStream::from_source(
+                VecSource::new(items),
+                WatermarkStrategy::ascending(|x: &i64| Timestamp(*x)),
+            )
+        };
+        let out = DataStream::union(vec![mk(vec![1, 3, 5]), mk(vec![2, 4, 6])], false)
+            .sort_by_event_time(|x| Timestamp(*x))
+            .collect();
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn split_merge_round_robin() {
+        let builders: Vec<SubPipelineBuilder<i64, i64>> = vec![
+            Box::new(|s| s.map(|x| x + 1000)),
+            Box::new(|s| s.map(|x| x + 2000)),
+        ];
+        let mut out = DataStream::from_vec(vec![0, 1, 2, 3])
+            .split_merge(|x, m| m.push((*x % 2) as usize), builders)
+            .collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![1000, 1002, 2001, 2003]);
+    }
+
+    #[test]
+    fn split_merge_overlapping_memberships_clone_records() {
+        let builders: Vec<SubPipelineBuilder<i64, i64>> = vec![
+            Box::new(|s| s.map(|x| x * 10)),
+            Box::new(|s| s.map(|x| x * 100)),
+        ];
+        let mut out = DataStream::from_vec(vec![1, 2])
+            .split_merge(
+                |_x, m| {
+                    m.push(0);
+                    m.push(1);
+                },
+                builders,
+            )
+            .collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![10, 20, 100, 200]);
+    }
+
+    #[test]
+    fn split_merge_ignores_out_of_range_and_duplicate_memberships() {
+        let builders: Vec<SubPipelineBuilder<i64, i64>> = vec![Box::new(|s| s)];
+        let out = DataStream::from_vec(vec![7])
+            .split_merge(
+                |_x, m| {
+                    m.push(0);
+                    m.push(0);
+                    m.push(5);
+                },
+                builders,
+            )
+            .collect();
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn split_merge_parallel_matches_sequential() {
+        let input: Vec<i64> = (0..5_000).collect();
+        let mk_builders = || -> Vec<SubPipelineBuilder<i64, i64>> {
+            vec![
+                Box::new(|s: DataStream<i64>| s.map(|x| x * 2)),
+                Box::new(|s: DataStream<i64>| s.filter(|x| x % 3 == 0)),
+                Box::new(|s: DataStream<i64>| s.map(|x| -x)),
+            ]
+        };
+        let selector = |x: &i64, m: &mut Vec<usize>| {
+            m.push((*x % 3) as usize);
+            if *x % 10 == 0 {
+                m.push(((*x + 1) % 3) as usize);
+            }
+        };
+        let mut seq = DataStream::from_vec(input.clone())
+            .split_merge(selector, mk_builders())
+            .collect();
+        let mut par = DataStream::from_vec(input)
+            .split_merge_parallel(selector, mk_builders())
+            .collect();
+        seq.sort_unstable();
+        par.sort_unstable();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn keyed_process_through_pipeline() {
+        let out = DataStream::from_vec(vec![1, 2, 3, 4, 5, 6])
+            .keyed_process(
+                |x: &i32| x % 2,
+                |sum: &mut i32, x, out: &mut dyn Collector<i32>| {
+                    *sum += x;
+                    out.collect(*sum);
+                },
+            )
+            .collect();
+        // odd: 1, 4, 9 — even: 2, 6, 12 — interleaved by arrival
+        assert_eq!(out, vec![1, 2, 4, 6, 9, 12]);
+    }
+
+    #[test]
+    fn micro_batch_through_pipeline() {
+        let out = DataStream::from_vec(vec![1, 2, 3, 4, 5]).micro_batch(2).collect();
+        assert_eq!(out, vec![vec![1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn tumbling_window_through_pipeline() {
+        let out = DataStream::from_vec(vec![1i64, 5, 12])
+            .tumbling_window(Duration::from_millis(10), |x| Timestamp(*x))
+            .collect();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].records, vec![1, 5]);
+        assert_eq!(out[1].records, vec![12]);
+    }
+
+    #[test]
+    fn nested_split_merge() {
+        // A split inside a sub-pipeline of another split.
+        let inner_builders = || -> Vec<SubPipelineBuilder<i64, i64>> {
+            vec![Box::new(|s: DataStream<i64>| s.map(|x| x + 1)), Box::new(|s: DataStream<i64>| s.map(|x| x + 2))]
+        };
+        let outer: Vec<SubPipelineBuilder<i64, i64>> = vec![
+            Box::new(move |s: DataStream<i64>| {
+                s.split_merge(|x, m| m.push((x % 2) as usize), inner_builders())
+            }),
+            Box::new(|s: DataStream<i64>| s.map(|x| x * 100)),
+        ];
+        let mut out = DataStream::from_vec(vec![0, 1])
+            .split_merge(
+                |_x, m| {
+                    m.push(0);
+                    m.push(1);
+                },
+                outer,
+            )
+            .collect();
+        out.sort_unstable();
+        // inner: 0 -> +1 = 1 ; 1 -> +2 = 3 ; outer2: 0 -> 0, 1 -> 100
+        assert_eq!(out, vec![0, 1, 3, 100]);
+    }
+}

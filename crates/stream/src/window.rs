@@ -1,0 +1,246 @@
+//! Event-time windows and micro-batching.
+//!
+//! Icewafl accepts "a real data stream or a data stream split into small
+//! batches (micro-batching)" (§2.1). The [`MicroBatcher`] turns a tuple
+//! stream into batches; [`TumblingWindow`] groups records by event time
+//! and fires complete windows as the watermark passes them — the DQ
+//! experiments validate per-hour windows this way.
+
+use crate::operator::{Collector, Operator};
+use icewafl_types::{Duration, Timestamp};
+use std::collections::BTreeMap;
+
+/// Groups records into fixed-size count batches. The final partial batch
+/// is flushed at end of stream.
+pub struct MicroBatcher<T> {
+    size: usize,
+    buf: Vec<T>,
+}
+
+impl<T> MicroBatcher<T> {
+    /// Creates a batcher emitting `size`-record batches (`size ≥ 1`).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        MicroBatcher { size, buf: Vec::with_capacity(size) }
+    }
+}
+
+impl<T: Send> Operator<T, Vec<T>> for MicroBatcher<T> {
+    fn on_element(&mut self, record: T, out: &mut dyn Collector<Vec<T>>) {
+        self.buf.push(record);
+        if self.buf.len() == self.size {
+            let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.size));
+            out.collect(batch);
+        }
+    }
+
+    fn on_end(&mut self, out: &mut dyn Collector<Vec<T>>) {
+        if !self.buf.is_empty() {
+            out.collect(std::mem::take(&mut self.buf));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "micro_batcher"
+    }
+}
+
+/// A fired tumbling window: its start time and contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowPane<T> {
+    /// Inclusive start of the window.
+    pub start: Timestamp,
+    /// Exclusive end of the window.
+    pub end: Timestamp,
+    /// Records whose event time fell in `[start, end)`, in arrival
+    /// order.
+    pub records: Vec<T>,
+}
+
+/// Tumbling event-time windows of fixed size.
+///
+/// A window `[k·size, (k+1)·size)` fires when the watermark reaches its
+/// end; remaining windows fire at end of stream. Empty windows do not
+/// fire.
+pub struct TumblingWindow<T, F> {
+    size: Duration,
+    extract: F,
+    panes: BTreeMap<i64, Vec<T>>,
+}
+
+impl<T, F> TumblingWindow<T, F>
+where
+    F: FnMut(&T) -> Timestamp,
+{
+    /// Creates tumbling windows of `size` over the extracted event time.
+    /// `size` must be positive.
+    pub fn new(size: Duration, extract: F) -> Self {
+        assert!(size.millis() > 0, "window size must be positive");
+        TumblingWindow { size, extract, panes: BTreeMap::new() }
+    }
+
+    fn fire_up_to(&mut self, wm: Timestamp, out: &mut dyn Collector<WindowPane<T>>) {
+        let size = self.size.millis();
+        // A window k fires when wm >= its end (k+1)*size - 1ms is
+        // covered, i.e. (k+1)*size <= wm + 1.
+        let fire_keys: Vec<i64> = self
+            .panes
+            .keys()
+            .copied()
+            .take_while(|k| {
+                match (k + 1).checked_mul(size) {
+                    Some(end) => end <= wm.millis().saturating_add(1),
+                    None => false,
+                }
+            })
+            .collect();
+        for k in fire_keys {
+            let records = self.panes.remove(&k).expect("key taken from map");
+            out.collect(WindowPane {
+                start: Timestamp(k * size),
+                end: Timestamp((k + 1) * size),
+                records,
+            });
+        }
+    }
+}
+
+impl<T, F> Operator<T, WindowPane<T>> for TumblingWindow<T, F>
+where
+    T: Send,
+    F: FnMut(&T) -> Timestamp + Send,
+{
+    fn on_element(&mut self, record: T, _out: &mut dyn Collector<WindowPane<T>>) {
+        let ts = (self.extract)(&record);
+        let key = ts.millis().div_euclid(self.size.millis());
+        self.panes.entry(key).or_default().push(record);
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector<WindowPane<T>>) {
+        self.fire_up_to(wm, out);
+    }
+
+    fn on_end(&mut self, out: &mut dyn Collector<WindowPane<T>>) {
+        let keys: Vec<i64> = self.panes.keys().copied().collect();
+        for k in keys {
+            let records = self.panes.remove(&k).expect("key taken from map");
+            out.collect(WindowPane {
+                start: Timestamp(k * self.size.millis()),
+                end: Timestamp((k + 1) * self.size.millis()),
+                records,
+            });
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tumbling_window"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{run_operator, run_operator_simple};
+    use crate::element::StreamElement;
+
+    #[test]
+    fn micro_batcher_full_batches() {
+        let out: Vec<Vec<i32>> = run_operator_simple(MicroBatcher::new(2), vec![1, 2, 3, 4]);
+        assert_eq!(out, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn micro_batcher_flushes_partial_on_end() {
+        let out: Vec<Vec<i32>> = run_operator_simple(MicroBatcher::new(3), vec![1, 2, 3, 4]);
+        assert_eq!(out, vec![vec![1, 2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn micro_batcher_empty_input() {
+        let out: Vec<Vec<i32>> = run_operator_simple(MicroBatcher::new(3), vec![]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn micro_batcher_size_zero_clamped() {
+        let out: Vec<Vec<i32>> = run_operator_simple(MicroBatcher::new(0), vec![7]);
+        assert_eq!(out, vec![vec![7]]);
+    }
+
+    #[test]
+    fn tumbling_window_groups_by_event_time() {
+        let w = TumblingWindow::new(Duration::from_millis(10), |r: &(i64, char)| Timestamp(r.0));
+        let out: Vec<WindowPane<(i64, char)>> = run_operator_simple(
+            w,
+            vec![(1, 'a'), (5, 'b'), (12, 'c'), (19, 'd'), (25, 'e')],
+        );
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].start, Timestamp(0));
+        assert_eq!(out[0].records, vec![(1, 'a'), (5, 'b')]);
+        assert_eq!(out[1].start, Timestamp(10));
+        assert_eq!(out[1].end, Timestamp(20));
+        assert_eq!(out[1].records, vec![(12, 'c'), (19, 'd')]);
+        assert_eq!(out[2].records, vec![(25, 'e')]);
+    }
+
+    #[test]
+    fn tumbling_window_fires_on_watermark() {
+        let w = TumblingWindow::new(Duration::from_millis(10), |r: &i64| Timestamp(*r));
+        let out: Vec<WindowPane<i64>> = run_operator(
+            w,
+            vec![
+                StreamElement::Record(3),
+                StreamElement::Record(15),
+                // Watermark 8: a record with ts 9 could still arrive, so
+                // window [0,10) must not fire yet.
+                StreamElement::Watermark(Timestamp(8)),
+                StreamElement::Watermark(Timestamp(9)),
+                StreamElement::End,
+            ],
+        );
+        // First window fired by the watermark at 9, second at end.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].records, vec![3]);
+        assert_eq!(out[1].records, vec![15]);
+    }
+
+    #[test]
+    fn tumbling_window_watermark_9_does_not_fire_window_0_10() {
+        let w = TumblingWindow::new(Duration::from_millis(10), |r: &i64| Timestamp(*r));
+        let out: Vec<WindowPane<i64>> = run_operator(
+            w,
+            vec![StreamElement::Record(3), StreamElement::Watermark(Timestamp(8)), StreamElement::End],
+        );
+        assert_eq!(out.len(), 1, "window only fires at end");
+    }
+
+    #[test]
+    fn tumbling_window_watermark_at_9ms_fires_via_inclusive_edge() {
+        // wm = 9 means no record with ts <= 9 is pending; window [0,10)
+        // contains ts 0..=9, so it may fire: end (10) <= wm+1 (10).
+        let w = TumblingWindow::new(Duration::from_millis(10), |r: &i64| Timestamp(*r));
+        let out: Vec<WindowPane<i64>> = run_operator(
+            w,
+            vec![StreamElement::Record(3), StreamElement::Watermark(Timestamp(9)), StreamElement::End],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].records, vec![3]);
+    }
+
+    #[test]
+    fn negative_event_times_window_correctly() {
+        let w = TumblingWindow::new(Duration::from_millis(10), |r: &i64| Timestamp(*r));
+        let out: Vec<WindowPane<i64>> = run_operator_simple(w, vec![-5, -15]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].start, Timestamp(-20));
+        assert_eq!(out[0].records, vec![-15]);
+        assert_eq!(out[1].start, Timestamp(-10));
+        assert_eq!(out[1].records, vec![-5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_size_panics() {
+        let _ = TumblingWindow::new(Duration::ZERO, |r: &i64| Timestamp(*r));
+    }
+}

@@ -1,0 +1,333 @@
+//! Stream schemas.
+//!
+//! Following §2.1 of the paper, a stream's schema is a list of `k`
+//! attributes `A = A₁ … A_k`, each with a domain, and is expected to
+//! contain a timestamp attribute. The schema is resolved once when a
+//! pollution pipeline is built; the per-tuple hot path then works with
+//! column indices only.
+
+use crate::error::{Error, Result};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The domain of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DataType {
+    /// Boolean attribute.
+    Bool,
+    /// 64-bit integer attribute.
+    Int,
+    /// 64-bit float attribute.
+    Float,
+    /// String / categorical attribute.
+    Str,
+    /// Event-time attribute (epoch milliseconds).
+    Timestamp,
+}
+
+impl DataType {
+    /// Whether values of this type coerce to `f64` for numeric error
+    /// functions.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Bool | DataType::Int | DataType::Float)
+    }
+
+    /// Whether a concrete value is a member of this domain. `Null` is a
+    /// member of every domain.
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (DataType::Bool, Value::Bool(_))
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Str, Value::Str(_))
+                | (DataType::Timestamp, Value::Timestamp(_))
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Timestamp => "timestamp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One named, typed attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Attribute name, unique within a schema.
+    pub name: String,
+    /// Attribute domain.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered set of uniquely named fields, with a designated
+/// event-time attribute.
+///
+/// Cloning a `Schema` is cheap (`Arc` inside); every tuple-bearing
+/// structure in the workspace shares one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct SchemaInner {
+    fields: Vec<Field>,
+    /// Index of the designated timestamp attribute, if any.
+    timestamp_idx: Option<usize>,
+}
+
+impl Schema {
+    /// Builds a schema from fields, designating the *first*
+    /// `Timestamp`-typed field as the event-time attribute.
+    ///
+    /// Fails on duplicate field names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(Error::config(format_args!("duplicate attribute `{}`", f.name)));
+            }
+        }
+        let timestamp_idx = fields.iter().position(|f| f.dtype == DataType::Timestamp);
+        Ok(Schema { inner: Arc::new(SchemaInner { fields, timestamp_idx }) })
+    }
+
+    /// Builds a schema from `(name, dtype)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, DataType)>) -> Result<Self> {
+        Self::new(pairs.into_iter().map(|(n, t)| Field::new(n, t)).collect())
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.inner.fields
+    }
+
+    /// Number of attributes `k`.
+    pub fn len(&self) -> usize {
+        self.inner.fields.len()
+    }
+
+    /// `true` iff the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.fields.is_empty()
+    }
+
+    /// Index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.inner.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Like [`Schema::index_of`] but returns a typed error — used when
+    /// binding polluter configurations.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| Error::UnknownAttribute(name.to_string()))
+    }
+
+    /// The field at `idx`, if any.
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.inner.fields.get(idx)
+    }
+
+    /// Index of the designated event-time attribute, if the schema has
+    /// one.
+    pub fn timestamp_idx(&self) -> Option<usize> {
+        self.inner.timestamp_idx
+    }
+
+    /// Index of the event-time attribute, or an error.
+    ///
+    /// §2.1: "we expect the schema to also contain a timestamp attribute"
+    /// — stream pollution requires it, batch pollution does not.
+    pub fn require_timestamp(&self) -> Result<usize> {
+        self.inner.timestamp_idx.ok_or_else(|| {
+            Error::config("schema has no timestamp attribute, required for stream pollution")
+        })
+    }
+
+    /// Checks that a tuple has the right arity and that every value is a
+    /// member of its attribute's domain.
+    pub fn validate(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.len() != self.len() {
+            return Err(Error::SchemaMismatch {
+                detail: format!("tuple has {} values, schema has {} fields", tuple.len(), self.len()),
+            });
+        }
+        for (f, v) in self.fields().iter().zip(tuple.values()) {
+            if !f.dtype.admits(v) {
+                return Err(Error::SchemaMismatch {
+                    detail: format!(
+                        "attribute `{}` expects {}, got {}",
+                        f.name,
+                        f.dtype,
+                        v.type_name()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves a list of attribute names to indices (the `A_p ⊆ A` of a
+    /// polluter definition).
+    pub fn resolve_all(&self, names: &[String]) -> Result<Vec<usize>> {
+        names.iter().map(|n| self.require(n)).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn schema() -> Schema {
+        Schema::from_pairs([
+            ("Time", DataType::Timestamp),
+            ("BPM", DataType::Int),
+            ("Distance", DataType::Float),
+            ("Activity", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("BPM"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.require("Distance").unwrap(), 2);
+        assert!(matches!(s.require("nope"), Err(Error::UnknownAttribute(_))));
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn timestamp_designation() {
+        let s = schema();
+        assert_eq!(s.timestamp_idx(), Some(0));
+        assert_eq!(s.require_timestamp().unwrap(), 0);
+        let no_ts = Schema::from_pairs([("x", DataType::Int)]).unwrap();
+        assert_eq!(no_ts.timestamp_idx(), None);
+        assert!(no_ts.require_timestamp().is_err());
+    }
+
+    #[test]
+    fn first_timestamp_field_wins() {
+        let s = Schema::from_pairs([
+            ("a", DataType::Int),
+            ("t1", DataType::Timestamp),
+            ("t2", DataType::Timestamp),
+        ])
+        .unwrap();
+        assert_eq!(s.timestamp_idx(), Some(1));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::from_pairs([("x", DataType::Int), ("x", DataType::Float)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn validate_arity_and_types() {
+        let s = schema();
+        let good = Tuple::new(vec![
+            Value::Timestamp(Timestamp(0)),
+            Value::Int(70),
+            Value::Float(1.2),
+            Value::Str("walk".into()),
+        ]);
+        s.validate(&good).unwrap();
+
+        let short = Tuple::new(vec![Value::Int(1)]);
+        assert!(s.validate(&short).is_err());
+
+        let wrong = Tuple::new(vec![
+            Value::Timestamp(Timestamp(0)),
+            Value::Str("not an int".into()),
+            Value::Float(1.2),
+            Value::Str("walk".into()),
+        ]);
+        assert!(s.validate(&wrong).is_err());
+    }
+
+    #[test]
+    fn null_admitted_everywhere() {
+        let s = schema();
+        let t = Tuple::new(vec![Value::Null, Value::Null, Value::Null, Value::Null]);
+        s.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn resolve_all() {
+        let s = schema();
+        let idx = s.resolve_all(&["Distance".into(), "BPM".into()]).unwrap();
+        assert_eq!(idx, vec![2, 1]);
+        assert!(s.resolve_all(&["nope".into()]).is_err());
+    }
+
+    #[test]
+    fn numeric_types() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(DataType::Bool.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Timestamp.is_numeric());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            schema().to_string(),
+            "(Time: timestamp, BPM: int, Distance: float, Activity: str)"
+        );
+    }
+
+    #[test]
+    fn clone_is_shared() {
+        let s = schema();
+        let t = s.clone();
+        assert!(Arc::ptr_eq(&s.inner, &t.inner));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = schema();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.timestamp_idx(), Some(0));
+    }
+}

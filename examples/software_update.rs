@@ -1,0 +1,115 @@
+//! The paper's software-update scenario (§3.1.2, Figure 5), built with
+//! the expert (trait-level) API instead of the JSON configuration:
+//! nested composite polluters with shared conditions.
+//!
+//! Run with `cargo run --example software_update`.
+
+use icewafl::core::rng::SeedFactory;
+use icewafl::prelude::*;
+
+fn main() {
+    let schema = icewafl::data::wearable::schema();
+    let data = icewafl::data::wearable::generate();
+    let seeds = SeedFactory::new(7);
+
+    // The nested composite of Figure 5, assembled by hand:
+    //
+    //   Software Update (Time >= 2016-02-27)
+    //   ├── Distance km -> cm
+    //   ├── CaloriesBurned precision -> 2
+    //   └── wrong BPM measurement (BPM > 100)
+    //       ├── BPM -> 0
+    //       └── BPM -> null (p = 0.2)
+    let update_gate = icewafl::data::wearable::software_update_time();
+    let bpm_idx = schema.require("BPM").expect("BPM exists");
+
+    let bpm_children: Vec<BoxPolluter> = vec![
+        Box::new(
+            StandardPolluter::bind(
+                "bpm-to-zero",
+                Box::new(Constant::new(Value::Int(0))),
+                Box::new(Always),
+                &["BPM"],
+                ChangePattern::Constant,
+                &schema,
+                seeds.rng_for("/bpm-zero/pattern"),
+            )
+            .expect("binds"),
+        ),
+        Box::new(
+            StandardPolluter::bind(
+                "bpm-to-null",
+                Box::new(MissingValue),
+                Box::new(Probability::new(0.2, seeds.rng_for("/bpm-null/cond"))),
+                &["BPM"],
+                ChangePattern::Constant,
+                &schema,
+                seeds.rng_for("/bpm-null/pattern"),
+            )
+            .expect("binds"),
+        ),
+    ];
+    let wrong_bpm = CompositePolluter::new(
+        "wrong-bpm-measurement",
+        Box::new(ValueCondition::new(bpm_idx, CmpOp::Gt, Value::Int(100))),
+        bpm_children,
+    );
+
+    let update_children: Vec<BoxPolluter> = vec![
+        Box::new(
+            StandardPolluter::bind(
+                "distance-km-to-cm",
+                Box::new(UnitConversion::km_to_cm()),
+                Box::new(Always),
+                &["Distance"],
+                ChangePattern::Constant,
+                &schema,
+                seeds.rng_for("/distance/pattern"),
+            )
+            .expect("binds"),
+        ),
+        Box::new(
+            StandardPolluter::bind(
+                "calories-precision-2",
+                Box::new(Rounding::new(2)),
+                Box::new(Always),
+                &["CaloriesBurned"],
+                ChangePattern::Constant,
+                &schema,
+                seeds.rng_for("/calories/pattern"),
+            )
+            .expect("binds"),
+        ),
+        Box::new(wrong_bpm),
+    ];
+    let software_update = CompositePolluter::new(
+        "software-update",
+        Box::new(TimeWindow::starting_at(update_gate)),
+        update_children,
+    );
+
+    let pipeline = PollutionPipeline::new(vec![Box::new(software_update)]);
+    let out = pollute_stream(&schema, data, pipeline).expect("pollution runs");
+
+    println!("=== software-update scenario (expert API) ===");
+    println!("stream: {} tuples, {} polluted", out.polluted.len(), out.log.polluted_tuple_ids().len());
+    for (polluter, count) in out.log.counts_by_polluter() {
+        println!("  {polluter:<22} {count:>5} value errors");
+    }
+
+    // Cross-check with the DQ engine: the unit error makes Distance
+    // exceed Steps.
+    let unit = ExpectColumnPairValuesAToBeGreaterThanB::new("Steps", "Distance")
+        .or_equal()
+        .validate(&schema, &out.polluted)
+        .expect("validation runs");
+    println!(
+        "\nDQ: {} tuples where the km->cm error made Distance exceed Steps",
+        unit.unexpected_count
+    );
+    assert_eq!(
+        unit.unexpected_count,
+        out.log.counts_by_polluter()["distance-km-to-cm"],
+        "every unit error is detectable"
+    );
+}

@@ -1,0 +1,273 @@
+//! The `icewafl` command-line tool: pollute, validate, profile, and
+//! generate — the end-to-end workflow of Figure 2 without writing any
+//! Rust.
+//!
+//! ```console
+//! $ icewafl generate --dataset wearable --output clean.csv
+//! $ icewafl pollute --schema wearable --config scenario.json \
+//!       --input clean.csv --output dirty.csv --log groundtruth.json
+//! $ icewafl validate --schema wearable --input dirty.csv --suite checks.json
+//! $ icewafl profile --schema wearable --input dirty.csv
+//! ```
+//!
+//! `--schema` accepts either the name of a built-in dataset schema
+//! (`wearable`, `airquality`) or the path to a schema JSON file.
+
+use icewafl::data::{airquality, read_csv, wearable, write_csv};
+use icewafl::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str);
+    let result = match command {
+        Some("pollute") => cmd_pollute(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("example-config") => cmd_example_config(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(icewafl::types::Error::config(format_args!(
+            "unknown command `{other}` (try `icewafl help`)"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("icewafl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "icewafl — a configurable data stream polluter
+
+USAGE:
+  icewafl pollute  --schema S --config CFG.json --input IN.csv --output OUT.csv
+                   [--clean CLEAN.csv] [--log LOG.json] [--seed N] [--parallel]
+  icewafl validate --schema S --input IN.csv --suite SUITE.json
+  icewafl profile  --schema S --input IN.csv
+  icewafl generate --dataset wearable|airquality[:STATION] --output OUT.csv [--seed N]
+  icewafl example-config
+
+  --schema S  a built-in schema name (wearable, airquality) or a schema JSON file"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn require(args: &[String], name: &str) -> Result<String> {
+    flag(args, name).ok_or_else(|| Error::config(format_args!("missing required flag {name}")))
+}
+
+use icewafl::types::{Error, Result};
+
+fn load_schema(spec: &str) -> Result<Schema> {
+    match spec {
+        "wearable" => Ok(wearable::schema()),
+        "airquality" => Ok(airquality::schema()),
+        path => {
+            let text = std::fs::read_to_string(path)?;
+            serde_json::from_str(&text)
+                .map_err(|e| Error::config(format_args!("bad schema file `{path}`: {e}")))
+        }
+    }
+}
+
+fn load_tuples(path: &str, schema: &Schema) -> Result<Vec<Tuple>> {
+    let file = File::open(path)
+        .map_err(|e| Error::Io(format!("cannot open `{path}`: {e}")))?;
+    read_csv(&mut BufReader::new(file), schema)
+}
+
+fn cmd_pollute(args: &[String]) -> Result<()> {
+    let schema = load_schema(&require(args, "--schema")?)?;
+    let config_path = require(args, "--config")?;
+    let input = require(args, "--input")?;
+    let output = require(args, "--output")?;
+
+    let mut config = JobConfig::from_json(&std::fs::read_to_string(&config_path)?)?;
+    if let Some(seed) = flag(args, "--seed") {
+        config.seed =
+            seed.parse().map_err(|_| Error::config(format_args!("bad --seed `{seed}`")))?;
+    }
+    let tuples = load_tuples(&input, &schema)?;
+    let n = tuples.len();
+    let pipelines = config.build(&schema)?;
+    let mut job = JobConfigRunner::new(&schema, pipelines.len());
+    if present(args, "--parallel") {
+        job.job = job.job.parallel();
+    }
+    let out = job.job.run(tuples, pipelines)?;
+
+    let dirty: Vec<Tuple> = out.polluted.iter().map(|t| t.tuple.clone()).collect();
+    write_csv_file(&output, &schema, &dirty)?;
+    println!(
+        "polluted {n} tuples -> {} output tuples, {} ground-truth entries -> {output}",
+        dirty.len(),
+        out.log.len()
+    );
+
+    if let Some(clean_path) = flag(args, "--clean") {
+        let clean: Vec<Tuple> = out.clean.iter().map(|t| t.tuple.clone()).collect();
+        write_csv_file(&clean_path, &schema, &clean)?;
+        println!("clean stream -> {clean_path}");
+    }
+    if let Some(log_path) = flag(args, "--log") {
+        let json = serde_json::to_string_pretty(&out.log)
+            .map_err(|e| Error::config(format_args!("log serialization: {e}")))?;
+        std::fs::write(&log_path, json)?;
+        println!("ground truth -> {log_path}");
+    }
+    Ok(())
+}
+
+/// Small helper that chooses the sub-stream assigner by pipeline count.
+struct JobConfigRunner {
+    job: PollutionJob,
+}
+
+impl JobConfigRunner {
+    fn new(schema: &Schema, pipelines: usize) -> Self {
+        let job = PollutionJob::new(schema.clone()).with_assigner(if pipelines > 1 {
+            SubStreamAssigner::RoundRobin
+        } else {
+            SubStreamAssigner::Broadcast
+        });
+        JobConfigRunner { job }
+    }
+}
+
+fn write_csv_file(path: &str, schema: &Schema, tuples: &[Tuple]) -> Result<()> {
+    let file = File::create(path)
+        .map_err(|e| Error::Io(format!("cannot create `{path}`: {e}")))?;
+    let mut w = BufWriter::new(file);
+    write_csv(&mut w, schema, tuples)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<()> {
+    let schema = load_schema(&require(args, "--schema")?)?;
+    let input = require(args, "--input")?;
+    let suite_path = require(args, "--suite")?;
+    let suite = SuiteConfig::from_json(&std::fs::read_to_string(&suite_path)?)?.build()?;
+    let tuples = load_tuples(&input, &schema)?;
+    // Validation runs on prepared tuples (ids for reporting).
+    let prepared = icewafl::core::prepare::prepare_all(&schema, tuples)?;
+    let report = suite.validate(&schema, &prepared)?;
+    print!("{report}");
+    if report.success() {
+        Ok(())
+    } else {
+        Err(Error::config(format_args!(
+            "{} expectation(s) failed with {} unexpected rows",
+            report.results.iter().filter(|r| !r.success).count(),
+            report.total_unexpected()
+        )))
+    }
+}
+
+fn cmd_profile(args: &[String]) -> Result<()> {
+    let schema = load_schema(&require(args, "--schema")?)?;
+    let input = require(args, "--input")?;
+    let tuples = load_tuples(&input, &schema)?;
+    let prepared = icewafl::core::prepare::prepare_all(&schema, tuples)?;
+    println!("{} rows", prepared.len());
+    println!(
+        "{:<16} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "column", "type", "nulls", "min", "max", "mean", "stdev"
+    );
+    for p in profile(&schema, &prepared) {
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));
+        println!(
+            "{:<16} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            p.name,
+            p.dtype.to_string(),
+            p.null_count,
+            fmt(p.min),
+            fmt(p.max),
+            fmt(p.mean),
+            fmt(p.stdev),
+        );
+        if !p.categories.is_empty() {
+            println!("{:<16} categories: {}", "", p.categories.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<()> {
+    let dataset = require(args, "--dataset")?;
+    let output = require(args, "--output")?;
+    let seed: Option<u64> = flag(args, "--seed").and_then(|s| s.parse().ok());
+    let (schema, tuples) = match dataset.split_once(':') {
+        None if dataset == "wearable" => {
+            (wearable::schema(), seed.map_or_else(wearable::generate, wearable::generate_seeded))
+        }
+        None if dataset == "airquality" => (
+            airquality::schema(),
+            airquality::generate_station_seeded(
+                "Wanshouxigong",
+                seed.unwrap_or(2013),
+                airquality::TUPLES_PER_STATION,
+            ),
+        ),
+        Some(("airquality", station)) => (
+            airquality::schema(),
+            airquality::generate_station_seeded(
+                station,
+                seed.unwrap_or(2013),
+                airquality::TUPLES_PER_STATION,
+            ),
+        ),
+        _ => {
+            return Err(Error::config(format_args!(
+                "unknown dataset `{dataset}` (wearable, airquality[:STATION])"
+            )))
+        }
+    };
+    write_csv_file(&output, &schema, &tuples)?;
+    println!("generated {} tuples -> {output}", tuples.len());
+    Ok(())
+}
+
+fn cmd_example_config() -> Result<()> {
+    let config = JobConfig::single(
+        42,
+        vec![
+            PolluterConfig::Standard {
+                name: "nightly-dropouts".into(),
+                attributes: vec!["Distance".into()],
+                error: ErrorConfig::MissingValue,
+                condition: ConditionConfig::Sinusoidal { amplitude: 0.25, offset: 0.25 },
+                pattern: None,
+            },
+            PolluterConfig::Delay {
+                name: "bad-network".into(),
+                condition: ConditionConfig::And {
+                    children: vec![
+                        ConditionConfig::HourRange { start: 13, end: 15 },
+                        ConditionConfig::Probability { p: 0.2 },
+                    ],
+                },
+                delay_ms: 3_600_000,
+            },
+        ],
+    );
+    println!("{}", config.to_json());
+    Ok(())
+}

@@ -1,0 +1,179 @@
+//! Integration tests of the `icewafl` command-line tool: the full
+//! generate → pollute → validate → profile workflow through the real
+//! binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn icewafl(args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_icewafl"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icewafl-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).to_string()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).to_string()
+}
+
+#[test]
+fn help_lists_commands() {
+    let dir = temp_dir("help");
+    let out = icewafl(&["help"], &dir);
+    assert!(out.status.success());
+    for cmd in ["pollute", "validate", "profile", "generate"] {
+        assert!(stdout(&out).contains(cmd), "help mentions {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let dir = temp_dir("unknown");
+    let out = icewafl(&["frobnicate"], &dir);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn example_config_is_valid_json() {
+    let dir = temp_dir("config");
+    let out = icewafl(&["example-config"], &dir);
+    assert!(out.status.success());
+    let parsed: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert!(parsed["pipelines"].is_array());
+}
+
+#[test]
+fn full_workflow_generate_pollute_validate_profile() {
+    let dir = temp_dir("workflow");
+
+    // generate
+    let out = icewafl(&["generate", "--dataset", "wearable", "--output", "clean.csv"], &dir);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("1059 tuples"));
+
+    // pollute with the example config
+    let cfg = icewafl(&["example-config"], &dir);
+    std::fs::write(dir.join("scenario.json"), &cfg.stdout).unwrap();
+    let out = icewafl(
+        &[
+            "pollute",
+            "--schema",
+            "wearable",
+            "--config",
+            "scenario.json",
+            "--input",
+            "clean.csv",
+            "--output",
+            "dirty.csv",
+            "--log",
+            "gt.json",
+            "--seed",
+            "7",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(dir.join("dirty.csv").exists());
+    let log: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("gt.json")).unwrap()).unwrap();
+    let entries = log["entries"].as_array().unwrap().len();
+    assert!(entries > 100, "the sinusoid nulls ≈ 25 % of 1059 tuples: {entries}");
+
+    // validate: the dirty stream must FAIL the not-null check (exit 1)
+    std::fs::write(
+        dir.join("suite.json"),
+        r#"{ "name": "checks", "expectations": [
+            { "type": "not_null", "column": "Distance" } ] }"#,
+    )
+    .unwrap();
+    let out = icewafl(
+        &["validate", "--schema", "wearable", "--input", "dirty.csv", "--suite", "suite.json"],
+        &dir,
+    );
+    assert!(!out.status.success(), "dirty data must fail validation");
+    assert!(stdout(&out).contains("not_be_null"));
+
+    // ...and the clean stream must pass it (exit 0).
+    let out = icewafl(
+        &["validate", "--schema", "wearable", "--input", "clean.csv", "--suite", "suite.json"],
+        &dir,
+    );
+    assert!(out.status.success(), "clean data passes: {}", stdout(&out));
+
+    // profile prints per-column stats
+    let out = icewafl(&["profile", "--schema", "wearable", "--input", "dirty.csv"], &dir);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Distance"));
+    assert!(text.contains("1059 rows"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pollute_is_reproducible_per_seed() {
+    let dir = temp_dir("repro");
+    icewafl(&["generate", "--dataset", "wearable", "--output", "clean.csv", "--seed", "1"], &dir);
+    let cfg = icewafl(&["example-config"], &dir);
+    std::fs::write(dir.join("scenario.json"), &cfg.stdout).unwrap();
+    let run = |out_name: &str, seed: &str| {
+        let out = icewafl(
+            &[
+                "pollute",
+                "--schema",
+                "wearable",
+                "--config",
+                "scenario.json",
+                "--input",
+                "clean.csv",
+                "--output",
+                out_name,
+                "--seed",
+                seed,
+            ],
+            &dir,
+        );
+        assert!(out.status.success(), "{}", stderr(&out));
+        std::fs::read_to_string(dir.join(out_name)).unwrap()
+    };
+    let a = run("a.csv", "9");
+    let b = run("b.csv", "9");
+    let c = run("c.csv", "10");
+    assert_eq!(a, b, "same seed, same dirty stream");
+    assert_ne!(a, c, "different seed, different stream");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_flags_are_reported() {
+    let dir = temp_dir("flags");
+    let out = icewafl(&["pollute", "--schema", "wearable"], &dir);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--config"));
+}
+
+#[test]
+fn schema_can_be_loaded_from_file() {
+    let dir = temp_dir("schemafile");
+    // Serialize the wearable schema to a file and use it by path.
+    let schema = icewafl::data::wearable::schema();
+    std::fs::write(dir.join("schema.json"), serde_json::to_string(&schema).unwrap()).unwrap();
+    icewafl(&["generate", "--dataset", "wearable", "--output", "clean.csv"], &dir);
+    let out = icewafl(&["profile", "--schema", "schema.json", "--input", "clean.csv"], &dir);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("CaloriesBurned"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
