@@ -24,7 +24,11 @@ fn rows(n: usize) -> Vec<StampedTuple> {
                 Timestamp(i as i64 * 1000),
                 Tuple::new(vec![
                     Value::Timestamp(Timestamp(i as i64 * 1000)),
-                    if i % 10 == 0 { Value::Null } else { Value::Float(i as f64 * 0.321) },
+                    if i % 10 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(i as f64 * 0.321)
+                    },
                     Value::Str(format!("{}.{:03}", i, i % 997)),
                 ]),
             )

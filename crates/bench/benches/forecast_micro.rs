@@ -60,7 +60,9 @@ fn bench_forecast(c: &mut Criterion) {
         hw.learn_one(*y, &[]);
     }
     group.bench_function("arima", |b| b.iter(|| black_box(arima.forecast(12, &[]))));
-    group.bench_function("holt_winters", |b| b.iter(|| black_box(hw.forecast(12, &[]))));
+    group.bench_function("holt_winters", |b| {
+        b.iter(|| black_box(hw.forecast(12, &[])))
+    });
     group.finish();
 }
 

@@ -14,7 +14,12 @@ fn schema() -> Schema {
 
 fn stream(n: usize) -> Vec<Tuple> {
     (0..n as i64)
-        .map(|i| Tuple::new(vec![Value::Timestamp(Timestamp(i * 1000)), Value::Float(i as f64)]))
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp(i * 1000)),
+                Value::Float(i as f64),
+            ])
+        })
         .collect()
 }
 
@@ -22,7 +27,10 @@ fn noise_polluter(name: String) -> PolluterConfig {
     PolluterConfig::Standard {
         name,
         attributes: vec!["x".into()],
-        error: ErrorConfig::GaussianNoise { sigma: 1.0, relative: false },
+        error: ErrorConfig::GaussianNoise {
+            sigma: 1.0,
+            relative: false,
+        },
         condition: ConditionConfig::Probability { p: 0.5 },
         pattern: None,
     }
@@ -36,10 +44,7 @@ fn bench_pipeline_length(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(4));
     group.sample_size(20);
     for l in [1usize, 2, 4, 8] {
-        let cfg = JobConfig::single(
-            1,
-            (0..l).map(|i| noise_polluter(format!("p{i}"))).collect(),
-        );
+        let cfg = JobConfig::single(1, (0..l).map(|i| noise_polluter(format!("p{i}"))).collect());
         group.bench_with_input(BenchmarkId::from_parameter(l), &cfg, |b, cfg| {
             b.iter_batched(
                 || (data.clone(), cfg.build(&schema).unwrap().pop().unwrap()),
@@ -65,7 +70,9 @@ fn bench_substream_count(c: &mut Criterion) {
     for m in [1usize, 2, 4] {
         let cfg = JobConfig {
             seed: 1,
-            pipelines: (0..m).map(|i| vec![noise_polluter(format!("m{i}"))]).collect(),
+            pipelines: (0..m)
+                .map(|i| vec![noise_polluter(format!("m{i}"))])
+                .collect(),
         };
         group.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {
             b.iter_batched(
@@ -89,7 +96,9 @@ fn bench_parallelism(c: &mut Criterion) {
     let data = stream(20_000);
     let cfg = JobConfig {
         seed: 1,
-        pipelines: (0..4).map(|i| vec![noise_polluter(format!("m{i}"))]).collect(),
+        pipelines: (0..4)
+            .map(|i| vec![noise_polluter(format!("m{i}"))])
+            .collect(),
     };
     let mut group = c.benchmark_group("substream_parallelism");
     group.measurement_time(Duration::from_secs(4));
@@ -114,5 +123,10 @@ fn bench_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_length, bench_substream_count, bench_parallelism);
+criterion_group!(
+    benches,
+    bench_pipeline_length,
+    bench_substream_count,
+    bench_parallelism
+);
 criterion_main!(benches);

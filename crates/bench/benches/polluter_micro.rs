@@ -18,11 +18,18 @@ fn rng() -> StdRng {
 }
 
 fn numeric_tuple() -> Tuple {
-    Tuple::new(vec![Value::Timestamp(Timestamp(0)), Value::Float(42.5), Value::Int(7)])
+    Tuple::new(vec![
+        Value::Timestamp(Timestamp(0)),
+        Value::Float(42.5),
+        Value::Int(7),
+    ])
 }
 
 fn string_tuple() -> Tuple {
-    Tuple::new(vec![Value::Timestamp(Timestamp(0)), Value::Str("sensor-reading".into())])
+    Tuple::new(vec![
+        Value::Timestamp(Timestamp(0)),
+        Value::Str("sensor-reading".into()),
+    ])
 }
 
 fn bench_error_functions(c: &mut Criterion) {
@@ -30,18 +37,48 @@ fn bench_error_functions(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     type Case = (&'static str, Box<dyn ErrorFunction>, Tuple, Vec<usize>);
     let cases: Vec<Case> = vec![
-        ("gaussian_noise", Box::new(GaussianNoise::additive(1.0, rng())), numeric_tuple(), vec![1]),
+        (
+            "gaussian_noise",
+            Box::new(GaussianNoise::additive(1.0, rng())),
+            numeric_tuple(),
+            vec![1],
+        ),
         (
             "uniform_noise",
             Box::new(UniformMultiplicativeNoise::new(0.0, 0.5, rng())),
             numeric_tuple(),
             vec![1],
         ),
-        ("scale", Box::new(ScaleByFactor::new(0.125)), numeric_tuple(), vec![1]),
-        ("missing_value", Box::new(MissingValue), numeric_tuple(), vec![1]),
-        ("constant", Box::new(Constant::new(Value::Int(0))), numeric_tuple(), vec![2]),
-        ("rounding", Box::new(Rounding::new(2)), numeric_tuple(), vec![1]),
-        ("unit_conversion", Box::new(UnitConversion::km_to_cm()), numeric_tuple(), vec![1]),
+        (
+            "scale",
+            Box::new(ScaleByFactor::new(0.125)),
+            numeric_tuple(),
+            vec![1],
+        ),
+        (
+            "missing_value",
+            Box::new(MissingValue),
+            numeric_tuple(),
+            vec![1],
+        ),
+        (
+            "constant",
+            Box::new(Constant::new(Value::Int(0))),
+            numeric_tuple(),
+            vec![2],
+        ),
+        (
+            "rounding",
+            Box::new(Rounding::new(2)),
+            numeric_tuple(),
+            vec![1],
+        ),
+        (
+            "unit_conversion",
+            Box::new(UnitConversion::km_to_cm()),
+            numeric_tuple(),
+            vec![1],
+        ),
         (
             "incorrect_category",
             Box::new(IncorrectCategory::new(
@@ -51,7 +88,12 @@ fn bench_error_functions(c: &mut Criterion) {
             string_tuple(),
             vec![1],
         ),
-        ("string_typo", Box::new(StringTypo::new(TypoKind::Any, rng())), string_tuple(), vec![1]),
+        (
+            "string_typo",
+            Box::new(StringTypo::new(TypoKind::Any, rng())),
+            string_tuple(),
+            vec![1],
+        ),
     ];
     for (name, mut f, template, attrs) in cases {
         group.bench_function(name, |b| {
@@ -72,9 +114,15 @@ fn bench_conditions(c: &mut Criterion) {
     let tuple = StampedTuple::new(1, Timestamp(50_000_000), numeric_tuple());
     let cases: Vec<(&str, Box<dyn Condition>)> = vec![
         ("probability", Box::new(Probability::new(0.5, rng()))),
-        ("value_gt", Box::new(ValueCondition::new(1, CmpOp::Gt, Value::Float(10.0)))),
+        (
+            "value_gt",
+            Box::new(ValueCondition::new(1, CmpOp::Gt, Value::Float(10.0))),
+        ),
         ("hour_range", Box::new(HourRange::new(13, 15))),
-        ("sinusoidal", Box::new(SinusoidalProbability::paper_default(rng()))),
+        (
+            "sinusoidal",
+            Box::new(SinusoidalProbability::paper_default(rng())),
+        ),
         (
             "and_nested",
             Box::new(AndCondition::new(vec![

@@ -19,7 +19,10 @@ fn scenario_configs() -> Vec<(&'static str, Option<JobConfig>)> {
             name: "null-distance".into(),
             attributes: vec!["Distance".into()],
             error: ErrorConfig::MissingValue,
-            condition: ConditionConfig::Sinusoidal { amplitude: 0.25, offset: 0.25 },
+            condition: ConditionConfig::Sinusoidal {
+                amplitude: 0.25,
+                offset: 0.25,
+            },
             pattern: None,
         }],
     );
@@ -76,7 +79,10 @@ fn run(schema: &Schema, data: Vec<Tuple>, config: Option<&JobConfig>) -> usize {
         None => PollutionPipeline::empty(),
     };
     let job = PollutionJob::new(schema.clone()).without_logging();
-    job.run(data, vec![pipeline]).expect("pollution runs").polluted.len()
+    job.run(data, vec![pipeline])
+        .expect("pollution runs")
+        .polluted
+        .len()
 }
 
 fn bench_overhead(c: &mut Criterion) {

@@ -54,7 +54,10 @@ pub struct Probability {
 impl Probability {
     /// A condition firing with probability `p` (clamped to `[0, 1]`).
     pub fn new(p: f64, rng: StdRng) -> Self {
-        Probability { p: p.clamp(0.0, 1.0), rng }
+        Probability {
+            p: p.clamp(0.0, 1.0),
+            rng,
+        }
     }
 
     /// The firing probability.
@@ -138,11 +141,17 @@ impl ValueCondition {
             },
             CmpOp::Lt => v.compare(&self.value) == Some(Ordering::Less),
             CmpOp::Le => {
-                matches!(v.compare(&self.value), Some(Ordering::Less | Ordering::Equal))
+                matches!(
+                    v.compare(&self.value),
+                    Some(Ordering::Less | Ordering::Equal)
+                )
             }
             CmpOp::Gt => v.compare(&self.value) == Some(Ordering::Greater),
             CmpOp::Ge => {
-                matches!(v.compare(&self.value), Some(Ordering::Greater | Ordering::Equal))
+                matches!(
+                    v.compare(&self.value),
+                    Some(Ordering::Greater | Ordering::Equal)
+                )
             }
         }
     }
@@ -211,7 +220,10 @@ mod tests {
     #[test]
     fn value_condition_null_semantics() {
         let mut gt = ValueCondition::new(1, CmpOp::Gt, Value::Int(0));
-        assert!(!gt.evaluate(&tuple_at(0, Value::Null)), "NULL > 0 is not true");
+        assert!(
+            !gt.evaluate(&tuple_at(0, Value::Null)),
+            "NULL > 0 is not true"
+        );
         let mut is_null = ValueCondition::new(1, CmpOp::IsNull, Value::Null);
         assert!(is_null.evaluate(&tuple_at(0, Value::Null)));
         assert!(!is_null.evaluate(&tuple_at(0, 1i64)));
@@ -225,9 +237,15 @@ mod tests {
         let mut ne = ValueCondition::new(1, CmpOp::Ne, Value::Int(5));
         assert!(ne.evaluate(&tuple_at(0, 6i64)));
         assert!(!ne.evaluate(&tuple_at(0, 5i64)));
-        assert!(ne.evaluate(&tuple_at(0, Value::Null)), "NULL is different from 5");
+        assert!(
+            ne.evaluate(&tuple_at(0, Value::Null)),
+            "NULL is different from 5"
+        );
         let mut ne_null = ValueCondition::new(1, CmpOp::Ne, Value::Null);
-        assert!(!ne_null.evaluate(&tuple_at(0, Value::Null)), "NULL vs NULL: not different");
+        assert!(
+            !ne_null.evaluate(&tuple_at(0, Value::Null)),
+            "NULL vs NULL: not different"
+        );
     }
 
     #[test]

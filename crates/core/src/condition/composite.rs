@@ -30,7 +30,10 @@ impl Condition for AndCondition {
     /// independent, which holds for Icewafl's built-in conditions (each
     /// stochastic condition owns its own RNG).
     fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
-        self.children.iter().map(|c| c.expected_probability(tuple)).product()
+        self.children
+            .iter()
+            .map(|c| c.expected_probability(tuple))
+            .product()
     }
 
     fn name(&self) -> &'static str {
@@ -57,7 +60,11 @@ impl Condition for OrCondition {
 
     /// `1 − ∏(1 − pᵢ)` under child independence.
     fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
-        1.0 - self.children.iter().map(|c| 1.0 - c.expected_probability(tuple)).product::<f64>()
+        1.0 - self
+            .children
+            .iter()
+            .map(|c| 1.0 - c.expected_probability(tuple))
+            .product::<f64>()
     }
 
     fn name(&self) -> &'static str {
@@ -129,7 +136,10 @@ mod tests {
         let t = tuple_at(0, 0i64);
         assert!(!NotCondition::new(Box::new(Always)).evaluate(&t));
         assert!(NotCondition::new(Box::new(Never)).evaluate(&t));
-        assert_eq!(NotCondition::new(Box::new(Always)).expected_probability(&t), 0.0);
+        assert_eq!(
+            NotCondition::new(Box::new(Always)).expected_probability(&t),
+            0.0
+        );
     }
 
     #[test]

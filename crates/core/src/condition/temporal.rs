@@ -25,12 +25,18 @@ impl TimeWindow {
 
     /// Fires from `from` (inclusive) onwards.
     pub fn starting_at(from: Timestamp) -> Self {
-        TimeWindow { from: Some(from), to: None }
+        TimeWindow {
+            from: Some(from),
+            to: None,
+        }
     }
 
     /// Fires before `to` (exclusive).
     pub fn until(to: Timestamp) -> Self {
-        TimeWindow { from: None, to: Some(to) }
+        TimeWindow {
+            from: None,
+            to: Some(to),
+        }
     }
 
     fn contains(&self, tau: Timestamp) -> bool {
@@ -69,7 +75,10 @@ impl HourRange {
     /// A daily range from `start` (inclusive) to `end` (exclusive), both
     /// in `0..=24`.
     pub fn new(start: u32, end: u32) -> Self {
-        HourRange { start: start.min(24), end: end.min(24) }
+        HourRange {
+            start: start.min(24),
+            end: end.min(24),
+        }
     }
 
     fn contains(&self, tau: Timestamp) -> bool {
@@ -117,7 +126,11 @@ pub struct SinusoidalProbability {
 impl SinusoidalProbability {
     /// A daily sinusoidal firing probability.
     pub fn new(amplitude: f64, offset: f64, rng: StdRng) -> Self {
-        SinusoidalProbability { amplitude, offset, rng }
+        SinusoidalProbability {
+            amplitude,
+            offset,
+            rng,
+        }
     }
 
     /// The paper's exact configuration (`0.25·cos(π/12·t) + 0.25`).
@@ -307,8 +320,10 @@ mod tests {
         assert!((s.probability_at(Timestamp(6 * MILLIS_PER_HOUR)) - 0.25).abs() < 1e-12);
         assert!(s.probability_at(Timestamp(12 * MILLIS_PER_HOUR)) < 1e-12);
         // Mean over a day ≈ 0.25 (the paper measured 24.58 %).
-        let mean: f64 =
-            (0..24).map(|h| s.probability_at(Timestamp(h * MILLIS_PER_HOUR))).sum::<f64>() / 24.0;
+        let mean: f64 = (0..24)
+            .map(|h| s.probability_at(Timestamp(h * MILLIS_PER_HOUR)))
+            .sum::<f64>()
+            / 24.0;
         assert!((mean - 0.25).abs() < 1e-9);
     }
 
@@ -319,7 +334,11 @@ mod tests {
         let hits = (0..10_000).filter(|_| s.evaluate(&midnight)).count();
         assert!((4800..5200).contains(&hits), "midnight p=0.5, hits {hits}");
         let noon = tuple_at(12 * MILLIS_PER_HOUR, 0i64);
-        assert_eq!((0..1000).filter(|_| s.evaluate(&noon)).count(), 0, "noon p=0");
+        assert_eq!(
+            (0..1000).filter(|_| s.evaluate(&noon)).count(),
+            0,
+            "noon p=0"
+        );
     }
 
     #[test]
@@ -330,7 +349,11 @@ mod tests {
         assert_eq!(r.probability_at(Timestamp(0)), 0.0);
         assert!((r.probability_at(Timestamp(25 * MILLIS_PER_HOUR)) - 0.25).abs() < 1e-12);
         assert_eq!(r.probability_at(end), 1.0);
-        assert_eq!(r.probability_at(Timestamp(200 * MILLIS_PER_HOUR)), 1.0, "clamped after end");
+        assert_eq!(
+            r.probability_at(Timestamp(200 * MILLIS_PER_HOUR)),
+            1.0,
+            "clamped after end"
+        );
     }
 
     #[test]
@@ -347,12 +370,8 @@ mod tests {
 
     #[test]
     fn pattern_probability_with_abrupt_pattern() {
-        let mut c = PatternProbability::new(
-            ChangePattern::Abrupt { at: Timestamp(50) },
-            0.0,
-            1.0,
-            rng(),
-        );
+        let mut c =
+            PatternProbability::new(ChangePattern::Abrupt { at: Timestamp(50) }, 0.0, 1.0, rng());
         assert!(!c.evaluate(&tuple_at(49, 0i64)));
         assert!(c.evaluate(&tuple_at(50, 0i64)));
         assert_eq!(c.expected_probability(&tuple_at(0, 0i64)), 0.0);
@@ -362,7 +381,10 @@ mod tests {
     #[test]
     fn pattern_probability_interpolates_p_range() {
         let c = PatternProbability::new(
-            ChangePattern::Incremental { from: Timestamp(0), to: Timestamp(100) },
+            ChangePattern::Incremental {
+                from: Timestamp(0),
+                to: Timestamp(100),
+            },
             0.4,
             0.9,
             rng(),
@@ -374,6 +396,9 @@ mod tests {
     fn names() {
         assert_eq!(TimeWindow::starting_at(Timestamp(0)).name(), "time_window");
         assert_eq!(HourRange::new(0, 1).name(), "hour_range");
-        assert_eq!(SinusoidalProbability::paper_default(rng()).name(), "sinusoidal_probability");
+        assert_eq!(
+            SinusoidalProbability::paper_default(rng()).name(),
+            "sinusoidal_probability"
+        );
     }
 }

@@ -52,7 +52,10 @@ pub struct JobConfig {
 impl JobConfig {
     /// A single-pipeline configuration.
     pub fn single(seed: u64, polluters: Vec<PolluterConfig>) -> Self {
-        JobConfig { seed, pipelines: vec![polluters] }
+        JobConfig {
+            seed,
+            pipelines: vec![polluters],
+        }
     }
 
     /// Parses a JSON document.
@@ -401,11 +404,17 @@ pub fn build_condition(
         ConditionConfig::Never => Box::new(Never),
         ConditionConfig::Probability { p } => {
             if !(0.0..=1.0).contains(p) {
-                return Err(Error::config(format_args!("probability {p} outside [0, 1]")));
+                return Err(Error::config(format_args!(
+                    "probability {p} outside [0, 1]"
+                )));
             }
             Box::new(Probability::new(*p, seeds.rng_for(path.as_str())))
         }
-        ConditionConfig::Value { attribute, op, value } => {
+        ConditionConfig::Value {
+            attribute,
+            op,
+            value,
+        } => {
             let idx = schema.require(attribute)?;
             Box::new(ValueCondition::new(idx, op.clone(), value.clone()))
         }
@@ -427,7 +436,11 @@ pub fn build_condition(
             *p1,
             seeds.rng_for(path.as_str()),
         )),
-        ConditionConfig::Pattern { pattern, p_min, p_max } => Box::new(PatternProbability::new(
+        ConditionConfig::Pattern {
+            pattern,
+            p_min,
+            p_max,
+        } => Box::new(PatternProbability::new(
             pattern.clone(),
             *p_min,
             *p_max,
@@ -447,9 +460,12 @@ pub fn build_condition(
                 .map(|(i, c)| build_condition(c, schema, seeds, &path.index(i)))
                 .collect::<Result<_>>()?,
         )),
-        ConditionConfig::Not { inner } => {
-            Box::new(NotCondition::new(build_condition(inner, schema, seeds, &path.child("not"))?))
-        }
+        ConditionConfig::Not { inner } => Box::new(NotCondition::new(build_condition(
+            inner,
+            schema,
+            seeds,
+            &path.child("not"),
+        )?)),
     })
 }
 
@@ -468,21 +484,26 @@ pub fn build_error_fn(
                 Box::new(GaussianNoise::additive(*sigma, rng))
             }
         }
-        ErrorConfig::UniformNoise { a, b } => {
-            Box::new(UniformMultiplicativeNoise::new(*a, *b, seeds.rng_for(path.as_str())))
-        }
+        ErrorConfig::UniformNoise { a, b } => Box::new(UniformMultiplicativeNoise::new(
+            *a,
+            *b,
+            seeds.rng_for(path.as_str()),
+        )),
         ErrorConfig::Scale { factor } => Box::new(ScaleByFactor::new(*factor)),
         ErrorConfig::MissingValue => Box::new(MissingValue),
         ErrorConfig::Constant { value } => Box::new(Constant::new(value.clone())),
-        ErrorConfig::IncorrectCategory { categories } => {
-            Box::new(IncorrectCategory::new(categories.clone(), seeds.rng_for(path.as_str())))
-        }
+        ErrorConfig::IncorrectCategory { categories } => Box::new(IncorrectCategory::new(
+            categories.clone(),
+            seeds.rng_for(path.as_str()),
+        )),
         ErrorConfig::Outlier { magnitude } => {
             Box::new(Outlier::new(*magnitude, seeds.rng_for(path.as_str())))
         }
         ErrorConfig::Round { precision } => Box::new(Rounding::new(*precision)),
         ErrorConfig::UnitConversion { factor } => Box::new(UnitConversion::new(*factor)),
-        ErrorConfig::Typo { kind } => Box::new(StringTypo::new(*kind, seeds.rng_for(path.as_str()))),
+        ErrorConfig::Typo { kind } => {
+            Box::new(StringTypo::new(*kind, seeds.rng_for(path.as_str())))
+        }
         ErrorConfig::SwapAttributes => Box::new(SwapAttributes),
         ErrorConfig::TimestampShift { delta_ms } => {
             Box::new(TimestampShift::new(Duration::from_millis(*delta_ms)))
@@ -498,7 +519,13 @@ pub fn build_polluter(
     path: &ComponentPath,
 ) -> Result<BoxPolluter> {
     Ok(match config {
-        PolluterConfig::Standard { name, attributes, error, condition, pattern } => {
+        PolluterConfig::Standard {
+            name,
+            attributes,
+            error,
+            condition,
+            pattern,
+        } => {
             let cond = build_condition(condition, schema, seeds, &path.child("cond"))?;
             let error_fn = build_error_fn(error, seeds, &path.child("error"))?;
             let attr_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
@@ -512,7 +539,11 @@ pub fn build_polluter(
                 seeds.rng_for(path.child("pattern").as_str()),
             )?)
         }
-        PolluterConfig::Composite { name, condition, children } => {
+        PolluterConfig::Composite {
+            name,
+            condition,
+            children,
+        } => {
             let cond = build_condition(condition, schema, seeds, &path.child("cond"))?;
             let built: Result<Vec<BoxPolluter>> = children
                 .iter()
@@ -521,7 +552,12 @@ pub fn build_polluter(
                 .collect();
             Box::new(CompositePolluter::new(name.clone(), cond, built?))
         }
-        PolluterConfig::OneOf { name, condition, children, weights } => {
+        PolluterConfig::OneOf {
+            name,
+            condition,
+            children,
+            weights,
+        } => {
             let cond = build_condition(condition, schema, seeds, &path.child("cond"))?;
             let built: Result<Vec<BoxPolluter>> = children
                 .iter()
@@ -540,19 +576,36 @@ pub fn build_polluter(
                 }
             }
         }
-        PolluterConfig::Delay { name, condition, delay_ms } => {
+        PolluterConfig::Delay {
+            name,
+            condition,
+            delay_ms,
+        } => {
             let cond = build_condition(condition, schema, seeds, &path.child("cond"))?;
-            Box::new(DelayPolluter::new(name.clone(), cond, Duration::from_millis(*delay_ms))?)
+            Box::new(DelayPolluter::new(
+                name.clone(),
+                cond,
+                Duration::from_millis(*delay_ms),
+            )?)
         }
         PolluterConfig::Drop { name, condition } => {
             let cond = build_condition(condition, schema, seeds, &path.child("cond"))?;
             Box::new(DropPolluter::new(name.clone(), cond))
         }
-        PolluterConfig::Duplicate { name, condition, copies } => {
+        PolluterConfig::Duplicate {
+            name,
+            condition,
+            copies,
+        } => {
             let cond = build_condition(condition, schema, seeds, &path.child("cond"))?;
             Box::new(DuplicatePolluter::new(name.clone(), cond, *copies))
         }
-        PolluterConfig::Freeze { name, condition, attributes, duration_ms } => {
+        PolluterConfig::Freeze {
+            name,
+            condition,
+            attributes,
+            duration_ms,
+        } => {
             let cond = build_condition(condition, schema, seeds, &path.child("cond"))?;
             let attr_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
             Box::new(FreezePolluter::bind(
@@ -563,7 +616,13 @@ pub fn build_polluter(
                 schema,
             )?)
         }
-        PolluterConfig::Burst { name, condition, attributes, error, duration_ms } => {
+        PolluterConfig::Burst {
+            name,
+            condition,
+            attributes,
+            error,
+            duration_ms,
+        } => {
             let cond = build_condition(condition, schema, seeds, &path.child("cond"))?;
             let error_fn = build_error_fn(error, seeds, &path.child("error"))?;
             let attr_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
@@ -607,7 +666,11 @@ pub fn build_polluter(
             }
             Box::new(polluter)
         }
-        PolluterConfig::Keyed { name, key_attribute, inner } => {
+        PolluterConfig::Keyed {
+            name,
+            key_attribute,
+            inner,
+        } => {
             // Validate the template once against the schema so
             // configuration errors surface at build time, not on the
             // first tuple of each key.
@@ -665,7 +728,10 @@ mod tests {
                 name: "null-distance".into(),
                 attributes: vec!["Distance".into()],
                 error: ErrorConfig::MissingValue,
-                condition: ConditionConfig::Sinusoidal { amplitude: 0.25, offset: 0.25 },
+                condition: ConditionConfig::Sinusoidal {
+                    amplitude: 0.25,
+                    offset: 0.25,
+                },
                 pattern: None,
             }],
         );
@@ -714,9 +780,12 @@ mod tests {
             }],
         );
         let mut pipelines = cfg.build(&schema()).unwrap();
-        let out =
-            pollute_stream(&schema(), stream(1000), pipelines.pop().unwrap()).unwrap();
-        let nulls = out.polluted.iter().filter(|t| t.tuple.get(2).unwrap().is_null()).count();
+        let out = pollute_stream(&schema(), stream(1000), pipelines.pop().unwrap()).unwrap();
+        let nulls = out
+            .polluted
+            .iter()
+            .filter(|t| t.tuple.get(2).unwrap().is_null())
+            .count();
         assert!((400..600).contains(&nulls), "nulls {nulls}");
     }
 
@@ -734,7 +803,10 @@ mod tests {
         );
         let run = |cfg: &JobConfig| {
             let mut p = cfg.build(&schema()).unwrap();
-            pollute_stream(&schema(), stream(500), p.pop().unwrap()).unwrap().log.len()
+            pollute_stream(&schema(), stream(500), p.pop().unwrap())
+                .unwrap()
+                .log
+                .len()
         };
         assert_eq!(run(&cfg), run(&cfg));
         let mut other = cfg.clone();
@@ -787,7 +859,10 @@ mod tests {
             1,
             vec![PolluterConfig::Delay {
                 name: "x".into(),
-                condition: ConditionConfig::TimeWindow { from: Some("not a date".into()), to: None },
+                condition: ConditionConfig::TimeWindow {
+                    from: Some("not a date".into()),
+                    to: None,
+                },
                 delay_ms: 10,
             }],
         );
@@ -797,11 +872,16 @@ mod tests {
     #[test]
     fn all_error_types_build() {
         let errors = vec![
-            ErrorConfig::GaussianNoise { sigma: 1.0, relative: false },
+            ErrorConfig::GaussianNoise {
+                sigma: 1.0,
+                relative: false,
+            },
             ErrorConfig::UniformNoise { a: 0.0, b: 0.5 },
             ErrorConfig::Scale { factor: 0.125 },
             ErrorConfig::MissingValue,
-            ErrorConfig::Constant { value: Value::Float(0.0) },
+            ErrorConfig::Constant {
+                value: Value::Float(0.0),
+            },
             ErrorConfig::Outlier { magnitude: 5.0 },
             ErrorConfig::Round { precision: 2 },
             ErrorConfig::UnitConversion { factor: 100_000.0 },
@@ -832,9 +912,15 @@ mod tests {
                 op: CmpOp::Gt,
                 value: Value::Int(100),
             },
-            ConditionConfig::TimeWindow { from: Some("2016-02-27".into()), to: None },
+            ConditionConfig::TimeWindow {
+                from: Some("2016-02-27".into()),
+                to: None,
+            },
             ConditionConfig::HourRange { start: 13, end: 15 },
-            ConditionConfig::Sinusoidal { amplitude: 0.25, offset: 0.25 },
+            ConditionConfig::Sinusoidal {
+                amplitude: 0.25,
+                offset: 0.25,
+            },
             ConditionConfig::LinearRamp {
                 from: "2016-02-26".into(),
                 to: "2016-03-08".into(),
@@ -847,10 +933,17 @@ mod tests {
                 p_max: 0.5,
             },
             ConditionConfig::And {
-                children: vec![ConditionConfig::Always, ConditionConfig::Probability { p: 0.2 }],
+                children: vec![
+                    ConditionConfig::Always,
+                    ConditionConfig::Probability { p: 0.2 },
+                ],
             },
-            ConditionConfig::Or { children: vec![ConditionConfig::Never] },
-            ConditionConfig::Not { inner: Box::new(ConditionConfig::Never) },
+            ConditionConfig::Or {
+                children: vec![ConditionConfig::Never],
+            },
+            ConditionConfig::Not {
+                inner: Box::new(ConditionConfig::Never),
+            },
         ];
         for (i, c) in conds.into_iter().enumerate() {
             let cfg = JobConfig::single(
@@ -873,26 +966,22 @@ mod tests {
         // to 0.5 for the following minute.
         let cfg = JobConfig::single(
             4,
-            vec![
-                PolluterConfig::Propagation {
-                    name: "cascade".into(),
-                    trigger: ConditionConfig::Probability { p: 0.2 },
-                    consequent_filter: None,
-                    delay_ms: 60_000,
-                    duration_ms: 120_000,
-                    error: ErrorConfig::Scale { factor: 0.5 },
-                    attributes: vec!["BPM".into()],
-                },
-            ],
+            vec![PolluterConfig::Propagation {
+                name: "cascade".into(),
+                trigger: ConditionConfig::Probability { p: 0.2 },
+                consequent_filter: None,
+                delay_ms: 60_000,
+                duration_ms: 120_000,
+                error: ErrorConfig::Scale { factor: 0.5 },
+                attributes: vec!["BPM".into()],
+            }],
         );
         let pipeline = cfg.build(&schema()).unwrap().pop().unwrap();
         let out = pollute_stream(&schema(), stream(500), pipeline).unwrap();
         assert!(!out.log.is_empty(), "cascades fired");
-        assert!(out
-            .log
-            .entries()
-            .iter()
-            .all(|e| matches!(e, crate::log::LogEntry::ValueChanged { attr, .. } if attr == "BPM")));
+        assert!(out.log.entries().iter().all(
+            |e| matches!(e, crate::log::LogEntry::ValueChanged { attr, .. } if attr == "BPM")
+        ));
     }
 
     #[test]
@@ -929,10 +1018,13 @@ mod tests {
         let pipeline = cfg.build(&keyed_schema).unwrap().pop().unwrap();
         let out = pollute_stream(&keyed_schema, tuples, pipeline).unwrap();
         let polluted = out.log.polluted_tuple_ids();
-        assert!((30..=90).contains(&polluted.len()), "≈30% of 200: {}", polluted.len());
+        assert!(
+            (30..=90).contains(&polluted.len()),
+            "≈30% of 200: {}",
+            polluted.len()
+        );
         // Both keys were polluted (independent per-key instances).
-        let parities: std::collections::HashSet<u64> =
-            polluted.iter().map(|id| id % 2).collect();
+        let parities: std::collections::HashSet<u64> = polluted.iter().map(|id| id % 2).collect();
         assert_eq!(parities.len(), 2);
     }
 
@@ -952,7 +1044,10 @@ mod tests {
                 }),
             }],
         );
-        assert!(cfg.build(&schema()).is_err(), "template validated at build time");
+        assert!(
+            cfg.build(&schema()).is_err(),
+            "template validated at build time"
+        );
     }
 
     #[test]

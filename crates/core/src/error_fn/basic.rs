@@ -46,9 +46,7 @@ impl ErrorFunction for Constant {
             if !field.dtype.admits(&self.value) {
                 return Err(Error::config(format_args!(
                     "constant {} is not in the domain of `{}` ({})",
-                    self.value,
-                    field.name,
-                    field.dtype
+                    self.value, field.name, field.dtype
                 )));
             }
         }
@@ -175,22 +173,34 @@ mod tests {
     fn constant_validates_domain() {
         let schema = Schema::from_pairs([("bpm", DataType::Int)]).unwrap();
         assert!(Constant::new(Value::Int(0)).validate(&schema, &[0]).is_ok());
-        assert!(Constant::new(Value::Null).validate(&schema, &[0]).is_ok(), "NULL fits everywhere");
-        assert!(Constant::new(Value::Str("x".into())).validate(&schema, &[0]).is_err());
+        assert!(
+            Constant::new(Value::Null).validate(&schema, &[0]).is_ok(),
+            "NULL fits everywhere"
+        );
+        assert!(Constant::new(Value::Str("x".into()))
+            .validate(&schema, &[0])
+            .is_err());
     }
 
     #[test]
     fn swap_exchanges_pairs() {
         let mut f = SwapAttributes;
-        let t = apply_once(&mut f, vec![Value::Int(1), Value::Int(2), Value::Int(3)], &[0, 2]);
+        let t = apply_once(
+            &mut f,
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+            &[0, 2],
+        );
         assert_eq!(t.values(), &[Value::Int(3), Value::Int(2), Value::Int(1)]);
     }
 
     #[test]
     fn swap_validates_arity_and_types() {
-        let schema =
-            Schema::from_pairs([("a", DataType::Int), ("b", DataType::Int), ("c", DataType::Str)])
-                .unwrap();
+        let schema = Schema::from_pairs([
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Str),
+        ])
+        .unwrap();
         let f = SwapAttributes;
         assert!(f.validate(&schema, &[0, 1]).is_ok());
         assert!(f.validate(&schema, &[0]).is_err(), "odd arity");
@@ -200,11 +210,7 @@ mod tests {
     #[test]
     fn timestamp_shift_moves_attribute() {
         let mut f = TimestampShift::new(Duration::from_hours(-1));
-        let t = apply_once(
-            &mut f,
-            vec![Value::Timestamp(Timestamp(7_200_000))],
-            &[0],
-        );
+        let t = apply_once(&mut f, vec![Value::Timestamp(Timestamp(7_200_000))], &[0]);
         assert_eq!(t.get(0).unwrap(), &Value::Timestamp(Timestamp(3_600_000)));
     }
 

@@ -34,7 +34,9 @@ impl ErrorFunction for IncorrectCategory {
 
     fn apply(&mut self, tuple: &mut Tuple, attrs: &[usize], _tau: Timestamp, _intensity: f64) {
         for &idx in attrs {
-            let Some(v) = tuple.get_mut(idx) else { continue };
+            let Some(v) = tuple.get_mut(idx) else {
+                continue;
+            };
             let Value::Str(current) = v else { continue };
             // Rejection-sample a category different from the current
             // value; with ≥ 2 categories this terminates quickly even if
@@ -84,7 +86,9 @@ mod tests {
     fn value_outside_domain_is_still_replaced() {
         let mut f = IncorrectCategory::new(cats(), rng());
         let t = apply_once(&mut f, vec![Value::Str("??".into())], &[0]);
-        assert!(cats().iter().any(|c| c == t.get(0).unwrap().as_str().unwrap()));
+        assert!(cats()
+            .iter()
+            .any(|c| c == t.get(0).unwrap().as_str().unwrap()));
     }
 
     #[test]
@@ -96,8 +100,7 @@ mod tests {
 
     #[test]
     fn validates_category_count_and_types() {
-        let schema =
-            Schema::from_pairs([("wd", DataType::Str), ("x", DataType::Int)]).unwrap();
+        let schema = Schema::from_pairs([("wd", DataType::Str), ("x", DataType::Int)]).unwrap();
         let ok = IncorrectCategory::new(cats(), rng());
         assert!(ok.validate(&schema, &[0]).is_ok());
         assert!(ok.validate(&schema, &[1]).is_err(), "numeric attr rejected");

@@ -21,12 +21,20 @@ pub struct GaussianNoise {
 impl GaussianNoise {
     /// Additive Gaussian noise with standard deviation `sigma`.
     pub fn additive(sigma: f64, rng: StdRng) -> Self {
-        GaussianNoise { sigma: sigma.abs(), relative: false, rng }
+        GaussianNoise {
+            sigma: sigma.abs(),
+            relative: false,
+            rng,
+        }
     }
 
     /// Relative (multiplicative) Gaussian noise.
     pub fn relative(sigma: f64, rng: StdRng) -> Self {
-        GaussianNoise { sigma: sigma.abs(), relative: true, rng }
+        GaussianNoise {
+            sigma: sigma.abs(),
+            relative: true,
+            rng,
+        }
     }
 }
 
@@ -75,8 +83,16 @@ impl UniformMultiplicativeNoise {
     /// Noise with maximal bounds `[a_max, b_max]` (reached at intensity
     /// 1).
     pub fn new(a_max: f64, b_max: f64, rng: StdRng) -> Self {
-        let (lo, hi) = if a_max <= b_max { (a_max, b_max) } else { (b_max, a_max) };
-        UniformMultiplicativeNoise { a_max: lo, b_max: hi, rng }
+        let (lo, hi) = if a_max <= b_max {
+            (a_max, b_max)
+        } else {
+            (b_max, a_max)
+        };
+        UniformMultiplicativeNoise {
+            a_max: lo,
+            b_max: hi,
+            rng,
+        }
     }
 }
 
@@ -182,7 +198,10 @@ pub struct Outlier {
 impl Outlier {
     /// An outlier error of the given relative magnitude.
     pub fn new(magnitude: f64, rng: StdRng) -> Self {
-        Outlier { magnitude: magnitude.abs(), rng }
+        Outlier {
+            magnitude: magnitude.abs(),
+            rng,
+        }
     }
 }
 
@@ -330,7 +349,10 @@ mod tests {
         let mut t = Tuple::new(vec![Value::Float(10.0)]);
         f.apply(&mut t, &[0], Timestamp(0), 0.1);
         let v = t.get(0).unwrap().as_f64().unwrap();
-        assert!((9.0..=11.0).contains(&v), "at intensity 0.1, |u| < 0.1: v {v}");
+        assert!(
+            (9.0..=11.0).contains(&v),
+            "at intensity 0.1, |u| < 0.1: v {v}"
+        );
     }
 
     #[test]

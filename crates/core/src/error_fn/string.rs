@@ -97,7 +97,9 @@ impl ErrorFunction for StringTypo {
 
     fn apply(&mut self, tuple: &mut Tuple, attrs: &[usize], _tau: Timestamp, _intensity: f64) {
         for &idx in attrs {
-            let Some(v) = tuple.get_mut(idx) else { continue };
+            let Some(v) = tuple.get_mut(idx) else {
+                continue;
+            };
             let Value::Str(s) = v else { continue };
             let corrupted = self.corrupt(s);
             *v = Value::Str(corrupted);
@@ -180,7 +182,11 @@ mod tests {
     #[test]
     fn empty_string_unchanged_null_skipped() {
         let mut f = StringTypo::new(TypoKind::Any, rng());
-        let t = apply_once(&mut f, vec![Value::Str(String::new()), Value::Null], &[0, 1]);
+        let t = apply_once(
+            &mut f,
+            vec![Value::Str(String::new()), Value::Null],
+            &[0, 1],
+        );
         assert_eq!(t.get(0).unwrap().as_str().unwrap(), "");
         assert!(t.get(1).unwrap().is_null());
     }

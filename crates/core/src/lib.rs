@@ -69,8 +69,10 @@ pub mod pipeline;
 pub mod polluter;
 pub mod prepare;
 pub mod propagation;
+pub mod report;
 pub mod rng;
 pub mod runner;
+pub mod stats;
 pub mod temporal;
 
 pub use condition::Condition;
@@ -80,7 +82,11 @@ pub use log::{LogEntry, PollutionLog};
 pub use pattern::ChangePattern;
 pub use pipeline::{CompositePolluter, OneOfPolluter, PollutionPipeline};
 pub use polluter::{BoxPolluter, Emission, Polluter, StandardPolluter};
-pub use runner::{pollute_stream, PipelineOperator, PollutionJob, PollutionOutput, SubStreamAssigner};
+pub use report::RunReport;
+pub use runner::{
+    pollute_stream, PipelineOperator, PollutionJob, PollutionOutput, SubStreamAssigner,
+};
+pub use stats::{CountingRng, PolluterStats, PolluterStatsHandle, PolluterStatsSnapshot};
 
 /// Everything needed for typical pollution jobs.
 pub mod prelude {
@@ -91,19 +97,19 @@ pub mod prelude {
     };
     pub use crate::config::{ConditionConfig, ErrorConfig, JobConfig, PolluterConfig};
     pub use crate::error_fn::{
-        Constant, ErrorFunction, GaussianNoise, IncorrectCategory, MissingValue, Outlier,
-        Rounding, ScaleByFactor, StringTypo, SwapAttributes, TimestampShift, TypoKind,
+        Constant, ErrorFunction, GaussianNoise, IncorrectCategory, MissingValue, Outlier, Rounding,
+        ScaleByFactor, StringTypo, SwapAttributes, TimestampShift, TypoKind,
         UniformMultiplicativeNoise, UnitConversion,
     };
     pub use crate::log::{LogEntry, PollutionLog};
     pub use crate::pattern::ChangePattern;
     pub use crate::pipeline::{CompositePolluter, OneOfPolluter, PollutionPipeline};
     pub use crate::polluter::{BoxPolluter, Emission, Polluter, StandardPolluter};
-    pub use crate::rng::{ComponentPath, SeedFactory};
-    pub use crate::runner::{
-        pollute_stream, PollutionJob, PollutionOutput, SubStreamAssigner,
-    };
     pub use crate::propagation::{KeyedPolluter, PropagationPolluter};
+    pub use crate::report::RunReport;
+    pub use crate::rng::{ComponentPath, SeedFactory};
+    pub use crate::runner::{pollute_stream, PollutionJob, PollutionOutput, SubStreamAssigner};
+    pub use crate::stats::{PolluterStats, PolluterStatsHandle, PolluterStatsSnapshot};
     pub use crate::temporal::{
         BurstPolluter, DelayPolluter, DropPolluter, DuplicatePolluter, FreezePolluter,
     };

@@ -111,13 +111,19 @@ fn default_true() -> bool {
 impl PollutionLog {
     /// An empty, enabled log.
     pub fn new() -> Self {
-        PollutionLog { entries: Vec::new(), enabled: true }
+        PollutionLog {
+            entries: Vec::new(),
+            enabled: true,
+        }
     }
 
     /// A log that silently drops all entries (for overhead
     /// measurements).
     pub fn disabled() -> Self {
-        PollutionLog { entries: Vec::new(), enabled: false }
+        PollutionLog {
+            entries: Vec::new(),
+            enabled: false,
+        }
     }
 
     /// Whether entries are being recorded.
@@ -266,7 +272,11 @@ mod tests {
     fn serde_round_trip() {
         let mut log = PollutionLog::new();
         log.record(value_entry(1, "p", "a", 0));
-        log.record(LogEntry::TupleDropped { tuple_id: 2, polluter: "d".into(), tau: Timestamp(1) });
+        log.record(LogEntry::TupleDropped {
+            tuple_id: 2,
+            polluter: "d".into(),
+            tau: Timestamp(1),
+        });
         let json = serde_json::to_string(&log).unwrap();
         let back: PollutionLog = serde_json::from_str(&json).unwrap();
         assert_eq!(back.entries(), log.entries());

@@ -13,8 +13,7 @@
 //! missing values increases from 40 % to 90 %" example in §2.2).
 
 use icewafl_types::{Duration, Timestamp};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{RngCore, RngExt};
 use serde::{Deserialize, Serialize};
 
 /// A time-to-intensity mapping in `[0, 1]`.
@@ -78,7 +77,7 @@ impl ChangePattern {
     ///
     /// Only [`ChangePattern::Gradual`] consumes randomness; the other
     /// patterns ignore `rng`.
-    pub fn intensity(&self, tau: Timestamp, rng: &mut StdRng) -> f64 {
+    pub fn intensity<R: RngCore>(&self, tau: Timestamp, rng: &mut R) -> f64 {
         match self {
             ChangePattern::Constant => 1.0,
             ChangePattern::Abrupt { at } => {
@@ -97,7 +96,12 @@ impl ChangePattern {
                     p => f64::from(rng.random_bool(p)),
                 }
             }
-            ChangePattern::Periodic { period, phase, amplitude, offset } => {
+            ChangePattern::Periodic {
+                period,
+                phase,
+                amplitude,
+                offset,
+            } => {
                 let period_ms = period.millis().max(1) as f64;
                 let t = (tau.millis() - phase.millis()).rem_euclid(period.millis().max(1)) as f64;
                 let angle = 2.0 * std::f64::consts::PI * t / period_ms;
@@ -125,7 +129,12 @@ impl ChangePattern {
                 // Deterministic anyway; reuse intensity with a throwaway
                 // formula (no rng needed on this arm).
                 let period_params = self;
-                if let ChangePattern::Periodic { period, phase, amplitude, offset } = period_params
+                if let ChangePattern::Periodic {
+                    period,
+                    phase,
+                    amplitude,
+                    offset,
+                } = period_params
                 {
                     let period_ms = period.millis().max(1) as f64;
                     let t =
@@ -172,6 +181,7 @@ fn linear_progress(tau: Timestamp, from: Timestamp, to: Timestamp) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
@@ -182,7 +192,10 @@ mod tests {
     fn constant_is_one_everywhere() {
         let mut r = rng();
         assert_eq!(ChangePattern::Constant.intensity(Timestamp(0), &mut r), 1.0);
-        assert_eq!(ChangePattern::Constant.intensity(Timestamp(i64::MAX), &mut r), 1.0);
+        assert_eq!(
+            ChangePattern::Constant.intensity(Timestamp(i64::MAX), &mut r),
+            1.0
+        );
     }
 
     #[test]
@@ -196,7 +209,10 @@ mod tests {
 
     #[test]
     fn incremental_ramps_linearly() {
-        let p = ChangePattern::Incremental { from: Timestamp(0), to: Timestamp(100) };
+        let p = ChangePattern::Incremental {
+            from: Timestamp(0),
+            to: Timestamp(100),
+        };
         let mut r = rng();
         assert_eq!(p.intensity(Timestamp(-10), &mut r), 0.0);
         assert!((p.intensity(Timestamp(25), &mut r) - 0.25).abs() < 1e-12);
@@ -207,7 +223,10 @@ mod tests {
 
     #[test]
     fn degenerate_ramp_is_abrupt() {
-        let p = ChangePattern::Incremental { from: Timestamp(50), to: Timestamp(50) };
+        let p = ChangePattern::Incremental {
+            from: Timestamp(50),
+            to: Timestamp(50),
+        };
         let mut r = rng();
         assert_eq!(p.intensity(Timestamp(49), &mut r), 0.0);
         assert_eq!(p.intensity(Timestamp(50), &mut r), 1.0);
@@ -215,7 +234,10 @@ mod tests {
 
     #[test]
     fn gradual_is_binary_with_growing_frequency() {
-        let p = ChangePattern::Gradual { from: Timestamp(0), to: Timestamp(1000) };
+        let p = ChangePattern::Gradual {
+            from: Timestamp(0),
+            to: Timestamp(1000),
+        };
         let mut r = rng();
         let mut early_ones = 0;
         let mut late_ones = 0;
@@ -278,16 +300,28 @@ mod tests {
         };
         let mut r = rng();
         // Peak moved to 06:00.
-        assert!((p.intensity(Timestamp(6 * icewafl_types::time::MILLIS_PER_HOUR), &mut r) - 1.0).abs() < 1e-12);
+        assert!(
+            (p.intensity(Timestamp(6 * icewafl_types::time::MILLIS_PER_HOUR), &mut r) - 1.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn expected_intensity_matches_mean_for_gradual() {
-        let p = ChangePattern::Gradual { from: Timestamp(0), to: Timestamp(1000) };
+        let p = ChangePattern::Gradual {
+            from: Timestamp(0),
+            to: Timestamp(1000),
+        };
         assert!((p.expected_intensity(Timestamp(250)) - 0.25).abs() < 1e-12);
-        let det = ChangePattern::Incremental { from: Timestamp(0), to: Timestamp(1000) };
+        let det = ChangePattern::Incremental {
+            from: Timestamp(0),
+            to: Timestamp(1000),
+        };
         assert_eq!(det.expected_intensity(Timestamp(250)), 0.25);
-        assert_eq!(ChangePattern::Constant.expected_intensity(Timestamp(0)), 1.0);
+        assert_eq!(
+            ChangePattern::Constant.expected_intensity(Timestamp(0)),
+            1.0
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::condition::BoxCondition;
 use crate::polluter::{BoxPolluter, Emission, Polluter};
+use crate::stats::{CountingRng, PendingStats, PolluterStats, PolluterStatsHandle};
 use icewafl_types::{StampedTuple, Timestamp};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -28,7 +29,11 @@ pub struct PollutionPipeline {
 impl PollutionPipeline {
     /// A pipeline over the given polluters.
     pub fn new(stages: Vec<BoxPolluter>) -> Self {
-        PollutionPipeline { stages, scratch_a: Vec::new(), scratch_b: Vec::new() }
+        PollutionPipeline {
+            stages,
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
+        }
     }
 
     /// An identity pipeline.
@@ -125,7 +130,21 @@ impl PollutionPipeline {
     /// Probability that at least one stage modifies the tuple, assuming
     /// stage independence (exact for Icewafl's built-in conditions).
     pub fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
-        1.0 - self.stages.iter().map(|s| 1.0 - s.expected_probability(tuple)).product::<f64>()
+        1.0 - self
+            .stages
+            .iter()
+            .map(|s| 1.0 - s.expected_probability(tuple))
+            .product::<f64>()
+    }
+
+    /// Collects live stat handles from every stage, in pipeline order
+    /// (composites recurse into their children). Collect *before*
+    /// handing the pipeline to a run — the cells are shared, so the
+    /// handles keep reading live values while the run owns the stages.
+    pub fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        for stage in &self.stages {
+            stage.collect_stats(out);
+        }
     }
 }
 
@@ -139,6 +158,8 @@ pub struct CompositePolluter {
     name: String,
     condition: BoxCondition,
     children: PollutionPipeline,
+    stats: PolluterStats,
+    pending: PendingStats,
 }
 
 impl CompositePolluter {
@@ -152,25 +173,34 @@ impl CompositePolluter {
             name: name.into(),
             condition,
             children: PollutionPipeline::new(children),
+            stats: PolluterStats::new(),
+            pending: PendingStats::default(),
         }
     }
 }
 
 impl Polluter for CompositePolluter {
     fn process(&mut self, tuple: StampedTuple, out: &mut Emission) {
+        self.pending.condition_evals += 1;
         if self.condition.evaluate(&tuple) {
+            // The gate opened — whether a child modifies the tuple is
+            // counted on the child's own stats.
+            self.pending.fires += 1;
             self.children.process(tuple, out);
         } else {
+            self.pending.skips += 1;
             out.emit(tuple);
         }
     }
 
     fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
         self.children.on_watermark(wm, out);
+        self.pending.flush(&self.stats);
     }
 
     fn finish(&mut self, out: &mut Emission) {
         self.children.finish(out);
+        self.pending.flush(&self.stats);
     }
 
     fn name(&self) -> &str {
@@ -179,6 +209,14 @@ impl Polluter for CompositePolluter {
 
     fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
         self.condition.expected_probability(tuple) * self.children.expected_probability(tuple)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        out.push(PolluterStatsHandle {
+            name: self.name.clone(),
+            stats: self.stats.clone(),
+        });
+        self.children.collect_stats(out);
     }
 }
 
@@ -191,7 +229,9 @@ pub struct OneOfPolluter {
     children: Vec<BoxPolluter>,
     /// Cumulative weights, empty for uniform choice.
     cumulative: Vec<f64>,
-    rng: StdRng,
+    rng: CountingRng,
+    stats: PolluterStats,
+    pending: PendingStats,
 }
 
 impl OneOfPolluter {
@@ -202,7 +242,16 @@ impl OneOfPolluter {
         children: Vec<BoxPolluter>,
         rng: StdRng,
     ) -> Self {
-        OneOfPolluter { name: name.into(), condition, children, cumulative: Vec::new(), rng }
+        let stats = PolluterStats::new();
+        OneOfPolluter {
+            name: name.into(),
+            condition,
+            children,
+            cumulative: Vec::new(),
+            rng: CountingRng::new(rng, stats.rng_draws.clone()),
+            stats,
+            pending: PendingStats::default(),
+        }
     }
 
     /// A weighted one-of composite; `weights` must match the number of
@@ -232,7 +281,16 @@ impl OneOfPolluter {
             acc += w;
             cumulative.push(acc);
         }
-        Ok(OneOfPolluter { name: name.into(), condition, children, cumulative, rng })
+        let stats = PolluterStats::new();
+        Ok(OneOfPolluter {
+            name: name.into(),
+            condition,
+            children,
+            cumulative,
+            rng: CountingRng::new(rng, stats.rng_draws.clone()),
+            stats,
+            pending: PendingStats::default(),
+        })
     }
 
     fn pick(&mut self) -> usize {
@@ -241,7 +299,9 @@ impl OneOfPolluter {
         } else {
             let total = *self.cumulative.last().expect("non-empty cumulative");
             let x = self.rng.random_range(0.0..total);
-            self.cumulative.partition_point(|&c| c <= x).min(self.children.len() - 1)
+            self.cumulative
+                .partition_point(|&c| c <= x)
+                .min(self.children.len() - 1)
         }
     }
 
@@ -250,7 +310,11 @@ impl OneOfPolluter {
             1.0 / self.children.len() as f64
         } else {
             let total = *self.cumulative.last().expect("non-empty cumulative");
-            let prev = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+            let prev = if idx == 0 {
+                0.0
+            } else {
+                self.cumulative[idx - 1]
+            };
             (self.cumulative[idx] - prev) / total
         }
     }
@@ -258,10 +322,13 @@ impl OneOfPolluter {
 
 impl Polluter for OneOfPolluter {
     fn process(&mut self, tuple: StampedTuple, out: &mut Emission) {
+        self.pending.condition_evals += 1;
         if !self.children.is_empty() && self.condition.evaluate(&tuple) {
+            self.pending.fires += 1;
             let idx = self.pick();
             self.children[idx].process(tuple, out);
         } else {
+            self.pending.skips += 1;
             out.emit(tuple);
         }
     }
@@ -270,12 +337,16 @@ impl Polluter for OneOfPolluter {
         for child in &mut self.children {
             child.on_watermark(wm, out);
         }
+        self.rng.flush();
+        self.pending.flush(&self.stats);
     }
 
     fn finish(&mut self, out: &mut Emission) {
         for child in &mut self.children {
             child.finish(out);
         }
+        self.rng.flush();
+        self.pending.flush(&self.stats);
     }
 
     fn name(&self) -> &str {
@@ -293,6 +364,16 @@ impl Polluter for OneOfPolluter {
             .map(|(i, c)| self.weight_fraction(i) * c.expected_probability(tuple))
             .sum();
         self.condition.expected_probability(tuple) * inner
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        out.push(PolluterStatsHandle {
+            name: self.name.clone(),
+            stats: self.stats.clone(),
+        });
+        for child in &self.children {
+            child.collect_stats(out);
+        }
     }
 }
 
@@ -333,7 +414,11 @@ mod tests {
         StdRng::seed_from_u64(seed)
     }
 
-    fn std_polluter(name: &str, f: Box<dyn crate::error_fn::ErrorFunction>, attr: &str) -> BoxPolluter {
+    fn std_polluter(
+        name: &str,
+        f: Box<dyn crate::error_fn::ErrorFunction>,
+        attr: &str,
+    ) -> BoxPolluter {
         Box::new(
             StandardPolluter::bind(
                 name,
@@ -404,7 +489,10 @@ mod tests {
         let mut em = Emission::new(&mut out, &mut log);
         p.on_watermark(Timestamp(100), &mut em);
         assert_eq!(out.len(), 1);
-        assert!(out[0].tuple.get(2).unwrap().is_null(), "stage 2 saw the released tuple");
+        assert!(
+            out[0].tuple.get(2).unwrap().is_null(),
+            "stage 2 saw the released tuple"
+        );
     }
 
     #[test]
@@ -436,7 +524,11 @@ mod tests {
         let inner = CompositePolluter::new(
             "inner",
             Box::new(ValueCondition::new(1, CmpOp::Gt, Value::Int(100))),
-            vec![std_polluter("zero", Box::new(Constant::new(Value::Int(0))), "BPM")],
+            vec![std_polluter(
+                "zero",
+                Box::new(Constant::new(Value::Int(0))),
+                "BPM",
+            )],
         );
         let outer = CompositePolluter::new(
             "outer",
@@ -471,11 +563,8 @@ mod tests {
             )
             .unwrap(),
         )];
-        let composite = CompositePolluter::new(
-            "c",
-            Box::new(Probability::new(0.5, rng(3))),
-            children,
-        );
+        let composite =
+            CompositePolluter::new("c", Box::new(Probability::new(0.5, rng(3))), children);
         let t = tuple(1, 0, 70, 1.0);
         assert!((composite.expected_probability(&t) - 0.25).abs() < 1e-12);
     }
@@ -501,7 +590,10 @@ mod tests {
                 other => panic!("child did not fire: {other:?}"),
             }
         }
-        assert!(zeros > 400 && nulls > 400, "roughly uniform: {zeros}/{nulls}");
+        assert!(
+            zeros > 400 && nulls > 400,
+            "roughly uniform: {zeros}/{nulls}"
+        );
     }
 
     #[test]
@@ -510,14 +602,9 @@ mod tests {
             std_polluter("zero", Box::new(Constant::new(Value::Int(0))), "BPM"),
             std_polluter("null", Box::new(MissingValue), "BPM"),
         ];
-        let mut one_of = OneOfPolluter::weighted(
-            "either",
-            Box::new(Always),
-            children,
-            &[0.9, 0.1],
-            rng(5),
-        )
-        .unwrap();
+        let mut one_of =
+            OneOfPolluter::weighted("either", Box::new(Always), children, &[0.9, 0.1], rng(5))
+                .unwrap();
         let mut zeros = 0;
         for i in 0..2000 {
             let mut out = Vec::new();
@@ -535,9 +622,7 @@ mod tests {
 
     #[test]
     fn one_of_rejects_bad_weights() {
-        let mk = || -> Vec<BoxPolluter> {
-            vec![std_polluter("a", Box::new(MissingValue), "BPM")]
-        };
+        let mk = || -> Vec<BoxPolluter> { vec![std_polluter("a", Box::new(MissingValue), "BPM")] };
         assert!(OneOfPolluter::weighted("x", Box::new(Always), mk(), &[0.5, 0.5], rng(1)).is_err());
         assert!(OneOfPolluter::weighted("x", Box::new(Always), mk(), &[-1.0], rng(1)).is_err());
         assert!(OneOfPolluter::weighted("x", Box::new(Always), mk(), &[0.0], rng(1)).is_err());
@@ -545,8 +630,7 @@ mod tests {
 
     #[test]
     fn one_of_with_never_condition_passes_through() {
-        let children: Vec<BoxPolluter> =
-            vec![std_polluter("null", Box::new(MissingValue), "BPM")];
+        let children: Vec<BoxPolluter> = vec![std_polluter("null", Box::new(MissingValue), "BPM")];
         let mut one_of = OneOfPolluter::new("x", Box::new(Never), children, rng(1));
         let mut out = Vec::new();
         let mut log = PollutionLog::new();

@@ -10,6 +10,7 @@ use crate::condition::BoxCondition;
 use crate::error_fn::ErrorFunction;
 use crate::log::{LogEntry, PollutionLog};
 use crate::pattern::ChangePattern;
+use crate::stats::{CountingRng, PendingStats, PolluterStats, PolluterStatsHandle};
 use icewafl_types::{Result, Schema, StampedTuple, Timestamp, Value};
 use rand::rngs::StdRng;
 
@@ -35,14 +36,28 @@ impl<'a> Emission<'a> {
         self.log.record(entry);
     }
 
+    /// Whether ground-truth logging is enabled. Polluters check this
+    /// *before* building a [`LogEntry`] so a disabled log skips the
+    /// before-value clones and entry allocation on the hot path, not
+    /// just the final push.
+    pub fn logging(&self) -> bool {
+        self.log.is_enabled()
+    }
+
     /// Re-borrows the emission for a nested scope.
     pub fn reborrow(&mut self) -> Emission<'_> {
-        Emission { out: self.out, log: self.log }
+        Emission {
+            out: self.out,
+            log: self.log,
+        }
     }
 
     /// Splits into (fresh buffer, same log) — used by pipeline chaining.
     pub fn with_buffer<'b>(&'b mut self, buf: &'b mut Vec<StampedTuple>) -> Emission<'b> {
-        Emission { out: buf, log: self.log }
+        Emission {
+            out: buf,
+            log: self.log,
+        }
     }
 }
 
@@ -68,6 +83,15 @@ pub trait Polluter: Send {
     /// The probability that this polluter *modifies* the given tuple —
     /// analytic ground truth for expected-error tables.
     fn expected_probability(&self, tuple: &StampedTuple) -> f64;
+
+    /// Pushes handles to this polluter's live statistic cells, recursing
+    /// into children for composites. The cells are `Arc`-shared, so
+    /// handles collected before a run keep reading live values while the
+    /// run owns the polluter. The default is a no-op for stat-less
+    /// polluters.
+    fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        let _ = out;
+    }
 }
 
 /// Boxed polluter, the unit of pipeline composition.
@@ -83,9 +107,11 @@ pub struct StandardPolluter {
     attrs: Vec<usize>,
     attr_names: Vec<String>,
     pattern: ChangePattern,
-    pattern_rng: StdRng,
+    pattern_rng: CountingRng,
     /// Scratch buffer for before-values, reused across tuples.
     before: Vec<Value>,
+    stats: PolluterStats,
+    pending: PendingStats,
 }
 
 impl StandardPolluter {
@@ -101,9 +127,12 @@ impl StandardPolluter {
         schema: &Schema,
         pattern_rng: StdRng,
     ) -> Result<Self> {
-        let attrs: Vec<usize> =
-            attr_names.iter().map(|n| schema.require(n)).collect::<Result<_>>()?;
+        let attrs: Vec<usize> = attr_names
+            .iter()
+            .map(|n| schema.require(n))
+            .collect::<Result<_>>()?;
         error_fn.validate(schema, &attrs)?;
+        let stats = PolluterStats::new();
         Ok(StandardPolluter {
             name: name.into(),
             error_fn,
@@ -111,8 +140,10 @@ impl StandardPolluter {
             attr_names: attr_names.iter().map(|s| s.to_string()).collect(),
             attrs,
             pattern,
-            pattern_rng,
+            pattern_rng: CountingRng::new(pattern_rng, stats.rng_draws.clone()),
             before: Vec::new(),
+            stats,
+            pending: PendingStats::default(),
         })
     }
 
@@ -124,29 +155,64 @@ impl StandardPolluter {
 
 impl Polluter for StandardPolluter {
     fn process(&mut self, mut tuple: StampedTuple, out: &mut Emission) {
+        self.pending.condition_evals += 1;
+        let mut fired = false;
         if self.condition.evaluate(&tuple) {
             let intensity = self.pattern.intensity(tuple.tau, &mut self.pattern_rng);
             if intensity > 0.0 {
-                self.before.clear();
-                self.before
-                    .extend(self.attrs.iter().map(|&i| tuple.tuple.get(i).cloned().unwrap_or(Value::Null)));
-                self.error_fn.apply(&mut tuple.tuple, &self.attrs, tuple.tau, intensity);
-                for (k, &idx) in self.attrs.iter().enumerate() {
-                    let after = tuple.tuple.get(idx).cloned().unwrap_or(Value::Null);
-                    if self.before[k] != after {
-                        out.record(LogEntry::ValueChanged {
-                            tuple_id: tuple.id,
-                            polluter: self.name.clone(),
-                            attr: self.attr_names[k].clone(),
-                            before: std::mem::replace(&mut self.before[k], Value::Null),
-                            after,
-                            tau: tuple.tau,
-                        });
+                // A fire = the error function was applied, whether or
+                // not it changed the value (identical with logging on
+                // and off; ValueChanged entries are per *changed*
+                // attribute, so fires <= log entries only holds for
+                // single-attribute, always-changing error functions).
+                fired = true;
+                self.pending.fires += 1;
+                if out.logging() {
+                    self.before.clear();
+                    self.before.extend(
+                        self.attrs
+                            .iter()
+                            .map(|&i| tuple.tuple.get(i).cloned().unwrap_or(Value::Null)),
+                    );
+                    self.error_fn
+                        .apply(&mut tuple.tuple, &self.attrs, tuple.tau, intensity);
+                    for (k, &idx) in self.attrs.iter().enumerate() {
+                        let after = tuple.tuple.get(idx).cloned().unwrap_or(Value::Null);
+                        if self.before[k] != after {
+                            out.record(LogEntry::ValueChanged {
+                                tuple_id: tuple.id,
+                                polluter: self.name.clone(),
+                                attr: self.attr_names[k].clone(),
+                                before: std::mem::replace(&mut self.before[k], Value::Null),
+                                after,
+                                tau: tuple.tau,
+                            });
+                        }
                     }
+                } else {
+                    // Logging disabled: no before-value clones, no
+                    // entry allocation — just the error itself.
+                    self.error_fn
+                        .apply(&mut tuple.tuple, &self.attrs, tuple.tau, intensity);
                 }
             }
         }
+        if !fired {
+            self.pending.skips += 1;
+        }
         out.emit(tuple);
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
+        let _ = (wm, out);
+        self.pattern_rng.flush();
+        self.pending.flush(&self.stats);
+    }
+
+    fn finish(&mut self, out: &mut Emission) {
+        let _ = out;
+        self.pattern_rng.flush();
+        self.pending.flush(&self.stats);
     }
 
     fn name(&self) -> &str {
@@ -156,6 +222,13 @@ impl Polluter for StandardPolluter {
     fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
         self.condition.expected_probability(tuple)
             * self.pattern.modification_probability(tuple.tau)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        out.push(PolluterStatsHandle {
+            name: self.name.clone(),
+            stats: self.stats.clone(),
+        });
     }
 }
 
@@ -220,10 +293,20 @@ mod tests {
         let (out, log) = run(&mut p, vec![tuple(1, 70, 1.5)]);
         assert_eq!(out.len(), 1);
         assert!(out[0].tuple.get(2).unwrap().is_null());
-        assert_eq!(out[0].tuple.get(1).unwrap(), &Value::Int(70), "other attrs untouched");
+        assert_eq!(
+            out[0].tuple.get(1).unwrap(),
+            &Value::Int(70),
+            "other attrs untouched"
+        );
         assert_eq!(log.len(), 1);
         match &log.entries()[0] {
-            LogEntry::ValueChanged { attr, before, after, polluter, .. } => {
+            LogEntry::ValueChanged {
+                attr,
+                before,
+                after,
+                polluter,
+                ..
+            } => {
                 assert_eq!(attr, "Distance");
                 assert_eq!(before, &Value::Float(1.5));
                 assert_eq!(after, &Value::Null);
@@ -329,7 +412,9 @@ mod tests {
             Box::new(MissingValue),
             Box::new(Always),
             &["BPM"],
-            ChangePattern::Abrupt { at: Timestamp(5_000) },
+            ChangePattern::Abrupt {
+                at: Timestamp(5_000),
+            },
             &s,
             rng(),
         )

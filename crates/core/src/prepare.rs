@@ -74,8 +74,7 @@ mod tests {
 
     #[test]
     fn assigns_sequential_ids_and_tau() {
-        let prepared =
-            prepare_all(&schema(), vec![raw(100, 1), raw(200, 2), raw(300, 3)]).unwrap();
+        let prepared = prepare_all(&schema(), vec![raw(100, 1), raw(200, 2), raw(300, 3)]).unwrap();
         assert_eq!(prepared.len(), 3);
         for (i, t) in prepared.iter().enumerate() {
             assert_eq!(t.id, i as u64);

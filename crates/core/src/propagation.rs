@@ -68,8 +68,10 @@ impl PropagationPolluter {
         if duration.millis() <= 0 {
             return Err(Error::config("propagation duration must be positive"));
         }
-        let attrs: Vec<usize> =
-            attr_names.iter().map(|n| schema.require(n)).collect::<Result<_>>()?;
+        let attrs: Vec<usize> = attr_names
+            .iter()
+            .map(|n| schema.require(n))
+            .collect::<Result<_>>()?;
         error_fn.validate(schema, &attrs)?;
         Ok(PropagationPolluter {
             name: name.into(),
@@ -103,7 +105,9 @@ impl PropagationPolluter {
         while self.windows.front().is_some_and(|(_, end)| tau >= *end) {
             self.windows.pop_front();
         }
-        self.windows.iter().any(|(start, end)| tau >= *start && tau < *end)
+        self.windows
+            .iter()
+            .any(|(start, end)| tau >= *start && tau < *end)
     }
 }
 
@@ -116,13 +120,19 @@ impl Polluter for PropagationPolluter {
             self.windows.push_back((start, end));
         }
         let consequent_applies = self.in_active_window(tuple.tau)
-            && self.consequent_filter.as_mut().is_none_or(|f| f.evaluate(&tuple));
+            && self
+                .consequent_filter
+                .as_mut()
+                .is_none_or(|f| f.evaluate(&tuple));
         if consequent_applies {
             self.before.clear();
             self.before.extend(
-                self.attrs.iter().map(|&i| tuple.tuple.get(i).cloned().unwrap_or(Value::Null)),
+                self.attrs
+                    .iter()
+                    .map(|&i| tuple.tuple.get(i).cloned().unwrap_or(Value::Null)),
             );
-            self.error_fn.apply(&mut tuple.tuple, &self.attrs, tuple.tau, 1.0);
+            self.error_fn
+                .apply(&mut tuple.tuple, &self.attrs, tuple.tau, 1.0);
             for (k, &idx) in self.attrs.iter().enumerate() {
                 let after = tuple.tuple.get(idx).cloned().unwrap_or(Value::Null);
                 if self.before[k] != after {
@@ -192,7 +202,10 @@ impl KeyedPolluter {
     }
 
     fn key_of(&self, tuple: &StampedTuple) -> String {
-        tuple.tuple.get(self.key_attr).map_or_else(String::new, ToString::to_string)
+        tuple
+            .tuple
+            .get(self.key_attr)
+            .map_or_else(String::new, ToString::to_string)
     }
 }
 
@@ -202,7 +215,11 @@ impl Polluter for KeyedPolluter {
         let inner = match self.per_key.entry(key) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
-                let value = tuple.tuple.get(self.key_attr).cloned().unwrap_or(Value::Null);
+                let value = tuple
+                    .tuple
+                    .get(self.key_attr)
+                    .cloned()
+                    .unwrap_or(Value::Null);
                 e.insert((self.factory)(&value))
             }
         };
@@ -227,7 +244,9 @@ impl Polluter for KeyedPolluter {
 
     fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
         let key = self.key_of(tuple);
-        self.per_key.get(&key).map_or(0.0, |inner| inner.expected_probability(tuple))
+        self.per_key
+            .get(&key)
+            .map_or(0.0, |inner| inner.expected_probability(tuple))
     }
 }
 
@@ -302,8 +321,11 @@ mod tests {
                 tuple(5, 300, "S4", 4.0), // window end (exclusive)
             ],
         );
-        let nulls: Vec<u64> =
-            out.iter().filter(|t| t.tuple.get(2).unwrap().is_null()).map(|t| t.id).collect();
+        let nulls: Vec<u64> = out
+            .iter()
+            .filter(|t| t.tuple.get(2).unwrap().is_null())
+            .map(|t| t.id)
+            .collect();
         assert_eq!(nulls, vec![3, 4]);
         assert_eq!(log.len(), 2);
     }
@@ -336,7 +358,10 @@ mod tests {
             ],
         );
         assert!(!out[1].tuple.get(2).unwrap().is_null(), "S2 untouched");
-        assert!(out[2].tuple.get(2).unwrap().is_null(), "S4 inherits the error");
+        assert!(
+            out[2].tuple.get(2).unwrap().is_null(),
+            "S4 inherits the error"
+        );
         assert_eq!(log.len(), 1);
     }
 
@@ -363,7 +388,11 @@ mod tests {
                 tuple(3, 50, "S4", 10.0), // in both windows
             ],
         );
-        assert_eq!(out[2].tuple.get(2).unwrap(), &Value::Float(20.0), "scaled exactly once");
+        assert_eq!(
+            out[2].tuple.get(2).unwrap(),
+            &Value::Float(20.0),
+            "scaled exactly once"
+        );
         assert_eq!(p.pending_windows(), 2);
     }
 
@@ -456,8 +485,10 @@ mod tests {
                 tuple(4, 30, "B", 2.0), // still unaffected
             ],
         );
-        let xs: Vec<f64> =
-            out.iter().map(|t| t.tuple.get(2).unwrap().as_f64().unwrap()).collect();
+        let xs: Vec<f64> = out
+            .iter()
+            .map(|t| t.tuple.get(2).unwrap().as_f64().unwrap())
+            .collect();
         assert_eq!(xs, vec![42.0, 1.0, 42.0, 2.0]);
         assert_eq!(p.key_count(), 2);
     }

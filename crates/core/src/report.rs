@@ -1,0 +1,146 @@
+//! End-of-run observability report.
+//!
+//! [`RunReport`] bundles everything a run measured: stream-level totals,
+//! the per-polluter statistics collected via
+//! [`Polluter::collect_stats`](crate::polluter::Polluter::collect_stats),
+//! and the raw [`MetricsSnapshot`] of the per-stage/per-channel metrics
+//! registry. It serializes to JSON (the CLI's `--metrics-json` output)
+//! and renders as a human-readable text block.
+
+use crate::stats::PolluterStatsSnapshot;
+use icewafl_obs::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregated observability data for one pollution run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Clean tuples fed into the job.
+    pub tuples_in: u64,
+    /// Polluted tuples that came out of the job.
+    pub tuples_out: u64,
+    /// Total ground-truth log entries recorded.
+    pub log_entries: u64,
+    /// Whether ground-truth logging was enabled for the run.
+    pub logging_enabled: bool,
+    /// Whether metric collection was compiled in (`obs` feature). When
+    /// `false`, every count below reads 0.
+    pub metrics_compiled_in: bool,
+    /// Per-polluter statistics, in pipeline order.
+    pub polluters: Vec<PolluterStatsSnapshot>,
+    /// Per-stage / per-channel stream metrics.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Looks up a polluter's stats by name.
+    pub fn polluter(&self, name: &str) -> Option<&PolluterStatsSnapshot> {
+        self.polluters.iter().find(|p| p.name == name)
+    }
+
+    /// Total fires across all polluters.
+    pub fn total_fires(&self) -> u64 {
+        self.polluters.iter().map(|p| p.fires).sum()
+    }
+
+    /// Renders the report as a human-readable text block (what the CLI
+    /// prints with `--report`).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("== run report ==\n");
+        s.push_str(&format!(
+            "tuples: {} in -> {} out; log entries: {}{}\n",
+            self.tuples_in,
+            self.tuples_out,
+            self.log_entries,
+            if self.logging_enabled {
+                ""
+            } else {
+                " (logging disabled)"
+            },
+        ));
+        if !self.metrics_compiled_in {
+            s.push_str("(metrics compiled out: obs feature disabled)\n");
+        }
+        if !self.polluters.is_empty() {
+            s.push_str("polluters:\n");
+            for p in &self.polluters {
+                s.push_str(&format!(
+                    "  {:<24} fires={:<8} skips={:<8} cond_evals={:<8} rng_draws={:<8} buffer_max={:<6} log_entries={}\n",
+                    p.name, p.fires, p.skips, p.condition_evals, p.rng_draws, p.buffer_max, p.log_entries,
+                ));
+            }
+        }
+        if !self.metrics.is_empty() {
+            s.push_str("stream stages (sink-first numbering):\n");
+            for (name, v) in &self.metrics.counters {
+                s.push_str(&format!("  {name} = {v}\n"));
+            }
+            for (name, v) in &self.metrics.gauges {
+                s.push_str(&format!("  {name} = {v} (gauge)\n"));
+            }
+            for (name, h) in &self.metrics.histograms {
+                s.push_str(&format!(
+                    "  {name}: count={} sum={} mean={:.0}\n",
+                    h.count,
+                    h.sum,
+                    if h.count == 0 {
+                        0.0
+                    } else {
+                        h.sum as f64 / h.count as f64
+                    },
+                ));
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            tuples_in: 10,
+            tuples_out: 9,
+            log_entries: 4,
+            logging_enabled: true,
+            metrics_compiled_in: true,
+            polluters: vec![PolluterStatsSnapshot {
+                name: "missing".into(),
+                fires: 4,
+                skips: 6,
+                condition_evals: 10,
+                rng_draws: 10,
+                buffer_max: 0,
+                log_entries: 4,
+            }],
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = sample();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tuples_in, 10);
+        assert_eq!(back.polluters, report.polluters);
+        assert_eq!(back.total_fires(), 4);
+    }
+
+    #[test]
+    fn render_mentions_polluters_and_totals() {
+        let text = sample().render();
+        assert!(text.contains("10 in -> 9 out"));
+        assert!(text.contains("missing"));
+        assert!(text.contains("fires=4"));
+    }
+}

@@ -66,7 +66,9 @@ pub struct ComponentPath {
 impl ComponentPath {
     /// The root path.
     pub fn root() -> Self {
-        ComponentPath { path: String::new() }
+        ComponentPath {
+            path: String::new(),
+        }
     }
 
     /// Descends into a named child.
@@ -113,7 +115,10 @@ mod tests {
 
     #[test]
     fn different_masters_differ() {
-        assert_ne!(SeedFactory::new(1).seed_for("x"), SeedFactory::new(2).seed_for("x"));
+        assert_ne!(
+            SeedFactory::new(1).seed_for("x"),
+            SeedFactory::new(2).seed_for("x")
+        );
         assert_eq!(SeedFactory::new(7).master(), 7);
     }
 
@@ -138,7 +143,10 @@ mod tests {
 
     #[test]
     fn component_path_builds_hierarchies() {
-        let p = ComponentPath::root().child("pipeline").index(2).child("cond");
+        let p = ComponentPath::root()
+            .child("pipeline")
+            .index(2)
+            .child("cond");
         assert_eq!(p.as_str(), "/pipeline/2/cond");
     }
 }

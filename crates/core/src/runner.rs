@@ -9,6 +9,9 @@ use crate::log::PollutionLog;
 use crate::pipeline::PollutionPipeline;
 use crate::polluter::Emission;
 use crate::prepare::PrepareOperator;
+use crate::report::RunReport;
+use crate::stats::PolluterStatsHandle;
+use icewafl_obs::MetricsRegistry;
 use icewafl_stream::prelude::*;
 use icewafl_stream::SubPipelineBuilder;
 use parking_lot::Mutex;
@@ -82,7 +85,12 @@ impl PipelineOperator {
         sub_stream: u32,
         log: Arc<Mutex<PollutionLog>>,
     ) -> Self {
-        PipelineOperator { pipeline, sub_stream, log, scratch: Vec::new() }
+        PipelineOperator {
+            pipeline,
+            sub_stream,
+            log,
+            scratch: Vec::new(),
+        }
     }
 
     fn drain_scratch(&mut self, out: &mut dyn Collector<StampedTuple>) {
@@ -136,6 +144,10 @@ pub struct PollutionOutput {
     pub polluted: Vec<StampedTuple>,
     /// Ground truth of every applied error.
     pub log: PollutionLog,
+    /// Aggregated observability data: stream totals, per-polluter
+    /// statistics, and the per-stage metrics snapshot. All counts read 0
+    /// when the `obs` feature is compiled out.
+    pub report: RunReport,
 }
 
 /// A configured pollution job: `m` pipelines plus a sub-stream
@@ -200,7 +212,9 @@ impl PollutionJob {
         pipelines: Vec<PollutionPipeline>,
     ) -> Result<PollutionOutput> {
         if pipelines.is_empty() {
-            return Err(icewafl_types::Error::config("at least one pipeline is required"));
+            return Err(icewafl_types::Error::config(
+                "at least one pipeline is required",
+            ));
         }
         // Step 1 (Algorithm 1 lines 1–3): prepare. The prepared tuples
         // are both the clean output and the source of the streaming job
@@ -214,6 +228,15 @@ impl PollutionJob {
         } else {
             PollutionLog::disabled()
         }));
+
+        // Collect per-polluter stat handles before the builders consume
+        // the pipelines — the cells are Arc-shared, so these handles
+        // read live values during and after the run.
+        let mut stat_handles: Vec<PolluterStatsHandle> = Vec::new();
+        for pipeline in &pipelines {
+            pipeline.collect_stats(&mut stat_handles);
+        }
+        let registry = MetricsRegistry::new();
 
         let m = pipelines.len();
         let selector = self.assigner.selector(m);
@@ -241,13 +264,41 @@ impl PollutionJob {
         };
         // Algorithm 1, line 11: sortByTimestamp — by *arrival* time, so
         // delayed tuples surface late (see `StampedTuple::arrival`).
-        let polluted = merged.sort_by_event_time(|t| t.arrival).collect();
+        let polluted = merged
+            .sort_by_event_time(|t| t.arrival)
+            .collect_with_registry(&registry);
 
         let log = Arc::try_unwrap(log)
             .map(Mutex::into_inner)
             .unwrap_or_else(|arc| arc.lock().clone());
 
-        Ok(PollutionOutput { clean, polluted, log })
+        // Attribute log entries to polluters by name. Polluters sharing
+        // a name (across sub-streams) each report the combined count.
+        let log_counts = log.counts_by_polluter();
+        let polluters = stat_handles
+            .iter()
+            .map(|h| {
+                let mut snap = h.snapshot();
+                snap.log_entries = log_counts.get(&h.name).copied().unwrap_or(0) as u64;
+                snap
+            })
+            .collect();
+        let report = RunReport {
+            tuples_in: clean.len() as u64,
+            tuples_out: polluted.len() as u64,
+            log_entries: log.len() as u64,
+            logging_enabled: self.logging,
+            metrics_compiled_in: icewafl_obs::metrics_compiled_in(),
+            polluters,
+            metrics: registry.snapshot(),
+        };
+
+        Ok(PollutionOutput {
+            clean,
+            polluted,
+            log,
+            report,
+        })
     }
 }
 
@@ -309,7 +360,11 @@ mod tests {
         assert_eq!(out.polluted.len(), 100);
         // Every polluted tuple joins a clean one with identical tau.
         for p in &out.polluted {
-            let c = out.clean.iter().find(|c| c.id == p.id).expect("clean partner");
+            let c = out
+                .clean
+                .iter()
+                .find(|c| c.id == p.id)
+                .expect("clean partner");
             assert_eq!(c.tau, p.tau);
         }
         // The log ids match the actually nulled tuples.
@@ -347,14 +402,20 @@ mod tests {
         let out = pollute_stream(&schema(), raw_stream(240), pipeline).unwrap();
         assert_eq!(out.polluted.len(), 240);
         // Output is sorted by arrival...
-        assert!(out.polluted.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(out
+            .polluted
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
         // ...but NOT by the Time attribute: delayed tuples surface late.
         let times: Vec<i64> = out
             .polluted
             .iter()
             .map(|t| t.tuple.get(0).unwrap().as_timestamp().unwrap().millis())
             .collect();
-        assert!(times.windows(2).any(|w| w[0] > w[1]), "increasing order must be violated");
+        assert!(
+            times.windows(2).any(|w| w[0] > w[1]),
+            "increasing order must be violated"
+        );
         assert_eq!(out.log.len(), 60);
     }
 
@@ -362,9 +423,16 @@ mod tests {
     fn broadcast_substreams_duplicate_tuples() {
         let job = PollutionJob::new(schema()).with_assigner(SubStreamAssigner::Broadcast);
         let out = job
-            .run(raw_stream(10), vec![PollutionPipeline::empty(), PollutionPipeline::empty()])
+            .run(
+                raw_stream(10),
+                vec![PollutionPipeline::empty(), PollutionPipeline::empty()],
+            )
             .unwrap();
-        assert_eq!(out.polluted.len(), 20, "every tuple through both sub-streams");
+        assert_eq!(
+            out.polluted.len(),
+            20,
+            "every tuple through both sub-streams"
+        );
         let subs: std::collections::HashSet<u32> =
             out.polluted.iter().map(|t| t.sub_stream).collect();
         assert_eq!(subs.len(), 2);
@@ -374,7 +442,10 @@ mod tests {
     fn round_robin_partitions() {
         let job = PollutionJob::new(schema()).with_assigner(SubStreamAssigner::RoundRobin);
         let out = job
-            .run(raw_stream(10), vec![PollutionPipeline::empty(), PollutionPipeline::empty()])
+            .run(
+                raw_stream(10),
+                vec![PollutionPipeline::empty(), PollutionPipeline::empty()],
+            )
             .unwrap();
         assert_eq!(out.polluted.len(), 10);
         for t in &out.polluted {
@@ -387,42 +458,68 @@ mod tests {
         let job = PollutionJob::new(schema())
             .with_assigner(SubStreamAssigner::Probabilistic { p: 0.3, seed: 5 });
         let out = job
-            .run(raw_stream(500), vec![PollutionPipeline::empty(), PollutionPipeline::empty()])
+            .run(
+                raw_stream(500),
+                vec![PollutionPipeline::empty(), PollutionPipeline::empty()],
+            )
             .unwrap();
         let ids: std::collections::HashSet<u64> = out.polluted.iter().map(|t| t.id).collect();
-        assert_eq!(ids.len(), 500, "every tuple reaches at least one sub-stream");
-        assert!(out.polluted.len() > 500, "some overlap expected at p=0.3 per stream");
+        assert_eq!(
+            ids.len(),
+            500,
+            "every tuple reaches at least one sub-stream"
+        );
+        assert!(
+            out.polluted.len() > 500,
+            "some overlap expected at p=0.3 per stream"
+        );
     }
 
     #[test]
     fn parallel_run_matches_sequential_content() {
         let seq = PollutionJob::new(schema())
             .with_assigner(SubStreamAssigner::RoundRobin)
-            .run(raw_stream(300), vec![null_pipeline(0.5, 3), null_pipeline(0.5, 4)])
+            .run(
+                raw_stream(300),
+                vec![null_pipeline(0.5, 3), null_pipeline(0.5, 4)],
+            )
             .unwrap();
         let par = PollutionJob::new(schema())
             .with_assigner(SubStreamAssigner::RoundRobin)
             .parallel()
-            .run(raw_stream(300), vec![null_pipeline(0.5, 3), null_pipeline(0.5, 4)])
+            .run(
+                raw_stream(300),
+                vec![null_pipeline(0.5, 3), null_pipeline(0.5, 4)],
+            )
             .unwrap();
         let mut a = seq.polluted.clone();
         let mut b = par.polluted.clone();
         a.sort_by_key(|t| t.id);
         b.sort_by_key(|t| t.id);
-        assert_eq!(a, b, "same seeds → identical pollution, independent of threading");
+        assert_eq!(
+            a, b,
+            "same seeds → identical pollution, independent of threading"
+        );
     }
 
     #[test]
     fn without_logging_produces_empty_log() {
         let job = PollutionJob::new(schema()).without_logging();
-        let out = job.run(raw_stream(50), vec![null_pipeline(1.0, 1)]).unwrap();
+        let out = job
+            .run(raw_stream(50), vec![null_pipeline(1.0, 1)])
+            .unwrap();
         assert!(out.log.is_empty());
-        assert!(out.polluted.iter().all(|t| t.tuple.get(1).unwrap().is_null()));
+        assert!(out
+            .polluted
+            .iter()
+            .all(|t| t.tuple.get(1).unwrap().is_null()));
     }
 
     #[test]
     fn requires_at_least_one_pipeline() {
-        assert!(PollutionJob::new(schema()).run(raw_stream(1), vec![]).is_err());
+        assert!(PollutionJob::new(schema())
+            .run(raw_stream(1), vec![])
+            .is_err());
     }
 
     #[test]

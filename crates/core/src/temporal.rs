@@ -6,6 +6,7 @@
 use crate::condition::BoxCondition;
 use crate::log::LogEntry;
 use crate::polluter::{Emission, Polluter};
+use crate::stats::{PendingStats, PolluterStats, PolluterStatsHandle};
 use icewafl_types::{Duration, Result, Schema, StampedTuple, Timestamp, Value};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -24,6 +25,8 @@ pub struct DelayPolluter {
     delay: Duration,
     held: BinaryHeap<Reverse<Held>>,
     seq: u64,
+    stats: PolluterStats,
+    pending: PendingStats,
 }
 
 struct Held {
@@ -62,6 +65,8 @@ impl DelayPolluter {
             delay,
             held: BinaryHeap::new(),
             seq: 0,
+            stats: PolluterStats::new(),
+            pending: PendingStats::default(),
         })
     }
 
@@ -83,28 +88,40 @@ impl DelayPolluter {
 
 impl Polluter for DelayPolluter {
     fn process(&mut self, mut tuple: StampedTuple, out: &mut Emission) {
+        self.pending.condition_evals += 1;
         if self.condition.evaluate(&tuple) {
+            self.pending.fires += 1;
             let release = tuple.arrival.saturating_add(self.delay);
-            out.record(LogEntry::TupleDelayed {
-                tuple_id: tuple.id,
-                polluter: self.name.clone(),
-                by: self.delay,
-                tau: tuple.tau,
-            });
+            if out.logging() {
+                out.record(LogEntry::TupleDelayed {
+                    tuple_id: tuple.id,
+                    polluter: self.name.clone(),
+                    by: self.delay,
+                    tau: tuple.tau,
+                });
+            }
             tuple.arrival = release;
-            self.held.push(Reverse(Held { release, seq: self.seq, tuple }));
+            self.held.push(Reverse(Held {
+                release,
+                seq: self.seq,
+                tuple,
+            }));
             self.seq += 1;
+            self.pending.buffer_peak = self.pending.buffer_peak.max(self.held.len() as u64);
         } else {
+            self.pending.skips += 1;
             out.emit(tuple);
         }
     }
 
     fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
         self.release_up_to(wm, out);
+        self.pending.flush(&self.stats);
     }
 
     fn finish(&mut self, out: &mut Emission) {
         self.release_up_to(Timestamp::MAX, out);
+        self.pending.flush(&self.stats);
     }
 
     fn name(&self) -> &str {
@@ -113,6 +130,13 @@ impl Polluter for DelayPolluter {
 
     fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
         self.condition.expected_probability(tuple)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        out.push(PolluterStatsHandle {
+            name: self.name.clone(),
+            stats: self.stats.clone(),
+        });
     }
 }
 
@@ -121,26 +145,48 @@ impl Polluter for DelayPolluter {
 pub struct DropPolluter {
     name: String,
     condition: BoxCondition,
+    stats: PolluterStats,
+    pending: PendingStats,
 }
 
 impl DropPolluter {
     /// Drops tuples matching `condition`.
     pub fn new(name: impl Into<String>, condition: BoxCondition) -> Self {
-        DropPolluter { name: name.into(), condition }
+        DropPolluter {
+            name: name.into(),
+            condition,
+            stats: PolluterStats::new(),
+            pending: PendingStats::default(),
+        }
     }
 }
 
 impl Polluter for DropPolluter {
     fn process(&mut self, tuple: StampedTuple, out: &mut Emission) {
+        self.pending.condition_evals += 1;
         if self.condition.evaluate(&tuple) {
-            out.record(LogEntry::TupleDropped {
-                tuple_id: tuple.id,
-                polluter: self.name.clone(),
-                tau: tuple.tau,
-            });
+            self.pending.fires += 1;
+            if out.logging() {
+                out.record(LogEntry::TupleDropped {
+                    tuple_id: tuple.id,
+                    polluter: self.name.clone(),
+                    tau: tuple.tau,
+                });
+            }
         } else {
+            self.pending.skips += 1;
             out.emit(tuple);
         }
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
+        let _ = (wm, out);
+        self.pending.flush(&self.stats);
+    }
+
+    fn finish(&mut self, out: &mut Emission) {
+        let _ = out;
+        self.pending.flush(&self.stats);
     }
 
     fn name(&self) -> &str {
@@ -149,6 +195,13 @@ impl Polluter for DropPolluter {
 
     fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
         self.condition.expected_probability(tuple)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        out.push(PolluterStatsHandle {
+            name: self.name.clone(),
+            stats: self.stats.clone(),
+        });
     }
 }
 
@@ -160,31 +213,54 @@ pub struct DuplicatePolluter {
     name: String,
     condition: BoxCondition,
     copies: u32,
+    stats: PolluterStats,
+    pending: PendingStats,
 }
 
 impl DuplicatePolluter {
     /// Emits `copies` extra copies (≥ 1) of matching tuples.
     pub fn new(name: impl Into<String>, condition: BoxCondition, copies: u32) -> Self {
-        DuplicatePolluter { name: name.into(), condition, copies: copies.max(1) }
+        DuplicatePolluter {
+            name: name.into(),
+            condition,
+            copies: copies.max(1),
+            stats: PolluterStats::new(),
+            pending: PendingStats::default(),
+        }
     }
 }
 
 impl Polluter for DuplicatePolluter {
     fn process(&mut self, tuple: StampedTuple, out: &mut Emission) {
+        self.pending.condition_evals += 1;
         if self.condition.evaluate(&tuple) {
-            out.record(LogEntry::TupleDuplicated {
-                tuple_id: tuple.id,
-                polluter: self.name.clone(),
-                copies: self.copies,
-                tau: tuple.tau,
-            });
+            self.pending.fires += 1;
+            if out.logging() {
+                out.record(LogEntry::TupleDuplicated {
+                    tuple_id: tuple.id,
+                    polluter: self.name.clone(),
+                    copies: self.copies,
+                    tau: tuple.tau,
+                });
+            }
             for _ in 0..self.copies {
                 out.emit(tuple.clone());
             }
             out.emit(tuple);
         } else {
+            self.pending.skips += 1;
             out.emit(tuple);
         }
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
+        let _ = (wm, out);
+        self.pending.flush(&self.stats);
+    }
+
+    fn finish(&mut self, out: &mut Emission) {
+        let _ = out;
+        self.pending.flush(&self.stats);
     }
 
     fn name(&self) -> &str {
@@ -193,6 +269,13 @@ impl Polluter for DuplicatePolluter {
 
     fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
         self.condition.expected_probability(tuple)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        out.push(PolluterStatsHandle {
+            name: self.name.clone(),
+            stats: self.stats.clone(),
+        });
     }
 }
 
@@ -210,6 +293,8 @@ pub struct FreezePolluter {
     attrs: Vec<usize>,
     attr_names: Vec<String>,
     frozen: Option<FrozenState>,
+    stats: PolluterStats,
+    pending: PendingStats,
 }
 
 struct FrozenState {
@@ -226,8 +311,10 @@ impl FreezePolluter {
         attr_names: &[&str],
         schema: &Schema,
     ) -> Result<Self> {
-        let attrs: Vec<usize> =
-            attr_names.iter().map(|n| schema.require(n)).collect::<Result<_>>()?;
+        let attrs: Vec<usize> = attr_names
+            .iter()
+            .map(|n| schema.require(n))
+            .collect::<Result<_>>()?;
         Ok(FreezePolluter {
             name: name.into(),
             condition,
@@ -235,6 +322,8 @@ impl FreezePolluter {
             attrs,
             attr_names: attr_names.iter().map(|s| s.to_string()).collect(),
             frozen: None,
+            stats: PolluterStats::new(),
+            pending: PendingStats::default(),
         })
     }
 
@@ -254,21 +343,26 @@ impl Polluter for FreezePolluter {
         // otherwise an equality-triggered freeze would re-trigger on its
         // own overwritten output and never expire.
         let triggered = self.condition.evaluate(&tuple);
+        self.pending.condition_evals += 1;
+        let mut changed = false;
         match &mut self.frozen {
             Some(state) => {
                 // Overwrite target attributes with the frozen values.
                 for (k, &idx) in self.attrs.iter().enumerate() {
                     if let Some(v) = tuple.tuple.get_mut(idx) {
                         if *v != state.values[k] {
+                            changed = true;
                             let before = std::mem::replace(v, state.values[k].clone());
-                            out.record(LogEntry::ValueChanged {
-                                tuple_id: tuple.id,
-                                polluter: self.name.clone(),
-                                attr: self.attr_names[k].clone(),
-                                before,
-                                after: state.values[k].clone(),
-                                tau: tuple.tau,
-                            });
+                            if out.logging() {
+                                out.record(LogEntry::ValueChanged {
+                                    tuple_id: tuple.id,
+                                    polluter: self.name.clone(),
+                                    attr: self.attr_names[k].clone(),
+                                    before,
+                                    after: state.values[k].clone(),
+                                    tau: tuple.tau,
+                                });
+                            }
                         }
                     }
                 }
@@ -294,7 +388,23 @@ impl Polluter for FreezePolluter {
                 }
             }
         }
+        // A freeze "fires" per tuple whose values it actually overwrote.
+        if changed {
+            self.pending.fires += 1;
+        } else {
+            self.pending.skips += 1;
+        }
         out.emit(tuple);
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
+        let _ = (wm, out);
+        self.pending.flush(&self.stats);
+    }
+
+    fn finish(&mut self, out: &mut Emission) {
+        let _ = out;
+        self.pending.flush(&self.stats);
     }
 
     fn name(&self) -> &str {
@@ -304,6 +414,13 @@ impl Polluter for FreezePolluter {
     fn expected_probability(&self, tuple: &StampedTuple) -> f64 {
         // The trigger probability; downstream effects depend on history.
         self.condition.expected_probability(tuple)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        out.push(PolluterStatsHandle {
+            name: self.name.clone(),
+            stats: self.stats.clone(),
+        });
     }
 }
 
@@ -325,6 +442,8 @@ pub struct BurstPolluter {
     active_until: Option<Timestamp>,
     /// Scratch for before-values.
     before: Vec<Value>,
+    stats: PolluterStats,
+    pending: PendingStats,
 }
 
 impl BurstPolluter {
@@ -337,8 +456,10 @@ impl BurstPolluter {
         attr_names: &[&str],
         schema: &Schema,
     ) -> Result<Self> {
-        let attrs: Vec<usize> =
-            attr_names.iter().map(|n| schema.require(n)).collect::<Result<_>>()?;
+        let attrs: Vec<usize> = attr_names
+            .iter()
+            .map(|n| schema.require(n))
+            .collect::<Result<_>>()?;
         error_fn.validate(schema, &attrs)?;
         Ok(BurstPolluter {
             name: name.into(),
@@ -349,6 +470,8 @@ impl BurstPolluter {
             attr_names: attr_names.iter().map(|s| s.to_string()).collect(),
             active_until: None,
             before: Vec::new(),
+            stats: PolluterStats::new(),
+            pending: PendingStats::default(),
         })
     }
 
@@ -364,30 +487,54 @@ impl Polluter for BurstPolluter {
         if self.active_until.is_some_and(|u| tuple.tau >= u) {
             self.active_until = None;
         }
+        self.pending.condition_evals += 1;
         if self.condition.evaluate(&tuple) {
             self.active_until = Some(tuple.tau.saturating_add(self.duration));
         }
         if self.active_until.is_some() {
-            self.before.clear();
-            self.before.extend(
-                self.attrs.iter().map(|&i| tuple.tuple.get(i).cloned().unwrap_or(Value::Null)),
-            );
-            self.error_fn.apply(&mut tuple.tuple, &self.attrs, tuple.tau, 1.0);
-            for (k, &idx) in self.attrs.iter().enumerate() {
-                let after = tuple.tuple.get(idx).cloned().unwrap_or(Value::Null);
-                if self.before[k] != after {
-                    out.record(LogEntry::ValueChanged {
-                        tuple_id: tuple.id,
-                        polluter: self.name.clone(),
-                        attr: self.attr_names[k].clone(),
-                        before: std::mem::replace(&mut self.before[k], Value::Null),
-                        after,
-                        tau: tuple.tau,
-                    });
+            // A burst "fires" per tuple the error function is applied
+            // to, i.e. every tuple inside the active window.
+            self.pending.fires += 1;
+            if out.logging() {
+                self.before.clear();
+                self.before.extend(
+                    self.attrs
+                        .iter()
+                        .map(|&i| tuple.tuple.get(i).cloned().unwrap_or(Value::Null)),
+                );
+                self.error_fn
+                    .apply(&mut tuple.tuple, &self.attrs, tuple.tau, 1.0);
+                for (k, &idx) in self.attrs.iter().enumerate() {
+                    let after = tuple.tuple.get(idx).cloned().unwrap_or(Value::Null);
+                    if self.before[k] != after {
+                        out.record(LogEntry::ValueChanged {
+                            tuple_id: tuple.id,
+                            polluter: self.name.clone(),
+                            attr: self.attr_names[k].clone(),
+                            before: std::mem::replace(&mut self.before[k], Value::Null),
+                            after,
+                            tau: tuple.tau,
+                        });
+                    }
                 }
+            } else {
+                self.error_fn
+                    .apply(&mut tuple.tuple, &self.attrs, tuple.tau, 1.0);
             }
+        } else {
+            self.pending.skips += 1;
         }
         out.emit(tuple);
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
+        let _ = (wm, out);
+        self.pending.flush(&self.stats);
+    }
+
+    fn finish(&mut self, out: &mut Emission) {
+        let _ = out;
+        self.pending.flush(&self.stats);
     }
 
     fn name(&self) -> &str {
@@ -398,6 +545,13 @@ impl Polluter for BurstPolluter {
         // Activation probability only; the burst's reach depends on
         // history.
         self.condition.expected_probability(tuple)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        out.push(PolluterStatsHandle {
+            name: self.name.clone(),
+            stats: self.stats.clone(),
+        });
     }
 }
 
@@ -427,7 +581,10 @@ mod tests {
 
     impl Harness {
         fn new() -> Self {
-            Harness { out: Vec::new(), log: PollutionLog::new() }
+            Harness {
+                out: Vec::new(),
+                log: PollutionLog::new(),
+            }
         }
         fn process(&mut self, p: &mut dyn Polluter, t: StampedTuple) {
             let mut em = Emission::new(&mut self.out, &mut self.log);
@@ -455,15 +612,18 @@ mod tests {
         assert!(h.out.is_empty(), "release at 110, not before");
         h.watermark(&mut p, 110);
         assert_eq!(h.out.len(), 1);
-        assert_eq!(h.out[0].arrival, Timestamp(110), "arrival moved by the delay");
+        assert_eq!(
+            h.out[0].arrival,
+            Timestamp(110),
+            "arrival moved by the delay"
+        );
         assert_eq!(h.out[0].tau, Timestamp(10), "tau untouched");
         assert_eq!(h.log.len(), 1);
     }
 
     #[test]
     fn delay_passes_unmatched_through_immediately() {
-        let mut p =
-            DelayPolluter::new("net", Box::new(Never), Duration::from_millis(100)).unwrap();
+        let mut p = DelayPolluter::new("net", Box::new(Never), Duration::from_millis(100)).unwrap();
         let mut h = Harness::new();
         h.process(&mut p, tuple(1, 10, 1.0));
         assert_eq!(h.out.len(), 1);
@@ -536,11 +696,17 @@ mod tests {
         h.process(&mut p, tuple(3, 50, 7.0)); // frozen → 42
         h.process(&mut p, tuple(4, 109, 8.0)); // frozen → 42
         h.process(&mut p, tuple(5, 110, 9.0)); // freeze expired
-        let xs: Vec<f64> =
-            h.out.iter().map(|t| t.tuple.get(1).unwrap().as_f64().unwrap()).collect();
+        let xs: Vec<f64> = h
+            .out
+            .iter()
+            .map(|t| t.tuple.get(1).unwrap().as_f64().unwrap())
+            .collect();
         assert_eq!(xs, vec![1.0, 42.0, 42.0, 42.0, 9.0]);
         assert_eq!(h.log.len(), 2, "two overwritten tuples logged");
-        assert!(!p.is_frozen_at(Timestamp(110)), "freeze expired after the last tuple");
+        assert!(
+            !p.is_frozen_at(Timestamp(110)),
+            "freeze expired after the last tuple"
+        );
     }
 
     #[test]
@@ -559,8 +725,11 @@ mod tests {
         h.process(&mut p, tuple(2, 90, 42.0)); // genuine re-trigger → until 190
         h.process(&mut p, tuple(3, 150, 6.0)); // still frozen
         h.process(&mut p, tuple(4, 200, 7.0)); // expired
-        let xs: Vec<f64> =
-            h.out.iter().map(|t| t.tuple.get(1).unwrap().as_f64().unwrap()).collect();
+        let xs: Vec<f64> = h
+            .out
+            .iter()
+            .map(|t| t.tuple.get(1).unwrap().as_f64().unwrap())
+            .collect();
         assert_eq!(xs, vec![42.0, 42.0, 42.0, 7.0]);
     }
 
@@ -583,8 +752,11 @@ mod tests {
         h.process(&mut p, tuple(3, 50, 8.0)); // in burst
         h.process(&mut p, tuple(4, 109, 8.0)); // in burst
         h.process(&mut p, tuple(5, 110, 8.0)); // expired
-        let xs: Vec<f64> =
-            h.out.iter().map(|t| t.tuple.get(1).unwrap().as_f64().unwrap()).collect();
+        let xs: Vec<f64> = h
+            .out
+            .iter()
+            .map(|t| t.tuple.get(1).unwrap().as_f64().unwrap())
+            .collect();
         assert_eq!(xs, vec![8.0, 0.5, 4.0, 4.0, 8.0]);
         assert_eq!(h.log.len(), 3);
         assert!(!p.is_active_at(Timestamp(110)));
@@ -606,8 +778,11 @@ mod tests {
         h.process(&mut p, tuple(1, 0, 1.0)); // activates until 100
         h.process(&mut p, tuple(2, 90, 1.0)); // re-activates until 190
         h.process(&mut p, tuple(3, 150, 8.0)); // still active
-        let xs: Vec<f64> =
-            h.out.iter().map(|t| t.tuple.get(1).unwrap().as_f64().unwrap()).collect();
+        let xs: Vec<f64> = h
+            .out
+            .iter()
+            .map(|t| t.tuple.get(1).unwrap().as_f64().unwrap())
+            .collect();
         assert_eq!(xs, vec![0.5, 0.5, 4.0]);
     }
 

@@ -128,15 +128,24 @@ pub fn generate_station_seeded(station: &str, seed: u64, n: usize) -> Vec<Tuple>
         let so2 = (no2 * 0.35 + noise.sample(&mut rng) * 4.0).clamp(0.5, 300.0);
         let co = (no2 * 22.0 + noise.sample(&mut rng) * 120.0).clamp(100.0, 8000.0);
         // Ozone: anti-correlated with NO2, sun-driven.
-        let o3 = (90.0 - no2 * 0.5 + 30.0 * ((hour - 14.0) * PI / 12.0).cos()
+        let o3 = (90.0 - no2 * 0.5
+            + 30.0 * ((hour - 14.0) * PI / 12.0).cos()
             + noise.sample(&mut rng) * 8.0)
             .clamp(1.0, 300.0);
         let pres = 1013.0 - temp * 0.6 + noise.sample(&mut rng) * 2.0;
         let dewp = temp - rng.random_range(2.0..12.0);
-        let rain = if rng.random_bool(0.06) { rng.random_range(0.1..8.0) } else { 0.0 };
+        let rain = if rng.random_bool(0.06) {
+            rng.random_range(0.1..8.0)
+        } else {
+            0.0
+        };
         let wd = WIND_DIRECTIONS[rng.random_range(0..WIND_DIRECTIONS.len())];
         // ~1.5 % of NO2 readings are missing, as in the real dataset.
-        let no2_value = if rng.random_bool(0.015) { Value::Null } else { Value::Float(no2) };
+        let no2_value = if rng.random_bool(0.015) {
+            Value::Null
+        } else {
+            Value::Float(no2)
+        };
         tuples.push(Tuple::new(vec![
             Value::Timestamp(ts),
             Value::Str(station.to_string()),
@@ -198,14 +207,17 @@ mod tests {
         let mean_at = |h: u32| {
             let vals: Vec<f64> = data
                 .iter()
-                .filter(|t| {
-                    t.get(0).unwrap().as_timestamp().unwrap().hour_of_day() == h
-                })
+                .filter(|t| t.get(0).unwrap().as_timestamp().unwrap().hour_of_day() == h)
                 .filter_map(|t| f(t, 2))
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
-        assert!(mean_at(19) > mean_at(4) + 4.0, "rush {} vs dawn {}", mean_at(19), mean_at(4));
+        assert!(
+            mean_at(19) > mean_at(4) + 4.0,
+            "rush {} vs dawn {}",
+            mean_at(19),
+            mean_at(4)
+        );
     }
 
     #[test]
@@ -219,7 +231,10 @@ mod tests {
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
-        assert!(mean_month(1) > mean_month(7) + 5.0, "winter NO2 above summer");
+        assert!(
+            mean_month(1) > mean_month(7) + 5.0,
+            "winter NO2 above summer"
+        );
     }
 
     #[test]
@@ -233,7 +248,10 @@ mod tests {
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
-        assert!(mean_month(7) > mean_month(1) + 15.0, "July warmer than January");
+        assert!(
+            mean_month(7) > mean_month(1) + 15.0,
+            "July warmer than January"
+        );
     }
 
     #[test]
@@ -247,8 +265,11 @@ mod tests {
         let n = pairs.len() as f64;
         let mean_w = pairs.iter().map(|p| p.0).sum::<f64>() / n;
         let mean_n = pairs.iter().map(|p| p.1).sum::<f64>() / n;
-        let cov: f64 =
-            pairs.iter().map(|p| (p.0 - mean_w) * (p.1 - mean_n)).sum::<f64>() / n;
+        let cov: f64 = pairs
+            .iter()
+            .map(|p| (p.0 - mean_w) * (p.1 - mean_n))
+            .sum::<f64>()
+            / n;
         assert!(cov < 0.0, "wind/NO2 covariance {cov} must be negative");
     }
 

@@ -79,7 +79,10 @@ mod tests {
         let mut t = mk(&[Some(1.0), None, None, Some(4.0), None]);
         let filled = ffill(&schema(), &mut t, "x").unwrap();
         assert_eq!(filled, 3);
-        assert_eq!(col(&t), vec![Some(1.0), Some(1.0), Some(1.0), Some(4.0), Some(4.0)]);
+        assert_eq!(
+            col(&t),
+            vec![Some(1.0), Some(1.0), Some(1.0), Some(4.0), Some(4.0)]
+        );
     }
 
     #[test]
@@ -105,7 +108,14 @@ mod tests {
         assert_eq!(filled, 4);
         assert_eq!(
             col(&t),
-            vec![Some(3.0), Some(3.0), Some(3.0), Some(3.0), Some(5.0), Some(5.0)]
+            vec![
+                Some(3.0),
+                Some(3.0),
+                Some(3.0),
+                Some(3.0),
+                Some(5.0),
+                Some(5.0)
+            ]
         );
     }
 

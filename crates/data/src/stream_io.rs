@@ -82,7 +82,12 @@ pub struct CsvTupleSink<W> {
 impl<W: Write + Send> CsvTupleSink<W> {
     /// Creates a sink; the header is written before the first record.
     pub fn new(writer: W, schema: Schema) -> Self {
-        CsvTupleSink { writer, schema, line: String::new(), wrote_header: false }
+        CsvTupleSink {
+            writer,
+            schema,
+            line: String::new(),
+            wrote_header: false,
+        }
     }
 
     fn write_header(&mut self) {

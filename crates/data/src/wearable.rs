@@ -92,8 +92,16 @@ pub fn generate_seeded(seed: u64) -> Vec<Tuple> {
         let (bpm, steps, active_minutes) = match regime {
             Regime::NotWorn => (0i64, 0i64, 0i64),
             Regime::Resting => {
-                let base = if (0.0..6.0).contains(&hour) { 54.0 } else { 64.0 };
-                ((base + bpm_noise.sample(&mut rng)).round() as i64, rng.random_range(0..30), 0)
+                let base = if (0.0..6.0).contains(&hour) {
+                    54.0
+                } else {
+                    64.0
+                };
+                (
+                    (base + bpm_noise.sample(&mut rng)).round() as i64,
+                    rng.random_range(0..30),
+                    0,
+                )
             }
             Regime::Light => (
                 (78.0 + bpm_noise.sample(&mut rng) * 2.0).round() as i64,
@@ -110,8 +118,11 @@ pub fn generate_seeded(seed: u64) -> Vec<Tuple> {
         };
         // Distance follows steps (stride ≈ 0.75 m), but strolling below
         // 50 steps does not register as distance.
-        let distance_km =
-            if steps >= 50 { (steps as f64) * 0.00075 * rng.random_range(0.9..1.1) } else { 0.0 };
+        let distance_km = if steps >= 50 {
+            (steps as f64) * 0.00075 * rng.random_range(0.9..1.1)
+        } else {
+            0.0
+        };
         // Calories: zero when not worn; otherwise BMR share plus
         // activity, with full float precision.
         let calories = if regime == Regime::NotWorn {
@@ -266,7 +277,10 @@ mod tests {
         // Paper's CaloriesBurned row: 960 of 1056 change under rounding
         // to 2 decimals. Not-worn tuples have calories exactly 0:
         // 1056 − 99 = 957 precise values.
-        assert!((940..=975).contains(&precise), "precise calories: {precise}");
+        assert!(
+            (940..=975).contains(&precise),
+            "precise calories: {precise}"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::expectation::BoxExpectation;
 use crate::expectations::{
     ExpectColumnMeanToBeBetween, ExpectColumnPairValuesAToBeGreaterThanB,
     ExpectColumnStdevToBeBetween, ExpectColumnValueLengthsToBeBetween,
-    ExpectColumnValuesToBeBetween, ExpectColumnValuesToBeIncreasing, ExpectColumnValuesToBeInSet,
+    ExpectColumnValuesToBeBetween, ExpectColumnValuesToBeInSet, ExpectColumnValuesToBeIncreasing,
     ExpectColumnValuesToBeNull, ExpectColumnValuesToBeUnique, ExpectColumnValuesToMatchRegex,
     ExpectColumnValuesToNotBeNull, ExpectMulticolumnSumToEqual,
 };
@@ -40,8 +40,7 @@ pub struct SuiteConfig {
 impl SuiteConfig {
     /// Parses a JSON document.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|e| Error::config(format_args!("bad suite config: {e}")))
+        serde_json::from_str(json).map_err(|e| Error::config(format_args!("bad suite config: {e}")))
     }
 
     /// Serializes to pretty JSON.
@@ -207,10 +206,13 @@ impl ExpectationConfig {
             ExpectationConfig::NotNull { column, mostly } => {
                 Box::new(ExpectColumnValuesToNotBeNull::new(column).mostly(*mostly))
             }
-            ExpectationConfig::Null { column } => {
-                Box::new(ExpectColumnValuesToBeNull::new(column))
-            }
-            ExpectationConfig::Between { column, min, max, mostly } => Box::new(
+            ExpectationConfig::Null { column } => Box::new(ExpectColumnValuesToBeNull::new(column)),
+            ExpectationConfig::Between {
+                column,
+                min,
+                max,
+                mostly,
+            } => Box::new(
                 ExpectColumnValuesToBeBetween::new(column, min.clone(), max.clone())
                     .mostly(*mostly),
             ),
@@ -227,7 +229,11 @@ impl ExpectationConfig {
                 let e = ExpectColumnValuesToBeIncreasing::new(column);
                 Box::new(if *strictly { e.strictly() } else { e })
             }
-            ExpectationConfig::PairGreater { column_a, column_b, or_equal } => {
+            ExpectationConfig::PairGreater {
+                column_a,
+                column_b,
+                or_equal,
+            } => {
                 let e = ExpectColumnPairValuesAToBeGreaterThanB::new(column_a, column_b);
                 Box::new(if *or_equal { e.or_equal() } else { e })
             }
@@ -243,24 +249,23 @@ impl ExpectationConfig {
             ExpectationConfig::StdevBetween { column, min, max } => {
                 Box::new(ExpectColumnStdevToBeBetween::new(column, *min, *max))
             }
-            ExpectationConfig::RowCountBetween { min, max } => {
-                Box::new(crate::expectations::ExpectTableRowCountToBeBetween::new(*min, *max))
-            }
-            ExpectationConfig::MedianBetween { column, min, max } => {
-                Box::new(crate::expectations::ExpectColumnMedianToBeBetween::new(
-                    column, *min, *max,
-                ))
-            }
-            ExpectationConfig::QuantileBetween { column, q, min, max } => {
-                Box::new(crate::expectations::ExpectColumnQuantileToBeBetween::new(
-                    column, *q, *min, *max,
-                ))
-            }
-            ExpectationConfig::CompoundUnique { columns } => {
-                Box::new(crate::expectations::ExpectCompoundColumnsToBeUnique::new(
-                    columns.clone(),
-                ))
-            }
+            ExpectationConfig::RowCountBetween { min, max } => Box::new(
+                crate::expectations::ExpectTableRowCountToBeBetween::new(*min, *max),
+            ),
+            ExpectationConfig::MedianBetween { column, min, max } => Box::new(
+                crate::expectations::ExpectColumnMedianToBeBetween::new(column, *min, *max),
+            ),
+            ExpectationConfig::QuantileBetween {
+                column,
+                q,
+                min,
+                max,
+            } => Box::new(crate::expectations::ExpectColumnQuantileToBeBetween::new(
+                column, *q, *min, *max,
+            )),
+            ExpectationConfig::CompoundUnique { columns } => Box::new(
+                crate::expectations::ExpectCompoundColumnsToBeUnique::new(columns.clone()),
+            ),
         })
     }
 }
@@ -287,7 +292,11 @@ mod tests {
                     Timestamp(i as i64),
                     Tuple::new(vec![
                         Value::Timestamp(Timestamp(i as i64)),
-                        if i == 5 { Value::Null } else { Value::Float(i as f64) },
+                        if i == 5 {
+                            Value::Null
+                        } else {
+                            Value::Float(i as f64)
+                        },
                         Value::Str(format!("v{i}")),
                     ]),
                 )
@@ -299,39 +308,69 @@ mod tests {
         SuiteConfig {
             name: "all-types".into(),
             expectations: vec![
-                ExpectationConfig::NotNull { column: "x".into(), mostly: 0.9 },
+                ExpectationConfig::NotNull {
+                    column: "x".into(),
+                    mostly: 0.9,
+                },
                 ExpectationConfig::Between {
                     column: "x".into(),
                     min: Some(Value::Float(0.0)),
                     max: Some(Value::Float(100.0)),
                     mostly: 1.0,
                 },
-                ExpectationConfig::MatchRegex { column: "s".into(), pattern: "^v".into() },
-                ExpectationConfig::Increasing { column: "Time".into(), strictly: true },
+                ExpectationConfig::MatchRegex {
+                    column: "s".into(),
+                    pattern: "^v".into(),
+                },
+                ExpectationConfig::Increasing {
+                    column: "Time".into(),
+                    strictly: true,
+                },
                 ExpectationConfig::Unique { column: "s".into() },
-                ExpectationConfig::ValueLengths { column: "s".into(), min: 2, max: 3 },
-                ExpectationConfig::MeanBetween { column: "x".into(), min: 0.0, max: 10.0 },
-                ExpectationConfig::StdevBetween { column: "x".into(), min: 0.0, max: 10.0 },
+                ExpectationConfig::ValueLengths {
+                    column: "s".into(),
+                    min: 2,
+                    max: 3,
+                },
+                ExpectationConfig::MeanBetween {
+                    column: "x".into(),
+                    min: 0.0,
+                    max: 10.0,
+                },
+                ExpectationConfig::StdevBetween {
+                    column: "x".into(),
+                    min: 0.0,
+                    max: 10.0,
+                },
                 ExpectationConfig::PairGreater {
                     column_a: "x".into(),
                     column_b: "x".into(),
                     or_equal: true,
                 },
-                ExpectationConfig::MulticolumnSum { columns: vec!["x".into(), "x".into()], total: 0.0 },
+                ExpectationConfig::MulticolumnSum {
+                    columns: vec!["x".into(), "x".into()],
+                    total: 0.0,
+                },
                 ExpectationConfig::InSet {
                     column: "s".into(),
                     values: (0..10).map(|i| Value::Str(format!("v{i}"))).collect(),
                 },
                 ExpectationConfig::Null { column: "x".into() },
                 ExpectationConfig::RowCountBetween { min: 1, max: 100 },
-                ExpectationConfig::MedianBetween { column: "x".into(), min: 0.0, max: 10.0 },
+                ExpectationConfig::MedianBetween {
+                    column: "x".into(),
+                    min: 0.0,
+                    max: 10.0,
+                },
                 ExpectationConfig::QuantileBetween {
                     column: "x".into(),
                     q: 0.9,
                     min: 0.0,
                     max: 10.0,
                 },
-                ExpectationConfig::CompoundUnique { columns: vec!["Time".into(), "s".into()] },
+                ExpectationConfig::CompoundUnique {
+                    columns: vec!["Time".into(), "s".into()],
+                },
             ],
         }
     }
@@ -350,7 +389,10 @@ mod tests {
         let report = suite.validate(&schema(), &rows()).unwrap();
         // Some expectations pass, some fail — the point is they all run.
         assert_eq!(report.results.len(), 16);
-        assert!(report.find("not_be_null").unwrap().success, "1 of 10 null, mostly 0.9");
+        assert!(
+            report.find("not_be_null").unwrap().success,
+            "1 of 10 null, mostly 0.9"
+        );
         assert!(report.find("match_regex").unwrap().success);
         assert!(!report.find("to_be_null").unwrap().success);
     }

@@ -112,7 +112,12 @@ pub(crate) fn validate_rows(
             unexpected.push(row.id);
         }
     }
-    Ok(ExpectationResult::row_level(describe, rows.len(), unexpected, mostly))
+    Ok(ExpectationResult::row_level(
+        describe,
+        rows.len(),
+        unexpected,
+        mostly,
+    ))
 }
 
 #[cfg(test)]

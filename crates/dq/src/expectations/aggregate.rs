@@ -15,26 +15,40 @@ pub struct ExpectColumnMeanToBeBetween {
 impl ExpectColumnMeanToBeBetween {
     /// Requires `min ≤ mean(column) ≤ max`.
     pub fn new(column: impl Into<String>, min: f64, max: f64) -> Self {
-        ExpectColumnMeanToBeBetween { column: column.into(), min, max }
+        ExpectColumnMeanToBeBetween {
+            column: column.into(),
+            min,
+            max,
+        }
     }
 }
 
 impl Expectation for ExpectColumnMeanToBeBetween {
     fn describe(&self) -> String {
-        format!("expect_column_mean_to_be_between({}, {}..{})", self.column, self.min, self.max)
+        format!(
+            "expect_column_mean_to_be_between({}, {}..{})",
+            self.column, self.min, self.max
+        )
     }
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
         let idx = schema.require(&self.column)?;
-        let values: Vec<f64> =
-            rows.iter().filter_map(|r| r.tuple.get(idx).and_then(Value::as_f64)).collect();
+        let values: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.tuple.get(idx).and_then(Value::as_f64))
+            .collect();
         let mean = if values.is_empty() {
             f64::NAN
         } else {
             values.iter().sum::<f64>() / values.len() as f64
         };
         let success = !values.is_empty() && mean >= self.min && mean <= self.max;
-        Ok(ExpectationResult::aggregate(self.describe(), rows.len(), mean, success))
+        Ok(ExpectationResult::aggregate(
+            self.describe(),
+            rows.len(),
+            mean,
+            success,
+        ))
     }
 }
 
@@ -49,19 +63,28 @@ pub struct ExpectColumnStdevToBeBetween {
 impl ExpectColumnStdevToBeBetween {
     /// Requires `min ≤ σ(column) ≤ max`.
     pub fn new(column: impl Into<String>, min: f64, max: f64) -> Self {
-        ExpectColumnStdevToBeBetween { column: column.into(), min, max }
+        ExpectColumnStdevToBeBetween {
+            column: column.into(),
+            min,
+            max,
+        }
     }
 }
 
 impl Expectation for ExpectColumnStdevToBeBetween {
     fn describe(&self) -> String {
-        format!("expect_column_stdev_to_be_between({}, {}..{})", self.column, self.min, self.max)
+        format!(
+            "expect_column_stdev_to_be_between({}, {}..{})",
+            self.column, self.min, self.max
+        )
     }
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
         let idx = schema.require(&self.column)?;
-        let values: Vec<f64> =
-            rows.iter().filter_map(|r| r.tuple.get(idx).and_then(Value::as_f64)).collect();
+        let values: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.tuple.get(idx).and_then(Value::as_f64))
+            .collect();
         let stdev = if values.is_empty() {
             f64::NAN
         } else {
@@ -69,7 +92,12 @@ impl Expectation for ExpectColumnStdevToBeBetween {
             (values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
         };
         let success = !values.is_empty() && stdev >= self.min && stdev <= self.max;
-        Ok(ExpectationResult::aggregate(self.describe(), rows.len(), stdev, success))
+        Ok(ExpectationResult::aggregate(
+            self.describe(),
+            rows.len(),
+            stdev,
+            success,
+        ))
     }
 }
 
@@ -83,7 +111,9 @@ pub struct ExpectColumnValuesToBeUnique {
 impl ExpectColumnValuesToBeUnique {
     /// Requires distinct values in `column`.
     pub fn new(column: impl Into<String>) -> Self {
-        ExpectColumnValuesToBeUnique { column: column.into() }
+        ExpectColumnValuesToBeUnique {
+            column: column.into(),
+        }
     }
 }
 
@@ -109,7 +139,12 @@ impl Expectation for ExpectColumnValuesToBeUnique {
                 unexpected.push(row.id);
             }
         }
-        Ok(ExpectationResult::row_level(self.describe(), rows.len(), unexpected, 1.0))
+        Ok(ExpectationResult::row_level(
+            self.describe(),
+            rows.len(),
+            unexpected,
+            1.0,
+        ))
     }
 }
 
@@ -132,8 +167,7 @@ mod tests {
 
     #[test]
     fn mean_in_and_out_of_bounds() {
-        let rows: Vec<StampedTuple> =
-            (0..4).map(|i| row(i, Value::Float(i as f64))).collect(); // mean 1.5
+        let rows: Vec<StampedTuple> = (0..4).map(|i| row(i, Value::Float(i as f64))).collect(); // mean 1.5
         let ok = ExpectColumnMeanToBeBetween::new("x", 1.0, 2.0);
         let r = ok.validate(&schema(), &rows).unwrap();
         assert!(r.success);
@@ -161,8 +195,9 @@ mod tests {
         let tight: Vec<StampedTuple> = (0..10).map(|i| row(i, Value::Float(5.0))).collect();
         let e = ExpectColumnStdevToBeBetween::new("x", 0.0, 0.1);
         assert!(e.validate(&schema(), &tight).unwrap().success);
-        let spread: Vec<StampedTuple> =
-            (0..10).map(|i| row(i, Value::Float(i as f64 * 100.0))).collect();
+        let spread: Vec<StampedTuple> = (0..10)
+            .map(|i| row(i, Value::Float(i as f64 * 100.0)))
+            .collect();
         assert!(!e.validate(&schema(), &spread).unwrap().success);
     }
 

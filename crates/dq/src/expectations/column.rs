@@ -14,7 +14,10 @@ pub struct ExpectColumnValuesToNotBeNull {
 impl ExpectColumnValuesToNotBeNull {
     /// Requires every value of `column` to be non-NULL.
     pub fn new(column: impl Into<String>) -> Self {
-        ExpectColumnValuesToNotBeNull { column: column.into(), mostly: 1.0 }
+        ExpectColumnValuesToNotBeNull {
+            column: column.into(),
+            mostly: 1.0,
+        }
     }
 
     /// Tolerates up to `1 − mostly` NULLs.
@@ -30,7 +33,14 @@ impl Expectation for ExpectColumnValuesToNotBeNull {
     }
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
-        validate_rows(self.describe(), schema, rows, &self.column, self.mostly, |v| !v.is_null())
+        validate_rows(
+            self.describe(),
+            schema,
+            rows,
+            &self.column,
+            self.mostly,
+            |v| !v.is_null(),
+        )
     }
 }
 
@@ -42,7 +52,9 @@ pub struct ExpectColumnValuesToBeNull {
 impl ExpectColumnValuesToBeNull {
     /// Requires every value of `column` to be NULL.
     pub fn new(column: impl Into<String>) -> Self {
-        ExpectColumnValuesToBeNull { column: column.into() }
+        ExpectColumnValuesToBeNull {
+            column: column.into(),
+        }
     }
 }
 
@@ -52,7 +64,14 @@ impl Expectation for ExpectColumnValuesToBeNull {
     }
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
-        validate_rows(self.describe(), schema, rows, &self.column, 1.0, Value::is_null)
+        validate_rows(
+            self.describe(),
+            schema,
+            rows,
+            &self.column,
+            1.0,
+            Value::is_null,
+        )
     }
 }
 
@@ -68,7 +87,12 @@ pub struct ExpectColumnValuesToBeBetween {
 impl ExpectColumnValuesToBeBetween {
     /// Requires `min ≤ value ≤ max`; either bound may be `None`.
     pub fn new(column: impl Into<String>, min: Option<Value>, max: Option<Value>) -> Self {
-        ExpectColumnValuesToBeBetween { column: column.into(), min, max, mostly: 1.0 }
+        ExpectColumnValuesToBeBetween {
+            column: column.into(),
+            min,
+            max,
+            mostly: 1.0,
+        }
     }
 
     /// Tolerates up to `1 − mostly` violations.
@@ -91,18 +115,25 @@ impl Expectation for ExpectColumnValuesToBeBetween {
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
         let min = self.min.clone();
         let max = self.max.clone();
-        validate_rows(self.describe(), schema, rows, &self.column, self.mostly, move |v| {
-            if v.is_null() {
-                return true;
-            }
-            let above_min = min.as_ref().is_none_or(|m| {
-                matches!(v.compare(m), Some(Ordering::Greater | Ordering::Equal))
-            });
-            let below_max = max.as_ref().is_none_or(|m| {
-                matches!(v.compare(m), Some(Ordering::Less | Ordering::Equal))
-            });
-            above_min && below_max
-        })
+        validate_rows(
+            self.describe(),
+            schema,
+            rows,
+            &self.column,
+            self.mostly,
+            move |v| {
+                if v.is_null() {
+                    return true;
+                }
+                let above_min = min.as_ref().is_none_or(|m| {
+                    matches!(v.compare(m), Some(Ordering::Greater | Ordering::Equal))
+                });
+                let below_max = max
+                    .as_ref()
+                    .is_none_or(|m| matches!(v.compare(m), Some(Ordering::Less | Ordering::Equal)));
+                above_min && below_max
+            },
+        )
     }
 }
 
@@ -116,13 +147,20 @@ pub struct ExpectColumnValuesToBeInSet {
 impl ExpectColumnValuesToBeInSet {
     /// Requires every value to be a member of `set`.
     pub fn new(column: impl Into<String>, set: Vec<Value>) -> Self {
-        ExpectColumnValuesToBeInSet { column: column.into(), set }
+        ExpectColumnValuesToBeInSet {
+            column: column.into(),
+            set,
+        }
     }
 }
 
 impl Expectation for ExpectColumnValuesToBeInSet {
     fn describe(&self) -> String {
-        format!("expect_column_values_to_be_in_set({}, {} values)", self.column, self.set.len())
+        format!(
+            "expect_column_values_to_be_in_set({}, {} values)",
+            self.column,
+            self.set.len()
+        )
     }
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
@@ -145,13 +183,20 @@ pub struct ExpectColumnValuesToMatchRegex {
 impl ExpectColumnValuesToMatchRegex {
     /// Requires every value to match `pattern`.
     pub fn new(column: impl Into<String>, pattern: &str) -> Result<Self> {
-        Ok(ExpectColumnValuesToMatchRegex { column: column.into(), regex: Regex::new(pattern)? })
+        Ok(ExpectColumnValuesToMatchRegex {
+            column: column.into(),
+            regex: Regex::new(pattern)?,
+        })
     }
 }
 
 impl Expectation for ExpectColumnValuesToMatchRegex {
     fn describe(&self) -> String {
-        format!("expect_column_values_to_match_regex({}, {})", self.column, self.regex.pattern())
+        format!(
+            "expect_column_values_to_match_regex({}, {})",
+            self.column,
+            self.regex.pattern()
+        )
     }
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
@@ -177,7 +222,11 @@ pub struct ExpectColumnValueLengthsToBeBetween {
 impl ExpectColumnValueLengthsToBeBetween {
     /// Requires `min ≤ len(value) ≤ max` (in chars).
     pub fn new(column: impl Into<String>, min: usize, max: usize) -> Self {
-        ExpectColumnValueLengthsToBeBetween { column: column.into(), min, max }
+        ExpectColumnValueLengthsToBeBetween {
+            column: column.into(),
+            min,
+            max,
+        }
     }
 }
 
@@ -191,14 +240,21 @@ impl Expectation for ExpectColumnValueLengthsToBeBetween {
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
         let (min, max) = (self.min, self.max);
-        validate_rows(self.describe(), schema, rows, &self.column, 1.0, move |v| match v {
-            Value::Null => true,
-            Value::Str(s) => {
-                let n = s.chars().count();
-                n >= min && n <= max
-            }
-            _ => false,
-        })
+        validate_rows(
+            self.describe(),
+            schema,
+            rows,
+            &self.column,
+            1.0,
+            move |v| match v {
+                Value::Null => true,
+                Value::Str(s) => {
+                    let n = s.chars().count();
+                    n >= min && n <= max
+                }
+                _ => false,
+            },
+        )
     }
 }
 
@@ -285,7 +341,10 @@ mod tests {
     fn match_regex_anchored_at_start() {
         let e = ExpectColumnValuesToMatchRegex::new("s", "[a-z]+$").unwrap();
         let r = e.validate(&schema(), &rows()).unwrap();
-        assert!(r.success, "all non-null activity strings are lowercase words");
+        assert!(
+            r.success,
+            "all non-null activity strings are lowercase words"
+        );
         let digits = ExpectColumnValuesToMatchRegex::new("s", r"\d").unwrap();
         let r = digits.validate(&schema(), &rows()).unwrap();
         assert_eq!(r.unexpected_count, 3);

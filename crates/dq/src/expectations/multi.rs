@@ -55,7 +55,12 @@ impl Expectation for ExpectColumnPairValuesAToBeGreaterThanB {
                 unexpected.push(row.id);
             }
         }
-        Ok(ExpectationResult::row_level(self.describe(), rows.len(), unexpected, 1.0))
+        Ok(ExpectationResult::row_level(
+            self.describe(),
+            rows.len(),
+            unexpected,
+            1.0,
+        ))
     }
 }
 
@@ -87,8 +92,11 @@ impl Expectation for ExpectMulticolumnSumToEqual {
     }
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
-        let idxs: Vec<usize> =
-            self.columns.iter().map(|c| schema.require(c)).collect::<Result<_>>()?;
+        let idxs: Vec<usize> = self
+            .columns
+            .iter()
+            .map(|c| schema.require(c))
+            .collect::<Result<_>>()?;
         let mut unexpected = Vec::new();
         for row in rows {
             let mut sum = 0.0;
@@ -106,7 +114,12 @@ impl Expectation for ExpectMulticolumnSumToEqual {
                 unexpected.push(row.id);
             }
         }
-        Ok(ExpectationResult::row_level(self.describe(), rows.len(), unexpected, 1.0))
+        Ok(ExpectationResult::row_level(
+            self.describe(),
+            rows.len(),
+            unexpected,
+            1.0,
+        ))
     }
 }
 
@@ -126,7 +139,10 @@ pub struct ExpectColumnValuesToBeIncreasing {
 impl ExpectColumnValuesToBeIncreasing {
     /// Requires non-decreasing values in batch order.
     pub fn new(column: impl Into<String>) -> Self {
-        ExpectColumnValuesToBeIncreasing { column: column.into(), strictly: false }
+        ExpectColumnValuesToBeIncreasing {
+            column: column.into(),
+            strictly: false,
+        }
     }
 
     /// Requires strictly increasing values.
@@ -169,7 +185,12 @@ impl Expectation for ExpectColumnValuesToBeIncreasing {
             }
             running_max = Some(v);
         }
-        Ok(ExpectationResult::row_level(self.describe(), rows.len(), unexpected, 1.0))
+        Ok(ExpectationResult::row_level(
+            self.describe(),
+            rows.len(),
+            unexpected,
+            1.0,
+        ))
     }
 }
 
@@ -202,7 +223,13 @@ mod tests {
             // Steps 100 > Distance 1.2 km: fine.
             row(0, 0, Value::Int(100), Value::Float(1.2), Value::Int(5)),
             // After km→cm: Distance 120000 > Steps — flagged.
-            row(1, 1, Value::Int(100), Value::Float(120_000.0), Value::Int(5)),
+            row(
+                1,
+                1,
+                Value::Int(100),
+                Value::Float(120_000.0),
+                Value::Int(5),
+            ),
             // NULL distance conforms.
             row(2, 2, Value::Int(100), Value::Null, Value::Int(5)),
         ];
@@ -215,10 +242,15 @@ mod tests {
     fn pair_greater_equal_boundary() {
         let rows = vec![row(0, 0, Value::Int(5), Value::Float(5.0), Value::Int(0))];
         let strict = ExpectColumnPairValuesAToBeGreaterThanB::new("Steps", "Distance");
-        assert_eq!(strict.validate(&schema(), &rows).unwrap().unexpected_count, 1);
-        let relaxed =
-            ExpectColumnPairValuesAToBeGreaterThanB::new("Steps", "Distance").or_equal();
-        assert_eq!(relaxed.validate(&schema(), &rows).unwrap().unexpected_count, 0);
+        assert_eq!(
+            strict.validate(&schema(), &rows).unwrap().unexpected_count,
+            1
+        );
+        let relaxed = ExpectColumnPairValuesAToBeGreaterThanB::new("Steps", "Distance").or_equal();
+        assert_eq!(
+            relaxed.validate(&schema(), &rows).unwrap().unexpected_count,
+            0
+        );
     }
 
     #[test]
@@ -241,11 +273,10 @@ mod tests {
     fn increasing_flags_late_tuples_only() {
         // Timestamps 1, 2, 5, 3, 4, 6 — with running-max semantics the
         // late tuples are 3 and 4 (both below the max 5).
-        let mk = |id: u64, ts: i64| {
-            row(id, ts, Value::Int(0), Value::Float(0.0), Value::Int(0))
-        };
-        let rows: Vec<StampedTuple> =
-            [(0, 1), (1, 2), (2, 5), (3, 3), (4, 4), (5, 6)].map(|(i, t)| mk(i, t)).into();
+        let mk = |id: u64, ts: i64| row(id, ts, Value::Int(0), Value::Float(0.0), Value::Int(0));
+        let rows: Vec<StampedTuple> = [(0, 1), (1, 2), (2, 5), (3, 3), (4, 4), (5, 6)]
+            .map(|(i, t)| mk(i, t))
+            .into();
         let e = ExpectColumnValuesToBeIncreasing::new("Time");
         let r = e.validate(&schema(), &rows).unwrap();
         assert_eq!(r.unexpected_ids, vec![3, 4]);
@@ -253,14 +284,15 @@ mod tests {
 
     #[test]
     fn increasing_equal_values() {
-        let mk = |id: u64, ts: i64| {
-            row(id, ts, Value::Int(0), Value::Float(0.0), Value::Int(0))
-        };
+        let mk = |id: u64, ts: i64| row(id, ts, Value::Int(0), Value::Float(0.0), Value::Int(0));
         let rows: Vec<StampedTuple> = [(0, 1), (1, 1), (2, 2)].map(|(i, t)| mk(i, t)).into();
         let non_strict = ExpectColumnValuesToBeIncreasing::new("Time");
         assert!(non_strict.validate(&schema(), &rows).unwrap().success);
         let strict = ExpectColumnValuesToBeIncreasing::new("Time").strictly();
-        assert_eq!(strict.validate(&schema(), &rows).unwrap().unexpected_ids, vec![1]);
+        assert_eq!(
+            strict.validate(&schema(), &rows).unwrap().unexpected_ids,
+            vec![1]
+        );
     }
 
     #[test]
@@ -270,7 +302,12 @@ mod tests {
             StampedTuple::new(
                 1,
                 Timestamp(2),
-                Tuple::new(vec![Value::Null, Value::Int(0), Value::Float(0.0), Value::Int(0)]),
+                Tuple::new(vec![
+                    Value::Null,
+                    Value::Int(0),
+                    Value::Float(0.0),
+                    Value::Int(0),
+                ]),
             ),
             row(2, 3, Value::Int(0), Value::Float(0.0), Value::Int(0)),
         ];
@@ -287,6 +324,8 @@ mod tests {
         assert!(ExpectMulticolumnSumToEqual::new(vec!["a".into()], 0.0)
             .validate(&schema(), &rows)
             .is_err());
-        assert!(ExpectColumnValuesToBeIncreasing::new("a").validate(&schema(), &rows).is_err());
+        assert!(ExpectColumnValuesToBeIncreasing::new("a")
+            .validate(&schema(), &rows)
+            .is_err());
     }
 }

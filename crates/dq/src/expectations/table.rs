@@ -21,7 +21,10 @@ impl ExpectTableRowCountToBeBetween {
 
 impl Expectation for ExpectTableRowCountToBeBetween {
     fn describe(&self) -> String {
-        format!("expect_table_row_count_to_be_between({}..{})", self.min, self.max)
+        format!(
+            "expect_table_row_count_to_be_between({}..{})",
+            self.min, self.max
+        )
     }
 
     fn validate(&self, _schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
@@ -46,13 +49,20 @@ pub struct ExpectColumnMedianToBeBetween {
 impl ExpectColumnMedianToBeBetween {
     /// Requires `min ≤ median(column) ≤ max`.
     pub fn new(column: impl Into<String>, min: f64, max: f64) -> Self {
-        ExpectColumnMedianToBeBetween { column: column.into(), min, max }
+        ExpectColumnMedianToBeBetween {
+            column: column.into(),
+            min,
+            max,
+        }
     }
 }
 
 impl Expectation for ExpectColumnMedianToBeBetween {
     fn describe(&self) -> String {
-        format!("expect_column_median_to_be_between({}, {}..{})", self.column, self.min, self.max)
+        format!(
+            "expect_column_median_to_be_between({}, {}..{})",
+            self.column, self.min, self.max
+        )
     }
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
@@ -94,8 +104,10 @@ impl Expectation for ExpectColumnQuantileToBeBetween {
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
         let idx = schema.require(&self.column)?;
-        let mut values: Vec<f64> =
-            rows.iter().filter_map(|r| r.tuple.get(idx).and_then(Value::as_f64)).collect();
+        let mut values: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.tuple.get(idx).and_then(Value::as_f64))
+            .collect();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let observed = if values.is_empty() {
             f64::NAN
@@ -110,7 +122,12 @@ impl Expectation for ExpectColumnQuantileToBeBetween {
             }
         };
         let success = !values.is_empty() && observed >= self.min && observed <= self.max;
-        Ok(ExpectationResult::aggregate(self.describe(), rows.len(), observed, success))
+        Ok(ExpectationResult::aggregate(
+            self.describe(),
+            rows.len(),
+            observed,
+            success,
+        ))
     }
 }
 
@@ -131,12 +148,18 @@ impl ExpectCompoundColumnsToBeUnique {
 
 impl Expectation for ExpectCompoundColumnsToBeUnique {
     fn describe(&self) -> String {
-        format!("expect_compound_columns_to_be_unique([{}])", self.columns.join(", "))
+        format!(
+            "expect_compound_columns_to_be_unique([{}])",
+            self.columns.join(", ")
+        )
     }
 
     fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
-        let idxs: Vec<usize> =
-            self.columns.iter().map(|c| schema.require(c)).collect::<Result<_>>()?;
+        let idxs: Vec<usize> = self
+            .columns
+            .iter()
+            .map(|c| schema.require(c))
+            .collect::<Result<_>>()?;
         let mut seen: HashMap<String, bool> = HashMap::new();
         let mut unexpected = Vec::new();
         let mut key = String::new();
@@ -156,7 +179,12 @@ impl Expectation for ExpectCompoundColumnsToBeUnique {
                 unexpected.push(row.id);
             }
         }
-        Ok(ExpectationResult::row_level(self.describe(), rows.len(), unexpected, 1.0))
+        Ok(ExpectationResult::row_level(
+            self.describe(),
+            rows.len(),
+            unexpected,
+            1.0,
+        ))
     }
 }
 
@@ -178,12 +206,18 @@ mod tests {
         StampedTuple::new(
             id,
             Timestamp(id as i64),
-            Tuple::new(vec![Value::Timestamp(Timestamp(id as i64)), x, Value::Str(s.into())]),
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp(id as i64)),
+                x,
+                Value::Str(s.into()),
+            ]),
         )
     }
 
     fn rows() -> Vec<StampedTuple> {
-        (0..9).map(|i| row(i, Value::Float(i as f64), "a")).collect()
+        (0..9)
+            .map(|i| row(i, Value::Float(i as f64), "a"))
+            .collect()
     }
 
     #[test]
@@ -192,10 +226,12 @@ mod tests {
         let r = ok.validate(&schema(), &rows()).unwrap();
         assert!(r.success);
         assert_eq!(r.observed_value, Some(9.0));
-        assert!(!ExpectTableRowCountToBeBetween::new(10, 20)
-            .validate(&schema(), &rows())
-            .unwrap()
-            .success);
+        assert!(
+            !ExpectTableRowCountToBeBetween::new(10, 20)
+                .validate(&schema(), &rows())
+                .unwrap()
+                .success
+        );
     }
 
     #[test]
@@ -216,9 +252,15 @@ mod tests {
         let mut rs = rows();
         rs[0].tuple.replace(1, Value::Float(1e9));
         let med = ExpectColumnMedianToBeBetween::new("x", 3.5, 5.5);
-        assert!(med.validate(&schema(), &rs).unwrap().success, "median barely moves");
+        assert!(
+            med.validate(&schema(), &rs).unwrap().success,
+            "median barely moves"
+        );
         let mean = crate::expectations::ExpectColumnMeanToBeBetween::new("x", 0.0, 10.0);
-        assert!(!mean.validate(&schema(), &rs).unwrap().success, "mean explodes");
+        assert!(
+            !mean.validate(&schema(), &rs).unwrap().success,
+            "mean explodes"
+        );
     }
 
     #[test]
@@ -244,11 +286,17 @@ mod tests {
     #[test]
     fn compound_unique_key_separator_prevents_collisions() {
         // ("ab", "c") vs ("a", "bc") must be distinct keys.
-        let rs = vec![row(0, Value::Float(1.0), "ab"), row(1, Value::Float(1.0), "ab")];
+        let rs = vec![
+            row(0, Value::Float(1.0), "ab"),
+            row(1, Value::Float(1.0), "ab"),
+        ];
         let e = ExpectCompoundColumnsToBeUnique::new(vec!["s".into(), "s".into()]);
         let r = e.validate(&schema(), &rs).unwrap();
         assert_eq!(r.unexpected_count, 1);
-        let distinct = vec![row(0, Value::Float(1.0), "ab"), row(1, Value::Float(2.0), "ab")];
+        let distinct = vec![
+            row(0, Value::Float(1.0), "ab"),
+            row(1, Value::Float(2.0), "ab"),
+        ];
         let e2 = ExpectCompoundColumnsToBeUnique::new(vec!["x".into(), "s".into()]);
         assert!(e2.validate(&schema(), &distinct).unwrap().success);
     }

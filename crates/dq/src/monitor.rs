@@ -44,7 +44,11 @@ fn tau_of(t: &StampedTuple) -> Timestamp {
 impl DqMonitorOperator {
     /// A monitor validating `suite` over windows of `size`.
     pub fn new(schema: Schema, suite: ExpectationSuite, size: Duration) -> Self {
-        DqMonitorOperator { window: TumblingWindow::new(size, tau_of), suite, schema }
+        DqMonitorOperator {
+            window: TumblingWindow::new(size, tau_of),
+            suite,
+            schema,
+        }
     }
 
     fn validate_pane(&self, pane: WindowPane<StampedTuple>) -> WindowedReport {
@@ -52,7 +56,11 @@ impl DqMonitorOperator {
             .suite
             .validate(&self.schema, &pane.records)
             .expect("suite must be valid for the monitored schema");
-        WindowedReport { start: pane.start, end: pane.end, report }
+        WindowedReport {
+            start: pane.start,
+            end: pane.end,
+            report,
+        }
     }
 }
 

@@ -95,7 +95,10 @@ mod tests {
 
     #[test]
     fn negated_class() {
-        let set = ClassSet { items: vec![ClassItem::Digit], negated: true };
+        let set = ClassSet {
+            items: vec![ClassItem::Digit],
+            negated: true,
+        };
         assert!(set.contains('a'));
         assert!(!set.contains('5'));
     }

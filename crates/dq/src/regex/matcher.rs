@@ -18,7 +18,10 @@ const STEP_BUDGET: u64 = 1_000_000;
 pub fn match_at(ast: &Ast, chars: &[char], start: usize) -> Option<usize> {
     let steps = Cell::new(0u64);
     let mut result = None;
-    let m = Matcher { chars, steps: &steps };
+    let m = Matcher {
+        chars,
+        steps: &steps,
+    };
     m.run(ast, start, &mut |end| {
         result = Some(end);
         true
@@ -47,9 +50,7 @@ impl<'a> Matcher<'a> {
         }
         match node {
             Ast::Empty => k(pos),
-            Ast::Literal(c) => {
-                pos < self.chars.len() && self.chars[pos] == *c && k(pos + 1)
-            }
+            Ast::Literal(c) => pos < self.chars.len() && self.chars[pos] == *c && k(pos + 1),
             Ast::AnyChar => pos < self.chars.len() && k(pos + 1),
             Ast::Class(set) => {
                 pos < self.chars.len() && set.contains(self.chars[pos]) && k(pos + 1)
@@ -73,9 +74,7 @@ impl<'a> Matcher<'a> {
     fn run_seq(&self, nodes: &[Ast], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
         match nodes.split_first() {
             None => k(pos),
-            Some((first, rest)) => {
-                self.run(first, pos, &mut |p| self.run_seq(rest, p, &mut *k))
-            }
+            Some((first, rest)) => self.run(first, pos, &mut |p| self.run_seq(rest, p, &mut *k)),
         }
     }
 

@@ -34,7 +34,10 @@ impl Regex {
     pub fn new(pattern: &str) -> Result<Self> {
         let ast = parser::parse(pattern)
             .map_err(|msg| Error::config(format_args!("bad regex `{pattern}`: {msg}")))?;
-        Ok(Regex { pattern: pattern.to_string(), ast })
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            ast,
+        })
     }
 
     /// The original pattern.

@@ -16,7 +16,10 @@ pub fn parse(pattern: &str) -> Result<Ast, String> {
     let mut p = Parser { chars, pos: 0 };
     let ast = p.alternation()?;
     if p.pos != p.chars.len() {
-        return Err(format!("unexpected `{}` at position {}", p.chars[p.pos], p.pos));
+        return Err(format!(
+            "unexpected `{}` at position {}",
+            p.chars[p.pos], p.pos
+        ));
     }
     Ok(ast)
 }
@@ -99,7 +102,11 @@ impl Parser {
         if !quantifiable {
             return Err("quantifier after anchor".to_string());
         }
-        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
     }
 
     /// Parses the inside of `{…}` (the `{` is already consumed).
@@ -133,7 +140,11 @@ impl Parser {
         if self.pos == start {
             return None;
         }
-        self.chars[start..self.pos].iter().collect::<String>().parse().ok()
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .ok()
     }
 
     fn atom(&mut self) -> Result<Ast, String> {
@@ -152,7 +163,9 @@ impl Parser {
             Some('.') => Ok(Ast::AnyChar),
             Some('^') => Ok(Ast::StartAnchor),
             Some('$') => Ok(Ast::EndAnchor),
-            Some('*') | Some('+') | Some('?') => Err("quantifier with nothing to repeat".to_string()),
+            Some('*') | Some('+') | Some('?') => {
+                Err("quantifier with nothing to repeat".to_string())
+            }
             Some('{') => Err("`{` with nothing to repeat".to_string()),
             Some('\\') => self.escape(false),
             Some(c) => Ok(Ast::Literal(c)),
@@ -165,9 +178,7 @@ impl Parser {
         let Some(c) = self.bump() else {
             return Err("dangling `\\`".to_string());
         };
-        let class = |items: Vec<ClassItem>, negated: bool| {
-            Ast::Class(ClassSet { items, negated })
-        };
+        let class = |items: Vec<ClassItem>, negated: bool| Ast::Class(ClassSet { items, negated });
         Ok(match c {
             'd' => class(vec![ClassItem::Digit], false),
             'D' => class(vec![ClassItem::Digit], true),
@@ -270,25 +281,43 @@ mod tests {
     fn parses_quantifiers() {
         assert_eq!(
             parse("a*").unwrap(),
-            Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 0, max: None }
+            Ast::Repeat {
+                node: Box::new(Ast::Literal('a')),
+                min: 0,
+                max: None
+            }
         );
         assert_eq!(
             parse("a{2,5}").unwrap(),
-            Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 2, max: Some(5) }
+            Ast::Repeat {
+                node: Box::new(Ast::Literal('a')),
+                min: 2,
+                max: Some(5)
+            }
         );
         assert_eq!(
             parse("a{3}").unwrap(),
-            Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 3, max: Some(3) }
+            Ast::Repeat {
+                node: Box::new(Ast::Literal('a')),
+                min: 3,
+                max: Some(3)
+            }
         );
         assert_eq!(
             parse("a{2,}").unwrap(),
-            Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 2, max: None }
+            Ast::Repeat {
+                node: Box::new(Ast::Literal('a')),
+                min: 2,
+                max: None
+            }
         );
     }
 
     #[test]
     fn rejects_malformed() {
-        for p in ["(", "a)", "[", "[]", "a{3,2}", "*", "a**b{", "^*", r"\q", "[z-a]"] {
+        for p in [
+            "(", "a)", "[", "[]", "a{3,2}", "*", "a**b{", "^*", r"\q", "[z-a]",
+        ] {
             assert!(parse(p).is_err(), "{p:?} must be rejected");
         }
     }

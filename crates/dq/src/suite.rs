@@ -16,7 +16,10 @@ pub struct ExpectationSuite {
 impl ExpectationSuite {
     /// An empty suite.
     pub fn new(name: impl Into<String>) -> Self {
-        ExpectationSuite { name: name.into(), expectations: Vec::new() }
+        ExpectationSuite {
+            name: name.into(),
+            expectations: Vec::new(),
+        }
     }
 
     /// Adds an expectation (builder style).
@@ -42,9 +45,16 @@ impl ExpectationSuite {
 
     /// Validates all expectations against a batch.
     pub fn validate(&self, schema: &Schema, rows: &[StampedTuple]) -> Result<ValidationReport> {
-        let results: Result<Vec<ExpectationResult>> =
-            self.expectations.iter().map(|e| e.validate(schema, rows)).collect();
-        Ok(ValidationReport { suite: self.name.clone(), element_count: rows.len(), results: results? })
+        let results: Result<Vec<ExpectationResult>> = self
+            .expectations
+            .iter()
+            .map(|e| e.validate(schema, rows))
+            .collect();
+        Ok(ValidationReport {
+            suite: self.name.clone(),
+            element_count: rows.len(),
+            results: results?,
+        })
     }
 }
 
@@ -74,7 +84,10 @@ impl ValidationReport {
 
     /// Distinct ids of all violating tuples.
     pub fn unexpected_ids(&self) -> HashSet<u64> {
-        self.results.iter().flat_map(|r| r.unexpected_ids.iter().copied()).collect()
+        self.results
+            .iter()
+            .flat_map(|r| r.unexpected_ids.iter().copied())
+            .collect()
     }
 
     /// The result for the expectation whose description contains
@@ -140,7 +153,11 @@ mod tests {
     fn suite_validates_all() {
         let suite = ExpectationSuite::new("demo")
             .with(ExpectColumnValuesToNotBeNull::new("x"))
-            .with(ExpectColumnValuesToBeBetween::new("x", Some(Value::Float(0.0)), None));
+            .with(ExpectColumnValuesToBeBetween::new(
+                "x",
+                Some(Value::Float(0.0)),
+                None,
+            ));
         assert_eq!(suite.len(), 2);
         let report = suite.validate(&schema(), &rows()).unwrap();
         assert!(!report.success(), "the null violates not_be_null");

@@ -21,12 +21,21 @@ fn main() {
     // Expected: |window| × 0.2, from the analytic polluter probability.
     let clean = pollute_stream(&schema, data.clone(), PollutionPipeline::empty())
         .expect("identity pollution");
-    let in_window =
-        clean.polluted.iter().filter(|t| (13..15).contains(&t.tau.hour_of_day())).count();
-    let expected_pipeline =
-        scenarios::bad_network(0).build(&schema).expect("scenario builds").pop().unwrap();
-    let expected: f64 =
-        clean.polluted.iter().map(|t| expected_pipeline.expected_probability(t)).sum();
+    let in_window = clean
+        .polluted
+        .iter()
+        .filter(|t| (13..15).contains(&t.tau.hour_of_day()))
+        .count();
+    let expected_pipeline = scenarios::bad_network(0)
+        .build(&schema)
+        .expect("scenario builds")
+        .pop()
+        .unwrap();
+    let expected: f64 = clean
+        .polluted
+        .iter()
+        .map(|t| expected_pipeline.expected_probability(t))
+        .sum();
 
     let mut injected = Vec::with_capacity(reps as usize);
     let mut measured = Vec::with_capacity(reps as usize);
@@ -38,14 +47,24 @@ fn main() {
             .unwrap();
         let out = pollute_stream(&schema, data.clone(), pipeline).expect("pollution runs");
         injected.push(out.log.len() as f64);
-        let report = suite.validate(&schema, &out.polluted).expect("validation runs");
+        let report = suite
+            .validate(&schema, &out.polluted)
+            .expect("validation runs");
         measured.push(report.total_unexpected() as f64);
     }
 
     println!("=== §3.1.3: bad network connection (reps = {reps}) ===\n");
     let rows = vec![
-        vec!["tuples in 13:00-14:59".into(), format!("{in_window}"), "88".into()],
-        vec!["expected delayed tuples".into(), format!("{expected:.1}"), "17.6".into()],
+        vec![
+            "tuples in 13:00-14:59".into(),
+            format!("{in_window}"),
+            "88".into(),
+        ],
+        vec![
+            "expected delayed tuples".into(),
+            format!("{expected:.1}"),
+            "17.6".into(),
+        ],
         vec![
             "actually delayed (ground truth)".into(),
             format!("{:.2}", stats::mean(&injected)),

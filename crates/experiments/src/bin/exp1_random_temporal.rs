@@ -25,12 +25,14 @@ fn main() {
     // own expected-probability model over the clean stream.
     let clean = pollute_stream(&schema, data.clone(), PollutionPipeline::empty())
         .expect("identity pollution");
-    let expected_pipeline =
-        scenarios::random_temporal(0).build(&schema).expect("scenario builds").pop().unwrap();
+    let expected_pipeline = scenarios::random_temporal(0)
+        .build(&schema)
+        .expect("scenario builds")
+        .pop()
+        .unwrap();
     let mut expected_by_hour = [0.0f64; 24];
     for t in &clean.polluted {
-        expected_by_hour[t.tau.hour_of_day() as usize] +=
-            expected_pipeline.expected_probability(t);
+        expected_by_hour[t.tau.hour_of_day() as usize] += expected_pipeline.expected_probability(t);
     }
 
     // Measured: average GX-detected NULL counts per hour over the
@@ -44,7 +46,9 @@ fn main() {
             .pop()
             .unwrap();
         let out = pollute_stream(&schema, data.clone(), pipeline).expect("pollution runs");
-        let report = suite.validate(&schema, &out.polluted).expect("validation runs");
+        let report = suite
+            .validate(&schema, &out.polluted)
+            .expect("validation runs");
         let tau_by_id: HashMap<u64, icewafl_types::Timestamp> =
             out.polluted.iter().map(|t| (t.id, t.tau)).collect();
         let result = &report.results[0];
@@ -73,8 +77,10 @@ fn main() {
 
     let total_expected: f64 = expected_by_hour.iter().sum();
     let mean_measured = stats::mean(&totals);
-    let proportions: Vec<f64> =
-        totals.iter().map(|t| 100.0 * t / clean.polluted.len() as f64).collect();
+    let proportions: Vec<f64> = totals
+        .iter()
+        .map(|t| 100.0 * t / clean.polluted.len() as f64)
+        .collect();
     println!("\ntotal expected errors           : {total_expected:.1}");
     println!("mean measured errors (GX)       : {mean_measured:.1}   (paper: 259.6)");
     println!(

@@ -31,11 +31,21 @@ fn main() {
     let idx = |name: &str| schema.index_of(name).expect("attribute exists");
     let high_bpm = after
         .iter()
-        .filter(|t| t.tuple.get(idx("BPM")).unwrap().compare(&Value::Int(100)) == Some(std::cmp::Ordering::Greater))
+        .filter(|t| {
+            t.tuple.get(idx("BPM")).unwrap().compare(&Value::Int(100))
+                == Some(std::cmp::Ordering::Greater)
+        })
         .count() as f64;
     let moving = after
         .iter()
-        .filter(|t| t.tuple.get(idx("Distance")).unwrap().as_f64().unwrap_or(0.0) > 0.0)
+        .filter(|t| {
+            t.tuple
+                .get(idx("Distance"))
+                .unwrap()
+                .as_f64()
+                .unwrap_or(0.0)
+                > 0.0
+        })
         .count() as f64;
     let precise = after
         .iter()
@@ -45,8 +55,9 @@ fn main() {
         })
         .count() as f64;
     // The clean stream's two pre-existing zero-BPM anomalies.
-    let preexisting =
-        suites::validate_zero_bpm_rule(&schema, &clean.polluted).unwrap().unexpected_count as f64;
+    let preexisting = suites::validate_zero_bpm_rule(&schema, &clean.polluted)
+        .unwrap()
+        .unexpected_count as f64;
 
     // ---- Measured counts with the DQ engine, averaged over reps.
     let mut measured_zero = Vec::new();
@@ -64,12 +75,19 @@ fn main() {
             .unwrap();
         let out = pollute_stream(&schema, data.clone(), pipeline).expect("pollution runs");
         let rows = &out.polluted;
-        measured_zero
-            .push(suites::validate_zero_bpm_rule(&schema, rows).unwrap().unexpected_count as f64);
+        measured_zero.push(
+            suites::validate_zero_bpm_rule(&schema, rows)
+                .unwrap()
+                .unexpected_count as f64,
+        );
         measured_null.push(null_exp.validate(&schema, rows).unwrap().unexpected_count as f64);
         measured_distance.push(unit_exp.validate(&schema, rows).unwrap().unexpected_count as f64);
-        measured_calories
-            .push(precision_exp.validate(&schema, rows).unwrap().unexpected_count as f64);
+        measured_calories.push(
+            precision_exp
+                .validate(&schema, rows)
+                .unwrap()
+                .unexpected_count as f64,
+        );
     }
 
     println!("=== Table 1: software-update scenario (reps = {reps}) ===\n");
@@ -100,7 +118,12 @@ fn main() {
         ],
     ];
     stats::print_table(
-        &["attribute", "expected after pollution", "measured with DQ", "paper (exp/meas)"],
+        &[
+            "attribute",
+            "expected after pollution",
+            "measured with DQ",
+            "paper (exp/meas)",
+        ],
         &rows,
     );
     println!(

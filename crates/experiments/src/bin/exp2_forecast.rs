@@ -38,11 +38,13 @@ fn main() {
     );
 
     // Prepare the clean stream once; slices by Table 2.
-    let clean = pollute_stream(&schema, tuples, PollutionPipeline::empty())
-        .expect("identity pollution");
+    let clean =
+        pollute_stream(&schema, tuples, PollutionPipeline::empty()).expect("identity pollution");
     let train = &clean.polluted[..splits.train_end];
-    let eval_tuples: Vec<icewafl_types::Tuple> =
-        clean.polluted[splits.eval_start..].iter().map(|t| t.tuple.clone()).collect();
+    let eval_tuples: Vec<icewafl_types::Tuple> = clean.polluted[splits.eval_start..]
+        .iter()
+        .map(|t| t.tuple.clone())
+        .collect();
     let eval_start_ts = clean.polluted[splits.eval_start].tau;
     let eval_end_ts = clean.polluted[splits.n - 1].tau;
 
@@ -95,16 +97,20 @@ fn run_scenario(
     for rep in 0..reps {
         let seed = base_seed + rep;
         let eval_rows: Vec<StampedTuple> = match scenario {
-            "clean" => pollute_stream(schema, eval_tuples.to_vec(), PollutionPipeline::empty())
-                .expect("identity pollution")
-                .polluted,
+            "clean" => {
+                pollute_stream(schema, eval_tuples.to_vec(), PollutionPipeline::empty())
+                    .expect("identity pollution")
+                    .polluted
+            }
             "noise" => {
                 let p = fh::noise_config(seed, eval_start, eval_end, pi_max)
                     .build(schema)
                     .expect("config builds")
                     .pop()
                     .unwrap();
-                pollute_stream(schema, eval_tuples.to_vec(), p).expect("pollution runs").polluted
+                pollute_stream(schema, eval_tuples.to_vec(), p)
+                    .expect("pollution runs")
+                    .polluted
             }
             "scale" => {
                 let p = fh::scale_config(seed, eval_start, eval_end)
@@ -112,7 +118,9 @@ fn run_scenario(
                     .expect("config builds")
                     .pop()
                     .unwrap();
-                pollute_stream(schema, eval_tuples.to_vec(), p).expect("pollution runs").polluted
+                pollute_stream(schema, eval_tuples.to_vec(), p)
+                    .expect("pollution runs")
+                    .polluted
             }
             other => {
                 eprintln!("unknown scenario `{other}` (use clean|noise|scale|all)");
@@ -167,10 +175,7 @@ fn run_scenario(
                 row
             })
             .collect();
-        stats::print_table(
-            &["window start", names[0], names[1], names[2]],
-            &rows,
-        );
+        stats::print_table(&["window start", names[0], names[1], names[2]], &rows);
     }
 
     // Trend summary: first vs. last quarter of the evaluation year.
@@ -219,7 +224,9 @@ fn grid_search_report(schema: &icewafl_types::Schema, train: &[StampedTuple]) {
         }
     }
     let ranked = grid_search(candidates, &series, None, 5);
-    let rows: Vec<Vec<String>> =
-        ranked.iter().map(|(n, s)| vec![n.clone(), format!("{s:.3}")]).collect();
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .map(|(n, s)| vec![n.clone(), format!("{s:.3}")])
+        .collect();
     stats::print_table(&["candidate", "CV MAE"], &rows);
 }

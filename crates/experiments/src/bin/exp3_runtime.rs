@@ -37,7 +37,9 @@ fn run_once(
     // Ground-truth logging is optional in the paper's pipeline (Fig. 2)
     // and disabled for the overhead measurement.
     let job = PollutionJob::new(schema.clone()).without_logging();
-    let out = job.run(data.to_vec(), vec![pipeline]).expect("pollution runs");
+    let out = job
+        .run(data.to_vec(), vec![pipeline])
+        .expect("pollution runs");
     // Write the dirty stream, as the paper's pipeline does.
     let dirty: Vec<Tuple> = out.polluted.into_iter().map(|t| t.tuple).collect();
     let mut sink = Vec::with_capacity(256 * 1024);
@@ -59,7 +61,10 @@ fn main() {
         ("random temporal", Some(scenarios::random_temporal(0))),
     ];
 
-    println!("=== Figure 8: runtime overhead (reps = {reps}, {} tuples) ===\n", data.len());
+    println!(
+        "=== Figure 8: runtime overhead (reps = {reps}, {} tuples) ===\n",
+        data.len()
+    );
     let mut baseline_median = 0.0;
     let mut rows = Vec::new();
     for (name, config) in &scenarios {
@@ -88,7 +93,9 @@ fn main() {
         ]);
     }
     stats::print_table(
-        &["scenario", "min ms", "q1", "median", "q3", "max", "overhead"],
+        &[
+            "scenario", "min ms", "q1", "median", "q3", "max", "overhead",
+        ],
         &rows,
     );
     println!("\npaper: 3-7 % overhead for all pollution scenarios vs. the unpolluted pipeline");

@@ -44,10 +44,12 @@ pub fn load_region(station: &str) -> (Schema, Vec<Tuple>) {
 /// The numerical attributes polluted in `D_noise` / `D_scale` (Table 2:
 /// "all numerical attributes").
 pub fn numeric_attributes() -> Vec<String> {
-    ["NO2", "PM25", "PM10", "SO2", "CO", "O3", "TEMP", "PRES", "DEWP", "RAIN", "WSPM"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "NO2", "PM25", "PM10", "SO2", "CO", "O3", "TEMP", "PRES", "DEWP", "RAIN", "WSPM",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 /// §3.2.1 — temporally increasing multiplicative uniform noise
@@ -104,7 +106,10 @@ pub fn target_and_features(schema: &Schema, t: &StampedTuple) -> (Option<f64>, V
             .and_then(Value::as_f64)
             .unwrap_or(0.0)
     };
-    let y = schema.index_of("NO2").and_then(|i| t.tuple.get(i)).and_then(Value::as_f64);
+    let y = schema
+        .index_of("NO2")
+        .and_then(|i| t.tuple.get(i))
+        .and_then(Value::as_f64);
     let mut x = vec![get("TEMP"), get("PRES"), get("WSPM")];
     push_cyclic_features(t.tau, &mut x);
     (y, x)
@@ -187,7 +192,10 @@ pub fn run_protocol(
             let forecast = m.forecast(HORIZON, &x_future);
             maes.push(mae(&truth, &forecast));
         }
-        results.push(WindowResult { start: window[0].2, mae: maes });
+        results.push(WindowResult {
+            start: window[0].2,
+            mae: maes,
+        });
         // Release the evaluated window for training.
         for m in models.iter_mut() {
             for (y, x, _) in window {
@@ -234,12 +242,8 @@ mod tests {
     fn protocol_runs_end_to_end_on_a_small_slice() {
         let (schema, tuples) = load_region("Wanshouxigong");
         let small: Vec<Tuple> = tuples.into_iter().take(1200).collect();
-        let out = icewafl_core::prelude::pollute_stream(
-            &schema,
-            small,
-            PollutionPipeline::empty(),
-        )
-        .unwrap();
+        let out = icewafl_core::prelude::pollute_stream(&schema, small, PollutionPipeline::empty())
+            .unwrap();
         let rows = out.polluted;
         let mut models = make_models();
         let results = run_protocol(&schema, &rows[..200], &rows[200..], &mut models);
@@ -258,18 +262,18 @@ mod tests {
         // higher ARIMA MAE than the clean run's.
         let (schema, tuples) = load_region("Wanshouxigong");
         let slice: Vec<Tuple> = tuples.into_iter().take(3600).collect();
-        let all = icewafl_core::prelude::pollute_stream(
-            &schema,
-            slice,
-            PollutionPipeline::empty(),
-        )
-        .unwrap()
-        .polluted;
+        let all = icewafl_core::prelude::pollute_stream(&schema, slice, PollutionPipeline::empty())
+            .unwrap()
+            .polluted;
         let (pretrain, eval_rows) = all.split_at(1200);
         let eval_tuples: Vec<Tuple> = eval_rows.iter().map(|t| t.tuple.clone()).collect();
         let t0 = eval_rows[0].tau;
         let t1 = eval_rows[eval_rows.len() - 1].tau;
-        let pipeline = noise_config(3, t0, t1, 0.8).build(&schema).unwrap().pop().unwrap();
+        let pipeline = noise_config(3, t0, t1, 0.8)
+            .build(&schema)
+            .unwrap()
+            .pop()
+            .unwrap();
         let noisy = icewafl_core::prelude::pollute_stream(&schema, eval_tuples, pipeline)
             .unwrap()
             .polluted;
@@ -278,7 +282,10 @@ mod tests {
             let mut models = make_models();
             let results = run_protocol(&schema, pretrain, rows, &mut models);
             let third = results.len() / 3;
-            results[results.len() - third..].iter().map(|w| w.mae[0]).sum::<f64>()
+            results[results.len() - third..]
+                .iter()
+                .map(|w| w.mae[0])
+                .sum::<f64>()
                 / third as f64
         };
         let clean_late = late_mae(eval_rows);

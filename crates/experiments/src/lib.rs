@@ -22,12 +22,16 @@ pub mod suites;
 /// returning the value after `flag` if present.
 pub fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Parses a numeric CLI flag with a default.
 pub fn arg_num<T: std::str::FromStr>(flag: &str, default: T) -> T {
-    arg_value(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+    arg_value(flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// `true` iff the bare flag is present.

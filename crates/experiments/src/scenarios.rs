@@ -12,7 +12,10 @@ pub fn random_temporal(seed: u64) -> JobConfig {
             name: "null-distance".into(),
             attributes: vec!["Distance".into()],
             error: ErrorConfig::MissingValue,
-            condition: ConditionConfig::Sinusoidal { amplitude: 0.25, offset: 0.25 },
+            condition: ConditionConfig::Sinusoidal {
+                amplitude: 0.25,
+                offset: 0.25,
+            },
             pattern: None,
         }],
     )
@@ -60,7 +63,9 @@ pub fn software_update(seed: u64) -> JobConfig {
                         PolluterConfig::Standard {
                             name: "bpm-to-zero".into(),
                             attributes: vec!["BPM".into()],
-                            error: ErrorConfig::Constant { value: icewafl_types::Value::Int(0) },
+                            error: ErrorConfig::Constant {
+                                value: icewafl_types::Value::Int(0),
+                            },
                             condition: ConditionConfig::Always,
                             pattern: None,
                         },

@@ -79,8 +79,11 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
         }
     }
     let print_row = |cells: &[String]| {
-        let line: Vec<String> =
-            cells.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
         println!("  {}", line.join("  "));
     };
     print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());

@@ -33,10 +33,7 @@ pub fn bpm_null_expectation() -> ExpectColumnValuesToNotBeNull {
 /// the sum expectation under a row condition; this helper performs the
 /// same two-step validation: filter the rows with `BPM = 0`, then
 /// validate the sum.
-pub fn validate_zero_bpm_rule(
-    schema: &Schema,
-    rows: &[StampedTuple],
-) -> Result<ExpectationResult> {
+pub fn validate_zero_bpm_rule(schema: &Schema, rows: &[StampedTuple]) -> Result<ExpectationResult> {
     let bpm_idx = schema.require("BPM")?;
     let zero_bpm: Vec<StampedTuple> = rows
         .iter()
@@ -82,8 +79,14 @@ mod tests {
         let (schema, rows) = prepared_clean();
         let unit = unit_error_expectation().validate(&schema, &rows).unwrap();
         assert!(unit.success, "steps ≥ distance on clean data");
-        let precision = precision_expectation().unwrap().validate(&schema, &rows).unwrap();
-        assert!(precision.success, "clean calories are integer or ≥4 decimals");
+        let precision = precision_expectation()
+            .unwrap()
+            .validate(&schema, &rows)
+            .unwrap();
+        assert!(
+            precision.success,
+            "clean calories are integer or ≥4 decimals"
+        );
         let nulls = bpm_null_expectation().validate(&schema, &rows).unwrap();
         assert!(nulls.success);
     }

@@ -30,7 +30,10 @@ pub fn time_series_split(n: usize, n_splits: usize) -> Vec<Split> {
         return Vec::new();
     }
     (1..=n_splits)
-        .map(|k| Split { train_end: k * chunk, test_end: ((k + 1) * chunk).min(n) })
+        .map(|k| Split {
+            train_end: k * chunk,
+            test_end: ((k + 1) * chunk).min(n),
+        })
         .collect()
 }
 
@@ -94,8 +97,20 @@ mod tests {
         // n=12, 5 splits → chunk=2: folds train 2/4/6/8/10, test +2.
         let splits = time_series_split(12, 5);
         assert_eq!(splits.len(), 5);
-        assert_eq!(splits[0], Split { train_end: 2, test_end: 4 });
-        assert_eq!(splits[4], Split { train_end: 10, test_end: 12 });
+        assert_eq!(
+            splits[0],
+            Split {
+                train_end: 2,
+                test_end: 4
+            }
+        );
+        assert_eq!(
+            splits[4],
+            Split {
+                train_end: 10,
+                test_end: 12
+            }
+        );
     }
 
     #[test]
@@ -132,8 +147,14 @@ mod tests {
             .map(|t| 10.0 + 5.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin())
             .collect();
         let candidates: Vec<NamedFactory> = vec![
-            ("hw_fast".into(), Box::new(|| Box::new(HoltWinters::new(0.5, 0.1, 0.3, 24)) as _)),
-            ("naive".into(), Box::new(|| Box::new(NaiveForecaster::new()) as _)),
+            (
+                "hw_fast".into(),
+                Box::new(|| Box::new(HoltWinters::new(0.5, 0.1, 0.3, 24)) as _),
+            ),
+            (
+                "naive".into(),
+                Box::new(|| Box::new(NaiveForecaster::new()) as _),
+            ),
         ];
         let ranked = grid_search(candidates, &series, None, 5);
         assert_eq!(ranked.len(), 2);
@@ -145,7 +166,9 @@ mod tests {
     fn cv_score_with_exog_passes_features() {
         // y depends only on x → a model that uses x wins.
         let n = 600;
-        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![if i % 3 == 0 { 1.0 } else { -1.0 }]).collect();
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![if i % 3 == 0 { 1.0 } else { -1.0 }])
+            .collect();
         let series: Vec<f64> = xs.iter().map(|x| 4.0 * x[0]).collect();
         let arimax = cv_score(
             || Box::new(crate::snarimax::Snarimax::arimax(1, 0, 0, 1, 0.1)),

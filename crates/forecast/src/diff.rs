@@ -19,7 +19,10 @@ pub struct Differencer {
 impl Differencer {
     /// An order-`d` differencer (`d = 0` is the identity).
     pub fn new(d: usize) -> Self {
-        Differencer { d, last: vec![None; d] }
+        Differencer {
+            d,
+            last: vec![None; d],
+        }
     }
 
     /// The differencing order.
@@ -77,7 +80,10 @@ pub struct LagWindow {
 impl LagWindow {
     /// A window of `capacity` most-recent values.
     pub fn new(capacity: usize) -> Self {
-        LagWindow { capacity, values: VecDeque::with_capacity(capacity) }
+        LagWindow {
+            capacity,
+            values: VecDeque::with_capacity(capacity),
+        }
     }
 
     /// Pushes a new value, evicting the oldest beyond capacity.
@@ -180,7 +186,11 @@ mod tests {
         assert_eq!(w.len(), 3);
         lags.clear();
         w.fill_lags(&mut lags);
-        assert_eq!(lags, vec![4.0, 3.0, 2.0], "most recent first, oldest evicted");
+        assert_eq!(
+            lags,
+            vec![4.0, 3.0, 2.0],
+            "most recent first, oldest evicted"
+        );
     }
 
     #[test]

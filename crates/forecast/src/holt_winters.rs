@@ -159,7 +159,11 @@ mod tests {
             hw.learn_one(t as f64, &[]);
         }
         let f = hw.forecast(3, &[]);
-        assert!(f[0] > 99.0 && f[0] < 102.0, "one step ahead ≈ 100, got {}", f[0]);
+        assert!(
+            f[0] > 99.0 && f[0] < 102.0,
+            "one step ahead ≈ 100, got {}",
+            f[0]
+        );
         assert!(f[2] > f[0], "trend continues upward");
     }
 
@@ -201,6 +205,9 @@ mod tests {
         }
         let hw_mean = hw_errs.iter().sum::<f64>() / hw_errs.len() as f64;
         let naive_mean = naive_errs.iter().sum::<f64>() / naive_errs.len() as f64;
-        assert!(hw_mean < naive_mean, "HW {hw_mean} must beat naive {naive_mean}");
+        assert!(
+            hw_mean < naive_mean,
+            "HW {hw_mean} must beat naive {naive_mean}"
+        );
     }
 }

@@ -16,7 +16,11 @@ pub struct OnlineScaler {
 impl OnlineScaler {
     /// A scaler over `dim` features.
     pub fn new(dim: usize) -> Self {
-        OnlineScaler { n: 0, mean: vec![0.0; dim], m2: vec![0.0; dim] }
+        OnlineScaler {
+            n: 0,
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+        }
     }
 
     /// Updates the statistics with one sample.
@@ -70,13 +74,25 @@ pub struct LinearSgd {
 impl LinearSgd {
     /// A zero-initialized model over `dim` features.
     pub fn new(dim: usize, eta0: f64, l2: f64) -> Self {
-        LinearSgd { weights: vec![0.0; dim], bias: 0.0, eta0, l2, t: 0 }
+        LinearSgd {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+            eta0,
+            l2,
+            t: 0,
+        }
     }
 
     /// The current prediction for `x`.
     pub fn predict(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.weights.len());
-        self.bias + self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>()
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, xi)| w * xi)
+                .sum::<f64>()
     }
 
     /// One SGD step on `(x, y)`; returns the pre-update prediction.
@@ -119,7 +135,11 @@ mod tests {
         assert_eq!(s.count(), 4);
         let mut x = [5.0];
         s.transform(&mut x);
-        assert!(x[0].abs() < 1e-9, "5 is the mean → scales to 0, got {}", x[0]);
+        assert!(
+            x[0].abs() < 1e-9,
+            "5 is the mean → scales to 0, got {}",
+            x[0]
+        );
         let mut hi = [8.0];
         s.transform(&mut hi);
         assert!(hi[0] > 1.0, "8 is above one std, got {}", hi[0]);
@@ -154,7 +174,11 @@ mod tests {
             }
             let _ = epoch;
         }
-        assert!((m.predict(&[0.25]) - 1.5).abs() < 0.05, "got {}", m.predict(&[0.25]));
+        assert!(
+            (m.predict(&[0.25]) - 1.5).abs() < 0.05,
+            "got {}",
+            m.predict(&[0.25])
+        );
         assert!((m.weights()[0] - 2.0).abs() < 0.1);
         assert!((m.bias() - 1.0).abs() < 0.1);
     }

@@ -53,7 +53,12 @@ fn paired_mean(truth: &[f64], predicted: &[f64], f: impl Fn(f64, f64) -> f64) ->
     if truth.is_empty() {
         return f64::NAN;
     }
-    truth.iter().zip(predicted).map(|(t, p)| f(*t, *p)).sum::<f64>() / truth.len() as f64
+    truth
+        .iter()
+        .zip(predicted)
+        .map(|(t, p)| f(*t, *p))
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 /// Incrementally updated mean — for streaming evaluation.

@@ -19,7 +19,11 @@ pub struct SimpleExponentialSmoothing {
 impl SimpleExponentialSmoothing {
     /// A model with smoothing factor `alpha ∈ [0, 1]`.
     pub fn new(alpha: f64) -> Self {
-        SimpleExponentialSmoothing { alpha: alpha.clamp(0.0, 1.0), level: 0.0, n: 0 }
+        SimpleExponentialSmoothing {
+            alpha: alpha.clamp(0.0, 1.0),
+            level: 0.0,
+            n: 0,
+        }
     }
 
     /// The current level estimate.
@@ -87,15 +91,16 @@ impl Forecaster for HoltLinear {
             _ => {
                 let last_level = self.level;
                 self.level = self.alpha * y + (1.0 - self.alpha) * (last_level + self.trend);
-                self.trend =
-                    self.beta * (self.level - last_level) + (1.0 - self.beta) * self.trend;
+                self.trend = self.beta * (self.level - last_level) + (1.0 - self.beta) * self.trend;
             }
         }
         self.n += 1;
     }
 
     fn forecast(&self, horizon: usize, _x_future: &[Vec<f64>]) -> Vec<f64> {
-        (1..=horizon).map(|h| self.level + h as f64 * self.trend).collect()
+        (1..=horizon)
+            .map(|h| self.level + h as f64 * self.trend)
+            .collect()
     }
 
     fn name(&self) -> &'static str {

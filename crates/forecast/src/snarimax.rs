@@ -214,7 +214,11 @@ mod tests {
         // After y = 10 the next value is 8.
         m.learn_one(10.0, &[]);
         let f = m.forecast(1, &[]);
-        assert!((f[0] - 8.0).abs() < 1.0, "AR(1) one-step forecast, got {}", f[0]);
+        assert!(
+            (f[0] - 8.0).abs() < 1.0,
+            "AR(1) one-step forecast, got {}",
+            f[0]
+        );
     }
 
     #[test]
@@ -262,9 +266,16 @@ mod tests {
         // Evaluate one-step forecasts with known future x.
         let x_next = 1.0;
         let fx = arimax.forecast(1, &[vec![x_next]]);
-        assert!((fx[0] - 5.0).abs() < 1.5, "ARIMAX exploits x, got {}", fx[0]);
+        assert!(
+            (fx[0] - 5.0).abs() < 1.5,
+            "ARIMAX exploits x, got {}",
+            fx[0]
+        );
         let fa = arima.forecast(1, &[]);
-        assert!((fa[0] - 5.0).abs() > (fx[0] - 5.0).abs(), "ARIMA cannot know the sign");
+        assert!(
+            (fa[0] - 5.0).abs() > (fx[0] - 5.0).abs(),
+            "ARIMA cannot know the sign"
+        );
     }
 
     #[test]

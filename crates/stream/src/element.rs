@@ -73,11 +73,17 @@ mod tests {
 
     #[test]
     fn map_preserves_kind() {
-        assert_eq!(StreamElement::Record(2).map(|x| x * 10), StreamElement::Record(20));
+        assert_eq!(
+            StreamElement::Record(2).map(|x| x * 10),
+            StreamElement::Record(20)
+        );
         assert_eq!(
             StreamElement::<i32>::Watermark(Timestamp(1)).map(|x| x * 10),
             StreamElement::Watermark(Timestamp(1))
         );
-        assert_eq!(StreamElement::<i32>::End.map(|x| x * 10), StreamElement::End);
+        assert_eq!(
+            StreamElement::<i32>::End.map(|x| x * 10),
+            StreamElement::End
+        );
     }
 }

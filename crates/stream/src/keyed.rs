@@ -32,7 +32,11 @@ where
     /// Creates a keyed operator from a key extractor and a process
     /// function.
     pub fn new(key_fn: KF, process_fn: PF) -> Self {
-        KeyedProcessOperator { key_fn, process_fn, states: HashMap::new() }
+        KeyedProcessOperator {
+            key_fn,
+            process_fn,
+            states: HashMap::new(),
+        }
     }
 
     /// Number of distinct keys seen so far.
@@ -76,7 +80,11 @@ where
 {
     /// Creates a keyed fold from a key extractor and a fold function.
     pub fn new(inner_key: KF, fold: FF) -> Self {
-        KeyedFoldOperator { inner_key, fold, states: HashMap::new() }
+        KeyedFoldOperator {
+            inner_key,
+            fold,
+            states: HashMap::new(),
+        }
     }
 }
 

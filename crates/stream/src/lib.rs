@@ -33,6 +33,7 @@
 
 pub mod element;
 pub mod keyed;
+pub mod metrics;
 pub mod operator;
 pub mod sink;
 pub mod sort;
@@ -43,6 +44,7 @@ pub mod watermark;
 pub mod window;
 
 pub use element::StreamElement;
+pub use metrics::{ChannelMetrics, SorterMetrics, StageMetrics};
 pub use operator::{Collector, Operator};
 pub use sink::{CountSink, FnSink, NullSink, SharedVecSink, Sink};
 pub use sort::EventTimeSorter;

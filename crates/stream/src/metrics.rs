@@ -1,0 +1,173 @@
+//! Per-stage metric handle bundles.
+//!
+//! Every pipeline combinator registers its metrics against the
+//! [`MetricsRegistry`] carried by the
+//! [`ExecutionContext`](crate::stream::ExecutionContext) under a
+//! `stage/{NN}_{name}` prefix. Because pipelines are built back-to-front
+//! (sink first), stage indices count **from the sink upward**: the last
+//! combinator in the fluent chain gets index `00`.
+//!
+//! With the `obs` feature disabled, every handle here is a zero-sized
+//! no-op (see `icewafl-obs`), so instrumented code carries no runtime
+//! cost and needs no `cfg` at the call sites.
+
+use icewafl_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Operator wall-time is sampled 1-in-`(SAMPLE_MASK + 1)` records so the
+/// two `Instant::now` calls per sample stay invisible on the hot path.
+pub const SAMPLE_MASK: u64 = 63;
+
+/// Metric handles for one operator stage.
+#[derive(Clone, Default)]
+pub struct StageMetrics {
+    /// Records entering the operator.
+    pub elements_in: Counter,
+    /// Records the operator emitted downstream.
+    pub elements_out: Counter,
+    /// Sampled per-record operator wall time, in nanoseconds.
+    pub latency_ns: Histogram,
+    /// Highest watermark (milliseconds, clamped at 0) seen by this
+    /// stage; the end-of-stream `Timestamp::MAX` sentinel is excluded.
+    pub watermark_hwm_ms: Gauge,
+}
+
+impl StageMetrics {
+    /// Registers the stage's metrics under `label` (e.g.
+    /// `stage/03_map`).
+    pub fn register(registry: &MetricsRegistry, label: &str) -> Self {
+        StageMetrics {
+            elements_in: registry.counter(&format!("{label}/elements_in")),
+            elements_out: registry.counter(&format!("{label}/elements_out")),
+            latency_ns: registry.histogram(
+                &format!("{label}/latency_ns"),
+                icewafl_obs::LATENCY_BOUNDS_NS,
+            ),
+            watermark_hwm_ms: registry.gauge(&format!("{label}/watermark_hwm_ms")),
+        }
+    }
+
+    /// Detached handles that are not visible in any registry snapshot —
+    /// what [`OperatorStage::new`](crate::stage::OperatorStage::new)
+    /// uses when a stage is built outside a pipeline.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+}
+
+/// Metric handles for one thread-boundary channel (`pipelined`) or
+/// fan-out router (`split_merge*`).
+#[derive(Clone, Default)]
+pub struct ChannelMetrics {
+    /// Elements offered to the channel (records, watermarks, end).
+    pub sends: Counter,
+    /// Sends that found the channel full and had to block —
+    /// backpressure events.
+    pub send_blocks: Counter,
+    /// Time spent blocked per backpressure event, in nanoseconds.
+    pub send_block_ns: Histogram,
+    /// Elements dropped because the consumer was gone.
+    pub dropped: Counter,
+}
+
+impl ChannelMetrics {
+    /// Registers the channel's metrics under `label`.
+    pub fn register(registry: &MetricsRegistry, label: &str) -> Self {
+        ChannelMetrics {
+            sends: registry.counter(&format!("{label}/sends")),
+            send_blocks: registry.counter(&format!("{label}/send_blocks")),
+            send_block_ns: registry.histogram(
+                &format!("{label}/send_block_ns"),
+                icewafl_obs::LATENCY_BOUNDS_NS,
+            ),
+            dropped: registry.counter(&format!("{label}/dropped")),
+        }
+    }
+
+    /// Detached handles, invisible to snapshots.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+}
+
+/// Metric handles for an [`EventTimeSorter`](crate::sort::EventTimeSorter).
+#[derive(Clone, Default)]
+pub struct SorterMetrics {
+    /// Records that arrived with an event time at or below the current
+    /// watermark. They are still emitted (the sorter never drops), but
+    /// they surface out of order downstream.
+    pub late: Counter,
+    /// Event-time lag of late records behind the watermark, in
+    /// milliseconds.
+    pub late_lag_ms: Histogram,
+    /// High-water mark of the sorter's reorder buffer occupancy.
+    pub buffer_max: Gauge,
+}
+
+impl SorterMetrics {
+    /// Registers the sorter's metrics under `label`.
+    pub fn register(registry: &MetricsRegistry, label: &str) -> Self {
+        SorterMetrics {
+            late: registry.counter(&format!("{label}/late")),
+            late_lag_ms: registry
+                .histogram(&format!("{label}/late_lag_ms"), icewafl_obs::LAG_BOUNDS_MS),
+            buffer_max: registry.gauge(&format!("{label}/buffer_max")),
+        }
+    }
+
+    /// Detached handles, invisible to snapshots.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_metrics_register_under_label() {
+        let r = MetricsRegistry::new();
+        let m = StageMetrics::register(&r, "stage/00_map");
+        m.elements_in.inc();
+        m.elements_out.add(2);
+        m.latency_ns.record(100);
+        m.watermark_hwm_ms.set_max(42);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("stage/00_map/elements_in"), 1);
+        assert_eq!(snap.counter("stage/00_map/elements_out"), 2);
+        assert_eq!(snap.histogram("stage/00_map/latency_ns").unwrap().count, 1);
+        assert_eq!(snap.gauge("stage/00_map/watermark_hwm_ms"), 42);
+    }
+
+    #[test]
+    fn detached_metrics_stay_out_of_snapshots() {
+        let r = MetricsRegistry::new();
+        let m = StageMetrics::detached();
+        m.elements_in.inc();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn channel_and_sorter_metrics_register() {
+        let r = MetricsRegistry::new();
+        let c = ChannelMetrics::register(&r, "stage/01_pipelined");
+        let s = SorterMetrics::register(&r, "stage/02_event_time_sorter");
+        c.sends.inc();
+        c.send_blocks.inc();
+        c.send_block_ns.record(500);
+        s.late.inc();
+        s.late_lag_ms.record(3);
+        s.buffer_max.set_max(9);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("stage/01_pipelined/sends"), 1);
+        assert_eq!(snap.counter("stage/01_pipelined/send_blocks"), 1);
+        assert_eq!(snap.counter("stage/02_event_time_sorter/late"), 1);
+        assert_eq!(
+            snap.histogram("stage/02_event_time_sorter/late_lag_ms")
+                .unwrap()
+                .sum,
+            3
+        );
+        assert_eq!(snap.gauge("stage/02_event_time_sorter/buffer_max"), 9);
+    }
+}

@@ -23,7 +23,9 @@ pub struct SharedVecSink<T> {
 impl<T> SharedVecSink<T> {
     /// Creates an empty shared sink.
     pub fn new() -> Self {
-        SharedVecSink { items: Arc::new(Mutex::new(Vec::new())) }
+        SharedVecSink {
+            items: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Removes and returns everything collected so far.
@@ -50,7 +52,9 @@ impl<T> Default for SharedVecSink<T> {
 
 impl<T> Clone for SharedVecSink<T> {
     fn clone(&self) -> Self {
-        SharedVecSink { items: Arc::clone(&self.items) }
+        SharedVecSink {
+            items: Arc::clone(&self.items),
+        }
     }
 }
 
@@ -68,7 +72,9 @@ pub struct CountSink {
 impl CountSink {
     /// Creates a zeroed counting sink.
     pub fn new() -> Self {
-        CountSink { count: Arc::new(Mutex::new(0)) }
+        CountSink {
+            count: Arc::new(Mutex::new(0)),
+        }
     }
 
     /// The number of records seen so far.
@@ -85,7 +91,9 @@ impl Default for CountSink {
 
 impl Clone for CountSink {
     fn clone(&self) -> Self {
-        CountSink { count: Arc::clone(&self.count) }
+        CountSink {
+            count: Arc::clone(&self.count),
+        }
     }
 }
 

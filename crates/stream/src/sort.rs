@@ -9,6 +9,7 @@
 //! sorter reproduces exactly the "late tuple disturbs the strictly
 //! increasing order" effect that experiment 3.1.3 detects.
 
+use crate::metrics::SorterMetrics;
 use crate::operator::{Collector, Operator};
 use icewafl_types::Timestamp;
 use std::cmp::Reverse;
@@ -20,6 +21,12 @@ pub struct EventTimeSorter<T, F> {
     extract: F,
     heap: BinaryHeap<Reverse<Entry<T>>>,
     seq: u64,
+    last_wm: Timestamp,
+    metrics: SorterMetrics,
+    /// Buffer-occupancy peak staged locally; pushed to the shared gauge
+    /// only at watermark/end boundaries (a per-record atomic `set_max`
+    /// is too expensive for the hot path).
+    buffer_peak: u64,
 }
 
 struct Entry<T> {
@@ -51,7 +58,20 @@ where
 {
     /// Creates a sorter that orders records by the extracted timestamp.
     pub fn new(extract: F) -> Self {
-        EventTimeSorter { extract, heap: BinaryHeap::new(), seq: 0 }
+        EventTimeSorter {
+            extract,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_wm: Timestamp::MIN,
+            metrics: SorterMetrics::detached(),
+            buffer_peak: 0,
+        }
+    }
+
+    /// Attaches metric handles (late records, lag, buffer occupancy).
+    pub fn with_metrics(mut self, metrics: SorterMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Number of records currently held back.
@@ -77,16 +97,36 @@ where
 {
     fn on_element(&mut self, record: T, _out: &mut dyn Collector<T>) {
         let ts = (self.extract)(&record);
-        self.heap.push(Reverse(Entry { ts, seq: self.seq, record }));
+        // A record at or below the current watermark broke the
+        // watermark's promise: it is late. It is never dropped — it goes
+        // into the buffer and surfaces out of order downstream — but it
+        // is counted, with its lag behind the watermark.
+        if ts <= self.last_wm && self.last_wm != Timestamp::MIN {
+            self.metrics.late.inc();
+            self.metrics
+                .late_lag_ms
+                .record((self.last_wm.0.saturating_sub(ts.0)).max(0) as u64);
+        }
+        self.heap.push(Reverse(Entry {
+            ts,
+            seq: self.seq,
+            record,
+        }));
         self.seq += 1;
+        self.buffer_peak = self.buffer_peak.max(self.heap.len() as u64);
     }
 
     fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector<T>) {
+        if wm > self.last_wm {
+            self.last_wm = wm;
+        }
         self.release_up_to(wm, out);
+        self.metrics.buffer_max.set_max(self.buffer_peak);
     }
 
     fn on_end(&mut self, out: &mut dyn Collector<T>) {
         self.release_up_to(Timestamp::MAX, out);
+        self.metrics.buffer_max.set_max(self.buffer_peak);
     }
 
     fn name(&self) -> &'static str {
@@ -98,8 +138,8 @@ where
 mod tests {
     use super::*;
 
-    fn sorter() -> EventTimeSorter<(i64, &'static str), impl FnMut(&(i64, &'static str)) -> Timestamp>
-    {
+    fn sorter(
+    ) -> EventTimeSorter<(i64, &'static str), impl FnMut(&(i64, &'static str)) -> Timestamp> {
         EventTimeSorter::new(|r: &(i64, &'static str)| Timestamp(r.0))
     }
 
@@ -159,6 +199,27 @@ mod tests {
         s.on_element((2, "b"), &mut out);
         s.on_watermark(Timestamp(3), &mut out);
         assert_eq!(out, vec![(1, "a"), (2, "b"), (3, "c")]);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn counts_late_records_and_buffer_high_water() {
+        use icewafl_obs::MetricsRegistry;
+        let r = MetricsRegistry::new();
+        let mut s = EventTimeSorter::new(|r: &(i64, &'static str)| Timestamp(r.0))
+            .with_metrics(SorterMetrics::register(&r, "sorter"));
+        let mut out = Vec::new();
+        s.on_element((1, "a"), &mut out);
+        s.on_element((2, "b"), &mut out);
+        s.on_watermark(Timestamp(5), &mut out);
+        // ts 3 <= wm 5: late by 2 ms, but still emitted at the end.
+        s.on_element((3, "late"), &mut out);
+        s.on_end(&mut out);
+        assert_eq!(out, vec![(1, "a"), (2, "b"), (3, "late")]);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("sorter/late"), 1);
+        assert_eq!(snap.histogram("sorter/late_lag_ms").unwrap().sum, 2);
+        assert_eq!(snap.gauge("sorter/buffer_max"), 2);
     }
 
     #[cfg(test)]

@@ -24,7 +24,9 @@ pub struct VecSource<T> {
 impl<T> VecSource<T> {
     /// Creates a source that yields the vector's items in order.
     pub fn new(items: Vec<T>) -> Self {
-        VecSource { items: items.into_iter() }
+        VecSource {
+            items: items.into_iter(),
+        }
     }
 }
 

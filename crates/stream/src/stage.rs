@@ -5,9 +5,11 @@
 //! last operator's stage, and so on up to the source driver.
 
 use crate::element::StreamElement;
+use crate::metrics::{ChannelMetrics, StageMetrics, SAMPLE_MASK};
 use crate::operator::{Collector, Operator};
 use crate::sink::Sink;
-use crossbeam::channel::Sender;
+use crossbeam::channel::{Sender, TrySendError};
+use icewafl_obs::Stopwatch;
 use icewafl_types::Timestamp;
 
 /// A push-based consumer of stream elements.
@@ -29,7 +31,10 @@ pub struct SinkStage<S> {
 impl<S> SinkStage<S> {
     /// Wraps a sink.
     pub fn new(sink: S) -> Self {
-        SinkStage { sink, finished: false }
+        SinkStage {
+            sink,
+            finished: false,
+        }
     }
 }
 
@@ -63,22 +68,59 @@ pub struct OperatorStage<Op, Out> {
     op: Op,
     down: BoxStage<Out>,
     ended: bool,
+    metrics: StageMetrics,
+    /// Records seen, kept locally for the 1-in-64 sampling decision.
+    seen: u64,
+    /// Element counts staged in plain integers and flushed to the shared
+    /// atomic cells only at watermark/end boundaries — a per-record
+    /// `Arc<AtomicU64>` increment is too expensive for the hot path.
+    in_pending: u64,
+    out_pending: u64,
 }
 
 impl<Op, Out> OperatorStage<Op, Out> {
-    /// Chains an operator in front of a downstream stage.
+    /// Chains an operator in front of a downstream stage, with detached
+    /// (snapshot-invisible) metrics.
     pub fn new(op: Op, down: BoxStage<Out>) -> Self {
-        OperatorStage { op, down, ended: false }
+        Self::with_metrics(op, down, StageMetrics::detached())
+    }
+
+    /// Chains an operator in front of a downstream stage, recording into
+    /// the given metric handles.
+    pub fn with_metrics(op: Op, down: BoxStage<Out>, metrics: StageMetrics) -> Self {
+        OperatorStage {
+            op,
+            down,
+            ended: false,
+            metrics,
+            seen: 0,
+            in_pending: 0,
+            out_pending: 0,
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        if self.in_pending > 0 {
+            self.metrics.elements_in.add(self.in_pending);
+            self.in_pending = 0;
+        }
+        if self.out_pending > 0 {
+            self.metrics.elements_out.add(self.out_pending);
+            self.out_pending = 0;
+        }
     }
 }
 
-/// Collector that pushes straight into a stage.
+/// Collector that pushes straight into a stage, counting emissions into
+/// the stage's staged (plain-`u64`) output counter.
 struct StageCollector<'a, T> {
     down: &'a mut dyn Stage<T>,
+    out: &'a mut u64,
 }
 
 impl<T> Collector<T> for StageCollector<'_, T> {
     fn collect(&mut self, record: T) {
+        *self.out += 1;
         self.down.push(StreamElement::Record(record));
     }
 }
@@ -95,22 +137,49 @@ where
         }
         match element {
             StreamElement::Record(r) => {
-                let mut coll = StageCollector { down: self.down.as_mut() };
-                self.op.on_element(r, &mut coll);
+                // Every 64th record is wall-clock timed so the histogram
+                // fills without paying two `Instant::now` calls per record.
+                let sampled = self.seen & SAMPLE_MASK == 0;
+                self.seen += 1;
+                self.in_pending += 1;
+                let mut coll = StageCollector {
+                    down: self.down.as_mut(),
+                    out: &mut self.out_pending,
+                };
+                if sampled {
+                    let sw = Stopwatch::start();
+                    self.op.on_element(r, &mut coll);
+                    self.metrics.latency_ns.record(sw.elapsed_ns());
+                } else {
+                    self.op.on_element(r, &mut coll);
+                }
             }
             StreamElement::Watermark(wm) => {
+                // The final `W(MAX)` end-of-stream sentinel would dwarf
+                // any real event time; keep it out of the high-water mark.
+                if wm != Timestamp::MAX {
+                    self.metrics.watermark_hwm_ms.set_max(wm.0.max(0) as u64);
+                }
                 {
-                    let mut coll = StageCollector { down: self.down.as_mut() };
+                    let mut coll = StageCollector {
+                        down: self.down.as_mut(),
+                        out: &mut self.out_pending,
+                    };
                     self.op.on_watermark(wm, &mut coll);
                 }
+                self.flush_pending();
                 self.down.push(StreamElement::Watermark(wm));
             }
             StreamElement::End => {
                 self.ended = true;
                 {
-                    let mut coll = StageCollector { down: self.down.as_mut() };
+                    let mut coll = StageCollector {
+                        down: self.down.as_mut(),
+                        out: &mut self.out_pending,
+                    };
                     self.op.on_end(&mut coll);
                 }
+                self.flush_pending();
                 self.down.push(StreamElement::End);
             }
         }
@@ -121,12 +190,46 @@ where
 /// half of a thread boundary).
 pub struct ChannelStage<T> {
     tx: Option<Sender<StreamElement<T>>>,
+    metrics: ChannelMetrics,
 }
 
 impl<T> ChannelStage<T> {
-    /// Wraps a sender.
+    /// Wraps a sender with detached (snapshot-invisible) metrics.
     pub fn new(tx: Sender<StreamElement<T>>) -> Self {
-        ChannelStage { tx: Some(tx) }
+        Self::with_metrics(tx, ChannelMetrics::detached())
+    }
+
+    /// Wraps a sender, recording into the given metric handles.
+    pub fn with_metrics(tx: Sender<StreamElement<T>>, metrics: ChannelMetrics) -> Self {
+        ChannelStage {
+            tx: Some(tx),
+            metrics,
+        }
+    }
+}
+
+/// Sends one element, counting the send and timing any backpressure
+/// block. A disconnected consumer counts as a drop; there is nothing
+/// sensible to do but stop sending.
+pub(crate) fn send_metered<T: Send>(
+    tx: &Sender<StreamElement<T>>,
+    element: StreamElement<T>,
+    metrics: &ChannelMetrics,
+) {
+    metrics.sends.inc();
+    match tx.try_send(element) {
+        Ok(()) => {}
+        Err(TrySendError::Full(element)) => {
+            metrics.send_blocks.inc();
+            let sw = Stopwatch::start();
+            if tx.send(element).is_err() {
+                metrics.dropped.inc();
+            }
+            metrics.send_block_ns.record(sw.elapsed_ns());
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            metrics.dropped.inc();
+        }
     }
 }
 
@@ -134,9 +237,7 @@ impl<T: Send> Stage<T> for ChannelStage<T> {
     fn push(&mut self, element: StreamElement<T>) {
         let is_end = element.is_end();
         if let Some(tx) = &self.tx {
-            // A send error means the consumer thread is gone; nothing
-            // sensible to do but stop sending.
-            let _ = tx.send(element);
+            send_metered(tx, element, &self.metrics);
         }
         if is_end {
             self.tx = None;
@@ -191,7 +292,10 @@ pub struct WatermarkMerger {
 impl WatermarkMerger {
     /// A merger over `n` inputs, all starting at `Timestamp::MIN`.
     pub fn new(n: usize) -> Self {
-        WatermarkMerger { inputs: vec![Timestamp::MIN; n], combined: Timestamp::MIN }
+        WatermarkMerger {
+            inputs: vec![Timestamp::MIN; n],
+            combined: Timestamp::MIN,
+        }
     }
 
     /// Records that input `idx` advanced to `wm`; returns the new
@@ -253,13 +357,22 @@ mod tests {
         stage.push(StreamElement::Record(7));
         stage.push(StreamElement::Watermark(Timestamp(1)));
         let entries = log.lock().clone();
-        assert_eq!(entries, vec!["Record(7)".to_string(), "Watermark(Timestamp(1))".to_string()]);
+        assert_eq!(
+            entries,
+            vec![
+                "Record(7)".to_string(),
+                "Watermark(Timestamp(1))".to_string()
+            ]
+        );
     }
 
     #[test]
     fn operator_stage_end_flushes_then_forwards() {
         let sink = SharedVecSink::new();
-        let mut stage = OperatorStage::new(MapOperator::new(|x: i32| x + 1), Box::new(SinkStage::new(sink.clone())));
+        let mut stage = OperatorStage::new(
+            MapOperator::new(|x: i32| x + 1),
+            Box::new(SinkStage::new(sink.clone())),
+        );
         stage.push(StreamElement::Record(1));
         stage.push(StreamElement::End);
         stage.push(StreamElement::Record(5)); // ignored after end

@@ -18,14 +18,20 @@
 
 use crate::element::StreamElement;
 use crate::keyed::KeyedProcessOperator;
-use crate::operator::{Collector, FilterOperator, FlatMapOperator, InspectOperator, MapOperator, Operator};
+use crate::metrics::{ChannelMetrics, SorterMetrics, StageMetrics};
+use crate::operator::{
+    Collector, FilterOperator, FlatMapOperator, InspectOperator, MapOperator, Operator,
+};
 use crate::sink::{SharedVecSink, Sink};
 use crate::sort::EventTimeSorter;
 use crate::source::{Source, VecSource};
-use crate::stage::{BoxStage, ChannelStage, OperatorStage, SinkStage, Stage, WatermarkMerger};
+use crate::stage::{
+    send_metered, BoxStage, ChannelStage, OperatorStage, SinkStage, Stage, WatermarkMerger,
+};
 use crate::watermark::WatermarkStrategy;
 use crate::window::{MicroBatcher, TumblingWindow, WindowPane};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use icewafl_obs::MetricsRegistry;
 use icewafl_types::{Duration, Timestamp};
 use parking_lot::Mutex;
 use std::hash::Hash;
@@ -43,13 +49,38 @@ type BuildFn<T> = Box<dyn FnOnce(BoxStage<T>, &mut ExecutionContext) -> Driver +
 pub type SubPipelineBuilder<T, U> = Box<dyn FnOnce(DataStream<T>) -> DataStream<U> + Send>;
 
 /// Collects the worker threads spawned while building a pipeline so the
-/// executor can join them.
+/// executor can join them, and carries the [`MetricsRegistry`] that
+/// stages register their instrumentation against.
 #[derive(Default)]
 pub struct ExecutionContext {
     handles: Vec<JoinHandle<()>>,
+    registry: MetricsRegistry,
+    stage_seq: u32,
 }
 
 impl ExecutionContext {
+    /// A context whose stages record into `registry`.
+    pub fn with_registry(registry: MetricsRegistry) -> Self {
+        ExecutionContext {
+            handles: Vec::new(),
+            registry,
+            stage_seq: 0,
+        }
+    }
+
+    /// The registry pipeline stages register their metrics against.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The label for the next stage, e.g. `stage/03_map`. Pipelines are
+    /// built back-to-front, so indices count from the **sink** upward.
+    pub fn next_stage_label(&mut self, name: &str) -> String {
+        let label = format!("stage/{:02}_{}", self.stage_seq, name);
+        self.stage_seq += 1;
+        label
+    }
+
     fn join_all(&mut self) {
         for h in self.handles.drain(..) {
             if let Err(panic) = h.join() {
@@ -125,7 +156,14 @@ impl<T: Send + 'static> DataStream<T> {
     pub fn transform<U: Send + 'static>(self, op: impl Operator<T, U> + 'static) -> DataStream<U> {
         let upstream = self.build;
         DataStream {
-            build: Box::new(move |down, ctx| upstream(Box::new(OperatorStage::new(op, down)), ctx)),
+            build: Box::new(move |down, ctx| {
+                let label = ctx.next_stage_label(Operator::<T, U>::name(&op));
+                let metrics = StageMetrics::register(ctx.registry(), &label);
+                upstream(
+                    Box::new(OperatorStage::with_metrics(op, down, metrics)),
+                    ctx,
+                )
+            }),
         }
     }
 
@@ -172,7 +210,21 @@ impl<T: Send + 'static> DataStream<T> {
         self,
         extract: impl FnMut(&T) -> Timestamp + Send + 'static,
     ) -> DataStream<T> {
-        self.transform(EventTimeSorter::new(extract))
+        let upstream = self.build;
+        DataStream {
+            build: Box::new(move |down, ctx| {
+                // One label for both the generic stage metrics and the
+                // sorter-specific late/lag/buffer metrics.
+                let label = ctx.next_stage_label("event_time_sorter");
+                let stage_metrics = StageMetrics::register(ctx.registry(), &label);
+                let sorter = EventTimeSorter::new(extract)
+                    .with_metrics(SorterMetrics::register(ctx.registry(), &label));
+                upstream(
+                    Box::new(OperatorStage::with_metrics(sorter, down, stage_metrics)),
+                    ctx,
+                )
+            }),
+        }
     }
 
     /// Groups records into count-based micro-batches.
@@ -196,6 +248,8 @@ impl<T: Send + 'static> DataStream<T> {
         let upstream = self.build;
         DataStream {
             build: Box::new(move |down, ctx| {
+                let label = ctx.next_stage_label("pipelined");
+                let metrics = ChannelMetrics::register(ctx.registry(), &label);
                 let (tx, rx) = bounded::<StreamElement<T>>(capacity.max(1));
                 let mut down = down;
                 let handle = std::thread::spawn(move || {
@@ -208,7 +262,7 @@ impl<T: Send + 'static> DataStream<T> {
                     }
                 });
                 ctx.handles.push(handle);
-                upstream(Box::new(ChannelStage::new(tx)), ctx)
+                upstream(Box::new(ChannelStage::with_metrics(tx, metrics)), ctx)
             }),
         }
     }
@@ -241,13 +295,18 @@ impl<T: Send + 'static> DataStream<T> {
                     .into_iter()
                     .enumerate()
                     .map(|(idx, s)| {
-                        (s.build)(Box::new(UnionInput { inner: Arc::clone(&shared), idx }), ctx)
+                        (s.build)(
+                            Box::new(UnionInput {
+                                inner: Arc::clone(&shared),
+                                idx,
+                            }),
+                            ctx,
+                        )
                     })
                     .collect();
                 if parallel {
                     Box::new(move || {
-                        let handles: Vec<_> =
-                            drivers.into_iter().map(std::thread::spawn).collect();
+                        let handles: Vec<_> = drivers.into_iter().map(std::thread::spawn).collect();
                         for h in handles {
                             if let Err(panic) = h.join() {
                                 std::panic::resume_unwind(panic);
@@ -323,7 +382,13 @@ impl<T: Send + 'static> DataStream<T> {
                     txs.push(tx);
                     subs.push(builder(DataStream::from_element_channel(rx)));
                 }
-                let router = RouterStage { txs, selector, memberships: Vec::with_capacity(m) };
+                let label = ctx.next_stage_label("split_router");
+                let router = RouterStage {
+                    txs,
+                    selector,
+                    memberships: Vec::with_capacity(m),
+                    metrics: ChannelMetrics::register(ctx.registry(), &label),
+                };
                 let parent_driver = upstream(Box::new(router), ctx);
                 let union_driver = (DataStream::union(subs, parallel).build)(down, ctx);
                 if parallel {
@@ -349,7 +414,18 @@ impl<T: Send + 'static> DataStream<T> {
 
     /// Builds and runs the pipeline, writing results into `sink`.
     pub fn execute_into(self, sink: impl Sink<T> + 'static) {
-        let mut ctx = ExecutionContext::default();
+        self.execute_into_with_registry(sink, &MetricsRegistry::new());
+    }
+
+    /// Like [`DataStream::execute_into`], but stages register their
+    /// metrics against the given registry, which can be snapshotted
+    /// after the run.
+    pub fn execute_into_with_registry(
+        self,
+        sink: impl Sink<T> + 'static,
+        registry: &MetricsRegistry,
+    ) {
+        let mut ctx = ExecutionContext::with_registry(registry.clone());
         let driver = (self.build)(Box::new(SinkStage::new(sink)), &mut ctx);
         driver();
         ctx.join_all();
@@ -359,6 +435,13 @@ impl<T: Send + 'static> DataStream<T> {
     pub fn collect(self) -> Vec<T> {
         let sink = SharedVecSink::new();
         self.execute_into(sink.clone());
+        sink.take()
+    }
+
+    /// Like [`DataStream::collect`], but instrumented against `registry`.
+    pub fn collect_with_registry(self, registry: &MetricsRegistry) -> Vec<T> {
+        let sink = SharedVecSink::new();
+        self.execute_into_with_registry(sink.clone(), registry);
         sink.take()
     }
 
@@ -418,6 +501,7 @@ struct RouterStage<T, F> {
     txs: Vec<Sender<StreamElement<T>>>,
     selector: F,
     memberships: Vec<usize>,
+    metrics: ChannelMetrics,
 }
 
 impl<T, F> Stage<T> for RouterStage<T, F>
@@ -435,19 +519,23 @@ where
                 // Move into the last target, clone for the rest.
                 if let Some((&last, init)) = self.memberships.split_last() {
                     for &i in init {
-                        let _ = self.txs[i].send(StreamElement::Record(r.clone()));
+                        send_metered(
+                            &self.txs[i],
+                            StreamElement::Record(r.clone()),
+                            &self.metrics,
+                        );
                     }
-                    let _ = self.txs[last].send(StreamElement::Record(r));
+                    send_metered(&self.txs[last], StreamElement::Record(r), &self.metrics);
                 }
             }
             StreamElement::Watermark(wm) => {
                 for tx in &self.txs {
-                    let _ = tx.send(StreamElement::Watermark(wm));
+                    send_metered(tx, StreamElement::Watermark(wm), &self.metrics);
                 }
             }
             StreamElement::End => {
                 for tx in self.txs.drain(..) {
-                    let _ = tx.send(StreamElement::End);
+                    send_metered(&tx, StreamElement::End, &self.metrics);
                 }
             }
         }
@@ -651,7 +739,9 @@ mod tests {
 
     #[test]
     fn micro_batch_through_pipeline() {
-        let out = DataStream::from_vec(vec![1, 2, 3, 4, 5]).micro_batch(2).collect();
+        let out = DataStream::from_vec(vec![1, 2, 3, 4, 5])
+            .micro_batch(2)
+            .collect();
         assert_eq!(out, vec![vec![1, 2], vec![3, 4], vec![5]]);
     }
 
@@ -665,11 +755,65 @@ mod tests {
         assert_eq!(out[1].records, vec![12]);
     }
 
+    #[cfg(feature = "obs")]
+    #[test]
+    fn pipeline_metrics_count_elements_per_stage() {
+        let registry = MetricsRegistry::new();
+        let out = DataStream::from_vec(vec![1i64, 2, 3, 4])
+            .map(|x| x + 1)
+            .filter(|x| *x % 2 == 0)
+            .collect_with_registry(&registry);
+        assert_eq!(out, vec![2, 4]);
+        let snap = registry.snapshot();
+        // Built sink-first: `filter` is stage 00, `map` is stage 01.
+        assert_eq!(snap.counter("stage/01_map/elements_in"), 4);
+        assert_eq!(snap.counter("stage/01_map/elements_out"), 4);
+        assert_eq!(snap.counter("stage/00_filter/elements_in"), 4);
+        assert_eq!(snap.counter("stage/00_filter/elements_out"), 2);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn pipelined_channel_counts_sends() {
+        let registry = MetricsRegistry::new();
+        let out = DataStream::from_vec((0..100i64).collect::<Vec<_>>())
+            .pipelined(4)
+            .collect_with_registry(&registry);
+        assert_eq!(out.len(), 100);
+        // 100 records + the final W(MAX) + End = 102 elements offered.
+        assert_eq!(registry.snapshot().counter("stage/00_pipelined/sends"), 102);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn watermark_high_water_mark_excludes_end_sentinel() {
+        let registry = MetricsRegistry::new();
+        let src = VecSource::new(vec![1i64, 5, 3]);
+        let out =
+            DataStream::from_source(src, WatermarkStrategy::ascending(|x: &i64| Timestamp(*x)))
+                .sort_by_event_time(|x| Timestamp(*x))
+                .collect_with_registry(&registry);
+        // 3 arrived after W(5) had already released 5 — it is late and
+        // surfaces out of order (exactly what the late counter tracks).
+        assert_eq!(out, vec![1, 5, 3]);
+        let snap = registry.snapshot();
+        // Highest real watermark was W(5); the closing W(MAX) is excluded.
+        assert_eq!(snap.gauge("stage/00_event_time_sorter/watermark_hwm_ms"), 5);
+        assert_eq!(
+            snap.counter("stage/00_event_time_sorter/late"),
+            1,
+            "record 3 after W(5)"
+        );
+    }
+
     #[test]
     fn nested_split_merge() {
         // A split inside a sub-pipeline of another split.
         let inner_builders = || -> Vec<SubPipelineBuilder<i64, i64>> {
-            vec![Box::new(|s: DataStream<i64>| s.map(|x| x + 1)), Box::new(|s: DataStream<i64>| s.map(|x| x + 2))]
+            vec![
+                Box::new(|s: DataStream<i64>| s.map(|x| x + 1)),
+                Box::new(|s: DataStream<i64>| s.map(|x| x + 2)),
+            ]
         };
         let outer: Vec<SubPipelineBuilder<i64, i64>> = vec![
             Box::new(move |s: DataStream<i64>| {

@@ -19,7 +19,11 @@ enum Kind<T> {
     None,
     /// Watermark = max event time seen − `delay`, emitted every `period`
     /// records (Flink's "bounded out-of-orderness" strategy).
-    Bounded { extract: Extractor<T>, delay: Duration, period: u64 },
+    Bounded {
+        extract: Extractor<T>,
+        delay: Duration,
+        period: u64,
+    },
 }
 
 impl<T> WatermarkStrategy<T> {
@@ -42,13 +46,22 @@ impl<T> WatermarkStrategy<T> {
         period: u64,
     ) -> Self {
         WatermarkStrategy {
-            kind: Kind::Bounded { extract: Box::new(extract), delay, period: period.max(1) },
+            kind: Kind::Bounded {
+                extract: Box::new(extract),
+                delay,
+                period: period.max(1),
+            },
         }
     }
 
     /// Instantiates the per-stream generator state.
     pub(crate) fn generator(self) -> WatermarkGenerator<T> {
-        WatermarkGenerator { kind: self.kind, max_ts: Timestamp::MIN, seen: 0, last_emitted: None }
+        WatermarkGenerator {
+            kind: self.kind,
+            max_ts: Timestamp::MIN,
+            seen: 0,
+            last_emitted: None,
+        }
     }
 }
 
@@ -65,7 +78,11 @@ impl<T> WatermarkGenerator<T> {
     pub(crate) fn on_record(&mut self, record: &T) -> Option<Timestamp> {
         match &mut self.kind {
             Kind::None => None,
-            Kind::Bounded { extract, delay, period } => {
+            Kind::Bounded {
+                extract,
+                delay,
+                period,
+            } => {
                 let ts = extract(record);
                 if ts > self.max_ts {
                     self.max_ts = ts;

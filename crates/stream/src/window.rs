@@ -21,7 +21,10 @@ impl<T> MicroBatcher<T> {
     /// Creates a batcher emitting `size`-record batches (`size ≥ 1`).
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
-        MicroBatcher { size, buf: Vec::with_capacity(size) }
+        MicroBatcher {
+            size,
+            buf: Vec::with_capacity(size),
+        }
     }
 }
 
@@ -76,7 +79,11 @@ where
     /// `size` must be positive.
     pub fn new(size: Duration, extract: F) -> Self {
         assert!(size.millis() > 0, "window size must be positive");
-        TumblingWindow { size, extract, panes: BTreeMap::new() }
+        TumblingWindow {
+            size,
+            extract,
+            panes: BTreeMap::new(),
+        }
     }
 
     fn fire_up_to(&mut self, wm: Timestamp, out: &mut dyn Collector<WindowPane<T>>) {
@@ -87,11 +94,9 @@ where
             .panes
             .keys()
             .copied()
-            .take_while(|k| {
-                match (k + 1).checked_mul(size) {
-                    Some(end) => end <= wm.millis().saturating_add(1),
-                    None => false,
-                }
+            .take_while(|k| match (k + 1).checked_mul(size) {
+                Some(end) => end <= wm.millis().saturating_add(1),
+                None => false,
             })
             .collect();
         for k in fire_keys {
@@ -140,8 +145,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stage::{run_operator, run_operator_simple};
     use crate::element::StreamElement;
+    use crate::stage::{run_operator, run_operator_simple};
 
     #[test]
     fn micro_batcher_full_batches() {
@@ -170,10 +175,8 @@ mod tests {
     #[test]
     fn tumbling_window_groups_by_event_time() {
         let w = TumblingWindow::new(Duration::from_millis(10), |r: &(i64, char)| Timestamp(r.0));
-        let out: Vec<WindowPane<(i64, char)>> = run_operator_simple(
-            w,
-            vec![(1, 'a'), (5, 'b'), (12, 'c'), (19, 'd'), (25, 'e')],
-        );
+        let out: Vec<WindowPane<(i64, char)>> =
+            run_operator_simple(w, vec![(1, 'a'), (5, 'b'), (12, 'c'), (19, 'd'), (25, 'e')]);
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].start, Timestamp(0));
         assert_eq!(out[0].records, vec![(1, 'a'), (5, 'b')]);
@@ -209,7 +212,11 @@ mod tests {
         let w = TumblingWindow::new(Duration::from_millis(10), |r: &i64| Timestamp(*r));
         let out: Vec<WindowPane<i64>> = run_operator(
             w,
-            vec![StreamElement::Record(3), StreamElement::Watermark(Timestamp(8)), StreamElement::End],
+            vec![
+                StreamElement::Record(3),
+                StreamElement::Watermark(Timestamp(8)),
+                StreamElement::End,
+            ],
         );
         assert_eq!(out.len(), 1, "window only fires at end");
     }
@@ -221,7 +228,11 @@ mod tests {
         let w = TumblingWindow::new(Duration::from_millis(10), |r: &i64| Timestamp(*r));
         let out: Vec<WindowPane<i64>> = run_operator(
             w,
-            vec![StreamElement::Record(3), StreamElement::Watermark(Timestamp(9)), StreamElement::End],
+            vec![
+                StreamElement::Record(3),
+                StreamElement::Watermark(Timestamp(9)),
+                StreamElement::End,
+            ],
         );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].records, vec![3]);

@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn display_type_mismatch() {
-        let e = Error::TypeMismatch { expected: "Float", found: "Str" };
+        let e = Error::TypeMismatch {
+            expected: "Float",
+            found: "Str",
+        };
         assert_eq!(e.to_string(), "type mismatch: expected Float, found Str");
     }
 

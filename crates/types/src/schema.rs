@@ -76,7 +76,10 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -105,11 +108,19 @@ impl Schema {
     pub fn new(fields: Vec<Field>) -> Result<Self> {
         for (i, f) in fields.iter().enumerate() {
             if fields[..i].iter().any(|g| g.name == f.name) {
-                return Err(Error::config(format_args!("duplicate attribute `{}`", f.name)));
+                return Err(Error::config(format_args!(
+                    "duplicate attribute `{}`",
+                    f.name
+                )));
             }
         }
         let timestamp_idx = fields.iter().position(|f| f.dtype == DataType::Timestamp);
-        Ok(Schema { inner: Arc::new(SchemaInner { fields, timestamp_idx }) })
+        Ok(Schema {
+            inner: Arc::new(SchemaInner {
+                fields,
+                timestamp_idx,
+            }),
+        })
     }
 
     /// Builds a schema from `(name, dtype)` pairs.
@@ -140,7 +151,8 @@ impl Schema {
     /// Like [`Schema::index_of`] but returns a typed error — used when
     /// binding polluter configurations.
     pub fn require(&self, name: &str) -> Result<usize> {
-        self.index_of(name).ok_or_else(|| Error::UnknownAttribute(name.to_string()))
+        self.index_of(name)
+            .ok_or_else(|| Error::UnknownAttribute(name.to_string()))
     }
 
     /// The field at `idx`, if any.
@@ -169,7 +181,11 @@ impl Schema {
     pub fn validate(&self, tuple: &Tuple) -> Result<()> {
         if tuple.len() != self.len() {
             return Err(Error::SchemaMismatch {
-                detail: format!("tuple has {} values, schema has {} fields", tuple.len(), self.len()),
+                detail: format!(
+                    "tuple has {} values, schema has {} fields",
+                    tuple.len(),
+                    self.len()
+                ),
             });
         }
         for (f, v) in self.fields().iter().zip(tuple.values()) {

@@ -66,7 +66,16 @@ impl Timestamp {
         minute: u32,
         second: u32,
     ) -> Result<Self> {
-        DateTime { year, month, day, hour, minute, second, milli: 0 }.to_timestamp()
+        DateTime {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+            milli: 0,
+        }
+        .to_timestamp()
     }
 
     /// Builds a timestamp for midnight of the given civil date (UTC).
@@ -83,7 +92,15 @@ impl Timestamp {
         let minute = ((ms_of_day % MILLIS_PER_HOUR) / MILLIS_PER_MINUTE) as u32;
         let second = ((ms_of_day % MILLIS_PER_MINUTE) / MILLIS_PER_SECOND) as u32;
         let milli = (ms_of_day % MILLIS_PER_SECOND) as u32;
-        DateTime { year, month, day, hour, minute, second, milli }
+        DateTime {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+            milli,
+        }
     }
 
     /// The hour of the day in `0..24`.
@@ -258,7 +275,10 @@ impl DateTime {
     /// validating ranges.
     pub fn to_timestamp(self) -> Result<Timestamp> {
         if self.month == 0 || self.month > 12 {
-            return Err(Error::config(format_args!("month {} out of range", self.month)));
+            return Err(Error::config(format_args!(
+                "month {} out of range",
+                self.month
+            )));
         }
         let dim = days_in_month(self.year, self.month);
         if self.day == 0 || self.day > dim {
@@ -376,7 +396,16 @@ pub fn parse_timestamp(s: &str) -> Result<Timestamp> {
             milli = frac.parse::<u32>().map_err(|_| bad())? * scale;
         }
     }
-    DateTime { year, month, day, hour, minute, second, milli }.to_timestamp()
+    DateTime {
+        year,
+        month,
+        day,
+        hour,
+        minute,
+        second,
+        milli,
+    }
+    .to_timestamp()
 }
 
 #[cfg(test)]
@@ -469,7 +498,10 @@ mod tests {
 
     #[test]
     fn saturating_add_caps() {
-        assert_eq!(Timestamp::MAX.saturating_add(Duration::from_hours(1)), Timestamp::MAX);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::from_hours(1)),
+            Timestamp::MAX
+        );
     }
 
     #[test]
@@ -488,7 +520,10 @@ mod tests {
         );
         assert_eq!(
             parse_timestamp("2016-02-27 13:05:09.250").unwrap().millis(),
-            Timestamp::from_ymd_hms(2016, 2, 27, 13, 5, 9).unwrap().millis() + 250
+            Timestamp::from_ymd_hms(2016, 2, 27, 13, 5, 9)
+                .unwrap()
+                .millis()
+                + 250
         );
         // Short fraction is scaled: ".5" == 500 ms.
         assert_eq!(
@@ -499,7 +534,15 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["", "2016", "2016-13-01", "2016-02-30", "2016-02-27 25:00", "abc", "2016-02-27 13:05:09.12345"] {
+        for s in [
+            "",
+            "2016",
+            "2016-13-01",
+            "2016-02-30",
+            "2016-02-27 25:00",
+            "abc",
+            "2016-02-27 13:05:09.12345",
+        ] {
             assert!(parse_timestamp(s).is_err(), "should reject {s:?}");
         }
     }

@@ -125,7 +125,13 @@ impl StampedTuple {
     /// Wraps a raw tuple with its identity and replicated event time.
     /// The arrival time starts equal to `tau`.
     pub fn new(id: u64, tau: Timestamp, tuple: Tuple) -> Self {
-        StampedTuple { id, tau, arrival: tau, sub_stream: 0, tuple }
+        StampedTuple {
+            id,
+            tau,
+            arrival: tau,
+            sub_stream: 0,
+            tuple,
+        }
     }
 
     /// Reads the (possibly polluted) timestamp *attribute* through the
@@ -193,8 +199,11 @@ mod tests {
     fn stamped_preserves_tau_independent_of_attribute() {
         let s = schema();
         let tau = Timestamp::from_ymd(2016, 2, 26).unwrap();
-        let mut st =
-            StampedTuple::new(7, tau, Tuple::new(vec![Value::Timestamp(tau), Value::Int(70)]));
+        let mut st = StampedTuple::new(
+            7,
+            tau,
+            Tuple::new(vec![Value::Timestamp(tau), Value::Int(70)]),
+        );
         // Pollute the timestamp *attribute*.
         st.tuple.replace(0, Value::Timestamp(Timestamp(0)));
         assert_eq!(st.tau, tau, "replicated event time must not change");
@@ -214,7 +223,11 @@ mod tests {
     #[test]
     fn ts_attribute_null_and_missing_schema() {
         let s = schema();
-        let st = StampedTuple::new(1, Timestamp(5), Tuple::new(vec![Value::Null, Value::Int(1)]));
+        let st = StampedTuple::new(
+            1,
+            Timestamp(5),
+            Tuple::new(vec![Value::Null, Value::Int(1)]),
+        );
         assert_eq!(st.ts_attribute(&s).unwrap(), None);
         let no_ts = Schema::from_pairs([("x", DataType::Int)]).unwrap();
         let st2 = StampedTuple::new(1, Timestamp(5), Tuple::new(vec![Value::Int(1)]));

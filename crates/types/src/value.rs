@@ -102,13 +102,18 @@ impl Value {
     /// that must fail loudly (error functions bound to a numeric
     /// attribute).
     pub fn expect_f64(&self) -> Result<f64> {
-        self.as_f64().ok_or(Error::TypeMismatch { expected: "numeric", found: self.type_name() })
+        self.as_f64().ok_or(Error::TypeMismatch {
+            expected: "numeric",
+            found: self.type_name(),
+        })
     }
 
     /// Like [`Value::as_timestamp`] but returns a typed error.
     pub fn expect_timestamp(&self) -> Result<Timestamp> {
-        self.as_timestamp()
-            .ok_or(Error::TypeMismatch { expected: "Timestamp", found: self.type_name() })
+        self.as_timestamp().ok_or(Error::TypeMismatch {
+            expected: "Timestamp",
+            found: self.type_name(),
+        })
     }
 
     /// Rebuilds a numeric value of the *same family* as `self` from an
@@ -122,9 +127,10 @@ impl Value {
             Value::Int(_) => Ok(Value::Int(round_to_i64(x))),
             Value::Float(_) => Ok(Value::Float(x)),
             Value::Bool(_) => Ok(Value::Bool(x != 0.0)),
-            other => {
-                Err(Error::TypeMismatch { expected: "numeric", found: other.type_name() })
-            }
+            other => Err(Error::TypeMismatch {
+                expected: "numeric",
+                found: other.type_name(),
+            }),
         }
     }
 
@@ -163,10 +169,14 @@ impl Value {
                 "false" | "False" | "FALSE" | "0" => Ok(Value::Bool(false)),
                 _ => Err(Error::parse(s, "Bool")),
             },
-            DataType::Int => s.parse::<i64>().map(Value::Int).map_err(|_| Error::parse(s, "Int")),
-            DataType::Float => {
-                s.parse::<f64>().map(Value::Float).map_err(|_| Error::parse(s, "Float"))
-            }
+            DataType::Int => s
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::parse(s, "Int")),
+            DataType::Float => s
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::parse(s, "Float")),
             DataType::Str => Ok(Value::Str(s.to_string())),
             DataType::Timestamp => crate::time::parse_timestamp(s).map(Value::Timestamp),
         }
@@ -264,24 +274,45 @@ mod tests {
     #[test]
     fn with_numeric_preserves_family() {
         assert_eq!(Value::Int(10).with_numeric(3.6).unwrap(), Value::Int(4));
-        assert_eq!(Value::Float(10.0).with_numeric(3.6).unwrap(), Value::Float(3.6));
-        assert_eq!(Value::Bool(false).with_numeric(2.0).unwrap(), Value::Bool(true));
+        assert_eq!(
+            Value::Float(10.0).with_numeric(3.6).unwrap(),
+            Value::Float(3.6)
+        );
+        assert_eq!(
+            Value::Bool(false).with_numeric(2.0).unwrap(),
+            Value::Bool(true)
+        );
         assert!(Value::Str("x".into()).with_numeric(1.0).is_err());
         assert!(Value::Null.with_numeric(1.0).is_err());
     }
 
     #[test]
     fn with_numeric_saturates() {
-        assert_eq!(Value::Int(0).with_numeric(1e300).unwrap(), Value::Int(i64::MAX));
-        assert_eq!(Value::Int(0).with_numeric(-1e300).unwrap(), Value::Int(i64::MIN));
+        assert_eq!(
+            Value::Int(0).with_numeric(1e300).unwrap(),
+            Value::Int(i64::MAX)
+        );
+        assert_eq!(
+            Value::Int(0).with_numeric(-1e300).unwrap(),
+            Value::Int(i64::MIN)
+        );
         assert_eq!(Value::Int(0).with_numeric(f64::NAN).unwrap(), Value::Int(0));
     }
 
     #[test]
     fn compare_numeric_cross_family() {
-        assert_eq!(Value::Int(3).compare(&Value::Float(3.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(2).compare(&Value::Float(3.0)), Some(Ordering::Less));
-        assert_eq!(Value::Float(4.0).compare(&Value::Int(3)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(3.0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(4.0).compare(&Value::Int(3)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -314,9 +345,18 @@ mod tests {
     #[test]
     fn parse_by_dtype() {
         assert_eq!(Value::parse("42", DataType::Int).unwrap(), Value::Int(42));
-        assert_eq!(Value::parse("4.5", DataType::Float).unwrap(), Value::Float(4.5));
-        assert_eq!(Value::parse("true", DataType::Bool).unwrap(), Value::Bool(true));
-        assert_eq!(Value::parse("hi", DataType::Str).unwrap(), Value::Str("hi".into()));
+        assert_eq!(
+            Value::parse("4.5", DataType::Float).unwrap(),
+            Value::Float(4.5)
+        );
+        assert_eq!(
+            Value::parse("true", DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Value::parse("hi", DataType::Str).unwrap(),
+            Value::Str("hi".into())
+        );
         assert_eq!(
             Value::parse("2016-02-27 00:00:00", DataType::Timestamp).unwrap(),
             Value::Timestamp(Timestamp::from_ymd(2016, 2, 27).unwrap())
@@ -326,7 +366,11 @@ mod tests {
     #[test]
     fn parse_null_conventions() {
         for s in ["", "NA", "null", "NULL", "NaN", "  "] {
-            assert_eq!(Value::parse(s, DataType::Float).unwrap(), Value::Null, "{s:?}");
+            assert_eq!(
+                Value::parse(s, DataType::Float).unwrap(),
+                Value::Null,
+                "{s:?}"
+            );
         }
     }
 

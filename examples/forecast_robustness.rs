@@ -8,14 +8,13 @@ use icewafl::prelude::*;
 fn main() {
     // Three months of hourly air-quality data for one region.
     let schema = icewafl::data::airquality::schema();
-    let mut tuples =
-        icewafl::data::airquality::generate_station_seeded("Gucheng", 2013, 24 * 90);
+    let mut tuples = icewafl::data::airquality::generate_station_seeded("Gucheng", 2013, 24 * 90);
     icewafl::data::ffill_bfill(&schema, &mut tuples, "NO2").expect("NO2 exists");
 
     // Split: first two months for training, last month for evaluation.
     let eval_start = 24 * 60;
-    let clean = pollute_stream(&schema, tuples, PollutionPipeline::empty())
-        .expect("identity pollution");
+    let clean =
+        pollute_stream(&schema, tuples, PollutionPipeline::empty()).expect("identity pollution");
     let (train, eval_clean) = clean.polluted.split_at(eval_start);
 
     // Pollute the evaluation month with noise that ramps up over time
@@ -34,7 +33,9 @@ fn main() {
     );
     let pipeline = config.build(&schema).expect("config builds").pop().unwrap();
     let eval_tuples: Vec<Tuple> = eval_clean.iter().map(|t| t.tuple.clone()).collect();
-    let noisy = pollute_stream(&schema, eval_tuples, pipeline).expect("pollution runs").polluted;
+    let noisy = pollute_stream(&schema, eval_tuples, pipeline)
+        .expect("pollution runs")
+        .polluted;
 
     // Walk the evaluation month online: learn, forecast 12 h, score.
     let no2 = schema.require("NO2").expect("NO2 exists");
@@ -50,7 +51,10 @@ fn main() {
     let train_y = series(train);
 
     println!("=== forecasting robustness under increasing noise ===\n");
-    println!("{:<16} {:>12} {:>12} {:>10}", "model", "clean MAE", "noisy MAE", "degraded");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "model", "clean MAE", "noisy MAE", "degraded"
+    );
     for make in [
         || Box::new(Snarimax::arima(24, 0, 2, 0.05)) as BoxForecaster,
         || Box::new(HoltWinters::new(0.25, 0.02, 0.25, 24)) as BoxForecaster,

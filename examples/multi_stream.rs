@@ -10,11 +10,8 @@ fn main() {
     // Redundant deployment: two logical feeds carry the same physical
     // sensor readings (broadcast assignment), like sensors S1/S2 of the
     // paper's motivating example.
-    let schema = Schema::from_pairs([
-        ("Time", DataType::Timestamp),
-        ("Temp", DataType::Float),
-    ])
-    .expect("schema is valid");
+    let schema = Schema::from_pairs([("Time", DataType::Timestamp), ("Temp", DataType::Float)])
+        .expect("schema is valid");
     let start = Timestamp::from_ymd(2026, 7, 1).expect("valid date");
     let tuples: Vec<Tuple> = (0..200)
         .map(|i| {
@@ -33,7 +30,10 @@ fn main() {
             vec![PolluterConfig::Standard {
                 name: "feed-a-noise".into(),
                 attributes: vec!["Temp".into()],
-                error: ErrorConfig::GaussianNoise { sigma: 0.4, relative: false },
+                error: ErrorConfig::GaussianNoise {
+                    sigma: 0.4,
+                    relative: false,
+                },
                 condition: ConditionConfig::Probability { p: 0.5 },
                 pattern: None,
             }],
@@ -56,7 +56,10 @@ fn main() {
     let out = job.run(tuples, pipelines).expect("pollution runs");
 
     println!("=== multi-stream integration ===");
-    println!("input: 200 tuples; merged output: {} tuples", out.polluted.len());
+    println!(
+        "input: 200 tuples; merged output: {} tuples",
+        out.polluted.len()
+    );
     for (polluter, count) in out.log.counts_by_polluter() {
         println!("  {polluter:<22} {count:>4} errors");
     }

@@ -37,13 +37,19 @@ fn main() {
                 name: "nightly-dropouts".into(),
                 attributes: vec!["Temp".into()],
                 error: ErrorConfig::MissingValue,
-                condition: ConditionConfig::Sinusoidal { amplitude: 0.25, offset: 0.25 },
+                condition: ConditionConfig::Sinusoidal {
+                    amplitude: 0.25,
+                    offset: 0.25,
+                },
                 pattern: None,
             },
             PolluterConfig::Standard {
                 name: "afternoon-noise".into(),
                 attributes: vec!["Temp".into()],
-                error: ErrorConfig::GaussianNoise { sigma: 0.1, relative: true },
+                error: ErrorConfig::GaussianNoise {
+                    sigma: 0.1,
+                    relative: true,
+                },
                 condition: ConditionConfig::HourRange { start: 12, end: 18 },
                 pattern: None,
             },
@@ -52,7 +58,11 @@ fn main() {
     println!("pipeline configuration:\n{}\n", config.to_json());
 
     // 3. Run the pollution process (Algorithm 1 of the paper).
-    let pipeline = config.build(&schema).expect("config is valid").pop().unwrap();
+    let pipeline = config
+        .build(&schema)
+        .expect("config is valid")
+        .pop()
+        .unwrap();
     let out = pollute_stream(&schema, tuples, pipeline).expect("pollution runs");
     println!(
         "polluted {} of {} tuples ({} log entries)",
@@ -72,7 +82,9 @@ fn main() {
             Some(Value::Float(0.0)),
             Some(Value::Float(40.0)),
         ));
-    let report = suite.validate(&schema, &out.polluted).expect("validation runs");
+    let report = suite
+        .validate(&schema, &out.polluted)
+        .expect("validation runs");
     println!("\n{report}");
 
     // 5. The ground truth and the detector agree on the missing values.
@@ -80,4 +92,9 @@ fn main() {
     let nulls_injected = out.log.counts_by_polluter()["nightly-dropouts"];
     assert_eq!(nulls_detected.unexpected_count, nulls_injected);
     println!("ground truth and DQ agree: {nulls_injected} missing values");
+
+    // 6. The run report: per-polluter fire/skip counts and per-stage
+    //    stream metrics, also available as JSON via `--metrics-json` on
+    //    the CLI (serde-serializable `RunReport`).
+    println!("\n{}", out.report.render());
 }

@@ -92,7 +92,11 @@ fn main() {
     let out = pollute_stream(&schema, data, pipeline).expect("pollution runs");
 
     println!("=== software-update scenario (expert API) ===");
-    println!("stream: {} tuples, {} polluted", out.polluted.len(), out.log.polluted_tuple_ids().len());
+    println!(
+        "stream: {} tuples, {} polluted",
+        out.polluted.len(),
+        out.log.polluted_tuple_ids().len()
+    );
     for (polluter, count) in out.log.counts_by_polluter() {
         println!("  {polluter:<22} {count:>5} value errors");
     }

@@ -38,9 +38,8 @@ fn main() {
     .expect("pollution runs");
 
     // Monitor: 6-hour windows, the unit-error detector from §3.1.2.
-    let suite = ExpectationSuite::new("unit-check").with(
-        ExpectColumnPairValuesAToBeGreaterThanB::new("Steps", "Distance").or_equal(),
-    );
+    let suite = ExpectationSuite::new("unit-check")
+        .with(ExpectColumnPairValuesAToBeGreaterThanB::new("Steps", "Distance").or_equal());
     let monitor = DqMonitorOperator::new(schema.clone(), suite, Duration::from_hours(6));
     let reports = DataStream::from_source(
         VecSource::new(out.polluted),
@@ -50,7 +49,10 @@ fn main() {
     .collect();
 
     println!("=== streaming DQ monitor: 6-hour windows ===\n");
-    println!("{:<22} {:>6} {:>10} {:>8}", "window start", "rows", "unexpected", "status");
+    println!(
+        "{:<22} {:>6} {:>10} {:>8}",
+        "window start", "rows", "unexpected", "status"
+    );
     let mut first_bad: Option<Timestamp> = None;
     for r in &reports {
         let status = if r.report.success() { "ok" } else { "ALERT" };
@@ -79,4 +81,8 @@ fn main() {
         "the software update was installed at {update}; the monitor alerted\n\
          with the first post-update movement — quality loss localized online."
     );
+
+    // The pollution run's observability report: composite gate fires,
+    // per-child error counts, and stream stage metrics.
+    println!("\n{}", out.report.render());
 }

@@ -45,13 +45,20 @@ fn main() {
     let cloud_over_s1s2 = |sensors: Vec<Value>| {
         AndCondition::new(vec![
             Box::new(HourRange::new(10, 12)),
-            Box::new(ValueCondition::new(sensor_idx, CmpOp::InSet(sensors), Value::Null)),
+            Box::new(ValueCondition::new(
+                sensor_idx,
+                CmpOp::InSet(sensors),
+                Value::Null,
+            )),
         ])
     };
     let shade_s1s2 = StandardPolluter::bind(
         "cloud-over-s1-s2",
         Box::new(ScaleByFactor::new(0.7)),
-        Box::new(cloud_over_s1s2(vec![Value::Str("S1".into()), Value::Str("S2".into())])),
+        Box::new(cloud_over_s1s2(vec![
+            Value::Str("S1".into()),
+            Value::Str("S2".into()),
+        ])),
         &["Temp"],
         ChangePattern::Constant,
         &schema,
@@ -80,13 +87,15 @@ fn main() {
         Value::Str("S4".into()),
     )));
 
-    let pipeline =
-        PollutionPipeline::new(vec![Box::new(shade_s1s2), Box::new(drift_to_s4)]);
+    let pipeline = PollutionPipeline::new(vec![Box::new(shade_s1s2), Box::new(drift_to_s4)]);
     let out = pollute_stream(&schema, tuples, pipeline).expect("pollution runs");
 
     // S3 is logical: avg(S1, S2) per timestamp — it inherits the errors.
     println!("=== Figure 1: dependent sensor errors ===\n");
-    println!("{:>6} {:>8} {:>8} {:>8} {:>10} {:>8}", "hour", "S1", "S2", "S4", "S3=avg", "note");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "hour", "S1", "S2", "S4", "S3=avg", "note"
+    );
     let temp_idx = schema.require("Temp").expect("Temp exists");
     for hour in [9, 10, 11, 12] {
         let reading = |sensor: &str| -> f64 {

@@ -52,17 +52,22 @@ fn print_usage() {
 USAGE:
   icewafl pollute  --schema S --config CFG.json --input IN.csv --output OUT.csv
                    [--clean CLEAN.csv] [--log LOG.json] [--seed N] [--parallel]
+                   [--report] [--metrics-json METRICS.json]
   icewafl validate --schema S --input IN.csv --suite SUITE.json
   icewafl profile  --schema S --input IN.csv
   icewafl generate --dataset wearable|airquality[:STATION] --output OUT.csv [--seed N]
   icewafl example-config
 
-  --schema S  a built-in schema name (wearable, airquality) or a schema JSON file"
+  --schema S        a built-in schema name (wearable, airquality) or a schema JSON file
+  --report          print the run report (per-polluter and per-stage metrics)
+  --metrics-json F  write the run report as JSON to F"
     );
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn present(args: &[String], name: &str) -> bool {
@@ -88,8 +93,7 @@ fn load_schema(spec: &str) -> Result<Schema> {
 }
 
 fn load_tuples(path: &str, schema: &Schema) -> Result<Vec<Tuple>> {
-    let file = File::open(path)
-        .map_err(|e| Error::Io(format!("cannot open `{path}`: {e}")))?;
+    let file = File::open(path).map_err(|e| Error::Io(format!("cannot open `{path}`: {e}")))?;
     read_csv(&mut BufReader::new(file), schema)
 }
 
@@ -101,8 +105,9 @@ fn cmd_pollute(args: &[String]) -> Result<()> {
 
     let mut config = JobConfig::from_json(&std::fs::read_to_string(&config_path)?)?;
     if let Some(seed) = flag(args, "--seed") {
-        config.seed =
-            seed.parse().map_err(|_| Error::config(format_args!("bad --seed `{seed}`")))?;
+        config.seed = seed
+            .parse()
+            .map_err(|_| Error::config(format_args!("bad --seed `{seed}`")))?;
     }
     let tuples = load_tuples(&input, &schema)?;
     let n = tuples.len();
@@ -132,6 +137,15 @@ fn cmd_pollute(args: &[String]) -> Result<()> {
         std::fs::write(&log_path, json)?;
         println!("ground truth -> {log_path}");
     }
+    if present(args, "--report") {
+        print!("{}", out.report.render());
+    }
+    if let Some(metrics_path) = flag(args, "--metrics-json") {
+        let json = serde_json::to_string_pretty(&out.report)
+            .map_err(|e| Error::config(format_args!("report serialization: {e}")))?;
+        std::fs::write(&metrics_path, json)?;
+        println!("run report -> {metrics_path}");
+    }
     Ok(())
 }
 
@@ -152,8 +166,7 @@ impl JobConfigRunner {
 }
 
 fn write_csv_file(path: &str, schema: &Schema, tuples: &[Tuple]) -> Result<()> {
-    let file = File::create(path)
-        .map_err(|e| Error::Io(format!("cannot create `{path}`: {e}")))?;
+    let file = File::create(path).map_err(|e| Error::Io(format!("cannot create `{path}`: {e}")))?;
     let mut w = BufWriter::new(file);
     write_csv(&mut w, schema, tuples)?;
     w.flush()?;
@@ -215,9 +228,10 @@ fn cmd_generate(args: &[String]) -> Result<()> {
     let output = require(args, "--output")?;
     let seed: Option<u64> = flag(args, "--seed").and_then(|s| s.parse().ok());
     let (schema, tuples) = match dataset.split_once(':') {
-        None if dataset == "wearable" => {
-            (wearable::schema(), seed.map_or_else(wearable::generate, wearable::generate_seeded))
-        }
+        None if dataset == "wearable" => (
+            wearable::schema(),
+            seed.map_or_else(wearable::generate, wearable::generate_seeded),
+        ),
         None if dataset == "airquality" => (
             airquality::schema(),
             airquality::generate_station_seeded(
@@ -253,7 +267,10 @@ fn cmd_example_config() -> Result<()> {
                 name: "nightly-dropouts".into(),
                 attributes: vec!["Distance".into()],
                 error: ErrorConfig::MissingValue,
-                condition: ConditionConfig::Sinusoidal { amplitude: 0.25, offset: 0.25 },
+                condition: ConditionConfig::Sinusoidal {
+                    amplitude: 0.25,
+                    offset: 0.25,
+                },
                 pattern: None,
             },
             PolluterConfig::Delay {

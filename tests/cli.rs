@@ -60,7 +60,10 @@ fn full_workflow_generate_pollute_validate_profile() {
     let dir = temp_dir("workflow");
 
     // generate
-    let out = icewafl(&["generate", "--dataset", "wearable", "--output", "clean.csv"], &dir);
+    let out = icewafl(
+        &["generate", "--dataset", "wearable", "--output", "clean.csv"],
+        &dir,
+    );
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("1059 tuples"));
 
@@ -90,7 +93,10 @@ fn full_workflow_generate_pollute_validate_profile() {
     let log: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(dir.join("gt.json")).unwrap()).unwrap();
     let entries = log["entries"].as_array().unwrap().len();
-    assert!(entries > 100, "the sinusoid nulls ≈ 25 % of 1059 tuples: {entries}");
+    assert!(
+        entries > 100,
+        "the sinusoid nulls ≈ 25 % of 1059 tuples: {entries}"
+    );
 
     // validate: the dirty stream must FAIL the not-null check (exit 1)
     std::fs::write(
@@ -100,7 +106,15 @@ fn full_workflow_generate_pollute_validate_profile() {
     )
     .unwrap();
     let out = icewafl(
-        &["validate", "--schema", "wearable", "--input", "dirty.csv", "--suite", "suite.json"],
+        &[
+            "validate",
+            "--schema",
+            "wearable",
+            "--input",
+            "dirty.csv",
+            "--suite",
+            "suite.json",
+        ],
         &dir,
     );
     assert!(!out.status.success(), "dirty data must fail validation");
@@ -108,13 +122,24 @@ fn full_workflow_generate_pollute_validate_profile() {
 
     // ...and the clean stream must pass it (exit 0).
     let out = icewafl(
-        &["validate", "--schema", "wearable", "--input", "clean.csv", "--suite", "suite.json"],
+        &[
+            "validate",
+            "--schema",
+            "wearable",
+            "--input",
+            "clean.csv",
+            "--suite",
+            "suite.json",
+        ],
         &dir,
     );
     assert!(out.status.success(), "clean data passes: {}", stdout(&out));
 
     // profile prints per-column stats
-    let out = icewafl(&["profile", "--schema", "wearable", "--input", "dirty.csv"], &dir);
+    let out = icewafl(
+        &["profile", "--schema", "wearable", "--input", "dirty.csv"],
+        &dir,
+    );
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("Distance"));
@@ -124,9 +149,119 @@ fn full_workflow_generate_pollute_validate_profile() {
 }
 
 #[test]
+fn pollute_emits_run_report_and_metrics_json() {
+    let dir = temp_dir("metrics");
+    icewafl(
+        &[
+            "generate",
+            "--dataset",
+            "wearable",
+            "--output",
+            "clean.csv",
+            "--seed",
+            "1",
+        ],
+        &dir,
+    );
+    let cfg = icewafl(&["example-config"], &dir);
+    std::fs::write(dir.join("scenario.json"), &cfg.stdout).unwrap();
+    let out = icewafl(
+        &[
+            "pollute",
+            "--schema",
+            "wearable",
+            "--config",
+            "scenario.json",
+            "--input",
+            "clean.csv",
+            "--output",
+            "dirty.csv",
+            "--log",
+            "gt.json",
+            "--seed",
+            "9",
+            "--report",
+            "--metrics-json",
+            "metrics.json",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Human-readable report on stdout.
+    let text = stdout(&out);
+    assert!(text.contains("== run report =="));
+    assert!(text.contains("nightly-dropouts") && text.contains("bad-network"));
+
+    // Machine-readable report: per-polluter and per-stage counts.
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("metrics.json")).unwrap()).unwrap();
+    assert_eq!(report["tuples_in"].as_u64(), Some(1059));
+    let polluters = report["polluters"].as_array().unwrap();
+    assert_eq!(polluters.len(), 2);
+    for p in polluters {
+        assert_eq!(
+            p["fires"].as_u64().unwrap() + p["skips"].as_u64().unwrap(),
+            p["condition_evals"].as_u64().unwrap()
+        );
+    }
+
+    // Per-polluter log_entries agree with the ground-truth log, and
+    // (with metrics compiled in, the default) so do the fire counters.
+    let log: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("gt.json")).unwrap()).unwrap();
+    let entries = log["entries"].as_array().unwrap();
+    for p in polluters {
+        let name = p["name"].as_str().unwrap();
+        // Entries are internally tagged ({"event": ..., "polluter": ...}).
+        let logged = entries
+            .iter()
+            .filter(|e| e["polluter"].as_str() == Some(name))
+            .count() as u64;
+        assert_eq!(
+            p["log_entries"].as_u64().unwrap(),
+            logged,
+            "log_entries for {name}"
+        );
+        assert_eq!(p["fires"].as_u64().unwrap(), logged, "fires for {name}");
+    }
+
+    // Stream stage metrics: element counts, latency histogram, and the
+    // watermark high-water mark.
+    let counters = &report["metrics"]["counters"];
+    assert_eq!(
+        counters["stage/02_pollution_pipeline/elements_in"].as_u64(),
+        Some(1059)
+    );
+    assert!(counters["stage/02_pollution_pipeline/elements_out"]
+        .as_u64()
+        .is_some());
+    let latency = &report["metrics"]["histograms"]["stage/02_pollution_pipeline/latency_ns"];
+    assert!(
+        latency["count"].as_u64().is_some(),
+        "latency histogram present"
+    );
+    let hwm = &report["metrics"]["gauges"]["stage/02_pollution_pipeline/watermark_hwm_ms"];
+    assert!(hwm.as_u64().is_some(), "watermark high-water mark present");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn pollute_is_reproducible_per_seed() {
     let dir = temp_dir("repro");
-    icewafl(&["generate", "--dataset", "wearable", "--output", "clean.csv", "--seed", "1"], &dir);
+    icewafl(
+        &[
+            "generate",
+            "--dataset",
+            "wearable",
+            "--output",
+            "clean.csv",
+            "--seed",
+            "1",
+        ],
+        &dir,
+    );
     let cfg = icewafl(&["example-config"], &dir);
     std::fs::write(dir.join("scenario.json"), &cfg.stdout).unwrap();
     let run = |out_name: &str, seed: &str| {
@@ -170,9 +305,19 @@ fn schema_can_be_loaded_from_file() {
     let dir = temp_dir("schemafile");
     // Serialize the wearable schema to a file and use it by path.
     let schema = icewafl::data::wearable::schema();
-    std::fs::write(dir.join("schema.json"), serde_json::to_string(&schema).unwrap()).unwrap();
-    icewafl(&["generate", "--dataset", "wearable", "--output", "clean.csv"], &dir);
-    let out = icewafl(&["profile", "--schema", "schema.json", "--input", "clean.csv"], &dir);
+    std::fs::write(
+        dir.join("schema.json"),
+        serde_json::to_string(&schema).unwrap(),
+    )
+    .unwrap();
+    icewafl(
+        &["generate", "--dataset", "wearable", "--output", "clean.csv"],
+        &dir,
+    );
+    let out = icewafl(
+        &["profile", "--schema", "schema.json", "--input", "clean.csv"],
+        &dir,
+    );
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("CaloriesBurned"));
     let _ = std::fs::remove_dir_all(&dir);

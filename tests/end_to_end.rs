@@ -51,10 +51,15 @@ fn config_json_to_detection_round_trip() {
     // Detection: NULLs via the DQ engine; the ground truth must agree
     // exactly.
     let suite = ExpectationSuite::new("qc").with(ExpectColumnValuesToNotBeNull::new("Temp"));
-    let report = suite.validate(&schema, &out.polluted).expect("validation runs");
+    let report = suite
+        .validate(&schema, &out.polluted)
+        .expect("validation runs");
     let injected_nulls = out.log.counts_by_polluter()["dropouts"];
     assert_eq!(report.total_unexpected(), injected_nulls);
-    assert!((100..=200).contains(&injected_nulls), "≈30% of 500: {injected_nulls}");
+    assert!(
+        (100..=200).contains(&injected_nulls),
+        "≈30% of 500: {injected_nulls}"
+    );
 
     let flipped = out.log.counts_by_polluter()["status-flip"];
     assert!((25..=80).contains(&flipped), "≈10% of 500: {flipped}");
@@ -68,7 +73,10 @@ fn same_seed_reproduces_bitwise() {
         vec![PolluterConfig::Standard {
             name: "noise".into(),
             attributes: vec!["Temp".into()],
-            error: ErrorConfig::GaussianNoise { sigma: 2.0, relative: false },
+            error: ErrorConfig::GaussianNoise {
+                sigma: 2.0,
+                relative: false,
+            },
             condition: ConditionConfig::Probability { p: 0.5 },
             pattern: None,
         }],
@@ -79,7 +87,10 @@ fn same_seed_reproduces_bitwise() {
     };
     let a = run();
     let b = run();
-    assert_eq!(a.polluted, b.polluted, "Algorithm 1 is deterministic under a fixed seed");
+    assert_eq!(
+        a.polluted, b.polluted,
+        "Algorithm 1 is deterministic under a fixed seed"
+    );
     assert_eq!(a.log.entries(), b.log.entries());
 }
 
@@ -124,7 +135,10 @@ fn derived_temporal_error_ramps_detection_counts() {
     let mid = start + Duration::from_hours(hours / 2);
     let early = out.log.entries().iter().filter(|e| e.tau() < mid).count();
     let late = out.log.len() - early;
-    assert!(late > early * 2, "ramping errors: early {early}, late {late}");
+    assert!(
+        late > early * 2,
+        "ramping errors: early {early}, late {late}"
+    );
 }
 
 #[test]
@@ -178,7 +192,10 @@ fn profiler_suite_learned_on_clean_catches_pollution() {
     let pipeline = config.build(&schema).unwrap().pop().unwrap();
     let dirty = pollute_stream(&schema, sensor_stream(400), pipeline).unwrap();
     let report = suite.validate(&schema, &dirty.polluted).unwrap();
-    assert!(!report.success(), "outliers must violate the learned range:\n{report}");
+    assert!(
+        !report.success(),
+        "outliers must violate the learned range:\n{report}"
+    );
 }
 
 #[test]

@@ -20,7 +20,10 @@ mod exp1 {
                 name: "null-distance".into(),
                 attributes: vec!["Distance".into()],
                 error: ErrorConfig::MissingValue,
-                condition: ConditionConfig::Sinusoidal { amplitude: 0.25, offset: 0.25 },
+                condition: ConditionConfig::Sinusoidal {
+                    amplitude: 0.25,
+                    offset: 0.25,
+                },
                 pattern: None,
             }],
         );
@@ -78,7 +81,9 @@ mod exp1 {
                         children: vec![PolluterConfig::Standard {
                             name: "bpm-zero".into(),
                             attributes: vec!["BPM".into()],
-                            error: ErrorConfig::Constant { value: Value::Int(0) },
+                            error: ErrorConfig::Constant {
+                                value: Value::Int(0),
+                            },
                             condition: ConditionConfig::Always,
                             pattern: None,
                         }],
@@ -134,8 +139,14 @@ mod exp1 {
                 .unexpected_count;
         }
         let mean_injected = injected as f64 / 5.0;
-        assert!((10.0..26.0).contains(&mean_injected), "paper expects 17.6: {mean_injected}");
-        assert!(detected as f64 >= 0.9 * injected as f64, "{detected}/{injected}");
+        assert!(
+            (10.0..26.0).contains(&mean_injected),
+            "paper expects 17.6: {mean_injected}"
+        );
+        assert!(
+            detected as f64 >= 0.9 * injected as f64,
+            "{detected}/{injected}"
+        );
     }
 }
 
@@ -147,8 +158,7 @@ mod exp2 {
     #[test]
     fn noise_degrades_forecasts_over_time() {
         let schema = icewafl::data::airquality::schema();
-        let mut tuples =
-            icewafl::data::airquality::generate_station_seeded("Wanliu", 7, 24 * 100);
+        let mut tuples = icewafl::data::airquality::generate_station_seeded("Wanliu", 7, 24 * 100);
         icewafl::data::ffill_bfill(&schema, &mut tuples, "NO2").unwrap();
         let prepared = pollute_stream(&schema, tuples, PollutionPipeline::empty())
             .unwrap()
@@ -169,7 +179,9 @@ mod exp2 {
         );
         let pipeline = config.build(&schema).unwrap().pop().unwrap();
         let eval_tuples: Vec<Tuple> = eval.iter().map(|t| t.tuple.clone()).collect();
-        let noisy = pollute_stream(&schema, eval_tuples, pipeline).unwrap().polluted;
+        let noisy = pollute_stream(&schema, eval_tuples, pipeline)
+            .unwrap()
+            .polluted;
 
         let no2 = schema.require("NO2").unwrap();
         let series = |rows: &[StampedTuple]| -> Vec<f64> {
@@ -198,7 +210,10 @@ mod exp2 {
         let third = errs.len() / 3;
         let early: f64 = errs[..third].iter().sum::<f64>() / third as f64;
         let late: f64 = errs[errs.len() - third..].iter().sum::<f64>() / third as f64;
-        assert!(late > early * 1.3, "MAE must grow: early {early:.2}, late {late:.2}");
+        assert!(
+            late > early * 1.3,
+            "MAE must grow: early {early:.2}, late {late:.2}"
+        );
     }
 }
 
@@ -237,7 +252,10 @@ mod exp3 {
                 name: "null".into(),
                 attributes: vec!["Distance".into()],
                 error: ErrorConfig::MissingValue,
-                condition: ConditionConfig::Sinusoidal { amplitude: 0.25, offset: 0.25 },
+                condition: ConditionConfig::Sinusoidal {
+                    amplitude: 0.25,
+                    offset: 0.25,
+                },
                 pattern: None,
             }],
         );

@@ -1,0 +1,359 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `iter`/`iter_batched`, `Throughput::Elements`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock timer: warm-up, then timed batches until the measurement
+//! budget is spent, reporting the mean and min/max ns per iteration.
+//!
+//! The measurement budget honours `measurement_time(..)`, but can be
+//! globally overridden with the `ICEWAFL_BENCH_MS` environment variable
+//! (per-benchmark budget in milliseconds) to keep CI runs short.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The stub times each routine
+/// invocation individually, so the hint only exists for API parity.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-iteration timing statistics.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+/// The timing engine handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times a routine, running it repeatedly until the budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.run(|| {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed();
+            drop(out);
+            elapsed
+        });
+    }
+
+    /// Times a routine on inputs built by `setup`; setup time excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let elapsed = start.elapsed();
+            drop(out);
+            elapsed
+        });
+    }
+
+    fn run(&mut self, mut timed_once: impl FnMut() -> Duration) {
+        // Warm-up: a few untimed runs, bounded by a slice of the budget.
+        let warmup_budget = self.budget / 10;
+        let warmup_start = Instant::now();
+        for _ in 0..3 {
+            timed_once();
+            if warmup_start.elapsed() > warmup_budget {
+                break;
+            }
+        }
+
+        let mut total_ns = 0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0f64;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while iters == 0 || (start.elapsed() < self.budget && iters < 1_000_000) {
+            let ns = timed_once().as_nanos() as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            iters += 1;
+        }
+        self.stats = Some(Stats {
+            mean_ns: total_ns / iters as f64,
+            min_ns,
+            max_ns,
+            iters,
+        });
+    }
+}
+
+fn budget_from_env(configured: Duration) -> Duration {
+    match std::env::var("ICEWAFL_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(ms) => Duration::from_millis(ms.max(1)),
+        None => configured,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn report(name: &str, stats: &Stats, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{name:<50} time: [{} {} {}]  ({} iters)",
+        format_ns(stats.min_ns),
+        format_ns(stats.mean_ns),
+        format_ns(stats.max_ns),
+        stats.iters
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let elems_per_sec = n as f64 / (stats.mean_ns / 1e9);
+        line.push_str(&format!("  thrpt: {:.0} elem/s", elems_per_sec));
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        let bytes_per_sec = n as f64 / (stats.mean_ns / 1e9);
+        line.push_str(&format!("  thrpt: {:.0} B/s", bytes_per_sec));
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(1),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the target sample count (accepted for API parity).
+    pub fn sample_size(&mut self, size: usize) -> &mut Self {
+        self.sample_size = size;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, budget_from_env(self.measurement_time), None, f);
+        self
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        budget,
+        stats: None,
+    };
+    f(&mut bencher);
+    match &bencher.stats {
+        Some(stats) => report(name, stats, throughput),
+        None => println!("{name:<50} (no measurement recorded)"),
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets this group's measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the target sample count (accepted for API parity).
+    pub fn sample_size(&mut self, _size: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        run_benchmark(
+            &full,
+            budget_from_env(self.measurement_time),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(
+            &full,
+            budget_from_env(self.measurement_time),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimizer from discarding a value (std shim).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_stats() {
+        std::env::set_var("ICEWAFL_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| {
+            b.iter_batched(
+                || (0..10u64).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        std::env::remove_var("ICEWAFL_BENCH_MS");
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

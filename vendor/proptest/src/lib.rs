@@ -1,0 +1,357 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`, integer and float range strategies,
+//! string strategies of the form `"[class]{lo,hi}"`, strategy tuples,
+//! `collection::vec`, `option::of`, and `num::f64::{NORMAL, ANY}`.
+//!
+//! No shrinking: a failing case panics with the deterministic case
+//! number, and the per-test RNG seed is derived from the test name, so
+//! failures reproduce exactly on re-run.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic RNG for a named test.
+#[doc(hidden)]
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Runner configuration; see [`proptest!`]'s `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one input.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// `"[class]{lo,hi}"` string strategies (the only regex form used here).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = rng.random_range(lo..hi + 1);
+        (0..len)
+            .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, counts) = rest.split_once(']')?;
+    let counts = counts.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (start, end) = (chars[i] as u32, chars[i + 2] as u32);
+            for cp in start..=end {
+                alphabet.push(char::from_u32(cp)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec`s of `elem`-generated values, `len.start..len.end` long.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.len.clone());
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A strategy producing `Option`s of an inner strategy's values.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some(inner)` about half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.random_bool(0.5) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Numeric strategies.
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+        use rand::RngExt;
+
+        /// Normal (non-zero, non-subnormal, finite) floats.
+        pub struct Normal;
+        /// Marker strategy instance for normal floats.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let candidate = f64::from_bits(rng.random::<u64>());
+                    if candidate.is_normal() {
+                        return candidate;
+                    }
+                }
+            }
+        }
+
+        /// Any `f64` bit pattern, including NaN and infinities.
+        pub struct Any;
+        /// Marker strategy instance for arbitrary floats.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                f64::from_bits(rng.random::<u64>())
+            }
+        }
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn` runs its body for `cases` random
+/// draws of its `name in strategy` arguments. The `#[test]` attribute
+/// comes from the source, as with real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let __run = || {
+                    $(let $arg = $crate::Strategy::sample(&$strategy, &mut __rng);)+
+                    $body
+                };
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run));
+                if let ::std::result::Result::Err(__panic) = __outcome {
+                    ::std::eprintln!(
+                        "proptest case {}/{} of `{}` failed",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_pattern_parsing() {
+        let (alphabet, lo, hi) = super::parse_class_pattern("[a-c]{0,16}").unwrap();
+        assert_eq!(alphabet, vec!['a', 'b', 'c']);
+        assert_eq!((lo, hi), (0, 16));
+        let (alphabet, _, _) = super::parse_class_pattern("[ -~]{0,20}").unwrap();
+        assert_eq!(alphabet.len(), 95); // all printable ASCII
+        let (alphabet, _, _) = super::parse_class_pattern("[ab]{0,4}").unwrap();
+        assert_eq!(alphabet, vec!['a', 'b']);
+        assert!(super::parse_class_pattern("foo.*").is_none());
+    }
+
+    #[test]
+    fn string_strategy_respects_bounds() {
+        let mut rng = super::rng_for_test("string_strategy_respects_bounds");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z]{2,6}", &mut rng);
+            assert!(s.len() >= 2 && s.len() <= 6, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The harness itself: strategies honour their ranges.
+        #[test]
+        fn ranges_in_bounds(x in -5i64..5, n in 0usize..10, f in -1.0f64..1.0) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(n < 10);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        /// Tuples and collections compose.
+        #[test]
+        fn compound_strategies(
+            pairs in crate::collection::vec((0i64..100, "[ab]{1,3}"), 0..20),
+            maybe in crate::option::of(0u32..10),
+        ) {
+            for (n, s) in &pairs {
+                prop_assert!((0..100).contains(n));
+                prop_assert!(!s.is_empty() && s.len() <= 3);
+            }
+            if let Some(v) = maybe {
+                prop_assert!(v < 10);
+            }
+        }
+
+        /// Float special strategies produce the right categories.
+        #[test]
+        fn float_categories(normal in crate::num::f64::NORMAL, _any in crate::num::f64::ANY) {
+            prop_assert!(normal.is_normal());
+        }
+    }
+}

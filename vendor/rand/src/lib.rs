@@ -1,0 +1,340 @@
+//! Minimal offline stand-in for the `rand` crate (0.10-style API).
+//!
+//! Provides a deterministic, seedable PRNG ([`rngs::StdRng`], a
+//! xoshiro256++ generator seeded via SplitMix64) and the trait surface
+//! the workspace uses: [`SeedableRng`], [`RngCore`], and the extension
+//! trait [`RngExt`] with `random_range` / `random_bool` / `random_iter`.
+//!
+//! The streams differ from the real `rand` crate's `StdRng` (ChaCha12),
+//! but every consumer in this workspace only relies on determinism for a
+//! fixed seed and on uniformity — both of which hold here.
+
+use std::ops::Range;
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64
+    /// (the same convention the real `rand` crate documents).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut state);
+            for (b, s) in chunk.iter_mut().zip(x.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`] / [`RngExt::random_iter`].
+pub trait Random: Sized {
+    /// Draws one uniformly distributed value.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Random for u64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Random for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Random for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` below `bound` via Lemire's multiply-shift with
+/// rejection (unbiased).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low >= bound || low >= low.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let draw = uniform_below(rng, span);
+                ((self.start as $wide).wrapping_add(draw as $wide)) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let draw = uniform_below(rng, span + 1);
+                ((start as $wide).wrapping_add(draw as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let u = f64::random_from(rng);
+        let v = self.start + (self.end - self.start) * u;
+        // Guard against rounding up to the excluded end.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let v: f64 = ((self.start as f64)..(self.end as f64)).sample_from(rng);
+        v as f32
+    }
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform draw from a range, e.g. `rng.random_range(0..10)`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        f64::random_from(self) < p
+    }
+
+    /// One uniform draw of a [`Random`] type.
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// An infinite iterator of uniform draws.
+    fn random_iter<T: Random>(&mut self) -> RandomIter<'_, Self, T> {
+        RandomIter {
+            rng: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Iterator returned by [`RngExt::random_iter`].
+pub struct RandomIter<'a, R: ?Sized, T> {
+    rng: &'a mut R,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<R: RngCore + ?Sized, T: Random> Iterator for RandomIter<'_, R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(T::random_from(self.rng))
+    }
+}
+
+/// Compatibility alias: the pre-0.10 name of [`RngExt`].
+pub use RngExt as Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: i64 = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let y: usize = r.random_range(0..3usize);
+            assert!(y < 3);
+            let f: f64 = r.random_range(0.0..2.0);
+            assert!((0.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_probability_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.random_bool(0.2)).count();
+        assert!((19_000..21_000).contains(&hits), "{hits}");
+        assert!(r.random_bool(1.0));
+        assert!(!r.random_bool(0.0));
+    }
+
+    #[test]
+    fn random_iter_draws() {
+        let mut r = StdRng::seed_from_u64(4);
+        let v: Vec<u32> = r.random_iter().take(3).collect();
+        assert_eq!(v.len(), 3);
+        let mut r2 = StdRng::seed_from_u64(4);
+        let w: Vec<u32> = r2.random_iter().take(3).collect();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn float_mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.random_range(0.0..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    fn inclusive_range() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mut seen = [false; 3];
+        for _ in 0..500 {
+            seen[r.random_range(0..=2usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

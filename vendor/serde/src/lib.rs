@@ -1,0 +1,484 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this stub
+//! round-trips every value through a small JSON-shaped [`Content`] tree:
+//! [`Serialize`] renders a value *to* a `Content`, [`Deserialize`] reads
+//! one back *from* it. The `serde_json` stub then maps `Content` to and
+//! from JSON text. This is slower than real serde but API-compatible for
+//! the subset this workspace uses: `derive(Serialize, Deserialize)` with
+//! the attributes `default`, `default = "path"`, `rename_all =
+//! "snake_case"`, `tag = "..."`, `untagged`, and `transparent`.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate data tree all (de)serialization goes through.
+///
+/// Mirrors the JSON data model, plus [`Content::Missing`] — a marker fed
+/// to [`Deserialize::from_content`] for absent struct fields so that
+/// `Option` fields default to `None` without special-casing in derives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object; insertion-ordered key/value pairs.
+    Map(Vec<(String, Content)>),
+    /// An absent struct field (never produced by parsing JSON).
+    Missing,
+}
+
+impl Content {
+    /// A short name of the content kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+            Content::Missing => "missing field",
+        }
+    }
+}
+
+/// Error produced during (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// The expected/found shape mismatch error.
+    pub fn unexpected(expected: &str, found: &Content) -> Self {
+        Error(format!("expected {expected}, found {}", found.kind()))
+    }
+
+    /// Contextualizes this error with the field it occurred at.
+    pub fn in_field(self, field: &str) -> Self {
+        Error(format!("field `{field}`: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value renderable to a [`Content`] tree.
+pub trait Serialize {
+    /// Renders this value.
+    fn to_content(&self) -> Content;
+}
+
+/// A value readable back from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reads a value, or explains why the content does not fit.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let wide = match content {
+                    Content::I64(i) => *i,
+                    Content::U64(u) => {
+                        i64::try_from(*u).map_err(|_| Error::custom("integer overflow"))?
+                    }
+                    other => return Err(Error::unexpected("an integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!("{wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(i) => Content::I64(i),
+                    Err(_) => Content::U64(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let wide = match content {
+                    Content::U64(u) => *u,
+                    Content::I64(i) => {
+                        u64::try_from(*i).map_err(|_| Error::custom("negative integer"))?
+                    }
+                    other => return Err(Error::unexpected("an unsigned integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!("{wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::F64(f) => Ok(*f as $t),
+                    Content::I64(i) => Ok(*i as $t),
+                    Content::U64(u) => Ok(*u as $t),
+                    other => Err(Error::unexpected("a number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+// ----------------------------------------------------------- other scalars
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::unexpected("a boolean", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::unexpected("a string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::unexpected("a single-character string", other)),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null | Content::Missing => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::unexpected("an array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+#[cfg(feature = "rc")]
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+#[cfg(feature = "rc")]
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(std::sync::Arc::new)
+    }
+}
+
+#[cfg(feature = "rc")]
+impl<T: Serialize> Serialize for std::rc::Rc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+#[cfg(feature = "rc")]
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(std::rc::Rc::new)
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("an object", other)),
+        }
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output; HashMap iteration order is not.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("an object", other)),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+/// Support machinery for derive-generated code. Not a stable API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Content, Deserialize, Error};
+
+    /// Views content as an object, for struct deserialization.
+    pub fn as_map<'c>(
+        content: &'c Content,
+        type_name: &str,
+    ) -> Result<&'c [(String, Content)], Error> {
+        match content {
+            Content::Map(entries) => Ok(entries),
+            other => Err(Error::custom(format!(
+                "expected {type_name} object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up a field by key.
+    pub fn get<'c>(map: &'c [(String, Content)], key: &str) -> Option<&'c Content> {
+        map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Deserializes a struct field; absent fields see [`Content::Missing`]
+    /// (so `Option` fields fall back to `None`).
+    pub fn field<T: Deserialize>(map: &[(String, Content)], key: &str) -> Result<T, Error> {
+        let content = get(map, key).unwrap_or(&Content::Missing);
+        T::from_content(content).map_err(|e| e.in_field(key))
+    }
+
+    /// Deserializes a struct field with an explicit fallback for absence.
+    pub fn field_or<T: Deserialize>(
+        map: &[(String, Content)],
+        key: &str,
+        fallback: impl FnOnce() -> T,
+    ) -> Result<T, Error> {
+        match get(map, key) {
+            Some(content) => T::from_content(content).map_err(|e| e.in_field(key)),
+            None => Ok(fallback()),
+        }
+    }
+
+    /// `true` for `null` content — used by untagged unit variants.
+    pub fn is_null(content: &Content) -> bool {
+        matches!(content, Content::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_none_from_missing_and_null() {
+        assert_eq!(
+            <Option<i64>>::from_content(&Content::Missing).unwrap(),
+            None
+        );
+        assert_eq!(<Option<i64>>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            <Option<i64>>::from_content(&Content::I64(3)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+        assert!(u8::from_content(&Content::I64(300)).is_err());
+        assert_eq!(u64::from_content(&Content::I64(7)).unwrap(), 7);
+        assert_eq!(i64::from_content(&Content::U64(7)).unwrap(), 7);
+        assert!(i64::from_content(&Content::U64(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn float_accepts_integers() {
+        assert_eq!(f64::from_content(&Content::I64(3)).unwrap(), 3.0);
+        assert_eq!(f64::from_content(&Content::F64(2.5)).unwrap(), 2.5);
+        assert!(f64::from_content(&Content::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let v = vec![1i64, 2, 3];
+        let c = v.to_content();
+        assert_eq!(Vec::<i64>::from_content(&c).unwrap(), v);
+    }
+
+    #[test]
+    fn field_helpers() {
+        let map = vec![
+            ("a".to_string(), Content::I64(1)),
+            ("b".to_string(), Content::Str("x".into())),
+        ];
+        let a: i64 = __private::field(&map, "a").unwrap();
+        assert_eq!(a, 1);
+        let missing: Option<i64> = __private::field(&map, "zzz").unwrap();
+        assert_eq!(missing, None);
+        let defaulted: i64 = __private::field_or(&map, "zzz", || 9).unwrap();
+        assert_eq!(defaulted, 9);
+        let err = __private::field::<i64>(&map, "b").unwrap_err();
+        assert!(err.to_string().contains("field `b`"), "{err}");
+    }
+}

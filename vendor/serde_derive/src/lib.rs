@@ -1,0 +1,732 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Derives the Content-tree `Serialize`/`Deserialize` traits of the
+//! vendored `serde` stub. Implemented directly on `proc_macro` token
+//! trees (no `syn`/`quote` in the offline container); the generated impl
+//! is assembled as source text and re-parsed.
+//!
+//! Supported shapes — exactly what this workspace declares:
+//! - structs with named fields; field attrs `#[serde(default)]` and
+//!   `#[serde(default = "path")]`
+//! - tuple structs (newtype semantics for arity 1, incl. `transparent`)
+//! - enums: externally tagged (default), internally tagged
+//!   (`#[serde(tag = "...")]`), and `#[serde(untagged)]`, with
+//!   `rename_all = "snake_case"`, unit/newtype/struct variants
+//!
+//! Generics, lifetimes, and the rest of serde's attribute surface are
+//! rejected with a compile error rather than silently mis-handled.
+
+// The generated impls are assembled as source text; single-char pushes
+// and embedded newlines in `write!` are deliberate there.
+#![allow(clippy::single_char_add_str, clippy::write_with_newline)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let source = match parse_input(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("::std::compile_error!({msg:?});"),
+    };
+    source.parse().expect("derive generated invalid Rust")
+}
+
+// ------------------------------------------------------------------ model
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    untagged: bool,
+    transparent: bool,
+    snake_case: bool,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    default: Option<FieldDefault>,
+}
+
+enum FieldDefault {
+    Std,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+impl Variant {
+    /// The on-the-wire variant name.
+    fn wire(&self, attrs: &ContainerAttrs) -> String {
+        if attrs.snake_case {
+            snake_case(&self.name)
+        } else {
+            self.name.clone()
+        }
+    }
+}
+
+fn snake_case(s: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if ch.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- parsing
+
+type ParseResult<T> = Result<T, String>;
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> ParseResult<String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("serde derive: expected {what}, found {other:?}")),
+        }
+    }
+
+    fn expect_punct(&mut self, ch: char) -> ParseResult<()> {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ch => Ok(()),
+            other => Err(format!("serde derive: expected `{ch}`, found {other:?}")),
+        }
+    }
+
+    /// Consumes `#[...]` attributes, returning the serde items found.
+    fn parse_attrs(&mut self) -> ParseResult<Vec<(String, Option<String>)>> {
+        let mut items = Vec::new();
+        while self.is_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => return Err(format!("serde derive: malformed attribute at {other:?}")),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.is_ident("serde") {
+                inner.next();
+                let args = match inner.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                    other => return Err(format!("serde derive: malformed #[serde] at {other:?}")),
+                };
+                items.extend(parse_serde_items(Cursor::new(args.stream()))?);
+            }
+        }
+        Ok(items)
+    }
+
+    /// Consumes `pub`, `pub(crate)`, etc.
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips a type (or any token run) up to a top-level `,`, tracking
+    /// angle-bracket depth so `Map<K, V>` commas don't terminate early.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_items(mut cur: Cursor) -> ParseResult<Vec<(String, Option<String>)>> {
+    let mut items = Vec::new();
+    while !cur.at_end() {
+        let key = cur.expect_ident("a serde attribute name")?;
+        let mut value = None;
+        if cur.is_punct('=') {
+            cur.next();
+            match cur.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    let text = lit.to_string();
+                    let stripped = text
+                        .strip_prefix('"')
+                        .and_then(|t| t.strip_suffix('"'))
+                        .ok_or_else(|| {
+                            format!("serde derive: expected string literal for `{key}`")
+                        })?;
+                    value = Some(stripped.to_string());
+                }
+                other => {
+                    return Err(format!(
+                        "serde derive: expected literal for `{key}`, found {other:?}"
+                    ))
+                }
+            }
+        }
+        items.push((key, value));
+        if cur.is_punct(',') {
+            cur.next();
+        }
+    }
+    Ok(items)
+}
+
+fn container_attrs(items: &[(String, Option<String>)]) -> ParseResult<ContainerAttrs> {
+    let mut attrs = ContainerAttrs::default();
+    for (key, value) in items {
+        match (key.as_str(), value) {
+            ("tag", Some(v)) => attrs.tag = Some(v.clone()),
+            ("untagged", None) => attrs.untagged = true,
+            ("transparent", None) => attrs.transparent = true,
+            ("rename_all", Some(v)) if v == "snake_case" => attrs.snake_case = true,
+            ("rename_all", Some(v)) => {
+                return Err(format!("serde derive: unsupported rename_all = {v:?}"))
+            }
+            ("deny_unknown_fields", None) | ("crate", Some(_)) => {}
+            other => {
+                return Err(format!(
+                    "serde derive: unsupported container attr {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(attrs)
+}
+
+fn parse_input(input: TokenStream) -> ParseResult<Item> {
+    let mut cur = Cursor::new(input);
+    let attr_items = cur.parse_attrs()?;
+    let attrs = container_attrs(&attr_items)?;
+    cur.skip_visibility();
+    let kw = cur.expect_ident("`struct` or `enum`")?;
+    let name = cur.expect_ident("a type name")?;
+    if cur.is_punct('<') {
+        return Err("serde derive: generic types are not supported by the vendored serde".into());
+    }
+    let data = match (kw.as_str(), cur.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::Struct(Fields::Named(parse_named_fields(Cursor::new(g.stream()))?))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Data::Struct(Fields::Tuple(tuple_arity(Cursor::new(g.stream()))))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::Enum(parse_variants(Cursor::new(g.stream()))?)
+        }
+        (kw, other) => {
+            return Err(format!(
+                "serde derive: unsupported item `{kw}` with body {other:?}"
+            ))
+        }
+    };
+    Ok(Item { name, attrs, data })
+}
+
+fn parse_named_fields(mut cur: Cursor) -> ParseResult<Vec<Field>> {
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attr_items = cur.parse_attrs()?;
+        cur.skip_visibility();
+        let name = cur.expect_ident("a field name")?;
+        cur.expect_punct(':')?;
+        cur.skip_until_top_level_comma();
+        let mut default = None;
+        for (key, value) in &attr_items {
+            match (key.as_str(), value) {
+                ("default", None) => default = Some(FieldDefault::Std),
+                ("default", Some(path)) => default = Some(FieldDefault::Path(path.clone())),
+                other => return Err(format!("serde derive: unsupported field attr {other:?}")),
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn tuple_arity(mut cur: Cursor) -> usize {
+    let mut arity = 0;
+    while !cur.at_end() {
+        arity += 1;
+        cur.skip_until_top_level_comma();
+    }
+    arity
+}
+
+fn parse_variants(mut cur: Cursor) -> ParseResult<Vec<Variant>> {
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.parse_attrs()?; // variant-level serde attrs unsupported; #[default] etc. skipped
+        let name = cur.expect_ident("a variant name")?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(Cursor::new(g.stream()))?;
+                cur.next();
+                Fields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(Cursor::new(g.stream()));
+                cur.next();
+                Fields::Tuple(arity)
+            }
+            _ => Fields::Unit,
+        };
+        if cur.is_punct('=') {
+            return Err("serde derive: explicit discriminants are not supported".into());
+        }
+        if cur.is_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+const HEADER: &str = "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.data {
+        Data::Struct(Fields::Named(fields)) => {
+            if item.attrs.transparent {
+                let f = &fields[0].name;
+                let _ = write!(body, "::serde::Serialize::to_content(&self.{f})");
+            } else {
+                body.push_str(&named_fields_map("self.", fields));
+            }
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            body.push_str("::serde::Serialize::to_content(&self.0)");
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            body.push_str("::serde::Content::Seq(::std::vec![");
+            for i in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_content(&self.{i}),");
+            }
+            body.push_str("])");
+        }
+        Data::Struct(Fields::Unit) => {
+            body.push_str("::serde::Content::Null");
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                body.push_str(&gen_variant_serialize(name, v, &item.attrs));
+            }
+            body.push_str("}");
+        }
+    }
+    format!(
+        "{HEADER}impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// `Content::Map(vec![("a", to_content(&PREFIXa)), ...])` for named fields.
+fn named_fields_map(prefix: &str, fields: &[Field]) -> String {
+    let mut out = String::from("::serde::Content::Map(::std::vec![");
+    for f in fields {
+        let fname = &f.name;
+        let _ = write!(
+            out,
+            "(::std::string::String::from({fname:?}), \
+             ::serde::Serialize::to_content(&{prefix}{fname})),"
+        );
+    }
+    out.push_str("])");
+    out
+}
+
+fn gen_variant_serialize(name: &str, v: &Variant, attrs: &ContainerAttrs) -> String {
+    let vname = &v.name;
+    let wire = v.wire(attrs);
+    let tagged = attrs.tag.as_deref();
+    match &v.fields {
+        Fields::Unit => {
+            let value = if attrs.untagged {
+                "::serde::Content::Null".to_string()
+            } else if let Some(tag) = tagged {
+                format!(
+                    "::serde::Content::Map(::std::vec![(::std::string::String::from({tag:?}), \
+                     ::serde::Content::Str(::std::string::String::from({wire:?})))])"
+                )
+            } else {
+                format!("::serde::Content::Str(::std::string::String::from({wire:?}))")
+            };
+            format!("{name}::{vname} => {value},\n")
+        }
+        Fields::Tuple(1) => {
+            let inner = "::serde::Serialize::to_content(__f0)".to_string();
+            let value = if attrs.untagged {
+                inner
+            } else if tagged.is_some() {
+                return format!(
+                    "{name}::{vname}(_) => ::std::compile_error!(\"internally tagged newtype \
+                     variants are not supported by the vendored serde\"),\n"
+                );
+            } else {
+                format!(
+                    "::serde::Content::Map(::std::vec![(::std::string::String::from({wire:?}), \
+                     {inner})])"
+                )
+            };
+            format!("{name}::{vname}(__f0) => {value},\n")
+        }
+        Fields::Tuple(_) => format!(
+            "{name}::{vname}(..) => ::std::compile_error!(\"multi-field tuple variants are not \
+             supported by the vendored serde\"),\n"
+        ),
+        Fields::Named(fields) => {
+            let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+            let pattern = format!("{name}::{vname} {{ {} }}", bindings.join(", "));
+            let mut map = String::from("::serde::Content::Map(::std::vec![");
+            if let Some(tag) = tagged {
+                let _ = write!(
+                    map,
+                    "(::std::string::String::from({tag:?}), \
+                     ::serde::Content::Str(::std::string::String::from({wire:?}))),"
+                );
+            }
+            for f in fields {
+                let fname = &f.name;
+                let _ = write!(
+                    map,
+                    "(::std::string::String::from({fname:?}), \
+                     ::serde::Serialize::to_content({fname})),"
+                );
+            }
+            map.push_str("])");
+            let value = if attrs.untagged || tagged.is_some() {
+                map
+            } else {
+                // Externally tagged struct variant: {"variant": {fields}}.
+                format!(
+                    "::serde::Content::Map(::std::vec![(::std::string::String::from({wire:?}), \
+                     {map})])"
+                )
+            };
+            format!("{pattern} => {value},\n")
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Named(fields)) => {
+            if item.attrs.transparent {
+                let f = &fields[0].name;
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: \
+                     ::serde::Deserialize::from_content(__content)? }})"
+                )
+            } else {
+                format!(
+                    "let __map = ::serde::__private::as_map(__content, {name:?})?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    named_fields_build(fields)
+                )
+            }
+        }
+        Data::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__content)?))"
+        ),
+        Data::Struct(Fields::Tuple(n)) => {
+            let mut build = format!(
+                "let __seq = match __content {{\n\
+                 ::serde::Content::Seq(__items) if __items.len() == {n} => __items,\n\
+                 __other => return ::std::result::Result::Err(\
+                 ::serde::Error::unexpected(\"an array of {n} elements\", __other)),\n}};\n"
+            );
+            let _ = write!(build, "::std::result::Result::Ok({name}(");
+            for i in 0..*n {
+                let _ = write!(build, "::serde::Deserialize::from_content(&__seq[{i}])?,");
+            }
+            build.push_str("))");
+            build
+        }
+        Data::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            if item.attrs.untagged {
+                gen_untagged_deserialize(name, variants)
+            } else if let Some(tag) = item.attrs.tag.clone() {
+                gen_tagged_deserialize(name, variants, &tag, &item.attrs)
+            } else {
+                gen_external_deserialize(name, variants, &item.attrs)
+            }
+        }
+    };
+    format!(
+        "{HEADER}impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__content: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// `a: field(__map, "a")?, b: field_or(__map, "b", path)?, ...`
+fn named_fields_build(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        match &f.default {
+            None => {
+                let _ = write!(
+                    out,
+                    "{fname}: ::serde::__private::field(__map, {fname:?})?,"
+                );
+            }
+            Some(FieldDefault::Std) => {
+                let _ = write!(
+                    out,
+                    "{fname}: ::serde::__private::field_or(__map, {fname:?}, \
+                     ::std::default::Default::default)?,"
+                );
+            }
+            Some(FieldDefault::Path(path)) => {
+                let _ = write!(
+                    out,
+                    "{fname}: ::serde::__private::field_or(__map, {fname:?}, {path})?,"
+                );
+            }
+        }
+    }
+    out
+}
+
+fn gen_untagged_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    out,
+                    "if ::serde::__private::is_null(__content) \
+                     {{ return ::std::result::Result::Ok({name}::{vname}); }}\n"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    out,
+                    "if let ::std::result::Result::Ok(__v) = \
+                     ::serde::Deserialize::from_content(__content) \
+                     {{ return ::std::result::Result::Ok({name}::{vname}(__v)); }}\n"
+                );
+            }
+            Fields::Tuple(_) => {
+                let _ = write!(
+                    out,
+                    "::std::compile_error!(\"multi-field tuple variants are not supported by \
+                     the vendored serde\");\n"
+                );
+            }
+            Fields::Named(fields) => {
+                let _ = write!(
+                    out,
+                    "if let ::serde::Content::Map(__map) = __content {{\n\
+                     let __try = || -> ::std::result::Result<{name}, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\n}};\n\
+                     if let ::std::result::Result::Ok(__v) = __try() \
+                     {{ return ::std::result::Result::Ok(__v); }}\n}}\n",
+                    named_fields_build(fields)
+                );
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "::std::result::Result::Err(::serde::Error::custom(\
+         \"data did not match any variant of {name}\"))"
+    );
+    out
+}
+
+fn gen_tagged_deserialize(
+    name: &str,
+    variants: &[Variant],
+    tag: &str,
+    attrs: &ContainerAttrs,
+) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = v.wire(attrs);
+        match &v.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    arms,
+                    "{wire:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                );
+            }
+            Fields::Named(fields) => {
+                let _ = write!(
+                    arms,
+                    "{wire:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                    named_fields_build(fields)
+                );
+            }
+            Fields::Tuple(_) => {
+                let _ = write!(
+                    arms,
+                    "{wire:?} => ::std::compile_error!(\"internally tagged tuple variants are \
+                     not supported by the vendored serde\"),\n"
+                );
+            }
+        }
+    }
+    format!(
+        "let __map = ::serde::__private::as_map(__content, {name:?})?;\n\
+         let __tag = match ::serde::__private::get(__map, {tag:?}) {{\n\
+         ::std::option::Option::Some(::serde::Content::Str(__s)) => __s.as_str(),\n\
+         _ => return ::std::result::Result::Err(::serde::Error::custom(\
+         \"missing or non-string tag `{tag}` for {name}\")),\n}};\n\
+         match __tag {{\n{arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}}"
+    )
+}
+
+fn gen_external_deserialize(name: &str, variants: &[Variant], attrs: &ContainerAttrs) -> String {
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = v.wire(attrs);
+        match &v.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    unit_arms,
+                    "{wire:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    keyed_arms,
+                    "{wire:?} => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_content(__value)?)),\n"
+                );
+            }
+            Fields::Tuple(_) => {
+                let _ = write!(
+                    keyed_arms,
+                    "{wire:?} => ::std::compile_error!(\"multi-field tuple variants are not \
+                     supported by the vendored serde\"),\n"
+                );
+            }
+            Fields::Named(fields) => {
+                let _ = write!(
+                    keyed_arms,
+                    "{wire:?} => {{\n\
+                     let __map = ::serde::__private::as_map(__value, {name:?})?;\n\
+                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\n}}\n",
+                    named_fields_build(fields)
+                );
+            }
+        }
+    }
+    format!(
+        "match __content {{\n\
+         ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+         ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+         let (__key, __value) = &__entries[0];\n\
+         match __key.as_str() {{\n{keyed_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}}\n\
+         __other => ::std::result::Result::Err(\
+         ::serde::Error::unexpected(\"a {name} variant\", __other)),\n}}"
+    )
+}
