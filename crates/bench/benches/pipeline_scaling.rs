@@ -73,6 +73,8 @@ fn bench_substream_count(c: &mut Criterion) {
             pipelines: (0..m)
                 .map(|i| vec![noise_polluter(format!("m{i}"))])
                 .collect(),
+            supervision: None,
+            chaos: None,
         };
         group.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {
             b.iter_batched(
@@ -99,6 +101,8 @@ fn bench_parallelism(c: &mut Criterion) {
         pipelines: (0..4)
             .map(|i| vec![noise_polluter(format!("m{i}"))])
             .collect(),
+        supervision: None,
+        chaos: None,
     };
     let mut group = c.benchmark_group("substream_parallelism");
     group.measurement_time(Duration::from_secs(4));

@@ -22,7 +22,8 @@ fn bench_operator_chain(c: &mut Criterion) {
                         .map(|x| x * 3)
                         .filter(|x| x % 2 == 0)
                         .map(|x| x + 1)
-                        .count(),
+                        .count()
+                        .unwrap(),
                 )
             },
             BatchSize::LargeInput,
@@ -37,7 +38,8 @@ fn bench_operator_chain(c: &mut Criterion) {
                         .map(|x| x * 3)
                         .pipelined(1024)
                         .map(|x| x + 1)
-                        .count(),
+                        .count()
+                        .unwrap(),
                 )
             },
             BatchSize::LargeInput,
@@ -69,7 +71,8 @@ fn bench_sorter(c: &mut Criterion) {
                 black_box(
                     DataStream::from_source(src, strategy)
                         .sort_by_event_time(|x| Timestamp(*x))
-                        .count(),
+                        .count()
+                        .unwrap(),
                 )
             },
             BatchSize::LargeInput,
@@ -94,7 +97,8 @@ fn bench_union(c: &mut Criterion) {
                             vec![DataStream::from_vec(a), DataStream::from_vec(bv)],
                             parallel,
                         )
-                        .count(),
+                        .count()
+                        .unwrap(),
                     )
                 },
                 BatchSize::LargeInput,

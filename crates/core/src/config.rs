@@ -35,11 +35,13 @@ use crate::pipeline::{CompositePolluter, OneOfPolluter, PollutionPipeline};
 use crate::polluter::{BoxPolluter, StandardPolluter};
 use crate::rng::{ComponentPath, SeedFactory};
 use crate::temporal::{DelayPolluter, DropPolluter, DuplicatePolluter, FreezePolluter};
+use icewafl_stream::chaos::ChaosConfig;
+use icewafl_stream::supervisor::SupervisorPolicy;
 use icewafl_types::{parse_timestamp, Duration, Error, Result, Schema, Value};
 use serde::{Deserialize, Serialize};
 
 /// Root configuration: a master seed and `m` pipelines (one per
-/// sub-stream).
+/// sub-stream), plus optional fault-tolerance sections.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct JobConfig {
     /// Master seed; all component RNGs derive from it.
@@ -47,6 +49,12 @@ pub struct JobConfig {
     pub seed: u64,
     /// One polluter list per sub-stream pipeline.
     pub pipelines: Vec<Vec<PolluterConfig>>,
+    /// Supervised-retry policy (absent = fail-fast, no retries).
+    #[serde(default)]
+    pub supervision: Option<SupervisionConfig>,
+    /// Runtime fault injection for chaos testing (absent = disabled).
+    #[serde(default)]
+    pub chaos: Option<ChaosSectionConfig>,
 }
 
 impl JobConfig {
@@ -55,6 +63,8 @@ impl JobConfig {
         JobConfig {
             seed,
             pipelines: vec![polluters],
+            supervision: None,
+            chaos: None,
         }
     }
 
@@ -85,6 +95,136 @@ impl JobConfig {
                 Ok(PollutionPipeline::new(built?))
             })
             .collect()
+    }
+
+    /// Applies the optional `supervision` / `chaos` sections to a job.
+    /// Both derive their RNG seeds from the master seed, so a config is
+    /// fully reproducible including its injected faults.
+    pub fn configure_job(
+        &self,
+        mut job: crate::runner::PollutionJob,
+    ) -> crate::runner::PollutionJob {
+        if let Some(supervision) = &self.supervision {
+            job = job.with_supervision(supervision.to_policy(self.seed));
+        }
+        if let Some(chaos) = &self.chaos {
+            job = job.with_chaos(chaos.to_chaos(self.seed));
+        }
+        job
+    }
+}
+
+/// Serializable supervised-retry policy (`JobConfig::supervision`).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SupervisionConfig {
+    /// Retries allowed per stage before the failure becomes final.
+    #[serde(default)]
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds; doubles each
+    /// retry.
+    #[serde(default = "default_backoff_base_ms")]
+    pub backoff_base_ms: u64,
+    /// Upper bound on the (pre-jitter) backoff, in milliseconds.
+    #[serde(default = "default_backoff_max_ms")]
+    pub backoff_max_ms: u64,
+    /// Retry immediately with no jitter (deterministic mode).
+    #[serde(default)]
+    pub deterministic: bool,
+    /// Wall-clock budget for the whole supervised run, in milliseconds.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        let base = SupervisorPolicy::default();
+        SupervisionConfig {
+            max_retries: base.max_retries,
+            backoff_base_ms: base.backoff_base.as_millis() as u64,
+            backoff_max_ms: base.backoff_max.as_millis() as u64,
+            deterministic: base.deterministic,
+            deadline_ms: None,
+        }
+    }
+}
+
+fn default_backoff_base_ms() -> u64 {
+    SupervisorPolicy::default().backoff_base.as_millis() as u64
+}
+
+fn default_backoff_max_ms() -> u64 {
+    SupervisorPolicy::default().backoff_max.as_millis() as u64
+}
+
+impl SupervisionConfig {
+    /// Builds the runtime policy; jitter derives from the master seed.
+    pub fn to_policy(&self, seed: u64) -> SupervisorPolicy {
+        SupervisorPolicy {
+            max_retries: self.max_retries,
+            backoff_base: std::time::Duration::from_millis(self.backoff_base_ms),
+            backoff_max: std::time::Duration::from_millis(self.backoff_max_ms),
+            deterministic: self.deterministic,
+            deadline: self.deadline_ms.map(std::time::Duration::from_millis),
+            seed,
+        }
+    }
+}
+
+/// Serializable chaos-injection rates (`JobConfig::chaos`). All rates
+/// are per-record probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ChaosSectionConfig {
+    /// Probability that processing a record panics.
+    #[serde(default)]
+    pub panic_rate: f64,
+    /// Cap on injected panics, shared across supervised retries
+    /// (`None` = unbounded). A budget of 1 models a transient fault.
+    #[serde(default)]
+    pub panic_budget: Option<u64>,
+    /// Probability that processing a record sleeps for `delay_ms`.
+    #[serde(default)]
+    pub delay_rate: f64,
+    /// Injected delay duration, in milliseconds.
+    #[serde(default = "one_u64")]
+    pub delay_ms: u64,
+    /// Probability that a record is dropped in flight.
+    #[serde(default)]
+    pub drop_rate: f64,
+    /// Probability that a record's values are overwritten with NULLs.
+    #[serde(default)]
+    pub malform_rate: f64,
+}
+
+impl Default for ChaosSectionConfig {
+    fn default() -> Self {
+        ChaosSectionConfig {
+            panic_rate: 0.0,
+            panic_budget: None,
+            delay_rate: 0.0,
+            delay_ms: 1,
+            drop_rate: 0.0,
+            malform_rate: 0.0,
+        }
+    }
+}
+
+fn one_u64() -> u64 {
+    1
+}
+
+impl ChaosSectionConfig {
+    /// Builds the runtime chaos config; the injector RNG derives from
+    /// the master seed.
+    pub fn to_chaos(&self, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            panic_rate: self.panic_rate,
+            panic_budget: self.panic_budget,
+            delay_rate: self.delay_rate,
+            delay_ms: self.delay_ms,
+            drop_rate: self.drop_rate,
+            malform_rate: self.malform_rate,
+        }
     }
 }
 
@@ -961,6 +1101,45 @@ mod tests {
     }
 
     #[test]
+    fn supervision_and_chaos_sections_parse_with_defaults() {
+        let json = r#"{
+            "seed": 11,
+            "pipelines": [[]],
+            "supervision": { "max_retries": 3, "deterministic": true, "deadline_ms": 5000 },
+            "chaos": { "panic_rate": 0.01, "panic_budget": 1, "drop_rate": 0.5 }
+        }"#;
+        let cfg = JobConfig::from_json(json).unwrap();
+        let policy = cfg.supervision.as_ref().unwrap().to_policy(cfg.seed);
+        assert_eq!(policy.max_retries, 3);
+        assert!(policy.deterministic);
+        assert_eq!(policy.deadline, Some(std::time::Duration::from_secs(5)));
+        assert_eq!(policy.seed, 11);
+        // Omitted fields fall back to the policy defaults.
+        assert_eq!(
+            policy.backoff_base,
+            SupervisorPolicy::default().backoff_base
+        );
+        let chaos = cfg.chaos.as_ref().unwrap().to_chaos(cfg.seed);
+        assert!(chaos.is_valid());
+        assert_eq!(chaos.seed, 11);
+        assert_eq!(chaos.panic_budget, Some(1));
+        assert_eq!(chaos.delay_ms, 1, "default delay");
+        assert_eq!(chaos.malform_rate, 0.0);
+    }
+
+    #[test]
+    fn absent_fault_sections_round_trip_and_old_configs_parse() {
+        let cfg = JobConfig::single(1, vec![]);
+        let back = JobConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
+        // Configs written before the fault sections existed still parse.
+        let old = r#"{ "seed": 2, "pipelines": [[]] }"#;
+        let back = JobConfig::from_json(old).unwrap();
+        assert!(back.supervision.is_none());
+        assert!(back.chaos.is_none());
+    }
+
+    #[test]
     fn propagation_config_builds_and_cascades() {
         // Trigger: Distance gets nulled at p=0.2; consequent: BPM scaled
         // to 0.5 for the following minute.
@@ -1076,6 +1255,8 @@ mod tests {
                     duration_ms: 600_000,
                 },
             ]],
+            supervision: None,
+            chaos: None,
         };
         let mut pipelines = cfg.build(&schema()).unwrap();
         let out = pollute_stream(&schema(), stream(2000), pipelines.pop().unwrap()).unwrap();

@@ -214,7 +214,7 @@ mod proptests {
                     condition: ConditionConfig::Probability { p: 0.1 },
                     copies: 2,
                 },
-            ]]};
+            ]], supervision: None, chaos: None };
             let pipeline = cfg.build(&schema()).unwrap().pop().unwrap();
             let out = pollute_stream(&schema(), stream(n), pipeline).unwrap();
             let dropped = out.log.counts_by_polluter().get("drop").copied().unwrap_or(0);

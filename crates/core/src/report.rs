@@ -26,6 +26,10 @@ pub struct RunReport {
     /// Whether metric collection was compiled in (`obs` feature). When
     /// `false`, every count below reads 0.
     pub metrics_compiled_in: bool,
+    /// Supervised restarts consumed before the run succeeded (0 for
+    /// unsupervised runs and runs that succeed on the first attempt).
+    #[serde(default)]
+    pub restarts: u64,
     /// Per-polluter statistics, in pipeline order.
     pub polluters: Vec<PolluterStatsSnapshot>,
     /// Per-stage / per-channel stream metrics.
@@ -59,6 +63,9 @@ impl RunReport {
                 " (logging disabled)"
             },
         ));
+        if self.restarts > 0 {
+            s.push_str(&format!("supervised restarts: {}\n", self.restarts));
+        }
         if !self.metrics_compiled_in {
             s.push_str("(metrics compiled out: obs feature disabled)\n");
         }
@@ -113,6 +120,7 @@ mod tests {
             log_entries: 4,
             logging_enabled: true,
             metrics_compiled_in: true,
+            restarts: 0,
             polluters: vec![PolluterStatsSnapshot {
                 name: "missing".into(),
                 fires: 4,
@@ -142,5 +150,19 @@ mod tests {
         assert!(text.contains("10 in -> 9 out"));
         assert!(text.contains("missing"));
         assert!(text.contains("fires=4"));
+        assert!(!text.contains("restarts"), "zero restarts stay silent");
+    }
+
+    #[test]
+    fn render_reports_restarts_and_old_json_defaults_to_zero() {
+        let mut report = sample();
+        report.restarts = 2;
+        assert!(report.render().contains("supervised restarts: 2"));
+        // Reports serialized before the field existed still deserialize.
+        let old = r#"{"tuples_in":1,"tuples_out":1,"log_entries":0,
+            "logging_enabled":true,"metrics_compiled_in":false,
+            "polluters":[],"metrics":{"counters":{},"gauges":{},"histograms":{}}}"#;
+        let back: RunReport = serde_json::from_str(old).unwrap();
+        assert_eq!(back.restarts, 0);
     }
 }

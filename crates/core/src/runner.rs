@@ -12,12 +12,17 @@ use crate::prepare::PrepareOperator;
 use crate::report::RunReport;
 use crate::stats::PolluterStatsHandle;
 use icewafl_obs::MetricsRegistry;
+use icewafl_stream::chaos::{install_quiet_panic_hook, ChaosConfig, ChaosOperator};
+use icewafl_stream::metrics::ChaosMetrics;
 use icewafl_stream::prelude::*;
+use icewafl_stream::supervisor::{Supervisor, SupervisorPolicy};
 use icewafl_stream::SubPipelineBuilder;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use std::time::Instant;
 
 use icewafl_types::{Result, Schema, StampedTuple, Timestamp, Tuple};
 
@@ -136,6 +141,7 @@ impl Operator<StampedTuple, StampedTuple> for PipelineOperator {
 
 /// The result of a pollution run: the clean stream, the dirty stream,
 /// and the ground-truth log.
+#[derive(Debug)]
 pub struct PollutionOutput {
     /// The prepared clean stream `D` (ids and `τ` assigned, values
     /// untouched).
@@ -161,6 +167,10 @@ pub struct PollutionJob {
     parallel: bool,
     /// Record ground truth (disable for overhead benchmarks).
     logging: bool,
+    /// Restart policy consulted by [`PollutionJob::run_supervised`].
+    supervision: SupervisorPolicy,
+    /// Runtime fault injection (`None` = disabled).
+    chaos: Option<ChaosConfig>,
 }
 
 impl PollutionJob {
@@ -172,6 +182,8 @@ impl PollutionJob {
             watermark_period: 64,
             parallel: false,
             logging: true,
+            supervision: SupervisorPolicy::default(),
+            chaos: None,
         }
     }
 
@@ -200,21 +212,129 @@ impl PollutionJob {
         self
     }
 
+    /// Sets the restart policy for [`PollutionJob::run_supervised`].
+    pub fn with_supervision(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervision = policy;
+        self
+    }
+
+    /// Overrides only the per-stage retry budget of the restart policy
+    /// (0 = fail-fast) — what the CLI's `--max-retries`/`--fail-fast`
+    /// flags set on top of a configured policy.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.supervision.max_retries = max_retries;
+        self
+    }
+
+    /// The current restart policy.
+    pub fn supervision(&self) -> &SupervisorPolicy {
+        &self.supervision
+    }
+
+    /// Enables chaos injection: a fault injector is spliced in front of
+    /// every sub-stream pipeline, seeded `chaos.seed + i` for sub-stream
+    /// `i`. Malform faults overwrite every tuple value with NULL.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
     /// Executes Algorithm 1 over an in-memory stream with the given
     /// pollution pipelines (one per sub-stream; `m = pipelines.len()`).
     ///
     /// Pipelines are consumed by the run (they hold RNG state); rebuild
     /// them — e.g. from a [`JobConfig`](crate::config::JobConfig) — to
     /// repeat a run, as the experiments do 50 times per scenario.
+    ///
+    /// A worker panic, injected chaos fault, or operator panic surfaces
+    /// as [`icewafl_types::Error::Pipeline`] naming the failing stage;
+    /// the pipeline drains and terminates cleanly rather than deadlock.
+    /// This is a *single attempt* — for restarts, use
+    /// [`PollutionJob::run_supervised`].
     pub fn run(
         &self,
         tuples: Vec<Tuple>,
         pipelines: Vec<PollutionPipeline>,
     ) -> Result<PollutionOutput> {
+        let budget = self.chaos.as_ref().map(ChaosConfig::new_budget);
+        self.run_attempt(tuples, pipelines, budget, None)
+    }
+
+    /// Runs with supervised restarts: on a retryable failure the job is
+    /// re-attempted with fresh pipelines from `pipelines` (rebuilding
+    /// restores their RNG state), up to the policy's per-stage retry
+    /// budget, with backoff between attempts. The chaos panic budget is
+    /// shared across attempts, so a bounded fault is transient — it
+    /// heals after restart instead of re-arming. On success the report
+    /// records how many restarts were consumed.
+    pub fn run_supervised<F>(&self, tuples: Vec<Tuple>, mut pipelines: F) -> Result<PollutionOutput>
+    where
+        F: FnMut() -> Result<Vec<PollutionPipeline>>,
+    {
+        let mut supervisor = Supervisor::new(self.supervision.clone());
+        let budget = self.chaos.as_ref().map(ChaosConfig::new_budget);
+        loop {
+            let attempt = self.run_attempt(
+                tuples.clone(),
+                pipelines()?,
+                budget.clone(),
+                supervisor.deadline_instant(),
+            );
+            match attempt {
+                Ok(mut out) => {
+                    out.report.restarts = supervisor.restarts();
+                    return Ok(out);
+                }
+                Err(icewafl_types::Error::Pipeline {
+                    stage,
+                    kind,
+                    message,
+                }) => {
+                    let parsed = icewafl_stream::fault::FailureKind::parse(&kind);
+                    match supervisor.next_retry_for(&stage, parsed) {
+                        Some(backoff) => {
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                            }
+                        }
+                        None => {
+                            return Err(icewafl_types::Error::Pipeline {
+                                stage,
+                                kind,
+                                message,
+                            })
+                        }
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// One execution attempt. `chaos_budget` carries the panic budget
+    /// across supervised retries; `deadline` is enforced mid-run by the
+    /// source drivers.
+    fn run_attempt(
+        &self,
+        tuples: Vec<Tuple>,
+        pipelines: Vec<PollutionPipeline>,
+        chaos_budget: Option<Arc<AtomicU64>>,
+        deadline: Option<Instant>,
+    ) -> Result<PollutionOutput> {
         if pipelines.is_empty() {
             return Err(icewafl_types::Error::config(
                 "at least one pipeline is required",
             ));
+        }
+        if let Some(chaos) = &self.chaos {
+            if !chaos.is_valid() {
+                return Err(icewafl_types::Error::config(
+                    "chaos rates must be probabilities in [0, 1]",
+                ));
+            }
+            // Injected panics are expected and caught; keep them from
+            // spraying backtraces over the output.
+            install_quiet_panic_hook();
         }
         // Step 1 (Algorithm 1 lines 1–3): prepare. The prepared tuples
         // are both the clean output and the source of the streaming job
@@ -245,8 +365,29 @@ impl PollutionJob {
             .enumerate()
             .map(|(i, pipeline)| {
                 let op = PipelineOperator::new(pipeline, i as u32, Arc::clone(&log));
+                // When chaos is on, splice an injector in front of the
+                // pollution operator of every sub-stream, each with its
+                // own seed but a budget shared across retries.
+                let chaos_op = self.chaos.as_ref().map(|chaos| {
+                    let mut cfg = chaos.clone();
+                    cfg.seed = chaos.seed.wrapping_add(i as u64);
+                    let budget = chaos_budget.clone().unwrap_or_else(|| cfg.new_budget());
+                    ChaosOperator::with_shared_budget(cfg, budget)
+                        .with_metrics(ChaosMetrics::register(
+                            &registry,
+                            &format!("chaos/substream_{i}"),
+                        ))
+                        .with_malform(|t: &mut StampedTuple| {
+                            for v in t.tuple.values_mut() {
+                                *v = icewafl_types::Value::Null;
+                            }
+                        })
+                });
                 let b: SubPipelineBuilder<StampedTuple, StampedTuple> =
-                    Box::new(move |s: DataStream<StampedTuple>| s.transform(op));
+                    Box::new(move |s: DataStream<StampedTuple>| match chaos_op {
+                        Some(chaos_op) => s.transform(chaos_op).transform(op),
+                        None => s.transform(op),
+                    });
                 b
             })
             .collect();
@@ -264,9 +405,13 @@ impl PollutionJob {
         };
         // Algorithm 1, line 11: sortByTimestamp — by *arrival* time, so
         // delayed tuples surface late (see `StampedTuple::arrival`).
-        let polluted = merged
+        // A `?` here carries a typed stage failure out as
+        // `Error::Pipeline` (via `From<PipelineError>`).
+        let sink = SharedVecSink::new();
+        merged
             .sort_by_event_time(|t| t.arrival)
-            .collect_with_registry(&registry);
+            .execute_into_with_options(sink.clone(), &registry, deadline)?;
+        let polluted = sink.take();
 
         let log = Arc::try_unwrap(log)
             .map(Mutex::into_inner)
@@ -289,6 +434,7 @@ impl PollutionJob {
             log_entries: log.len() as u64,
             logging_enabled: self.logging,
             metrics_compiled_in: icewafl_obs::metrics_compiled_in(),
+            restarts: 0,
             polluters,
             metrics: registry.snapshot(),
         };
@@ -520,6 +666,125 @@ mod tests {
         assert!(PollutionJob::new(schema())
             .run(raw_stream(1), vec![])
             .is_err());
+    }
+
+    #[test]
+    fn chaos_panic_fails_with_stage_attribution() {
+        let chaos = ChaosConfig {
+            panic_rate: 1.0,
+            ..ChaosConfig::default()
+        };
+        let job = PollutionJob::new(schema()).with_chaos(chaos);
+        let err = job
+            .run(raw_stream(10), vec![PollutionPipeline::empty()])
+            .unwrap_err();
+        match err {
+            icewafl_types::Error::Pipeline {
+                stage,
+                kind,
+                message,
+            } => {
+                assert!(
+                    stage.contains("chaos"),
+                    "stage `{stage}` names the injector"
+                );
+                assert_eq!(kind, "injected");
+                assert!(message.contains("injected panic"), "message: {message}");
+            }
+            other => panic!("expected a pipeline error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_chaos_rates_are_rejected() {
+        let chaos = ChaosConfig {
+            panic_rate: 2.0,
+            ..ChaosConfig::default()
+        };
+        let job = PollutionJob::new(schema()).with_chaos(chaos);
+        assert!(job
+            .run(raw_stream(1), vec![PollutionPipeline::empty()])
+            .is_err());
+    }
+
+    #[test]
+    fn supervised_run_recovers_from_transient_chaos_fault() {
+        let chaos = ChaosConfig {
+            panic_rate: 1.0,
+            panic_budget: Some(1), // transient: heals after one restart
+            ..ChaosConfig::default()
+        };
+        let job = PollutionJob::new(schema())
+            .with_chaos(chaos)
+            .with_supervision(SupervisorPolicy {
+                max_retries: 2,
+                deterministic: true,
+                ..SupervisorPolicy::default()
+            });
+        let out = job
+            .run_supervised(raw_stream(50), || Ok(vec![null_pipeline(0.5, 9)]))
+            .unwrap();
+        assert_eq!(out.report.restarts, 1, "exactly one restart consumed");
+        assert_eq!(out.polluted.len(), 50, "retry reprocesses the full stream");
+    }
+
+    #[test]
+    fn supervised_run_gives_up_after_retry_budget() {
+        let chaos = ChaosConfig {
+            panic_rate: 1.0, // unbounded budget: every attempt panics
+            ..ChaosConfig::default()
+        };
+        let job = PollutionJob::new(schema())
+            .with_chaos(chaos)
+            .with_supervision(SupervisorPolicy {
+                max_retries: 2,
+                deterministic: true,
+                ..SupervisorPolicy::default()
+            });
+        let err = job
+            .run_supervised(raw_stream(10), || Ok(vec![PollutionPipeline::empty()]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            icewafl_types::Error::Pipeline { ref kind, .. } if kind == "injected"
+        ));
+    }
+
+    #[test]
+    fn supervised_run_without_faults_reports_zero_restarts() {
+        let job = PollutionJob::new(schema());
+        let out = job
+            .run_supervised(raw_stream(20), || Ok(vec![null_pipeline(0.5, 3)]))
+            .unwrap();
+        assert_eq!(out.report.restarts, 0);
+        assert_eq!(out.polluted.len(), 20);
+    }
+
+    #[test]
+    fn chaos_drops_and_malforms_are_observable() {
+        let chaos = ChaosConfig {
+            drop_rate: 1.0,
+            ..ChaosConfig::default()
+        };
+        let job = PollutionJob::new(schema()).with_chaos(chaos);
+        let out = job
+            .run(raw_stream(30), vec![PollutionPipeline::empty()])
+            .unwrap();
+        assert!(out.polluted.is_empty(), "every record dropped in flight");
+
+        let chaos = ChaosConfig {
+            malform_rate: 1.0,
+            ..ChaosConfig::default()
+        };
+        let job = PollutionJob::new(schema()).with_chaos(chaos);
+        let out = job
+            .run(raw_stream(10), vec![PollutionPipeline::empty()])
+            .unwrap();
+        assert_eq!(out.polluted.len(), 10);
+        assert!(out
+            .polluted
+            .iter()
+            .all(|t| t.tuple.values().iter().all(|v| v.is_null())));
     }
 
     #[test]

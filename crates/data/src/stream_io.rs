@@ -151,7 +151,9 @@ mod tests {
     #[test]
     fn source_streams_tuples_lazily() {
         let src = CsvTupleSource::new(Cursor::new(CSV.as_bytes()), schema()).unwrap();
-        let out = DataStream::from_source(src, WatermarkStrategy::none()).collect();
+        let out = DataStream::from_source(src, WatermarkStrategy::none())
+            .collect()
+            .unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].get(1).unwrap(), &Value::Float(1.5));
         assert!(out[1].get(1).unwrap().is_null());
@@ -162,7 +164,9 @@ mod tests {
         let csv = "Time,x\nnot-a-date,oops\n2016-02-27 00:00:00,2.0\nbad,row,extra\n";
         let src = CsvTupleSource::new(Cursor::new(csv.as_bytes()), schema()).unwrap();
         let bad = src.bad_rows_handle();
-        let out = DataStream::from_source(src, WatermarkStrategy::none()).collect();
+        let out = DataStream::from_source(src, WatermarkStrategy::none())
+            .collect()
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(bad.load(Ordering::Relaxed), 2);
     }
@@ -192,7 +196,8 @@ mod tests {
         let buf = SharedBuf::default();
         let src = CsvTupleSource::new(Cursor::new(CSV.as_bytes()), schema()).unwrap();
         DataStream::from_source(src, WatermarkStrategy::none())
-            .execute_into(CsvTupleSink::new(buf.clone(), schema()));
+            .execute_into(CsvTupleSink::new(buf.clone(), schema()))
+            .unwrap();
         let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert_eq!(written, CSV);
     }
@@ -201,7 +206,8 @@ mod tests {
     fn empty_stream_still_writes_header() {
         let buf = SharedBuf::default();
         DataStream::from_vec(Vec::<Tuple>::new())
-            .execute_into(CsvTupleSink::new(buf.clone(), schema()));
+            .execute_into(CsvTupleSink::new(buf.clone(), schema()))
+            .unwrap();
         let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert_eq!(written, "Time,x\n");
     }
@@ -217,7 +223,8 @@ mod tests {
                 }
                 t
             })
-            .execute_into(CsvTupleSink::new(buf.clone(), schema()));
+            .execute_into(CsvTupleSink::new(buf.clone(), schema()))
+            .unwrap();
         let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert!(written.contains(",3\n"), "1.5 doubled: {written}");
         assert!(written.contains(",7\n"), "3.5 doubled: {written}");
@@ -232,10 +239,13 @@ mod tests {
         ])];
         let buf = SharedBuf::default();
         DataStream::from_vec(tuples.clone())
-            .execute_into(CsvTupleSink::new(buf.clone(), s.clone()));
+            .execute_into(CsvTupleSink::new(buf.clone(), s.clone()))
+            .unwrap();
         let written = buf.0.lock().unwrap().clone();
         let src = CsvTupleSource::new(Cursor::new(written), s).unwrap();
-        let back = DataStream::from_source(src, WatermarkStrategy::none()).collect();
+        let back = DataStream::from_source(src, WatermarkStrategy::none())
+            .collect()
+            .unwrap();
         assert_eq!(back, tuples);
     }
 }

@@ -138,7 +138,8 @@ mod tests {
             WatermarkStrategy::ascending(|t: &StampedTuple| t.tau),
         )
         .transform(monitor())
-        .collect();
+        .collect()
+        .unwrap();
         assert_eq!(reports.len(), 10, "100 s of data in 10 s windows");
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.start, Timestamp(i as i64 * 10_000));
@@ -153,7 +154,8 @@ mod tests {
             WatermarkStrategy::ascending(|t: &StampedTuple| t.tau),
         )
         .transform(monitor())
-        .collect();
+        .collect()
+        .unwrap();
         // First half clean, second half has NULLs.
         for r in &reports[..5] {
             assert!(r.report.success(), "clean window {r:?}");
@@ -182,7 +184,8 @@ mod tests {
     fn empty_stream_produces_no_reports() {
         let reports = DataStream::from_vec(Vec::<StampedTuple>::new())
             .transform(monitor())
-            .collect();
+            .collect()
+            .unwrap();
         assert!(reports.is_empty());
     }
 }

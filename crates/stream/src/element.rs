@@ -1,9 +1,11 @@
 //! The unit of flow inside a stream pipeline.
 
+use crate::fault::StageError;
 use icewafl_types::Timestamp;
 
 /// What travels along a stream edge: data records interleaved with
-/// event-time watermarks, terminated by an end-of-stream marker.
+/// event-time watermarks, terminated by an end-of-stream marker — or,
+/// abnormally, by a poison [`StreamElement::Failure`].
 ///
 /// This mirrors Flink's internal `StreamElement`. A watermark `W(t)` is a
 /// promise that no later record will carry an event time `≤ t`; stateful
@@ -17,12 +19,23 @@ pub enum StreamElement<T> {
     Watermark(Timestamp),
     /// End of stream. Always the last element on an edge.
     End,
+    /// Poison marker: an upstream stage failed. Terminates the edge like
+    /// [`StreamElement::End`], but carries the typed failure so the
+    /// executor can surface *which* stage died and why (see
+    /// [`fault`](crate::fault) for the protocol).
+    Failure(StageError),
 }
 
 impl<T> StreamElement<T> {
     /// `true` iff this is the end-of-stream marker.
     pub fn is_end(&self) -> bool {
         matches!(self, StreamElement::End)
+    }
+
+    /// `true` iff this element terminates the edge — the end marker or a
+    /// poison failure. Channel loops use this to stop draining.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, StreamElement::End | StreamElement::Failure(_))
     }
 
     /// Borrows the record payload, if this is a record.
@@ -41,12 +54,14 @@ impl<T> StreamElement<T> {
         }
     }
 
-    /// Maps the record payload, leaving watermarks and end markers alone.
+    /// Maps the record payload, leaving watermarks, end markers, and
+    /// failures alone.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> StreamElement<U> {
         match self {
             StreamElement::Record(r) => StreamElement::Record(f(r)),
             StreamElement::Watermark(w) => StreamElement::Watermark(w),
             StreamElement::End => StreamElement::End,
+            StreamElement::Failure(e) => StreamElement::Failure(e),
         }
     }
 }
@@ -69,6 +84,18 @@ mod tests {
         assert_eq!(w.record(), None);
         assert_eq!(w.clone().into_record(), None);
         assert!(StreamElement::<i32>::End.is_end());
+    }
+
+    #[test]
+    fn failure_is_terminal_but_not_end() {
+        use crate::fault::{FailureKind, StageError};
+        let f: StreamElement<i32> =
+            StreamElement::Failure(StageError::new("s", FailureKind::Panic, "boom"));
+        assert!(f.is_terminal());
+        assert!(!f.is_end());
+        assert_eq!(f.record(), None);
+        assert!(StreamElement::<i32>::End.is_terminal());
+        assert!(!StreamElement::Record(1).is_terminal());
     }
 
     #[test]

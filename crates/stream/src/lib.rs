@@ -16,7 +16,11 @@
 //!   integration scenarios (paper §2.2.2, Algorithm 1);
 //! * a deterministic single-threaded executor plus thread-parallel
 //!   execution via [`DataStream::pipelined`] and
-//!   [`DataStream::split_merge_parallel`], built on crossbeam channels.
+//!   [`DataStream::split_merge_parallel`], built on crossbeam channels;
+//! * **fault tolerance**: operator panics are caught and propagated as
+//!   typed poison elements ([`fault`]), runs can be retried under a
+//!   [`Supervisor`](supervisor::Supervisor) policy, and the
+//!   [`chaos`] harness injects faults to prove it all works.
 //!
 //! ```
 //! use icewafl_stream::prelude::*;
@@ -25,13 +29,16 @@
 //! let out = DataStream::from_vec(vec![3i64, 1, 2])
 //!     .map(|x| x * 10)
 //!     .sort_by_event_time(|x| Timestamp(*x))
-//!     .collect();
+//!     .collect()
+//!     .unwrap();
 //! assert_eq!(out, vec![10, 20, 30]);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod element;
+pub mod fault;
 pub mod keyed;
 pub mod metrics;
 pub mod operator;
@@ -40,25 +47,32 @@ pub mod sort;
 pub mod source;
 pub mod stage;
 pub mod stream;
+pub mod supervisor;
 pub mod watermark;
 pub mod window;
 
+pub use chaos::{ChaosConfig, ChaosOperator, ChaosSource, CHAOS_PANIC_MARKER};
 pub use element::StreamElement;
-pub use metrics::{ChannelMetrics, SorterMetrics, StageMetrics};
+pub use fault::{FailureCell, FailureKind, PipelineError, StageError};
+pub use metrics::{ChannelMetrics, ChaosMetrics, SorterMetrics, StageMetrics};
 pub use operator::{Collector, Operator};
 pub use sink::{CountSink, FnSink, NullSink, SharedVecSink, Sink};
 pub use sort::EventTimeSorter;
 pub use source::{GenSource, IterSource, Source, VecSource};
 pub use stream::{DataStream, SubPipelineBuilder};
+pub use supervisor::{Supervisor, SupervisorPolicy};
 pub use watermark::WatermarkStrategy;
 pub use window::{MicroBatcher, TumblingWindow, WindowPane};
 
 /// Everything needed to build and run pipelines.
 pub mod prelude {
+    pub use crate::chaos::{ChaosConfig, ChaosOperator, ChaosSource};
     pub use crate::element::StreamElement;
+    pub use crate::fault::{FailureKind, PipelineError, StageError};
     pub use crate::operator::{Collector, Operator};
     pub use crate::sink::{CountSink, FnSink, NullSink, SharedVecSink, Sink};
     pub use crate::source::{GenSource, IterSource, Source, VecSource};
     pub use crate::stream::{DataStream, SubPipelineBuilder};
+    pub use crate::supervisor::{Supervisor, SupervisorPolicy};
     pub use crate::watermark::WatermarkStrategy;
 }

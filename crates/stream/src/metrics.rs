@@ -29,6 +29,9 @@ pub struct StageMetrics {
     /// Highest watermark (milliseconds, clamped at 0) seen by this
     /// stage; the end-of-stream `Timestamp::MAX` sentinel is excluded.
     pub watermark_hwm_ms: Gauge,
+    /// Operator invocations that panicked and were converted into a
+    /// poison [`StreamElement::Failure`](crate::element::StreamElement).
+    pub failures: Counter,
 }
 
 impl StageMetrics {
@@ -43,6 +46,7 @@ impl StageMetrics {
                 icewafl_obs::LATENCY_BOUNDS_NS,
             ),
             watermark_hwm_ms: registry.gauge(&format!("{label}/watermark_hwm_ms")),
+            failures: registry.counter(&format!("{label}/failures")),
         }
     }
 
@@ -111,6 +115,38 @@ impl SorterMetrics {
             late_lag_ms: registry
                 .histogram(&format!("{label}/late_lag_ms"), icewafl_obs::LAG_BOUNDS_MS),
             buffer_max: registry.gauge(&format!("{label}/buffer_max")),
+        }
+    }
+
+    /// Detached handles, invisible to snapshots.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+}
+
+/// Metric handles for one chaos injector
+/// ([`ChaosOperator`](crate::chaos::ChaosOperator) /
+/// [`ChaosSource`](crate::chaos::ChaosSource)).
+#[derive(Clone, Default)]
+pub struct ChaosMetrics {
+    /// Panics actually injected (after the budget check).
+    pub injected_panics: Counter,
+    /// Delay faults injected.
+    pub injected_delays: Counter,
+    /// Records dropped in flight.
+    pub injected_drops: Counter,
+    /// Records malformed in place.
+    pub injected_malforms: Counter,
+}
+
+impl ChaosMetrics {
+    /// Registers the injector's metrics under `label` (e.g. `chaos/substream_0`).
+    pub fn register(registry: &MetricsRegistry, label: &str) -> Self {
+        ChaosMetrics {
+            injected_panics: registry.counter(&format!("{label}/injected_panics")),
+            injected_delays: registry.counter(&format!("{label}/injected_delays")),
+            injected_drops: registry.counter(&format!("{label}/injected_drops")),
+            injected_malforms: registry.counter(&format!("{label}/injected_malforms")),
         }
     }
 

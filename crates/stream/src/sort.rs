@@ -80,11 +80,13 @@ where
     }
 
     fn release_up_to(&mut self, wm: Timestamp, out: &mut dyn Collector<T>) {
-        while let Some(Reverse(top)) = self.heap.peek() {
-            if top.ts > wm {
+        // Peek-then-pop without an `expect`: pop first, push back the one
+        // entry that is still beyond the watermark.
+        while let Some(Reverse(e)) = self.heap.pop() {
+            if e.ts > wm {
+                self.heap.push(Reverse(e));
                 break;
             }
-            let Reverse(e) = self.heap.pop().expect("peeked entry exists");
             out.collect(e.record);
         }
     }

@@ -5,12 +5,14 @@
 //! last operator's stage, and so on up to the source driver.
 
 use crate::element::StreamElement;
+use crate::fault::{FailureCell, StageError};
 use crate::metrics::{ChannelMetrics, StageMetrics, SAMPLE_MASK};
 use crate::operator::{Collector, Operator};
 use crate::sink::Sink;
 use crossbeam::channel::{Sender, TrySendError};
 use icewafl_obs::Stopwatch;
 use icewafl_types::Timestamp;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A push-based consumer of stream elements.
 pub trait Stage<T>: Send {
@@ -23,17 +25,30 @@ pub trait Stage<T>: Send {
 pub type BoxStage<T> = Box<dyn Stage<T>>;
 
 /// Terminal stage: feeds records into a [`Sink`].
+///
+/// Participates in the poison-propagation protocol (see
+/// [`fault`](crate::fault)): an incoming [`StreamElement::Failure`] —
+/// or a panic inside the sink itself — is recorded into the run's
+/// shared [`FailureCell`] for the executor to report.
 pub struct SinkStage<S> {
     sink: S,
     finished: bool,
+    failures: FailureCell,
 }
 
 impl<S> SinkStage<S> {
-    /// Wraps a sink.
+    /// Wraps a sink with a detached failure cell (failures terminate the
+    /// stream but are not reported anywhere).
     pub fn new(sink: S) -> Self {
+        Self::with_failure_cell(sink, FailureCell::new())
+    }
+
+    /// Wraps a sink, recording the first observed failure into `cell`.
+    pub fn with_failure_cell(sink: S, cell: FailureCell) -> Self {
         SinkStage {
             sink,
             finished: false,
+            failures: cell,
         }
     }
 }
@@ -44,17 +59,36 @@ where
     S: Sink<T>,
 {
     fn push(&mut self, element: StreamElement<T>) {
+        if self.finished {
+            return;
+        }
         match element {
             StreamElement::Record(r) => {
-                if !self.finished {
-                    self.sink.write(r);
+                let sink = &mut self.sink;
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(move || sink.write(r))) {
+                    // Do not call `finish` on a sink that just panicked.
+                    self.finished = true;
+                    self.failures
+                        .record(StageError::from_panic("sink", payload));
                 }
             }
             StreamElement::Watermark(_) => {}
             StreamElement::End => {
-                if !self.finished {
-                    self.finished = true;
-                    self.sink.finish();
+                self.finished = true;
+                let sink = &mut self.sink;
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(move || sink.finish())) {
+                    self.failures
+                        .record(StageError::from_panic("sink", payload));
+                }
+            }
+            StreamElement::Failure(e) => {
+                self.finished = true;
+                self.failures.record(e);
+                let sink = &mut self.sink;
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(move || sink.finish())) {
+                    // The upstream failure already won the cell; the
+                    // sink's own panic during cleanup is fallout.
+                    let _ = payload;
                 }
             }
         }
@@ -64,11 +98,17 @@ where
 /// Wraps an [`Operator`] and forwards its output to the downstream
 /// stage. Watermarks and the end marker are forwarded *after* the
 /// operator's callback, so buffering operators flush first.
+///
+/// Every operator callback runs under [`catch_unwind`]; a panic is
+/// converted into a [`StreamElement::Failure`] carrying this stage's
+/// label, which propagates downstream like the end marker.
 pub struct OperatorStage<Op, Out> {
     op: Op,
     down: BoxStage<Out>,
     ended: bool,
     metrics: StageMetrics,
+    /// Stage label used to attribute failures, e.g. `stage/02_map`.
+    label: String,
     /// Records seen, kept locally for the 1-in-64 sampling decision.
     seen: u64,
     /// Element counts staged in plain integers and flushed to the shared
@@ -80,19 +120,25 @@ pub struct OperatorStage<Op, Out> {
 
 impl<Op, Out> OperatorStage<Op, Out> {
     /// Chains an operator in front of a downstream stage, with detached
-    /// (snapshot-invisible) metrics.
+    /// (snapshot-invisible) metrics and an anonymous label.
     pub fn new(op: Op, down: BoxStage<Out>) -> Self {
-        Self::with_metrics(op, down, StageMetrics::detached())
+        Self::with_metrics(op, down, StageMetrics::detached(), "operator")
     }
 
     /// Chains an operator in front of a downstream stage, recording into
-    /// the given metric handles.
-    pub fn with_metrics(op: Op, down: BoxStage<Out>, metrics: StageMetrics) -> Self {
+    /// the given metric handles and attributing failures to `label`.
+    pub fn with_metrics(
+        op: Op,
+        down: BoxStage<Out>,
+        metrics: StageMetrics,
+        label: impl Into<String>,
+    ) -> Self {
         OperatorStage {
             op,
             down,
             ended: false,
             metrics,
+            label: label.into(),
             seen: 0,
             in_pending: 0,
             out_pending: 0,
@@ -108,6 +154,19 @@ impl<Op, Out> OperatorStage<Op, Out> {
             self.metrics.elements_out.add(self.out_pending);
             self.out_pending = 0;
         }
+    }
+
+    /// Converts a caught panic payload into a poison element pushed
+    /// downstream, terminating this stage.
+    fn fail(&mut self, payload: Box<dyn std::any::Any + Send>)
+    where
+        Out: Send,
+    {
+        self.ended = true;
+        self.metrics.failures.inc();
+        self.flush_pending();
+        let error = StageError::from_panic(&self.label, payload);
+        self.down.push(StreamElement::Failure(error));
     }
 }
 
@@ -142,16 +201,24 @@ where
                 let sampled = self.seen & SAMPLE_MASK == 0;
                 self.seen += 1;
                 self.in_pending += 1;
-                let mut coll = StageCollector {
-                    down: self.down.as_mut(),
-                    out: &mut self.out_pending,
+                let result = {
+                    let op = &mut self.op;
+                    let mut coll = StageCollector {
+                        down: self.down.as_mut(),
+                        out: &mut self.out_pending,
+                    };
+                    if sampled {
+                        let sw = Stopwatch::start();
+                        let res =
+                            catch_unwind(AssertUnwindSafe(move || op.on_element(r, &mut coll)));
+                        self.metrics.latency_ns.record(sw.elapsed_ns());
+                        res
+                    } else {
+                        catch_unwind(AssertUnwindSafe(move || op.on_element(r, &mut coll)))
+                    }
                 };
-                if sampled {
-                    let sw = Stopwatch::start();
-                    self.op.on_element(r, &mut coll);
-                    self.metrics.latency_ns.record(sw.elapsed_ns());
-                } else {
-                    self.op.on_element(r, &mut coll);
+                if let Err(payload) = result {
+                    self.fail(payload);
                 }
             }
             StreamElement::Watermark(wm) => {
@@ -160,27 +227,47 @@ where
                 if wm != Timestamp::MAX {
                     self.metrics.watermark_hwm_ms.set_max(wm.0.max(0) as u64);
                 }
-                {
+                let result = {
+                    let op = &mut self.op;
                     let mut coll = StageCollector {
                         down: self.down.as_mut(),
                         out: &mut self.out_pending,
                     };
-                    self.op.on_watermark(wm, &mut coll);
+                    catch_unwind(AssertUnwindSafe(move || op.on_watermark(wm, &mut coll)))
+                };
+                match result {
+                    Ok(()) => {
+                        self.flush_pending();
+                        self.down.push(StreamElement::Watermark(wm));
+                    }
+                    Err(payload) => self.fail(payload),
                 }
-                self.flush_pending();
-                self.down.push(StreamElement::Watermark(wm));
             }
             StreamElement::End => {
                 self.ended = true;
-                {
+                let result = {
+                    let op = &mut self.op;
                     let mut coll = StageCollector {
                         down: self.down.as_mut(),
                         out: &mut self.out_pending,
                     };
-                    self.op.on_end(&mut coll);
+                    catch_unwind(AssertUnwindSafe(move || op.on_end(&mut coll)))
+                };
+                match result {
+                    Ok(()) => {
+                        self.flush_pending();
+                        self.down.push(StreamElement::End);
+                    }
+                    Err(payload) => self.fail(payload),
                 }
+            }
+            StreamElement::Failure(e) => {
+                // Poison: stop processing (buffered operator state is
+                // dropped — the error reports the truncation) and
+                // forward the failure downstream so the sink records it.
+                self.ended = true;
                 self.flush_pending();
-                self.down.push(StreamElement::End);
+                self.down.push(StreamElement::Failure(e));
             }
         }
     }
@@ -235,11 +322,11 @@ pub(crate) fn send_metered<T: Send>(
 
 impl<T: Send> Stage<T> for ChannelStage<T> {
     fn push(&mut self, element: StreamElement<T>) {
-        let is_end = element.is_end();
+        let terminal = element.is_terminal();
         if let Some(tx) = &self.tx {
             send_metered(tx, element, &self.metrics);
         }
-        if is_end {
+        if terminal {
             self.tx = None;
         }
     }
@@ -265,6 +352,7 @@ where
             StreamElement::Record(r) => op.on_element(r, &mut out),
             StreamElement::Watermark(wm) => op.on_watermark(wm, &mut out),
             StreamElement::End => op.on_end(&mut out),
+            StreamElement::Failure(_) => break,
         }
     }
     out
@@ -401,5 +489,54 @@ mod tests {
         let mut d = DiscardStage;
         d.push(StreamElement::Record(1));
         d.push(StreamElement::<i32>::End);
+    }
+
+    #[test]
+    fn operator_panic_becomes_failure_element() {
+        crate::chaos::install_quiet_panic_hook();
+        struct Bomb;
+        impl Operator<i32, i32> for Bomb {
+            fn on_element(&mut self, r: i32, out: &mut dyn Collector<i32>) {
+                if r == 3 {
+                    panic!("{} bomb at {r}", crate::chaos::CHAOS_PANIC_MARKER);
+                }
+                out.collect(r);
+            }
+        }
+        let cell = FailureCell::new();
+        let sink = SharedVecSink::new();
+        let mut stage = OperatorStage::with_metrics(
+            Bomb,
+            Box::new(SinkStage::with_failure_cell(sink.clone(), cell.clone())),
+            StageMetrics::detached(),
+            "stage/01_bomb",
+        );
+        stage.push(StreamElement::Record(1));
+        stage.push(StreamElement::Record(3));
+        stage.push(StreamElement::Record(4)); // ignored: stage is poisoned
+        let err = cell.get().expect("failure recorded at the sink");
+        assert_eq!(err.stage, "stage/01_bomb");
+        assert_eq!(err.kind, crate::fault::FailureKind::Injected);
+        assert!(err.message.contains("bomb at 3"));
+        assert_eq!(sink.take(), vec![1]);
+    }
+
+    #[test]
+    fn upstream_failure_is_forwarded_not_processed() {
+        let cell = FailureCell::new();
+        let sink = SharedVecSink::new();
+        let mut stage = OperatorStage::new(
+            MapOperator::new(|x: i32| x + 1),
+            Box::new(SinkStage::with_failure_cell(sink.clone(), cell.clone())),
+        );
+        stage.push(StreamElement::Record(1));
+        stage.push(StreamElement::Failure(StageError::new(
+            "stage/09_up",
+            crate::fault::FailureKind::Panic,
+            "boom",
+        )));
+        stage.push(StreamElement::Record(2));
+        assert_eq!(cell.get().map(|e| e.stage), Some("stage/09_up".into()));
+        assert_eq!(sink.take(), vec![2]); // 1+1 delivered before the poison
     }
 }

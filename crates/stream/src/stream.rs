@@ -17,6 +17,7 @@
 //!   threads, with watermark-merged union.
 
 use crate::element::StreamElement;
+use crate::fault::{FailureCell, FailureKind, PipelineError, StageError};
 use crate::keyed::KeyedProcessOperator;
 use crate::metrics::{ChannelMetrics, SorterMetrics, StageMetrics};
 use crate::operator::{
@@ -35,11 +36,18 @@ use icewafl_obs::MetricsRegistry;
 use icewafl_types::{Duration, Timestamp};
 use parking_lot::Mutex;
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Runs a fully built pipeline's source to completion.
 type Driver = Box<dyn FnOnce() + Send>;
+
+/// The source driver checks the wall-clock deadline once per this many
+/// records (power-of-two mask), keeping `Instant::now` off the per-record
+/// hot path.
+const DEADLINE_CHECK_MASK: u64 = 255;
 
 /// Deferred pipeline construction: given the downstream stage and the
 /// execution context, produce the driver.
@@ -56,21 +64,36 @@ pub struct ExecutionContext {
     handles: Vec<JoinHandle<()>>,
     registry: MetricsRegistry,
     stage_seq: u32,
+    /// First-failure-wins cell shared with every fault-catching point of
+    /// this execution (see [`fault`](crate::fault)).
+    failures: FailureCell,
+    /// Wall-clock instant after which source drivers poison the stream
+    /// with a [`FailureKind::Deadline`] failure.
+    deadline: Option<Instant>,
 }
 
 impl ExecutionContext {
     /// A context whose stages record into `registry`.
     pub fn with_registry(registry: MetricsRegistry) -> Self {
         ExecutionContext {
-            handles: Vec::new(),
             registry,
-            stage_seq: 0,
+            ..Default::default()
         }
     }
 
     /// The registry pipeline stages register their metrics against.
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// A clone of the run's shared failure cell.
+    pub fn failure_cell(&self) -> FailureCell {
+        self.failures.clone()
+    }
+
+    /// Sets the wall-clock deadline source drivers enforce.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
     }
 
     /// The label for the next stage, e.g. `stage/03_map`. Pipelines are
@@ -84,7 +107,10 @@ impl ExecutionContext {
     fn join_all(&mut self) {
         for h in self.handles.drain(..) {
             if let Err(panic) = h.join() {
-                std::panic::resume_unwind(panic);
+                // Workers catch their own panics; a panic escaping the
+                // catch wrapper itself is still converted, never rethrown.
+                self.failures
+                    .record(StageError::from_panic("worker", panic));
             }
         }
     }
@@ -103,19 +129,60 @@ impl<T: Send + 'static> DataStream<T> {
     /// [`WatermarkStrategy::none`].
     pub fn from_source(source: impl Source<T> + 'static, strategy: WatermarkStrategy<T>) -> Self {
         DataStream {
-            build: Box::new(move |mut down, _ctx| {
+            build: Box::new(move |mut down, ctx| {
                 let mut source = source;
                 let mut generator = strategy.generator();
+                let label = ctx.next_stage_label("source");
+                let failures = ctx.failure_cell();
+                let deadline = ctx.deadline;
                 Box::new(move || {
-                    while let Some(record) = source.next() {
-                        let wm = generator.on_record(&record);
-                        down.push(StreamElement::Record(record));
-                        if let Some(wm) = wm {
-                            down.push(StreamElement::Watermark(wm));
+                    let mut seen: u64 = 0;
+                    loop {
+                        // `source.next()` and watermark generation run
+                        // under `catch_unwind`: a panicking source poisons
+                        // the stream instead of unwinding the driver (which
+                        // would drop channel senders without an end marker).
+                        let step = {
+                            let source = &mut source;
+                            let generator = &mut generator;
+                            catch_unwind(AssertUnwindSafe(move || {
+                                source.next().map(|r| {
+                                    let wm = generator.on_record(&r);
+                                    (r, wm)
+                                })
+                            }))
+                        };
+                        match step {
+                            Ok(Some((record, wm))) => {
+                                down.push(StreamElement::Record(record));
+                                if let Some(wm) = wm {
+                                    down.push(StreamElement::Watermark(wm));
+                                }
+                            }
+                            Ok(None) => {
+                                down.push(StreamElement::Watermark(Timestamp::MAX));
+                                down.push(StreamElement::End);
+                                return;
+                            }
+                            Err(payload) => {
+                                let error = StageError::from_panic(&label, payload);
+                                failures.record(error.clone());
+                                down.push(StreamElement::Failure(error));
+                                return;
+                            }
+                        }
+                        seen += 1;
+                        if seen & DEADLINE_CHECK_MASK == 0 {
+                            if let Some(dl) = deadline {
+                                if Instant::now() >= dl {
+                                    let error = StageError::deadline(&label);
+                                    failures.record(error.clone());
+                                    down.push(StreamElement::Failure(error));
+                                    return;
+                                }
+                            }
                         }
                     }
-                    down.push(StreamElement::Watermark(Timestamp::MAX));
-                    down.push(StreamElement::End);
                 })
             }),
         }
@@ -131,20 +198,28 @@ impl<T: Send + 'static> DataStream<T> {
     /// watermarks) from a channel. Used by split/merge plumbing.
     fn from_element_channel(rx: Receiver<StreamElement<T>>) -> Self {
         DataStream {
-            build: Box::new(move |mut down, _ctx| {
+            build: Box::new(move |mut down, ctx| {
+                let failures = ctx.failure_cell();
                 Box::new(move || {
-                    let mut got_end = false;
+                    let mut got_terminal = false;
                     for element in rx {
-                        let is_end = element.is_end();
+                        let terminal = element.is_terminal();
                         down.push(element);
-                        if is_end {
-                            got_end = true;
+                        if terminal {
+                            got_terminal = true;
                             break;
                         }
                     }
-                    if !got_end {
-                        // Upstream hung up without an end marker; close
-                        // the pipeline cleanly anyway.
+                    if !got_terminal {
+                        // Upstream hung up without an end marker — a dead
+                        // producer. Record the disconnect (first failure
+                        // wins, so a caught root-cause panic is preserved)
+                        // and still close the pipeline cleanly.
+                        failures.record(StageError::new(
+                            "channel_source",
+                            FailureKind::Disconnect,
+                            "upstream hung up before end of stream",
+                        ));
                         down.push(StreamElement::End);
                     }
                 })
@@ -160,7 +235,7 @@ impl<T: Send + 'static> DataStream<T> {
                 let label = ctx.next_stage_label(Operator::<T, U>::name(&op));
                 let metrics = StageMetrics::register(ctx.registry(), &label);
                 upstream(
-                    Box::new(OperatorStage::with_metrics(op, down, metrics)),
+                    Box::new(OperatorStage::with_metrics(op, down, metrics, label)),
                     ctx,
                 )
             }),
@@ -220,7 +295,12 @@ impl<T: Send + 'static> DataStream<T> {
                 let sorter = EventTimeSorter::new(extract)
                     .with_metrics(SorterMetrics::register(ctx.registry(), &label));
                 upstream(
-                    Box::new(OperatorStage::with_metrics(sorter, down, stage_metrics)),
+                    Box::new(OperatorStage::with_metrics(
+                        sorter,
+                        down,
+                        stage_metrics,
+                        label,
+                    )),
                     ctx,
                 )
             }),
@@ -252,13 +332,23 @@ impl<T: Send + 'static> DataStream<T> {
                 let metrics = ChannelMetrics::register(ctx.registry(), &label);
                 let (tx, rx) = bounded::<StreamElement<T>>(capacity.max(1));
                 let mut down = down;
+                let failures = ctx.failure_cell();
+                let worker_label = label.clone();
                 let handle = std::thread::spawn(move || {
-                    for element in rx {
-                        let is_end = element.is_end();
-                        down.push(element);
-                        if is_end {
-                            break;
+                    // Stages catch their own panics; this outer guard only
+                    // fires if the protocol itself breaks, and still
+                    // converts the panic instead of killing the thread.
+                    let result = catch_unwind(AssertUnwindSafe(move || {
+                        for element in rx {
+                            let terminal = element.is_terminal();
+                            down.push(element);
+                            if terminal {
+                                break;
+                            }
                         }
+                    }));
+                    if let Err(payload) = result {
+                        failures.record(StageError::from_panic(&worker_label, payload));
                     }
                 });
                 ctx.handles.push(handle);
@@ -305,12 +395,24 @@ impl<T: Send + 'static> DataStream<T> {
                     })
                     .collect();
                 if parallel {
+                    let failures = ctx.failure_cell();
                     Box::new(move || {
-                        let handles: Vec<_> = drivers.into_iter().map(std::thread::spawn).collect();
+                        let handles: Vec<_> = drivers
+                            .into_iter()
+                            .map(|d| {
+                                let failures = failures.clone();
+                                std::thread::spawn(move || {
+                                    if let Err(payload) = catch_unwind(AssertUnwindSafe(d)) {
+                                        failures
+                                            .record(StageError::from_panic("union_input", payload));
+                                    }
+                                })
+                            })
+                            .collect();
                         for h in handles {
-                            if let Err(panic) = h.join() {
-                                std::panic::resume_unwind(panic);
-                            }
+                            // The catch wrapper cannot panic; a join error
+                            // here would be fallout already recorded.
+                            let _ = h.join();
                         }
                     })
                 } else {
@@ -388,16 +490,23 @@ impl<T: Send + 'static> DataStream<T> {
                     selector,
                     memberships: Vec::with_capacity(m),
                     metrics: ChannelMetrics::register(ctx.registry(), &label),
+                    label,
                 };
-                let parent_driver = upstream(Box::new(router), ctx);
+                // Build the union (and with it the sub-pipelines) before
+                // the upstream so stage numbering stays sink-first: the
+                // source keeps the highest index.
                 let union_driver = (DataStream::union(subs, parallel).build)(down, ctx);
+                let parent_driver = upstream(Box::new(router), ctx);
                 if parallel {
+                    let failures = ctx.failure_cell();
                     Box::new(move || {
-                        let parent = std::thread::spawn(parent_driver);
+                        let parent = std::thread::spawn(move || {
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(parent_driver)) {
+                                failures.record(StageError::from_panic("split_router", payload));
+                            }
+                        });
                         union_driver();
-                        if let Err(panic) = parent.join() {
-                            std::panic::resume_unwind(panic);
-                        }
+                        let _ = parent.join();
                     })
                 } else {
                     Box::new(move || {
@@ -413,8 +522,13 @@ impl<T: Send + 'static> DataStream<T> {
     }
 
     /// Builds and runs the pipeline, writing results into `sink`.
-    pub fn execute_into(self, sink: impl Sink<T> + 'static) {
-        self.execute_into_with_registry(sink, &MetricsRegistry::new());
+    ///
+    /// Returns `Err` with the first [`StageError`] observed (failing
+    /// stage label, failure kind, panic payload) if any stage panicked,
+    /// a chaos fault fired, the deadline passed, or a worker died. The
+    /// pipeline always terminates — no caller-visible panics, no hangs.
+    pub fn execute_into(self, sink: impl Sink<T> + 'static) -> Result<(), PipelineError> {
+        self.execute_into_with_registry(sink, &MetricsRegistry::new())
     }
 
     /// Like [`DataStream::execute_into`], but stages register their
@@ -424,32 +538,60 @@ impl<T: Send + 'static> DataStream<T> {
         self,
         sink: impl Sink<T> + 'static,
         registry: &MetricsRegistry,
-    ) {
+    ) -> Result<(), PipelineError> {
+        self.execute_into_with_options(sink, registry, None)
+    }
+
+    /// Full-control executor: instrumentation registry plus an optional
+    /// wall-clock deadline enforced by the source driver.
+    pub fn execute_into_with_options(
+        self,
+        sink: impl Sink<T> + 'static,
+        registry: &MetricsRegistry,
+        deadline: Option<Instant>,
+    ) -> Result<(), PipelineError> {
         let mut ctx = ExecutionContext::with_registry(registry.clone());
-        let driver = (self.build)(Box::new(SinkStage::new(sink)), &mut ctx);
-        driver();
+        ctx.set_deadline(deadline);
+        let cell = ctx.failure_cell();
+        let driver = (self.build)(
+            Box::new(SinkStage::with_failure_cell(sink, cell.clone())),
+            &mut ctx,
+        );
+        // Stages and workers catch their own panics; this guard converts
+        // anything that still escapes the driver (e.g. a panicking
+        // `Source::next` on the calling thread before the first stage).
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(driver)) {
+            cell.record(StageError::from_panic("driver", payload));
+        }
         ctx.join_all();
+        match ctx.failure_cell().take() {
+            Some(error) => Err(PipelineError::from(error)),
+            None => Ok(()),
+        }
     }
 
     /// Builds and runs the pipeline, collecting all results.
-    pub fn collect(self) -> Vec<T> {
+    pub fn collect(self) -> Result<Vec<T>, PipelineError> {
         let sink = SharedVecSink::new();
-        self.execute_into(sink.clone());
-        sink.take()
+        self.execute_into(sink.clone())?;
+        Ok(sink.take())
     }
 
     /// Like [`DataStream::collect`], but instrumented against `registry`.
-    pub fn collect_with_registry(self, registry: &MetricsRegistry) -> Vec<T> {
+    pub fn collect_with_registry(
+        self,
+        registry: &MetricsRegistry,
+    ) -> Result<Vec<T>, PipelineError> {
         let sink = SharedVecSink::new();
-        self.execute_into_with_registry(sink.clone(), registry);
-        sink.take()
+        self.execute_into_with_registry(sink.clone(), registry)?;
+        Ok(sink.take())
     }
 
     /// Builds and runs the pipeline, counting results.
-    pub fn count(self) -> u64 {
+    pub fn count(self) -> Result<u64, PipelineError> {
         let sink = crate::sink::CountSink::new();
-        self.execute_into(sink.clone());
-        sink.count()
+        self.execute_into(sink.clone())?;
+        Ok(sink.count())
     }
 }
 
@@ -491,17 +633,34 @@ impl<T: Send> Stage<T> for UnionInput<T> {
                     inner.down.push(StreamElement::End);
                 }
             }
+            StreamElement::Failure(e) => {
+                // Poison from any input terminates the merged stream
+                // immediately; the other inputs see `ended` and drop
+                // whatever they still deliver.
+                inner.ended = true;
+                inner.down.push(StreamElement::Failure(e));
+            }
         }
     }
 }
 
 /// Routes records to selected sub-streams, broadcasting watermarks and
-/// the end marker to all of them.
+/// terminal markers (end or poison) to all of them.
 struct RouterStage<T, F> {
     txs: Vec<Sender<StreamElement<T>>>,
     selector: F,
     memberships: Vec<usize>,
     metrics: ChannelMetrics,
+    label: String,
+}
+
+impl<T: Clone + Send, F> RouterStage<T, F> {
+    /// Broadcasts a failure to every sub-stream and stops routing.
+    fn fail(&mut self, error: StageError) {
+        for tx in self.txs.drain(..) {
+            send_metered(&tx, StreamElement::Failure(error.clone()), &self.metrics);
+        }
+    }
 }
 
 impl<T, F> Stage<T> for RouterStage<T, F>
@@ -513,7 +672,19 @@ where
         match element {
             StreamElement::Record(r) => {
                 self.memberships.clear();
-                (self.selector)(&r, &mut self.memberships);
+                // A panicking selector poisons every sub-stream (instead
+                // of unwinding the parent driver and dropping the senders
+                // without a terminal marker).
+                let result = {
+                    let selector = &mut self.selector;
+                    let memberships = &mut self.memberships;
+                    catch_unwind(AssertUnwindSafe(|| (selector)(&r, memberships)))
+                };
+                if let Err(payload) = result {
+                    let error = StageError::from_panic(&self.label, payload);
+                    self.fail(error);
+                    return;
+                }
                 self.memberships.retain(|&i| i < self.txs.len());
                 self.memberships.dedup();
                 // Move into the last target, clone for the rest.
@@ -538,6 +709,7 @@ where
                     send_metered(&tx, StreamElement::End, &self.metrics);
                 }
             }
+            StreamElement::Failure(e) => self.fail(e),
         }
     }
 }
@@ -551,7 +723,8 @@ mod tests {
         let out = DataStream::from_vec(vec![1, 2, 3, 4, 5])
             .map(|x| x * 10)
             .filter(|x| *x > 20)
-            .collect();
+            .collect()
+            .unwrap();
         assert_eq!(out, vec![30, 40, 50]);
     }
 
@@ -563,7 +736,8 @@ mod tests {
                     out.collect(x);
                 }
             })
-            .collect();
+            .collect()
+            .unwrap();
         assert_eq!(out, vec![2, 2, 1]);
     }
 
@@ -573,7 +747,8 @@ mod tests {
         let seen2 = Arc::clone(&seen);
         let n = DataStream::from_vec(vec![1, 2, 3])
             .inspect(move |_| *seen2.lock() += 1)
-            .count();
+            .count()
+            .unwrap();
         assert_eq!(n, 3);
         assert_eq!(*seen.lock(), 3);
     }
@@ -590,7 +765,8 @@ mod tests {
         );
         let out = DataStream::from_source(src, strategy)
             .sort_by_event_time(|x| Timestamp(*x))
-            .collect();
+            .collect()
+            .unwrap();
         assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
     }
 
@@ -602,7 +778,8 @@ mod tests {
             .pipelined(64)
             .map(|x| x - 1)
             .pipelined(64)
-            .collect();
+            .collect()
+            .unwrap();
         assert_eq!(out, input);
     }
 
@@ -610,7 +787,7 @@ mod tests {
     fn union_sequential_merges_all_records() {
         let a = DataStream::from_vec(vec![1, 2]);
         let b = DataStream::from_vec(vec![3, 4]);
-        let mut out = DataStream::union(vec![a, b], false).collect();
+        let mut out = DataStream::union(vec![a, b], false).collect().unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![1, 2, 3, 4]);
     }
@@ -619,14 +796,14 @@ mod tests {
     fn union_parallel_merges_all_records() {
         let a = DataStream::from_vec((0..500).collect::<Vec<i64>>());
         let b = DataStream::from_vec((500..1000).collect::<Vec<i64>>());
-        let mut out = DataStream::union(vec![a, b], true).collect();
+        let mut out = DataStream::union(vec![a, b], true).collect().unwrap();
         out.sort_unstable();
         assert_eq!(out, (0..1000).collect::<Vec<i64>>());
     }
 
     #[test]
     fn union_of_nothing_is_empty() {
-        let out: Vec<i64> = DataStream::union(vec![], false).collect();
+        let out: Vec<i64> = DataStream::union(vec![], false).collect().unwrap();
         assert!(out.is_empty());
     }
 
@@ -643,7 +820,8 @@ mod tests {
         };
         let out = DataStream::union(vec![mk(vec![1, 3, 5]), mk(vec![2, 4, 6])], false)
             .sort_by_event_time(|x| Timestamp(*x))
-            .collect();
+            .collect()
+            .unwrap();
         assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
     }
 
@@ -655,7 +833,8 @@ mod tests {
         ];
         let mut out = DataStream::from_vec(vec![0, 1, 2, 3])
             .split_merge(|x, m| m.push((*x % 2) as usize), builders)
-            .collect();
+            .collect()
+            .unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![1000, 1002, 2001, 2003]);
     }
@@ -674,7 +853,8 @@ mod tests {
                 },
                 builders,
             )
-            .collect();
+            .collect()
+            .unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![10, 20, 100, 200]);
     }
@@ -691,7 +871,8 @@ mod tests {
                 },
                 builders,
             )
-            .collect();
+            .collect()
+            .unwrap();
         assert_eq!(out, vec![7]);
     }
 
@@ -713,10 +894,12 @@ mod tests {
         };
         let mut seq = DataStream::from_vec(input.clone())
             .split_merge(selector, mk_builders())
-            .collect();
+            .collect()
+            .unwrap();
         let mut par = DataStream::from_vec(input)
             .split_merge_parallel(selector, mk_builders())
-            .collect();
+            .collect()
+            .unwrap();
         seq.sort_unstable();
         par.sort_unstable();
         assert_eq!(seq, par);
@@ -732,7 +915,8 @@ mod tests {
                     out.collect(*sum);
                 },
             )
-            .collect();
+            .collect()
+            .unwrap();
         // odd: 1, 4, 9 — even: 2, 6, 12 — interleaved by arrival
         assert_eq!(out, vec![1, 2, 4, 6, 9, 12]);
     }
@@ -741,7 +925,8 @@ mod tests {
     fn micro_batch_through_pipeline() {
         let out = DataStream::from_vec(vec![1, 2, 3, 4, 5])
             .micro_batch(2)
-            .collect();
+            .collect()
+            .unwrap();
         assert_eq!(out, vec![vec![1, 2], vec![3, 4], vec![5]]);
     }
 
@@ -749,7 +934,8 @@ mod tests {
     fn tumbling_window_through_pipeline() {
         let out = DataStream::from_vec(vec![1i64, 5, 12])
             .tumbling_window(Duration::from_millis(10), |x| Timestamp(*x))
-            .collect();
+            .collect()
+            .unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].records, vec![1, 5]);
         assert_eq!(out[1].records, vec![12]);
@@ -762,7 +948,8 @@ mod tests {
         let out = DataStream::from_vec(vec![1i64, 2, 3, 4])
             .map(|x| x + 1)
             .filter(|x| *x % 2 == 0)
-            .collect_with_registry(&registry);
+            .collect_with_registry(&registry)
+            .unwrap();
         assert_eq!(out, vec![2, 4]);
         let snap = registry.snapshot();
         // Built sink-first: `filter` is stage 00, `map` is stage 01.
@@ -778,7 +965,8 @@ mod tests {
         let registry = MetricsRegistry::new();
         let out = DataStream::from_vec((0..100i64).collect::<Vec<_>>())
             .pipelined(4)
-            .collect_with_registry(&registry);
+            .collect_with_registry(&registry)
+            .unwrap();
         assert_eq!(out.len(), 100);
         // 100 records + the final W(MAX) + End = 102 elements offered.
         assert_eq!(registry.snapshot().counter("stage/00_pipelined/sends"), 102);
@@ -792,7 +980,8 @@ mod tests {
         let out =
             DataStream::from_source(src, WatermarkStrategy::ascending(|x: &i64| Timestamp(*x)))
                 .sort_by_event_time(|x| Timestamp(*x))
-                .collect_with_registry(&registry);
+                .collect_with_registry(&registry)
+                .unwrap();
         // 3 arrived after W(5) had already released 5 — it is late and
         // surfaces out of order (exactly what the late counter tracks).
         assert_eq!(out, vec![1, 5, 3]);
@@ -829,7 +1018,8 @@ mod tests {
                 },
                 outer,
             )
-            .collect();
+            .collect()
+            .unwrap();
         out.sort_unstable();
         // inner: 0 -> +1 = 1 ; 1 -> +2 = 3 ; outer2: 0 -> 0, 1 -> 100
         assert_eq!(out, vec![0, 1, 3, 100]);

@@ -1,0 +1,252 @@
+//! Supervised retries: per-stage restart budgets, exponential backoff
+//! with jitter, and a per-run wall-clock deadline.
+//!
+//! The [`Supervisor`] does not run anything itself — it is the *policy
+//! oracle* a retry loop consults after each failed attempt:
+//!
+//! ```
+//! use icewafl_stream::supervisor::{Supervisor, SupervisorPolicy};
+//! use icewafl_stream::fault::{FailureKind, StageError};
+//!
+//! let mut sup = Supervisor::new(SupervisorPolicy {
+//!     max_retries: 2,
+//!     deterministic: true, // no sleeping, no jitter: tests stay fast
+//!     ..SupervisorPolicy::default()
+//! });
+//! let err = StageError::new("stage/01_map", FailureKind::Panic, "boom");
+//! assert!(sup.next_retry(&err).is_some()); // retry 1
+//! assert!(sup.next_retry(&err).is_some()); // retry 2
+//! assert!(sup.next_retry(&err).is_none()); // budget exhausted
+//! assert_eq!(sup.restarts(), 2);
+//! ```
+//!
+//! Deadline ([`SupervisorPolicy::deadline`]) and fatal failures are
+//! never retried; everything else (panics, injected chaos faults,
+//! disconnects) is retried up to [`SupervisorPolicy::max_retries`]
+//! times *per stage*, with backoff `min(base · 2^(n−1), max)` scaled by
+//! a jitter factor in `[0.5, 1.5)` drawn from a seeded
+//! [`SplitMix64`] — deterministic across runs with equal seeds. In
+//! `deterministic` mode the backoff is zero so single-threaded runs
+//! stay reproducible and fast.
+
+use crate::chaos::SplitMix64;
+use crate::fault::{FailureKind, StageError};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Restart policy knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorPolicy {
+    /// Retries allowed *per stage* before the failure becomes fatal.
+    /// `0` disables retries ("fail-fast").
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub backoff_base: Duration,
+    /// Upper bound on the (pre-jitter) backoff.
+    pub backoff_max: Duration,
+    /// When `true`, retries happen immediately with no jitter —
+    /// the deterministic single-threaded mode.
+    pub deterministic: bool,
+    /// Wall-clock budget for the whole supervised run (attempts and
+    /// backoff included). `None` = unlimited.
+    pub deadline: Option<Duration>,
+    /// Seed for the jitter RNG.
+    pub seed: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_retries: 0,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(5),
+            deterministic: false,
+            deadline: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Tracks retry budgets across the attempts of one supervised run.
+pub struct Supervisor {
+    policy: SupervisorPolicy,
+    started: Instant,
+    retries: HashMap<String, u32>,
+    restarts: u64,
+    rng: SplitMix64,
+}
+
+impl Supervisor {
+    /// A supervisor for one run; the deadline clock starts now.
+    pub fn new(policy: SupervisorPolicy) -> Self {
+        let rng = SplitMix64::new(policy.seed);
+        Supervisor {
+            policy,
+            started: Instant::now(),
+            retries: HashMap::new(),
+            restarts: 0,
+            rng,
+        }
+    }
+
+    /// The policy this supervisor enforces.
+    pub fn policy(&self) -> &SupervisorPolicy {
+        &self.policy
+    }
+
+    /// Total restarts granted so far (across all stages).
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// The absolute instant of the run deadline, if one is configured —
+    /// pass it to
+    /// [`execute_into_with_options`](crate::stream::DataStream::execute_into_with_options)
+    /// so source drivers enforce it mid-run.
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.policy.deadline.map(|d| self.started + d)
+    }
+
+    /// `true` iff the run deadline has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        matches!(self.deadline_instant(), Some(dl) if Instant::now() >= dl)
+    }
+
+    /// Consulted after a failed attempt: `Some(backoff)` grants a retry
+    /// after sleeping `backoff` (zero in deterministic mode), `None`
+    /// means the failure is final.
+    pub fn next_retry(&mut self, error: &StageError) -> Option<Duration> {
+        self.next_retry_for(&error.stage, error.kind)
+    }
+
+    /// [`Supervisor::next_retry`] from the stage label and kind alone —
+    /// what callers holding a stringly-typed
+    /// `icewafl_types::Error::Pipeline` use (via [`FailureKind::parse`]).
+    pub fn next_retry_for(&mut self, stage: &str, kind: FailureKind) -> Option<Duration> {
+        match kind {
+            // Retrying past the deadline can only blow it further; a
+            // fatal failure is by definition not transient.
+            FailureKind::Deadline | FailureKind::Fatal => return None,
+            FailureKind::Panic | FailureKind::Injected | FailureKind::Disconnect => {}
+        }
+        if self.deadline_exceeded() {
+            return None;
+        }
+        let count = self.retries.entry(stage.to_string()).or_insert(0);
+        if *count >= self.policy.max_retries {
+            return None;
+        }
+        *count += 1;
+        let attempt = *count;
+        self.restarts += 1;
+        Some(self.backoff(attempt))
+    }
+
+    /// `min(base · 2^(n−1), max)` scaled by jitter in `[0.5, 1.5)`.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        if self.policy.deterministic {
+            return Duration::ZERO;
+        }
+        let base = self.policy.backoff_base.as_nanos();
+        let max = self.policy.backoff_max.as_nanos();
+        let exp = base.saturating_mul(1u128 << (attempt - 1).min(64));
+        let capped = exp.min(max) as f64;
+        let jitter = 0.5 + self.rng.next_f64();
+        Duration::from_nanos((capped * jitter) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err(stage: &str) -> StageError {
+        StageError::new(stage, FailureKind::Panic, "boom")
+    }
+
+    #[test]
+    fn retry_budget_is_per_stage() {
+        let mut sup = Supervisor::new(SupervisorPolicy {
+            max_retries: 1,
+            deterministic: true,
+            ..SupervisorPolicy::default()
+        });
+        assert_eq!(sup.next_retry(&err("a")), Some(Duration::ZERO));
+        assert_eq!(sup.next_retry(&err("a")), None);
+        // A different stage has its own budget.
+        assert_eq!(sup.next_retry(&err("b")), Some(Duration::ZERO));
+        assert_eq!(sup.restarts(), 2);
+    }
+
+    #[test]
+    fn fail_fast_policy_never_retries() {
+        let mut sup = Supervisor::new(SupervisorPolicy::default());
+        assert_eq!(sup.next_retry(&err("a")), None);
+        assert_eq!(sup.restarts(), 0);
+    }
+
+    #[test]
+    fn deadline_and_fatal_failures_are_final() {
+        let mut sup = Supervisor::new(SupervisorPolicy {
+            max_retries: 10,
+            deterministic: true,
+            ..SupervisorPolicy::default()
+        });
+        let deadline = StageError::new("s", FailureKind::Deadline, "late");
+        let fatal = StageError::new("s", FailureKind::Fatal, "bad config");
+        assert_eq!(sup.next_retry(&deadline), None);
+        assert_eq!(sup.next_retry(&fatal), None);
+        // Injected chaos faults and disconnects *are* retryable.
+        let injected = StageError::new("s", FailureKind::Injected, "chaos");
+        assert!(sup.next_retry(&injected).is_some());
+    }
+
+    #[test]
+    fn expired_deadline_stops_retries() {
+        let mut sup = Supervisor::new(SupervisorPolicy {
+            max_retries: 10,
+            deterministic: true,
+            deadline: Some(Duration::ZERO),
+            ..SupervisorPolicy::default()
+        });
+        assert!(sup.deadline_exceeded());
+        assert_eq!(sup.next_retry(&err("a")), None);
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_within_bounds() {
+        let mut sup = Supervisor::new(SupervisorPolicy {
+            max_retries: 16,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(80),
+            seed: 7,
+            ..SupervisorPolicy::default()
+        });
+        let expect_ms = [10.0, 20.0, 40.0, 80.0, 80.0];
+        for &base_ms in &expect_ms {
+            let d = sup.next_retry(&err("s")).unwrap();
+            let ms = d.as_secs_f64() * 1e3;
+            assert!(
+                (0.5 * base_ms..1.5 * base_ms).contains(&ms),
+                "backoff {ms}ms outside [{}, {})",
+                0.5 * base_ms,
+                1.5 * base_ms
+            );
+        }
+    }
+
+    #[test]
+    fn equal_seeds_give_equal_backoff_sequences() {
+        let mk = || {
+            Supervisor::new(SupervisorPolicy {
+                max_retries: 5,
+                seed: 99,
+                ..SupervisorPolicy::default()
+            })
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..5 {
+            assert_eq!(a.next_retry(&err("s")), b.next_retry(&err("s")));
+        }
+    }
+}

@@ -89,18 +89,19 @@ where
     fn fire_up_to(&mut self, wm: Timestamp, out: &mut dyn Collector<WindowPane<T>>) {
         let size = self.size.millis();
         // A window k fires when wm >= its end (k+1)*size - 1ms is
-        // covered, i.e. (k+1)*size <= wm + 1.
-        let fire_keys: Vec<i64> = self
-            .panes
-            .keys()
-            .copied()
-            .take_while(|k| match (k + 1).checked_mul(size) {
+        // covered, i.e. (k+1)*size <= wm + 1. Popping the first (lowest)
+        // key until it stops firing avoids a key list and the
+        // remove-after-peek `expect`.
+        while let Some(entry) = self.panes.first_entry() {
+            let k = *entry.key();
+            let fires = match (k + 1).checked_mul(size) {
                 Some(end) => end <= wm.millis().saturating_add(1),
                 None => false,
-            })
-            .collect();
-        for k in fire_keys {
-            let records = self.panes.remove(&k).expect("key taken from map");
+            };
+            if !fires {
+                break;
+            }
+            let records = entry.remove();
             out.collect(WindowPane {
                 start: Timestamp(k * size),
                 end: Timestamp((k + 1) * size),
@@ -126,9 +127,7 @@ where
     }
 
     fn on_end(&mut self, out: &mut dyn Collector<WindowPane<T>>) {
-        let keys: Vec<i64> = self.panes.keys().copied().collect();
-        for k in keys {
-            let records = self.panes.remove(&k).expect("key taken from map");
+        while let Some((k, records)) = self.panes.pop_first() {
             out.collect(WindowPane {
                 start: Timestamp(k * self.size.millis()),
                 end: Timestamp((k + 1) * self.size.millis()),

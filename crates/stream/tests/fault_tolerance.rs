@@ -1,0 +1,127 @@
+//! Fault-tolerance integration tests: a mid-stream worker panic under
+//! the threaded combinators (`pipelined`, `split_merge_parallel`) must
+//! neither deadlock nor silently truncate — the run terminates promptly
+//! with a typed error naming the failing stage.
+//!
+//! Every test body runs on a watchdog thread with a generous timeout so
+//! a regression shows up as a test failure, not a hung CI job.
+
+use icewafl_stream::chaos::install_quiet_panic_hook;
+use icewafl_stream::prelude::*;
+use std::time::Duration;
+
+const PANIC_AT: i64 = 5_000;
+const N: i64 = 20_000;
+
+/// Marker matching the quiet panic hook's suppression list.
+const MARKER: &str = "[chaos-injected] deliberate test panic";
+
+/// Runs `f` on its own thread; panics if it does not finish within 60 s
+/// (a deadlocked channel would otherwise hang the whole test binary).
+fn with_timeout<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(60))
+        .expect("pipeline must terminate, not deadlock")
+}
+
+fn panicking_map(x: i64) -> i64 {
+    if x == PANIC_AT {
+        panic!("{MARKER} at {x}");
+    }
+    x
+}
+
+#[test]
+fn mid_stream_panic_under_pipelined_terminates_with_error() {
+    install_quiet_panic_hook();
+    let err = with_timeout(|| {
+        DataStream::from_vec((0..N).collect::<Vec<i64>>())
+            .map(panicking_map)
+            .pipelined(64)
+            .map(|x| x + 1)
+            .collect()
+            .unwrap_err()
+    });
+    assert_eq!(err.kind(), FailureKind::Injected);
+    assert!(
+        err.message().contains("deliberate test panic"),
+        "panic payload survives: {}",
+        err.message()
+    );
+}
+
+#[test]
+fn mid_stream_panic_under_split_merge_parallel_terminates_with_error() {
+    install_quiet_panic_hook();
+    let err = with_timeout(|| {
+        let builders: Vec<SubPipelineBuilder<i64, i64>> = vec![
+            Box::new(|s: DataStream<i64>| s.map(panicking_map)),
+            Box::new(|s: DataStream<i64>| s.map(|x| x)),
+        ];
+        DataStream::from_vec((0..N).collect::<Vec<i64>>())
+            .split_merge_parallel(|x, out| out.push((*x % 2) as usize), builders)
+            .collect()
+            .unwrap_err()
+    });
+    assert_eq!(err.kind(), FailureKind::Injected);
+}
+
+#[test]
+fn panic_in_selector_of_parallel_router_is_attributed() {
+    install_quiet_panic_hook();
+    let err = with_timeout(|| {
+        let builders: Vec<SubPipelineBuilder<i64, i64>> =
+            vec![Box::new(|s: DataStream<i64>| s.map(|x| x))];
+        DataStream::from_vec((0..N).collect::<Vec<i64>>())
+            .split_merge_parallel(
+                |x, out| {
+                    if *x == PANIC_AT {
+                        panic!("{MARKER} in selector");
+                    }
+                    out.push(0);
+                },
+                builders,
+            )
+            .collect()
+            .unwrap_err()
+    });
+    assert!(
+        err.stage().contains("split_router"),
+        "selector panics blame the router, got `{}`",
+        err.stage()
+    );
+}
+
+#[test]
+fn healthy_parallel_pipelines_still_deliver_everything() {
+    // The guard rails must not tax the success path: same combinators,
+    // no fault, full delivery.
+    let out = with_timeout(|| {
+        let builders: Vec<SubPipelineBuilder<i64, i64>> = vec![
+            Box::new(|s: DataStream<i64>| s.map(|x| x).pipelined(128)),
+            Box::new(|s: DataStream<i64>| s.map(|x| -x)),
+        ];
+        DataStream::from_vec((0..N).collect::<Vec<i64>>())
+            .split_merge_parallel(|x, out| out.push((*x % 2) as usize), builders)
+            .collect()
+            .unwrap()
+    });
+    assert_eq!(out.len(), N as usize);
+}
+
+#[test]
+fn sequential_panic_truncates_loudly_not_silently() {
+    install_quiet_panic_hook();
+    // The sink may have received a prefix before the failure — that is
+    // fine — but the caller must get Err, never an Ok with missing data.
+    let sink = SharedVecSink::new();
+    let result = DataStream::from_vec((0..N).collect::<Vec<i64>>())
+        .map(panicking_map)
+        .execute_into(sink.clone());
+    let delivered = sink.take();
+    assert!(result.is_err(), "truncation must be loud");
+    assert!(delivered.len() < N as usize);
+}

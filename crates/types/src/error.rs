@@ -38,6 +38,20 @@ pub enum Error {
     /// An I/O error, carried as a string because `std::io::Error` is not
     /// `Clone`/`PartialEq`.
     Io(String),
+    /// A stream pipeline terminated abnormally (operator panic, injected
+    /// chaos fault, deadline, dead worker). Carries the failing stage
+    /// label and the rendered panic payload / diagnostic so callers can
+    /// report *where* a run died without a raw backtrace.
+    Pipeline {
+        /// Label of the failing stage, e.g. `stage/02_pollution_pipeline`.
+        stage: String,
+        /// Stable failure-kind string (`panic`, `injected`, `deadline`,
+        /// `disconnect`, `fatal`) — stringly typed here so `icewafl-types`
+        /// stays independent of the stream runtime.
+        kind: String,
+        /// Human-readable detail (the panic message for panics).
+        message: String,
+    },
 }
 
 impl Error {
@@ -70,6 +84,11 @@ impl fmt::Display for Error {
             }
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
+            Error::Pipeline {
+                stage,
+                kind,
+                message,
+            } => write!(f, "pipeline failed at stage `{stage}` ({kind}): {message}"),
         }
     }
 }
@@ -120,6 +139,19 @@ mod tests {
         let e: Error = io.into();
         assert!(matches!(e, Error::Io(_)));
         assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn display_pipeline_failure() {
+        let e = Error::Pipeline {
+            stage: "stage/01_map".into(),
+            kind: "panic".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "pipeline failed at stage `stage/01_map` (panic): boom"
+        );
     }
 
     #[test]

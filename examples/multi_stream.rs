@@ -50,6 +50,8 @@ fn main() {
                 },
             ],
         ],
+        supervision: None,
+        chaos: None,
     };
     let pipelines = config.build(&schema).expect("config builds");
     let job = PollutionJob::new(schema.clone()).with_assigner(SubStreamAssigner::Broadcast);

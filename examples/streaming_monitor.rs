@@ -46,7 +46,8 @@ fn main() {
         WatermarkStrategy::ascending(|t: &StampedTuple| t.tau),
     )
     .transform(monitor)
-    .collect();
+    .collect()
+    .expect("monitor pipeline runs");
 
     println!("=== streaming DQ monitor: 6-hour windows ===\n");
     println!(

@@ -53,6 +53,7 @@ USAGE:
   icewafl pollute  --schema S --config CFG.json --input IN.csv --output OUT.csv
                    [--clean CLEAN.csv] [--log LOG.json] [--seed N] [--parallel]
                    [--report] [--metrics-json METRICS.json]
+                   [--max-retries N] [--fail-fast]
   icewafl validate --schema S --input IN.csv --suite SUITE.json
   icewafl profile  --schema S --input IN.csv
   icewafl generate --dataset wearable|airquality[:STATION] --output OUT.csv [--seed N]
@@ -60,7 +61,12 @@ USAGE:
 
   --schema S        a built-in schema name (wearable, airquality) or a schema JSON file
   --report          print the run report (per-polluter and per-stage metrics)
-  --metrics-json F  write the run report as JSON to F"
+  --metrics-json F  write the run report as JSON to F
+  --max-retries N   allow N supervised restarts per failing stage
+  --fail-fast       disable restarts even if the config enables them
+
+A stage failure (panic, injected fault, deadline) exits non-zero with a
+one-line diagnostic naming the failing stage."
     );
 }
 
@@ -111,12 +117,24 @@ fn cmd_pollute(args: &[String]) -> Result<()> {
     }
     let tuples = load_tuples(&input, &schema)?;
     let n = tuples.len();
-    let pipelines = config.build(&schema)?;
-    let mut job = JobConfigRunner::new(&schema, pipelines.len());
+    let mut job = JobConfigRunner::new(&schema, config.pipelines.len());
     if present(args, "--parallel") {
         job.job = job.job.parallel();
     }
-    let out = job.job.run(tuples, pipelines)?;
+    // Config sections first, then flags override the retry budget.
+    job.job = config.configure_job(job.job);
+    if let Some(retries) = flag(args, "--max-retries") {
+        let retries = retries
+            .parse()
+            .map_err(|_| Error::config(format_args!("bad --max-retries `{retries}`")))?;
+        job.job = job.job.with_max_retries(retries);
+    }
+    if present(args, "--fail-fast") {
+        job.job = job.job.with_max_retries(0);
+    }
+    // Supervised even at 0 retries: a failing stage then surfaces as a
+    // one-line `icewafl: pipeline failed …` diagnostic and exit code 1.
+    let out = job.job.run_supervised(tuples, || config.build(&schema))?;
 
     let dirty: Vec<Tuple> = out.polluted.iter().map(|t| t.tuple.clone()).collect();
     write_csv_file(&output, &schema, &dirty)?;

@@ -1,0 +1,153 @@
+//! Chaos-recovery acceptance tests (the ISSUE's two contract points):
+//!
+//! 1. a seeded chaos run whose injected fault panics an operator
+//!    completes with a typed pipeline error naming the failing stage —
+//!    no deadlock, no silent truncation;
+//! 2. the *same* configuration run under a supervisor with
+//!    `max_retries ≥ 1` recovers from a transient fault and reports
+//!    `restarts ≥ 1` in the `RunReport`.
+//!
+//! Everything is seeded, so these runs are reproducible bit-for-bit.
+
+use icewafl::prelude::*;
+use icewafl::types::{DataType, Error, Timestamp, Value};
+
+fn schema() -> Schema {
+    Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
+}
+
+fn tuples(n: i64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp(i * 60_000)),
+                Value::Float(i as f64),
+            ])
+        })
+        .collect()
+}
+
+/// A job config with one real polluter plus a chaos section that panics
+/// once (`panic_budget: 1` = a transient fault).
+fn chaotic_config(max_retries: u32) -> JobConfig {
+    let mut cfg = JobConfig::from_json(&format!(
+        r#"{{
+            "seed": 42,
+            "pipelines": [[{{
+                "type": "standard",
+                "name": "null-x",
+                "attributes": ["x"],
+                "error": {{ "type": "missing_value" }},
+                "condition": {{ "type": "probability", "p": 0.5 }}
+            }}]],
+            "supervision": {{ "max_retries": {max_retries}, "deterministic": true }},
+            "chaos": {{ "panic_rate": 1.0, "panic_budget": 1 }}
+        }}"#
+    ))
+    .expect("config parses");
+    assert!(cfg.supervision.is_some() && cfg.chaos.is_some());
+    cfg.seed = 42;
+    cfg
+}
+
+fn job_for(cfg: &JobConfig) -> PollutionJob {
+    cfg.configure_job(PollutionJob::new(schema()))
+}
+
+#[test]
+fn seeded_chaos_panic_yields_typed_error_naming_the_stage() {
+    let cfg = chaotic_config(0); // fail-fast: the one injected panic is fatal
+    let job = job_for(&cfg);
+    let err = job
+        .run_supervised(tuples(100), || cfg.build(&schema()))
+        .unwrap_err();
+    match err {
+        Error::Pipeline {
+            stage,
+            kind,
+            message,
+        } => {
+            assert!(
+                stage.contains("chaos"),
+                "failing stage is the injector: `{stage}`"
+            );
+            assert_eq!(kind, "injected");
+            assert!(message.contains("injected panic"), "payload: {message}");
+        }
+        other => panic!("expected Error::Pipeline, got: {other}"),
+    }
+}
+
+#[test]
+fn same_config_with_retries_recovers_and_reports_restarts() {
+    let cfg = chaotic_config(2);
+    let job = job_for(&cfg);
+    let out = job
+        .run_supervised(tuples(100), || cfg.build(&schema()))
+        .expect("transient fault heals after restart");
+    assert!(
+        out.report.restarts >= 1,
+        "supervisor consumed at least one restart"
+    );
+    assert_eq!(out.polluted.len(), 100, "full stream reprocessed");
+    // The recovery is visible in the human-readable report too.
+    assert!(out.report.render().contains("supervised restarts"));
+}
+
+#[test]
+fn recovered_run_matches_an_undisturbed_run() {
+    // Fault tolerance must not change *what* is computed: the retry
+    // rebuilds the pipelines, so the polluted output equals a run that
+    // never saw the fault.
+    let cfg = chaotic_config(2);
+    let disturbed = job_for(&cfg)
+        .run_supervised(tuples(100), || cfg.build(&schema()))
+        .unwrap();
+    let mut calm_cfg = cfg.clone();
+    calm_cfg.chaos = None;
+    let calm = job_for(&calm_cfg)
+        .run_supervised(tuples(100), || calm_cfg.build(&schema()))
+        .unwrap();
+    assert_eq!(disturbed.polluted, calm.polluted);
+    assert_eq!(calm.report.restarts, 0);
+}
+
+#[test]
+fn expired_deadline_fails_with_deadline_kind_and_never_retries() {
+    let mut cfg = chaotic_config(5);
+    cfg.chaos = None; // no panics: the deadline itself is the fault
+    let supervision = cfg.supervision.as_mut().unwrap();
+    supervision.deadline_ms = Some(0);
+    let job = job_for(&cfg);
+    let err = job
+        .run_supervised(tuples(5_000), || cfg.build(&schema()))
+        .unwrap_err();
+    match err {
+        Error::Pipeline { kind, .. } => assert_eq!(kind, "deadline"),
+        other => panic!("expected deadline failure, got: {other}"),
+    }
+}
+
+#[test]
+fn chaos_metrics_surface_in_the_run_report() {
+    // Drops are non-fatal: the run succeeds and the injector's counters
+    // land in the report (when metrics are compiled in).
+    let mut cfg = chaotic_config(0);
+    cfg.chaos = Some(icewafl::core::config::ChaosSectionConfig {
+        drop_rate: 1.0,
+        ..Default::default()
+    });
+    let job = job_for(&cfg);
+    let out = job
+        .run_supervised(tuples(50), || cfg.build(&schema()))
+        .unwrap();
+    assert!(out.polluted.is_empty(), "every record dropped in flight");
+    if out.report.metrics_compiled_in {
+        assert_eq!(
+            out.report
+                .metrics
+                .counter("chaos/substream_0/injected_drops"),
+            50
+        );
+    }
+}
