@@ -75,6 +75,7 @@ fn bench_substream_count(c: &mut Criterion) {
                 .collect(),
             supervision: None,
             chaos: None,
+            execution: None,
         };
         group.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {
             b.iter_batched(
@@ -103,6 +104,7 @@ fn bench_parallelism(c: &mut Criterion) {
             .collect(),
         supervision: None,
         chaos: None,
+        execution: None,
     };
     let mut group = c.benchmark_group("substream_parallelism");
     group.measurement_time(Duration::from_secs(4));

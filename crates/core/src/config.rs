@@ -55,6 +55,10 @@ pub struct JobConfig {
     /// Runtime fault injection for chaos testing (absent = disabled).
     #[serde(default)]
     pub chaos: Option<ChaosSectionConfig>,
+    /// Optional execution overrides (assigner, strategy, watermark
+    /// period); absent = plan-level defaults.
+    #[serde(default)]
+    pub execution: Option<ExecutionSectionConfig>,
 }
 
 impl JobConfig {
@@ -65,6 +69,7 @@ impl JobConfig {
             pipelines: vec![polluters],
             supervision: None,
             chaos: None,
+            execution: None,
         }
     }
 
@@ -81,37 +86,65 @@ impl JobConfig {
     /// Binds the configuration to a schema, producing runnable
     /// pipelines. Building is deterministic in `seed`.
     pub fn build(&self, schema: &Schema) -> Result<Vec<PollutionPipeline>> {
-        let seeds = SeedFactory::new(self.seed);
-        self.pipelines
-            .iter()
-            .enumerate()
-            .map(|(i, polluters)| {
-                let path = ComponentPath::root().child("pipeline").index(i);
-                let built: Result<Vec<BoxPolluter>> = polluters
-                    .iter()
-                    .enumerate()
-                    .map(|(j, p)| build_polluter(p, schema, &seeds, &path.index(j)))
-                    .collect();
-                Ok(PollutionPipeline::new(built?))
-            })
-            .collect()
+        build_pipelines(self.seed, &self.pipelines, schema)
     }
 
-    /// Applies the optional `supervision` / `chaos` sections to a job.
-    /// Both derive their RNG seeds from the master seed, so a config is
-    /// fully reproducible including its injected faults.
-    pub fn configure_job(
-        &self,
-        mut job: crate::runner::PollutionJob,
-    ) -> crate::runner::PollutionJob {
-        if let Some(supervision) = &self.supervision {
-            job = job.with_supervision(supervision.to_policy(self.seed));
+    /// Lowers the configuration to a [`LogicalPlan`] — the single job
+    /// representation every entry point (JSON config, builder API, CLI)
+    /// compiles and executes through.
+    pub fn to_plan(&self) -> crate::plan::LogicalPlan {
+        let execution = self.execution.clone().unwrap_or_default();
+        crate::plan::LogicalPlan {
+            seed: self.seed,
+            pipelines: self.pipelines.clone(),
+            assigner: execution.assigner,
+            strategy: execution.strategy,
+            watermark_period: execution.watermark_period.unwrap_or(64),
+            logging: true,
+            supervision: self.supervision.clone(),
+            chaos: self.chaos.clone(),
         }
-        if let Some(chaos) = &self.chaos {
-            job = job.with_chaos(chaos.to_chaos(self.seed));
-        }
-        job
     }
+}
+
+/// Serializable execution overrides (`JobConfig::execution`).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+pub struct ExecutionSectionConfig {
+    /// Sub-stream assignment strategy.
+    #[serde(default)]
+    pub assigner: crate::plan::AssignerSpec,
+    /// Execution strategy hint.
+    #[serde(default)]
+    pub strategy: crate::plan::StrategyHint,
+    /// Source watermark period in tuples (absent = plan default).
+    #[serde(default)]
+    pub watermark_period: Option<u64>,
+}
+
+/// Builds runnable pipelines from polluter specs — the one construction
+/// path shared by [`JobConfig::build`] and
+/// [`LogicalPlan::build_pipelines`](crate::plan::LogicalPlan::build_pipelines).
+/// Deterministic in `seed`: component RNGs derive from the master seed
+/// and the component's path.
+pub(crate) fn build_pipelines(
+    seed: u64,
+    pipelines: &[Vec<PolluterConfig>],
+    schema: &Schema,
+) -> Result<Vec<PollutionPipeline>> {
+    let seeds = SeedFactory::new(seed);
+    pipelines
+        .iter()
+        .enumerate()
+        .map(|(i, polluters)| {
+            let path = ComponentPath::root().child("pipeline").index(i);
+            let built: Result<Vec<BoxPolluter>> = polluters
+                .iter()
+                .enumerate()
+                .map(|(j, p)| build_polluter(p, schema, &seeds, &path.index(j)))
+                .collect();
+            Ok(PollutionPipeline::new(built?))
+        })
+        .collect()
 }
 
 /// Serializable supervised-retry policy (`JobConfig::supervision`).
@@ -1257,6 +1290,7 @@ mod tests {
             ]],
             supervision: None,
             chaos: None,
+            execution: None,
         };
         let mut pipelines = cfg.build(&schema()).unwrap();
         let out = pollute_stream(&schema(), stream(2000), pipelines.pop().unwrap()).unwrap();

@@ -66,6 +66,7 @@ pub mod error_fn;
 pub mod log;
 pub mod pattern;
 pub mod pipeline;
+pub mod plan;
 pub mod polluter;
 pub mod prepare;
 pub mod propagation;
@@ -76,11 +77,18 @@ pub mod stats;
 pub mod temporal;
 
 pub use condition::Condition;
-pub use config::{ConditionConfig, ErrorConfig, JobConfig, PolluterConfig};
+pub use config::{
+    ChaosSectionConfig, ConditionConfig, ErrorConfig, ExecutionSectionConfig, JobConfig,
+    PolluterConfig, SupervisionConfig,
+};
 pub use error_fn::ErrorFunction;
 pub use log::{LogEntry, PollutionLog};
 pub use pattern::ChangePattern;
 pub use pipeline::{CompositePolluter, OneOfPolluter, PollutionPipeline};
+pub use plan::{
+    AssignerSpec, ControlHandle, ExecutionStrategy, LogicalPlan, PhysicalPlan, PlanDelta,
+    StageInfo, StrategyHint,
+};
 pub use polluter::{BoxPolluter, Emission, Polluter, StandardPolluter};
 pub use report::RunReport;
 pub use runner::{
@@ -95,7 +103,10 @@ pub mod prelude {
         NotCondition, OrCondition, PatternProbability, Probability, SinusoidalProbability,
         TimeWindow, ValueCondition,
     };
-    pub use crate::config::{ConditionConfig, ErrorConfig, JobConfig, PolluterConfig};
+    pub use crate::config::{
+        ChaosSectionConfig, ConditionConfig, ErrorConfig, ExecutionSectionConfig, JobConfig,
+        PolluterConfig, SupervisionConfig,
+    };
     pub use crate::error_fn::{
         Constant, ErrorFunction, GaussianNoise, IncorrectCategory, MissingValue, Outlier, Rounding,
         ScaleByFactor, StringTypo, SwapAttributes, TimestampShift, TypoKind,
@@ -104,6 +115,10 @@ pub mod prelude {
     pub use crate::log::{LogEntry, PollutionLog};
     pub use crate::pattern::ChangePattern;
     pub use crate::pipeline::{CompositePolluter, OneOfPolluter, PollutionPipeline};
+    pub use crate::plan::{
+        AssignerSpec, ControlHandle, ExecutionStrategy, LogicalPlan, PhysicalPlan, PlanDelta,
+        StrategyHint,
+    };
     pub use crate::polluter::{BoxPolluter, Emission, Polluter, StandardPolluter};
     pub use crate::propagation::{KeyedPolluter, PropagationPolluter};
     pub use crate::report::RunReport;
@@ -214,7 +229,7 @@ mod proptests {
                     condition: ConditionConfig::Probability { p: 0.1 },
                     copies: 2,
                 },
-            ]], supervision: None, chaos: None };
+            ]], supervision: None, chaos: None, execution: None };
             let pipeline = cfg.build(&schema()).unwrap().pop().unwrap();
             let out = pollute_stream(&schema(), stream(n), pipeline).unwrap();
             let dropped = out.log.counts_by_polluter().get("drop").copied().unwrap_or(0);

@@ -58,15 +58,47 @@ impl PollutionPipeline {
 
     /// Feeds one tuple through all stages.
     pub fn process(&mut self, tuple: StampedTuple, out: &mut Emission) {
+        self.scratch_a.clear();
+        self.scratch_a.push(tuple);
+        self.drain_through_stages(out, |_, _| {});
+    }
+
+    /// Advances event time through all stages; tuples released by stage
+    /// `i` continue through stages `i+1…`.
+    pub fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
+        self.scratch_a.clear();
+        self.drain_through_stages(out, |stage, em| stage.on_watermark(wm, em));
+    }
+
+    /// Ends the stream: every stage flushes, and flushed tuples continue
+    /// through the remaining stages.
+    pub fn finish(&mut self, out: &mut Emission) {
+        self.scratch_a.clear();
+        self.drain_through_stages(out, |stage, em| stage.finish(em));
+    }
+
+    /// The one stage-chaining loop behind `process`/`on_watermark`/
+    /// `finish`: whatever is seeded in `scratch_a` flows through every
+    /// stage, `event` fires once per stage after its pending tuples
+    /// (watermark/finish callbacks), and everything a stage emits —
+    /// including tuples the event released — continues through the
+    /// remaining stages. Survivors are emitted to `out`; the scratch
+    /// buffers are retained for reuse.
+    fn drain_through_stages<F>(&mut self, out: &mut Emission, mut event: F)
+    where
+        F: FnMut(&mut BoxPolluter, &mut Emission),
+    {
         let mut current = std::mem::take(&mut self.scratch_a);
         let mut next = std::mem::take(&mut self.scratch_b);
-        current.clear();
         next.clear();
-        current.push(tuple);
         for stage in &mut self.stages {
             for t in current.drain(..) {
                 let mut em = out.with_buffer(&mut next);
                 stage.process(t, &mut em);
+            }
+            {
+                let mut em = out.with_buffer(&mut next);
+                event(stage, &mut em);
             }
             std::mem::swap(&mut current, &mut next);
         }
@@ -74,56 +106,6 @@ impl PollutionPipeline {
             out.emit(t);
         }
         self.scratch_a = current;
-        self.scratch_b = next;
-    }
-
-    /// Advances event time through all stages; tuples released by stage
-    /// `i` continue through stages `i+1…`.
-    pub fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
-        let mut pending = std::mem::take(&mut self.scratch_a);
-        let mut next = std::mem::take(&mut self.scratch_b);
-        pending.clear();
-        next.clear();
-        for stage in &mut self.stages {
-            for t in pending.drain(..) {
-                let mut em = out.with_buffer(&mut next);
-                stage.process(t, &mut em);
-            }
-            {
-                let mut em = out.with_buffer(&mut next);
-                stage.on_watermark(wm, &mut em);
-            }
-            std::mem::swap(&mut pending, &mut next);
-        }
-        for t in pending.drain(..) {
-            out.emit(t);
-        }
-        self.scratch_a = pending;
-        self.scratch_b = next;
-    }
-
-    /// Ends the stream: every stage flushes, and flushed tuples continue
-    /// through the remaining stages.
-    pub fn finish(&mut self, out: &mut Emission) {
-        let mut pending = std::mem::take(&mut self.scratch_a);
-        let mut next = std::mem::take(&mut self.scratch_b);
-        pending.clear();
-        next.clear();
-        for stage in &mut self.stages {
-            for t in pending.drain(..) {
-                let mut em = out.with_buffer(&mut next);
-                stage.process(t, &mut em);
-            }
-            {
-                let mut em = out.with_buffer(&mut next);
-                stage.finish(&mut em);
-            }
-            std::mem::swap(&mut pending, &mut next);
-        }
-        for t in pending.drain(..) {
-            out.emit(t);
-        }
-        self.scratch_a = pending;
         self.scratch_b = next;
     }
 
@@ -626,6 +608,61 @@ mod tests {
         assert!(OneOfPolluter::weighted("x", Box::new(Always), mk(), &[0.5, 0.5], rng(1)).is_err());
         assert!(OneOfPolluter::weighted("x", Box::new(Always), mk(), &[-1.0], rng(1)).is_err());
         assert!(OneOfPolluter::weighted("x", Box::new(Always), mk(), &[0.0], rng(1)).is_err());
+    }
+
+    fn one_of_run(weights: &[f64], seed: u64, n: u64) -> Vec<Value> {
+        let children: Vec<BoxPolluter> = vec![
+            std_polluter("zero", Box::new(Constant::new(Value::Int(0))), "BPM"),
+            std_polluter("null", Box::new(MissingValue), "BPM"),
+        ];
+        let mut one_of =
+            OneOfPolluter::weighted("either", Box::new(Always), children, weights, rng(seed))
+                .unwrap();
+        (0..n)
+            .map(|i| {
+                let mut out = Vec::new();
+                let mut log = PollutionLog::new();
+                let mut em = Emission::new(&mut out, &mut log);
+                one_of.process(tuple(i, i as i64 * 1000, 70, 1.0), &mut em);
+                out.pop().unwrap().tuple.get(1).unwrap().clone()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_of_weights_normalize() {
+        // Only the weight *ratios* matter: [9, 1] and [0.9, 0.1] draw
+        // against the same cumulative fractions, so under the same seed
+        // every pick is identical.
+        assert_eq!(
+            one_of_run(&[9.0, 1.0], 5, 500),
+            one_of_run(&[0.9, 0.1], 5, 500)
+        );
+        assert_eq!(
+            one_of_run(&[18.0, 2.0], 5, 500),
+            one_of_run(&[0.9, 0.1], 5, 500)
+        );
+    }
+
+    #[test]
+    fn one_of_zero_weight_child_never_fires() {
+        // Weight 0 on the nulling child: no tuple may come out null.
+        let out = one_of_run(&[1.0, 0.0], 7, 1000);
+        assert!(
+            out.iter().all(|v| *v == Value::Int(0)),
+            "zero-weight child fired"
+        );
+    }
+
+    #[test]
+    fn one_of_weighted_is_deterministic_under_fixed_seed() {
+        let a = one_of_run(&[0.7, 0.3], 11, 1000);
+        let b = one_of_run(&[0.7, 0.3], 11, 1000);
+        assert_eq!(a, b, "same seed, same picks");
+        // Both children actually participate at these weights.
+        assert!(a.contains(&Value::Int(0)) && a.contains(&Value::Null));
+        // A different seed produces a different draw sequence.
+        assert_ne!(a, one_of_run(&[0.7, 0.3], 12, 1000));
     }
 
     #[test]

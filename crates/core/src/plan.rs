@@ -1,0 +1,1183 @@
+//! Logical/physical plan split with epoch-based runtime
+//! reconfiguration.
+//!
+//! Every way of describing a pollution job — a JSON document
+//! ([`JobConfig`](crate::config::JobConfig)), the
+//! [`PollutionJob`](crate::runner::PollutionJob) builder, or CLI flags —
+//! lowers to the same serializable [`LogicalPlan`]: *what* to pollute
+//! (seed, per-sub-stream polluter specs, assigner) and under which
+//! fault-tolerance/observability settings. [`LogicalPlan::compile`]
+//! turns it into a [`PhysicalPlan`]: the chosen
+//! [`ExecutionStrategy`], the resolved sub-stream assigner, and the
+//! predicted stage layout (labels + metric names, rendered by
+//! [`PhysicalPlan::explain`]). Execution happens through one path —
+//! [`crate::runner::execute_attempt`] — regardless of the entry point.
+//!
+//! On top of the compile→execute split sits **runtime
+//! reconfiguration** in the style of Fries (arXiv:2210.10306): a
+//! [`ControlHandle`] accepts [`PlanDelta`]s that are validated by
+//! re-deriving the full plan, then applied *atomically at a watermark
+//! epoch* inside the running job. Because the fan-out router broadcasts
+//! every watermark to all sub-streams, each sub-stream's pipeline
+//! operator observes the same watermark sequence and swaps to the new
+//! plan at the same boundary — no tuple ever sees a half-applied
+//! configuration.
+
+use crate::config::{
+    build_pipelines, ChaosSectionConfig, ConditionConfig, ErrorConfig, PolluterConfig,
+    SupervisionConfig,
+};
+use crate::pipeline::PollutionPipeline;
+use crate::runner::{
+    execute_attempt, run_supervised_with, ExecSettings, PollutionOutput, SubStreamAssigner,
+};
+use icewafl_stream::chaos::ChaosConfig;
+use icewafl_stream::control::ControlChannel;
+use icewafl_stream::supervisor::SupervisorPolicy;
+use icewafl_types::{Error, Result, Schema, Timestamp, Tuple};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Bounded-channel capacity used by the `pipelined` strategy.
+pub const PIPELINED_CAPACITY: usize = 1024;
+
+/// Declarative choice of execution strategy (part of the logical plan);
+/// resolved to an [`ExecutionStrategy`] at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum StrategyHint {
+    /// Let the compiler pick (currently: sequential, the deterministic
+    /// default).
+    #[default]
+    Auto,
+    /// Single-threaded, fully deterministic execution.
+    Sequential,
+    /// Sequential sub-streams, with the merge/sort tail decoupled onto
+    /// its own thread over a bounded channel.
+    Pipelined,
+    /// One worker thread per sub-stream
+    /// ([`DataStream::split_merge_parallel`](icewafl_stream::DataStream::split_merge_parallel)).
+    SplitMergeParallel,
+}
+
+impl StrategyHint {
+    /// Resolves the hint into a concrete strategy.
+    pub fn resolve(self) -> ExecutionStrategy {
+        match self {
+            StrategyHint::Auto | StrategyHint::Sequential => ExecutionStrategy::Sequential,
+            StrategyHint::Pipelined => ExecutionStrategy::Pipelined {
+                capacity: PIPELINED_CAPACITY,
+            },
+            StrategyHint::SplitMergeParallel => ExecutionStrategy::SplitMergeParallel,
+        }
+    }
+}
+
+/// The concrete execution strategy of a [`PhysicalPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionStrategy {
+    /// Everything on the calling thread, deterministic.
+    Sequential,
+    /// A bounded channel decouples the merged stream from the sort/sink
+    /// tail.
+    Pipelined {
+        /// Channel capacity in elements.
+        capacity: usize,
+    },
+    /// Each sub-stream pipeline runs on its own worker thread.
+    SplitMergeParallel,
+}
+
+impl std::fmt::Display for ExecutionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionStrategy::Sequential => write!(f, "sequential"),
+            ExecutionStrategy::Pipelined { capacity } => {
+                write!(f, "pipelined(capacity={capacity})")
+            }
+            ExecutionStrategy::SplitMergeParallel => write!(f, "split_merge_parallel"),
+        }
+    }
+}
+
+/// Declarative sub-stream assignment (part of the logical plan);
+/// resolved against the pipeline count at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum AssignerSpec {
+    /// Round-robin for multiple sub-streams, broadcast for one — the
+    /// historical default of the CLI.
+    #[default]
+    Auto,
+    /// Every tuple goes to every sub-stream.
+    Broadcast,
+    /// Tuple `i` goes to sub-stream `i mod m`.
+    RoundRobin,
+    /// Each tuple joins each sub-stream with probability `p`.
+    Probabilistic {
+        /// Per-sub-stream membership probability.
+        p: f64,
+    },
+}
+
+impl AssignerSpec {
+    /// Resolves the spec for `m` sub-streams; probabilistic assignment
+    /// derives its RNG from the plan's master `seed`.
+    pub fn resolve(self, m: usize, seed: u64) -> SubStreamAssigner {
+        match self {
+            AssignerSpec::Auto => {
+                if m > 1 {
+                    SubStreamAssigner::RoundRobin
+                } else {
+                    SubStreamAssigner::Broadcast
+                }
+            }
+            AssignerSpec::Broadcast => SubStreamAssigner::Broadcast,
+            AssignerSpec::RoundRobin => SubStreamAssigner::RoundRobin,
+            AssignerSpec::Probabilistic { p } => SubStreamAssigner::Probabilistic { p, seed },
+        }
+    }
+
+    fn describe(self, m: usize) -> String {
+        match self {
+            AssignerSpec::Auto if m > 1 => "round_robin (auto)".into(),
+            AssignerSpec::Auto => "broadcast (auto)".into(),
+            AssignerSpec::Broadcast => "broadcast".into(),
+            AssignerSpec::RoundRobin => "round_robin".into(),
+            AssignerSpec::Probabilistic { p } => format!("probabilistic(p={p})"),
+        }
+    }
+}
+
+fn default_watermark_period() -> u64 {
+    64
+}
+
+fn default_true() -> bool {
+    true
+}
+
+/// The serializable description of a pollution job: *what* to run.
+///
+/// A logical plan is executor-agnostic — it carries polluter specs
+/// (not built polluters), a declarative assigner and strategy hint, and
+/// the optional supervision/chaos sections. Compile it against a schema
+/// with [`LogicalPlan::compile`] to obtain a runnable
+/// [`PhysicalPlan`], or derive a modified plan with
+/// [`LogicalPlan::apply`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LogicalPlan {
+    /// Master seed; every component RNG derives from it.
+    #[serde(default)]
+    pub seed: u64,
+    /// One polluter list per sub-stream pipeline (`m = pipelines.len()`).
+    pub pipelines: Vec<Vec<PolluterConfig>>,
+    /// How tuples are assigned to sub-streams.
+    #[serde(default)]
+    pub assigner: AssignerSpec,
+    /// Which execution strategy to compile to.
+    #[serde(default)]
+    pub strategy: StrategyHint,
+    /// Emit a source watermark every this many tuples — also the grain
+    /// of reconfiguration epochs.
+    #[serde(default = "default_watermark_period")]
+    pub watermark_period: u64,
+    /// Record ground truth (disable for overhead benchmarks).
+    #[serde(default = "default_true")]
+    pub logging: bool,
+    /// Supervised-retry policy (absent = fail-fast).
+    #[serde(default)]
+    pub supervision: Option<SupervisionConfig>,
+    /// Runtime fault injection (absent = disabled).
+    #[serde(default)]
+    pub chaos: Option<ChaosSectionConfig>,
+}
+
+impl LogicalPlan {
+    /// A plan with default execution settings.
+    pub fn new(seed: u64, pipelines: Vec<Vec<PolluterConfig>>) -> Self {
+        LogicalPlan {
+            seed,
+            pipelines,
+            assigner: AssignerSpec::Auto,
+            strategy: StrategyHint::Auto,
+            watermark_period: default_watermark_period(),
+            logging: true,
+            supervision: None,
+            chaos: None,
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| Error::plan(format_args!("bad JSON plan: {e}")))
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plan is always serializable")
+    }
+
+    /// Number of sub-streams.
+    pub fn substreams(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// Builds the runnable pipelines for this plan — deterministic in
+    /// `seed`, so rebuilding (for a supervised retry or an epoch swap)
+    /// restores identical RNG state.
+    pub fn build_pipelines(&self, schema: &Schema) -> Result<Vec<PollutionPipeline>> {
+        build_pipelines(self.seed, &self.pipelines, schema)
+    }
+
+    /// The supervision policy this plan runs under (fail-fast default
+    /// when no section is present).
+    pub fn supervisor_policy(&self) -> SupervisorPolicy {
+        self.supervision
+            .as_ref()
+            .map(|s| s.to_policy(self.seed))
+            .unwrap_or(SupervisorPolicy {
+                seed: self.seed,
+                ..SupervisorPolicy::default()
+            })
+    }
+
+    /// The chaos configuration, if fault injection is enabled.
+    pub fn chaos_config(&self) -> Option<ChaosConfig> {
+        self.chaos.as_ref().map(|c| c.to_chaos(self.seed))
+    }
+
+    /// Returns a new plan with `deltas` applied in order.
+    ///
+    /// Fails with [`Error::Plan`] if a delta names an unknown polluter,
+    /// targets a polluter without the named slot (e.g. a condition swap
+    /// on a keyed polluter), or indexes a missing pipeline. The result
+    /// is *not* yet validated against a schema — [`LogicalPlan::compile`]
+    /// (or [`ControlHandle::reconfigure_at`]) does that.
+    pub fn apply(&self, deltas: &[PlanDelta]) -> Result<LogicalPlan> {
+        let mut next = self.clone();
+        for delta in deltas {
+            apply_delta(&mut next, delta)?;
+        }
+        Ok(next)
+    }
+
+    /// Compiles the plan against a schema: validates it end to end
+    /// (every polluter builds, chaos rates are sane), resolves the
+    /// assigner and execution strategy, and predicts the physical stage
+    /// layout.
+    pub fn compile(&self, schema: &Schema) -> Result<PhysicalPlan> {
+        if self.pipelines.is_empty() {
+            return Err(Error::plan("at least one pipeline is required"));
+        }
+        // Validate by building once; the result is discarded (execution
+        // rebuilds so pipelines always start from fresh RNG state).
+        self.build_pipelines(schema)?;
+        let chaos = self.chaos_config();
+        if let Some(chaos) = &chaos {
+            if !chaos.is_valid() {
+                return Err(Error::plan("chaos rates must be probabilities in [0, 1]"));
+            }
+        }
+        let m = self.substreams();
+        let strategy = self.strategy.resolve();
+        let stages = predict_stages(m, strategy, chaos.is_some());
+        let control = ControlChannel::new();
+        let settings = ExecSettings {
+            schema: schema.clone(),
+            assigner: self.assigner.resolve(m, self.seed),
+            watermark_period: self.watermark_period.max(1),
+            strategy,
+            logging: self.logging,
+            supervision: self.supervisor_policy(),
+            chaos,
+            control: Some(control.clone()),
+        };
+        Ok(PhysicalPlan {
+            logical: self.clone(),
+            settings,
+            stages,
+            latest: Arc::new(Mutex::new(self.clone())),
+        })
+    }
+}
+
+/// One edit to a [`LogicalPlan`], applied via [`LogicalPlan::apply`] or
+/// scheduled mid-run via [`ControlHandle::reconfigure_at`].
+///
+/// Polluter names are matched recursively (composite/one-of children
+/// and keyed templates included); the first match wins.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum PlanDelta {
+    /// Re-seed every component RNG.
+    SetSeed {
+        /// The new master seed.
+        seed: u64,
+    },
+    /// Swap the gating condition of the named polluter (the trigger, for
+    /// a propagation polluter).
+    SetCondition {
+        /// Name of the target polluter.
+        polluter: String,
+        /// The replacement condition.
+        condition: ConditionConfig,
+    },
+    /// Swap the error function of the named polluter (standard, burst,
+    /// or propagation polluters only).
+    SetError {
+        /// Name of the target polluter.
+        polluter: String,
+        /// The replacement error function.
+        error: ErrorConfig,
+    },
+    /// Replace the named polluter wholesale.
+    ReplacePolluter {
+        /// Name of the polluter to replace.
+        polluter: String,
+        /// Its replacement.
+        config: PolluterConfig,
+    },
+    /// Remove (disable) the named polluter.
+    RemovePolluter {
+        /// Name of the polluter to remove.
+        polluter: String,
+    },
+    /// Append a polluter to the pipeline at `pipeline`.
+    AddPolluter {
+        /// Index of the target sub-stream pipeline.
+        pipeline: usize,
+        /// The polluter to append.
+        config: PolluterConfig,
+    },
+    /// Replace every pipeline. The pipeline count must stay unchanged
+    /// when applied to a *running* job (the physical fan-out is fixed).
+    ReplacePipelines {
+        /// The new per-sub-stream polluter lists.
+        pipelines: Vec<Vec<PolluterConfig>>,
+    },
+}
+
+fn polluter_name(p: &PolluterConfig) -> &str {
+    match p {
+        PolluterConfig::Standard { name, .. }
+        | PolluterConfig::Composite { name, .. }
+        | PolluterConfig::OneOf { name, .. }
+        | PolluterConfig::Delay { name, .. }
+        | PolluterConfig::Drop { name, .. }
+        | PolluterConfig::Duplicate { name, .. }
+        | PolluterConfig::Freeze { name, .. }
+        | PolluterConfig::Burst { name, .. }
+        | PolluterConfig::Propagation { name, .. }
+        | PolluterConfig::Keyed { name, .. } => name,
+    }
+}
+
+/// Depth-first search for a polluter by name, descending into
+/// composite/one-of children and keyed templates.
+fn find_named<'a>(list: &'a mut [PolluterConfig], name: &str) -> Option<&'a mut PolluterConfig> {
+    for p in list.iter_mut() {
+        if polluter_name(p) == name {
+            return Some(p);
+        }
+        match p {
+            PolluterConfig::Composite { children, .. } | PolluterConfig::OneOf { children, .. } => {
+                if let Some(found) = find_named(children, name) {
+                    return Some(found);
+                }
+            }
+            PolluterConfig::Keyed { inner, .. } => {
+                if let Some(found) = find_named(std::slice::from_mut(&mut **inner), name) {
+                    return Some(found);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Removes the first polluter matching `name`; keeps one-of weights in
+/// sync with the surviving children.
+fn remove_named(list: &mut Vec<PolluterConfig>, name: &str) -> bool {
+    if let Some(pos) = list.iter().position(|p| polluter_name(p) == name) {
+        list.remove(pos);
+        return true;
+    }
+    for p in list.iter_mut() {
+        let removed = match p {
+            PolluterConfig::Composite { children, .. } => remove_named(children, name),
+            PolluterConfig::OneOf {
+                children, weights, ..
+            } => {
+                if let Some(pos) = children.iter().position(|c| polluter_name(c) == name) {
+                    children.remove(pos);
+                    if let Some(w) = weights {
+                        if pos < w.len() {
+                            w.remove(pos);
+                        }
+                    }
+                    true
+                } else {
+                    remove_named(children, name)
+                }
+            }
+            _ => false,
+        };
+        if removed {
+            return true;
+        }
+    }
+    false
+}
+
+fn unknown_polluter(name: &str) -> Error {
+    Error::plan(format_args!("delta names unknown polluter `{name}`"))
+}
+
+fn apply_delta(plan: &mut LogicalPlan, delta: &PlanDelta) -> Result<()> {
+    match delta {
+        PlanDelta::SetSeed { seed } => {
+            plan.seed = *seed;
+        }
+        PlanDelta::SetCondition {
+            polluter,
+            condition,
+        } => {
+            let target = plan
+                .pipelines
+                .iter_mut()
+                .find_map(|pipe| find_named(pipe, polluter))
+                .ok_or_else(|| unknown_polluter(polluter))?;
+            match target {
+                PolluterConfig::Standard { condition: c, .. }
+                | PolluterConfig::Composite { condition: c, .. }
+                | PolluterConfig::OneOf { condition: c, .. }
+                | PolluterConfig::Delay { condition: c, .. }
+                | PolluterConfig::Drop { condition: c, .. }
+                | PolluterConfig::Duplicate { condition: c, .. }
+                | PolluterConfig::Freeze { condition: c, .. }
+                | PolluterConfig::Burst { condition: c, .. } => *c = condition.clone(),
+                PolluterConfig::Propagation { trigger, .. } => *trigger = condition.clone(),
+                PolluterConfig::Keyed { .. } => {
+                    return Err(Error::plan(format_args!(
+                        "polluter `{polluter}` is keyed and has no own condition; \
+                         replace its template instead"
+                    )))
+                }
+            }
+        }
+        PlanDelta::SetError { polluter, error } => {
+            let target = plan
+                .pipelines
+                .iter_mut()
+                .find_map(|pipe| find_named(pipe, polluter))
+                .ok_or_else(|| unknown_polluter(polluter))?;
+            match target {
+                PolluterConfig::Standard { error: e, .. }
+                | PolluterConfig::Burst { error: e, .. }
+                | PolluterConfig::Propagation { error: e, .. } => *e = error.clone(),
+                _ => {
+                    return Err(Error::plan(format_args!(
+                        "polluter `{polluter}` has no error function to swap"
+                    )))
+                }
+            }
+        }
+        PlanDelta::ReplacePolluter { polluter, config } => {
+            let target = plan
+                .pipelines
+                .iter_mut()
+                .find_map(|pipe| find_named(pipe, polluter))
+                .ok_or_else(|| unknown_polluter(polluter))?;
+            *target = config.clone();
+        }
+        PlanDelta::RemovePolluter { polluter } => {
+            let removed = plan
+                .pipelines
+                .iter_mut()
+                .any(|pipe| remove_named(pipe, polluter));
+            if !removed {
+                return Err(unknown_polluter(polluter));
+            }
+        }
+        PlanDelta::AddPolluter { pipeline, config } => {
+            let m = plan.pipelines.len();
+            let pipe = plan.pipelines.get_mut(*pipeline).ok_or_else(|| {
+                Error::plan(format_args!(
+                    "delta targets pipeline {pipeline} but the plan has {m}"
+                ))
+            })?;
+            pipe.push(config.clone());
+        }
+        PlanDelta::ReplacePipelines { pipelines } => {
+            if pipelines.is_empty() {
+                return Err(Error::plan("replacement needs at least one pipeline"));
+            }
+            plan.pipelines = pipelines.clone();
+        }
+    }
+    Ok(())
+}
+
+/// One stage of the predicted physical layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageInfo {
+    /// The stage label the runtime will assign, e.g.
+    /// `stage/02_pollution_pipeline`. Labels count sink-first.
+    pub label: String,
+    /// Human-readable role of the stage.
+    pub role: String,
+    /// Metric names this stage registers (empty when uninstrumented).
+    pub metrics: Vec<String>,
+}
+
+fn operator_metrics(label: &str) -> Vec<String> {
+    [
+        "elements_in",
+        "elements_out",
+        "latency_ns",
+        "watermark_hwm_ms",
+        "failures",
+    ]
+    .iter()
+    .map(|m| format!("{label}/{m}"))
+    .collect()
+}
+
+fn channel_metrics(label: &str) -> Vec<String> {
+    ["sends", "send_blocks", "send_block_ns", "dropped"]
+        .iter()
+        .map(|m| format!("{label}/{m}"))
+        .collect()
+}
+
+/// Predicts the stage labels the stream runtime will assign. Pipelines
+/// are built back-to-front (sink first), so the sorter gets index 0 and
+/// the source the highest index; the fan-out router is labeled before
+/// its sub-pipelines, and within a sub-pipeline the outermost operator
+/// (the pollution pipeline) is labeled before a spliced chaos injector.
+fn predict_stages(m: usize, strategy: ExecutionStrategy, chaos: bool) -> Vec<StageInfo> {
+    let mut seq = 0u32;
+    let mut label = |name: &str| {
+        let l = format!("stage/{seq:02}_{name}");
+        seq += 1;
+        l
+    };
+    let mut stages = Vec::new();
+    let l = label("event_time_sorter");
+    stages.push(StageInfo {
+        metrics: {
+            let mut v = operator_metrics(&l);
+            v.extend(
+                ["late", "late_lag_ms", "buffer_max"]
+                    .iter()
+                    .map(|s| format!("{l}/{s}")),
+            );
+            v
+        },
+        role: "sort by arrival time (Algorithm 1, line 11)".into(),
+        label: l,
+    });
+    if let ExecutionStrategy::Pipelined { capacity } = strategy {
+        let l = label("pipelined");
+        stages.push(StageInfo {
+            metrics: channel_metrics(&l),
+            role: format!("thread boundary (bounded channel, capacity {capacity})"),
+            label: l,
+        });
+    }
+    let l = label("split_router");
+    stages.push(StageInfo {
+        metrics: channel_metrics(&l),
+        role: format!("fan out into {m} sub-stream(s); broadcasts watermarks (epoch barrier)"),
+        label: l,
+    });
+    for i in 0..m {
+        let l = label("pollution_pipeline");
+        stages.push(StageInfo {
+            metrics: operator_metrics(&l),
+            role: format!("sub-stream {i} polluters"),
+            label: l,
+        });
+        if chaos {
+            let l = label("chaos");
+            let mut metrics = operator_metrics(&l);
+            metrics.extend(
+                [
+                    "injected_panics",
+                    "injected_delays",
+                    "injected_drops",
+                    "injected_malforms",
+                ]
+                .iter()
+                .map(|s| format!("chaos/substream_{i}/{s}")),
+            );
+            stages.push(StageInfo {
+                metrics,
+                role: format!("sub-stream {i} fault injector"),
+                label: l,
+            });
+        }
+    }
+    let l = label("source");
+    stages.push(StageInfo {
+        metrics: Vec::new(),
+        role: "prepared in-memory source + watermark generator".into(),
+        label: l,
+    });
+    stages
+}
+
+/// A compiled, runnable pollution job: the logical plan plus the
+/// resolved execution strategy, assigner, and predicted stage layout.
+///
+/// Obtain one via [`LogicalPlan::compile`]; run it with
+/// [`PhysicalPlan::execute`] / [`PhysicalPlan::execute_supervised`];
+/// reconfigure it mid-run through [`PhysicalPlan::control_handle`].
+pub struct PhysicalPlan {
+    logical: LogicalPlan,
+    settings: ExecSettings,
+    stages: Vec<StageInfo>,
+    /// The most recently *validated* plan (initial or scheduled); the
+    /// base against which the next delta is applied.
+    latest: Arc<Mutex<LogicalPlan>>,
+}
+
+impl PhysicalPlan {
+    /// The logical plan this was compiled from.
+    pub fn logical(&self) -> &LogicalPlan {
+        &self.logical
+    }
+
+    /// The schema the plan was compiled against.
+    pub fn schema(&self) -> &Schema {
+        &self.settings.schema
+    }
+
+    /// The resolved execution strategy.
+    pub fn strategy(&self) -> ExecutionStrategy {
+        self.settings.strategy
+    }
+
+    /// The predicted stage layout (labels count sink-first).
+    pub fn stages(&self) -> &[StageInfo] {
+        &self.stages
+    }
+
+    /// A handle for scheduling epoch-applied reconfigurations. Handles
+    /// are cheap to clone and stay valid across
+    /// [`PhysicalPlan::execute`] calls.
+    pub fn control_handle(&self) -> ControlHandle {
+        ControlHandle {
+            schema: self.settings.schema.clone(),
+            channel: self
+                .settings
+                .control
+                .clone()
+                .expect("compiled plans always carry a control channel"),
+            latest: Arc::clone(&self.latest),
+        }
+    }
+
+    /// Renders the physical plan: strategy, assigner, stage labels with
+    /// their observability metric names, and the fault-tolerance /
+    /// reconfiguration setup. This is what the CLI's `--explain` prints.
+    pub fn explain(&self) -> String {
+        let m = self.logical.substreams();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "== physical plan ==\nstrategy:         {}",
+            self.settings.strategy
+        );
+        let _ = writeln!(s, "sub-streams:      {m}");
+        let _ = writeln!(s, "assigner:         {}", self.logical.assigner.describe(m));
+        let _ = writeln!(s, "seed:             {}", self.logical.seed);
+        let _ = writeln!(
+            s,
+            "watermark period: every {} tuples (reconfiguration epoch grain)",
+            self.settings.watermark_period
+        );
+        let _ = writeln!(
+            s,
+            "logging:          {}",
+            if self.settings.logging { "on" } else { "off" }
+        );
+        match &self.logical.supervision {
+            Some(sup) => {
+                let _ = writeln!(
+                    s,
+                    "supervision:      max_retries={} deterministic={}{}",
+                    sup.max_retries,
+                    sup.deterministic,
+                    sup.deadline_ms
+                        .map(|d| format!(" deadline_ms={d}"))
+                        .unwrap_or_default()
+                );
+            }
+            None => {
+                let _ = writeln!(s, "supervision:      fail-fast (no retries)");
+            }
+        }
+        match &self.logical.chaos {
+            Some(chaos) => {
+                let _ = writeln!(
+                    s,
+                    "chaos:            panic_rate={} delay_rate={} drop_rate={} malform_rate={}",
+                    chaos.panic_rate, chaos.delay_rate, chaos.drop_rate, chaos.malform_rate
+                );
+            }
+            None => {
+                let _ = writeln!(s, "chaos:            off");
+            }
+        }
+        let _ = writeln!(s, "stages (labels count sink-first):");
+        for stage in &self.stages {
+            let _ = writeln!(s, "  {:<32} {}", stage.label, stage.role);
+            if !stage.metrics.is_empty() {
+                let _ = writeln!(s, "      metrics: {}", stage.metrics.join(", "));
+            }
+        }
+        let _ = writeln!(
+            s,
+            "reconfiguration:  control channel attached; plan deltas apply atomically \
+             at the first watermark >= their scheduled timestamp (Fries-style epochs)"
+        );
+        s
+    }
+
+    /// Executes one attempt (no restarts) over an in-memory stream.
+    ///
+    /// Pipelines are built fresh from the logical plan, so repeated
+    /// calls are reproducible; scheduled reconfigurations re-apply at
+    /// the same epochs on every call.
+    pub fn execute(&self, tuples: Vec<Tuple>) -> Result<PollutionOutput> {
+        let pipelines = self.logical.build_pipelines(&self.settings.schema)?;
+        let budget = self.settings.chaos.as_ref().map(ChaosConfig::new_budget);
+        execute_attempt(&self.settings, tuples, pipelines, budget, None)
+    }
+
+    /// Executes under the plan's supervision policy: retryable failures
+    /// rebuild the pipelines from the logical plan and re-run, up to the
+    /// per-stage retry budget.
+    pub fn execute_supervised(&self, tuples: Vec<Tuple>) -> Result<PollutionOutput> {
+        run_supervised_with(&self.settings, tuples, || {
+            self.logical.build_pipelines(&self.settings.schema)
+        })
+    }
+}
+
+/// A channel into a (possibly running) compiled plan that schedules
+/// epoch-applied reconfigurations.
+///
+/// [`ControlHandle::reconfigure_at`] validates the delta by deriving and
+/// compiling the full successor plan *before* scheduling it, so a
+/// running job never has to reject a swap: by the time an epoch fires,
+/// its plan is known-good. Consistency is Fries-style: every sub-stream
+/// applies the swap at the first watermark at or past the scheduled
+/// timestamp, and watermarks are broadcast to all sub-streams, so no
+/// tuple is processed under a half-applied configuration.
+#[derive(Clone)]
+pub struct ControlHandle {
+    schema: Schema,
+    channel: ControlChannel<LogicalPlan>,
+    latest: Arc<Mutex<LogicalPlan>>,
+}
+
+impl ControlHandle {
+    /// Schedules `deltas` to apply atomically at the first watermark
+    /// `>= at`. Returns the validated successor plan.
+    ///
+    /// Fails — without scheduling anything — if a delta is invalid, the
+    /// successor plan does not build against the schema, or the delta
+    /// changes the number of sub-streams (the physical fan-out of a
+    /// running job is fixed).
+    pub fn reconfigure_at(&self, at: Timestamp, deltas: &[PlanDelta]) -> Result<LogicalPlan> {
+        let mut latest = self.latest.lock();
+        let next = latest.apply(deltas)?;
+        if next.pipelines.len() != latest.pipelines.len() {
+            return Err(Error::plan(format_args!(
+                "delta changes the sub-stream count from {} to {}; \
+                 the physical fan-out of a running job is fixed",
+                latest.pipelines.len(),
+                next.pipelines.len()
+            )));
+        }
+        next.build_pipelines(&self.schema)?;
+        self.channel.schedule(at, next.clone());
+        *latest = next.clone();
+        Ok(next)
+    }
+
+    /// The plan as of the newest scheduled reconfiguration (the initial
+    /// plan if none was scheduled).
+    pub fn current_plan(&self) -> LogicalPlan {
+        self.latest.lock().clone()
+    }
+
+    /// Number of reconfiguration epochs the running job has applied so
+    /// far (also surfaced as `epochs_applied` in the run report).
+    pub fn epochs_applied(&self) -> u64 {
+        self.channel.applied()
+    }
+
+    /// Number of reconfigurations scheduled (applied or not).
+    pub fn scheduled(&self) -> usize {
+        self.channel.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JobConfig;
+    use crate::runner::pollute_stream;
+    use icewafl_types::{DataType, Tuple, Value};
+
+    fn schema() -> Schema {
+        Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
+    }
+
+    fn tuples(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Timestamp(Timestamp(i * 60_000)),
+                    Value::Float(i as f64),
+                ])
+            })
+            .collect()
+    }
+
+    fn null_spec(p: f64) -> PolluterConfig {
+        PolluterConfig::Standard {
+            name: "null-x".into(),
+            attributes: vec!["x".into()],
+            error: ErrorConfig::MissingValue,
+            condition: ConditionConfig::Probability { p },
+            pattern: None,
+        }
+    }
+
+    #[test]
+    fn plan_serde_round_trip() {
+        let plan = LogicalPlan {
+            strategy: StrategyHint::Pipelined,
+            assigner: AssignerSpec::Probabilistic { p: 0.4 },
+            watermark_period: 32,
+            ..LogicalPlan::new(9, vec![vec![null_spec(0.5)]])
+        };
+        let back = LogicalPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+        // A minimal handwritten plan gets every default.
+        let minimal = LogicalPlan::from_json(r#"{ "pipelines": [[]] }"#).unwrap();
+        assert_eq!(minimal.watermark_period, 64);
+        assert!(minimal.logging);
+        assert_eq!(minimal.strategy, StrategyHint::Auto);
+        assert_eq!(minimal.assigner, AssignerSpec::Auto);
+    }
+
+    #[test]
+    fn compiled_plan_matches_direct_runner_output() {
+        // The plan path and the historical pollute_stream path must
+        // produce bit-identical pollution for the same seed.
+        let cfg = JobConfig::single(42, vec![null_spec(0.5)]);
+        let direct = pollute_stream(
+            &schema(),
+            tuples(200),
+            cfg.build(&schema()).unwrap().pop().unwrap(),
+        )
+        .unwrap();
+        let physical = cfg.to_plan().compile(&schema()).unwrap();
+        let planned = physical.execute(tuples(200)).unwrap();
+        assert_eq!(direct.polluted, planned.polluted);
+        assert_eq!(direct.log.entries(), planned.log.entries());
+        assert_eq!(planned.report.strategy.as_deref(), Some("sequential"));
+        assert_eq!(planned.report.epochs_applied, 0);
+    }
+
+    #[test]
+    fn strategy_and_assigner_resolution() {
+        assert_eq!(StrategyHint::Auto.resolve(), ExecutionStrategy::Sequential);
+        assert_eq!(
+            StrategyHint::Pipelined.resolve(),
+            ExecutionStrategy::Pipelined {
+                capacity: PIPELINED_CAPACITY
+            }
+        );
+        assert!(matches!(
+            AssignerSpec::Auto.resolve(2, 0),
+            SubStreamAssigner::RoundRobin
+        ));
+        assert!(matches!(
+            AssignerSpec::Auto.resolve(1, 0),
+            SubStreamAssigner::Broadcast
+        ));
+    }
+
+    #[test]
+    fn parallel_strategy_matches_sequential_content() {
+        let mk = |hint| {
+            let plan = LogicalPlan {
+                strategy: hint,
+                ..LogicalPlan::new(3, vec![vec![null_spec(0.5)], vec![null_spec(0.5)]])
+            };
+            let mut out = plan
+                .compile(&schema())
+                .unwrap()
+                .execute(tuples(300))
+                .unwrap()
+                .polluted;
+            out.sort_by_key(|t| t.id);
+            out
+        };
+        assert_eq!(
+            mk(StrategyHint::Sequential),
+            mk(StrategyHint::SplitMergeParallel)
+        );
+        assert_eq!(mk(StrategyHint::Sequential), mk(StrategyHint::Pipelined));
+    }
+
+    #[test]
+    fn explain_names_strategy_and_stages() {
+        let plan = LogicalPlan::new(1, vec![vec![null_spec(0.5)]]);
+        let physical = plan.compile(&schema()).unwrap();
+        let explain = physical.explain();
+        assert!(explain.contains("strategy:         sequential"));
+        assert!(explain.contains("stage/00_event_time_sorter"));
+        assert!(explain.contains("stage/01_split_router"));
+        assert!(explain.contains("stage/02_pollution_pipeline"));
+        assert!(explain.contains("stage/03_source"));
+        assert!(explain.contains("stage/02_pollution_pipeline/elements_in"));
+        assert!(explain.contains("Fries-style epochs"));
+    }
+
+    #[test]
+    fn predicted_stage_labels_match_a_real_run() {
+        // The explain output is a *prediction* of runtime labels; verify
+        // it against the metrics an actual run registers, across
+        // strategies and with chaos spliced in.
+        for (hint, chaos) in [
+            (StrategyHint::Sequential, false),
+            (StrategyHint::Pipelined, false),
+            (StrategyHint::SplitMergeParallel, false),
+            (StrategyHint::Sequential, true),
+        ] {
+            let plan = LogicalPlan {
+                strategy: hint,
+                chaos: chaos.then(ChaosSectionConfig::default),
+                ..LogicalPlan::new(5, vec![vec![null_spec(0.3)], vec![null_spec(0.3)]])
+            };
+            let physical = plan.compile(&schema()).unwrap();
+            let out = physical.execute(tuples(100)).unwrap();
+            if !out.report.metrics_compiled_in {
+                return; // obs feature off: nothing to verify against
+            }
+            for stage in physical.stages() {
+                let counter = format!("{}/elements_in", stage.label);
+                if stage.metrics.contains(&counter) {
+                    assert!(
+                        out.report.metrics.counter(&counter) > 0,
+                        "predicted stage {} missing in run metrics ({hint:?}, chaos={chaos})",
+                        stage.label
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_edit_the_plan() {
+        let plan = LogicalPlan::new(
+            1,
+            vec![vec![
+                null_spec(0.5),
+                PolluterConfig::Drop {
+                    name: "dropper".into(),
+                    condition: ConditionConfig::Never,
+                },
+            ]],
+        );
+        let next = plan
+            .apply(&[
+                PlanDelta::SetSeed { seed: 2 },
+                PlanDelta::SetError {
+                    polluter: "null-x".into(),
+                    error: ErrorConfig::Scale { factor: 3.0 },
+                },
+                PlanDelta::SetCondition {
+                    polluter: "dropper".into(),
+                    condition: ConditionConfig::Always,
+                },
+                PlanDelta::RemovePolluter {
+                    polluter: "dropper".into(),
+                },
+                PlanDelta::AddPolluter {
+                    pipeline: 0,
+                    config: PolluterConfig::Duplicate {
+                        name: "dup".into(),
+                        condition: ConditionConfig::Always,
+                        copies: 1,
+                    },
+                },
+            ])
+            .unwrap();
+        assert_eq!(next.seed, 2);
+        assert_eq!(next.pipelines[0].len(), 2, "dropper removed, dup added");
+        assert!(matches!(
+            &next.pipelines[0][0],
+            PolluterConfig::Standard { error: ErrorConfig::Scale { factor }, .. } if *factor == 3.0
+        ));
+        // The original is untouched.
+        assert_eq!(plan.seed, 1);
+        assert_eq!(plan.pipelines[0].len(), 2);
+    }
+
+    #[test]
+    fn deltas_reach_nested_polluters() {
+        let plan = LogicalPlan::new(
+            1,
+            vec![vec![PolluterConfig::Composite {
+                name: "outer".into(),
+                condition: ConditionConfig::Always,
+                children: vec![PolluterConfig::OneOf {
+                    name: "pick".into(),
+                    condition: ConditionConfig::Always,
+                    children: vec![null_spec(0.5)],
+                    weights: Some(vec![1.0]),
+                }],
+            }]],
+        );
+        let next = plan
+            .apply(&[PlanDelta::SetError {
+                polluter: "null-x".into(),
+                error: ErrorConfig::Scale { factor: 0.5 },
+            }])
+            .unwrap();
+        assert!(next.to_json().contains("scale"));
+        // Removing a one-of child trims its weight too.
+        let next = plan
+            .apply(&[PlanDelta::RemovePolluter {
+                polluter: "null-x".into(),
+            }])
+            .unwrap();
+        let json = next.to_json();
+        assert!(!json.contains("null-x"));
+        assert!(json.contains("\"weights\": []"), "weight removed: {json}");
+    }
+
+    #[test]
+    fn bad_deltas_are_typed_plan_errors() {
+        let plan = LogicalPlan::new(1, vec![vec![null_spec(0.5)]]);
+        let err = plan
+            .apply(&[PlanDelta::RemovePolluter {
+                polluter: "ghost".into(),
+            }])
+            .unwrap_err();
+        assert!(matches!(err, Error::Plan { .. }));
+        assert!(err.to_string().contains("ghost"));
+        let err = plan
+            .apply(&[PlanDelta::SetError {
+                polluter: "null-x".into(),
+                error: ErrorConfig::Scale { factor: 1.0 },
+            }])
+            .map(|p| {
+                p.apply(&[PlanDelta::SetError {
+                    polluter: "missing".into(),
+                    error: ErrorConfig::MissingValue,
+                }])
+            })
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, Error::Plan { .. }));
+        assert!(plan
+            .apply(&[PlanDelta::AddPolluter {
+                pipeline: 7,
+                config: null_spec(0.1),
+            }])
+            .is_err());
+    }
+
+    #[test]
+    fn compile_rejects_broken_plans() {
+        assert!(LogicalPlan::new(1, vec![]).compile(&schema()).is_err());
+        let bad_attr = LogicalPlan::new(
+            1,
+            vec![vec![PolluterConfig::Standard {
+                name: "x".into(),
+                attributes: vec!["Nope".into()],
+                error: ErrorConfig::MissingValue,
+                condition: ConditionConfig::Always,
+                pattern: None,
+            }]],
+        );
+        assert!(bad_attr.compile(&schema()).is_err());
+        let bad_chaos = LogicalPlan {
+            chaos: Some(ChaosSectionConfig {
+                panic_rate: 2.0,
+                ..ChaosSectionConfig::default()
+            }),
+            ..LogicalPlan::new(1, vec![vec![]])
+        };
+        assert!(bad_chaos.compile(&schema()).is_err());
+    }
+
+    #[test]
+    fn control_handle_validates_before_scheduling() {
+        let physical = LogicalPlan::new(1, vec![vec![null_spec(0.5)]])
+            .compile(&schema())
+            .unwrap();
+        let handle = physical.control_handle();
+        // Unknown polluter: rejected, nothing scheduled.
+        assert!(handle
+            .reconfigure_at(
+                Timestamp(1000),
+                &[PlanDelta::RemovePolluter {
+                    polluter: "ghost".into()
+                }]
+            )
+            .is_err());
+        assert_eq!(handle.scheduled(), 0);
+        // Sub-stream count change: rejected.
+        assert!(handle
+            .reconfigure_at(
+                Timestamp(1000),
+                &[PlanDelta::ReplacePipelines {
+                    pipelines: vec![vec![], vec![]]
+                }]
+            )
+            .is_err());
+        // Unknown attribute in the successor plan: rejected.
+        assert!(handle
+            .reconfigure_at(
+                Timestamp(1000),
+                &[PlanDelta::AddPolluter {
+                    pipeline: 0,
+                    config: PolluterConfig::Standard {
+                        name: "bad".into(),
+                        attributes: vec!["Nope".into()],
+                        error: ErrorConfig::MissingValue,
+                        condition: ConditionConfig::Always,
+                        pattern: None,
+                    }
+                }]
+            )
+            .is_err());
+        // A valid delta schedules and becomes the base for the next one.
+        let next = handle
+            .reconfigure_at(
+                Timestamp(1000),
+                &[PlanDelta::SetError {
+                    polluter: "null-x".into(),
+                    error: ErrorConfig::Scale { factor: 2.0 },
+                }],
+            )
+            .unwrap();
+        assert_eq!(handle.scheduled(), 1);
+        assert_eq!(handle.current_plan(), next);
+        assert_eq!(handle.epochs_applied(), 0, "nothing ran yet");
+    }
+}

@@ -30,6 +30,14 @@ pub struct RunReport {
     /// unsupervised runs and runs that succeed on the first attempt).
     #[serde(default)]
     pub restarts: u64,
+    /// Execution strategy of the physical plan the run compiled to
+    /// (`None` in reports from before the plan layer existed).
+    #[serde(default)]
+    pub strategy: Option<String>,
+    /// Reconfiguration epochs applied mid-run (0 when no plan delta was
+    /// scheduled or reached).
+    #[serde(default)]
+    pub epochs_applied: u64,
     /// Per-polluter statistics, in pipeline order.
     pub polluters: Vec<PolluterStatsSnapshot>,
     /// Per-stage / per-channel stream metrics.
@@ -63,8 +71,17 @@ impl RunReport {
                 " (logging disabled)"
             },
         ));
+        if let Some(strategy) = &self.strategy {
+            s.push_str(&format!("strategy: {strategy}\n"));
+        }
         if self.restarts > 0 {
             s.push_str(&format!("supervised restarts: {}\n", self.restarts));
+        }
+        if self.epochs_applied > 0 {
+            s.push_str(&format!(
+                "reconfiguration epochs applied: {}\n",
+                self.epochs_applied
+            ));
         }
         if !self.metrics_compiled_in {
             s.push_str("(metrics compiled out: obs feature disabled)\n");
@@ -121,6 +138,8 @@ mod tests {
             logging_enabled: true,
             metrics_compiled_in: true,
             restarts: 0,
+            strategy: Some("sequential".into()),
+            epochs_applied: 0,
             polluters: vec![PolluterStatsSnapshot {
                 name: "missing".into(),
                 fires: 4,

@@ -7,12 +7,14 @@
 
 use crate::log::PollutionLog;
 use crate::pipeline::PollutionPipeline;
+use crate::plan::{ExecutionStrategy, LogicalPlan, StrategyHint};
 use crate::polluter::Emission;
 use crate::prepare::PrepareOperator;
 use crate::report::RunReport;
 use crate::stats::PolluterStatsHandle;
 use icewafl_obs::MetricsRegistry;
 use icewafl_stream::chaos::{install_quiet_panic_hook, ChaosConfig, ChaosOperator};
+use icewafl_stream::control::{ControlChannel, ControlSubscriber};
 use icewafl_stream::metrics::ChaosMetrics;
 use icewafl_stream::prelude::*;
 use icewafl_stream::supervisor::{Supervisor, SupervisorPolicy};
@@ -28,6 +30,7 @@ use icewafl_types::{Result, Schema, StampedTuple, Timestamp, Tuple};
 
 /// How tuples are assigned to the `m` sub-streams
 /// (`createOverlappingSubStreams`, Algorithm 1 line 4).
+#[derive(Debug, Clone)]
 pub enum SubStreamAssigner {
     /// Every tuple goes to every sub-stream (fully overlapping — models
     /// redundant sensor feeds and produces duplicates after the union).
@@ -74,6 +77,15 @@ impl SubStreamAssigner {
     }
 }
 
+/// Per-operator reconfiguration state: a cursor into the job's control
+/// channel plus what is needed to rebuild this sub-stream's pipeline
+/// from a scheduled plan.
+struct ControlState {
+    subscriber: ControlSubscriber<LogicalPlan>,
+    schema: Schema,
+    epoch_gauge: icewafl_obs::Gauge,
+}
+
 /// A stream [`Operator`] wrapping a [`PollutionPipeline`], sharing a log
 /// across sub-streams.
 pub struct PipelineOperator {
@@ -81,6 +93,7 @@ pub struct PipelineOperator {
     sub_stream: u32,
     log: Arc<Mutex<PollutionLog>>,
     scratch: Vec<StampedTuple>,
+    control: Option<ControlState>,
 }
 
 impl PipelineOperator {
@@ -95,7 +108,24 @@ impl PipelineOperator {
             sub_stream,
             log,
             scratch: Vec::new(),
+            control: None,
         }
+    }
+
+    /// Attaches a reconfiguration subscriber: scheduled plans are
+    /// applied at the first watermark at or past their timestamp.
+    fn with_control(
+        mut self,
+        subscriber: ControlSubscriber<LogicalPlan>,
+        schema: Schema,
+        epoch_gauge: icewafl_obs::Gauge,
+    ) -> Self {
+        self.control = Some(ControlState {
+            subscriber,
+            schema,
+            epoch_gauge,
+        });
+        self
     }
 
     fn drain_scratch(&mut self, out: &mut dyn Collector<StampedTuple>) {
@@ -103,6 +133,44 @@ impl PipelineOperator {
             t.sub_stream = self.sub_stream;
             out.collect(t);
         }
+    }
+
+    /// Applies any reconfiguration due at watermark `wm`: the old
+    /// pipeline's in-flight state is flushed (as pre-epoch output), then
+    /// this sub-stream's pipeline is rebuilt from the scheduled plan.
+    ///
+    /// Every sub-stream sees the same watermark sequence (the router
+    /// broadcasts them), so all operators swap at the same boundary —
+    /// the Fries consistency property. Plans were validated against the
+    /// schema when they were scheduled, so the rebuild cannot fail for a
+    /// well-behaved control handle; if it does anyway, the panic is
+    /// caught by the stage and surfaces as a typed pipeline error.
+    fn apply_due_reconfiguration(&mut self, wm: Timestamp, out: &mut dyn Collector<StampedTuple>) {
+        let due = match self.control.as_mut() {
+            // The end-of-stream sentinel is not an epoch: plans
+            // scheduled past the stream simply never apply.
+            Some(ctrl) if wm != Timestamp::MAX => ctrl.subscriber.poll(wm),
+            _ => None,
+        };
+        let Some((epoch, plan)) = due else { return };
+        {
+            let mut log = self.log.lock();
+            let mut em = Emission::new(&mut self.scratch, &mut log);
+            self.pipeline.finish(&mut em);
+        }
+        self.drain_scratch(out);
+        let ctrl = self.control.as_ref().expect("checked above");
+        let mut pipelines = plan
+            .build_pipelines(&ctrl.schema)
+            .unwrap_or_else(|e| panic!("epoch {epoch} plan failed to rebuild: {e}"));
+        let idx = self.sub_stream as usize;
+        assert!(
+            idx < pipelines.len(),
+            "epoch {epoch} plan has {} pipelines, sub-stream {idx} needs one",
+            pipelines.len()
+        );
+        self.pipeline = pipelines.swap_remove(idx);
+        ctrl.epoch_gauge.set(epoch);
     }
 }
 
@@ -123,6 +191,7 @@ impl Operator<StampedTuple, StampedTuple> for PipelineOperator {
             self.pipeline.on_watermark(wm, &mut em);
         }
         self.drain_scratch(out);
+        self.apply_due_reconfiguration(wm, out);
     }
 
     fn on_end(&mut self, out: &mut dyn Collector<StampedTuple>) {
@@ -156,65 +225,91 @@ pub struct PollutionOutput {
     pub report: RunReport,
 }
 
+/// The physical execution settings shared by every entry point: the
+/// builder API ([`PollutionJob`]) and compiled plans
+/// ([`crate::plan::PhysicalPlan`]) both lower to this struct and run
+/// through [`execute_attempt`] — one construction path, one executor.
+pub(crate) struct ExecSettings {
+    pub(crate) schema: Schema,
+    pub(crate) assigner: SubStreamAssigner,
+    /// Emit a watermark every this many source tuples.
+    pub(crate) watermark_period: u64,
+    /// How the compiled stages are driven.
+    pub(crate) strategy: ExecutionStrategy,
+    /// Record ground truth (disable for overhead benchmarks).
+    pub(crate) logging: bool,
+    /// Restart policy consulted by supervised runs.
+    pub(crate) supervision: SupervisorPolicy,
+    /// Runtime fault injection (`None` = disabled).
+    pub(crate) chaos: Option<ChaosConfig>,
+    /// Epoch-reconfiguration channel (`None` = job is not
+    /// reconfigurable; only compiled plans attach one).
+    pub(crate) control: Option<ControlChannel<LogicalPlan>>,
+}
+
 /// A configured pollution job: `m` pipelines plus a sub-stream
 /// assignment strategy over a fixed schema.
+///
+/// This is the expert/builder entry point. It shares its execution
+/// engine with the plan layer: both lower to the same
+/// [`ExecSettings`] and the same `execute_attempt` path that
+/// [`crate::plan::PhysicalPlan`] uses.
 pub struct PollutionJob {
-    schema: Schema,
-    assigner: SubStreamAssigner,
-    /// Emit a watermark every this many source tuples.
-    watermark_period: u64,
-    /// Run sub-stream pipelines on their own threads.
-    parallel: bool,
-    /// Record ground truth (disable for overhead benchmarks).
-    logging: bool,
-    /// Restart policy consulted by [`PollutionJob::run_supervised`].
-    supervision: SupervisorPolicy,
-    /// Runtime fault injection (`None` = disabled).
-    chaos: Option<ChaosConfig>,
+    settings: ExecSettings,
 }
 
 impl PollutionJob {
     /// A job over `schema` with a single sub-stream.
     pub fn new(schema: Schema) -> Self {
         PollutionJob {
-            schema,
-            assigner: SubStreamAssigner::Broadcast,
-            watermark_period: 64,
-            parallel: false,
-            logging: true,
-            supervision: SupervisorPolicy::default(),
-            chaos: None,
+            settings: ExecSettings {
+                schema,
+                assigner: SubStreamAssigner::Broadcast,
+                watermark_period: 64,
+                strategy: ExecutionStrategy::Sequential,
+                logging: true,
+                supervision: SupervisorPolicy::default(),
+                chaos: None,
+                control: None,
+            },
         }
     }
 
     /// Sets the sub-stream assignment strategy (only relevant with
     /// multiple pipelines).
     pub fn with_assigner(mut self, assigner: SubStreamAssigner) -> Self {
-        self.assigner = assigner;
+        self.settings.assigner = assigner;
         self
     }
 
     /// Sets the source watermark period (tuples per watermark).
     pub fn with_watermark_period(mut self, period: u64) -> Self {
-        self.watermark_period = period.max(1);
+        self.settings.watermark_period = period.max(1);
         self
     }
 
-    /// Runs sub-stream pipelines on worker threads.
+    /// Runs sub-stream pipelines on worker threads (shorthand for the
+    /// `split_merge_parallel` strategy).
     pub fn parallel(mut self) -> Self {
-        self.parallel = true;
+        self.settings.strategy = ExecutionStrategy::SplitMergeParallel;
+        self
+    }
+
+    /// Sets the execution strategy via a plan-level hint.
+    pub fn with_strategy(mut self, hint: StrategyHint) -> Self {
+        self.settings.strategy = hint.resolve();
         self
     }
 
     /// Disables ground-truth logging.
     pub fn without_logging(mut self) -> Self {
-        self.logging = false;
+        self.settings.logging = false;
         self
     }
 
     /// Sets the restart policy for [`PollutionJob::run_supervised`].
     pub fn with_supervision(mut self, policy: SupervisorPolicy) -> Self {
-        self.supervision = policy;
+        self.settings.supervision = policy;
         self
     }
 
@@ -222,20 +317,20 @@ impl PollutionJob {
     /// (0 = fail-fast) — what the CLI's `--max-retries`/`--fail-fast`
     /// flags set on top of a configured policy.
     pub fn with_max_retries(mut self, max_retries: u32) -> Self {
-        self.supervision.max_retries = max_retries;
+        self.settings.supervision.max_retries = max_retries;
         self
     }
 
     /// The current restart policy.
     pub fn supervision(&self) -> &SupervisorPolicy {
-        &self.supervision
+        &self.settings.supervision
     }
 
     /// Enables chaos injection: a fault injector is spliced in front of
     /// every sub-stream pipeline, seeded `chaos.seed + i` for sub-stream
     /// `i`. Malform faults overwrite every tuple value with NULL.
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
-        self.chaos = Some(chaos);
+        self.settings.chaos = Some(chaos);
         self
     }
 
@@ -256,8 +351,8 @@ impl PollutionJob {
         tuples: Vec<Tuple>,
         pipelines: Vec<PollutionPipeline>,
     ) -> Result<PollutionOutput> {
-        let budget = self.chaos.as_ref().map(ChaosConfig::new_budget);
-        self.run_attempt(tuples, pipelines, budget, None)
+        let budget = self.settings.chaos.as_ref().map(ChaosConfig::new_budget);
+        execute_attempt(&self.settings, tuples, pipelines, budget, None)
     }
 
     /// Runs with supervised restarts: on a retryable failure the job is
@@ -267,185 +362,222 @@ impl PollutionJob {
     /// shared across attempts, so a bounded fault is transient — it
     /// heals after restart instead of re-arming. On success the report
     /// records how many restarts were consumed.
-    pub fn run_supervised<F>(&self, tuples: Vec<Tuple>, mut pipelines: F) -> Result<PollutionOutput>
+    pub fn run_supervised<F>(&self, tuples: Vec<Tuple>, pipelines: F) -> Result<PollutionOutput>
     where
         F: FnMut() -> Result<Vec<PollutionPipeline>>,
     {
-        let mut supervisor = Supervisor::new(self.supervision.clone());
-        let budget = self.chaos.as_ref().map(ChaosConfig::new_budget);
-        loop {
-            let attempt = self.run_attempt(
-                tuples.clone(),
-                pipelines()?,
-                budget.clone(),
-                supervisor.deadline_instant(),
-            );
-            match attempt {
-                Ok(mut out) => {
-                    out.report.restarts = supervisor.restarts();
-                    return Ok(out);
-                }
-                Err(icewafl_types::Error::Pipeline {
-                    stage,
-                    kind,
-                    message,
-                }) => {
-                    let parsed = icewafl_stream::fault::FailureKind::parse(&kind);
-                    match supervisor.next_retry_for(&stage, parsed) {
-                        Some(backoff) => {
-                            if !backoff.is_zero() {
-                                std::thread::sleep(backoff);
-                            }
-                        }
-                        None => {
-                            return Err(icewafl_types::Error::Pipeline {
-                                stage,
-                                kind,
-                                message,
-                            })
+        run_supervised_with(&self.settings, tuples, pipelines)
+    }
+}
+
+/// The supervised-retry loop shared by [`PollutionJob::run_supervised`]
+/// and [`crate::plan::PhysicalPlan::execute_supervised`].
+pub(crate) fn run_supervised_with<F>(
+    settings: &ExecSettings,
+    tuples: Vec<Tuple>,
+    mut pipelines: F,
+) -> Result<PollutionOutput>
+where
+    F: FnMut() -> Result<Vec<PollutionPipeline>>,
+{
+    let mut supervisor = Supervisor::new(settings.supervision.clone());
+    let budget = settings.chaos.as_ref().map(ChaosConfig::new_budget);
+    loop {
+        let attempt = execute_attempt(
+            settings,
+            tuples.clone(),
+            pipelines()?,
+            budget.clone(),
+            supervisor.deadline_instant(),
+        );
+        match attempt {
+            Ok(mut out) => {
+                out.report.restarts = supervisor.restarts();
+                return Ok(out);
+            }
+            Err(icewafl_types::Error::Pipeline {
+                stage,
+                kind,
+                message,
+            }) => {
+                let parsed = icewafl_stream::fault::FailureKind::parse(&kind);
+                match supervisor.next_retry_for(&stage, parsed) {
+                    Some(backoff) => {
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
                         }
                     }
+                    None => {
+                        return Err(icewafl_types::Error::Pipeline {
+                            stage,
+                            kind,
+                            message,
+                        })
+                    }
                 }
-                Err(other) => return Err(other),
             }
+            Err(other) => return Err(other),
         }
     }
+}
 
-    /// One execution attempt. `chaos_budget` carries the panic budget
-    /// across supervised retries; `deadline` is enforced mid-run by the
-    /// source drivers.
-    fn run_attempt(
-        &self,
-        tuples: Vec<Tuple>,
-        pipelines: Vec<PollutionPipeline>,
-        chaos_budget: Option<Arc<AtomicU64>>,
-        deadline: Option<Instant>,
-    ) -> Result<PollutionOutput> {
-        if pipelines.is_empty() {
+/// One execution attempt — the single construction + execution path
+/// behind every entry point. `chaos_budget` carries the panic budget
+/// across supervised retries; `deadline` is enforced mid-run by the
+/// source drivers.
+pub(crate) fn execute_attempt(
+    settings: &ExecSettings,
+    tuples: Vec<Tuple>,
+    pipelines: Vec<PollutionPipeline>,
+    chaos_budget: Option<Arc<AtomicU64>>,
+    deadline: Option<Instant>,
+) -> Result<PollutionOutput> {
+    if pipelines.is_empty() {
+        return Err(icewafl_types::Error::config(
+            "at least one pipeline is required",
+        ));
+    }
+    if let Some(chaos) = &settings.chaos {
+        if !chaos.is_valid() {
             return Err(icewafl_types::Error::config(
-                "at least one pipeline is required",
+                "chaos rates must be probabilities in [0, 1]",
             ));
         }
-        if let Some(chaos) = &self.chaos {
-            if !chaos.is_valid() {
-                return Err(icewafl_types::Error::config(
-                    "chaos rates must be probabilities in [0, 1]",
-                ));
-            }
-            // Injected panics are expected and caught; keep them from
-            // spraying backtraces over the output.
-            install_quiet_panic_hook();
-        }
-        // Step 1 (Algorithm 1 lines 1–3): prepare. The prepared tuples
-        // are both the clean output and the source of the streaming job
-        // (watermarks are generated from τ, which only exists after
-        // preparation).
-        let mut prepare = PrepareOperator::new(&self.schema)?;
-        let clean: Vec<StampedTuple> = tuples.into_iter().map(|t| prepare.prepare(t)).collect();
-
-        let log = Arc::new(Mutex::new(if self.logging {
-            PollutionLog::new()
-        } else {
-            PollutionLog::disabled()
-        }));
-
-        // Collect per-polluter stat handles before the builders consume
-        // the pipelines — the cells are Arc-shared, so these handles
-        // read live values during and after the run.
-        let mut stat_handles: Vec<PolluterStatsHandle> = Vec::new();
-        for pipeline in &pipelines {
-            pipeline.collect_stats(&mut stat_handles);
-        }
-        let registry = MetricsRegistry::new();
-
-        let m = pipelines.len();
-        let selector = self.assigner.selector(m);
-        let builders: Vec<SubPipelineBuilder<StampedTuple, StampedTuple>> = pipelines
-            .into_iter()
-            .enumerate()
-            .map(|(i, pipeline)| {
-                let op = PipelineOperator::new(pipeline, i as u32, Arc::clone(&log));
-                // When chaos is on, splice an injector in front of the
-                // pollution operator of every sub-stream, each with its
-                // own seed but a budget shared across retries.
-                let chaos_op = self.chaos.as_ref().map(|chaos| {
-                    let mut cfg = chaos.clone();
-                    cfg.seed = chaos.seed.wrapping_add(i as u64);
-                    let budget = chaos_budget.clone().unwrap_or_else(|| cfg.new_budget());
-                    ChaosOperator::with_shared_budget(cfg, budget)
-                        .with_metrics(ChaosMetrics::register(
-                            &registry,
-                            &format!("chaos/substream_{i}"),
-                        ))
-                        .with_malform(|t: &mut StampedTuple| {
-                            for v in t.tuple.values_mut() {
-                                *v = icewafl_types::Value::Null;
-                            }
-                        })
-                });
-                let b: SubPipelineBuilder<StampedTuple, StampedTuple> =
-                    Box::new(move |s: DataStream<StampedTuple>| match chaos_op {
-                        Some(chaos_op) => s.transform(chaos_op).transform(op),
-                        None => s.transform(op),
-                    });
-                b
-            })
-            .collect();
-
-        let strategy = WatermarkStrategy::bounded_out_of_orderness(
-            |t: &StampedTuple| t.tau,
-            icewafl_types::Duration::ZERO,
-            self.watermark_period,
-        );
-        let stream = DataStream::from_source(VecSource::new(clean.clone()), strategy);
-        let merged = if self.parallel {
-            stream.split_merge_parallel(selector, builders)
-        } else {
-            stream.split_merge(selector, builders)
-        };
-        // Algorithm 1, line 11: sortByTimestamp — by *arrival* time, so
-        // delayed tuples surface late (see `StampedTuple::arrival`).
-        // A `?` here carries a typed stage failure out as
-        // `Error::Pipeline` (via `From<PipelineError>`).
-        let sink = SharedVecSink::new();
-        merged
-            .sort_by_event_time(|t| t.arrival)
-            .execute_into_with_options(sink.clone(), &registry, deadline)?;
-        let polluted = sink.take();
-
-        let log = Arc::try_unwrap(log)
-            .map(Mutex::into_inner)
-            .unwrap_or_else(|arc| arc.lock().clone());
-
-        // Attribute log entries to polluters by name. Polluters sharing
-        // a name (across sub-streams) each report the combined count.
-        let log_counts = log.counts_by_polluter();
-        let polluters = stat_handles
-            .iter()
-            .map(|h| {
-                let mut snap = h.snapshot();
-                snap.log_entries = log_counts.get(&h.name).copied().unwrap_or(0) as u64;
-                snap
-            })
-            .collect();
-        let report = RunReport {
-            tuples_in: clean.len() as u64,
-            tuples_out: polluted.len() as u64,
-            log_entries: log.len() as u64,
-            logging_enabled: self.logging,
-            metrics_compiled_in: icewafl_obs::metrics_compiled_in(),
-            restarts: 0,
-            polluters,
-            metrics: registry.snapshot(),
-        };
-
-        Ok(PollutionOutput {
-            clean,
-            polluted,
-            log,
-            report,
-        })
+        // Injected panics are expected and caught; keep them from
+        // spraying backtraces over the output.
+        install_quiet_panic_hook();
     }
+    // Step 1 (Algorithm 1 lines 1–3): prepare. The prepared tuples
+    // are both the clean output and the source of the streaming job
+    // (watermarks are generated from τ, which only exists after
+    // preparation).
+    let mut prepare = PrepareOperator::new(&settings.schema)?;
+    let clean: Vec<StampedTuple> = tuples.into_iter().map(|t| prepare.prepare(t)).collect();
+
+    let log = Arc::new(Mutex::new(if settings.logging {
+        PollutionLog::new()
+    } else {
+        PollutionLog::disabled()
+    }));
+
+    // Collect per-polluter stat handles before the builders consume
+    // the pipelines — the cells are Arc-shared, so these handles
+    // read live values during and after the run.
+    let mut stat_handles: Vec<PolluterStatsHandle> = Vec::new();
+    for pipeline in &pipelines {
+        pipeline.collect_stats(&mut stat_handles);
+    }
+    let registry = MetricsRegistry::new();
+
+    let m = pipelines.len();
+    let selector = settings.assigner.selector(m);
+    let builders: Vec<SubPipelineBuilder<StampedTuple, StampedTuple>> = pipelines
+        .into_iter()
+        .enumerate()
+        .map(|(i, pipeline)| {
+            let op = PipelineOperator::new(pipeline, i as u32, Arc::clone(&log));
+            // Reconfigurable jobs get a control subscriber per
+            // sub-stream; all subscribers see the same broadcast
+            // watermark sequence, which is the epoch barrier.
+            let op = match &settings.control {
+                Some(channel) => op.with_control(
+                    channel.subscriber(),
+                    settings.schema.clone(),
+                    registry.gauge(&format!("plan/substream_{i}/epoch")),
+                ),
+                None => op,
+            };
+            // When chaos is on, splice an injector in front of the
+            // pollution operator of every sub-stream, each with its
+            // own seed but a budget shared across retries.
+            let chaos_op = settings.chaos.as_ref().map(|chaos| {
+                let mut cfg = chaos.clone();
+                cfg.seed = chaos.seed.wrapping_add(i as u64);
+                let budget = chaos_budget.clone().unwrap_or_else(|| cfg.new_budget());
+                ChaosOperator::with_shared_budget(cfg, budget)
+                    .with_metrics(ChaosMetrics::register(
+                        &registry,
+                        &format!("chaos/substream_{i}"),
+                    ))
+                    .with_malform(|t: &mut StampedTuple| {
+                        for v in t.tuple.values_mut() {
+                            *v = icewafl_types::Value::Null;
+                        }
+                    })
+            });
+            let b: SubPipelineBuilder<StampedTuple, StampedTuple> =
+                Box::new(move |s: DataStream<StampedTuple>| match chaos_op {
+                    Some(chaos_op) => s.transform(chaos_op).transform(op),
+                    None => s.transform(op),
+                });
+            b
+        })
+        .collect();
+
+    let watermarks = WatermarkStrategy::bounded_out_of_orderness(
+        |t: &StampedTuple| t.tau,
+        icewafl_types::Duration::ZERO,
+        settings.watermark_period,
+    );
+    let stream = DataStream::from_source(VecSource::new(clean.clone()), watermarks);
+    let merged = match settings.strategy {
+        ExecutionStrategy::SplitMergeParallel => stream.split_merge_parallel(selector, builders),
+        ExecutionStrategy::Sequential | ExecutionStrategy::Pipelined { .. } => {
+            stream.split_merge(selector, builders)
+        }
+    };
+    let merged = match settings.strategy {
+        ExecutionStrategy::Pipelined { capacity } => merged.pipelined(capacity),
+        _ => merged,
+    };
+    // Algorithm 1, line 11: sortByTimestamp — by *arrival* time, so
+    // delayed tuples surface late (see `StampedTuple::arrival`).
+    // A `?` here carries a typed stage failure out as
+    // `Error::Pipeline` (via `From<PipelineError>`).
+    let sink = SharedVecSink::new();
+    merged
+        .sort_by_event_time(|t| t.arrival)
+        .execute_into_with_options(sink.clone(), &registry, deadline)?;
+    let polluted = sink.take();
+
+    let log = Arc::try_unwrap(log)
+        .map(Mutex::into_inner)
+        .unwrap_or_else(|arc| arc.lock().clone());
+
+    // Attribute log entries to polluters by name. Polluters sharing
+    // a name (across sub-streams) each report the combined count.
+    let log_counts = log.counts_by_polluter();
+    let polluters = stat_handles
+        .iter()
+        .map(|h| {
+            let mut snap = h.snapshot();
+            snap.log_entries = log_counts.get(&h.name).copied().unwrap_or(0) as u64;
+            snap
+        })
+        .collect();
+    let report = RunReport {
+        tuples_in: clean.len() as u64,
+        tuples_out: polluted.len() as u64,
+        log_entries: log.len() as u64,
+        logging_enabled: settings.logging,
+        metrics_compiled_in: icewafl_obs::metrics_compiled_in(),
+        restarts: 0,
+        strategy: Some(settings.strategy.to_string()),
+        epochs_applied: settings
+            .control
+            .as_ref()
+            .map(ControlChannel::applied)
+            .unwrap_or(0),
+        polluters,
+        metrics: registry.snapshot(),
+    };
+
+    Ok(PollutionOutput {
+        clean,
+        polluted,
+        log,
+        report,
+    })
 }
 
 /// Convenience: runs a single pipeline over a stream with default

@@ -126,6 +126,7 @@ pub fn read_csv(r: &mut impl BufRead, schema: &Schema) -> Result<Vec<Tuple>> {
     }
     validate_header(line.trim_end_matches(['\n', '\r']), schema)?;
     let mut tuples = Vec::new();
+    let mut row = 0usize;
     loop {
         line.clear();
         if r.read_line(&mut line)? == 0 {
@@ -135,7 +136,15 @@ pub fn read_csv(r: &mut impl BufRead, schema: &Schema) -> Result<Vec<Tuple>> {
         if trimmed.is_empty() {
             continue;
         }
-        tuples.push(parse_record(trimmed, schema)?);
+        row += 1;
+        tuples.push(parse_record(trimmed, schema).map_err(|e| match e {
+            // Shape errors name the offending row; parse errors already
+            // echo the offending input verbatim.
+            Error::SchemaMismatch { detail } => Error::SchemaMismatch {
+                detail: format!("CSV row {row}: {detail}"),
+            },
+            other => other,
+        })?);
     }
     Ok(tuples)
 }
@@ -199,6 +208,18 @@ mod tests {
     fn rejects_wrong_arity() {
         let data = "Time,x,label\n2016-02-27 00:00:00,1.5\n";
         assert!(read_csv(&mut Cursor::new(data.as_bytes()), &schema()).is_err());
+    }
+
+    #[test]
+    fn shape_errors_name_the_offending_row() {
+        let data = "Time,x,label\n\
+            2016-02-27 00:00:00,1.5,ok\n\
+            2016-02-27 01:00:00,2.5\n";
+        let err = read_csv(&mut Cursor::new(data.as_bytes()), &schema()).unwrap_err();
+        assert!(
+            err.to_string().contains("CSV row 2"),
+            "error locates the bad row: {err}"
+        );
     }
 
     #[test]

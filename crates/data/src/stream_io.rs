@@ -51,10 +51,12 @@ impl<R: BufRead + Send> Source<Tuple> for CsvTupleSource<R> {
             match self.reader.read_line(&mut self.line) {
                 Ok(0) => return None,
                 Ok(_) => {}
-                Err(_) => {
-                    self.bad_rows.fetch_add(1, Ordering::Relaxed);
-                    return None;
-                }
+                // An I/O error is not a dirty row — ending the stream
+                // here would silently truncate it. Poison the pipeline
+                // instead: the panic is caught by the stage harness and
+                // surfaced as a typed `Error::Pipeline` naming the
+                // source.
+                Err(e) => panic!("CSV source I/O error: {e}"),
             }
             let trimmed = self.line.trim_end_matches(['\n', '\r']);
             if trimmed.is_empty() {
@@ -99,7 +101,9 @@ impl<W: Write + Send> CsvTupleSink<W> {
             csv::write_field(&mut self.line, &f.name);
         }
         self.line.push('\n');
-        let _ = self.writer.write_all(self.line.as_bytes());
+        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
+            panic!("CSV sink I/O error writing header: {e}");
+        }
         self.wrote_header = true;
     }
 }
@@ -120,14 +124,21 @@ impl<W: Write + Send> Sink<Tuple> for CsvTupleSink<W> {
             }
         }
         self.line.push('\n');
-        let _ = self.writer.write_all(self.line.as_bytes());
+        // A swallowed write error would truncate the dirty stream with a
+        // success exit code; panic instead — the sink stage catches it
+        // and fails the run with a typed error.
+        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
+            panic!("CSV sink I/O error: {e}");
+        }
     }
 
     fn finish(&mut self) {
         if !self.wrote_header {
             self.write_header();
         }
-        let _ = self.writer.flush();
+        if let Err(e) = self.writer.flush() {
+            panic!("CSV sink I/O error on flush: {e}");
+        }
     }
 }
 
@@ -228,6 +239,56 @@ mod tests {
         let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert!(written.contains(",3\n"), "1.5 doubled: {written}");
         assert!(written.contains(",7\n"), "3.5 doubled: {written}");
+    }
+
+    /// A writer that fails every write (a full disk, a closed pipe).
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_io_error_poisons_the_pipeline_with_a_typed_failure() {
+        let tuples = vec![Tuple::new(vec![
+            Value::Timestamp(Timestamp(0)),
+            Value::Float(1.0),
+        ])];
+        let err = DataStream::from_vec(tuples)
+            .execute_into(CsvTupleSink::new(FailingWriter, schema()))
+            .unwrap_err();
+        assert_eq!(err.stage(), "sink");
+        assert!(
+            err.error.message.contains("CSV sink I/O error"),
+            "typed failure carries the I/O detail: {err}"
+        );
+    }
+
+    /// A reader that serves some valid CSV, then fails mid-stream.
+    struct FailingReader;
+    impl std::io::Read for FailingReader {
+        fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("connection reset"))
+        }
+    }
+
+    #[test]
+    fn source_io_error_poisons_the_pipeline_instead_of_truncating() {
+        let head = "Time,x\n2016-02-27 00:00:00,1.5\n";
+        let reader =
+            std::io::BufReader::new(std::io::Read::chain(Cursor::new(head), FailingReader));
+        let src = CsvTupleSource::new(reader, schema()).unwrap();
+        let err = DataStream::from_source(src, WatermarkStrategy::none())
+            .collect()
+            .unwrap_err();
+        assert!(
+            err.error.message.contains("CSV source I/O error"),
+            "mid-stream I/O failure is a typed error, not a short read: {err}"
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod control;
 pub mod element;
 pub mod fault;
 pub mod keyed;
@@ -52,6 +53,7 @@ pub mod watermark;
 pub mod window;
 
 pub use chaos::{ChaosConfig, ChaosOperator, ChaosSource, CHAOS_PANIC_MARKER};
+pub use control::{ControlChannel, ControlSubscriber};
 pub use element::StreamElement;
 pub use fault::{FailureCell, FailureKind, PipelineError, StageError};
 pub use metrics::{ChannelMetrics, ChaosMetrics, SorterMetrics, StageMetrics};
@@ -67,6 +69,7 @@ pub use window::{MicroBatcher, TumblingWindow, WindowPane};
 /// Everything needed to build and run pipelines.
 pub mod prelude {
     pub use crate::chaos::{ChaosConfig, ChaosOperator, ChaosSource};
+    pub use crate::control::{ControlChannel, ControlSubscriber};
     pub use crate::element::StreamElement;
     pub use crate::fault::{FailureKind, PipelineError, StageError};
     pub use crate::operator::{Collector, Operator};

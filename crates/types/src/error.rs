@@ -38,6 +38,13 @@ pub enum Error {
     /// An I/O error, carried as a string because `std::io::Error` is not
     /// `Clone`/`PartialEq`.
     Io(String),
+    /// A pollution plan could not be compiled or reconfigured (unknown
+    /// polluter name in a delta, sub-stream count mismatch, invalid
+    /// execution section, …).
+    Plan {
+        /// Human-readable description of the plan problem.
+        detail: String,
+    },
     /// A stream pipeline terminated abnormally (operator panic, injected
     /// chaos fault, deadline, dead worker). Carries the failing stage
     /// label and the rendered panic payload / diagnostic so callers can
@@ -69,6 +76,13 @@ impl Error {
     pub fn config(msg: impl fmt::Display) -> Self {
         Error::Config(msg.to_string())
     }
+
+    /// Builds a [`Error::Plan`] from any displayable message.
+    pub fn plan(msg: impl fmt::Display) -> Self {
+        Error::Plan {
+            detail: msg.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -83,6 +97,7 @@ impl fmt::Display for Error {
                 write!(f, "cannot parse `{input}` as {target}")
             }
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Plan { detail } => write!(f, "invalid plan: {detail}"),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
             Error::Pipeline {
                 stage,
@@ -151,6 +166,15 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "pipeline failed at stage `stage/01_map` (panic): boom"
+        );
+    }
+
+    #[test]
+    fn display_plan_failure() {
+        let e = Error::plan("delta names unknown polluter `ghost`");
+        assert_eq!(
+            e.to_string(),
+            "invalid plan: delta names unknown polluter `ghost`"
         );
     }
 

@@ -52,6 +52,7 @@ fn main() {
         ],
         supervision: None,
         chaos: None,
+        execution: None,
     };
     let pipelines = config.build(&schema).expect("config builds");
     let job = PollutionJob::new(schema.clone()).with_assigner(SubStreamAssigner::Broadcast);

@@ -52,7 +52,7 @@ fn print_usage() {
 USAGE:
   icewafl pollute  --schema S --config CFG.json --input IN.csv --output OUT.csv
                    [--clean CLEAN.csv] [--log LOG.json] [--seed N] [--parallel]
-                   [--report] [--metrics-json METRICS.json]
+                   [--explain] [--report] [--metrics-json METRICS.json]
                    [--max-retries N] [--fail-fast]
   icewafl validate --schema S --input IN.csv --suite SUITE.json
   icewafl profile  --schema S --input IN.csv
@@ -60,6 +60,8 @@ USAGE:
   icewafl example-config
 
   --schema S        a built-in schema name (wearable, airquality) or a schema JSON file
+  --explain         print the compiled physical plan (strategy, stages,
+                    metric names) and exit without polluting anything
   --report          print the run report (per-polluter and per-stage metrics)
   --metrics-json F  write the run report as JSON to F
   --max-retries N   allow N supervised restarts per failing stage
@@ -106,8 +108,6 @@ fn load_tuples(path: &str, schema: &Schema) -> Result<Vec<Tuple>> {
 fn cmd_pollute(args: &[String]) -> Result<()> {
     let schema = load_schema(&require(args, "--schema")?)?;
     let config_path = require(args, "--config")?;
-    let input = require(args, "--input")?;
-    let output = require(args, "--output")?;
 
     let mut config = JobConfig::from_json(&std::fs::read_to_string(&config_path)?)?;
     if let Some(seed) = flag(args, "--seed") {
@@ -115,26 +115,40 @@ fn cmd_pollute(args: &[String]) -> Result<()> {
             .parse()
             .map_err(|_| Error::config(format_args!("bad --seed `{seed}`")))?;
     }
-    let tuples = load_tuples(&input, &schema)?;
-    let n = tuples.len();
-    let mut job = JobConfigRunner::new(&schema, config.pipelines.len());
+
+    // Lower the config to a logical plan, then let flags override the
+    // execution sections before compiling.
+    let mut plan = config.to_plan();
     if present(args, "--parallel") {
-        job.job = job.job.parallel();
+        plan.strategy = StrategyHint::SplitMergeParallel;
     }
-    // Config sections first, then flags override the retry budget.
-    job.job = config.configure_job(job.job);
     if let Some(retries) = flag(args, "--max-retries") {
         let retries = retries
             .parse()
             .map_err(|_| Error::config(format_args!("bad --max-retries `{retries}`")))?;
-        job.job = job.job.with_max_retries(retries);
+        let mut supervision = plan.supervision.unwrap_or_default();
+        supervision.max_retries = retries;
+        plan.supervision = Some(supervision);
     }
     if present(args, "--fail-fast") {
-        job.job = job.job.with_max_retries(0);
+        let mut supervision = plan.supervision.unwrap_or_default();
+        supervision.max_retries = 0;
+        plan.supervision = Some(supervision);
     }
+    let physical = plan.compile(&schema)?;
+    if present(args, "--explain") {
+        // Show the compiled physical plan and stop: no input required.
+        print!("{}", physical.explain());
+        return Ok(());
+    }
+
+    let input = require(args, "--input")?;
+    let output = require(args, "--output")?;
+    let tuples = load_tuples(&input, &schema)?;
+    let n = tuples.len();
     // Supervised even at 0 retries: a failing stage then surfaces as a
     // one-line `icewafl: pipeline failed …` diagnostic and exit code 1.
-    let out = job.job.run_supervised(tuples, || config.build(&schema))?;
+    let out = physical.execute_supervised(tuples)?;
 
     let dirty: Vec<Tuple> = out.polluted.iter().map(|t| t.tuple.clone()).collect();
     write_csv_file(&output, &schema, &dirty)?;
@@ -165,22 +179,6 @@ fn cmd_pollute(args: &[String]) -> Result<()> {
         println!("run report -> {metrics_path}");
     }
     Ok(())
-}
-
-/// Small helper that chooses the sub-stream assigner by pipeline count.
-struct JobConfigRunner {
-    job: PollutionJob,
-}
-
-impl JobConfigRunner {
-    fn new(schema: &Schema, pipelines: usize) -> Self {
-        let job = PollutionJob::new(schema.clone()).with_assigner(if pipelines > 1 {
-            SubStreamAssigner::RoundRobin
-        } else {
-            SubStreamAssigner::Broadcast
-        });
-        JobConfigRunner { job }
-    }
 }
 
 fn write_csv_file(path: &str, schema: &Schema, tuples: &[Tuple]) -> Result<()> {

@@ -50,17 +50,16 @@ fn chaotic_config(max_retries: u32) -> JobConfig {
     cfg
 }
 
-fn job_for(cfg: &JobConfig) -> PollutionJob {
-    cfg.configure_job(PollutionJob::new(schema()))
+/// Every test runs through the plan path: config → logical plan →
+/// compiled physical plan → supervised execution.
+fn compiled(cfg: &JobConfig) -> PhysicalPlan {
+    cfg.to_plan().compile(&schema()).expect("plan compiles")
 }
 
 #[test]
 fn seeded_chaos_panic_yields_typed_error_naming_the_stage() {
     let cfg = chaotic_config(0); // fail-fast: the one injected panic is fatal
-    let job = job_for(&cfg);
-    let err = job
-        .run_supervised(tuples(100), || cfg.build(&schema()))
-        .unwrap_err();
+    let err = compiled(&cfg).execute_supervised(tuples(100)).unwrap_err();
     match err {
         Error::Pipeline {
             stage,
@@ -81,9 +80,8 @@ fn seeded_chaos_panic_yields_typed_error_naming_the_stage() {
 #[test]
 fn same_config_with_retries_recovers_and_reports_restarts() {
     let cfg = chaotic_config(2);
-    let job = job_for(&cfg);
-    let out = job
-        .run_supervised(tuples(100), || cfg.build(&schema()))
+    let out = compiled(&cfg)
+        .execute_supervised(tuples(100))
         .expect("transient fault heals after restart");
     assert!(
         out.report.restarts >= 1,
@@ -100,14 +98,10 @@ fn recovered_run_matches_an_undisturbed_run() {
     // rebuilds the pipelines, so the polluted output equals a run that
     // never saw the fault.
     let cfg = chaotic_config(2);
-    let disturbed = job_for(&cfg)
-        .run_supervised(tuples(100), || cfg.build(&schema()))
-        .unwrap();
+    let disturbed = compiled(&cfg).execute_supervised(tuples(100)).unwrap();
     let mut calm_cfg = cfg.clone();
     calm_cfg.chaos = None;
-    let calm = job_for(&calm_cfg)
-        .run_supervised(tuples(100), || calm_cfg.build(&schema()))
-        .unwrap();
+    let calm = compiled(&calm_cfg).execute_supervised(tuples(100)).unwrap();
     assert_eq!(disturbed.polluted, calm.polluted);
     assert_eq!(calm.report.restarts, 0);
 }
@@ -118,9 +112,8 @@ fn expired_deadline_fails_with_deadline_kind_and_never_retries() {
     cfg.chaos = None; // no panics: the deadline itself is the fault
     let supervision = cfg.supervision.as_mut().unwrap();
     supervision.deadline_ms = Some(0);
-    let job = job_for(&cfg);
-    let err = job
-        .run_supervised(tuples(5_000), || cfg.build(&schema()))
+    let err = compiled(&cfg)
+        .execute_supervised(tuples(5_000))
         .unwrap_err();
     match err {
         Error::Pipeline { kind, .. } => assert_eq!(kind, "deadline"),
@@ -137,10 +130,7 @@ fn chaos_metrics_surface_in_the_run_report() {
         drop_rate: 1.0,
         ..Default::default()
     });
-    let job = job_for(&cfg);
-    let out = job
-        .run_supervised(tuples(50), || cfg.build(&schema()))
-        .unwrap();
+    let out = compiled(&cfg).execute_supervised(tuples(50)).unwrap();
     assert!(out.polluted.is_empty(), "every record dropped in flight");
     if out.report.metrics_compiled_in {
         assert_eq!(

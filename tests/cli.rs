@@ -248,6 +248,57 @@ fn pollute_emits_run_report_and_metrics_json() {
 }
 
 #[test]
+fn explain_prints_the_compiled_plan_without_running() {
+    let dir = temp_dir("explain");
+    let cfg = icewafl(&["example-config"], &dir);
+    std::fs::write(dir.join("scenario.json"), &cfg.stdout).unwrap();
+    // --explain needs no --input/--output: it compiles and prints only.
+    let out = icewafl(
+        &[
+            "pollute",
+            "--schema",
+            "wearable",
+            "--config",
+            "scenario.json",
+            "--explain",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("== physical plan =="));
+    assert!(text.contains("strategy:"));
+    for stage in [
+        "stage/00_event_time_sorter",
+        "stage/01_split_router",
+        "stage/02_pollution_pipeline",
+    ] {
+        assert!(text.contains(stage), "explain lists {stage}");
+    }
+    assert!(
+        !dir.join("dirty.csv").exists(),
+        "--explain must not execute the job"
+    );
+
+    // --parallel is reflected in the printed strategy.
+    let out = icewafl(
+        &[
+            "pollute",
+            "--schema",
+            "wearable",
+            "--config",
+            "scenario.json",
+            "--parallel",
+            "--explain",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("split_merge_parallel"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn pollute_is_reproducible_per_seed() {
     let dir = temp_dir("repro");
     icewafl(
