@@ -47,11 +47,15 @@ fn bench_pipeline_length(c: &mut Criterion) {
         let cfg = JobConfig::single(1, (0..l).map(|i| noise_polluter(format!("p{i}"))).collect());
         group.bench_with_input(BenchmarkId::from_parameter(l), &cfg, |b, cfg| {
             b.iter_batched(
-                || (data.clone(), cfg.build(&schema).unwrap().pop().unwrap()),
-                |(d, pipeline)| {
-                    let job = PollutionJob::new(schema.clone()).without_logging();
-                    black_box(job.run(d, vec![pipeline]).unwrap().polluted.len())
+                // Job and pipeline construction are setup, not workload.
+                || {
+                    (
+                        data.clone(),
+                        cfg.build(&schema).unwrap().pop().unwrap(),
+                        PollutionJob::new(schema.clone()).without_logging(),
+                    )
                 },
+                |(d, pipeline, job)| black_box(job.run(d, vec![pipeline]).unwrap().polluted.len()),
                 BatchSize::LargeInput,
             )
         });
@@ -79,13 +83,16 @@ fn bench_substream_count(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {
             b.iter_batched(
-                || (data.clone(), cfg.build(&schema).unwrap()),
-                |(d, pipelines)| {
-                    let job = PollutionJob::new(schema.clone())
-                        .with_assigner(SubStreamAssigner::RoundRobin)
-                        .without_logging();
-                    black_box(job.run(d, pipelines).unwrap().polluted.len())
+                || {
+                    (
+                        data.clone(),
+                        cfg.build(&schema).unwrap(),
+                        PollutionJob::new(schema.clone())
+                            .with_assigner(SubStreamAssigner::RoundRobin)
+                            .without_logging(),
+                    )
                 },
+                |(d, pipelines, job)| black_box(job.run(d, pipelines).unwrap().polluted.len()),
                 BatchSize::LargeInput,
             )
         });
@@ -112,16 +119,61 @@ fn bench_parallelism(c: &mut Criterion) {
     for (name, parallel) in [("sequential", false), ("parallel", true)] {
         group.bench_function(name, |b| {
             b.iter_batched(
-                || (data.clone(), cfg.build(&schema).unwrap()),
-                |(d, pipelines)| {
+                || {
                     let mut job = PollutionJob::new(schema.clone())
                         .with_assigner(SubStreamAssigner::RoundRobin)
                         .without_logging();
                     if parallel {
                         job = job.parallel();
                     }
-                    black_box(job.run(d, pipelines).unwrap().polluted.len())
+                    (data.clone(), cfg.build(&schema).unwrap(), job)
                 },
+                |(d, pipelines, job)| black_box(job.run(d, pipelines).unwrap().polluted.len()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Transport batch-size sweep on the §2.3 reference workload (ℓ = 4,
+/// m = 4) under the pipelined strategy — the configuration where every
+/// tuple crosses a thread boundary, so per-element channel cost
+/// dominates and batching pays off.
+fn bench_batch_size(c: &mut Criterion) {
+    let schema = schema();
+    let data = stream(10_000);
+    let cfg = JobConfig {
+        seed: 1,
+        pipelines: (0..4)
+            .map(|m| {
+                (0..4)
+                    .map(|i| noise_polluter(format!("m{m}p{i}")))
+                    .collect()
+            })
+            .collect(),
+        supervision: None,
+        chaos: None,
+        execution: None,
+    };
+    let mut group = c.benchmark_group("batch_size");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(20);
+    for batch in [1usize, 64, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter_batched(
+                || {
+                    (
+                        data.clone(),
+                        cfg.build(&schema).unwrap(),
+                        PollutionJob::new(schema.clone())
+                            .with_assigner(SubStreamAssigner::RoundRobin)
+                            .with_strategy(StrategyHint::Pipelined)
+                            .with_batch_size(batch)
+                            .without_logging(),
+                    )
+                },
+                |(d, pipelines, job)| black_box(job.run(d, pipelines).unwrap().polluted.len()),
                 BatchSize::LargeInput,
             )
         });
@@ -133,6 +185,7 @@ criterion_group!(
     benches,
     bench_pipeline_length,
     bench_substream_count,
-    bench_parallelism
+    bench_parallelism,
+    bench_batch_size
 );
 criterion_main!(benches);

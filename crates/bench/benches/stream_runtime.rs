@@ -78,6 +78,30 @@ fn bench_sorter(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+    // Already-ordered input: the sorter's append fast path (no binary
+    // search, no mid-buffer insert) — the common case after a merge of
+    // round-robin sub-streams.
+    let ordered: Vec<i64> = (0..50_000).collect();
+    group.bench_function("already_ordered", |b| {
+        b.iter_batched(
+            || ordered.clone(),
+            |d| {
+                let src = VecSource::new(d);
+                let strategy = WatermarkStrategy::bounded_out_of_orderness(
+                    |x: &i64| Timestamp(*x),
+                    IceDuration::ZERO,
+                    64,
+                );
+                black_box(
+                    DataStream::from_source(src, strategy)
+                        .sort_by_event_time(|x| Timestamp(*x))
+                        .count()
+                        .unwrap(),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
     group.finish();
 }
 

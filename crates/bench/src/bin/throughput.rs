@@ -1,0 +1,268 @@
+//! Machine-readable throughput harness (`cargo run -p icewafl-bench
+//! --release --bin throughput`).
+//!
+//! Runs the §2.3 reference workload — `n` tuples through `m = 4`
+//! sub-streams of pipeline length `ℓ = 4` — under every execution
+//! strategy and emits a `BENCH_throughput.json` report with
+//! tuples/second per configuration. Unlike the criterion benches this
+//! harness is cheap enough for CI, produces a stable JSON artifact for
+//! regression gating (`--check`), and needs no statistics framework:
+//! it reports the best of `--reps` wall-clock runs.
+//!
+//! Usage:
+//!   throughput [--n 10000] [--reps 5] [--out BENCH_throughput.json]
+//!              [--check BASELINE.json] [--tolerance 0.30] [--relative]
+//!
+//! With `--check`, every configuration present in the baseline's
+//! `results` array must reach at least `(1 - tolerance)` of its
+//! baseline throughput or the process exits non-zero. `--relative`
+//! normalizes both sides by their own `sequential/batch_1` throughput
+//! before comparing, so the gate measures *speedup shape* (does
+//! batching still pay off?) rather than absolute tuples/sec — the only
+//! comparison that is stable across differently-sized machines, and
+//! the mode CI uses against the committed baseline.
+
+use std::time::Instant;
+
+use icewafl_core::config::{ConditionConfig, ErrorConfig, PolluterConfig};
+use icewafl_core::plan::{AssignerSpec, LogicalPlan, StrategyHint};
+use icewafl_types::{DataType, Schema, Timestamp, Tuple, Value};
+
+/// Pipeline length ℓ of the reference workload.
+const PIPELINE_LEN: usize = 4;
+/// Sub-stream count m of the reference workload.
+const SUB_STREAMS: usize = 4;
+/// Batch sizes swept per strategy (1 = unbatched transport).
+const BATCH_SIZES: [usize; 3] = [1, 64, 256];
+
+fn schema() -> Schema {
+    Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
+}
+
+fn tuples(n: i64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp(i * 1000)),
+                Value::Float(i as f64),
+            ])
+        })
+        .collect()
+}
+
+/// One sub-stream pipeline: ℓ gaussian-noise polluters gated at p=0.5.
+fn pipeline() -> Vec<PolluterConfig> {
+    (0..PIPELINE_LEN)
+        .map(|i| PolluterConfig::Standard {
+            name: format!("noise-{i}"),
+            attributes: vec!["x".into()],
+            error: ErrorConfig::GaussianNoise {
+                sigma: 1.0,
+                relative: false,
+            },
+            condition: ConditionConfig::Probability { p: 0.5 },
+            pattern: None,
+        })
+        .collect()
+}
+
+fn plan(strategy: StrategyHint, batch_size: usize) -> LogicalPlan {
+    let mut plan = LogicalPlan::new(42, vec![pipeline(); SUB_STREAMS]);
+    plan.assigner = AssignerSpec::RoundRobin;
+    plan.strategy = strategy;
+    plan.logging = false;
+    plan.batch_size = batch_size;
+    plan
+}
+
+struct Measurement {
+    name: String,
+    strategy: String,
+    batch_size: usize,
+    tuples_per_sec: f64,
+    best_ms: f64,
+}
+
+fn measure(strategy: StrategyHint, batch_size: usize, n: i64, reps: u32) -> Measurement {
+    let schema = schema();
+    let physical = plan(strategy, batch_size)
+        .compile(&schema)
+        .expect("reference plan compiles");
+    let data = tuples(n);
+    // One warm-up run outside the timed loop.
+    let warm = physical.execute(data.clone()).expect("warm-up succeeds");
+    assert_eq!(warm.polluted.len(), n as usize, "workload is lossless");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let input = data.clone();
+        let start = Instant::now();
+        let out = physical.execute(input).expect("run succeeds");
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(out.polluted.len(), n as usize);
+        best = best.min(elapsed);
+    }
+    let strategy_name = match strategy {
+        StrategyHint::Sequential => "sequential",
+        StrategyHint::Pipelined => "pipelined",
+        StrategyHint::SplitMergeParallel => "split_merge_parallel",
+        _ => "other",
+    };
+    Measurement {
+        name: format!("{strategy_name}/batch_{batch_size}"),
+        strategy: strategy_name.to_string(),
+        batch_size,
+        tuples_per_sec: n as f64 / best,
+        best_ms: best * 1e3,
+    }
+}
+
+fn render(n: i64, reps: u32, results: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"workload\": {\n");
+    out.push_str(&format!("    \"n\": {n},\n"));
+    out.push_str(&format!("    \"pipeline_length\": {PIPELINE_LEN},\n"));
+    out.push_str(&format!("    \"sub_streams\": {SUB_STREAMS},\n"));
+    out.push_str(&format!("    \"reps\": {reps}\n"));
+    out.push_str("  },\n  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"strategy\": \"{}\", \"batch_size\": {}, \
+             \"tuples_per_sec\": {:.0}, \"best_ms\": {:.2} }}{}\n",
+            m.name,
+            m.strategy,
+            m.batch_size,
+            m.tuples_per_sec,
+            m.best_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Name of the configuration used as the normalization reference in
+/// `--relative` mode: no channel edges, no batching, so its throughput
+/// tracks raw machine speed.
+const REFERENCE_CONFIG: &str = "sequential/batch_1";
+
+/// Compares measured throughput against a committed baseline; returns
+/// the names of configurations that regressed beyond `tolerance`. In
+/// relative mode both sides are divided by their own
+/// [`REFERENCE_CONFIG`] throughput first, comparing speedup ratios
+/// instead of machine-dependent absolute rates.
+fn check(
+    baseline_json: &str,
+    results: &[Measurement],
+    tolerance: f64,
+    relative: bool,
+) -> Vec<String> {
+    let baseline: serde_json::Value =
+        serde_json::from_str(baseline_json).expect("baseline parses as JSON");
+    let entries = baseline
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("baseline has a results array");
+    let base_tps_of = |name: &str| {
+        entries.iter().find_map(|e| {
+            (e.get("name").and_then(|v| v.as_str()) == Some(name))
+                .then(|| e.get("tuples_per_sec").and_then(|v| v.as_f64()))
+                .flatten()
+        })
+    };
+    let (base_ref, measured_ref) = if relative {
+        let base = base_tps_of(REFERENCE_CONFIG)
+            .expect("baseline contains the sequential/batch_1 reference");
+        let measured = results
+            .iter()
+            .find(|m| m.name == REFERENCE_CONFIG)
+            .expect("this run contains the sequential/batch_1 reference")
+            .tuples_per_sec;
+        (base, measured)
+    } else {
+        (1.0, 1.0)
+    };
+    let mut regressions = Vec::new();
+    for entry in entries {
+        let (Some(name), Some(base_tps)) = (
+            entry.get("name").and_then(|v| v.as_str()),
+            entry.get("tuples_per_sec").and_then(|v| v.as_f64()),
+        ) else {
+            continue;
+        };
+        if relative && name == REFERENCE_CONFIG {
+            continue; // its ratio is 1.0 on both sides by construction
+        }
+        let Some(measured) = results.iter().find(|m| m.name == name) else {
+            continue;
+        };
+        let baseline_score = base_tps / base_ref;
+        let measured_score = measured.tuples_per_sec / measured_ref;
+        let floor = baseline_score * (1.0 - tolerance);
+        if measured_score < floor {
+            let unit = if relative { "x reference" } else { " tuples/s" };
+            regressions.push(format!(
+                "{name}: {measured_score:.2}{unit} < floor {floor:.2} \
+                 (baseline {baseline_score:.2})"
+            ));
+        }
+    }
+    regressions
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: i64 = arg_value(&args, "--n")
+        .map(|v| v.parse().expect("--n takes an integer"))
+        .unwrap_or(10_000);
+    let reps: u32 = arg_value(&args, "--reps")
+        .map(|v| v.parse().expect("--reps takes an integer"))
+        .unwrap_or(5);
+    let out_path = arg_value(&args, "--out");
+    let check_path = arg_value(&args, "--check");
+    let tolerance: f64 = arg_value(&args, "--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a float"))
+        .unwrap_or(0.30);
+    let relative = args.iter().any(|a| a == "--relative");
+
+    let strategies = [
+        StrategyHint::Sequential,
+        StrategyHint::Pipelined,
+        StrategyHint::SplitMergeParallel,
+    ];
+    let mut results = Vec::new();
+    for strategy in strategies {
+        for batch_size in BATCH_SIZES {
+            let m = measure(strategy, batch_size, n, reps);
+            eprintln!(
+                "{:<32} {:>12.0} tuples/s  (best {:.2} ms)",
+                m.name, m.tuples_per_sec, m.best_ms
+            );
+            results.push(m);
+        }
+    }
+
+    let report = render(n, reps, &results);
+    match &out_path {
+        Some(path) => std::fs::write(path, &report).expect("write report"),
+        None => print!("{report}"),
+    }
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).expect("read baseline");
+        let regressions = check(&baseline, &results, tolerance, relative);
+        if !regressions.is_empty() {
+            eprintln!("throughput regressions beyond {:.0}%:", tolerance * 100.0);
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("no regressions beyond {:.0}%", tolerance * 100.0);
+    }
+}

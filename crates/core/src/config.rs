@@ -100,6 +100,9 @@ impl JobConfig {
             assigner: execution.assigner,
             strategy: execution.strategy,
             watermark_period: execution.watermark_period.unwrap_or(64),
+            batch_size: execution
+                .batch_size
+                .unwrap_or(crate::plan::DEFAULT_BATCH_SIZE),
             logging: true,
             supervision: self.supervision.clone(),
             chaos: self.chaos.clone(),
@@ -119,6 +122,11 @@ pub struct ExecutionSectionConfig {
     /// Source watermark period in tuples (absent = plan default).
     #[serde(default)]
     pub watermark_period: Option<u64>,
+    /// Records per transport batch on channel edges (absent = plan
+    /// default; `1` = unbatched). Performance-only: output is
+    /// bit-identical across batch sizes.
+    #[serde(default)]
+    pub batch_size: Option<usize>,
 }
 
 /// Builds runnable pipelines from polluter specs — the one construction

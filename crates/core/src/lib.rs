@@ -87,7 +87,7 @@ pub use pattern::ChangePattern;
 pub use pipeline::{CompositePolluter, OneOfPolluter, PollutionPipeline};
 pub use plan::{
     AssignerSpec, ControlHandle, ExecutionStrategy, LogicalPlan, PhysicalPlan, PlanDelta,
-    StageInfo, StrategyHint,
+    StageInfo, StrategyHint, DEFAULT_BATCH_SIZE,
 };
 pub use polluter::{BoxPolluter, Emission, Polluter, StandardPolluter};
 pub use report::RunReport;
@@ -117,7 +117,7 @@ pub mod prelude {
     pub use crate::pipeline::{CompositePolluter, OneOfPolluter, PollutionPipeline};
     pub use crate::plan::{
         AssignerSpec, ControlHandle, ExecutionStrategy, LogicalPlan, PhysicalPlan, PlanDelta,
-        StrategyHint,
+        StrategyHint, DEFAULT_BATCH_SIZE,
     };
     pub use crate::polluter::{BoxPolluter, Emission, Polluter, StandardPolluter};
     pub use crate::propagation::{KeyedPolluter, PropagationPolluter};

@@ -18,6 +18,12 @@ use icewafl_types::{StampedTuple, Timestamp};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
+/// Initial capacity of the stage-chaining scratch buffers. One tuple in
+/// normally yields one tuple out per stage; duplicates and watermark
+/// releases fan out a little, so a modest pre-size keeps the reused
+/// buffers from reallocating mid-stream.
+const SCRATCH_CAPACITY: usize = 16;
+
 /// A sequence of polluters applied in order, with correct temporal
 /// (watermark / end-of-stream) plumbing between stages.
 pub struct PollutionPipeline {
@@ -31,8 +37,8 @@ impl PollutionPipeline {
     pub fn new(stages: Vec<BoxPolluter>) -> Self {
         PollutionPipeline {
             stages,
-            scratch_a: Vec::new(),
-            scratch_b: Vec::new(),
+            scratch_a: Vec::with_capacity(SCRATCH_CAPACITY),
+            scratch_b: Vec::with_capacity(SCRATCH_CAPACITY),
         }
     }
 

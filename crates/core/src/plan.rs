@@ -43,6 +43,12 @@ use std::sync::Arc;
 /// Bounded-channel capacity used by the `pipelined` strategy.
 pub const PIPELINED_CAPACITY: usize = 1024;
 
+/// Default records per transport batch on channel edges. Batches
+/// amortize per-element send/recv and metering cost; they are flushed
+/// at every watermark, so the *effective* batch is additionally capped
+/// by the watermark period. `1` disables batching.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
 /// Declarative choice of execution strategy (part of the logical plan);
 /// resolved to an [`ExecutionStrategy`] at compile time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -155,6 +161,10 @@ fn default_watermark_period() -> u64 {
     64
 }
 
+fn default_batch_size() -> usize {
+    DEFAULT_BATCH_SIZE
+}
+
 fn default_true() -> bool {
     true
 }
@@ -184,6 +194,12 @@ pub struct LogicalPlan {
     /// of reconfiguration epochs.
     #[serde(default = "default_watermark_period")]
     pub watermark_period: u64,
+    /// Records per transport batch on channel edges (`1` = unbatched).
+    /// Purely a performance knob: batches flush before every watermark,
+    /// end marker, and failure, so output is bit-identical across batch
+    /// sizes.
+    #[serde(default = "default_batch_size")]
+    pub batch_size: usize,
     /// Record ground truth (disable for overhead benchmarks).
     #[serde(default = "default_true")]
     pub logging: bool,
@@ -204,6 +220,7 @@ impl LogicalPlan {
             assigner: AssignerSpec::Auto,
             strategy: StrategyHint::Auto,
             watermark_period: default_watermark_period(),
+            batch_size: DEFAULT_BATCH_SIZE,
             logging: true,
             supervision: None,
             chaos: None,
@@ -289,6 +306,7 @@ impl LogicalPlan {
             schema: schema.clone(),
             assigner: self.assigner.resolve(m, self.seed),
             watermark_period: self.watermark_period.max(1),
+            batch_size: self.batch_size.max(1),
             strategy,
             logging: self.logging,
             supervision: self.supervisor_policy(),
@@ -703,6 +721,16 @@ impl PhysicalPlan {
         );
         let _ = writeln!(
             s,
+            "batch size:       {} record(s) per transport batch{}",
+            self.settings.batch_size,
+            if self.settings.batch_size == 1 {
+                " (unbatched)"
+            } else {
+                ""
+            }
+        );
+        let _ = writeln!(
+            s,
             "logging:          {}",
             if self.settings.logging { "on" } else { "off" }
         );
@@ -875,6 +903,7 @@ mod tests {
         // A minimal handwritten plan gets every default.
         let minimal = LogicalPlan::from_json(r#"{ "pipelines": [[]] }"#).unwrap();
         assert_eq!(minimal.watermark_period, 64);
+        assert_eq!(minimal.batch_size, DEFAULT_BATCH_SIZE);
         assert!(minimal.logging);
         assert_eq!(minimal.strategy, StrategyHint::Auto);
         assert_eq!(minimal.assigner, AssignerSpec::Auto);

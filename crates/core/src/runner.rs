@@ -7,7 +7,7 @@
 
 use crate::log::PollutionLog;
 use crate::pipeline::PollutionPipeline;
-use crate::plan::{ExecutionStrategy, LogicalPlan, StrategyHint};
+use crate::plan::{ExecutionStrategy, LogicalPlan, StrategyHint, DEFAULT_BATCH_SIZE};
 use crate::polluter::Emission;
 use crate::prepare::PrepareOperator;
 use crate::report::RunReport;
@@ -184,6 +184,20 @@ impl Operator<StampedTuple, StampedTuple> for PipelineOperator {
         self.drain_scratch(out);
     }
 
+    fn on_batch(&mut self, batch: Vec<StampedTuple>, out: &mut dyn Collector<StampedTuple>) {
+        // Tuples are still processed one at a time (batching must not
+        // change the ground-truth log order), but the shared log lock
+        // is taken once per batch instead of once per tuple.
+        {
+            let mut log = self.log.lock();
+            for record in batch {
+                let mut em = Emission::new(&mut self.scratch, &mut log);
+                self.pipeline.process(record, &mut em);
+            }
+        }
+        self.drain_scratch(out);
+    }
+
     fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector<StampedTuple>) {
         {
             let mut log = self.log.lock();
@@ -238,6 +252,8 @@ pub(crate) struct ExecSettings {
     pub(crate) strategy: ExecutionStrategy,
     /// Record ground truth (disable for overhead benchmarks).
     pub(crate) logging: bool,
+    /// Records per transport batch on channel edges (1 = unbatched).
+    pub(crate) batch_size: usize,
     /// Restart policy consulted by supervised runs.
     pub(crate) supervision: SupervisorPolicy,
     /// Runtime fault injection (`None` = disabled).
@@ -268,6 +284,7 @@ impl PollutionJob {
                 watermark_period: 64,
                 strategy: ExecutionStrategy::Sequential,
                 logging: true,
+                batch_size: DEFAULT_BATCH_SIZE,
                 supervision: SupervisorPolicy::default(),
                 chaos: None,
                 control: None,
@@ -304,6 +321,16 @@ impl PollutionJob {
     /// Disables ground-truth logging.
     pub fn without_logging(mut self) -> Self {
         self.settings.logging = false;
+        self
+    }
+
+    /// Sets the transport batch size: how many records channel edges
+    /// (split router, sub-streams, pipelined boundaries) carry per
+    /// frame. `1` disables batching; the effective batch is also capped
+    /// by the watermark period, since partial batches flush at every
+    /// watermark. Output is bit-identical across batch sizes.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.settings.batch_size = batch_size.max(1);
         self
     }
 
@@ -520,14 +547,17 @@ pub(crate) fn execute_attempt(
         settings.watermark_period,
     );
     let stream = DataStream::from_source(VecSource::new(clean.clone()), watermarks);
+    let batch_size = settings.batch_size.max(1);
     let merged = match settings.strategy {
-        ExecutionStrategy::SplitMergeParallel => stream.split_merge_parallel(selector, builders),
+        ExecutionStrategy::SplitMergeParallel => {
+            stream.split_merge_parallel_batched(selector, builders, batch_size)
+        }
         ExecutionStrategy::Sequential | ExecutionStrategy::Pipelined { .. } => {
-            stream.split_merge(selector, builders)
+            stream.split_merge_batched(selector, builders, batch_size)
         }
     };
     let merged = match settings.strategy {
-        ExecutionStrategy::Pipelined { capacity } => merged.pipelined(capacity),
+        ExecutionStrategy::Pipelined { capacity } => merged.pipelined_batched(capacity, batch_size),
         _ => merged,
     };
     // Algorithm 1, line 11: sortByTimestamp — by *arrival* time, so

@@ -33,6 +33,18 @@ pub trait Operator<In, Out>: Send {
     /// Processes one input record.
     fn on_element(&mut self, record: In, out: &mut dyn Collector<Out>);
 
+    /// Processes a batch of consecutive records (see
+    /// [`StreamElement::Batch`](crate::StreamElement::Batch)). The
+    /// default delegates to [`on_element`](Operator::on_element) per
+    /// record; stateful operators override it to amortize per-batch
+    /// work (e.g. taking a lock once instead of once per record). The
+    /// override must emit exactly what the element-wise default would.
+    fn on_batch(&mut self, batch: Vec<In>, out: &mut dyn Collector<Out>) {
+        for record in batch {
+            self.on_element(record, out);
+        }
+    }
+
     /// Called when the event-time watermark advances to `wm`. Operators
     /// holding back records release everything with event time `≤ wm`
     /// here.

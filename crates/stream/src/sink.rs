@@ -8,6 +8,17 @@ pub trait Sink<T>: Send {
     /// Accepts one record.
     fn write(&mut self, record: T);
 
+    /// Accepts a whole transport batch. Sinks that synchronize per
+    /// record (locks, I/O flushes) should override this to pay that
+    /// cost once per batch; the default just loops over [`write`].
+    ///
+    /// [`write`]: Sink::write
+    fn write_batch(&mut self, batch: Vec<T>) {
+        for record in batch {
+            self.write(record);
+        }
+    }
+
     /// Called once after the last record.
     fn finish(&mut self) {}
 }
@@ -62,6 +73,10 @@ impl<T: Send> Sink<T> for SharedVecSink<T> {
     fn write(&mut self, record: T) {
         self.items.lock().push(record);
     }
+
+    fn write_batch(&mut self, batch: Vec<T>) {
+        self.items.lock().extend(batch);
+    }
 }
 
 /// Counts records, sharing the count with the caller.
@@ -100,6 +115,10 @@ impl Clone for CountSink {
 impl<T: Send> Sink<T> for CountSink {
     fn write(&mut self, _record: T) {
         *self.count.lock() += 1;
+    }
+
+    fn write_batch(&mut self, batch: Vec<T>) {
+        *self.count.lock() += batch.len() as u64;
     }
 }
 

@@ -12,15 +12,50 @@
 use crate::metrics::SorterMetrics;
 use crate::operator::{Collector, Operator};
 use icewafl_types::Timestamp;
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Initial reorder-buffer capacity, reserved on the first record. Sized
+/// to a few source watermark periods (default 64), since the buffer
+/// drains at every watermark and only delayed tuples accumulate beyond
+/// one period.
+const INITIAL_BUFFER_CAPACITY: usize = 256;
+
+/// Furthest a record may land from the buffer tail and still be
+/// inserted in place. Beyond this the `Vec::insert` memmove dominates
+/// (a long sorted run arriving behind the buffer — e.g. a sequential
+/// union draining sub-streams back to back — would degrade to O(n²)),
+/// so the record goes to the overflow heap instead.
+const MAX_INSERT_SHIFT: usize = 64;
 
 /// Buffers records and emits them in event-time order as the watermark
 /// advances. Ties are broken by arrival order (the sort is stable).
+///
+/// The primary buffer is a `Vec` kept sorted ascending by timestamp.
+/// The dominant case — records arriving in event-time order — appends
+/// in O(1), and releasing at a watermark is then a prefix drain with no
+/// per-record comparisons, where a heap pays O(log n) per push *and*
+/// per pop. A mildly out-of-order record (a delayed tuple, or fine
+/// interleaving across merged sub-streams) pays a binary search plus a
+/// short mid-vector insert. Only a record landing further than
+/// [`MAX_INSERT_SHIFT`] from the tail — the pattern a sequential union
+/// produces when it concatenates whole sub-streams — falls back to a
+/// min-heap, and a release stream-merges the heap with the buffer
+/// prefix. Nothing is ever bulk re-sorted.
 pub struct EventTimeSorter<T, F> {
     extract: F,
-    heap: BinaryHeap<Reverse<Entry<T>>>,
+    /// Sorted ascending by `ts`; equal timestamps keep arrival order
+    /// (insertion lands *after* existing equal-ts entries), so
+    /// stability within the buffer needs no sequence number.
+    buf: Vec<Entry<T>>,
+    /// Overflow min-heap for far-out-of-order records, ordered by
+    /// `(ts, seq)` so equal timestamps pop in arrival order.
+    overflow: BinaryHeap<HeapEntry<T>>,
+    /// Arrival counter for heap tie-breaking.
     seq: u64,
+    /// Max `ts` in `overflow`. An in-place buffer insert at or below
+    /// this would order a later arrival ahead of a heaped equal-ts
+    /// record, so such records go to the heap too (keeps ties stable).
+    overflow_max: Timestamp,
     last_wm: Timestamp,
     metrics: SorterMetrics,
     /// Buffer-occupancy peak staged locally; pushed to the shared gauge
@@ -31,24 +66,34 @@ pub struct EventTimeSorter<T, F> {
 
 struct Entry<T> {
     ts: Timestamp,
+    record: T,
+}
+
+struct HeapEntry<T> {
+    ts: Timestamp,
     seq: u64,
     record: T,
 }
 
-impl<T> PartialEq for Entry<T> {
+impl<T> PartialEq for HeapEntry<T> {
     fn eq(&self, other: &Self) -> bool {
         self.ts == other.ts && self.seq == other.seq
     }
 }
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
+
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> PartialOrd for HeapEntry<T> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<T> Ord for Entry<T> {
+
+impl<T> Ord for HeapEntry<T> {
+    /// Reversed `(ts, seq)` so `BinaryHeap` (a max-heap) pops the
+    /// earliest timestamp first, earliest arrival on ties.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.ts, self.seq).cmp(&(other.ts, other.seq))
+        (other.ts, other.seq).cmp(&(self.ts, self.seq))
     }
 }
 
@@ -60,8 +105,10 @@ where
     pub fn new(extract: F) -> Self {
         EventTimeSorter {
             extract,
-            heap: BinaryHeap::new(),
+            buf: Vec::new(),
+            overflow: BinaryHeap::new(),
             seq: 0,
+            overflow_max: Timestamp::MIN,
             last_wm: Timestamp::MIN,
             metrics: SorterMetrics::detached(),
             buffer_peak: 0,
@@ -76,18 +123,44 @@ where
 
     /// Number of records currently held back.
     pub fn buffered(&self) -> usize {
-        self.heap.len()
+        self.buf.len() + self.overflow.len()
     }
 
+    /// Emits every held record with `ts <= wm` in timestamp order: the
+    /// sorted buffer prefix stream-merged with the overflow heap. On a
+    /// timestamp tie the buffer entry goes first — anything in `buf`
+    /// with a `ts` tied against a heap entry arrived earlier (enforced
+    /// by the `overflow_max` guard in `on_element`).
     fn release_up_to(&mut self, wm: Timestamp, out: &mut dyn Collector<T>) {
-        // Peek-then-pop without an `expect`: pop first, push back the one
-        // entry that is still beyond the watermark.
-        while let Some(Reverse(e)) = self.heap.pop() {
-            if e.ts > wm {
-                self.heap.push(Reverse(e));
-                break;
+        let ready = self.buf.partition_point(|e| e.ts <= wm);
+        if self.overflow.peek().is_none_or(|h| h.ts > wm) {
+            // Fast path: nothing heaped is due, drain the prefix.
+            for e in self.buf.drain(..ready) {
+                out.collect(e.record);
             }
-            out.collect(e.record);
+            return;
+        }
+        let mut from_buf = self.buf.drain(..ready).peekable();
+        loop {
+            let heap_due = self.overflow.peek().filter(|h| h.ts <= wm);
+            match (from_buf.peek(), heap_due) {
+                (Some(b), Some(h)) if h.ts < b.ts => {
+                    let h = self.overflow.pop().expect("peeked entry pops");
+                    out.collect(h.record);
+                }
+                (Some(_), _) => {
+                    let b = from_buf.next().expect("peeked entry advances");
+                    out.collect(b.record);
+                }
+                (None, Some(_)) => {
+                    let h = self.overflow.pop().expect("peeked entry pops");
+                    out.collect(h.record);
+                }
+                (None, None) => break,
+            }
+        }
+        if self.overflow.is_empty() {
+            self.overflow_max = Timestamp::MIN;
         }
     }
 }
@@ -109,13 +182,32 @@ where
                 .late_lag_ms
                 .record((self.last_wm.0.saturating_sub(ts.0)).max(0) as u64);
         }
-        self.heap.push(Reverse(Entry {
-            ts,
-            seq: self.seq,
-            record,
-        }));
-        self.seq += 1;
-        self.buffer_peak = self.buffer_peak.max(self.heap.len() as u64);
+        if self.buf.capacity() == 0 {
+            self.buf.reserve(INITIAL_BUFFER_CAPACITY);
+        }
+        match self.buf.last() {
+            // Out of order: either a short in-place insert after all
+            // equal-or-earlier timestamps, or — when the slot is far
+            // from the tail, or an equal-ts record is already heaped —
+            // fall back to the overflow heap.
+            Some(tail) if tail.ts > ts => {
+                let at = self.buf.partition_point(|e| e.ts <= ts);
+                if self.buf.len() - at <= MAX_INSERT_SHIFT && ts > self.overflow_max {
+                    self.buf.insert(at, Entry { ts, record });
+                } else {
+                    self.overflow_max = self.overflow_max.max(ts);
+                    self.seq += 1;
+                    self.overflow.push(HeapEntry {
+                        ts,
+                        seq: self.seq,
+                        record,
+                    });
+                }
+            }
+            // In order (the common case): append.
+            _ => self.buf.push(Entry { ts, record }),
+        }
+        self.buffer_peak = self.buffer_peak.max(self.buffered() as u64);
     }
 
     fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector<T>) {

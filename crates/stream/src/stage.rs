@@ -72,6 +72,16 @@ where
                         .record(StageError::from_panic("sink", payload));
                 }
             }
+            StreamElement::Batch(batch) => {
+                let sink = &mut self.sink;
+                if let Err(payload) =
+                    catch_unwind(AssertUnwindSafe(move || sink.write_batch(batch)))
+                {
+                    self.finished = true;
+                    self.failures
+                        .record(StageError::from_panic("sink", payload));
+                }
+            }
             StreamElement::Watermark(_) => {}
             StreamElement::End => {
                 self.finished = true;
@@ -221,6 +231,37 @@ where
                     self.fail(payload);
                 }
             }
+            StreamElement::Batch(batch) => {
+                if batch.is_empty() {
+                    return;
+                }
+                let len = batch.len() as u64;
+                // Time the whole batch whenever it covers one of the
+                // 1-in-64 sample points the per-record path would hit.
+                let next_sample = (self.seen + SAMPLE_MASK) & !SAMPLE_MASK;
+                let sampled = next_sample < self.seen + len;
+                self.seen += len;
+                self.in_pending += len;
+                let result = {
+                    let op = &mut self.op;
+                    let mut coll = StageCollector {
+                        down: self.down.as_mut(),
+                        out: &mut self.out_pending,
+                    };
+                    if sampled {
+                        let sw = Stopwatch::start();
+                        let res =
+                            catch_unwind(AssertUnwindSafe(move || op.on_batch(batch, &mut coll)));
+                        self.metrics.latency_ns.record(sw.elapsed_ns());
+                        res
+                    } else {
+                        catch_unwind(AssertUnwindSafe(move || op.on_batch(batch, &mut coll)))
+                    }
+                };
+                if let Err(payload) = result {
+                    self.fail(payload);
+                }
+            }
             StreamElement::Watermark(wm) => {
                 // The final `W(MAX)` end-of-stream sentinel would dwarf
                 // any real event time; keep it out of the high-water mark.
@@ -275,27 +316,50 @@ where
 
 /// Stage that forwards elements into a crossbeam channel (the upstream
 /// half of a thread boundary).
+///
+/// With a `batch_size > 1` the stage stages consecutive records in a
+/// local buffer and ships them as one [`StreamElement::Batch`] frame,
+/// amortizing the per-send channel and metering cost. The buffer is
+/// flushed *before* any watermark, `End`, or `Failure` is forwarded, so
+/// records never trail a control element they preceded — event-time
+/// semantics are identical to the unbatched path.
 pub struct ChannelStage<T> {
     tx: Option<Sender<StreamElement<T>>>,
     metrics: ChannelMetrics,
+    buf: Vec<T>,
+    batch_size: usize,
 }
 
 impl<T> ChannelStage<T> {
-    /// Wraps a sender with detached (snapshot-invisible) metrics.
+    /// Wraps a sender with detached (snapshot-invisible) metrics and no
+    /// batching (every record is its own frame).
     pub fn new(tx: Sender<StreamElement<T>>) -> Self {
         Self::with_metrics(tx, ChannelMetrics::detached())
     }
 
-    /// Wraps a sender, recording into the given metric handles.
+    /// Wraps a sender, recording into the given metric handles; no
+    /// batching.
     pub fn with_metrics(tx: Sender<StreamElement<T>>, metrics: ChannelMetrics) -> Self {
+        Self::with_batch_size(tx, metrics, 1)
+    }
+
+    /// Wraps a sender that ships records in batches of `batch_size`.
+    pub fn with_batch_size(
+        tx: Sender<StreamElement<T>>,
+        metrics: ChannelMetrics,
+        batch_size: usize,
+    ) -> Self {
         ChannelStage {
             tx: Some(tx),
             metrics,
+            buf: Vec::new(),
+            batch_size: batch_size.max(1),
         }
     }
 }
 
-/// Sends one element, counting the send and timing any backpressure
+/// Sends one element, counting the send (in *records* for batch frames,
+/// so counters are batch-size invariant) and timing any backpressure
 /// block. A disconnected consumer counts as a drop; there is nothing
 /// sensible to do but stop sending.
 pub(crate) fn send_metered<T: Send>(
@@ -303,32 +367,106 @@ pub(crate) fn send_metered<T: Send>(
     element: StreamElement<T>,
     metrics: &ChannelMetrics,
 ) {
-    metrics.sends.inc();
+    let units = match &element {
+        StreamElement::Batch(b) => b.len() as u64,
+        _ => 1,
+    };
+    metrics.sends.add(units);
     match tx.try_send(element) {
         Ok(()) => {}
         Err(TrySendError::Full(element)) => {
             metrics.send_blocks.inc();
             let sw = Stopwatch::start();
             if tx.send(element).is_err() {
-                metrics.dropped.inc();
+                metrics.dropped.add(units);
             }
             metrics.send_block_ns.record(sw.elapsed_ns());
         }
         Err(TrySendError::Disconnected(_)) => {
-            metrics.dropped.inc();
+            metrics.dropped.add(units);
         }
     }
 }
 
 impl<T: Send> Stage<T> for ChannelStage<T> {
     fn push(&mut self, element: StreamElement<T>) {
-        let terminal = element.is_terminal();
-        if let Some(tx) = &self.tx {
-            send_metered(tx, element, &self.metrics);
+        let Some(tx) = &self.tx else { return };
+        if let StreamElement::Record(r) = element {
+            if self.batch_size > 1 {
+                if self.buf.capacity() == 0 {
+                    self.buf.reserve_exact(self.batch_size);
+                }
+                self.buf.push(r);
+                if self.buf.len() >= self.batch_size {
+                    let batch =
+                        std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch_size));
+                    send_metered(tx, StreamElement::Batch(batch), &self.metrics);
+                }
+            } else {
+                send_metered(tx, StreamElement::Record(r), &self.metrics);
+            }
+            return;
         }
+        // Control elements and pre-batched frames: flush staged records
+        // first so nothing overtakes them.
+        if !self.buf.is_empty() {
+            let batch = std::mem::take(&mut self.buf);
+            send_metered(tx, StreamElement::Batch(batch), &self.metrics);
+        }
+        let terminal = element.is_terminal();
+        send_metered(tx, element, &self.metrics);
         if terminal {
             self.tx = None;
         }
+    }
+}
+
+/// Stage adapter that coalesces consecutive records into
+/// [`StreamElement::Batch`] frames before forwarding to the inner
+/// stage. Placed in front of contended merge points (e.g. a union's
+/// shared lock) so per-record synchronization is paid once per batch.
+/// Like every batching transport, staged records flush *before* any
+/// watermark, pre-batched frame, or terminal marker is forwarded.
+pub struct BatchingStage<T> {
+    inner: BoxStage<T>,
+    buf: Vec<T>,
+    batch_size: usize,
+}
+
+impl<T> BatchingStage<T> {
+    /// Wraps `inner`, batching up to `batch_size` records per frame.
+    pub fn new(inner: BoxStage<T>, batch_size: usize) -> Self {
+        BatchingStage {
+            inner,
+            buf: Vec::new(),
+            batch_size: batch_size.max(1),
+        }
+    }
+}
+
+impl<T: Send> Stage<T> for BatchingStage<T> {
+    fn push(&mut self, element: StreamElement<T>) {
+        if let StreamElement::Record(r) = element {
+            if self.batch_size > 1 {
+                if self.buf.capacity() == 0 {
+                    self.buf.reserve_exact(self.batch_size);
+                }
+                self.buf.push(r);
+                if self.buf.len() >= self.batch_size {
+                    let batch =
+                        std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch_size));
+                    self.inner.push(StreamElement::Batch(batch));
+                }
+            } else {
+                self.inner.push(StreamElement::Record(r));
+            }
+            return;
+        }
+        if !self.buf.is_empty() {
+            let batch = std::mem::take(&mut self.buf);
+            self.inner.push(StreamElement::Batch(batch));
+        }
+        self.inner.push(element);
     }
 }
 
@@ -350,6 +488,7 @@ where
     for e in elements {
         match e {
             StreamElement::Record(r) => op.on_element(r, &mut out),
+            StreamElement::Batch(b) => op.on_batch(b, &mut out),
             StreamElement::Watermark(wm) => op.on_watermark(wm, &mut out),
             StreamElement::End => op.on_end(&mut out),
             StreamElement::Failure(_) => break,
@@ -519,6 +658,88 @@ mod tests {
         assert_eq!(err.kind, crate::fault::FailureKind::Injected);
         assert!(err.message.contains("bomb at 3"));
         assert_eq!(sink.take(), vec![1]);
+    }
+
+    #[test]
+    fn channel_stage_flushes_partial_batch_before_control_elements() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let mut stage = ChannelStage::with_batch_size(tx, ChannelMetrics::detached(), 4);
+        stage.push(StreamElement::Record(1));
+        stage.push(StreamElement::Record(2));
+        stage.push(StreamElement::Watermark(Timestamp(10)));
+        stage.push(StreamElement::Record(3));
+        stage.push(StreamElement::End);
+        let frames: Vec<StreamElement<i32>> = rx.iter().collect();
+        assert_eq!(
+            frames,
+            vec![
+                StreamElement::Batch(vec![1, 2]),
+                StreamElement::Watermark(Timestamp(10)),
+                StreamElement::Batch(vec![3]),
+                StreamElement::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn channel_stage_ships_full_batches() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let metrics = ChannelMetrics::detached();
+        let mut stage = ChannelStage::with_batch_size(tx, metrics, 2);
+        for i in 0..5 {
+            stage.push(StreamElement::Record(i));
+        }
+        stage.push(StreamElement::End);
+        let frames: Vec<StreamElement<i32>> = rx.iter().collect();
+        assert_eq!(
+            frames,
+            vec![
+                StreamElement::Batch(vec![0, 1]),
+                StreamElement::Batch(vec![2, 3]),
+                StreamElement::Batch(vec![4]),
+                StreamElement::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn operator_stage_treats_a_batch_like_its_records() {
+        let sink = SharedVecSink::new();
+        let mut stage = OperatorStage::new(
+            MapOperator::new(|x: i32| x + 1),
+            Box::new(SinkStage::new(sink.clone())),
+        );
+        stage.push(StreamElement::Batch(vec![1, 2, 3]));
+        stage.push(StreamElement::Batch(vec![]));
+        stage.push(StreamElement::Record(9));
+        stage.push(StreamElement::End);
+        assert_eq!(sink.take(), vec![2, 3, 4, 10]);
+    }
+
+    #[test]
+    fn panic_inside_a_batch_poisons_the_stage() {
+        crate::chaos::install_quiet_panic_hook();
+        struct Bomb;
+        impl Operator<i32, i32> for Bomb {
+            fn on_element(&mut self, r: i32, out: &mut dyn Collector<i32>) {
+                if r == 2 {
+                    panic!("{} batch bomb", crate::chaos::CHAOS_PANIC_MARKER);
+                }
+                out.collect(r);
+            }
+        }
+        let cell = FailureCell::new();
+        let sink = SharedVecSink::new();
+        let mut stage = OperatorStage::with_metrics(
+            Bomb,
+            Box::new(SinkStage::with_failure_cell(sink.clone(), cell.clone())),
+            StageMetrics::detached(),
+            "stage/01_bomb",
+        );
+        stage.push(StreamElement::Batch(vec![1, 2, 3]));
+        stage.push(StreamElement::Batch(vec![4]));
+        assert_eq!(cell.get().map(|e| e.stage), Some("stage/01_bomb".into()));
+        assert_eq!(sink.take(), vec![1], "records before the panic landed");
     }
 
     #[test]

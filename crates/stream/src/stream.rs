@@ -27,7 +27,8 @@ use crate::sink::{SharedVecSink, Sink};
 use crate::sort::EventTimeSorter;
 use crate::source::{Source, VecSource};
 use crate::stage::{
-    send_metered, BoxStage, ChannelStage, OperatorStage, SinkStage, Stage, WatermarkMerger,
+    send_metered, BatchingStage, BoxStage, ChannelStage, OperatorStage, SinkStage, Stage,
+    WatermarkMerger,
 };
 use crate::watermark::WatermarkStrategy;
 use crate::window::{MicroBatcher, TumblingWindow, WindowPane};
@@ -196,6 +197,7 @@ impl<T: Send + 'static> DataStream<T> {
 
     /// Internal: a stream that replays raw elements (records *and*
     /// watermarks) from a channel. Used by split/merge plumbing.
+    #[allow(dead_code)]
     fn from_element_channel(rx: Receiver<StreamElement<T>>) -> Self {
         DataStream {
             build: Box::new(move |mut down, ctx| {
@@ -215,6 +217,40 @@ impl<T: Send + 'static> DataStream<T> {
                         // producer. Record the disconnect (first failure
                         // wins, so a caught root-cause panic is preserved)
                         // and still close the pipeline cleanly.
+                        failures.record(StageError::new(
+                            "channel_source",
+                            FailureKind::Disconnect,
+                            "upstream hung up before end of stream",
+                        ));
+                        down.push(StreamElement::End);
+                    }
+                })
+            }),
+        }
+    }
+
+    /// Internal: like [`DataStream::from_element_channel`] but over
+    /// [`Routed<T>`] envelopes from a split router; each record is
+    /// unwrapped (moved when this sub-stream is the only member, cloned
+    /// from the shared `Arc` otherwise) as it enters the sub-pipeline.
+    fn from_routed_channel(rx: Receiver<StreamElement<Routed<T>>>) -> Self
+    where
+        T: Clone + Sync,
+    {
+        DataStream {
+            build: Box::new(move |mut down, ctx| {
+                let failures = ctx.failure_cell();
+                Box::new(move || {
+                    let mut got_terminal = false;
+                    for element in rx {
+                        let terminal = element.is_terminal();
+                        down.push(element.map(Routed::into_owned));
+                        if terminal {
+                            got_terminal = true;
+                            break;
+                        }
+                    }
+                    if !got_terminal {
                         failures.record(StageError::new(
                             "channel_source",
                             FailureKind::Disconnect,
@@ -325,6 +361,16 @@ impl<T: Send + 'static> DataStream<T> {
     /// runs on its own worker thread, connected through a bounded channel
     /// of `capacity` elements.
     pub fn pipelined(self, capacity: usize) -> DataStream<T> {
+        self.pipelined_batched(capacity, 1)
+    }
+
+    /// Like [`DataStream::pipelined`], but ships records across the
+    /// thread boundary in [`StreamElement::Batch`] frames of up to
+    /// `batch_size` records, amortizing per-element channel cost. The
+    /// channel capacity counts *frames*. Partial batches flush before
+    /// every watermark and terminal marker, so semantics are identical
+    /// to the unbatched boundary.
+    pub fn pipelined_batched(self, capacity: usize, batch_size: usize) -> DataStream<T> {
         let upstream = self.build;
         DataStream {
             build: Box::new(move |down, ctx| {
@@ -352,7 +398,10 @@ impl<T: Send + 'static> DataStream<T> {
                     }
                 });
                 ctx.handles.push(handle);
-                upstream(Box::new(ChannelStage::with_metrics(tx, metrics)), ctx)
+                upstream(
+                    Box::new(ChannelStage::with_batch_size(tx, metrics, batch_size)),
+                    ctx,
+                )
             }),
         }
     }
@@ -365,6 +414,18 @@ impl<T: Send + 'static> DataStream<T> {
     /// gets its own thread and records interleave by scheduling order —
     /// follow with [`DataStream::sort_by_event_time`] to restore order.
     pub fn union(streams: Vec<DataStream<T>>, parallel: bool) -> DataStream<T> {
+        Self::union_batched(streams, parallel, 1)
+    }
+
+    /// Like [`DataStream::union`], but each input leg coalesces its
+    /// records into [`StreamElement::Batch`] frames of up to
+    /// `batch_size` before taking the shared merge lock, so contention
+    /// is paid per batch instead of per record.
+    pub fn union_batched(
+        streams: Vec<DataStream<T>>,
+        parallel: bool,
+        batch_size: usize,
+    ) -> DataStream<T> {
         DataStream {
             build: Box::new(move |down, ctx| {
                 let n = streams.len();
@@ -385,13 +446,16 @@ impl<T: Send + 'static> DataStream<T> {
                     .into_iter()
                     .enumerate()
                     .map(|(idx, s)| {
-                        (s.build)(
-                            Box::new(UnionInput {
-                                inner: Arc::clone(&shared),
-                                idx,
-                            }),
-                            ctx,
-                        )
+                        let input: BoxStage<T> = Box::new(UnionInput {
+                            inner: Arc::clone(&shared),
+                            idx,
+                        });
+                        let input: BoxStage<T> = if batch_size > 1 {
+                            Box::new(BatchingStage::new(input, batch_size))
+                        } else {
+                            input
+                        };
+                        (s.build)(input, ctx)
                     })
                     .collect();
                 if parallel {
@@ -430,9 +494,11 @@ impl<T: Send + 'static> DataStream<T> {
     /// their outputs — Icewafl's *integration scenario* (§2.2.2).
     ///
     /// For every record, `selector` fills `memberships` with the indices
-    /// of the sub-pipelines that should receive (a clone of) it; indices
-    /// may overlap, which is how "overlapping sub-streams"
-    /// (Algorithm 1, line 4) arise. Runs sequentially and
+    /// of the sub-pipelines that should receive it; indices may overlap,
+    /// which is how "overlapping sub-streams" (Algorithm 1, line 4)
+    /// arise. A record with a single membership is *moved* into its
+    /// sub-stream; overlapping memberships share one `Arc` and clone
+    /// lazily on entry (see [`Routed`]). Runs sequentially and
     /// deterministically; see [`DataStream::split_merge_parallel`] for
     /// the threaded variant.
     pub fn split_merge<U: Send + 'static>(
@@ -441,9 +507,25 @@ impl<T: Send + 'static> DataStream<T> {
         builders: Vec<SubPipelineBuilder<T, U>>,
     ) -> DataStream<U>
     where
-        T: Clone,
+        T: Clone + Sync,
     {
-        self.split_merge_impl(selector, builders, false)
+        self.split_merge_impl(selector, builders, false, 1)
+    }
+
+    /// Like [`DataStream::split_merge`], but ships records into the
+    /// sub-streams in [`StreamElement::Batch`] frames of up to
+    /// `batch_size` records (flushed at every watermark and terminal
+    /// marker, so event-time semantics are unchanged).
+    pub fn split_merge_batched<U: Send + 'static>(
+        self,
+        selector: impl FnMut(&T, &mut Vec<usize>) + Send + 'static,
+        builders: Vec<SubPipelineBuilder<T, U>>,
+        batch_size: usize,
+    ) -> DataStream<U>
+    where
+        T: Clone + Sync,
+    {
+        self.split_merge_impl(selector, builders, false, batch_size)
     }
 
     /// Like [`DataStream::split_merge`], but each sub-pipeline runs on
@@ -455,9 +537,23 @@ impl<T: Send + 'static> DataStream<T> {
         builders: Vec<SubPipelineBuilder<T, U>>,
     ) -> DataStream<U>
     where
-        T: Clone,
+        T: Clone + Sync,
     {
-        self.split_merge_impl(selector, builders, true)
+        self.split_merge_impl(selector, builders, true, 1)
+    }
+
+    /// Like [`DataStream::split_merge_parallel`], with batched
+    /// sub-stream transport (see [`DataStream::split_merge_batched`]).
+    pub fn split_merge_parallel_batched<U: Send + 'static>(
+        self,
+        selector: impl FnMut(&T, &mut Vec<usize>) + Send + 'static,
+        builders: Vec<SubPipelineBuilder<T, U>>,
+        batch_size: usize,
+    ) -> DataStream<U>
+    where
+        T: Clone + Sync,
+    {
+        self.split_merge_impl(selector, builders, true, batch_size)
     }
 
     fn split_merge_impl<U: Send + 'static>(
@@ -465,11 +561,13 @@ impl<T: Send + 'static> DataStream<T> {
         selector: impl FnMut(&T, &mut Vec<usize>) + Send + 'static,
         builders: Vec<SubPipelineBuilder<T, U>>,
         parallel: bool,
+        batch_size: usize,
     ) -> DataStream<U>
     where
-        T: Clone,
+        T: Clone + Sync,
     {
         let upstream = self.build;
+        let batch_size = batch_size.max(1);
         DataStream {
             build: Box::new(move |down, ctx| {
                 let m = builders.len();
@@ -477,16 +575,18 @@ impl<T: Send + 'static> DataStream<T> {
                 let mut subs: Vec<DataStream<U>> = Vec::with_capacity(m);
                 for builder in builders {
                     let (tx, rx) = if parallel {
-                        bounded::<StreamElement<T>>(1024)
+                        bounded::<StreamElement<Routed<T>>>(1024)
                     } else {
-                        unbounded::<StreamElement<T>>()
+                        unbounded::<StreamElement<Routed<T>>>()
                     };
                     txs.push(tx);
-                    subs.push(builder(DataStream::from_element_channel(rx)));
+                    subs.push(builder(DataStream::from_routed_channel(rx)));
                 }
                 let label = ctx.next_stage_label("split_router");
                 let router = RouterStage {
                     txs,
+                    bufs: (0..m).map(|_| Vec::new()).collect(),
+                    batch_size,
                     selector,
                     memberships: Vec::with_capacity(m),
                     metrics: ChannelMetrics::register(ctx.registry(), &label),
@@ -495,7 +595,8 @@ impl<T: Send + 'static> DataStream<T> {
                 // Build the union (and with it the sub-pipelines) before
                 // the upstream so stage numbering stays sink-first: the
                 // source keeps the highest index.
-                let union_driver = (DataStream::union(subs, parallel).build)(down, ctx);
+                let union_driver =
+                    (DataStream::union_batched(subs, parallel, batch_size).build)(down, ctx);
                 let parent_driver = upstream(Box::new(router), ctx);
                 if parallel {
                     let failures = ctx.failure_cell();
@@ -617,6 +718,8 @@ impl<T: Send> Stage<T> for UnionInput<T> {
         }
         match element {
             StreamElement::Record(r) => inner.down.push(StreamElement::Record(r)),
+            // Forwarded intact: one lock acquisition for the whole batch.
+            StreamElement::Batch(b) => inner.down.push(StreamElement::Batch(b)),
             StreamElement::Watermark(wm) => {
                 if let Some(combined) = inner.merger.advance(self.idx, wm) {
                     inner.down.push(StreamElement::Watermark(combined));
@@ -644,19 +747,81 @@ impl<T: Send> Stage<T> for UnionInput<T> {
     }
 }
 
+/// A record envelope on a router → sub-stream edge.
+///
+/// The split router used to deep-clone every record into each member
+/// sub-stream, on the router's (serial) hot path. Instead, a record
+/// with exactly one membership is *moved* (zero overhead, the common
+/// disjoint-partition case), and an overlapping record is wrapped in
+/// one shared `Arc` whose clones are cheap reference bumps — the deep
+/// clone happens lazily on entry into each sub-pipeline (in parallel
+/// mode: on the receiving threads, off the serial router).
+enum Routed<T> {
+    /// Sole member: the record moved in directly.
+    Owned(T),
+    /// Overlapping memberships: a shared handle, cloned on unwrap. The
+    /// last sub-stream to unwrap takes the value without cloning.
+    Shared(Arc<T>),
+}
+
+impl<T: Clone> Routed<T> {
+    fn into_owned(self) -> T {
+        match self {
+            Routed::Owned(r) => r,
+            Routed::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
 /// Routes records to selected sub-streams, broadcasting watermarks and
-/// terminal markers (end or poison) to all of them.
+/// terminal markers (end or poison) to all of them. Records are staged
+/// in per-target buffers and shipped as [`StreamElement::Batch`] frames
+/// of up to `batch_size`; every buffer is flushed before any watermark
+/// or terminal marker is sent, so no control element overtakes a
+/// record (and poison never strands a partial batch).
 struct RouterStage<T, F> {
-    txs: Vec<Sender<StreamElement<T>>>,
+    txs: Vec<Sender<StreamElement<Routed<T>>>>,
+    bufs: Vec<Vec<Routed<T>>>,
+    batch_size: usize,
     selector: F,
     memberships: Vec<usize>,
     metrics: ChannelMetrics,
     label: String,
 }
 
-impl<T: Clone + Send, F> RouterStage<T, F> {
+impl<T: Clone + Send + Sync, F> RouterStage<T, F> {
+    /// Stages one routed record for target `i`, shipping a full batch.
+    fn route(&mut self, i: usize, r: Routed<T>) {
+        if self.batch_size == 1 {
+            send_metered(&self.txs[i], StreamElement::Record(r), &self.metrics);
+            return;
+        }
+        let buf = &mut self.bufs[i];
+        if buf.capacity() == 0 {
+            buf.reserve_exact(self.batch_size);
+        }
+        buf.push(r);
+        if buf.len() >= self.batch_size {
+            let batch = std::mem::replace(buf, Vec::with_capacity(self.batch_size));
+            send_metered(&self.txs[i], StreamElement::Batch(batch), &self.metrics);
+        }
+    }
+
+    /// Flushes every target's staged records.
+    fn flush_all(&mut self) {
+        for (buf, tx) in self.bufs.iter_mut().zip(&self.txs) {
+            if !buf.is_empty() {
+                let batch = std::mem::take(buf);
+                send_metered(tx, StreamElement::Batch(batch), &self.metrics);
+            }
+        }
+    }
+
     /// Broadcasts a failure to every sub-stream and stops routing.
+    /// Staged records are flushed first — poison terminates the stream
+    /// but must not swallow records that preceded it.
     fn fail(&mut self, error: StageError) {
+        self.flush_all();
         for tx in self.txs.drain(..) {
             send_metered(&tx, StreamElement::Failure(error.clone()), &self.metrics);
         }
@@ -665,7 +830,7 @@ impl<T: Clone + Send, F> RouterStage<T, F> {
 
 impl<T, F> Stage<T> for RouterStage<T, F>
 where
-    T: Clone + Send,
+    T: Clone + Send + Sync,
     F: FnMut(&T, &mut Vec<usize>) + Send,
 {
     fn push(&mut self, element: StreamElement<T>) {
@@ -687,24 +852,36 @@ where
                 }
                 self.memberships.retain(|&i| i < self.txs.len());
                 self.memberships.dedup();
-                // Move into the last target, clone for the rest.
-                if let Some((&last, init)) = self.memberships.split_last() {
-                    for &i in init {
-                        send_metered(
-                            &self.txs[i],
-                            StreamElement::Record(r.clone()),
-                            &self.metrics,
-                        );
+                match self.memberships.len() {
+                    0 => {}
+                    1 => {
+                        let i = self.memberships[0];
+                        self.route(i, Routed::Owned(r));
                     }
-                    send_metered(&self.txs[last], StreamElement::Record(r), &self.metrics);
+                    n => {
+                        let shared = Arc::new(r);
+                        for k in 0..n {
+                            let i = self.memberships[k];
+                            self.route(i, Routed::Shared(Arc::clone(&shared)));
+                        }
+                    }
+                }
+            }
+            StreamElement::Batch(batch) => {
+                // Routers sit directly under per-record sources today,
+                // but stay batch-transparent like every other stage.
+                for r in batch {
+                    self.push(StreamElement::Record(r));
                 }
             }
             StreamElement::Watermark(wm) => {
+                self.flush_all();
                 for tx in &self.txs {
                     send_metered(tx, StreamElement::Watermark(wm), &self.metrics);
                 }
             }
             StreamElement::End => {
+                self.flush_all();
                 for tx in self.txs.drain(..) {
                     send_metered(&tx, StreamElement::End, &self.metrics);
                 }

@@ -13,46 +13,153 @@ use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Arity up to which tuple values are stored inline, without a heap
+/// allocation per tuple; wider tuples spill to a `Vec` transparently.
+///
+/// Kept deliberately small: the stream runtime moves tuples far more
+/// often than it allocates them, and every inline slot inflates each
+/// move by `size_of::<Value>()` (24 bytes). A capacity sweep on the
+/// ℓ = 4, m = 4 reference workload showed capacities ≥ 2 regress
+/// sequential throughput 30–50% from the extra memcpy traffic, while
+/// 1 is neutral-to-faster — so the common 2–4 column schemas spill,
+/// and only genuinely scalar tuples ride inline.
+const INLINE_VALUES: usize = 1;
+
+/// Small-vector storage backing [`Tuple`]: tuples of at most
+/// [`INLINE_VALUES`] values keep them inline, so constructing, cloning,
+/// and dropping the tuples that dominate the stream costs no allocator
+/// round-trips. Serializes as a plain sequence, exactly like
+/// `Vec<Value>`, so the wire format is unchanged.
+#[derive(Clone)]
+enum ValueVec {
+    /// `len` live values in `slots[..len]`; the tail is `Value::Null`.
+    Inline {
+        len: u8,
+        slots: [Value; INLINE_VALUES],
+    },
+    /// Arity above the inline capacity spills to the heap.
+    Spilled(Vec<Value>),
+}
+
+impl ValueVec {
+    #[inline]
+    fn from_vec(values: Vec<Value>) -> Self {
+        if values.len() <= INLINE_VALUES {
+            let len = values.len() as u8;
+            let mut slots: [Value; INLINE_VALUES] = std::array::from_fn(|_| Value::Null);
+            for (slot, v) in slots.iter_mut().zip(values) {
+                *slot = v;
+            }
+            ValueVec::Inline { len, slots }
+        } else {
+            ValueVec::Spilled(values)
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[Value] {
+        match self {
+            ValueVec::Inline { len, slots } => &slots[..*len as usize],
+            ValueVec::Spilled(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [Value] {
+        match self {
+            ValueVec::Inline { len, slots } => &mut slots[..*len as usize],
+            ValueVec::Spilled(v) => v,
+        }
+    }
+
+    #[inline]
+    fn into_vec(self) -> Vec<Value> {
+        match self {
+            ValueVec::Inline { len, slots } => slots.into_iter().take(len as usize).collect(),
+            ValueVec::Spilled(v) => v,
+        }
+    }
+}
+
+impl Default for ValueVec {
+    fn default() -> Self {
+        ValueVec::from_vec(Vec::new())
+    }
+}
+
+impl fmt::Debug for ValueVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for ValueVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Serialize for ValueVec {
+    fn to_content(&self) -> serde::Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl Deserialize for ValueVec {
+    fn from_content(content: &serde::Content) -> std::result::Result<Self, serde::Error> {
+        Vec::<Value>::from_content(content).map(ValueVec::from_vec)
+    }
+}
+
 /// A raw data tuple: one value per schema attribute.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Tuple {
-    values: Vec<Value>,
+    values: ValueVec,
 }
 
 impl Tuple {
     /// Creates a tuple from its values.
+    #[inline]
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values }
+        Tuple {
+            values: ValueVec::from_vec(values),
+        }
     }
 
     /// Number of values (the arity).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.values.as_slice().len()
     }
 
     /// `true` iff the tuple has no values.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.values.as_slice().is_empty()
     }
 
     /// Borrow all values.
+    #[inline]
     pub fn values(&self) -> &[Value] {
-        &self.values
+        self.values.as_slice()
     }
 
     /// Mutably borrow all values.
+    #[inline]
     pub fn values_mut(&mut self) -> &mut [Value] {
-        &mut self.values
+        self.values.as_mut_slice()
     }
 
     /// The value at column `idx`, if in range.
+    #[inline]
     pub fn get(&self, idx: usize) -> Option<&Value> {
-        self.values.get(idx)
+        self.values.as_slice().get(idx)
     }
 
     /// Mutable value at column `idx`, if in range.
+    #[inline]
     pub fn get_mut(&mut self, idx: usize) -> Option<&mut Value> {
-        self.values.get_mut(idx)
+        self.values.as_mut_slice().get_mut(idx)
     }
 
     /// Replaces the value at `idx`, returning the previous value.
@@ -60,25 +167,26 @@ impl Tuple {
     /// Panics if `idx` is out of range — polluters resolve indices against
     /// the schema at build time, so an out-of-range index is a programmer
     /// error, not a data error.
+    #[inline]
     pub fn replace(&mut self, idx: usize, value: Value) -> Value {
-        std::mem::replace(&mut self.values[idx], value)
+        std::mem::replace(&mut self.values.as_mut_slice()[idx], value)
     }
 
     /// Looks a value up by attribute name through a schema.
     pub fn by_name<'a>(&'a self, schema: &Schema, name: &str) -> Option<&'a Value> {
-        self.values.get(schema.index_of(name)?)
+        self.get(schema.index_of(name)?)
     }
 
     /// Consumes the tuple, yielding its values.
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        self.values.into_vec()
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.values.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -238,6 +346,36 @@ mod tests {
     fn into_values_and_from() {
         let t: Tuple = vec![Value::Int(1)].into();
         assert_eq!(t.into_values(), vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn wide_tuples_spill_past_the_inline_capacity() {
+        // Up to 4 values live inline; wider tuples behave identically
+        // through the same API.
+        let values: Vec<Value> = (0..7).map(Value::Int).collect();
+        let mut wide = Tuple::new(values.clone());
+        assert_eq!(wide.len(), 7);
+        assert_eq!(wide.get(6), Some(&Value::Int(6)));
+        assert_eq!(wide.replace(6, Value::Null), Value::Int(6));
+        *wide.get_mut(0).unwrap() = Value::Int(-1);
+        assert_eq!(wide.values()[0], Value::Int(-1));
+        let narrow = Tuple::new(values[..3].to_vec());
+        assert_eq!(narrow.clone().into_values(), values[..3].to_vec());
+        assert_ne!(narrow, Tuple::new(values[..2].to_vec()));
+    }
+
+    #[test]
+    fn inline_and_spilled_tuples_share_one_serde_format() {
+        // The inline storage must serialize exactly like a Vec<Value>.
+        for n in [0usize, 1, 4, 5, 9] {
+            let t = Tuple::new((0..n as i64).map(Value::Int).collect());
+            let json = serde_json::to_string(&t).unwrap();
+            let values_json =
+                serde_json::to_string(&(0..n as i64).map(Value::Int).collect::<Vec<_>>()).unwrap();
+            assert_eq!(json, format!("{{\"values\":{values_json}}}"));
+            let back: Tuple = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, t);
+        }
     }
 
     #[test]

@@ -52,14 +52,16 @@ fn print_usage() {
 USAGE:
   icewafl pollute  --schema S --config CFG.json --input IN.csv --output OUT.csv
                    [--clean CLEAN.csv] [--log LOG.json] [--seed N] [--parallel]
-                   [--explain] [--report] [--metrics-json METRICS.json]
-                   [--max-retries N] [--fail-fast]
+                   [--batch-size N] [--explain] [--report]
+                   [--metrics-json METRICS.json] [--max-retries N] [--fail-fast]
   icewafl validate --schema S --input IN.csv --suite SUITE.json
   icewafl profile  --schema S --input IN.csv
   icewafl generate --dataset wearable|airquality[:STATION] --output OUT.csv [--seed N]
   icewafl example-config
 
   --schema S        a built-in schema name (wearable, airquality) or a schema JSON file
+  --batch-size N    records per transport batch on channel edges
+                    (1 = unbatched; performance-only, output is identical)
   --explain         print the compiled physical plan (strategy, stages,
                     metric names) and exit without polluting anything
   --report          print the run report (per-polluter and per-stage metrics)
@@ -121,6 +123,12 @@ fn cmd_pollute(args: &[String]) -> Result<()> {
     let mut plan = config.to_plan();
     if present(args, "--parallel") {
         plan.strategy = StrategyHint::SplitMergeParallel;
+    }
+    if let Some(batch) = flag(args, "--batch-size") {
+        let batch: usize = batch
+            .parse()
+            .map_err(|_| Error::config(format_args!("bad --batch-size `{batch}`")))?;
+        plan.batch_size = batch.max(1);
     }
     if let Some(retries) = flag(args, "--max-retries") {
         let retries = retries

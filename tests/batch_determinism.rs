@@ -1,0 +1,293 @@
+//! Transport-batching determinism acceptance tests.
+//!
+//! `batch_size` is a pure performance knob: channel edges coalesce
+//! records into `StreamElement::Batch` frames, but every buffer is
+//! flushed *before* a watermark, end marker, or failure travels the
+//! edge, so event-time semantics, epoch boundaries, and the ground
+//! truth log are bit-identical across batch sizes. These tests pin that
+//! contract across strategies, a mid-stream reconfiguration, and
+//! chaos-injected panics (poison must not strand a partial batch).
+
+use icewafl::prelude::*;
+use icewafl::types::{DataType, Error, Timestamp, Value};
+
+/// Swept batch sizes: unbatched, an odd size that never divides the
+/// watermark period, the default, and one far beyond it.
+const BATCH_SIZES: [usize; 4] = [1, 7, 256, 4096];
+
+const STRATEGIES: [StrategyHint; 3] = [
+    StrategyHint::Sequential,
+    StrategyHint::Pipelined,
+    StrategyHint::SplitMergeParallel,
+];
+
+fn schema() -> Schema {
+    Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
+}
+
+/// Tuples one second apart: tuple `i` has τ = i·1000 ms and x = i.
+fn tuples(n: i64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp(i * 1000)),
+                Value::Float(i as f64),
+            ])
+        })
+        .collect()
+}
+
+fn noise(name: String) -> PolluterConfig {
+    PolluterConfig::Standard {
+        name,
+        attributes: vec!["x".into()],
+        error: ErrorConfig::GaussianNoise {
+            sigma: 1.0,
+            relative: false,
+        },
+        condition: ConditionConfig::Probability { p: 0.5 },
+        pattern: None,
+    }
+}
+
+fn run(plan: &LogicalPlan, n: i64) -> PollutionOutput {
+    plan.compile(&schema())
+        .expect("plan compiles")
+        .execute(tuples(n))
+        .expect("run succeeds")
+}
+
+/// Overlapping sub-streams (probabilistic assigner shares tuples via
+/// the router's `Arc` fan-out) plus duplicates and delays, so batches
+/// interact with every temporal mechanism: held-back tuples, watermark
+/// releases, and multi-membership routing.
+fn rich_plan(strategy: StrategyHint, batch_size: usize) -> LogicalPlan {
+    let pipeline = |i: usize| {
+        vec![
+            noise(format!("noise-{i}")),
+            PolluterConfig::Duplicate {
+                name: format!("dup-{i}"),
+                condition: ConditionConfig::Probability { p: 0.1 },
+                copies: 1,
+            },
+            PolluterConfig::Delay {
+                name: format!("lag-{i}"),
+                condition: ConditionConfig::Probability { p: 0.2 },
+                delay_ms: 10_000,
+            },
+        ]
+    };
+    let mut plan = LogicalPlan::new(42, (0..3).map(pipeline).collect());
+    plan.assigner = AssignerSpec::Probabilistic { p: 0.6 };
+    plan.strategy = strategy;
+    plan.batch_size = batch_size;
+    plan
+}
+
+/// Disjoint round-robin sub-streams with unique arrival times, where
+/// even the thread-parallel merge order is fully determined by the
+/// final sort — the configuration in which all strategies must agree
+/// byte-for-byte.
+fn disjoint_plan(strategy: StrategyHint, batch_size: usize) -> LogicalPlan {
+    let mut plan = LogicalPlan::new(
+        42,
+        (0..4).map(|i| vec![noise(format!("noise-{i}"))]).collect(),
+    );
+    plan.assigner = AssignerSpec::RoundRobin;
+    plan.strategy = strategy;
+    plan.batch_size = batch_size;
+    plan
+}
+
+#[test]
+fn batching_is_invisible_within_each_strategy() {
+    // Deterministic-merge strategies: polluted stream, clean stream,
+    // and ground-truth log are all byte-identical across batch sizes.
+    for strategy in [StrategyHint::Sequential, StrategyHint::Pipelined] {
+        let base = run(&rich_plan(strategy, 1), 500);
+        assert!(base.polluted.len() > 500, "duplicates fan the stream out");
+        for batch_size in BATCH_SIZES {
+            let out = run(&rich_plan(strategy, batch_size), 500);
+            assert_eq!(
+                out.polluted, base.polluted,
+                "polluted stream changed ({strategy:?}, batch {batch_size})"
+            );
+            assert_eq!(out.clean, base.clean);
+            assert_eq!(
+                out.log.entries(),
+                base.log.entries(),
+                "ground truth changed ({strategy:?}, batch {batch_size})"
+            );
+        }
+    }
+}
+
+#[test]
+fn batching_is_invisible_under_thread_parallel_merge() {
+    // With overlapping sub-streams the parallel merge order of arrival
+    // ties is scheduler-dependent, so compare content: sort by the
+    // stable identity (id, sub_stream) before asserting equality.
+    let canon = |mut out: Vec<StampedTuple>| {
+        out.sort_by_key(|t| (t.id, t.sub_stream, t.arrival));
+        out
+    };
+    let base = canon(run(&rich_plan(StrategyHint::SplitMergeParallel, 1), 500).polluted);
+    for batch_size in BATCH_SIZES {
+        let out = run(
+            &rich_plan(StrategyHint::SplitMergeParallel, batch_size),
+            500,
+        );
+        assert_eq!(
+            canon(out.polluted),
+            base,
+            "parallel pollution content changed (batch {batch_size})"
+        );
+    }
+}
+
+#[test]
+fn all_strategies_agree_across_batch_sizes() {
+    let base = run(&disjoint_plan(StrategyHint::Sequential, 1), 1000);
+    assert_eq!(base.polluted.len(), 1000);
+    for strategy in STRATEGIES {
+        for batch_size in BATCH_SIZES {
+            let out = run(&disjoint_plan(strategy, batch_size), 1000);
+            assert_eq!(
+                out.polluted, base.polluted,
+                "output diverged ({strategy:?}, batch {batch_size})"
+            );
+        }
+    }
+}
+
+/// The reconfiguration scale plan of `tests/reconfiguration.rs`: ×2
+/// flipped to ×0.5 at T = 256 000 ms, which the watermark grain of 64
+/// pins to an epoch switch exactly at tuple 320.
+fn flipped_scale_run(strategy: StrategyHint, batch_size: usize) -> PollutionOutput {
+    let mut plan = LogicalPlan::new(
+        7,
+        vec![vec![PolluterConfig::Standard {
+            name: "scale".into(),
+            attributes: vec!["x".into()],
+            error: ErrorConfig::Scale { factor: 2.0 },
+            condition: ConditionConfig::Always,
+            pattern: None,
+        }]],
+    );
+    plan.strategy = strategy;
+    plan.batch_size = batch_size;
+    let physical = plan.compile(&schema()).expect("plan compiles");
+    physical
+        .control_handle()
+        .reconfigure_at(
+            Timestamp(256_000),
+            &[PlanDelta::SetError {
+                polluter: "scale".into(),
+                error: ErrorConfig::Scale { factor: 0.5 },
+            }],
+        )
+        .expect("delta validates");
+    physical.execute(tuples(400)).expect("run succeeds")
+}
+
+#[test]
+fn epoch_boundary_is_batch_size_invariant() {
+    let base = flipped_scale_run(StrategyHint::Sequential, 1);
+    for strategy in STRATEGIES {
+        for batch_size in BATCH_SIZES {
+            let out = flipped_scale_run(strategy, batch_size);
+            assert_eq!(out.report.epochs_applied, 1);
+            assert_eq!(
+                out.polluted, base.polluted,
+                "epoch split moved ({strategy:?}, batch {batch_size})"
+            );
+            // The switch lands exactly at tuple 320 — the first tuple
+            // after the first watermark >= 256 000 — under every batch
+            // size, because batches flush before watermarks broadcast.
+            let first_new = out
+                .polluted
+                .iter()
+                .find(|t| t.id > 0 && t.tuple.get(1) == Some(&Value::Float(t.id as f64 * 0.5)))
+                .map(|t| t.id);
+            assert_eq!(first_new, Some(320));
+        }
+    }
+}
+
+fn chaotic_config(max_retries: u32) -> JobConfig {
+    JobConfig::from_json(&format!(
+        r#"{{
+            "seed": 42,
+            "pipelines": [[{{
+                "type": "standard",
+                "name": "null-x",
+                "attributes": ["x"],
+                "error": {{ "type": "missing_value" }},
+                "condition": {{ "type": "probability", "p": 0.5 }}
+            }}]],
+            "supervision": {{ "max_retries": {max_retries}, "deterministic": true }},
+            "chaos": {{ "panic_rate": 1.0, "panic_budget": 1 }}
+        }}"#
+    ))
+    .expect("config parses")
+}
+
+#[test]
+fn poisoned_runs_terminate_cleanly_at_every_batch_size() {
+    // A panic mid-batch must poison the edge, not strand the records
+    // already staged: the run ends with a typed error naming the stage,
+    // never a deadlock or a silently truncated success.
+    for strategy in STRATEGIES {
+        for batch_size in [1usize, 4096] {
+            let mut plan = chaotic_config(0).to_plan();
+            plan.strategy = strategy;
+            plan.batch_size = batch_size;
+            let err = plan
+                .compile(&schema())
+                .expect("plan compiles")
+                .execute_supervised(tuples(200))
+                .unwrap_err();
+            match err {
+                Error::Pipeline { stage, kind, .. } => {
+                    assert!(
+                        stage.contains("chaos"),
+                        "stage `{stage}` ({strategy:?}, batch {batch_size})"
+                    );
+                    assert_eq!(kind, "injected");
+                }
+                other => panic!("expected Error::Pipeline, got: {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn supervised_recovery_output_is_batch_size_invariant() {
+    // One transient panic, then a clean retry: the recovered output
+    // must match across batch sizes (the retry restarts from pristine
+    // pipeline state, so no partial batch can leak into the result).
+    let base = {
+        let mut plan = chaotic_config(2).to_plan();
+        plan.batch_size = 1;
+        plan.compile(&schema())
+            .unwrap()
+            .execute_supervised(tuples(200))
+            .expect("recovers")
+    };
+    assert!(base.report.restarts >= 1, "the panic actually fired");
+    for batch_size in BATCH_SIZES {
+        let mut plan = chaotic_config(2).to_plan();
+        plan.batch_size = batch_size;
+        let out = plan
+            .compile(&schema())
+            .unwrap()
+            .execute_supervised(tuples(200))
+            .expect("recovers");
+        assert!(out.report.restarts >= 1);
+        assert_eq!(
+            out.polluted, base.polluted,
+            "recovered output changed (batch {batch_size})"
+        );
+        assert_eq!(out.log.entries(), base.log.entries());
+    }
+}
