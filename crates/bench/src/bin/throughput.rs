@@ -12,6 +12,15 @@
 //! Usage:
 //!   throughput [--n 10000] [--reps 5] [--out BENCH_throughput.json]
 //!              [--check BASELINE.json] [--tolerance 0.30] [--relative]
+//!              [--serve] [--serve-sessions 4]
+//!
+//! With `--serve`, the harness additionally measures end-to-end network
+//! throughput: it starts an in-process `icewafl-serve` server and
+//! drives concurrent sessions of the same workload through it, once per
+//! wire format. Serve numbers land under a separate `serve` key in the
+//! JSON — they measure socket + codec overhead on top of the runtime
+//! and are deliberately outside the `results` array the `--check` gate
+//! iterates.
 //!
 //! With `--check`, every configuration present in the baseline's
 //! `results` array must reach at least `(1 - tolerance)` of its
@@ -116,7 +125,65 @@ fn measure(strategy: StrategyHint, batch_size: usize, n: i64, reps: u32) -> Meas
     }
 }
 
-fn render(n: i64, reps: u32, results: &[Measurement]) -> String {
+/// Network throughput of one serve configuration: an in-process server
+/// and `sessions` concurrent clients streaming the reference workload.
+fn measure_serve(n: i64, sessions: usize, format: &str) -> Measurement {
+    use icewafl_serve::{client, ClientConfig, Handshake, ServeConfig, Server};
+    use std::sync::Arc;
+
+    let server = Arc::new(
+        Server::bind(ServeConfig {
+            max_sessions: sessions.max(1),
+            ..ServeConfig::default()
+        })
+        .expect("bind serve listener"),
+    );
+    let addr = server.local_addr().to_string();
+    let shutdown = server.shutdown_handle();
+    let runner = Arc::clone(&server);
+    let accept_loop = std::thread::spawn(move || runner.run());
+
+    let handshake = Handshake {
+        plan_inline: Some(plan(StrategyHint::Pipelined, 64)),
+        schema_inline: Some(schema()),
+        format: Some(format.to_string()),
+        ..Handshake::default()
+    };
+    let input = tuples(n);
+    let start = Instant::now();
+    let workers: Vec<_> = (0..sessions)
+        .map(|_| {
+            let config = ClientConfig::new(addr.clone(), handshake.clone());
+            let input = input.clone();
+            std::thread::spawn(move || client::run_session(&config, input).expect("serve session"))
+        })
+        .collect();
+    for worker in workers {
+        let outcome = worker.join().expect("session thread");
+        assert!(
+            outcome.completed(),
+            "serve session failed: {:?}",
+            outcome.error
+        );
+        assert_eq!(outcome.tuples.len(), n as usize, "workload is lossless");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    accept_loop
+        .join()
+        .expect("accept loop")
+        .expect("server run");
+
+    Measurement {
+        name: format!("serve/{format}_x{sessions}"),
+        strategy: format!("serve_{format}"),
+        batch_size: 64,
+        tuples_per_sec: (sessions as i64 * n) as f64 / elapsed,
+        best_ms: elapsed * 1e3,
+    }
+}
+
+fn render(n: i64, reps: u32, results: &[Measurement], serve: &[Measurement]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"workload\": {\n");
     out.push_str(&format!("    \"n\": {n},\n"));
@@ -136,7 +203,26 @@ fn render(n: i64, reps: u32, results: &[Measurement]) -> String {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !serve.is_empty() {
+        // Outside `results` on purpose: the --check gate must not
+        // compare network numbers across machines.
+        out.push_str(",\n  \"serve\": [\n");
+        for (i, m) in serve.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"strategy\": \"{}\", \"batch_size\": {}, \
+                 \"tuples_per_sec\": {:.0}, \"best_ms\": {:.2} }}{}\n",
+                m.name,
+                m.strategy,
+                m.batch_size,
+                m.tuples_per_sec,
+                m.best_ms,
+                if i + 1 < serve.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -247,7 +333,22 @@ fn main() {
         }
     }
 
-    let report = render(n, reps, &results);
+    let mut serve_results = Vec::new();
+    if args.iter().any(|a| a == "--serve") {
+        let sessions: usize = arg_value(&args, "--serve-sessions")
+            .map(|v| v.parse().expect("--serve-sessions takes an integer"))
+            .unwrap_or(4);
+        for format in ["ndjson", "binary"] {
+            let m = measure_serve(n, sessions, format);
+            eprintln!(
+                "{:<32} {:>12.0} tuples/s  (wall {:.2} ms)",
+                m.name, m.tuples_per_sec, m.best_ms
+            );
+            serve_results.push(m);
+        }
+    }
+
+    let report = render(n, reps, &results, &serve_results);
     match &out_path {
         Some(path) => std::fs::write(path, &report).expect("write report"),
         None => print!("{report}"),

@@ -1,0 +1,136 @@
+//! A named collection of preloaded [`LogicalPlan`]s.
+//!
+//! `icewafl serve --plans-dir DIR` loads every `*.json` in `DIR` at
+//! startup; a session handshake then selects a plan *by name* (the file
+//! stem) instead of shipping the full plan JSON. Plan validity depends
+//! on the schema a session brings, so the catalog only checks that each
+//! file *parses*; per-session compilation — which validates polluter
+//! attributes against the session's schema — happens at handshake time.
+
+use crate::plan::LogicalPlan;
+use icewafl_types::{Error, Result};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Named [`LogicalPlan`]s a server offers to its sessions.
+///
+/// ```
+/// use icewafl_core::catalog::PlanCatalog;
+/// use icewafl_core::plan::LogicalPlan;
+///
+/// let mut catalog = PlanCatalog::new();
+/// catalog.insert("noop", LogicalPlan::new(1, vec![vec![]]));
+/// assert_eq!(catalog.names(), vec!["noop"]);
+/// assert!(catalog.get("noop").is_some());
+/// assert!(catalog.get("ghost").is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PlanCatalog {
+    plans: BTreeMap<String, LogicalPlan>,
+}
+
+impl PlanCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a plan under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, plan: LogicalPlan) {
+        self.plans.insert(name.into(), plan);
+    }
+
+    /// Loads every `*.json` file in `dir` as a [`LogicalPlan`] named by
+    /// its file stem. A file that does not parse as a plan fails the
+    /// whole load — a server should refuse to start with a half-broken
+    /// catalog rather than surprise sessions at handshake time.
+    pub fn load_dir(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        let entries = std::fs::read_dir(dir).map_err(|e| {
+            Error::config(format_args!("cannot read plans dir {}: {e}", dir.display()))
+        })?;
+        let mut catalog = PlanCatalog::new();
+        for entry in entries {
+            let path = entry
+                .map_err(|e| Error::config(format_args!("cannot list plans dir: {e}")))?
+                .path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let json = std::fs::read_to_string(&path).map_err(|e| {
+                Error::config(format_args!("cannot read plan {}: {e}", path.display()))
+            })?;
+            let plan = LogicalPlan::from_json(&json)
+                .map_err(|e| Error::plan(format_args!("plan {}: {e}", path.display())))?;
+            catalog.insert(name, plan);
+        }
+        Ok(catalog)
+    }
+
+    /// The plan registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&LogicalPlan> {
+        self.plans.get(name)
+    }
+
+    /// All plan names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.plans.keys().map(String::as_str).collect()
+    }
+
+    /// Number of plans in the catalog.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` iff the catalog holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "icewafl-catalog-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn loads_json_plans_by_stem() {
+        let dir = temp_dir("load");
+        let plan = LogicalPlan::new(7, vec![vec![]]);
+        std::fs::write(dir.join("empty.json"), plan.to_json()).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let catalog = PlanCatalog::load_dir(&dir).unwrap();
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.get("empty").unwrap().seed, 7);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn broken_plan_fails_the_whole_load() {
+        let dir = temp_dir("broken");
+        std::fs::write(dir.join("bad.json"), "{ not json").unwrap();
+        let err = PlanCatalog::load_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("bad.json"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_dir_is_a_config_error() {
+        assert!(PlanCatalog::load_dir("/nonexistent/icewafl-plans").is_err());
+    }
+}

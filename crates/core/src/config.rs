@@ -89,7 +89,8 @@ impl JobConfig {
         build_pipelines(self.seed, &self.pipelines, schema)
     }
 
-    /// Lowers the configuration to a [`LogicalPlan`] — the single job
+    /// Lowers the configuration to a
+    /// [`LogicalPlan`](crate::plan::LogicalPlan) — the single job
     /// representation every entry point (JSON config, builder API, CLI)
     /// compiles and executes through.
     pub fn to_plan(&self) -> crate::plan::LogicalPlan {

@@ -15,7 +15,7 @@
 //!   frozen values) — [`temporal`];
 //! * **derived temporal** errors = static error × [change
 //!   pattern](pattern::ChangePattern) (abrupt, incremental, gradual,
-//!   periodic) or × time-varying [condition](condition) (sinusoidal
+//!   periodic) or × time-varying [condition] (sinusoidal
 //!   daily cycles, linear ramps).
 //!
 //! Polluters compose into [pipelines](pipeline::PollutionPipeline),
@@ -60,6 +60,7 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod condition;
 pub mod config;
 pub mod error_fn;
@@ -76,6 +77,7 @@ pub mod runner;
 pub mod stats;
 pub mod temporal;
 
+pub use catalog::PlanCatalog;
 pub use condition::Condition;
 pub use config::{
     ChaosSectionConfig, ConditionConfig, ErrorConfig, ExecutionSectionConfig, JobConfig,

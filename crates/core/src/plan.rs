@@ -11,7 +11,8 @@
 //! [`ExecutionStrategy`], the resolved sub-stream assigner, and the
 //! predicted stage layout (labels + metric names, rendered by
 //! [`PhysicalPlan::explain`]). Execution happens through one path —
-//! [`crate::runner::execute_attempt`] — regardless of the entry point.
+//! the runner's private `execute_attempt` — regardless of the entry
+//! point.
 //!
 //! On top of the compile→execute split sits **runtime
 //! reconfiguration** in the style of Fries (arXiv:2210.10306): a
@@ -22,6 +23,39 @@
 //! operator observes the same watermark sequence and swaps to the new
 //! plan at the same boundary — no tuple ever sees a half-applied
 //! configuration.
+//!
+//! Compile a plan against a schema, inspect it, and run it under the
+//! supervision policy:
+//!
+//! ```
+//! use icewafl_core::config::{ConditionConfig, ErrorConfig, PolluterConfig};
+//! use icewafl_core::plan::LogicalPlan;
+//! use icewafl_types::{DataType, Schema, Timestamp, Tuple, Value};
+//!
+//! let schema = Schema::from_pairs([
+//!     ("Time", DataType::Timestamp),
+//!     ("x", DataType::Float),
+//! ]).unwrap();
+//!
+//! let plan = LogicalPlan::new(7, vec![vec![PolluterConfig::Standard {
+//!     name: "noise".into(),
+//!     attributes: vec!["x".into()],
+//!     error: ErrorConfig::GaussianNoise { sigma: 0.5, relative: false },
+//!     condition: ConditionConfig::Probability { p: 0.5 },
+//!     pattern: None,
+//! }]]);
+//!
+//! let physical = plan.compile(&schema).unwrap();
+//! assert_eq!(physical.strategy().to_string(), "sequential");
+//! assert!(physical.explain().contains("sub-streams"));
+//!
+//! let tuples: Vec<Tuple> = (0..32).map(|i| Tuple::new(vec![
+//!     Value::Timestamp(Timestamp(i * 1000)),
+//!     Value::Float(1.0),
+//! ])).collect();
+//! let out = physical.execute_supervised(tuples).unwrap();
+//! assert_eq!(out.polluted.len(), 32);
+//! ```
 
 use crate::config::{
     build_pipelines, ChaosSectionConfig, ConditionConfig, ErrorConfig, PolluterConfig,
@@ -29,12 +63,14 @@ use crate::config::{
 };
 use crate::pipeline::PollutionPipeline;
 use crate::runner::{
-    execute_attempt, run_supervised_with, ExecSettings, PollutionOutput, SubStreamAssigner,
+    execute_attempt, execute_streaming, run_supervised_with, ExecSettings, PollutionOutput,
+    SubStreamAssigner,
 };
 use icewafl_stream::chaos::ChaosConfig;
 use icewafl_stream::control::ControlChannel;
 use icewafl_stream::supervisor::SupervisorPolicy;
-use icewafl_types::{Error, Result, Schema, Timestamp, Tuple};
+use icewafl_stream::{Sink, Source};
+use icewafl_types::{Error, Result, Schema, StampedTuple, Timestamp, Tuple};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -795,6 +831,29 @@ impl PhysicalPlan {
         run_supervised_with(&self.settings, tuples, || {
             self.logical.build_pipelines(&self.settings.schema)
         })
+    }
+
+    /// Executes one attempt over an *unbounded* source/sink pair:
+    /// tuples are pulled from `source`, prepared, polluted, and pushed
+    /// into `sink` as they leave the watermark-driven sorter — nothing
+    /// is collected in memory, so a session is as long as its peer
+    /// keeps sending.
+    ///
+    /// This is the entry point `icewafl-serve` drives with a network
+    /// [`Source`]/[`Sink`] pair. For the same plan and tuple sequence
+    /// the records written to `sink` are bit-identical to
+    /// [`PhysicalPlan::execute`]'s `polluted` output. Streaming runs
+    /// are single-attempt by construction — a network source cannot be
+    /// replayed, so the supervision policy does not apply; failures
+    /// (including typed protocol errors raised by a network source or
+    /// sink) surface as [`icewafl_types::Error::Pipeline`].
+    pub fn execute_streaming(
+        &self,
+        source: impl Source<Tuple> + 'static,
+        sink: impl Sink<StampedTuple> + 'static,
+    ) -> Result<crate::report::RunReport> {
+        let pipelines = self.logical.build_pipelines(&self.settings.schema)?;
+        execute_streaming(&self.settings, source, sink, pipelines)
     }
 }
 

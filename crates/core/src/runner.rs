@@ -267,8 +267,8 @@ pub(crate) struct ExecSettings {
 /// assignment strategy over a fixed schema.
 ///
 /// This is the expert/builder entry point. It shares its execution
-/// engine with the plan layer: both lower to the same
-/// [`ExecSettings`] and the same `execute_attempt` path that
+/// engine with the plan layer: both lower to the same internal
+/// `ExecSettings` and the same `execute_attempt` path that
 /// [`crate::plan::PhysicalPlan`] uses.
 pub struct PollutionJob {
     settings: ExecSettings,
@@ -496,78 +496,17 @@ pub(crate) fn execute_attempt(
     }
     let registry = MetricsRegistry::new();
 
-    let m = pipelines.len();
-    let selector = settings.assigner.selector(m);
-    let builders: Vec<SubPipelineBuilder<StampedTuple, StampedTuple>> = pipelines
-        .into_iter()
-        .enumerate()
-        .map(|(i, pipeline)| {
-            let op = PipelineOperator::new(pipeline, i as u32, Arc::clone(&log));
-            // Reconfigurable jobs get a control subscriber per
-            // sub-stream; all subscribers see the same broadcast
-            // watermark sequence, which is the epoch barrier.
-            let op = match &settings.control {
-                Some(channel) => op.with_control(
-                    channel.subscriber(),
-                    settings.schema.clone(),
-                    registry.gauge(&format!("plan/substream_{i}/epoch")),
-                ),
-                None => op,
-            };
-            // When chaos is on, splice an injector in front of the
-            // pollution operator of every sub-stream, each with its
-            // own seed but a budget shared across retries.
-            let chaos_op = settings.chaos.as_ref().map(|chaos| {
-                let mut cfg = chaos.clone();
-                cfg.seed = chaos.seed.wrapping_add(i as u64);
-                let budget = chaos_budget.clone().unwrap_or_else(|| cfg.new_budget());
-                ChaosOperator::with_shared_budget(cfg, budget)
-                    .with_metrics(ChaosMetrics::register(
-                        &registry,
-                        &format!("chaos/substream_{i}"),
-                    ))
-                    .with_malform(|t: &mut StampedTuple| {
-                        for v in t.tuple.values_mut() {
-                            *v = icewafl_types::Value::Null;
-                        }
-                    })
-            });
-            let b: SubPipelineBuilder<StampedTuple, StampedTuple> =
-                Box::new(move |s: DataStream<StampedTuple>| match chaos_op {
-                    Some(chaos_op) => s.transform(chaos_op).transform(op),
-                    None => s.transform(op),
-                });
-            b
-        })
-        .collect();
-
-    let watermarks = WatermarkStrategy::bounded_out_of_orderness(
-        |t: &StampedTuple| t.tau,
-        icewafl_types::Duration::ZERO,
-        settings.watermark_period,
-    );
-    let stream = DataStream::from_source(VecSource::new(clean.clone()), watermarks);
-    let batch_size = settings.batch_size.max(1);
-    let merged = match settings.strategy {
-        ExecutionStrategy::SplitMergeParallel => {
-            stream.split_merge_parallel_batched(selector, builders, batch_size)
-        }
-        ExecutionStrategy::Sequential | ExecutionStrategy::Pipelined { .. } => {
-            stream.split_merge_batched(selector, builders, batch_size)
-        }
-    };
-    let merged = match settings.strategy {
-        ExecutionStrategy::Pipelined { capacity } => merged.pipelined_batched(capacity, batch_size),
-        _ => merged,
-    };
-    // Algorithm 1, line 11: sortByTimestamp — by *arrival* time, so
-    // delayed tuples surface late (see `StampedTuple::arrival`).
-    // A `?` here carries a typed stage failure out as
-    // `Error::Pipeline` (via `From<PipelineError>`).
     let sink = SharedVecSink::new();
-    merged
-        .sort_by_event_time(|t| t.arrival)
-        .execute_into_with_options(sink.clone(), &registry, deadline)?;
+    drive_pipelines(
+        settings,
+        VecSource::new(clean.clone()),
+        sink.clone(),
+        pipelines,
+        chaos_budget,
+        deadline,
+        &registry,
+        &log,
+    )?;
     let polluted = sink.take();
 
     let log = Arc::try_unwrap(log)
@@ -608,6 +547,233 @@ pub(crate) fn execute_attempt(
         log,
         report,
     })
+}
+
+/// A [`Source`] adapter that prepares raw tuples on the pull path:
+/// ids, `τ`, and arrival stamps are assigned in arrival order exactly
+/// as the offline path's eager prepare loop does, so a streamed run is
+/// bit-identical to the same plan run over the same tuples in memory.
+struct PreparingSource<S> {
+    inner: S,
+    prepare: PrepareOperator,
+    count: Arc<AtomicU64>,
+}
+
+impl<S: Source<Tuple>> Source<StampedTuple> for PreparingSource<S> {
+    fn next(&mut self) -> Option<StampedTuple> {
+        let tuple = self.inner.next()?;
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(self.prepare.prepare(tuple))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.inner.size_hint()
+    }
+}
+
+/// A [`Sink`] adapter counting records on their way into the real sink
+/// (streamed runs have no collected vector to measure afterwards).
+struct CountingSink<K> {
+    inner: K,
+    count: Arc<AtomicU64>,
+}
+
+impl<K: Sink<StampedTuple>> Sink<StampedTuple> for CountingSink<K> {
+    fn write(&mut self, record: StampedTuple) {
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.write(record);
+    }
+
+    fn write_batch(&mut self, batch: Vec<StampedTuple>) {
+        self.count
+            .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.inner.write_batch(batch);
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
+    }
+}
+
+/// One streaming execution attempt: tuples are pulled from `source`,
+/// prepared on the fly, polluted, and pushed into `sink` as they sort
+/// out of the watermark buffer — nothing is collected in memory.
+///
+/// This is the entry point network sessions use
+/// ([`crate::plan::PhysicalPlan::execute_streaming`]). It is a single
+/// attempt by construction: a network source cannot be replayed, so
+/// supervised restarts do not apply. Output is bit-identical to the
+/// offline path for the same plan and tuple sequence.
+pub(crate) fn execute_streaming(
+    settings: &ExecSettings,
+    source: impl Source<Tuple> + 'static,
+    sink: impl Sink<StampedTuple> + 'static,
+    pipelines: Vec<PollutionPipeline>,
+) -> Result<RunReport> {
+    if pipelines.is_empty() {
+        return Err(icewafl_types::Error::config(
+            "at least one pipeline is required",
+        ));
+    }
+    if let Some(chaos) = &settings.chaos {
+        if !chaos.is_valid() {
+            return Err(icewafl_types::Error::config(
+                "chaos rates must be probabilities in [0, 1]",
+            ));
+        }
+    }
+    // Streaming sources poison via typed `StageError` panics on routine
+    // peer behavior (disconnects, bad frames); a server must not spray
+    // a backtrace per misbehaving client.
+    install_quiet_panic_hook();
+    let prepare = PrepareOperator::new(&settings.schema)?;
+    let tuples_in = Arc::new(AtomicU64::new(0));
+    let source = PreparingSource {
+        inner: source,
+        prepare,
+        count: Arc::clone(&tuples_in),
+    };
+    let tuples_out = Arc::new(AtomicU64::new(0));
+    let sink = CountingSink {
+        inner: sink,
+        count: Arc::clone(&tuples_out),
+    };
+
+    let log = Arc::new(Mutex::new(if settings.logging {
+        PollutionLog::new()
+    } else {
+        PollutionLog::disabled()
+    }));
+    let mut stat_handles: Vec<PolluterStatsHandle> = Vec::new();
+    for pipeline in &pipelines {
+        pipeline.collect_stats(&mut stat_handles);
+    }
+    let registry = MetricsRegistry::new();
+    let budget = settings.chaos.as_ref().map(ChaosConfig::new_budget);
+
+    drive_pipelines(
+        settings, source, sink, pipelines, budget, None, &registry, &log,
+    )?;
+
+    let log = Arc::try_unwrap(log)
+        .map(Mutex::into_inner)
+        .unwrap_or_else(|arc| arc.lock().clone());
+    let log_counts = log.counts_by_polluter();
+    let polluters = stat_handles
+        .iter()
+        .map(|h| {
+            let mut snap = h.snapshot();
+            snap.log_entries = log_counts.get(&h.name).copied().unwrap_or(0) as u64;
+            snap
+        })
+        .collect();
+    Ok(RunReport {
+        tuples_in: tuples_in.load(std::sync::atomic::Ordering::Relaxed),
+        tuples_out: tuples_out.load(std::sync::atomic::Ordering::Relaxed),
+        log_entries: log.len() as u64,
+        logging_enabled: settings.logging,
+        metrics_compiled_in: icewafl_obs::metrics_compiled_in(),
+        restarts: 0,
+        strategy: Some(settings.strategy.to_string()),
+        epochs_applied: settings
+            .control
+            .as_ref()
+            .map(ControlChannel::applied)
+            .unwrap_or(0),
+        polluters,
+        metrics: registry.snapshot(),
+    })
+}
+
+/// Builds the fan-out → pollute → merge → sort topology over an
+/// arbitrary prepared source/sink pair and drives it to completion —
+/// the shared tail of the offline ([`execute_attempt`]) and streaming
+/// ([`execute_streaming`]) paths.
+#[allow(clippy::too_many_arguments)]
+fn drive_pipelines(
+    settings: &ExecSettings,
+    source: impl Source<StampedTuple> + 'static,
+    sink: impl Sink<StampedTuple> + 'static,
+    pipelines: Vec<PollutionPipeline>,
+    chaos_budget: Option<Arc<AtomicU64>>,
+    deadline: Option<Instant>,
+    registry: &MetricsRegistry,
+    log: &Arc<Mutex<PollutionLog>>,
+) -> Result<()> {
+    let m = pipelines.len();
+    let selector = settings.assigner.selector(m);
+    let builders: Vec<SubPipelineBuilder<StampedTuple, StampedTuple>> = pipelines
+        .into_iter()
+        .enumerate()
+        .map(|(i, pipeline)| {
+            let op = PipelineOperator::new(pipeline, i as u32, Arc::clone(log));
+            // Reconfigurable jobs get a control subscriber per
+            // sub-stream; all subscribers see the same broadcast
+            // watermark sequence, which is the epoch barrier.
+            let op = match &settings.control {
+                Some(channel) => op.with_control(
+                    channel.subscriber(),
+                    settings.schema.clone(),
+                    registry.gauge(&format!("plan/substream_{i}/epoch")),
+                ),
+                None => op,
+            };
+            // When chaos is on, splice an injector in front of the
+            // pollution operator of every sub-stream, each with its
+            // own seed but a budget shared across retries.
+            let chaos_op = settings.chaos.as_ref().map(|chaos| {
+                let mut cfg = chaos.clone();
+                cfg.seed = chaos.seed.wrapping_add(i as u64);
+                let budget = chaos_budget.clone().unwrap_or_else(|| cfg.new_budget());
+                ChaosOperator::with_shared_budget(cfg, budget)
+                    .with_metrics(ChaosMetrics::register(
+                        registry,
+                        &format!("chaos/substream_{i}"),
+                    ))
+                    .with_malform(|t: &mut StampedTuple| {
+                        for v in t.tuple.values_mut() {
+                            *v = icewafl_types::Value::Null;
+                        }
+                    })
+            });
+            let b: SubPipelineBuilder<StampedTuple, StampedTuple> =
+                Box::new(move |s: DataStream<StampedTuple>| match chaos_op {
+                    Some(chaos_op) => s.transform(chaos_op).transform(op),
+                    None => s.transform(op),
+                });
+            b
+        })
+        .collect();
+
+    let watermarks = WatermarkStrategy::bounded_out_of_orderness(
+        |t: &StampedTuple| t.tau,
+        icewafl_types::Duration::ZERO,
+        settings.watermark_period,
+    );
+    let stream = DataStream::from_source(source, watermarks);
+    let batch_size = settings.batch_size.max(1);
+    let merged = match settings.strategy {
+        ExecutionStrategy::SplitMergeParallel => {
+            stream.split_merge_parallel_batched(selector, builders, batch_size)
+        }
+        ExecutionStrategy::Sequential | ExecutionStrategy::Pipelined { .. } => {
+            stream.split_merge_batched(selector, builders, batch_size)
+        }
+    };
+    let merged = match settings.strategy {
+        ExecutionStrategy::Pipelined { capacity } => merged.pipelined_batched(capacity, batch_size),
+        _ => merged,
+    };
+    // Algorithm 1, line 11: sortByTimestamp — by *arrival* time, so
+    // delayed tuples surface late (see `StampedTuple::arrival`).
+    // A `?` here carries a typed stage failure out as
+    // `Error::Pipeline` (via `From<PipelineError>`).
+    merged
+        .sort_by_event_time(|t| t.arrival)
+        .execute_into_with_options(sink, registry, deadline)?;
+    Ok(())
 }
 
 /// Convenience: runs a single pipeline over a stream with default

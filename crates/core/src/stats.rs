@@ -2,7 +2,9 @@
 //!
 //! Every polluter owns a [`PolluterStats`] bundle of shared atomic cells
 //! (see `icewafl-obs`). Because the cells are `Arc`-shared, handles
-//! cloned *before* a run — via [`Polluter::collect_stats`] — stay live
+//! cloned *before* a run — via
+//! [`Polluter::collect_stats`](crate::polluter::Polluter::collect_stats)
+//! — stay live
 //! after the run has consumed the polluters, which is how
 //! [`PollutionJob::run`](crate::runner::PollutionJob::run) reads them
 //! into the [`RunReport`](crate::report::RunReport).

@@ -18,7 +18,7 @@
 //! * [`ExpectationSuite`]s and [`ValidationReport`]s;
 //! * a from-scratch [regular-expression engine](regex) backing
 //!   `match_regex`;
-//! * a column [profiler](profiler) that suggests a suite from a clean
+//! * a column [profiler] that suggests a suite from a clean
 //!   sample.
 //!
 //! ```

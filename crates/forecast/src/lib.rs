@@ -18,7 +18,7 @@
 //! [seasonal-naive](model::SeasonalNaiveForecaster),
 //! [SES](smoothing::SimpleExponentialSmoothing),
 //! [Holt](smoothing::HoltLinear)),
-//! [metrics](metrics) (MAE/RMSE/MAPE/sMAPE), and
+//! [metrics] (MAE/RMSE/MAPE/sMAPE), and
 //! [`TimeSeriesSplit` cross-validation with grid search](cv) matching
 //! §3.2.2's hyper-parameter protocol.
 

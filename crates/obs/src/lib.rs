@@ -162,6 +162,19 @@ mod imp {
             self.0.fetch_max(v, Relaxed);
         }
 
+        /// Increments by `n` — for gauges tracking a live population
+        /// (e.g. active sessions).
+        pub fn add(&self, n: u64) {
+            self.0.fetch_add(n, Relaxed);
+        }
+
+        /// Decrements by `n`, saturating at 0.
+        pub fn sub(&self, n: u64) {
+            let _ = self
+                .0
+                .fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(n)));
+        }
+
         /// Current value.
         pub fn get(&self) -> u64 {
             self.0.load(Relaxed)
@@ -377,6 +390,14 @@ mod imp {
         /// No-op.
         #[inline(always)]
         pub fn set_max(&self, _v: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _n: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn sub(&self, _n: u64) {}
 
         /// Always 0.
         #[inline(always)]

@@ -1,0 +1,188 @@
+//! A blocking client for one serve session — the reference
+//! implementation of the protocol's client side, used by the bench
+//! harness, the integration tests, and the CI smoke step.
+//!
+//! [`run_session`] connects, handshakes, then **writes and reads
+//! concurrently**: a writer thread streams the input tuples while the
+//! calling thread drains polluted tuples. Concurrent draining matters —
+//! the server applies backpressure, so a client that writes its whole
+//! stream before reading deadlocks against TCP flow control once the
+//! stream outgrows the kernel socket buffers.
+
+use crate::protocol::{
+    coerce_tuple, decode_server_frame, encode_end_frame, encode_tuple_frame, Handshake,
+    HandshakeReply, ServerEvent, SessionErrorFrame,
+};
+use icewafl_core::report::RunReport;
+use icewafl_stream::net::{FrameReader, FrameWriter, NetError, WireFormat, WireFrame};
+use icewafl_types::Schema;
+use icewafl_types::{StampedTuple, Tuple};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side knobs for [`run_session`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `127.0.0.1:7341`.
+    pub addr: String,
+    /// The handshake to open with (plan, schema, format).
+    pub handshake: Handshake,
+    /// Sleep this long after each received tuple — simulates a slow
+    /// reader to exercise server-side backpressure.
+    pub slow_reader: Option<Duration>,
+    /// Per-frame size cap for server frames.
+    pub max_frame_bytes: usize,
+}
+
+impl ClientConfig {
+    /// A config for `addr` with the given handshake and defaults
+    /// otherwise.
+    pub fn new(addr: impl Into<String>, handshake: Handshake) -> Self {
+        ClientConfig {
+            addr: addr.into(),
+            handshake,
+            slow_reader: None,
+            max_frame_bytes: icewafl_stream::net::DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Everything one session produced.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The server's handshake reply. When `reply.ok` is false the
+    /// session was rejected and the other fields are empty.
+    pub reply: HandshakeReply,
+    /// Polluted tuples received, in arrival order.
+    pub tuples: Vec<StampedTuple>,
+    /// The final run report — present iff the session completed.
+    pub report: Option<RunReport>,
+    /// The typed session error — present iff the session failed
+    /// server-side.
+    pub error: Option<SessionErrorFrame>,
+}
+
+impl SessionOutcome {
+    /// `true` when the session was accepted and ran to a report.
+    pub fn completed(&self) -> bool {
+        self.reply.ok && self.report.is_some()
+    }
+}
+
+/// Runs one full session: connect, handshake, stream `tuples`, drain
+/// the polluted stream until the report (or error) frame.
+///
+/// Transport-level failures — the server vanishing, undecodable frames
+/// — surface as `Err`; a *session* failure the server reports cleanly
+/// arrives as `Ok` with [`SessionOutcome::error`] set.
+pub fn run_session(config: &ClientConfig, tuples: Vec<Tuple>) -> Result<SessionOutcome, NetError> {
+    let stream = TcpStream::connect(&config.addr).map_err(|e| NetError::from_io(&e))?;
+    let _ = stream.set_nodelay(true);
+    let write_stream = stream.try_clone().map_err(|e| NetError::from_io(&e))?;
+
+    // Handshake line out, reply line in — both NDJSON.
+    {
+        let mut hs_writer = FrameWriter::new(&write_stream, WireFormat::Ndjson);
+        let line = serde_json::to_string(&config.handshake)
+            .expect("protocol frames are always serializable");
+        hs_writer.write(&WireFrame::Line(line))?;
+        hs_writer.flush()?;
+    }
+    let mut reader = FrameReader::new(
+        BufReader::new(stream),
+        WireFormat::Ndjson,
+        config.max_frame_bytes,
+    );
+    let reply: HandshakeReply = match reader.read()? {
+        Some(WireFrame::Line(line)) => serde_json::from_str(&line)
+            .map_err(|e| NetError::malformed(format!("bad handshake reply: {e}")))?,
+        Some(WireFrame::Binary { .. }) => {
+            return Err(NetError::malformed("binary frame before handshake reply"))
+        }
+        None => return Err(NetError::Disconnected),
+    };
+    if !reply.ok {
+        return Ok(SessionOutcome {
+            reply,
+            tuples: Vec::new(),
+            report: None,
+            error: None,
+        });
+    }
+
+    let format = config
+        .handshake
+        .wire_format()
+        .map_err(NetError::malformed)?;
+
+    // Writer thread: stream the input and the end marker. Write errors
+    // are swallowed — if the server killed the session, the interesting
+    // signal is the error frame (or disconnect) the reader sees.
+    let writer_thread = std::thread::spawn(move || {
+        let mut writer = FrameWriter::new(BufWriter::new(write_stream), format);
+        for tuple in &tuples {
+            if writer.write(&encode_tuple_frame(tuple, format)).is_err() {
+                return;
+            }
+        }
+        let _ = writer.write(&encode_end_frame(format));
+        let _ = writer.flush();
+    });
+
+    // Reader: drain the session to its tail frame. Over NDJSON the
+    // value encoding is untagged, so received payloads are coerced back
+    // to the session schema's column types when the client knows it.
+    let schema = session_schema(&config.handshake).filter(|_| format == WireFormat::Ndjson);
+    let mut reader = FrameReader::new(reader.into_inner(), format, config.max_frame_bytes);
+    let mut outcome = SessionOutcome {
+        reply,
+        tuples: Vec::new(),
+        report: None,
+        error: None,
+    };
+    let result = loop {
+        match reader.read() {
+            Ok(Some(frame)) => match decode_server_frame(frame) {
+                Ok(ServerEvent::Tuple(mut t)) => {
+                    if let Some(schema) = &schema {
+                        t.tuple = coerce_tuple(schema, t.tuple);
+                    }
+                    outcome.tuples.push(t);
+                    if let Some(pause) = config.slow_reader {
+                        std::thread::sleep(pause);
+                    }
+                }
+                Ok(ServerEvent::Report(report)) => {
+                    outcome.report = Some(*report);
+                    break Ok(());
+                }
+                Ok(ServerEvent::Error(error)) => {
+                    outcome.error = Some(error);
+                    break Ok(());
+                }
+                Err(e) => break Err(e),
+            },
+            // The server closing without a tail frame is itself a
+            // protocol violation worth surfacing.
+            Ok(None) => break Err(NetError::Disconnected),
+            Err(e) => break Err(e),
+        }
+    };
+    let _ = writer_thread.join();
+    result.map(|()| outcome)
+}
+
+/// The schema this handshake will run under, when the client can tell:
+/// inline schemas verbatim, built-in names resolved the same way the
+/// server resolves them.
+fn session_schema(hs: &Handshake) -> Option<Schema> {
+    if let Some(schema) = &hs.schema_inline {
+        return Some(schema.clone());
+    }
+    match hs.schema.as_deref() {
+        Some("wearable") => Some(icewafl_data::wearable::schema()),
+        Some("airquality") => Some(icewafl_data::airquality::schema()),
+        _ => None,
+    }
+}

@@ -1,0 +1,37 @@
+//! # icewafl-serve
+//!
+//! Pollution as a network service: a multi-client TCP server that runs
+//! a compiled pollution plan per connection and streams polluted tuples
+//! back as they are produced.
+//!
+//! A session is one connection: the client opens with a one-line JSON
+//! [handshake](protocol::Handshake) naming a preloaded plan (or
+//! inlining one) and a schema, then streams tuples in either NDJSON or
+//! length-prefixed binary [frames](protocol); the server pulls them
+//! straight into the regular batched pipeline through a network source
+//! and pushes polluted [`StampedTuple`](icewafl_types::StampedTuple)s
+//! back through a network sink, closing with the session's
+//! [`RunReport`](icewafl_core::RunReport). Backpressure is inherited
+//! from the runtime's bounded channels plus TCP flow control, so a slow
+//! reader throttles its own ingest without growing server memory — and
+//! without affecting any other session.
+//!
+//! Protocol errors (malformed frames, oversized frames, mid-stream
+//! disconnects) poison only the offending session through the typed
+//! failure path of `icewafl-stream` and are answered with a typed
+//! [error frame](protocol::SessionErrorFrame).
+//!
+//! Entry points: [`Server::bind`] + [`Server::run`] on the server side,
+//! [`client::run_session`] on the client side, `icewafl serve` on the
+//! command line.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use client::{run_session, ClientConfig, SessionOutcome};
+pub use protocol::{Handshake, HandshakeReply, ServerEvent, SessionErrorFrame};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,411 @@
+//! The multi-client streaming server.
+//!
+//! [`Server::bind`] opens a listener; [`Server::run`] accepts
+//! connections until shutdown is requested (via the
+//! [handle](Server::shutdown_handle) or [SIGINT](crate::signal)) and
+//! then drains: no new sessions are accepted, in-flight sessions run to
+//! completion, and `run` returns once the last one finishes.
+//!
+//! Each connection becomes one session on its own thread (see
+//! [`crate::protocol`] for the wire protocol). The session compiles its
+//! plan against its schema at handshake time and drives the regular
+//! batched runtime with a [`NetSource`] and [`NetSink`] in place of the
+//! in-memory source/sink. Backpressure is free: the pipeline pulls from
+//! the socket one element at a time and pushes through bounded
+//! channels, so a client that stops reading eventually blocks the
+//! sink's socket writes, which blocks the pipeline, which stops the
+//! source reading — TCP flow control then throttles the client's
+//! ingest. Memory per session stays bounded by the pipeline's channel
+//! capacities plus the kernel socket buffers, however slow the reader.
+//!
+//! A protocol error (malformed frame, oversized frame, mid-stream
+//! disconnect) poisons only the affected session's pipeline via the
+//! typed failure path; the session replies with an error frame naming
+//! the failure kind and transport code, and every other session is
+//! untouched.
+
+use crate::protocol::{
+    coerce_tuple, decode_client_frame, encode_error_frame, encode_report_frame,
+    encode_stamped_frame, Handshake, HandshakeReply, SessionErrorFrame,
+};
+use icewafl_core::plan::PhysicalPlan;
+use icewafl_core::PlanCatalog;
+use icewafl_obs::MetricsRegistry;
+use icewafl_stream::net::{
+    FrameReader, FrameWriter, NetErrorCell, NetSink, NetSource, WireFormat, DEFAULT_MAX_FRAME_BYTES,
+};
+use icewafl_types::{Error, Result, StampedTuple};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to listen on, e.g. `127.0.0.1:7341`. Port `0` picks a
+    /// free port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Plans sessions may select by name in their handshake.
+    pub plans: PlanCatalog,
+    /// Maximum concurrent sessions; further connections are rejected at
+    /// handshake time with a capacity error.
+    pub max_sessions: usize,
+    /// Per-frame size cap, bytes. Oversized frames poison the offending
+    /// session before any payload is buffered.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            plans: PlanCatalog::new(),
+            max_sessions: 8,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Shared state every session thread sees.
+struct Shared {
+    plans: PlanCatalog,
+    max_sessions: usize,
+    max_frame_bytes: usize,
+    registry: MetricsRegistry,
+    active: AtomicUsize,
+}
+
+impl Shared {
+    fn counter(&self, name: &str) -> icewafl_obs::Counter {
+        self.registry.counter(name)
+    }
+}
+
+/// Decrements the live-session count (and gauge) when a session thread
+/// exits, however it exits.
+struct ActiveGuard<'a>(&'a Shared);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+        self.0.registry.gauge("serve/sessions_active").sub(1);
+    }
+}
+
+/// The pollution streaming server. See the [module docs](self) for the
+/// lifecycle and [`crate::protocol`] for the wire protocol.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    next_session: AtomicU64,
+}
+
+impl Server {
+    /// Binds the listener. The accept loop does not start until
+    /// [`run`](Server::run) is called.
+    pub fn bind(config: ServeConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| {
+            Error::config(format_args!(
+                "cannot bind serve address {}: {e}",
+                config.addr
+            ))
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::config(format_args!("cannot make listener non-blocking: {e}")))?;
+        let registry = MetricsRegistry::new();
+        registry
+            .gauge("serve/max_sessions")
+            .set(config.max_sessions as u64);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                plans: config.plans,
+                max_sessions: config.max_sessions,
+                max_frame_bytes: config.max_frame_bytes,
+                registry,
+                active: AtomicUsize::new(0),
+            }),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            next_session: AtomicU64::new(0),
+        })
+    }
+
+    /// The bound address — the actual port when the config asked for
+    /// port `0`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("a bound listener has a local address")
+    }
+
+    /// A handle that stops the accept loop when set; [`run`](Server::run)
+    /// then drains in-flight sessions and returns.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The server's metrics registry (`serve/*` counters and gauges).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.shared.registry
+    }
+
+    /// Number of sessions currently running.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Accepts and serves sessions until the [shutdown
+    /// handle](Server::shutdown_handle) is set or [SIGINT
+    /// arrives](crate::signal::triggered), then drains: in-flight
+    /// sessions run to completion before this returns.
+    pub fn run(&self) -> Result<()> {
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || crate::signal::triggered() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.dispatch(stream, &mut handles);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    handles.retain(|h| !h.is_finished());
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(Error::config(format_args!("accept failed: {e}")));
+                }
+            }
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Routes one accepted connection: rejects it at capacity, or
+    /// spawns a session thread.
+    fn dispatch(&self, stream: TcpStream, handles: &mut Vec<JoinHandle<()>>) {
+        let shared = Arc::clone(&self.shared);
+        let session_id = self.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.counter("serve/connections_total").inc();
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_nonblocking(false);
+
+        if shared.active.load(Ordering::SeqCst) >= shared.max_sessions {
+            shared.counter("serve/sessions_rejected").inc();
+            // Best-effort rejection on a throwaway thread so a peer that
+            // never reads cannot stall the accept loop.
+            handles.push(std::thread::spawn(move || {
+                let reply = HandshakeReply::rejected("server at capacity");
+                let _ = write_json_line(&stream, &reply);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }));
+            return;
+        }
+
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.registry.gauge("serve/sessions_active").add(1);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("icewafl-session-{session_id}"))
+                .spawn(move || {
+                    let _guard = ActiveGuard(&shared);
+                    run_session(stream, &shared, session_id);
+                })
+                .expect("spawning a session thread"),
+        );
+    }
+}
+
+/// Writes one JSON value as an NDJSON line straight to the socket
+/// (handshake replies and rejections, which precede format
+/// negotiation).
+fn write_json_line<T: serde::Serialize>(mut stream: &TcpStream, value: &T) -> std::io::Result<()> {
+    let line = serde_json::to_string(value).expect("protocol frames are always serializable");
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// Resolves a handshake to a compiled plan and wire format, or a
+/// rejection reason.
+fn resolve(
+    hs: &Handshake,
+    plans: &PlanCatalog,
+) -> std::result::Result<(PhysicalPlan, WireFormat), String> {
+    let format = hs.wire_format()?;
+    let schema = match (&hs.schema_inline, hs.schema.as_deref()) {
+        (Some(schema), _) => schema.clone(),
+        (None, Some("wearable")) => icewafl_data::wearable::schema(),
+        (None, Some("airquality")) => icewafl_data::airquality::schema(),
+        (None, Some(other)) => {
+            return Err(format!(
+                "unknown schema `{other}` (expected wearable or airquality, or ship schema_inline)"
+            ))
+        }
+        (None, None) => return Err("handshake must carry `schema` or `schema_inline`".into()),
+    };
+    let logical = match (&hs.plan_inline, hs.plan.as_deref()) {
+        (Some(plan), _) => plan.clone(),
+        (None, Some(name)) => plans
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("unknown plan `{name}` (available: {:?})", plans.names()))?,
+        (None, None) => return Err("handshake must carry `plan` or `plan_inline`".into()),
+    };
+    let physical = logical
+        .compile(&schema)
+        .map_err(|e| format!("plan does not compile against the schema: {e}"))?;
+    Ok((physical, format))
+}
+
+/// One session, handshake to tail frame. Every exit path on this thread
+/// is local to the session: errors are answered on the wire (best
+/// effort) and recorded in `serve/*` metrics, never propagated.
+fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
+    let Ok(write_stream) = stream.try_clone() else {
+        shared.counter("serve/sessions_failed").inc();
+        return;
+    };
+    let Ok(tail_stream) = stream.try_clone() else {
+        shared.counter("serve/sessions_failed").inc();
+        return;
+    };
+
+    // Handshake: always one NDJSON line, whatever the data format.
+    let mut hs_reader = FrameReader::new(
+        BufReader::new(stream),
+        WireFormat::Ndjson,
+        shared.max_frame_bytes,
+    );
+    let hs: Handshake = match hs_reader.read() {
+        Ok(Some(icewafl_stream::net::WireFrame::Line(line))) => match serde_json::from_str(&line) {
+            Ok(hs) => hs,
+            Err(e) => {
+                shared.counter("serve/protocol_errors").inc();
+                shared.counter("serve/sessions_rejected").inc();
+                let reply = HandshakeReply::rejected(format!("bad handshake: {e}"));
+                let _ = write_json_line(&tail_stream, &reply);
+                return;
+            }
+        },
+        Ok(_) => {
+            // Disconnected before (or instead of) a handshake line.
+            shared.counter("serve/sessions_rejected").inc();
+            return;
+        }
+        Err(e) => {
+            shared.counter("serve/protocol_errors").inc();
+            shared.counter("serve/sessions_rejected").inc();
+            let reply = HandshakeReply::rejected(format!("bad handshake: {e}"));
+            let _ = write_json_line(&tail_stream, &reply);
+            return;
+        }
+    };
+
+    let (plan, format) = match resolve(&hs, &shared.plans) {
+        Ok(resolved) => resolved,
+        Err(reason) => {
+            shared.counter("serve/sessions_rejected").inc();
+            let _ = write_json_line(&tail_stream, &HandshakeReply::rejected(reason));
+            return;
+        }
+    };
+
+    let reply = HandshakeReply::accepted(
+        session_id,
+        plan.strategy().to_string(),
+        plan.logical().substreams(),
+    );
+    if write_json_line(&tail_stream, &reply).is_err() {
+        shared.counter("serve/sessions_failed").inc();
+        return;
+    }
+
+    // Data plane: the session's pipeline pulls straight from the socket
+    // and pushes straight back out; the error cell carries the typed
+    // root cause out of the poison path.
+    let error_cell = NetErrorCell::new();
+    // NDJSON is untagged, so decoded tuples are coerced back to the
+    // session schema's column types (Int → Float/Timestamp); the binary
+    // codec is typed and skips the pass.
+    let schema = plan.schema().clone();
+    let decode: icewafl_stream::net::DecodeFn<icewafl_types::Tuple> = match format {
+        WireFormat::Ndjson => Box::new(move |frame| {
+            decode_client_frame(frame).map(|poll| match poll {
+                icewafl_stream::net::NetPoll::Record(t) => {
+                    icewafl_stream::net::NetPoll::Record(coerce_tuple(&schema, t))
+                }
+                end => end,
+            })
+        }),
+        WireFormat::Binary => Box::new(decode_client_frame),
+    };
+    let source = NetSource::new(
+        FrameReader::new(hs_reader.into_inner(), format, shared.max_frame_bytes),
+        decode,
+        error_cell.clone(),
+    );
+    let sink = NetSink::new(
+        FrameWriter::new(BufWriter::new(write_stream), format),
+        Box::new(move |t: &StampedTuple| encode_stamped_frame(t, format)),
+        error_cell.clone(),
+    );
+    let frames_in = source.frames_in_handle();
+    let frames_out = sink.frames_out_handle();
+
+    let outcome = plan.execute_streaming(source, sink);
+
+    shared
+        .counter("serve/frames_in")
+        .add(frames_in.load(Ordering::Relaxed));
+    shared
+        .counter("serve/frames_out")
+        .add(frames_out.load(Ordering::Relaxed));
+
+    let mut tail = FrameWriter::new(tail_stream, format);
+    match outcome {
+        Ok(report) => {
+            shared.counter("serve/sessions_completed").inc();
+            let _ = tail.write(&encode_report_frame(&report, format));
+            let _ = tail.flush();
+        }
+        Err(error) => {
+            shared.counter("serve/sessions_failed").inc();
+            let protocol = error_cell.get().map(|net| net.code().to_string());
+            if protocol.is_some() {
+                shared.counter("serve/protocol_errors").inc();
+            }
+            let frame = match error {
+                Error::Pipeline {
+                    stage,
+                    kind,
+                    message,
+                } => SessionErrorFrame {
+                    stage,
+                    kind,
+                    message,
+                    protocol,
+                },
+                other => SessionErrorFrame {
+                    stage: "session".into(),
+                    kind: "fatal".into(),
+                    message: other.to_string(),
+                    protocol,
+                },
+            };
+            let _ = tail.write(&encode_error_frame(&frame, format));
+            let _ = tail.flush();
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! A minimal SIGINT latch for graceful server drain.
+//!
+//! The CLI installs the latch before starting the accept loop; the
+//! server polls [`triggered`] between accepts and, once set, stops
+//! accepting and drains in-flight sessions. No `libc` dependency: the
+//! handler is registered through the C `signal(2)` symbol directly,
+//! and does nothing but store into an atomic (async-signal-safe).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+const SIGINT_NUM: i32 = 2;
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_signum: i32) {
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT handler. Safe to call more than once. On
+/// non-Unix targets this is a no-op and [`triggered`] only ever fires
+/// via [`trigger`].
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        signal(SIGINT_NUM, on_sigint as *const () as usize);
+    }
+}
+
+/// `true` once SIGINT has been received (or [`trigger`] called).
+pub fn triggered() -> bool {
+    SIGINT.load(Ordering::SeqCst)
+}
+
+/// Sets the latch programmatically — what the signal handler does,
+/// callable from tests and embedding code.
+pub fn trigger() {
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+/// Clears the latch (tests and long-lived embedders that survive a
+/// drain).
+pub fn reset() {
+    SIGINT.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_sets_and_resets() {
+        reset();
+        assert!(!triggered());
+        trigger();
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+    }
+}

@@ -1,0 +1,439 @@
+//! End-to-end tests for the streaming server: served-vs-offline
+//! identity, protocol robustness (malformed / oversized / disconnect),
+//! capacity limits, and concurrent sessions with a slow reader.
+
+use icewafl_core::config::{ConditionConfig, ErrorConfig, PolluterConfig};
+use icewafl_core::plan::LogicalPlan;
+use icewafl_core::PlanCatalog;
+use icewafl_serve::{client, ClientConfig, Handshake, ServeConfig, Server};
+use icewafl_types::{DataType, Schema, Timestamp, Tuple, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn schema() -> Schema {
+    Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
+}
+
+fn plan(seed: u64) -> LogicalPlan {
+    LogicalPlan::new(
+        seed,
+        vec![
+            vec![PolluterConfig::Standard {
+                name: "noise".into(),
+                attributes: vec!["x".into()],
+                error: ErrorConfig::GaussianNoise {
+                    sigma: 2.0,
+                    relative: false,
+                },
+                condition: ConditionConfig::Probability { p: 0.5 },
+                pattern: None,
+            }],
+            vec![PolluterConfig::Standard {
+                name: "null".into(),
+                attributes: vec!["x".into()],
+                error: ErrorConfig::MissingValue,
+                condition: ConditionConfig::Probability { p: 0.2 },
+                pattern: None,
+            }],
+        ],
+    )
+}
+
+fn tuples(n: usize) -> Vec<Tuple> {
+    (0..n as i64)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp(i * 1000)),
+                Value::Float(i as f64 / 7.0),
+            ])
+        })
+        .collect()
+}
+
+fn handshake(format: &str) -> Handshake {
+    Handshake {
+        plan_inline: Some(plan(42)),
+        schema_inline: Some(schema()),
+        format: Some(format.into()),
+        ..Handshake::default()
+    }
+}
+
+struct TestServer {
+    server: Arc<Server>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<icewafl_types::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(config: ServeConfig) -> Self {
+        let server = Arc::new(Server::bind(config).unwrap());
+        let shutdown = server.shutdown_handle();
+        let runner = Arc::clone(&server);
+        let handle = std::thread::spawn(move || runner.run());
+        TestServer {
+            server,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    fn addr(&self) -> String {
+        self.server.local_addr().to_string()
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            handle.join().unwrap().unwrap();
+        }
+    }
+}
+
+/// A raw protocol peer for misbehaving on purpose.
+struct RawClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawClient {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        RawClient { stream, reader }
+    }
+
+    fn send_line(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        line
+    }
+
+    /// Reads server lines until one carries an `error` object; panics
+    /// on a report (the session was supposed to fail).
+    fn read_until_error_line(&mut self) -> String {
+        loop {
+            let line = self.read_line();
+            assert!(!line.is_empty(), "server closed without a tail frame");
+            if line.contains("\"error\"") && !line.contains("\"error\":null") {
+                return line;
+            }
+            assert!(
+                !line.contains("\"report\":{"),
+                "session unexpectedly completed: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn served_output_is_byte_identical_to_offline() {
+    let input = tuples(300);
+    let offline = plan(42)
+        .compile(&schema())
+        .unwrap()
+        .execute(input.clone())
+        .unwrap();
+
+    let server = TestServer::start(ServeConfig::default());
+    for format in ["ndjson", "binary"] {
+        let outcome = client::run_session(
+            &ClientConfig::new(server.addr(), handshake(format)),
+            input.clone(),
+        )
+        .unwrap();
+        assert!(outcome.completed(), "session failed: {:?}", outcome.error);
+        assert_eq!(outcome.tuples, offline.polluted, "format {format}");
+        // Byte-identical, not merely equal: the serialized streams match.
+        let served = serde_json::to_string(&outcome.tuples).unwrap();
+        let reference = serde_json::to_string(&offline.polluted).unwrap();
+        assert_eq!(served, reference, "format {format}");
+        let report = outcome.report.unwrap();
+        assert_eq!(report.tuples_in, 300);
+        assert_eq!(report.tuples_out, outcome.tuples.len() as u64);
+    }
+}
+
+#[test]
+fn preloaded_plans_are_selectable_by_name() {
+    let mut plans = PlanCatalog::new();
+    plans.insert("noise", plan(42));
+    let server = TestServer::start(ServeConfig {
+        plans,
+        ..ServeConfig::default()
+    });
+
+    let offline = plan(42)
+        .compile(&schema())
+        .unwrap()
+        .execute(tuples(50))
+        .unwrap();
+    let hs = Handshake {
+        plan: Some("noise".into()),
+        schema_inline: Some(schema()),
+        ..Handshake::default()
+    };
+    let outcome = client::run_session(&ClientConfig::new(server.addr(), hs), tuples(50)).unwrap();
+    assert!(outcome.completed());
+    assert_eq!(outcome.tuples, offline.polluted);
+
+    // An unknown name is rejected at handshake time with the catalog
+    // listing.
+    let hs = Handshake {
+        plan: Some("ghost".into()),
+        schema_inline: Some(schema()),
+        ..Handshake::default()
+    };
+    let outcome = client::run_session(&ClientConfig::new(server.addr(), hs), vec![]).unwrap();
+    assert!(!outcome.reply.ok);
+    let reason = outcome.reply.error.unwrap();
+    assert!(
+        reason.contains("ghost") && reason.contains("noise"),
+        "{reason}"
+    );
+}
+
+#[test]
+fn malformed_frame_kills_only_its_session() {
+    let server = TestServer::start(ServeConfig::default());
+
+    let mut bad = RawClient::connect(&server.addr());
+    bad.send_line(&serde_json::to_string(&handshake("ndjson")).unwrap());
+    assert!(bad.read_line().contains("\"ok\":true"));
+    bad.send_line("this is not a frame");
+    let error_line = bad.read_until_error_line();
+    assert!(error_line.contains("\"kind\":\"fatal\""), "{error_line}");
+    assert!(
+        error_line.contains("\"protocol\":\"malformed\""),
+        "{error_line}"
+    );
+
+    // The server is still healthy: a fresh session completes normally.
+    let outcome = client::run_session(
+        &ClientConfig::new(server.addr(), handshake("ndjson")),
+        tuples(20),
+    )
+    .unwrap();
+    assert!(outcome.completed());
+}
+
+#[test]
+fn oversized_frame_is_rejected_with_a_typed_error() {
+    // The cap must leave room for the handshake line (which carries an
+    // inline plan) while rejecting the oversized data frame below.
+    let server = TestServer::start(ServeConfig {
+        max_frame_bytes: 4096,
+        ..ServeConfig::default()
+    });
+
+    let mut big = RawClient::connect(&server.addr());
+    big.send_line(&serde_json::to_string(&handshake("ndjson")).unwrap());
+    assert!(big.read_line().contains("\"ok\":true"));
+    big.send_line(&format!(
+        "{{\"tuple\":{{\"values\":[\"{}\"]}}}}",
+        "x".repeat(8192)
+    ));
+    let error_line = big.read_until_error_line();
+    assert!(
+        error_line.contains("\"protocol\":\"oversized\""),
+        "{error_line}"
+    );
+}
+
+#[test]
+fn mid_stream_disconnect_poisons_only_that_session() {
+    let server = TestServer::start(ServeConfig::default());
+
+    let mut flaky = RawClient::connect(&server.addr());
+    flaky.send_line(&serde_json::to_string(&handshake("ndjson")).unwrap());
+    assert!(flaky.read_line().contains("\"ok\":true"));
+    flaky.send_line("{\"tuple\":{\"values\":[0,1.0]}}");
+    // Half-close: no end frame will ever arrive, but the read side
+    // stays open to observe the server's typed reaction.
+    flaky.stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let error_line = flaky.read_until_error_line();
+    assert!(
+        error_line.contains("\"kind\":\"disconnect\""),
+        "{error_line}"
+    );
+    assert!(
+        error_line.contains("\"protocol\":\"disconnected\""),
+        "{error_line}"
+    );
+
+    let outcome = client::run_session(
+        &ClientConfig::new(server.addr(), handshake("binary")),
+        tuples(20),
+    )
+    .unwrap();
+    assert!(outcome.completed(), "healthy session after disconnect");
+}
+
+#[test]
+fn capacity_overflow_is_rejected_at_handshake() {
+    let server = TestServer::start(ServeConfig {
+        max_sessions: 1,
+        ..ServeConfig::default()
+    });
+
+    // Occupy the only slot without finishing the session.
+    let mut holder = RawClient::connect(&server.addr());
+    holder.send_line(&serde_json::to_string(&handshake("ndjson")).unwrap());
+    assert!(holder.read_line().contains("\"ok\":true"));
+
+    // The next connection is turned away before plan compilation.
+    let rejected = loop {
+        let outcome = client::run_session(
+            &ClientConfig::new(server.addr(), handshake("ndjson")),
+            vec![],
+        )
+        .unwrap();
+        // The holder's session thread may still be starting; only a
+        // capacity rejection ends the loop.
+        if !outcome.reply.ok {
+            break outcome;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(rejected.reply.error.unwrap().contains("capacity"));
+
+    // Release the slot; the server accepts sessions again.
+    holder.send_line("{\"end\":true}");
+    drop(holder);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let outcome = client::run_session(
+            &ClientConfig::new(server.addr(), handshake("ndjson")),
+            tuples(5),
+        )
+        .unwrap();
+        if outcome.completed() {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "slot never freed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn concurrent_sessions_with_a_slow_reader_do_not_interfere() {
+    let input = tuples(400);
+    let offline = plan(42)
+        .compile(&schema())
+        .unwrap()
+        .execute(input.clone())
+        .unwrap();
+
+    let server = TestServer::start(ServeConfig {
+        max_sessions: 8,
+        ..ServeConfig::default()
+    });
+
+    let workers: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = server.addr();
+            let input = input.clone();
+            std::thread::spawn(move || {
+                let format = if i % 2 == 0 { "binary" } else { "ndjson" };
+                let mut config = ClientConfig::new(addr, handshake(format));
+                if i == 0 {
+                    // One deliberately slow reader: backpressure must
+                    // throttle its session, not break it or the others.
+                    config.slow_reader = Some(Duration::from_millis(2));
+                }
+                client::run_session(&config, input).unwrap()
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        let outcome = worker.join().unwrap();
+        assert!(outcome.completed(), "session failed: {:?}", outcome.error);
+        assert_eq!(outcome.tuples, offline.polluted);
+    }
+
+    let snapshot = server.server.registry().snapshot();
+    if !snapshot.is_empty() {
+        assert_eq!(snapshot.counter("serve/sessions_completed"), 8);
+        assert_eq!(snapshot.counter("serve/sessions_failed"), 0);
+        assert_eq!(snapshot.gauge("serve/sessions_active"), 0);
+    }
+}
+
+mod codec_properties {
+    use icewafl_serve::protocol::{decode_stamped, decode_tuple, encode_stamped, encode_tuple};
+    use icewafl_types::{StampedTuple, Timestamp, Tuple, Value};
+    use proptest::prelude::*;
+
+    /// Deterministically builds a tuple mixing every value type from a
+    /// seed — the vendored proptest drives the seeds, the mapping
+    /// supplies the structural variety.
+    fn tuple_from(seed: u64, arity: usize) -> Tuple {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let values = (0..arity)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                match state % 6 {
+                    0 => Value::Null,
+                    1 => Value::Bool(state & 64 != 0),
+                    2 => Value::Int(state as i64),
+                    3 => Value::Float(
+                        f64::from_bits((state & 0x000F_FFFF_FFFF_FFFF) | 0x3FF0_0000_0000_0000)
+                            - 1.5,
+                    ),
+                    4 => Value::Str(format!("s{:x}", state & 0xFFFF)),
+                    _ => Value::Timestamp(Timestamp(state as i64 >> 16)),
+                }
+            })
+            .collect();
+        Tuple::new(values)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tuple_codec_round_trips(seed in 0u64..u64::MAX, arity in 0usize..12) {
+            let tuple = tuple_from(seed, arity);
+            prop_assert_eq!(decode_tuple(&encode_tuple(&tuple)).unwrap(), tuple);
+        }
+
+        #[test]
+        fn stamped_codec_round_trips(
+            seed in 0u64..u64::MAX,
+            arity in 0usize..12,
+            id in 0u64..u64::MAX,
+            tau in -1_000_000_000_000i64..1_000_000_000_000,
+            delay in 0i64..100_000,
+            sub in 0u32..16,
+        ) {
+            let mut stamped = StampedTuple::new(id, Timestamp(tau), tuple_from(seed, arity));
+            stamped.arrival = Timestamp(tau + delay);
+            stamped.sub_stream = sub;
+            prop_assert_eq!(decode_stamped(&encode_stamped(&stamped)).unwrap(), stamped);
+        }
+
+        #[test]
+        fn truncation_never_round_trips_silently(seed in 0u64..u64::MAX, arity in 1usize..8) {
+            let tuple = tuple_from(seed, arity);
+            let bytes = encode_tuple(&tuple);
+            // Chopping any strict prefix must error, never decode.
+            let cut = bytes.len() - 1;
+            prop_assert!(decode_tuple(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -329,6 +329,11 @@ pub fn install_quiet_panic_hook() {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             let payload = info.payload();
+            // Typed stage errors raised via `panic_any(StageError)` are
+            // deliberate, always-caught poison — never backtrace noise.
+            if payload.downcast_ref::<crate::fault::StageError>().is_some() {
+                return;
+            }
             let msg = payload
                 .downcast_ref::<String>()
                 .map(String::as_str)

@@ -97,7 +97,16 @@ impl StageError {
 
     /// Converts a caught panic payload into a `StageError`, extracting
     /// the `&str` / `String` message when present.
+    ///
+    /// A payload that *is* a `StageError` (thrown via
+    /// [`std::panic::panic_any`]) passes its kind and message through
+    /// verbatim — this is how sources and sinks raise *typed* failures
+    /// (e.g. a network disconnect) instead of a generic panic; only the
+    /// stage label is replaced with the label the runtime assigned.
     pub fn from_panic(stage: &str, payload: Box<dyn std::any::Any + Send>) -> Self {
+        if let Some(typed) = payload.downcast_ref::<StageError>() {
+            return StageError::new(stage, typed.kind, typed.message.clone());
+        }
         let message = panic_message(&payload);
         // Faults injected by the chaos harness mark their payload so
         // the supervisor can distinguish deliberate faults from real

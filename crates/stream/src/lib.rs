@@ -19,7 +19,7 @@
 //!   [`DataStream::split_merge_parallel`], built on crossbeam channels;
 //! * **fault tolerance**: operator panics are caught and propagated as
 //!   typed poison elements ([`fault`]), runs can be retried under a
-//!   [`Supervisor`](supervisor::Supervisor) policy, and the
+//!   [`Supervisor`] policy, and the
 //!   [`chaos`] harness injects faults to prove it all works.
 //!
 //! ```
@@ -42,6 +42,7 @@ pub mod element;
 pub mod fault;
 pub mod keyed;
 pub mod metrics;
+pub mod net;
 pub mod operator;
 pub mod sink;
 pub mod sort;
@@ -57,6 +58,10 @@ pub use control::{ControlChannel, ControlSubscriber};
 pub use element::StreamElement;
 pub use fault::{FailureCell, FailureKind, PipelineError, StageError};
 pub use metrics::{ChannelMetrics, ChaosMetrics, SorterMetrics, StageMetrics};
+pub use net::{
+    FrameReader, FrameWriter, NetError, NetErrorCell, NetPoll, NetSink, NetSource, WireFormat,
+    WireFrame,
+};
 pub use operator::{Collector, Operator};
 pub use sink::{CountSink, FnSink, NullSink, SharedVecSink, Sink};
 pub use sort::EventTimeSorter;

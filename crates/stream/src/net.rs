@@ -1,0 +1,686 @@
+//! Network transport for streams: frame codec, [`NetSource`], and
+//! [`NetSink`].
+//!
+//! Two wire formats are supported, chosen per connection:
+//!
+//! * **NDJSON** — one JSON text per `\n`-terminated line. Human-
+//!   readable, trivially scriptable with `nc`/`jq`.
+//! * **Binary** — length-prefixed frames `[tag: u8][len: u32 LE]
+//!   [payload]`. Compact and copy-friendly for high-rate sessions.
+//!
+//! This module is deliberately *payload-agnostic*: it moves
+//! [`WireFrame`]s, not tuples. The mapping between frames and records
+//! is supplied by the caller as encode/decode closures (the `serve`
+//! crate provides the icewafl session protocol on top). That keeps the
+//! stream crate free of any serialization dependency.
+//!
+//! Protocol failures are **typed and poisoning, never truncating**: a
+//! malformed frame, an oversized frame, or a peer disconnect makes
+//! [`NetSource`]/[`NetSink`] record a [`NetError`] into a shared
+//! [`NetErrorCell`] and raise a typed [`StageError`] through the
+//! poison-propagation protocol (see [`fault`](crate::fault)) — the
+//! pipeline terminates with `Error::Pipeline` naming the failure kind
+//! instead of silently ending the stream early, exactly like
+//! `CsvTupleSource` does for file I/O.
+
+use crate::fault::{FailureKind, StageError};
+use crate::sink::Sink;
+use crate::source::Source;
+use parking_lot::Mutex;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default cap on a single frame (payload or line), in bytes.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A typed transport-protocol failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer sent bytes that do not parse as a frame of the
+    /// negotiated format (bad UTF-8, unknown tag, undecodable payload).
+    Malformed {
+        /// What failed to parse.
+        detail: String,
+    },
+    /// A frame announced (or a line reached) a length beyond the
+    /// session's cap — rejected before buffering the payload.
+    Oversized {
+        /// Announced or accumulated length in bytes.
+        len: usize,
+        /// The session's cap in bytes.
+        max: usize,
+    },
+    /// The peer vanished mid-stream (EOF or connection reset before the
+    /// end-of-stream frame).
+    Disconnected,
+    /// Any other socket-level I/O failure (e.g. a read timeout).
+    Io {
+        /// The rendered `std::io::Error`.
+        detail: String,
+    },
+}
+
+impl NetError {
+    /// Classifies an I/O error: EOF/reset/abort mean the peer is gone,
+    /// everything else is a generic I/O failure.
+    pub fn from_io(e: &std::io::Error) -> Self {
+        use std::io::ErrorKind::*;
+        match e.kind() {
+            UnexpectedEof | ConnectionReset | ConnectionAborted | BrokenPipe => {
+                NetError::Disconnected
+            }
+            _ => NetError::Io {
+                detail: e.to_string(),
+            },
+        }
+    }
+
+    /// A malformed-frame error with a detail message.
+    pub fn malformed(detail: impl Into<String>) -> Self {
+        NetError::Malformed {
+            detail: detail.into(),
+        }
+    }
+
+    /// Stable machine-readable code (`malformed`, `oversized`,
+    /// `disconnected`, `io`) — what session error frames carry.
+    pub fn code(&self) -> &'static str {
+        match self {
+            NetError::Malformed { .. } => "malformed",
+            NetError::Oversized { .. } => "oversized",
+            NetError::Disconnected => "disconnected",
+            NetError::Io { .. } => "io",
+        }
+    }
+
+    /// How this error is classified by the failure protocol: protocol
+    /// violations are [`FailureKind::Fatal`] (retrying cannot help),
+    /// vanished peers and socket trouble are [`FailureKind::Disconnect`].
+    pub fn failure_kind(&self) -> FailureKind {
+        match self {
+            NetError::Malformed { .. } | NetError::Oversized { .. } => FailureKind::Fatal,
+            NetError::Disconnected | NetError::Io { .. } => FailureKind::Disconnect,
+        }
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            NetError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {max}-byte cap")
+            }
+            NetError::Disconnected => write!(f, "peer disconnected mid-stream"),
+            NetError::Io { detail } => write!(f, "transport I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// First-error-wins cell shared between a [`NetSource`]/[`NetSink`] and
+/// the session code that reports the typed error to the peer.
+#[derive(Clone, Default)]
+pub struct NetErrorCell {
+    slot: Arc<Mutex<Option<NetError>>>,
+}
+
+impl NetErrorCell {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `error` unless one was already recorded.
+    pub fn record(&self, error: NetError) {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+    }
+
+    /// A copy of the recorded error, if any.
+    pub fn get(&self) -> Option<NetError> {
+        self.slot.lock().clone()
+    }
+}
+
+/// The wire format negotiated for a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// One JSON text per newline-terminated line.
+    #[default]
+    Ndjson,
+    /// Length-prefixed binary frames: `[tag: u8][len: u32 LE][payload]`.
+    Binary,
+}
+
+impl WireFormat {
+    /// Parses the handshake name (`ndjson` / `binary`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ndjson" => Some(WireFormat::Ndjson),
+            "binary" => Some(WireFormat::Binary),
+            _ => None,
+        }
+    }
+
+    /// The handshake name of this format.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WireFormat::Ndjson => "ndjson",
+            WireFormat::Binary => "binary",
+        }
+    }
+}
+
+/// One frame as it crosses the wire, before any payload decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// A binary frame: tag byte plus raw payload.
+    Binary {
+        /// Protocol-defined frame tag.
+        tag: u8,
+        /// Raw payload bytes.
+        payload: Vec<u8>,
+    },
+    /// One NDJSON line, without its trailing newline.
+    Line(String),
+}
+
+/// Reads [`WireFrame`]s of one format from a buffered byte stream,
+/// enforcing a per-frame size cap *before* buffering payloads.
+pub struct FrameReader<R> {
+    inner: R,
+    format: WireFormat,
+    max_frame: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// A reader over `inner`; frames larger than `max_frame` bytes are
+    /// rejected as [`NetError::Oversized`].
+    pub fn new(inner: R, format: WireFormat, max_frame: usize) -> Self {
+        FrameReader {
+            inner,
+            format,
+            max_frame: max_frame.max(1),
+        }
+    }
+
+    /// The underlying reader (e.g. to re-wrap it after a handshake).
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Reads the next frame. `Ok(None)` is a *clean* EOF at a frame
+    /// boundary; EOF inside a frame is [`NetError::Disconnected`].
+    pub fn read(&mut self) -> Result<Option<WireFrame>, NetError> {
+        match self.format {
+            WireFormat::Ndjson => Ok(self.read_line_bounded()?.map(WireFrame::Line)),
+            WireFormat::Binary => self.read_binary(),
+        }
+    }
+
+    /// Bounded line read: scans the buffered window for `\n` and fails
+    /// with [`NetError::Oversized`] as soon as the accumulated line
+    /// crosses the cap — a missing newline can never buffer unbounded
+    /// memory.
+    fn read_line_bounded(&mut self) -> Result<Option<String>, NetError> {
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            let (advance, done) = {
+                let buf = self.inner.fill_buf().map_err(|e| NetError::from_io(&e))?;
+                if buf.is_empty() {
+                    if line.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(NetError::Disconnected);
+                }
+                match buf.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        if line.len() + pos > self.max_frame {
+                            return Err(NetError::Oversized {
+                                len: line.len() + pos,
+                                max: self.max_frame,
+                            });
+                        }
+                        line.extend_from_slice(&buf[..pos]);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        if line.len() + buf.len() > self.max_frame {
+                            return Err(NetError::Oversized {
+                                len: line.len() + buf.len(),
+                                max: self.max_frame,
+                            });
+                        }
+                        line.extend_from_slice(buf);
+                        (buf.len(), false)
+                    }
+                }
+            };
+            self.inner.consume(advance);
+            if done {
+                return String::from_utf8(line)
+                    .map(Some)
+                    .map_err(|_| NetError::malformed("line is not valid UTF-8"));
+            }
+        }
+    }
+
+    fn read_binary(&mut self) -> Result<Option<WireFrame>, NetError> {
+        // A zero-byte read for the tag is the only clean EOF point.
+        let mut tag = [0u8; 1];
+        match self.inner.read(&mut tag) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) => return Err(NetError::from_io(&e)),
+        }
+        let mut len = [0u8; 4];
+        self.inner
+            .read_exact(&mut len)
+            .map_err(|e| NetError::from_io(&e))?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len > self.max_frame {
+            return Err(NetError::Oversized {
+                len,
+                max: self.max_frame,
+            });
+        }
+        let mut payload = vec![0u8; len];
+        self.inner
+            .read_exact(&mut payload)
+            .map_err(|e| NetError::from_io(&e))?;
+        Ok(Some(WireFrame::Binary {
+            tag: tag[0],
+            payload,
+        }))
+    }
+}
+
+/// Writes [`WireFrame`]s of one format to a byte stream.
+pub struct FrameWriter<W> {
+    inner: W,
+    format: WireFormat,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// A writer over `inner`.
+    pub fn new(inner: W, format: WireFormat) -> Self {
+        FrameWriter { inner, format }
+    }
+
+    /// Writes one frame. The frame variant must match the negotiated
+    /// format; a mismatch is a caller bug reported as
+    /// [`NetError::Malformed`].
+    pub fn write(&mut self, frame: &WireFrame) -> Result<(), NetError> {
+        match (self.format, frame) {
+            (WireFormat::Binary, WireFrame::Binary { tag, payload }) => self
+                .inner
+                .write_all(&[*tag])
+                .and_then(|_| self.inner.write_all(&(payload.len() as u32).to_le_bytes()))
+                .and_then(|_| self.inner.write_all(payload))
+                .map_err(|e| NetError::from_io(&e)),
+            (WireFormat::Ndjson, WireFrame::Line(line)) => {
+                if line.contains('\n') {
+                    return Err(NetError::malformed("NDJSON line contains a raw newline"));
+                }
+                self.inner
+                    .write_all(line.as_bytes())
+                    .and_then(|_| self.inner.write_all(b"\n"))
+                    .map_err(|e| NetError::from_io(&e))
+            }
+            _ => Err(NetError::malformed(
+                "frame variant does not match the negotiated wire format",
+            )),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        self.inner.flush().map_err(|e| NetError::from_io(&e))
+    }
+}
+
+/// What a decoded client frame means to the stream runtime.
+pub enum NetPoll<T> {
+    /// One record to feed into the pipeline.
+    Record(T),
+    /// The peer's end-of-stream marker: finish cleanly.
+    End,
+}
+
+/// Decodes one wire frame into a record or the end-of-stream marker.
+pub type DecodeFn<T> = Box<dyn FnMut(WireFrame) -> Result<NetPoll<T>, NetError> + Send>;
+
+/// Encodes one record as a wire frame.
+pub type EncodeFn<T> = Box<dyn FnMut(&T) -> WireFrame + Send>;
+
+/// A [`Source`] that pulls records from a network peer, one frame at a
+/// time.
+///
+/// Because the source is pulled by the execution driver, ingest is
+/// naturally throttled by downstream progress: if the pipeline (or a
+/// slow reader behind a [`NetSink`]) stalls, the source stops reading
+/// and TCP flow control pushes back on the peer — bounded memory with
+/// no explicit buffering.
+///
+/// Any protocol failure — including EOF *without* the end-of-stream
+/// frame — records a typed [`NetError`] into the shared
+/// [`NetErrorCell`] and poisons the pipeline via
+/// [`std::panic::panic_any`]`(StageError)`, so the run fails loudly
+/// instead of truncating.
+pub struct NetSource<R, T> {
+    reader: FrameReader<R>,
+    decode: DecodeFn<T>,
+    error: NetErrorCell,
+    frames_in: Arc<AtomicU64>,
+}
+
+impl<R: BufRead + Send, T> NetSource<R, T> {
+    /// A source decoding frames from `reader` with `decode`; protocol
+    /// errors are mirrored into `error`.
+    pub fn new(reader: FrameReader<R>, decode: DecodeFn<T>, error: NetErrorCell) -> Self {
+        NetSource {
+            reader,
+            decode,
+            error,
+            frames_in: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A live counter of frames read so far (records only, not the end
+    /// marker) — shareable with session metrics.
+    pub fn frames_in_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.frames_in)
+    }
+
+    fn fail(&self, error: NetError) -> ! {
+        let typed = StageError::new("net_source", error.failure_kind(), error.to_string());
+        self.error.record(error);
+        std::panic::panic_any(typed);
+    }
+}
+
+impl<R: BufRead + Send, T: Send> Source<T> for NetSource<R, T> {
+    fn next(&mut self) -> Option<T> {
+        let frame = match self.reader.read() {
+            Ok(Some(frame)) => frame,
+            // EOF without the protocol's end marker: the peer vanished.
+            Ok(None) => self.fail(NetError::Disconnected),
+            Err(e) => self.fail(e),
+        };
+        match (self.decode)(frame) {
+            Ok(NetPoll::Record(t)) => {
+                self.frames_in.fetch_add(1, Ordering::Relaxed);
+                Some(t)
+            }
+            Ok(NetPoll::End) => None,
+            Err(e) => self.fail(e),
+        }
+    }
+}
+
+/// A [`Sink`] that streams records back to a network peer, one frame
+/// per record.
+///
+/// A write failure (the peer hung up, the socket broke) poisons the
+/// pipeline with a typed [`FailureKind::Disconnect`] error the same way
+/// [`NetSource`] does, after mirroring it into the shared
+/// [`NetErrorCell`].
+pub struct NetSink<W, T> {
+    writer: FrameWriter<W>,
+    encode: EncodeFn<T>,
+    error: NetErrorCell,
+    frames_out: Arc<AtomicU64>,
+}
+
+impl<W: Write + Send, T> NetSink<W, T> {
+    /// A sink encoding records with `encode` into `writer`; transport
+    /// errors are mirrored into `error`.
+    pub fn new(writer: FrameWriter<W>, encode: EncodeFn<T>, error: NetErrorCell) -> Self {
+        NetSink {
+            writer,
+            encode,
+            error,
+            frames_out: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A live counter of frames written so far — shareable with session
+    /// metrics.
+    pub fn frames_out_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.frames_out)
+    }
+
+    fn fail(&self, error: NetError) -> ! {
+        let typed = StageError::new("net_sink", error.failure_kind(), error.to_string());
+        self.error.record(error);
+        std::panic::panic_any(typed);
+    }
+}
+
+impl<W: Write + Send, T: Send> Sink<T> for NetSink<W, T> {
+    fn write(&mut self, record: T) {
+        let frame = (self.encode)(&record);
+        if let Err(e) = self.writer.write(&frame) {
+            self.fail(e);
+        }
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn finish(&mut self) {
+        if let Err(e) = self.writer.flush() {
+            self.fail(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn binary_reader(bytes: Vec<u8>, max: usize) -> FrameReader<Cursor<Vec<u8>>> {
+        FrameReader::new(Cursor::new(bytes), WireFormat::Binary, max)
+    }
+
+    #[test]
+    fn binary_frames_round_trip() {
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut buf, WireFormat::Binary);
+            w.write(&WireFrame::Binary {
+                tag: 7,
+                payload: b"hello".to_vec(),
+            })
+            .unwrap();
+            w.write(&WireFrame::Binary {
+                tag: 2,
+                payload: Vec::new(),
+            })
+            .unwrap();
+            w.flush().unwrap();
+        }
+        let mut r = binary_reader(buf, 1024);
+        assert_eq!(
+            r.read().unwrap(),
+            Some(WireFrame::Binary {
+                tag: 7,
+                payload: b"hello".to_vec()
+            })
+        );
+        assert_eq!(
+            r.read().unwrap(),
+            Some(WireFrame::Binary {
+                tag: 2,
+                payload: Vec::new()
+            })
+        );
+        assert_eq!(r.read().unwrap(), None, "clean EOF at a frame boundary");
+    }
+
+    #[test]
+    fn ndjson_lines_round_trip() {
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut buf, WireFormat::Ndjson);
+            w.write(&WireFrame::Line("{\"a\":1}".into())).unwrap();
+            w.write(&WireFrame::Line("{\"end\":true}".into())).unwrap();
+        }
+        let mut r = FrameReader::new(Cursor::new(buf), WireFormat::Ndjson, 1024);
+        assert_eq!(r.read().unwrap(), Some(WireFrame::Line("{\"a\":1}".into())));
+        assert_eq!(
+            r.read().unwrap(),
+            Some(WireFrame::Line("{\"end\":true}".into()))
+        );
+        assert_eq!(r.read().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_binary_frame_is_rejected_before_buffering() {
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes()); // 4 GiB announced
+        let mut r = binary_reader(buf, 64);
+        assert!(matches!(
+            r.read().unwrap_err(),
+            NetError::Oversized { max: 64, .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_mid_scan() {
+        let line = vec![b'x'; 200]; // no newline at all
+        let mut r = FrameReader::new(Cursor::new(line), WireFormat::Ndjson, 64);
+        assert!(matches!(r.read().unwrap_err(), NetError::Oversized { .. }));
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_disconnected() {
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(b"abc"); // 3 of 8 payload bytes
+        let mut r = binary_reader(buf, 1024);
+        assert_eq!(r.read().unwrap_err(), NetError::Disconnected);
+
+        // An NDJSON line cut off before its newline, likewise.
+        let mut r = FrameReader::new(Cursor::new(b"{\"a\":1".to_vec()), WireFormat::Ndjson, 1024);
+        assert_eq!(r.read().unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn invalid_utf8_line_is_malformed() {
+        let mut r = FrameReader::new(
+            Cursor::new(vec![0xff, 0xfe, b'\n']),
+            WireFormat::Ndjson,
+            1024,
+        );
+        assert!(matches!(r.read().unwrap_err(), NetError::Malformed { .. }));
+    }
+
+    #[test]
+    fn net_source_poisons_with_typed_error_on_disconnect() {
+        let reader = binary_reader(Vec::new(), 1024); // immediate EOF, no end frame
+        let cell = NetErrorCell::new();
+        let mut source: NetSource<_, u32> =
+            NetSource::new(reader, Box::new(|_| Ok(NetPoll::End)), cell.clone());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| source.next()))
+            .expect_err("EOF without end frame must poison");
+        let typed = StageError::from_panic("stage/03_source", caught);
+        assert_eq!(typed.kind, FailureKind::Disconnect);
+        assert_eq!(cell.get(), Some(NetError::Disconnected));
+    }
+
+    #[test]
+    fn net_source_decodes_records_until_end() {
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut buf, WireFormat::Binary);
+            for v in [10u8, 20, 30] {
+                w.write(&WireFrame::Binary {
+                    tag: 1,
+                    payload: vec![v],
+                })
+                .unwrap();
+            }
+            w.write(&WireFrame::Binary {
+                tag: 2,
+                payload: Vec::new(),
+            })
+            .unwrap();
+        }
+        let mut source: NetSource<_, u8> = NetSource::new(
+            binary_reader(buf, 1024),
+            Box::new(|frame| match frame {
+                WireFrame::Binary { tag: 1, payload } => Ok(NetPoll::Record(payload[0])),
+                WireFrame::Binary { tag: 2, .. } => Ok(NetPoll::End),
+                _ => Err(NetError::malformed("unexpected frame")),
+            }),
+            NetErrorCell::new(),
+        );
+        let frames = source.frames_in_handle();
+        let mut got = Vec::new();
+        while let Some(v) = source.next() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![10, 20, 30]);
+        assert_eq!(frames.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn net_sink_writes_frames_and_flushes() {
+        let buf: Vec<u8> = Vec::new();
+        let cell = NetErrorCell::new();
+        let mut sink: NetSink<_, u8> = NetSink::new(
+            FrameWriter::new(buf, WireFormat::Binary),
+            Box::new(|v: &u8| WireFrame::Binary {
+                tag: 3,
+                payload: vec![*v],
+            }),
+            cell.clone(),
+        );
+        sink.write(9);
+        sink.write(8);
+        sink.finish();
+        assert_eq!(sink.frames_out_handle().load(Ordering::Relaxed), 2);
+        assert!(cell.get().is_none());
+    }
+
+    #[test]
+    fn net_sink_poisons_on_broken_pipe() {
+        /// A writer that fails every write like a closed socket.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let cell = NetErrorCell::new();
+        let mut sink: NetSink<_, u8> = NetSink::new(
+            FrameWriter::new(Broken, WireFormat::Binary),
+            Box::new(|v: &u8| WireFrame::Binary {
+                tag: 3,
+                payload: vec![*v],
+            }),
+            cell.clone(),
+        );
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sink.write(1)))
+            .expect_err("write to a dead peer must poison");
+        let typed = StageError::from_panic("stage/00_sink", caught);
+        assert_eq!(typed.kind, FailureKind::Disconnect);
+        assert_eq!(cell.get(), Some(NetError::Disconnected));
+    }
+
+    #[test]
+    fn wire_format_parses() {
+        assert_eq!(WireFormat::parse("ndjson"), Some(WireFormat::Ndjson));
+        assert_eq!(WireFormat::parse("binary"), Some(WireFormat::Binary));
+        assert_eq!(WireFormat::parse("msgpack"), None);
+        assert_eq!(WireFormat::Binary.as_str(), "binary");
+    }
+}

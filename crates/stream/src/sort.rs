@@ -37,7 +37,7 @@ const MAX_INSERT_SHIFT: usize = 64;
 /// per pop. A mildly out-of-order record (a delayed tuple, or fine
 /// interleaving across merged sub-streams) pays a binary search plus a
 /// short mid-vector insert. Only a record landing further than
-/// [`MAX_INSERT_SHIFT`] from the tail — the pattern a sequential union
+/// `MAX_INSERT_SHIFT` slots from the tail — the pattern a sequential union
 /// produces when it concatenates whole sub-streams — falls back to a
 /// min-heap, and a release stream-merges the heap with the buffer
 /// prefix. Nothing is ever bulk re-sorted.

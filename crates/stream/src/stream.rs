@@ -2,7 +2,7 @@
 //!
 //! A [`DataStream<T>`] is a *description* of a pipeline, composed
 //! back-to-front: each combinator wraps the eventual downstream stage in
-//! another [`Stage`](crate::stage::Stage). Calling
+//! another [`Stage`]. Calling
 //! [`DataStream::execute_into`] materializes the chain and drives the
 //! source to completion.
 //!
@@ -302,7 +302,7 @@ impl<T: Send + 'static> DataStream<T> {
     }
 
     /// Keyed stateful processing (see
-    /// [`KeyedProcessOperator`](crate::keyed::KeyedProcessOperator)).
+    /// [`KeyedProcessOperator`]).
     pub fn keyed_process<K, S, U>(
         self,
         key_fn: impl FnMut(&T) -> K + Send + 'static,
@@ -498,7 +498,7 @@ impl<T: Send + 'static> DataStream<T> {
     /// which is how "overlapping sub-streams" (Algorithm 1, line 4)
     /// arise. A record with a single membership is *moved* into its
     /// sub-stream; overlapping memberships share one `Arc` and clone
-    /// lazily on entry (see [`Routed`]). Runs sequentially and
+    /// lazily on entry (via the internal `Routed` wrapper). Runs sequentially and
     /// deterministically; see [`DataStream::split_merge_parallel`] for
     /// the threaded variant.
     pub fn split_merge<U: Send + 'static>(

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("example-config") => cmd_example_config(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -57,6 +58,8 @@ USAGE:
   icewafl validate --schema S --input IN.csv --suite SUITE.json
   icewafl profile  --schema S --input IN.csv
   icewafl generate --dataset wearable|airquality[:STATION] --output OUT.csv [--seed N]
+  icewafl serve    [--addr HOST:PORT] [--plans-dir DIR] [--max-sessions N]
+                   [--max-frame-bytes N] [--metrics-json METRICS.json]
   icewafl example-config
 
   --schema S        a built-in schema name (wearable, airquality) or a schema JSON file
@@ -68,6 +71,11 @@ USAGE:
   --metrics-json F  write the run report as JSON to F
   --max-retries N   allow N supervised restarts per failing stage
   --fail-fast       disable restarts even if the config enables them
+
+  serve             stream pollution over TCP: each connection handshakes with a
+                    plan (preloaded by name from --plans-dir, or inlined) and a
+                    schema, streams tuples in, and receives polluted tuples plus
+                    a final run report; SIGINT drains in-flight sessions first
 
 A stage failure (panic, injected fault, deadline) exits non-zero with a
 one-line diagnostic naming the failing stage."
@@ -280,6 +288,49 @@ fn cmd_generate(args: &[String]) -> Result<()> {
     };
     write_csv_file(&output, &schema, &tuples)?;
     println!("generated {} tuples -> {output}", tuples.len());
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<()> {
+    use icewafl::serve::{server::ServeConfig, signal, Server};
+
+    let mut config = ServeConfig::default();
+    if let Some(addr) = flag(args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(dir) = flag(args, "--plans-dir") {
+        config.plans = icewafl::core::PlanCatalog::load_dir(&dir)?;
+        println!(
+            "loaded {} plan(s) from {dir}: {}",
+            config.plans.len(),
+            config.plans.names().join(", ")
+        );
+    }
+    if let Some(n) = flag(args, "--max-sessions") {
+        config.max_sessions = n
+            .parse()
+            .map_err(|_| Error::config(format_args!("bad --max-sessions `{n}`")))?;
+    }
+    if let Some(n) = flag(args, "--max-frame-bytes") {
+        config.max_frame_bytes = n
+            .parse()
+            .map_err(|_| Error::config(format_args!("bad --max-frame-bytes `{n}`")))?;
+    }
+
+    let server = Server::bind(config)?;
+    signal::install();
+    // The exact line the client harness and the CI smoke test parse.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    server.run()?;
+    println!("drained; goodbye");
+
+    if let Some(metrics_path) = flag(args, "--metrics-json") {
+        let json = serde_json::to_string_pretty(&server.registry().snapshot())
+            .map_err(|e| Error::config(format_args!("metrics serialization: {e}")))?;
+        std::fs::write(&metrics_path, json)?;
+        println!("serve metrics -> {metrics_path}");
+    }
     Ok(())
 }
 

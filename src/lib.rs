@@ -20,8 +20,13 @@
 //!   substitute) with metrics and time-series cross-validation;
 //! * [`data`] — synthetic stand-ins for the paper's two evaluation
 //!   datasets, CSV I/O, and imputation;
+//! * [`serve`] — pollution as a network service: a multi-client TCP
+//!   server streaming polluted tuples per-session (`icewafl serve`);
 //! * [`types`] — the shared data model (values, schemas, tuples, civil
 //!   time).
+//!
+//! `ARCHITECTURE.md` in the repository root maps how these crates fit
+//! together and walks a tuple end to end.
 //!
 //! ## Quick start
 //!
@@ -65,6 +70,7 @@ pub use icewafl_core as core;
 pub use icewafl_data as data;
 pub use icewafl_dq as dq;
 pub use icewafl_forecast as forecast;
+pub use icewafl_serve as serve;
 pub use icewafl_stream as stream;
 pub use icewafl_types as types;
 

@@ -373,3 +373,80 @@ fn schema_can_be_loaded_from_file() {
     assert!(stdout(&out).contains("CaloriesBurned"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn serve_smoke_session_then_sigint_drain() {
+    use icewafl::core::plan::LogicalPlan;
+    use icewafl::prelude::*;
+    use icewafl::serve::{client, ClientConfig, Handshake};
+    use std::io::BufRead;
+
+    let dir = temp_dir("serve");
+
+    // Preload one plan: null 20% of `x` values.
+    let plan = LogicalPlan::new(
+        7,
+        vec![vec![PolluterConfig::Standard {
+            name: "null".into(),
+            attributes: vec!["x".into()],
+            error: ErrorConfig::MissingValue,
+            condition: ConditionConfig::Probability { p: 0.2 },
+            pattern: None,
+        }]],
+    );
+    std::fs::create_dir_all(dir.join("plans")).unwrap();
+    std::fs::write(dir.join("plans/nulls.json"), plan.to_json()).unwrap();
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_icewafl"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--plans-dir", "plans"])
+        .current_dir(&dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let addr = loop {
+        let line = lines.next().expect("server announces itself").unwrap();
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+
+    let schema =
+        Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap();
+    let tuples: Vec<Tuple> = (0..200)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp(i * 1000)),
+                Value::Float(i as f64),
+            ])
+        })
+        .collect();
+    let handshake = Handshake {
+        plan: Some("nulls".into()),
+        schema_inline: Some(schema.clone()),
+        ..Handshake::default()
+    };
+    let outcome = client::run_session(&ClientConfig::new(addr, handshake), tuples.clone())
+        .expect("session transport");
+    assert!(outcome.completed(), "session failed: {:?}", outcome.error);
+
+    // Served output matches the same plan run offline in this process.
+    let offline = plan.compile(&schema).unwrap().execute(tuples).unwrap();
+    assert_eq!(outcome.tuples, offline.polluted);
+
+    // SIGINT drains: the server exits 0 and says goodbye.
+    let pid = child.id().to_string();
+    let killed = std::process::Command::new("kill")
+        .args(["-INT", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server exited non-zero after SIGINT");
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(
+        rest.iter().any(|l| l.contains("drained")),
+        "drain message missing: {rest:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,7 @@
 //! Minimal offline stand-in for the `serde_json` crate.
 //!
 //! Maps JSON text to and from the vendored `serde` stub's
-//! [`Content`](serde::Content) tree. Provides the three entry points the
+//! [`Content`] tree. Provides the three entry points the
 //! workspace uses — [`from_str`], [`to_string`], [`to_string_pretty`] —
 //! with serde_json-compatible formatting (compact by default, two-space
 //! indentation when pretty, non-finite floats as `null`).
