@@ -11,7 +11,10 @@
 //! Compare the `pollute_10k` numbers between the two runs. With the
 //! `obs` feature off every counter is a zero-sized no-op, so the second
 //! run is the true zero-instrumentation baseline; the first run pays
-//! the `Arc<AtomicU64>` increments and the 1-in-64 sampled timing.
+//! the `Arc<AtomicU64>` increments, the 1-in-64 sampled timing, and the
+//! *idle* span layer — no `TraceSession` is installed, so every trace
+//! probe costs one relaxed atomic load (the bar covers tracing
+//! compiled in but not subscribed).
 //! Whether metrics are compiled in is printed (and asserted) via
 //! `icewafl_obs::metrics_compiled_in()` so the two runs cannot be
 //! confused.

@@ -602,10 +602,17 @@ fn operator_metrics(label: &str) -> Vec<String> {
 }
 
 fn channel_metrics(label: &str) -> Vec<String> {
-    ["sends", "send_blocks", "send_block_ns", "dropped"]
-        .iter()
-        .map(|m| format!("{label}/{m}"))
-        .collect()
+    [
+        "sends",
+        "send_blocks",
+        "send_block_ns",
+        "recv_waits",
+        "recv_block_ns",
+        "dropped",
+    ]
+    .iter()
+    .map(|m| format!("{label}/{m}"))
+    .collect()
 }
 
 /// Predicts the stage labels the stream runtime will assign. Pipelines
@@ -626,7 +633,7 @@ fn predict_stages(m: usize, strategy: ExecutionStrategy, chaos: bool) -> Vec<Sta
         metrics: {
             let mut v = operator_metrics(&l);
             v.extend(
-                ["late", "late_lag_ms", "buffer_max"]
+                ["late", "late_lag_ms", "buffer_max", "watermark_lag_ms"]
                     .iter()
                     .map(|s| format!("{l}/{s}")),
             );

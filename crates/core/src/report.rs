@@ -105,7 +105,7 @@ impl RunReport {
             }
             for (name, h) in &self.metrics.histograms {
                 s.push_str(&format!(
-                    "  {name}: count={} sum={} mean={:.0}\n",
+                    "  {name}: count={} sum={} mean={:.0} p50={:.0} p95={:.0} p99={:.0}\n",
                     h.count,
                     h.sum,
                     if h.count == 0 {
@@ -113,6 +113,9 @@ impl RunReport {
                     } else {
                         h.sum as f64 / h.count as f64
                     },
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
                 ));
             }
         }
@@ -170,6 +173,24 @@ mod tests {
         assert!(text.contains("missing"));
         assert!(text.contains("fires=4"));
         assert!(!text.contains("restarts"), "zero restarts stay silent");
+    }
+
+    #[test]
+    fn render_includes_latency_quantiles() {
+        let mut report = sample();
+        report.metrics.histograms.insert(
+            "stage/00_map/latency_ns".into(),
+            icewafl_obs::HistogramSnapshot {
+                bounds: vec![100, 200],
+                counts: vec![50, 50, 0],
+                count: 100,
+                sum: 15000,
+            },
+        );
+        let text = report.render();
+        assert!(text.contains("p50="), "quantiles rendered: {text}");
+        assert!(text.contains("p95="));
+        assert!(text.contains("p99="));
     }
 
     #[test]

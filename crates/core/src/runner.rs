@@ -171,6 +171,11 @@ impl PipelineOperator {
         );
         self.pipeline = pipelines.swap_remove(idx);
         ctrl.epoch_gauge.set(epoch);
+        icewafl_obs::trace::instant_with(
+            "epoch_swap",
+            "control",
+            &[("epoch", epoch), ("sub_stream", self.sub_stream as u64)],
+        );
     }
 }
 

@@ -22,6 +22,12 @@
 
 #![warn(missing_docs)]
 
+pub mod telemetry;
+pub mod trace;
+
+pub use telemetry::{MetricsDelta, SeriesPoint, TelemetrySampler};
+pub use trace::{TraceDump, TraceEvent, TraceSession};
+
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -72,6 +78,56 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the bucket
+    /// counts, interpolating linearly within the bucket that contains
+    /// the target rank. The overflow bucket has no upper bound, so a
+    /// quantile landing there is pinned to its lower bound (the last
+    /// configured bound) — a deliberate under-estimate rather than a
+    /// guess. Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.counts.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The (fractional) rank of the target observation.
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (idx, &bucket_count) in self.counts.iter().enumerate() {
+            if bucket_count == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += bucket_count;
+            if (cumulative as f64) < target {
+                continue;
+            }
+            if idx >= self.bounds.len() {
+                // Overflow bucket: pinned to its lower bound.
+                return self.bounds.last().copied().unwrap_or(0) as f64;
+            }
+            let lower = if idx == 0 { 0 } else { self.bounds[idx - 1] };
+            let upper = self.bounds[idx];
+            let into_bucket = (target - before as f64) / bucket_count as f64;
+            return lower as f64 + (upper - lower) as f64 * into_bucket.clamp(0.0, 1.0);
+        }
+        self.bounds.last().copied().unwrap_or(0) as f64
+    }
+
+    /// Estimated median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile (see [`HistogramSnapshot::quantile`]).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile (see [`HistogramSnapshot::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -537,6 +593,59 @@ mod tests {
         assert_eq!(s.count, 6);
         assert_eq!(s.sum, 5 + 10 + 11 + 100 + 101 + 5000);
         assert!((s.mean() - s.sum as f64 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 observations uniform over (0, 100] in a single bucket
+        // with bounds [100, 200]: ranks interpolate linearly.
+        let h = Histogram::with_bounds(&[100, 200]);
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!((s.p50() - 50.0).abs() < 1.0, "p50={}", s.p50());
+        assert!((s.p95() - 95.0).abs() < 1.0, "p95={}", s.p95());
+        assert!((s.quantile(1.0) - 100.0).abs() < 1e-9);
+        assert_eq!(s.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_span_buckets() {
+        // 90 observations <= 10, 10 observations in (10, 100]:
+        // p50 lands in the first bucket, p99 in the second.
+        let h = Histogram::with_bounds(&[10, 100]);
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(50);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() <= 10.0, "p50={}", s.p50());
+        let p99 = s.p99();
+        assert!(p99 > 10.0 && p99 <= 100.0, "p99={p99}");
+        // The interpolated estimate brackets the true p99 (=50).
+        assert!((p99 - 91.0).abs() < 1.0, "p99={p99}");
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_pins_to_lower_bound() {
+        let h = Histogram::with_bounds(&[10, 100]);
+        for _ in 0..100 {
+            h.record(10_000); // all in the overflow bucket
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 100.0);
+        assert_eq!(s.p99(), 100.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let s = Histogram::with_bounds(&[10]).snapshot();
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.quantile(0.7), 0.0);
+        assert_eq!(HistogramSnapshot::default().p99(), 0.0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::protocol::{
     coerce_tuple, decode_server_frame, encode_end_frame, encode_tuple_frame, Handshake,
-    HandshakeReply, ServerEvent, SessionErrorFrame,
+    HandshakeReply, ServerEvent, SessionErrorFrame, TelemetryFrame,
 };
 use icewafl_core::report::RunReport;
 use icewafl_stream::net::{FrameReader, FrameWriter, NetError, WireFormat, WireFrame};
@@ -161,6 +161,9 @@ pub fn run_session(config: &ClientConfig, tuples: Vec<Tuple>) -> Result<SessionO
                     outcome.error = Some(error);
                     break Ok(());
                 }
+                Ok(ServerEvent::Telemetry(_)) => {
+                    break Err(NetError::malformed("telemetry frame in a pollute session"))
+                }
                 Err(e) => break Err(e),
             },
             // The server closing without a tail frame is itself a
@@ -171,6 +174,96 @@ pub fn run_session(config: &ClientConfig, tuples: Vec<Tuple>) -> Result<SessionO
     };
     let _ = writer_thread.join();
     result.map(|()| outcome)
+}
+
+/// Subscribes to a server's telemetry stream and collects up to
+/// `max_frames` [`TelemetryFrame`]s (a `max_frames` of 0 reads until the
+/// server closes the stream — i.e. until it drains).
+///
+/// This is the client side of the `telemetry` session type: handshake
+/// with `session: "telemetry"`, then read frames; nothing is ever sent
+/// after the handshake. Both wire formats work; `format` defaults to
+/// NDJSON when `None`.
+pub fn subscribe_telemetry(
+    addr: &str,
+    format: Option<WireFormat>,
+    max_frames: usize,
+) -> Result<Vec<TelemetryFrame>, NetError> {
+    let mut frames = Vec::new();
+    watch_telemetry(addr, format, max_frames, |f| frames.push(f.clone()))?;
+    Ok(frames)
+}
+
+/// [`subscribe_telemetry`], streaming: `on_frame` runs on each
+/// [`TelemetryFrame`] *as it arrives* instead of buffering the whole
+/// stream. This is what `icewafl top` renders from. Returns the number
+/// of frames observed.
+pub fn watch_telemetry(
+    addr: &str,
+    format: Option<WireFormat>,
+    max_frames: usize,
+    mut on_frame: impl FnMut(&TelemetryFrame),
+) -> Result<u64, NetError> {
+    let stream = TcpStream::connect(addr).map_err(|e| NetError::from_io(&e))?;
+    let _ = stream.set_nodelay(true);
+    let format = format.unwrap_or_default();
+    {
+        let handshake = Handshake {
+            session: Some("telemetry".into()),
+            format: Some(format.as_str().into()),
+            ..Handshake::default()
+        };
+        let mut hs_writer = FrameWriter::new(&stream, WireFormat::Ndjson);
+        let line =
+            serde_json::to_string(&handshake).expect("protocol frames are always serializable");
+        hs_writer.write(&WireFrame::Line(line))?;
+        hs_writer.flush()?;
+    }
+    let mut reader = FrameReader::new(
+        BufReader::new(stream),
+        WireFormat::Ndjson,
+        icewafl_stream::net::DEFAULT_MAX_FRAME_BYTES,
+    );
+    let reply: HandshakeReply = match reader.read()? {
+        Some(WireFrame::Line(line)) => serde_json::from_str(&line)
+            .map_err(|e| NetError::malformed(format!("bad handshake reply: {e}")))?,
+        Some(WireFrame::Binary { .. }) => {
+            return Err(NetError::malformed("binary frame before handshake reply"))
+        }
+        None => return Err(NetError::Disconnected),
+    };
+    if !reply.ok {
+        return Err(NetError::malformed(format!(
+            "telemetry session rejected: {}",
+            reply.error.unwrap_or_default()
+        )));
+    }
+    let mut reader = FrameReader::new(
+        reader.into_inner(),
+        format,
+        icewafl_stream::net::DEFAULT_MAX_FRAME_BYTES,
+    );
+    let mut seen: u64 = 0;
+    loop {
+        match reader.read()? {
+            Some(frame) => match decode_server_frame(frame)? {
+                ServerEvent::Telemetry(f) => {
+                    seen += 1;
+                    on_frame(&f);
+                    if max_frames > 0 && seen >= max_frames as u64 {
+                        return Ok(seen);
+                    }
+                }
+                other => {
+                    return Err(NetError::malformed(format!(
+                        "unexpected frame in a telemetry session: {other:?}"
+                    )))
+                }
+            },
+            // Server drained: a clean end of the telemetry stream.
+            None => return Ok(seen),
+        }
+    }
 }
 
 /// The schema this handshake will run under, when the client can tell:

@@ -32,6 +32,8 @@ pub mod protocol;
 pub mod server;
 pub mod signal;
 
-pub use client::{run_session, ClientConfig, SessionOutcome};
-pub use protocol::{Handshake, HandshakeReply, ServerEvent, SessionErrorFrame};
+pub use client::{run_session, subscribe_telemetry, watch_telemetry, ClientConfig, SessionOutcome};
+pub use protocol::{
+    Handshake, HandshakeReply, ServerEvent, SessionErrorFrame, SessionTelemetry, TelemetryFrame,
+};
 pub use server::{ServeConfig, Server};

@@ -47,6 +47,9 @@ pub const TAG_REPORT: u8 = 4;
 /// Binary frame tag: server → client, a [`SessionErrorFrame`] (JSON
 /// payload).
 pub const TAG_ERROR: u8 = 5;
+/// Binary frame tag: server → client, a periodic [`TelemetryFrame`]
+/// (JSON payload; telemetry sessions only).
+pub const TAG_TELEMETRY: u8 = 6;
 
 /// The first line of every session: what to run and how to talk.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
@@ -66,6 +69,11 @@ pub struct Handshake {
     /// Data wire format: `ndjson` (default) or `binary`.
     #[serde(default)]
     pub format: Option<String>,
+    /// Session type: `pollute` (default) runs a plan over the client's
+    /// tuples; `telemetry` subscribes to periodic [`TelemetryFrame`]s
+    /// instead (no plan or schema required, nothing is sent upstream).
+    #[serde(default)]
+    pub session: Option<String>,
 }
 
 impl Handshake {
@@ -140,6 +148,54 @@ pub struct SessionErrorFrame {
     pub protocol: Option<String>,
 }
 
+/// One active session as seen in a [`TelemetryFrame`]'s session table.
+#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq, Eq)]
+pub struct SessionTelemetry {
+    /// Server-assigned session id.
+    pub id: u64,
+    /// Session type: `pollute` or `telemetry`.
+    pub kind: String,
+    /// Frames received from the session's client so far.
+    #[serde(default)]
+    pub frames_in: u64,
+    /// Frames written to the session's client so far.
+    #[serde(default)]
+    pub frames_out: u64,
+    /// Bytes written to the session's client so far (framing included).
+    #[serde(default)]
+    pub bytes_out: u64,
+    /// Sampled (1-in-64) nanoseconds the session spent encoding output
+    /// frames.
+    #[serde(default)]
+    pub encode_ns: u64,
+    /// Sampled (1-in-64) nanoseconds the session spent blocked writing
+    /// to its socket.
+    #[serde(default)]
+    pub blocked_write_ns: u64,
+}
+
+/// One periodic frame streamed to a `telemetry` session: the latest
+/// registry delta produced by the server's
+/// [`TelemetrySampler`](icewafl_obs::TelemetrySampler) plus a table of
+/// the currently active sessions with their live transfer counters.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct TelemetryFrame {
+    /// Monotonic frame number within this telemetry session, from 1.
+    pub seq: u64,
+    /// Milliseconds since the server started.
+    pub at_ms: u64,
+    /// The server's sampling interval, in milliseconds.
+    pub interval_ms: u64,
+    /// The newest registry delta, if the sampler has ticked since the
+    /// last frame (absent when metrics are compiled out or no tick
+    /// landed in this interval).
+    #[serde(default)]
+    pub delta: Option<icewafl_obs::MetricsDelta>,
+    /// Currently active sessions, ordered by id.
+    #[serde(default)]
+    pub sessions: Vec<SessionTelemetry>,
+}
+
 /// One NDJSON line in the client → server direction.
 #[derive(Serialize, Deserialize, Default)]
 struct ClientLine {
@@ -158,6 +214,8 @@ struct ServerLine {
     report: Option<RunReport>,
     #[serde(default)]
     error: Option<SessionErrorFrame>,
+    #[serde(default)]
+    telemetry: Option<TelemetryFrame>,
 }
 
 /// What the client sees in one server frame.
@@ -169,6 +227,8 @@ pub enum ServerEvent {
     Report(Box<RunReport>),
     /// The session failed with a typed error.
     Error(SessionErrorFrame),
+    /// One periodic telemetry frame (telemetry sessions only).
+    Telemetry(Box<TelemetryFrame>),
 }
 
 /// Restores schema types the untagged NDJSON value encoding cannot
@@ -449,6 +509,20 @@ pub fn encode_error_frame(error: &SessionErrorFrame, format: WireFormat) -> Wire
     }
 }
 
+/// Server → client: one periodic telemetry frame.
+pub fn encode_telemetry_frame(frame: &TelemetryFrame, format: WireFormat) -> WireFrame {
+    match format {
+        WireFormat::Binary => WireFrame::Binary {
+            tag: TAG_TELEMETRY,
+            payload: json_line(frame).into_bytes(),
+        },
+        WireFormat::Ndjson => WireFrame::Line(json_line(&ServerLine {
+            telemetry: Some(frame.clone()),
+            ..ServerLine::default()
+        })),
+    }
+}
+
 /// Server side: interprets one client frame as a record or the end
 /// marker. Anything else — unknown tag, undecodable payload, a
 /// server-direction frame — is [`NetError::Malformed`].
@@ -503,6 +577,16 @@ pub fn decode_server_frame(frame: WireFrame) -> Result<ServerEvent, NetError> {
                 .map_err(|e| NetError::malformed(format!("bad error payload: {e}")))?;
             Ok(ServerEvent::Error(error))
         }
+        WireFrame::Binary {
+            tag: TAG_TELEMETRY,
+            payload,
+        } => {
+            let json = String::from_utf8(payload)
+                .map_err(|_| NetError::malformed("telemetry payload is not UTF-8"))?;
+            let frame: TelemetryFrame = serde_json::from_str(&json)
+                .map_err(|e| NetError::malformed(format!("bad telemetry payload: {e}")))?;
+            Ok(ServerEvent::Telemetry(Box::new(frame)))
+        }
         WireFrame::Binary { tag, .. } => Err(NetError::malformed(format!(
             "unexpected server frame tag {tag}"
         ))),
@@ -515,9 +599,11 @@ pub fn decode_server_frame(frame: WireFrame) -> Result<ServerEvent, NetError> {
                 Ok(ServerEvent::Report(Box::new(r)))
             } else if let Some(e) = parsed.error {
                 Ok(ServerEvent::Error(e))
+            } else if let Some(f) = parsed.telemetry {
+                Ok(ServerEvent::Telemetry(Box::new(f)))
             } else {
                 Err(NetError::malformed(
-                    "server line carries neither tuple, report, nor error",
+                    "server line carries neither tuple, report, error, nor telemetry",
                 ))
             }
         }
@@ -615,6 +701,43 @@ mod tests {
                 other => panic!("error frame decoded as {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn telemetry_frames_round_trip_in_both_formats() {
+        let frame = TelemetryFrame {
+            seq: 3,
+            at_ms: 1500,
+            interval_ms: 250,
+            delta: None,
+            sessions: vec![SessionTelemetry {
+                id: 7,
+                kind: "pollute".into(),
+                frames_in: 100,
+                frames_out: 120,
+                bytes_out: 4096,
+                encode_ns: 900,
+                blocked_write_ns: 40,
+            }],
+        };
+        for format in [WireFormat::Ndjson, WireFormat::Binary] {
+            match decode_server_frame(encode_telemetry_frame(&frame, format)).unwrap() {
+                ServerEvent::Telemetry(back) => {
+                    assert_eq!(back.seq, 3);
+                    assert_eq!(back.interval_ms, 250);
+                    assert_eq!(back.sessions, frame.sessions);
+                }
+                other => panic!("telemetry frame decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_session_type_defaults_to_pollute() {
+        let hs: Handshake = serde_json::from_str(r#"{"plan":"noise"}"#).unwrap();
+        assert!(hs.session.is_none());
+        let hs: Handshake = serde_json::from_str(r#"{"session":"telemetry"}"#).unwrap();
+        assert_eq!(hs.session.as_deref(), Some("telemetry"));
     }
 
     #[test]

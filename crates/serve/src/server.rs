@@ -26,24 +26,35 @@
 
 use crate::protocol::{
     coerce_tuple, decode_client_frame, encode_error_frame, encode_report_frame,
-    encode_stamped_frame, Handshake, HandshakeReply, SessionErrorFrame,
+    encode_stamped_frame, encode_telemetry_frame, Handshake, HandshakeReply, SessionErrorFrame,
+    SessionTelemetry, TelemetryFrame,
 };
 use icewafl_core::plan::PhysicalPlan;
 use icewafl_core::PlanCatalog;
-use icewafl_obs::MetricsRegistry;
+use icewafl_obs::{MetricsRegistry, TelemetrySampler};
 use icewafl_stream::net::{
     FrameReader, FrameWriter, NetErrorCell, NetSink, NetSource, WireFormat, DEFAULT_MAX_FRAME_BYTES,
 };
 use icewafl_types::{Error, Result, StampedTuple};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// How long a telemetry session sleeps per slice while waiting for the
+/// next frame boundary, so shutdown and SIGINT are noticed promptly.
+const TELEMETRY_POLL: Duration = Duration::from_millis(5);
+
+/// Ring capacity handed to the server's [`TelemetrySampler`]: how many
+/// delta frames / series points are retained for late subscribers.
+const SAMPLER_CAPACITY: usize = 256;
 
 /// Configuration for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -59,6 +70,9 @@ pub struct ServeConfig {
     /// Per-frame size cap, bytes. Oversized frames poison the offending
     /// session before any payload is buffered.
     pub max_frame_bytes: usize,
+    /// Interval between registry samples and telemetry frames, in
+    /// milliseconds (clamped to at least 1).
+    pub telemetry_interval_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +82,33 @@ impl Default for ServeConfig {
             plans: PlanCatalog::new(),
             max_sessions: 8,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            telemetry_interval_ms: 250,
+        }
+    }
+}
+
+/// Live transfer counters one session exposes to the telemetry table.
+/// Handles are plain atomics shared with the session's
+/// [`NetSource`]/[`NetSink`], so reading them never touches the session
+/// thread.
+struct SessionHandles {
+    kind: &'static str,
+    frames_in: Arc<AtomicU64>,
+    frames_out: Arc<AtomicU64>,
+    bytes_out: Arc<AtomicU64>,
+    encode_ns: Arc<AtomicU64>,
+    blocked_write_ns: Arc<AtomicU64>,
+}
+
+impl SessionHandles {
+    fn new(kind: &'static str) -> Self {
+        SessionHandles {
+            kind,
+            frames_in: Arc::new(AtomicU64::new(0)),
+            frames_out: Arc::new(AtomicU64::new(0)),
+            bytes_out: Arc::new(AtomicU64::new(0)),
+            encode_ns: Arc::new(AtomicU64::new(0)),
+            blocked_write_ns: Arc::new(AtomicU64::new(0)),
         }
     }
 }
@@ -77,13 +118,68 @@ struct Shared {
     plans: PlanCatalog,
     max_sessions: usize,
     max_frame_bytes: usize,
+    telemetry_interval_ms: u64,
     registry: MetricsRegistry,
     active: AtomicUsize,
+    /// Mirrors the server's shutdown flag so long-lived telemetry
+    /// sessions stop at drain instead of holding the join forever.
+    shutdown: Arc<AtomicBool>,
+    /// When the server started, the zero point of frame `at_ms` stamps.
+    started: Instant,
+    /// Per-session live counters, keyed by session id. Entries appear
+    /// when a handshake is accepted and vanish when the session thread
+    /// exits (see [`SessionEntry`]).
+    sessions: Mutex<BTreeMap<u64, SessionHandles>>,
+    /// The background registry sampler; taken (and thereby joined) at
+    /// drain. `None` after drain or when metrics are compiled out of
+    /// any use.
+    sampler: Mutex<Option<TelemetrySampler>>,
 }
 
 impl Shared {
     fn counter(&self, name: &str) -> icewafl_obs::Counter {
         self.registry.counter(name)
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || crate::signal::triggered()
+    }
+
+    /// A snapshot of the active-session table, ordered by id.
+    fn session_table(&self) -> Vec<SessionTelemetry> {
+        self.sessions
+            .lock()
+            .iter()
+            .map(|(id, h)| SessionTelemetry {
+                id: *id,
+                kind: h.kind.to_string(),
+                frames_in: h.frames_in.load(Ordering::Relaxed),
+                frames_out: h.frames_out.load(Ordering::Relaxed),
+                bytes_out: h.bytes_out.load(Ordering::Relaxed),
+                encode_ns: h.encode_ns.load(Ordering::Relaxed),
+                blocked_write_ns: h.blocked_write_ns.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// Removes a session's row from the telemetry table when its thread
+/// exits, however it exits.
+struct SessionEntry<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl<'a> SessionEntry<'a> {
+    fn register(shared: &'a Shared, id: u64, handles: SessionHandles) -> Self {
+        shared.sessions.lock().insert(id, handles);
+        SessionEntry { shared, id }
+    }
+}
+
+impl Drop for SessionEntry<'_> {
+    fn drop(&mut self) {
+        self.shared.sessions.lock().remove(&self.id);
     }
 }
 
@@ -124,16 +220,28 @@ impl Server {
         registry
             .gauge("serve/max_sessions")
             .set(config.max_sessions as u64);
+        let interval_ms = config.telemetry_interval_ms.max(1);
+        let sampler = TelemetrySampler::start(
+            &registry,
+            Duration::from_millis(interval_ms),
+            SAMPLER_CAPACITY,
+        );
+        let shutdown = Arc::new(AtomicBool::new(false));
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 plans: config.plans,
                 max_sessions: config.max_sessions,
                 max_frame_bytes: config.max_frame_bytes,
+                telemetry_interval_ms: interval_ms,
                 registry,
                 active: AtomicUsize::new(0),
+                shutdown: Arc::clone(&shutdown),
+                started: Instant::now(),
+                sessions: Mutex::new(BTreeMap::new()),
+                sampler: Mutex::new(Some(sampler)),
             }),
-            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown,
             next_session: AtomicU64::new(0),
         })
     }
@@ -189,6 +297,10 @@ impl Server {
         for handle in handles {
             let _ = handle.join();
         }
+        // Join the sampler thread too: after drain the server must leave
+        // no background thread behind (dropping the sampler blocks until
+        // its thread exits).
+        drop(self.shared.sampler.lock().take());
         Ok(())
     }
 
@@ -313,6 +425,35 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
         }
     };
 
+    match hs.session.as_deref() {
+        None | Some("pollute") => {}
+        Some("telemetry") => {
+            let format = match hs.wire_format() {
+                Ok(format) => format,
+                Err(reason) => {
+                    shared.counter("serve/sessions_rejected").inc();
+                    let _ = write_json_line(&tail_stream, &HandshakeReply::rejected(reason));
+                    return;
+                }
+            };
+            let reply = HandshakeReply::accepted(session_id, "telemetry".into(), 0);
+            if write_json_line(&tail_stream, &reply).is_err() {
+                shared.counter("serve/sessions_failed").inc();
+                return;
+            }
+            run_telemetry_session(write_stream, shared, session_id, format);
+            return;
+        }
+        Some(other) => {
+            shared.counter("serve/sessions_rejected").inc();
+            let reply = HandshakeReply::rejected(format!(
+                "unknown session type `{other}` (expected pollute or telemetry)"
+            ));
+            let _ = write_json_line(&tail_stream, &reply);
+            return;
+        }
+    }
+
     let (plan, format) = match resolve(&hs, &shared.plans) {
         Ok(resolved) => resolved,
         Err(reason) => {
@@ -363,6 +504,18 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
     );
     let frames_in = source.frames_in_handle();
     let frames_out = sink.frames_out_handle();
+    let _entry = SessionEntry::register(
+        shared,
+        session_id,
+        SessionHandles {
+            kind: "pollute",
+            frames_in: Arc::clone(&frames_in),
+            frames_out: Arc::clone(&frames_out),
+            bytes_out: sink.bytes_out_handle(),
+            encode_ns: sink.encode_ns_handle(),
+            blocked_write_ns: sink.blocked_write_ns_handle(),
+        },
+    );
 
     let outcome = plan.execute_streaming(source, sink);
 
@@ -407,5 +560,70 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
             let _ = tail.write(&encode_error_frame(&frame, format));
             let _ = tail.flush();
         }
+    }
+}
+
+/// A `telemetry` session: one [`TelemetryFrame`] per sampling interval
+/// until the client disconnects or the server drains. The session
+/// registers itself in the table it reports, so a subscriber always
+/// sees at least its own row.
+fn run_telemetry_session(stream: TcpStream, shared: &Shared, session_id: u64, format: WireFormat) {
+    let handles = SessionHandles::new("telemetry");
+    let frames_out = Arc::clone(&handles.frames_out);
+    let bytes_out = Arc::clone(&handles.bytes_out);
+    let _entry = SessionEntry::register(shared, session_id, handles);
+
+    let mut writer = FrameWriter::new(BufWriter::new(stream), format);
+    let interval = Duration::from_millis(shared.telemetry_interval_ms);
+    let mut seq = 0u64;
+    // Sampler deltas already consumed; new subscribers skip history and
+    // start from the next tick.
+    let mut after_seq = shared
+        .sampler
+        .lock()
+        .as_ref()
+        .and_then(|s| s.latest())
+        .map(|d| d.seq)
+        .unwrap_or(0);
+    loop {
+        // Sleep to the next frame boundary in short slices so drain and
+        // SIGINT are honoured promptly (satellite of the no-leaked-thread
+        // guarantee: a telemetry session must not hold up the join).
+        let deadline = Instant::now() + interval;
+        loop {
+            if shared.stopping() {
+                shared.counter("serve/sessions_completed").inc();
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep((deadline - now).min(TELEMETRY_POLL));
+        }
+        seq += 1;
+        let delta = shared.sampler.lock().as_ref().and_then(|s| {
+            let frames = s.frames_since(after_seq);
+            frames.into_iter().last()
+        });
+        if let Some(d) = &delta {
+            after_seq = d.seq;
+        }
+        let frame = TelemetryFrame {
+            seq,
+            at_ms: shared.started.elapsed().as_millis() as u64,
+            interval_ms: shared.telemetry_interval_ms,
+            delta,
+            sessions: shared.session_table(),
+        };
+        let wire = encode_telemetry_frame(&frame, format);
+        bytes_out.fetch_add(wire.wire_len() as u64, Ordering::Relaxed);
+        if writer.write(&wire).is_err() || writer.flush().is_err() {
+            // The subscriber went away: a normal way to end the session.
+            shared.counter("serve/sessions_completed").inc();
+            return;
+        }
+        frames_out.fetch_add(1, Ordering::Relaxed);
+        shared.counter("serve/telemetry_frames").inc();
     }
 }

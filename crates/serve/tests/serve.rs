@@ -372,6 +372,71 @@ fn concurrent_sessions_with_a_slow_reader_do_not_interfere() {
     }
 }
 
+#[test]
+fn telemetry_session_streams_periodic_frames_with_session_table() {
+    let server = TestServer::start(ServeConfig {
+        telemetry_interval_ms: 25,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // Hold a pollute session open: handshake, feed two tuples, but no
+    // end marker yet — the session stays in the telemetry table while
+    // the subscriber below watches it.
+    let mut pollute = RawClient::connect(&addr);
+    pollute.send_line(&serde_json::to_string(&handshake("ndjson")).unwrap());
+    let reply = pollute.read_line();
+    assert!(reply.contains("\"ok\":true"), "handshake failed: {reply}");
+    pollute.send_line("{\"tuple\":{\"values\":[0,1.0]}}");
+    pollute.send_line("{\"tuple\":{\"values\":[1,2.0]}}");
+
+    // Subscribe for four frames (~100ms at a 25ms interval).
+    let frames = client::subscribe_telemetry(&addr, None, 4).unwrap();
+    assert!(frames.len() >= 2, "got {} frames", frames.len());
+    assert_eq!(frames[0].seq, 1);
+    assert!(frames.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+    assert!(frames.iter().all(|f| f.interval_ms == 25));
+    assert!(frames.windows(2).all(|w| w[1].at_ms >= w[0].at_ms));
+
+    let last = frames.last().unwrap();
+    // The subscriber sees itself, with its own transfer counters
+    // advancing as frames go out.
+    let own = last
+        .sessions
+        .iter()
+        .find(|s| s.kind == "telemetry")
+        .expect("telemetry session lists itself");
+    assert!(own.frames_out >= 1, "telemetry row: {own:?}");
+    assert!(own.bytes_out > 0, "telemetry row: {own:?}");
+    // The held-open pollute session appears with its live counters; the
+    // timing-dependent ones are only read, not asserted.
+    let pollute_row = last
+        .sessions
+        .iter()
+        .find(|s| s.kind == "pollute")
+        .expect("pollute session in the table");
+    assert!(pollute_row.frames_in >= 1, "pollute row: {pollute_row:?}");
+    let _ = pollute_row.bytes_out + pollute_row.encode_ns + pollute_row.blocked_write_ns;
+
+    // With metrics compiled in, the sampler fed at least one registry
+    // delta across the observed window.
+    #[cfg(feature = "obs")]
+    assert!(
+        frames.iter().any(|f| f.delta.is_some()),
+        "no sampler delta in any frame"
+    );
+
+    // Finish the pollute session cleanly.
+    pollute.send_line("{\"end\":true}");
+    loop {
+        let line = pollute.read_line();
+        assert!(!line.is_empty(), "server closed without a report");
+        if line.contains("\"report\"") && !line.contains("\"report\":null") {
+            break;
+        }
+    }
+}
+
 mod codec_properties {
     use icewafl_serve::protocol::{decode_stamped, decode_tuple, encode_stamped, encode_tuple};
     use icewafl_types::{StampedTuple, Timestamp, Tuple, Value};

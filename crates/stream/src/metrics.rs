@@ -69,6 +69,15 @@ pub struct ChannelMetrics {
     pub send_blocks: Counter,
     /// Time spent blocked per backpressure event, in nanoseconds.
     pub send_block_ns: Histogram,
+    /// Sampled receive waits on the consumer side (1-in-64, mirroring
+    /// operator latency sampling).
+    pub recv_waits: Counter,
+    /// Sampled time the consumer spent waiting in `recv`, in
+    /// nanoseconds. Near-zero entries mean the producer keeps the
+    /// channel full; large entries mean the consumer is starved —
+    /// together with [`ChannelMetrics::send_block_ns`] this attributes
+    /// blocked time to the send or the recv side of every boundary.
+    pub recv_block_ns: Histogram,
     /// Elements dropped because the consumer was gone.
     pub dropped: Counter,
 }
@@ -81,6 +90,11 @@ impl ChannelMetrics {
             send_blocks: registry.counter(&format!("{label}/send_blocks")),
             send_block_ns: registry.histogram(
                 &format!("{label}/send_block_ns"),
+                icewafl_obs::LATENCY_BOUNDS_NS,
+            ),
+            recv_waits: registry.counter(&format!("{label}/recv_waits")),
+            recv_block_ns: registry.histogram(
+                &format!("{label}/recv_block_ns"),
                 icewafl_obs::LATENCY_BOUNDS_NS,
             ),
             dropped: registry.counter(&format!("{label}/dropped")),
@@ -105,6 +119,10 @@ pub struct SorterMetrics {
     pub late_lag_ms: Histogram,
     /// High-water mark of the sorter's reorder buffer occupancy.
     pub buffer_max: Gauge,
+    /// How far the current watermark trails the freshest event time
+    /// seen, in milliseconds — sampled by the telemetry layer into a
+    /// watermark-lag time series.
+    pub watermark_lag_ms: Gauge,
 }
 
 impl SorterMetrics {
@@ -115,6 +133,7 @@ impl SorterMetrics {
             late_lag_ms: registry
                 .histogram(&format!("{label}/late_lag_ms"), icewafl_obs::LAG_BOUNDS_MS),
             buffer_max: registry.gauge(&format!("{label}/buffer_max")),
+            watermark_lag_ms: registry.gauge(&format!("{label}/watermark_lag_ms")),
         }
     }
 

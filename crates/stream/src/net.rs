@@ -190,6 +190,18 @@ pub enum WireFrame {
     Line(String),
 }
 
+impl WireFrame {
+    /// Bytes this frame occupies on the wire, including framing overhead
+    /// (the `[tag][len]` header for binary frames, the trailing newline
+    /// for NDJSON lines).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            WireFrame::Binary { payload, .. } => 1 + 4 + payload.len(),
+            WireFrame::Line(line) => line.len() + 1,
+        }
+    }
+}
+
 /// Reads [`WireFrame`]s of one format from a buffered byte stream,
 /// enforcing a per-frame size cap *before* buffering payloads.
 pub struct FrameReader<R> {
@@ -435,7 +447,18 @@ pub struct NetSink<W, T> {
     encode: EncodeFn<T>,
     error: NetErrorCell,
     frames_out: Arc<AtomicU64>,
+    bytes_out: Arc<AtomicU64>,
+    encode_ns: Arc<AtomicU64>,
+    blocked_write_ns: Arc<AtomicU64>,
+    /// Frames written, kept locally for the 1-in-64 timing decision.
+    seen: u64,
 }
+
+/// Every 64th frame through a [`NetSink`] has its encode and write
+/// wall-clock timed (matching the stage latency sampling policy), so the
+/// `encode_ns` / `blocked_write_ns` counters attribute where a serve
+/// session spends time without paying `Instant::now` per frame.
+const SINK_SAMPLE_MASK: u64 = 63;
 
 impl<W: Write + Send, T> NetSink<W, T> {
     /// A sink encoding records with `encode` into `writer`; transport
@@ -446,6 +469,10 @@ impl<W: Write + Send, T> NetSink<W, T> {
             encode,
             error,
             frames_out: Arc::new(AtomicU64::new(0)),
+            bytes_out: Arc::new(AtomicU64::new(0)),
+            encode_ns: Arc::new(AtomicU64::new(0)),
+            blocked_write_ns: Arc::new(AtomicU64::new(0)),
+            seen: 0,
         }
     }
 
@@ -453,6 +480,24 @@ impl<W: Write + Send, T> NetSink<W, T> {
     /// metrics.
     pub fn frames_out_handle(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.frames_out)
+    }
+
+    /// A live counter of bytes written so far, including framing
+    /// overhead.
+    pub fn bytes_out_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.bytes_out)
+    }
+
+    /// Sampled (1-in-64) nanoseconds spent in the encode closure.
+    pub fn encode_ns_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.encode_ns)
+    }
+
+    /// Sampled (1-in-64) nanoseconds spent inside `write` on the
+    /// underlying transport — time blocked on the peer (or the kernel
+    /// send buffer) rather than on encoding.
+    pub fn blocked_write_ns_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.blocked_write_ns)
     }
 
     fn fail(&self, error: NetError) -> ! {
@@ -464,8 +509,29 @@ impl<W: Write + Send, T> NetSink<W, T> {
 
 impl<W: Write + Send, T: Send> Sink<T> for NetSink<W, T> {
     fn write(&mut self, record: T) {
-        let frame = (self.encode)(&record);
-        if let Err(e) = self.writer.write(&frame) {
+        let sampled = self.seen & SINK_SAMPLE_MASK == 0;
+        self.seen += 1;
+        let frame = if sampled {
+            let start = std::time::Instant::now();
+            let frame = (self.encode)(&record);
+            self.encode_ns
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            frame
+        } else {
+            (self.encode)(&record)
+        };
+        self.bytes_out
+            .fetch_add(frame.wire_len() as u64, Ordering::Relaxed);
+        let result = if sampled {
+            let start = std::time::Instant::now();
+            let result = self.writer.write(&frame);
+            self.blocked_write_ns
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            result
+        } else {
+            self.writer.write(&frame)
+        };
+        if let Err(e) = result {
             self.fail(e);
         }
         self.frames_out.fetch_add(1, Ordering::Relaxed);
@@ -645,6 +711,8 @@ mod tests {
         sink.write(8);
         sink.finish();
         assert_eq!(sink.frames_out_handle().load(Ordering::Relaxed), 2);
+        // Two binary frames of 1 payload byte: (1 tag + 4 len + 1) each.
+        assert_eq!(sink.bytes_out_handle().load(Ordering::Relaxed), 12);
         assert!(cell.get().is_none());
     }
 

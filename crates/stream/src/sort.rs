@@ -11,6 +11,7 @@
 
 use crate::metrics::SorterMetrics;
 use crate::operator::{Collector, Operator};
+use icewafl_obs::trace;
 use icewafl_types::Timestamp;
 use std::collections::BinaryHeap;
 
@@ -57,6 +58,8 @@ pub struct EventTimeSorter<T, F> {
     /// record, so such records go to the heap too (keeps ties stable).
     overflow_max: Timestamp,
     last_wm: Timestamp,
+    /// Freshest event time seen, for the watermark-lag gauge.
+    max_event_ts: Timestamp,
     metrics: SorterMetrics,
     /// Buffer-occupancy peak staged locally; pushed to the shared gauge
     /// only at watermark/end boundaries (a per-record atomic `set_max`
@@ -110,6 +113,7 @@ where
             seq: 0,
             overflow_max: Timestamp::MIN,
             last_wm: Timestamp::MIN,
+            max_event_ts: Timestamp::MIN,
             metrics: SorterMetrics::detached(),
             buffer_peak: 0,
         }
@@ -172,6 +176,9 @@ where
 {
     fn on_element(&mut self, record: T, _out: &mut dyn Collector<T>) {
         let ts = (self.extract)(&record);
+        if ts > self.max_event_ts {
+            self.max_event_ts = ts;
+        }
         // A record at or below the current watermark broke the
         // watermark's promise: it is late. It is never dropped — it goes
         // into the buffer and surfaces out of order downstream — but it
@@ -214,12 +221,33 @@ where
         if wm > self.last_wm {
             self.last_wm = wm;
         }
+        // How far the watermark trails the freshest event time seen —
+        // the live reorder-latency signal the telemetry sampler turns
+        // into a time series. The end-of-stream `W(MAX)` sentinel and
+        // the pre-first-record state are excluded.
+        if self.max_event_ts != Timestamp::MIN && wm != Timestamp::MAX {
+            self.metrics
+                .watermark_lag_ms
+                .set(self.max_event_ts.0.saturating_sub(wm.0).max(0) as u64);
+        }
+        let held = self.buffered() as u64;
+        let mut span = trace::span("sorter_release", "stage");
+        if let Some(s) = span.as_mut() {
+            s.arg("held", held);
+        }
         self.release_up_to(wm, out);
+        drop(span);
         self.metrics.buffer_max.set_max(self.buffer_peak);
     }
 
     fn on_end(&mut self, out: &mut dyn Collector<T>) {
+        let held = self.buffered() as u64;
+        let mut span = trace::span("sorter_release", "stage");
+        if let Some(s) = span.as_mut() {
+            s.arg("held", held);
+        }
         self.release_up_to(Timestamp::MAX, out);
+        drop(span);
         self.metrics.buffer_max.set_max(self.buffer_peak);
     }
 
@@ -314,6 +342,24 @@ mod tests {
         assert_eq!(snap.counter("sorter/late"), 1);
         assert_eq!(snap.histogram("sorter/late_lag_ms").unwrap().sum, 2);
         assert_eq!(snap.gauge("sorter/buffer_max"), 2);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn tracks_watermark_lag_behind_freshest_event() {
+        use icewafl_obs::MetricsRegistry;
+        let r = MetricsRegistry::new();
+        let mut s = EventTimeSorter::new(|r: &(i64, &'static str)| Timestamp(r.0))
+            .with_metrics(SorterMetrics::register(&r, "sorter"));
+        let mut out = Vec::new();
+        s.on_element((10, "a"), &mut out);
+        s.on_watermark(Timestamp(4), &mut out);
+        assert_eq!(r.snapshot().gauge("sorter/watermark_lag_ms"), 6);
+        s.on_watermark(Timestamp(10), &mut out);
+        assert_eq!(r.snapshot().gauge("sorter/watermark_lag_ms"), 0);
+        // The end-of-stream sentinel release leaves the gauge untouched.
+        s.on_end(&mut out);
+        assert_eq!(r.snapshot().gauge("sorter/watermark_lag_ms"), 0);
     }
 
     #[cfg(test)]

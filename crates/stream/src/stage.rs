@@ -10,7 +10,7 @@ use crate::metrics::{ChannelMetrics, StageMetrics, SAMPLE_MASK};
 use crate::operator::{Collector, Operator};
 use crate::sink::Sink;
 use crossbeam::channel::{Sender, TrySendError};
-use icewafl_obs::Stopwatch;
+use icewafl_obs::{trace, Stopwatch};
 use icewafl_types::Timestamp;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -218,6 +218,10 @@ where
                         out: &mut self.out_pending,
                     };
                     if sampled {
+                        // Sampled records double as trace sample points:
+                        // when a trace session is live they emit a span
+                        // covering the operator callback.
+                        let _span = trace::span(&self.label, "stage");
                         let sw = Stopwatch::start();
                         let res =
                             catch_unwind(AssertUnwindSafe(move || op.on_element(r, &mut coll)));
@@ -249,10 +253,22 @@ where
                         out: &mut self.out_pending,
                     };
                     if sampled {
+                        let mut span = trace::span(&self.label, "stage");
+                        if let Some(s) = span.as_mut() {
+                            s.arg("batch", len);
+                        }
                         let sw = Stopwatch::start();
                         let res =
                             catch_unwind(AssertUnwindSafe(move || op.on_batch(batch, &mut coll)));
-                        self.metrics.latency_ns.record(sw.elapsed_ns());
+                        let elapsed = sw.elapsed_ns();
+                        // One histogram entry per 1-in-64 sample point the
+                        // batch covers (a frame larger than the sampling
+                        // period spans several), keeping the sample *count*
+                        // batch-size invariant.
+                        let points = (self.seen - 1 - next_sample) / (SAMPLE_MASK + 1) + 1;
+                        for _ in 0..points {
+                            self.metrics.latency_ns.record(elapsed);
+                        }
                         res
                     } else {
                         catch_unwind(AssertUnwindSafe(move || op.on_batch(batch, &mut coll)))
@@ -371,16 +387,27 @@ pub(crate) fn send_metered<T: Send>(
         StreamElement::Batch(b) => b.len() as u64,
         _ => 1,
     };
+    // Batch frames are rare enough (one per `batch_size` records) that a
+    // flush span per frame is affordable whenever a trace session is live.
+    let mut flush_span = match &element {
+        StreamElement::Batch(_) => trace::span("batch_flush", "channel"),
+        _ => None,
+    };
+    if let Some(s) = flush_span.as_mut() {
+        s.arg("records", units);
+    }
     metrics.sends.add(units);
     match tx.try_send(element) {
         Ok(()) => {}
         Err(TrySendError::Full(element)) => {
             metrics.send_blocks.inc();
+            let block_span = trace::span("blocked_send", "backpressure");
             let sw = Stopwatch::start();
             if tx.send(element).is_err() {
                 metrics.dropped.add(units);
             }
             metrics.send_block_ns.record(sw.elapsed_ns());
+            drop(block_span);
         }
         Err(TrySendError::Disconnected(_)) => {
             metrics.dropped.add(units);

@@ -19,7 +19,7 @@
 use crate::element::StreamElement;
 use crate::fault::{FailureCell, FailureKind, PipelineError, StageError};
 use crate::keyed::KeyedProcessOperator;
-use crate::metrics::{ChannelMetrics, SorterMetrics, StageMetrics};
+use crate::metrics::{ChannelMetrics, SorterMetrics, StageMetrics, SAMPLE_MASK};
 use crate::operator::{
     Collector, FilterOperator, FlatMapOperator, InspectOperator, MapOperator, Operator,
 };
@@ -33,7 +33,7 @@ use crate::stage::{
 use crate::watermark::WatermarkStrategy;
 use crate::window::{MicroBatcher, TumblingWindow, WindowPane};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use icewafl_obs::MetricsRegistry;
+use icewafl_obs::{MetricsRegistry, Stopwatch};
 use icewafl_types::{Duration, Timestamp};
 use parking_lot::Mutex;
 use std::hash::Hash;
@@ -114,6 +114,23 @@ impl ExecutionContext {
                     .record(StageError::from_panic("worker", panic));
             }
         }
+    }
+}
+
+/// Receives one element, tracing every 64th wait as a `recv_wait`
+/// span — blocked-time attribution for channel edges (split-router
+/// replays) that have no [`ChannelMetrics`] of their own. `None` means
+/// the channel disconnected.
+fn sampled_recv<T>(rx: &Receiver<T>, recvs: &mut u64) -> Option<T> {
+    let sampled = *recvs & SAMPLE_MASK == 0;
+    *recvs += 1;
+    if sampled {
+        let span = icewafl_obs::trace::span("recv_wait", "backpressure");
+        let received = rx.recv().ok();
+        drop(span);
+        received
+    } else {
+        rx.recv().ok()
     }
 }
 
@@ -204,7 +221,11 @@ impl<T: Send + 'static> DataStream<T> {
                 let failures = ctx.failure_cell();
                 Box::new(move || {
                     let mut got_terminal = false;
-                    for element in rx {
+                    let mut recvs: u64 = 0;
+                    loop {
+                        let Some(element) = sampled_recv(&rx, &mut recvs) else {
+                            break;
+                        };
                         let terminal = element.is_terminal();
                         down.push(element);
                         if terminal {
@@ -242,7 +263,11 @@ impl<T: Send + 'static> DataStream<T> {
                 let failures = ctx.failure_cell();
                 Box::new(move || {
                     let mut got_terminal = false;
-                    for element in rx {
+                    let mut recvs: u64 = 0;
+                    loop {
+                        let Some(element) = sampled_recv(&rx, &mut recvs) else {
+                            break;
+                        };
                         let terminal = element.is_terminal();
                         down.push(element.map(Routed::into_owned));
                         if terminal {
@@ -380,12 +405,34 @@ impl<T: Send + 'static> DataStream<T> {
                 let mut down = down;
                 let failures = ctx.failure_cell();
                 let worker_label = label.clone();
+                let worker_metrics = metrics.clone();
                 let handle = std::thread::spawn(move || {
                     // Stages catch their own panics; this outer guard only
                     // fires if the protocol itself breaks, and still
                     // converts the panic instead of killing the thread.
                     let result = catch_unwind(AssertUnwindSafe(move || {
-                        for element in rx {
+                        // Every 64th receive is wall-clock timed (mirroring
+                        // operator latency sampling): near-zero waits mean
+                        // the producer keeps the channel full, large waits
+                        // mean this worker is starved. Together with the
+                        // producer-side `send_block_ns` this attributes
+                        // blocked time to either end of the boundary.
+                        let mut recvs: u64 = 0;
+                        loop {
+                            let sampled = recvs & SAMPLE_MASK == 0;
+                            recvs += 1;
+                            let received = if sampled {
+                                let span = icewafl_obs::trace::span("recv_wait", "backpressure");
+                                let sw = Stopwatch::start();
+                                let received = rx.recv();
+                                worker_metrics.recv_block_ns.record(sw.elapsed_ns());
+                                worker_metrics.recv_waits.inc();
+                                drop(span);
+                                received
+                            } else {
+                                rx.recv()
+                            };
+                            let Ok(element) = received else { break };
                             let terminal = element.is_terminal();
                             down.push(element);
                             if terminal {
@@ -1146,7 +1193,12 @@ mod tests {
             .unwrap();
         assert_eq!(out.len(), 100);
         // 100 records + the final W(MAX) + End = 102 elements offered.
-        assert_eq!(registry.snapshot().counter("stage/00_pipelined/sends"), 102);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("stage/00_pipelined/sends"), 102);
+        // The worker samples its first receive, so any traffic at all
+        // records at least one consumer-side wait.
+        assert!(snap.counter("stage/00_pipelined/recv_waits") >= 1);
+        assert!(snap.histogram("stage/00_pipelined/recv_block_ns").is_some());
     }
 
     #[cfg(feature = "obs")]

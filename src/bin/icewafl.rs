@@ -28,6 +28,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("example-config") => cmd_example_config(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -55,11 +56,14 @@ USAGE:
                    [--clean CLEAN.csv] [--log LOG.json] [--seed N] [--parallel]
                    [--batch-size N] [--explain] [--report]
                    [--metrics-json METRICS.json] [--max-retries N] [--fail-fast]
+                   [--trace-out TRACE.json]
   icewafl validate --schema S --input IN.csv --suite SUITE.json
   icewafl profile  --schema S --input IN.csv
   icewafl generate --dataset wearable|airquality[:STATION] --output OUT.csv [--seed N]
   icewafl serve    [--addr HOST:PORT] [--plans-dir DIR] [--max-sessions N]
                    [--max-frame-bytes N] [--metrics-json METRICS.json]
+                   [--telemetry-interval-ms N]
+  icewafl top      HOST:PORT [--frames N] [--plain]
   icewafl example-config
 
   --schema S        a built-in schema name (wearable, airquality) or a schema JSON file
@@ -71,11 +75,20 @@ USAGE:
   --metrics-json F  write the run report as JSON to F
   --max-retries N   allow N supervised restarts per failing stage
   --fail-fast       disable restarts even if the config enables them
+  --trace-out F     capture a Chrome trace of the run (stage spans, backpressure
+                    blocking, epoch swaps) — open F in Perfetto or chrome://tracing
 
   serve             stream pollution over TCP: each connection handshakes with a
                     plan (preloaded by name from --plans-dir, or inlined) and a
                     schema, streams tuples in, and receives polluted tuples plus
-                    a final run report; SIGINT drains in-flight sessions first
+                    a final run report; SIGINT drains in-flight sessions first;
+                    --telemetry-interval-ms sets the sampling cadence of the
+                    telemetry stream (default 250)
+
+  top               watch a running server: subscribe to its telemetry stream
+                    and render a refreshing table of sessions and hot metrics
+                    (--frames N stops after N frames, --plain skips the screen
+                    clearing between frames)
 
 A stage failure (panic, injected fault, deadline) exits non-zero with a
 one-line diagnostic naming the failing stage."
@@ -162,9 +175,31 @@ fn cmd_pollute(args: &[String]) -> Result<()> {
     let output = require(args, "--output")?;
     let tuples = load_tuples(&input, &schema)?;
     let n = tuples.len();
+    // Tracing brackets exactly the execution: spans are only recorded
+    // while the run is in flight, so the export below is one run's
+    // timeline.
+    let trace_out = flag(args, "--trace-out");
+    let trace = trace_out
+        .as_deref()
+        .and_then(|_| icewafl::obs::TraceSession::start(1 << 20));
     // Supervised even at 0 retries: a failing stage then surfaces as a
     // one-line `icewafl: pipeline failed …` diagnostic and exit code 1.
     let out = physical.execute_supervised(tuples)?;
+    if let Some(path) = &trace_out {
+        let dump = trace
+            .map(icewafl::obs::TraceSession::finish)
+            .unwrap_or_default();
+        let file =
+            File::create(path).map_err(|e| Error::Io(format!("cannot create `{path}`: {e}")))?;
+        let mut w = BufWriter::new(file);
+        dump.write_chrome_trace(&mut w)?;
+        w.flush()?;
+        println!(
+            "trace: {} event(s), {} dropped -> {path}",
+            dump.events.len(),
+            dump.dropped
+        );
+    }
 
     let dirty: Vec<Tuple> = out.polluted.iter().map(|t| t.tuple.clone()).collect();
     write_csv_file(&output, &schema, &dirty)?;
@@ -316,6 +351,11 @@ fn cmd_serve(args: &[String]) -> Result<()> {
             .parse()
             .map_err(|_| Error::config(format_args!("bad --max-frame-bytes `{n}`")))?;
     }
+    if let Some(n) = flag(args, "--telemetry-interval-ms") {
+        config.telemetry_interval_ms = n
+            .parse()
+            .map_err(|_| Error::config(format_args!("bad --telemetry-interval-ms `{n}`")))?;
+    }
 
     let server = Server::bind(config)?;
     signal::install();
@@ -332,6 +372,91 @@ fn cmd_serve(args: &[String]) -> Result<()> {
         println!("serve metrics -> {metrics_path}");
     }
     Ok(())
+}
+
+fn cmd_top(args: &[String]) -> Result<()> {
+    use icewafl::serve::client;
+
+    let addr = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .ok_or_else(|| {
+            Error::config(format_args!(
+                "usage: icewafl top HOST:PORT [--frames N] [--plain]"
+            ))
+        })?;
+    let frames: usize = match flag(args, "--frames") {
+        Some(n) => n
+            .parse()
+            .map_err(|_| Error::config(format_args!("bad --frames `{n}`")))?,
+        // 0 = watch until the server drains.
+        None => 0,
+    };
+    let plain = present(args, "--plain");
+    let seen = client::watch_telemetry(&addr, None, frames, |frame| {
+        if !plain {
+            // Clear the screen and home the cursor: a refreshing table.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top_frame(frame));
+        std::io::stdout().flush().ok();
+    })
+    .map_err(|e| Error::Io(format!("telemetry stream from {addr}: {e}")))?;
+    if seen == 0 {
+        println!("no telemetry frames received before the server drained");
+    }
+    Ok(())
+}
+
+/// One `icewafl top` screen: the session table plus the metrics that
+/// moved during the last sampling interval.
+fn render_top_frame(f: &icewafl::serve::TelemetryFrame) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "icewafl top — frame {} at {} ms (every {} ms)",
+        f.seq, f.at_ms, f.interval_ms
+    );
+    let _ = writeln!(out, "sessions ({}):", f.sessions.len());
+    let _ = writeln!(
+        out,
+        "  {:>4}  {:<10} {:>10} {:>11} {:>12} {:>11} {:>17}",
+        "id", "kind", "frames_in", "frames_out", "bytes_out", "encode_ms", "blocked_write_ms"
+    );
+    for s in &f.sessions {
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:<10} {:>10} {:>11} {:>12} {:>11.3} {:>17.3}",
+            s.id,
+            s.kind,
+            s.frames_in,
+            s.frames_out,
+            s.bytes_out,
+            s.encode_ns as f64 / 1e6,
+            s.blocked_write_ns as f64 / 1e6
+        );
+    }
+    let Some(delta) = &f.delta else {
+        return out;
+    };
+    let mut hot: Vec<_> = delta.deltas.iter().collect();
+    hot.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    if !hot.is_empty() {
+        let _ = writeln!(out, "hot counters (change this tick):");
+        for (name, d) in hot.into_iter().take(10) {
+            let rate = *d as f64 * 1000.0 / delta.interval_ms.max(1) as f64;
+            let _ = writeln!(out, "  {name:<44} +{d:>10}  ({rate:>10.1}/s)");
+        }
+    }
+    if !delta.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, v) in delta.gauges.iter().take(10) {
+            let _ = writeln!(out, "  {name:<44} {v:>10}");
+        }
+    }
+    out
 }
 
 fn cmd_example_config() -> Result<()> {

@@ -22,6 +22,9 @@
 //!   datasets, CSV I/O, and imputation;
 //! * [`serve`] — pollution as a network service: a multi-client TCP
 //!   server streaming polluted tuples per-session (`icewafl serve`);
+//! * [`obs`] — metrics, sampled spans with a Chrome-trace exporter
+//!   (`icewafl pollute --trace-out`), and the live telemetry sampler
+//!   behind serve's `telemetry` sessions and `icewafl top`;
 //! * [`types`] — the shared data model (values, schemas, tuples, civil
 //!   time).
 //!
@@ -70,6 +73,7 @@ pub use icewafl_core as core;
 pub use icewafl_data as data;
 pub use icewafl_dq as dq;
 pub use icewafl_forecast as forecast;
+pub use icewafl_obs as obs;
 pub use icewafl_serve as serve;
 pub use icewafl_stream as stream;
 pub use icewafl_types as types;

@@ -375,6 +375,126 @@ fn schema_can_be_loaded_from_file() {
 }
 
 #[test]
+fn pollute_trace_out_emits_perfetto_loadable_chrome_trace() {
+    let dir = temp_dir("trace");
+    icewafl(
+        &[
+            "generate",
+            "--dataset",
+            "wearable",
+            "--output",
+            "clean.csv",
+            "--seed",
+            "1",
+        ],
+        &dir,
+    );
+    let cfg = icewafl(&["example-config"], &dir);
+    std::fs::write(dir.join("scenario.json"), &cfg.stdout).unwrap();
+    let out = icewafl(
+        &[
+            "pollute",
+            "--schema",
+            "wearable",
+            "--config",
+            "scenario.json",
+            "--input",
+            "clean.csv",
+            "--output",
+            "dirty.csv",
+            "--seed",
+            "9",
+            "--trace-out",
+            "trace.json",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("trace:"), "{}", stdout(&out));
+
+    // The export is the Chrome trace-event object form: parseable JSON
+    // with a traceEvents array, which is what Perfetto loads.
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("trace.json")).unwrap()).unwrap();
+    let events = trace["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty(), "trace captured no events");
+    for ev in events {
+        assert!(ev["name"].as_str().is_some());
+        assert!(ev["ph"].as_str().is_some());
+        assert!(ev["ts"].as_f64().is_some());
+    }
+
+    // Sampled stage spans from the pipeline's own stages...
+    assert!(
+        events.iter().any(|e| {
+            e["ph"].as_str() == Some("X")
+                && e["cat"].as_str() == Some("stage")
+                && e["name"].as_str().is_some_and(|n| n.starts_with("stage/"))
+        }),
+        "no stage span in the trace"
+    );
+    // ...and blocked-time attribution on the channel edges (the first
+    // receive of every stage worker is always sampled).
+    assert!(
+        events
+            .iter()
+            .any(|e| e["cat"].as_str() == Some("backpressure")),
+        "no backpressure attribution in the trace"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn top_renders_a_session_table_from_a_live_server() {
+    use std::io::BufRead;
+
+    let dir = temp_dir("top");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_icewafl"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--telemetry-interval-ms",
+            "25",
+        ])
+        .current_dir(&dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let addr = loop {
+        let line = lines.next().expect("server announces itself").unwrap();
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+
+    // --plain keeps the output appendable (no ANSI clears), --frames
+    // bounds the watch so the test terminates.
+    let out = icewafl(&["top", &addr, "--frames", "2", "--plain"], &dir);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("icewafl top — frame 1"), "{text}");
+    assert!(text.contains("icewafl top — frame 2"), "{text}");
+    assert!(
+        text.contains("sessions (") && text.contains("frames_out"),
+        "{text}"
+    );
+    // The watcher's own session shows up in the table it renders.
+    assert!(text.contains("telemetry"), "{text}");
+
+    let pid = child.id().to_string();
+    let killed = std::process::Command::new("kill")
+        .args(["-INT", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server exited non-zero after SIGINT");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_smoke_session_then_sigint_drain() {
     use icewafl::core::plan::LogicalPlan;
     use icewafl::prelude::*;

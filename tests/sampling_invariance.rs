@@ -1,0 +1,50 @@
+//! Pins the claim that 1-in-64 latency sampling is **batch-size
+//! invariant**: shipping records across a thread boundary in larger
+//! [`StreamElement::Batch`] frames changes how many operator callbacks
+//! run, but not how many latency samples land in the histogram — the
+//! runtime records one entry per 1-in-64 *record* sample point, whether
+//! a frame covers zero, one, or several of them.
+
+use icewafl::obs::MetricsRegistry;
+use icewafl::stream::DataStream;
+
+const RECORDS: i64 = 4096;
+
+/// Runs the same map pipeline behind a batched thread boundary and
+/// returns how many latency samples the map stage recorded.
+fn sampled_count(batch_size: usize) -> u64 {
+    let registry = MetricsRegistry::new();
+    let out = DataStream::from_vec((0..RECORDS).collect::<Vec<_>>())
+        .pipelined_batched(8, batch_size)
+        .map(|x| x + 1)
+        .collect_with_registry(&registry)
+        .unwrap();
+    assert_eq!(out.len(), RECORDS as usize, "batch_size {batch_size}");
+    registry
+        .snapshot()
+        .histogram("stage/00_map/latency_ns")
+        .map(|h| h.count)
+        .unwrap_or(0)
+}
+
+#[test]
+fn latency_sampling_is_batch_size_invariant() {
+    if !icewafl::obs::metrics_compiled_in() {
+        return;
+    }
+    // 4096 records → one sample point every 64 records = 64 entries,
+    // regardless of how records are framed. batch 64 aligns one point
+    // per frame; batch 256 spans four points per frame; batch 1 is the
+    // per-record path. A small tolerance absorbs edge effects at the
+    // stream tail — anything larger would mean sampling density drifts
+    // with the transport framing.
+    let expected = (RECORDS / 64) as u64;
+    for batch_size in [1usize, 64, 256] {
+        let count = sampled_count(batch_size);
+        let drift = count.abs_diff(expected);
+        assert!(
+            drift <= 2,
+            "batch_size {batch_size}: {count} samples, expected {expected} ± 2"
+        );
+    }
+}
