@@ -79,6 +79,7 @@ fn bench_substream_count(c: &mut Criterion) {
                 .collect(),
             supervision: None,
             chaos: None,
+            checkpoint: None,
             execution: None,
         };
         group.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {
@@ -111,6 +112,7 @@ fn bench_parallelism(c: &mut Criterion) {
             .collect(),
         supervision: None,
         chaos: None,
+        checkpoint: None,
         execution: None,
     };
     let mut group = c.benchmark_group("substream_parallelism");
@@ -154,6 +156,7 @@ fn bench_batch_size(c: &mut Criterion) {
             .collect(),
         supervision: None,
         chaos: None,
+        checkpoint: None,
         execution: None,
     };
     let mut group = c.benchmark_group("batch_size");

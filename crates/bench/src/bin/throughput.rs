@@ -22,6 +22,13 @@
 //! and are deliberately outside the `results` array the `--check` gate
 //! iterates.
 //!
+//! Every run also measures checkpointed recovery: a chaos kill halfway
+//! through the pipelined workload, restored from the latest
+//! epoch-aligned checkpoint and byte-diffed against an undisturbed
+//! run. `recovery_ms` / `replayed_tuples` land under a separate
+//! `recovery` key — wall-clock cost on this machine, also outside the
+//! `--check` gate.
+//!
 //! With `--check`, every configuration present in the baseline's
 //! `results` array must reach at least `(1 - tolerance)` of its
 //! baseline throughput or the process exits non-zero. `--relative`
@@ -183,7 +190,68 @@ fn measure_serve(n: i64, sessions: usize, format: &str) -> Measurement {
     }
 }
 
-fn render(n: i64, reps: u32, results: &[Measurement], serve: &[Measurement]) -> String {
+/// Recovery cost of the reference workload: a chaos kill halfway
+/// through, under epoch-aligned checkpointing and supervised retry.
+/// Returns the recovered run's `RunReport` after asserting the
+/// recovered output is byte-identical to an undisturbed run — the same
+/// invariant `tests/checkpoint_recovery.rs` pins, exercised here on
+/// the bench workload so `recovery_ms` / `replayed_tuples` land in the
+/// artifact next to the throughput numbers.
+fn measure_recovery(n: i64) -> icewafl_core::report::RunReport {
+    use icewafl_core::config::{ChaosSectionConfig, CheckpointSectionConfig, SupervisionConfig};
+
+    let schema = schema();
+    let base = {
+        let mut p = plan(StrategyHint::Pipelined, 64);
+        p.logging = true;
+        p.supervision = Some(SupervisionConfig {
+            max_retries: 2,
+            deterministic: true,
+            ..SupervisionConfig::default()
+        });
+        p.checkpoint = Some(CheckpointSectionConfig::default());
+        p
+    };
+    let calm = base
+        .clone()
+        .compile(&schema)
+        .expect("calm plan compiles")
+        .execute_supervised(tuples(n))
+        .expect("calm run succeeds");
+
+    let mut hurt_plan = base;
+    // `kill_at_tuple` counts records *per injector*, and each of the m
+    // sub-stream injectors sees ~n/m records — aim for halfway through
+    // one sub-stream so the kill actually fires.
+    hurt_plan.chaos = Some(ChaosSectionConfig {
+        kill_at_tuple: Some((n as u64 / (SUB_STREAMS as u64 * 2)).max(1)),
+        panic_budget: Some(1),
+        ..ChaosSectionConfig::default()
+    });
+    let hurt = hurt_plan
+        .compile(&schema)
+        .expect("hurt plan compiles")
+        .execute_supervised(tuples(n))
+        .expect("supervised run recovers");
+
+    assert_eq!(
+        calm.polluted, hurt.polluted,
+        "recovered output must be byte-identical to the undisturbed run"
+    );
+    assert!(
+        hurt.report.restored_from_epoch > 0,
+        "run restored from a checkpoint"
+    );
+    hurt.report
+}
+
+fn render(
+    n: i64,
+    reps: u32,
+    results: &[Measurement],
+    serve: &[Measurement],
+    recovery: Option<&icewafl_core::report::RunReport>,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"workload\": {\n");
     out.push_str(&format!("    \"n\": {n},\n"));
@@ -221,6 +289,18 @@ fn render(n: i64, reps: u32, results: &[Measurement], serve: &[Measurement]) -> 
             ));
         }
         out.push_str("  ]");
+    }
+    if let Some(report) = recovery {
+        // Also outside `results`: recovery cost is wall-clock on this
+        // machine, not a cross-machine comparable throughput.
+        out.push_str(&format!(
+            ",\n  \"recovery\": {{ \"checkpoints_taken\": {}, \"restored_from_epoch\": {}, \
+             \"replayed_tuples\": {}, \"recovery_ms\": {} }}",
+            report.checkpoints_taken,
+            report.restored_from_epoch,
+            report.replayed_tuples,
+            report.recovery_ms
+        ));
     }
     out.push_str("\n}\n");
     out
@@ -348,7 +428,16 @@ fn main() {
         }
     }
 
-    let report = render(n, reps, &results, &serve_results);
+    let recovery = measure_recovery(n);
+    eprintln!(
+        "{:<32} restored from epoch {} (replayed {} tuples, {} ms restoring)",
+        "recovery/pipelined_batch_64",
+        recovery.restored_from_epoch,
+        recovery.replayed_tuples,
+        recovery.recovery_ms
+    );
+
+    let report = render(n, reps, &results, &serve_results, Some(&recovery));
     match &out_path {
         Some(path) => std::fs::write(path, &report).expect("write report"),
         None => print!("{report}"),

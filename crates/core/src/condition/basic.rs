@@ -1,7 +1,8 @@
 //! Random and value-dependent conditions.
 
 use super::Condition;
-use icewafl_types::{StampedTuple, Value};
+use crate::snapshot::{rng_doc, rng_from_doc};
+use icewafl_types::{Result, StampedTuple, Value};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -77,6 +78,15 @@ impl Condition for Probability {
 
     fn name(&self) -> &'static str {
         "probability"
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(rng_doc(&self.rng))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        self.rng = rng_from_doc(state)?;
+        Ok(())
     }
 }
 

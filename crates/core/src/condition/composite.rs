@@ -6,7 +6,23 @@
 //! hour range: `And(HourRange, Probability)`.
 
 use super::{BoxCondition, Condition};
-use icewafl_types::StampedTuple;
+use crate::snapshot::SlotState;
+use icewafl_types::{Result, StampedTuple};
+
+/// Collects children's states positionally; restore is the inverse.
+fn snapshot_children(children: &[BoxCondition]) -> Option<String> {
+    SlotState::doc(children.iter().map(|c| c.snapshot_state()).collect())
+}
+
+fn restore_children(children: &mut [BoxCondition], state: &str) -> Result<()> {
+    let slots = SlotState::parse(state, children.len(), "composite condition")?;
+    for (child, slot) in children.iter_mut().zip(slots) {
+        if let Some(doc) = slot {
+            child.restore_state(&doc)?;
+        }
+    }
+    Ok(())
+}
 
 /// Fires iff all children fire. Short-circuits, so stochastic children
 /// after the first failing child draw no randomness for that tuple.
@@ -39,6 +55,14 @@ impl Condition for AndCondition {
     fn name(&self) -> &'static str {
         "and"
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        snapshot_children(&self.children)
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        restore_children(&mut self.children, state)
+    }
 }
 
 /// Fires iff at least one child fires. Short-circuits.
@@ -70,6 +94,14 @@ impl Condition for OrCondition {
     fn name(&self) -> &'static str {
         "or"
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        snapshot_children(&self.children)
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        restore_children(&mut self.children, state)
+    }
 }
 
 /// Fires iff the inner condition does not.
@@ -95,6 +127,14 @@ impl Condition for NotCondition {
 
     fn name(&self) -> &'static str {
         "not"
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        self.inner.snapshot_state()
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        self.inner.restore_state(state)
     }
 }
 

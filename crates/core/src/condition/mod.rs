@@ -16,7 +16,7 @@ pub use temporal::{
     HourRange, LinearRampProbability, PatternProbability, SinusoidalProbability, TimeWindow,
 };
 
-use icewafl_types::StampedTuple;
+use icewafl_types::{Result, StampedTuple};
 
 /// Decides, per tuple, whether a polluter fires.
 ///
@@ -37,6 +37,21 @@ pub trait Condition: Send {
     /// A short name for logs and diagnostics.
     fn name(&self) -> &'static str {
         "condition"
+    }
+
+    /// This condition's mutable runtime state — its RNG stream
+    /// position, for stochastic conditions — as a typed JSON document,
+    /// or `None` when stateless. Composites collect their children's
+    /// states positionally.
+    fn snapshot_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state captured by [`Condition::snapshot_state`] on a
+    /// freshly built condition of the same shape.
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let _ = state;
+        Ok(())
     }
 }
 

@@ -3,7 +3,8 @@
 
 use super::Condition;
 use crate::pattern::ChangePattern;
-use icewafl_types::{StampedTuple, Timestamp};
+use crate::snapshot::{rng_doc, rng_from_doc};
+use icewafl_types::{Result, StampedTuple, Timestamp};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -158,6 +159,15 @@ impl Condition for SinusoidalProbability {
     fn name(&self) -> &'static str {
         "sinusoidal_probability"
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(rng_doc(&self.rng))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        self.rng = rng_from_doc(state)?;
+        Ok(())
+    }
 }
 
 /// Fires with a probability ramping linearly from `p0` at `from` to `p1`
@@ -219,6 +229,15 @@ impl Condition for LinearRampProbability {
     fn name(&self) -> &'static str {
         "linear_ramp_probability"
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(rng_doc(&self.rng))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        self.rng = rng_from_doc(state)?;
+        Ok(())
+    }
 }
 
 /// Fires with probability `p_min + (p_max − p_min) · intensity(τ)` for an
@@ -258,6 +277,15 @@ impl Condition for PatternProbability {
 
     fn name(&self) -> &'static str {
         "pattern_probability"
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(rng_doc(&self.rng))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        self.rng = rng_from_doc(state)?;
+        Ok(())
     }
 }
 

@@ -59,6 +59,10 @@ pub struct JobConfig {
     /// period); absent = plan-level defaults.
     #[serde(default)]
     pub execution: Option<ExecutionSectionConfig>,
+    /// Epoch-aligned checkpointing (absent = disabled; supervised
+    /// retries restart from scratch).
+    #[serde(default)]
+    pub checkpoint: Option<CheckpointSectionConfig>,
 }
 
 impl JobConfig {
@@ -70,6 +74,7 @@ impl JobConfig {
             supervision: None,
             chaos: None,
             execution: None,
+            checkpoint: None,
         }
     }
 
@@ -107,6 +112,7 @@ impl JobConfig {
             logging: true,
             supervision: self.supervision.clone(),
             chaos: self.chaos.clone(),
+            checkpoint: self.checkpoint.clone(),
         }
     }
 }
@@ -212,6 +218,33 @@ impl SupervisionConfig {
     }
 }
 
+/// Serializable checkpointing policy (`JobConfig::checkpoint`).
+///
+/// Enabling it makes supervised retries *resume* from the latest
+/// complete epoch-aligned snapshot instead of restarting the whole
+/// stream.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CheckpointSectionConfig {
+    /// Directory for the write-ahead checkpoint log. Absent =
+    /// in-memory checkpoints only (still resumable within a process,
+    /// nothing durable on disk).
+    #[serde(default)]
+    pub dir: Option<String>,
+    /// Take a checkpoint every this many epochs (source watermarks);
+    /// clamped to at least 1.
+    #[serde(default = "one_u64")]
+    pub interval_epochs: u64,
+}
+
+impl Default for CheckpointSectionConfig {
+    fn default() -> Self {
+        CheckpointSectionConfig {
+            dir: None,
+            interval_epochs: 1,
+        }
+    }
+}
+
 /// Serializable chaos-injection rates (`JobConfig::chaos`). All rates
 /// are per-record probabilities in `[0, 1]`.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -219,6 +252,12 @@ pub struct ChaosSectionConfig {
     /// Probability that processing a record panics.
     #[serde(default)]
     pub panic_rate: f64,
+    /// Deterministic kill switch: panic on exactly the n-th record
+    /// (1-based) this injector sees, independent of the probabilistic
+    /// rates. Consumes a panic token, so with `panic_budget: 1` it
+    /// fires once across supervised retries.
+    #[serde(default)]
+    pub kill_at_tuple: Option<u64>,
     /// Cap on injected panics, shared across supervised retries
     /// (`None` = unbounded). A budget of 1 models a transient fault.
     #[serde(default)]
@@ -241,6 +280,7 @@ impl Default for ChaosSectionConfig {
     fn default() -> Self {
         ChaosSectionConfig {
             panic_rate: 0.0,
+            kill_at_tuple: None,
             panic_budget: None,
             delay_rate: 0.0,
             delay_ms: 1,
@@ -261,6 +301,7 @@ impl ChaosSectionConfig {
         ChaosConfig {
             seed,
             panic_rate: self.panic_rate,
+            kill_at_tuple: self.kill_at_tuple,
             panic_budget: self.panic_budget,
             delay_rate: self.delay_rate,
             delay_ms: self.delay_ms,
@@ -1300,6 +1341,7 @@ mod tests {
             supervision: None,
             chaos: None,
             execution: None,
+            checkpoint: None,
         };
         let mut pipelines = cfg.build(&schema()).unwrap();
         let out = pollute_stream(&schema(), stream(2000), pipelines.pop().unwrap()).unwrap();

@@ -55,6 +55,15 @@ impl ErrorFunction for IncorrectCategory {
     fn name(&self) -> &'static str {
         "incorrect_category"
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(crate::snapshot::rng_doc(&self.rng))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        self.rng = crate::snapshot::rng_from_doc(state)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

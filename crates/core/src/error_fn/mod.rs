@@ -44,6 +44,20 @@ pub trait ErrorFunction: Send {
 
     /// A short name used in pollution-log entries.
     fn name(&self) -> &'static str;
+
+    /// This function's mutable runtime state — its RNG stream position,
+    /// for stochastic error functions — as a typed JSON document, or
+    /// `None` when stateless.
+    fn snapshot_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state captured by [`ErrorFunction::snapshot_state`] on
+    /// a freshly built function of the same configuration.
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 /// Bind-time check that every target attribute is numeric.

@@ -64,6 +64,15 @@ impl ErrorFunction for GaussianNoise {
     fn name(&self) -> &'static str {
         "gaussian_noise"
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(crate::snapshot::rng_doc(&self.rng))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        self.rng = crate::snapshot::rng_from_doc(state)?;
+        Ok(())
+    }
 }
 
 /// The paper's experiment-2 noise (§3.2.1, equation (3)): draw
@@ -118,6 +127,15 @@ impl ErrorFunction for UniformMultiplicativeNoise {
 
     fn name(&self) -> &'static str {
         "uniform_multiplicative_noise"
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(crate::snapshot::rng_doc(&self.rng))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        self.rng = crate::snapshot::rng_from_doc(state)?;
+        Ok(())
     }
 }
 
@@ -221,6 +239,15 @@ impl ErrorFunction for Outlier {
 
     fn name(&self) -> &'static str {
         "outlier"
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(crate::snapshot::rng_doc(&self.rng))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        self.rng = crate::snapshot::rng_from_doc(state)?;
+        Ok(())
     }
 }
 

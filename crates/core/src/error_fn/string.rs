@@ -109,6 +109,15 @@ impl ErrorFunction for StringTypo {
     fn name(&self) -> &'static str {
         "string_typo"
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(crate::snapshot::rng_doc(&self.rng))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        self.rng = crate::snapshot::rng_from_doc(state)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

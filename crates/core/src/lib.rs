@@ -74,14 +74,15 @@ pub mod propagation;
 pub mod report;
 pub mod rng;
 pub mod runner;
+pub(crate) mod snapshot;
 pub mod stats;
 pub mod temporal;
 
 pub use catalog::PlanCatalog;
 pub use condition::Condition;
 pub use config::{
-    ChaosSectionConfig, ConditionConfig, ErrorConfig, ExecutionSectionConfig, JobConfig,
-    PolluterConfig, SupervisionConfig,
+    ChaosSectionConfig, CheckpointSectionConfig, ConditionConfig, ErrorConfig,
+    ExecutionSectionConfig, JobConfig, PolluterConfig, SupervisionConfig,
 };
 pub use error_fn::ErrorFunction;
 pub use log::{LogEntry, PollutionLog};
@@ -106,8 +107,8 @@ pub mod prelude {
         TimeWindow, ValueCondition,
     };
     pub use crate::config::{
-        ChaosSectionConfig, ConditionConfig, ErrorConfig, ExecutionSectionConfig, JobConfig,
-        PolluterConfig, SupervisionConfig,
+        ChaosSectionConfig, CheckpointSectionConfig, ConditionConfig, ErrorConfig,
+        ExecutionSectionConfig, JobConfig, PolluterConfig, SupervisionConfig,
     };
     pub use crate::error_fn::{
         Constant, ErrorFunction, GaussianNoise, IncorrectCategory, MissingValue, Outlier, Rounding,
@@ -231,7 +232,7 @@ mod proptests {
                     condition: ConditionConfig::Probability { p: 0.1 },
                     copies: 2,
                 },
-            ]], supervision: None, chaos: None, execution: None };
+            ]], supervision: None, chaos: None, execution: None, checkpoint: None };
             let pipeline = cfg.build(&schema()).unwrap().pop().unwrap();
             let out = pollute_stream(&schema(), stream(n), pipeline).unwrap();
             let dropped = out.log.counts_by_polluter().get("drop").copied().unwrap_or(0);

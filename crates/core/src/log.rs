@@ -153,6 +153,13 @@ impl PollutionLog {
         self.entries.is_empty()
     }
 
+    /// Discards entries recorded after the first `len` — checkpoint
+    /// recovery rewinds the log to the length captured at the barrier
+    /// before replaying. No-op when `len` exceeds the current length.
+    pub fn truncate(&mut self, len: usize) {
+        self.entries.truncate(len);
+    }
+
     /// The distinct ids of polluted tuples.
     pub fn polluted_tuple_ids(&self) -> HashSet<u64> {
         self.entries.iter().map(LogEntry::tuple_id).collect()

@@ -13,10 +13,12 @@
 
 use crate::condition::BoxCondition;
 use crate::polluter::{BoxPolluter, Emission, Polluter};
-use crate::stats::{CountingRng, PendingStats, PolluterStats, PolluterStatsHandle};
-use icewafl_types::{StampedTuple, Timestamp};
+use crate::snapshot::{rng_from_words, SlotState};
+use crate::stats::{CountingRng, PendingStats, PolluterStats, PolluterStatsHandle, StatsTotals};
+use icewafl_types::{Error, Result, StampedTuple, Timestamp};
 use rand::rngs::StdRng;
 use rand::RngExt;
+use serde::{Deserialize, Serialize};
 
 /// Initial capacity of the stage-chaining scratch buffers. One tuple in
 /// normally yields one tuple out per stage; duplicates and watermark
@@ -134,6 +136,25 @@ impl PollutionPipeline {
             stage.collect_stats(out);
         }
     }
+
+    /// Every stage's checkpoint state, positionally (a `SlotState`
+    /// document); `None` when every stage is stateless.
+    pub fn snapshot_states(&self) -> Option<String> {
+        SlotState::doc(self.stages.iter().map(|s| s.snapshot_state()).collect())
+    }
+
+    /// Restores per-stage states captured by
+    /// [`PollutionPipeline::snapshot_states`] onto a freshly built
+    /// pipeline of the same configuration.
+    pub fn restore_states(&mut self, state: &str) -> Result<()> {
+        let slots = SlotState::parse(state, self.stages.len(), "pollution pipeline")?;
+        for (stage, slot) in self.stages.iter_mut().zip(slots) {
+            if let Some(doc) = slot {
+                stage.restore_state(&doc)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A composite polluter: a shared condition gating a nested
@@ -206,6 +227,41 @@ impl Polluter for CompositePolluter {
         });
         self.children.collect_stats(out);
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(
+            serde_json::to_string(&CompositeState {
+                condition: self.condition.snapshot_state(),
+                children: self.children.snapshot_states(),
+                pending: self.pending,
+                totals: StatsTotals::capture(&self.stats),
+            })
+            .expect("composite state serialises"),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let st: CompositeState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "CompositeState"))?;
+        if let Some(doc) = &st.condition {
+            self.condition.restore_state(doc)?;
+        }
+        if let Some(doc) = &st.children {
+            self.children.restore_states(doc)?;
+        }
+        self.pending = st.pending;
+        st.totals.restore_into(&self.stats);
+        Ok(())
+    }
+}
+
+/// Wire form of a [`CompositePolluter`]'s checkpoint state.
+#[derive(Serialize, Deserialize)]
+struct CompositeState {
+    condition: Option<String>,
+    children: Option<String>,
+    pending: PendingStats,
+    totals: StatsTotals,
 }
 
 /// A composite whose children are *mutually exclusive*: when the shared
@@ -363,6 +419,54 @@ impl Polluter for OneOfPolluter {
             child.collect_stats(out);
         }
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        let (rng, rng_pending) = self.rng.state();
+        Some(
+            serde_json::to_string(&OneOfState {
+                condition: self.condition.snapshot_state(),
+                children: SlotState::doc(
+                    self.children.iter().map(|c| c.snapshot_state()).collect(),
+                ),
+                rng: rng.to_vec(),
+                rng_pending,
+                pending: self.pending,
+                totals: StatsTotals::capture(&self.stats),
+            })
+            .expect("one-of state serialises"),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let st: OneOfState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "OneOfState"))?;
+        if let Some(doc) = &st.condition {
+            self.condition.restore_state(doc)?;
+        }
+        if let Some(doc) = &st.children {
+            let slots = SlotState::parse(doc, self.children.len(), "one_of children")?;
+            for (child, slot) in self.children.iter_mut().zip(slots) {
+                if let Some(doc) = slot {
+                    child.restore_state(&doc)?;
+                }
+            }
+        }
+        self.rng.restore(rng_from_words(&st.rng)?, st.rng_pending);
+        self.pending = st.pending;
+        st.totals.restore_into(&self.stats);
+        Ok(())
+    }
+}
+
+/// Wire form of a [`OneOfPolluter`]'s checkpoint state.
+#[derive(Serialize, Deserialize)]
+struct OneOfState {
+    condition: Option<String>,
+    children: Option<String>,
+    rng: Vec<u64>,
+    rng_pending: u64,
+    pending: PendingStats,
+    totals: StatsTotals,
 }
 
 #[cfg(test)]

@@ -58,13 +58,13 @@
 //! ```
 
 use crate::config::{
-    build_pipelines, ChaosSectionConfig, ConditionConfig, ErrorConfig, PolluterConfig,
-    SupervisionConfig,
+    build_pipelines, ChaosSectionConfig, CheckpointSectionConfig, ConditionConfig, ErrorConfig,
+    PolluterConfig, SupervisionConfig,
 };
 use crate::pipeline::PollutionPipeline;
 use crate::runner::{
-    execute_attempt, execute_streaming, run_supervised_with, ExecSettings, PollutionOutput,
-    SubStreamAssigner,
+    execute_attempt, execute_streaming, run_supervised_with, CheckpointSettings, ExecSettings,
+    PollutionOutput, SubStreamAssigner,
 };
 use icewafl_stream::chaos::ChaosConfig;
 use icewafl_stream::control::ControlChannel;
@@ -245,6 +245,10 @@ pub struct LogicalPlan {
     /// Runtime fault injection (absent = disabled).
     #[serde(default)]
     pub chaos: Option<ChaosSectionConfig>,
+    /// Epoch-aligned checkpointing for supervised runs (absent =
+    /// retries restart from tuple zero).
+    #[serde(default)]
+    pub checkpoint: Option<CheckpointSectionConfig>,
 }
 
 impl LogicalPlan {
@@ -260,6 +264,7 @@ impl LogicalPlan {
             logging: true,
             supervision: None,
             chaos: None,
+            checkpoint: None,
         }
     }
 
@@ -348,6 +353,10 @@ impl LogicalPlan {
             supervision: self.supervisor_policy(),
             chaos,
             control: Some(control.clone()),
+            checkpoint: self.checkpoint.as_ref().map(|c| CheckpointSettings {
+                dir: c.dir.as_ref().map(std::path::PathBuf::from),
+                interval_epochs: c.interval_epochs.max(1),
+            }),
         };
         Ok(PhysicalPlan {
             logical: self.clone(),
@@ -803,6 +812,19 @@ impl PhysicalPlan {
             }
             None => {
                 let _ = writeln!(s, "chaos:            off");
+            }
+        }
+        match &self.logical.checkpoint {
+            Some(c) => {
+                let _ = writeln!(
+                    s,
+                    "checkpointing:    every {} epoch(s), wal={}",
+                    c.interval_epochs.max(1),
+                    c.dir.as_deref().unwrap_or("(in-memory)")
+                );
+            }
+            None => {
+                let _ = writeln!(s, "checkpointing:    off");
             }
         }
         let _ = writeln!(s, "stages (labels count sink-first):");

@@ -10,9 +10,11 @@ use crate::condition::BoxCondition;
 use crate::error_fn::ErrorFunction;
 use crate::log::{LogEntry, PollutionLog};
 use crate::pattern::ChangePattern;
-use crate::stats::{CountingRng, PendingStats, PolluterStats, PolluterStatsHandle};
-use icewafl_types::{Result, Schema, StampedTuple, Timestamp, Value};
+use crate::snapshot::rng_from_words;
+use crate::stats::{CountingRng, PendingStats, PolluterStats, PolluterStatsHandle, StatsTotals};
+use icewafl_types::{Error, Result, Schema, StampedTuple, Timestamp, Value};
 use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
 
 /// Where a polluter emits tuples and ground-truth log entries.
 pub struct Emission<'a> {
@@ -92,10 +94,37 @@ pub trait Polluter: Send {
     fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
         let _ = out;
     }
+
+    /// This polluter's complete mutable runtime state — RNG stream
+    /// positions, buffered tuples, staged statistics — as a typed JSON
+    /// document, or `None` when stateless. Everything that influences
+    /// future output must be captured: the checkpoint-recovery
+    /// invariant is byte-identical output, not approximate resumption.
+    fn snapshot_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state captured by [`Polluter::snapshot_state`] on a
+    /// freshly built polluter of the same configuration.
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 /// Boxed polluter, the unit of pipeline composition.
 pub type BoxPolluter = Box<dyn Polluter>;
+
+/// Wire form of [`StandardPolluter`]'s runtime state.
+#[derive(Serialize, Deserialize)]
+struct StandardState {
+    condition: Option<String>,
+    error_fn: Option<String>,
+    pattern_rng: Vec<u64>,
+    pattern_pending: u64,
+    pending: PendingStats,
+    totals: StatsTotals,
+}
 
 /// The paper's standard polluter: an error function `e`, a condition
 /// `c`, a target attribute set `A_p`, and (for derived temporal error
@@ -229,6 +258,37 @@ impl Polluter for StandardPolluter {
             name: self.name.clone(),
             stats: self.stats.clone(),
         });
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        let (pattern_rng, pattern_pending) = self.pattern_rng.state();
+        Some(
+            serde_json::to_string(&StandardState {
+                condition: self.condition.snapshot_state(),
+                error_fn: self.error_fn.snapshot_state(),
+                pattern_rng: pattern_rng.to_vec(),
+                pattern_pending,
+                pending: self.pending,
+                totals: StatsTotals::capture(&self.stats),
+            })
+            .expect("standard state serialises"),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let st: StandardState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "StandardState"))?;
+        if let Some(doc) = &st.condition {
+            self.condition.restore_state(doc)?;
+        }
+        if let Some(doc) = &st.error_fn {
+            self.error_fn.restore_state(doc)?;
+        }
+        self.pattern_rng
+            .restore(rng_from_words(&st.pattern_rng)?, st.pattern_pending);
+        self.pending = st.pending;
+        st.totals.restore_into(&self.stats);
+        Ok(())
     }
 }
 

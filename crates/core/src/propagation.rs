@@ -20,7 +20,9 @@ use crate::condition::BoxCondition;
 use crate::error_fn::ErrorFunction;
 use crate::log::LogEntry;
 use crate::polluter::{BoxPolluter, Emission, Polluter};
+use crate::snapshot::ValueWire;
 use icewafl_types::{Duration, Error, Result, Schema, StampedTuple, Timestamp, Value};
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 
@@ -159,6 +161,64 @@ impl Polluter for PropagationPolluter {
         // history (time-dependent state, §5 item 1).
         self.trigger.expected_probability(tuple)
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(
+            serde_json::to_string(&PropagationState {
+                trigger: self.trigger.snapshot_state(),
+                filter: self
+                    .consequent_filter
+                    .as_ref()
+                    .and_then(|f| f.snapshot_state()),
+                error_fn: self.error_fn.snapshot_state(),
+                windows: self
+                    .windows
+                    .iter()
+                    .map(|(start, end)| WindowWire {
+                        start: start.0,
+                        end: end.0,
+                    })
+                    .collect(),
+            })
+            .expect("propagation state serialises"),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let st: PropagationState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "PropagationState"))?;
+        if let Some(doc) = &st.trigger {
+            self.trigger.restore_state(doc)?;
+        }
+        if let (Some(filter), Some(doc)) = (self.consequent_filter.as_mut(), &st.filter) {
+            filter.restore_state(doc)?;
+        }
+        if let Some(doc) = &st.error_fn {
+            self.error_fn.restore_state(doc)?;
+        }
+        self.windows = st
+            .windows
+            .into_iter()
+            .map(|w| (Timestamp(w.start), Timestamp(w.end)))
+            .collect();
+        Ok(())
+    }
+}
+
+/// Wire form of a [`PropagationPolluter`]'s checkpoint state.
+#[derive(Serialize, Deserialize)]
+struct PropagationState {
+    trigger: Option<String>,
+    filter: Option<String>,
+    error_fn: Option<String>,
+    windows: Vec<WindowWire>,
+}
+
+/// One scheduled `[start, end)` propagation window on the wire.
+#[derive(Serialize, Deserialize)]
+struct WindowWire {
+    start: i64,
+    end: i64,
 }
 
 /// Partitions the stream by a key attribute and runs an independent
@@ -175,7 +235,15 @@ pub struct KeyedPolluter {
     name: String,
     key_attr: usize,
     factory: Box<dyn FnMut(&Value) -> BoxPolluter + Send>,
-    per_key: HashMap<String, BoxPolluter>,
+    per_key: HashMap<String, KeyEntry>,
+}
+
+/// One key's inner polluter plus the original key value — kept so a
+/// checkpoint restore can re-invoke the factory with the exact value
+/// (the map key is only its string rendering).
+struct KeyEntry {
+    value: Value,
+    inner: BoxPolluter,
 }
 
 impl KeyedPolluter {
@@ -212,7 +280,7 @@ impl KeyedPolluter {
 impl Polluter for KeyedPolluter {
     fn process(&mut self, tuple: StampedTuple, out: &mut Emission) {
         let key = self.key_of(&tuple);
-        let inner = match self.per_key.entry(key) {
+        let entry = match self.per_key.entry(key) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
                 let value = tuple
@@ -220,21 +288,22 @@ impl Polluter for KeyedPolluter {
                     .get(self.key_attr)
                     .cloned()
                     .unwrap_or(Value::Null);
-                e.insert((self.factory)(&value))
+                let inner = (self.factory)(&value);
+                e.insert(KeyEntry { value, inner })
             }
         };
-        inner.process(tuple, out);
+        entry.inner.process(tuple, out);
     }
 
     fn on_watermark(&mut self, wm: Timestamp, out: &mut Emission) {
-        for inner in self.per_key.values_mut() {
-            inner.on_watermark(wm, out);
+        for entry in self.per_key.values_mut() {
+            entry.inner.on_watermark(wm, out);
         }
     }
 
     fn finish(&mut self, out: &mut Emission) {
-        for inner in self.per_key.values_mut() {
-            inner.finish(out);
+        for entry in self.per_key.values_mut() {
+            entry.inner.finish(out);
         }
     }
 
@@ -246,8 +315,54 @@ impl Polluter for KeyedPolluter {
         let key = self.key_of(tuple);
         self.per_key
             .get(&key)
-            .map_or(0.0, |inner| inner.expected_probability(tuple))
+            .map_or(0.0, |entry| entry.inner.expected_probability(tuple))
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        let mut entries: Vec<KeyedEntryWire> = self
+            .per_key
+            .iter()
+            .map(|(key, entry)| KeyedEntryWire {
+                key: key.clone(),
+                value: ValueWire::from_value(&entry.value),
+                state: entry.inner.snapshot_state(),
+            })
+            .collect();
+        // HashMap iteration order is arbitrary; serialise sorted so
+        // equal states produce equal documents.
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        Some(serde_json::to_string(&KeyedState { entries }).expect("keyed state serialises"))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let st: KeyedState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "KeyedState"))?;
+        self.per_key.clear();
+        for entry in st.entries {
+            let value = entry.value.into_value();
+            let mut inner = (self.factory)(&value);
+            if let Some(doc) = &entry.state {
+                inner.restore_state(doc)?;
+            }
+            self.per_key.insert(entry.key, KeyEntry { value, inner });
+        }
+        Ok(())
+    }
+}
+
+/// Wire form of a [`KeyedPolluter`]'s checkpoint state: every key seen
+/// so far, its original attribute value, and the inner polluter's state.
+#[derive(Serialize, Deserialize)]
+struct KeyedState {
+    entries: Vec<KeyedEntryWire>,
+}
+
+/// One key partition on the wire.
+#[derive(Serialize, Deserialize)]
+struct KeyedEntryWire {
+    key: String,
+    value: ValueWire,
+    state: Option<String>,
 }
 
 #[cfg(test)]

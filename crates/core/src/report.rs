@@ -38,6 +38,25 @@ pub struct RunReport {
     /// scheduled or reached).
     #[serde(default)]
     pub epochs_applied: u64,
+    /// Epoch-aligned checkpoints committed during the run (0 when
+    /// checkpointing was disabled).
+    #[serde(default)]
+    pub checkpoints_taken: u64,
+    /// The epoch of the checkpoint the last supervised retry restored
+    /// from (0 = the run never restored — it either never failed or
+    /// fell back to a full restart).
+    #[serde(default)]
+    pub restored_from_epoch: u64,
+    /// Source tuples re-processed across all recoveries: what each
+    /// failed attempt had consumed beyond the restore point (the whole
+    /// attempt, for a pre-checkpoint failure).
+    #[serde(default)]
+    pub replayed_tuples: u64,
+    /// Wall-clock milliseconds spent restoring state across all
+    /// recoveries (sink/log truncation, pipeline rebuild, snapshot
+    /// restore) — excludes supervisor backoff sleeps.
+    #[serde(default)]
+    pub recovery_ms: u64,
     /// Per-polluter statistics, in pipeline order.
     pub polluters: Vec<PolluterStatsSnapshot>,
     /// Per-stage / per-channel stream metrics.
@@ -81,6 +100,15 @@ impl RunReport {
             s.push_str(&format!(
                 "reconfiguration epochs applied: {}\n",
                 self.epochs_applied
+            ));
+        }
+        if self.checkpoints_taken > 0 {
+            s.push_str(&format!("checkpoints taken: {}\n", self.checkpoints_taken));
+        }
+        if self.restored_from_epoch > 0 {
+            s.push_str(&format!(
+                "recovered from checkpoint epoch {} (replayed {} tuples, {} ms restoring)\n",
+                self.restored_from_epoch, self.replayed_tuples, self.recovery_ms
             ));
         }
         if !self.metrics_compiled_in {
@@ -143,6 +171,10 @@ mod tests {
             restarts: 0,
             strategy: Some("sequential".into()),
             epochs_applied: 0,
+            checkpoints_taken: 0,
+            restored_from_epoch: 0,
+            replayed_tuples: 0,
+            recovery_ms: 0,
             polluters: vec![PolluterStatsSnapshot {
                 name: "missing".into(),
                 fires: 4,

@@ -11,17 +11,25 @@ use crate::plan::{ExecutionStrategy, LogicalPlan, StrategyHint, DEFAULT_BATCH_SI
 use crate::polluter::Emission;
 use crate::prepare::PrepareOperator;
 use crate::report::RunReport;
+use crate::snapshot::StampedWire;
 use crate::stats::PolluterStatsHandle;
 use icewafl_obs::MetricsRegistry;
 use icewafl_stream::chaos::{install_quiet_panic_hook, ChaosConfig, ChaosOperator};
+use icewafl_stream::checkpoint::{
+    CheckpointBarrier, CheckpointCoordinator, CheckpointStore, StateSnapshot, WatermarkGenState,
+};
 use icewafl_stream::control::{ControlChannel, ControlSubscriber};
 use icewafl_stream::metrics::ChaosMetrics;
 use icewafl_stream::prelude::*;
+use icewafl_stream::sort::{EventTimeSorter, SorterStateCodec};
 use icewafl_stream::supervisor::{Supervisor, SupervisorPolicy};
 use icewafl_stream::SubPipelineBuilder;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Instant;
@@ -86,6 +94,17 @@ struct ControlState {
     epoch_gauge: icewafl_obs::Gauge,
 }
 
+/// Wire form of one sub-stream's checkpoint contribution: the full
+/// pipeline state document (see
+/// [`PollutionPipeline::snapshot_states`]) plus the shared ground-truth
+/// log's length when the barrier passed this operator — the truncation
+/// point a restore rewinds the log to.
+#[derive(Debug, Serialize, Deserialize)]
+struct SubstreamState {
+    pipeline: Option<String>,
+    log_len: u64,
+}
+
 /// A stream [`Operator`] wrapping a [`PollutionPipeline`], sharing a log
 /// across sub-streams.
 pub struct PipelineOperator {
@@ -94,6 +113,10 @@ pub struct PipelineOperator {
     log: Arc<Mutex<PollutionLog>>,
     scratch: Vec<StampedTuple>,
     control: Option<ControlState>,
+    /// Checkpoint contribution key (`substream_{i}`); `None` outside
+    /// checkpointed runs — barriers then pass through without a
+    /// snapshot.
+    ckpt_key: Option<String>,
 }
 
 impl PipelineOperator {
@@ -109,7 +132,16 @@ impl PipelineOperator {
             log,
             scratch: Vec::new(),
             control: None,
+            ckpt_key: None,
         }
+    }
+
+    /// Enables checkpoint snapshots: every passing barrier receives this
+    /// sub-stream's exact pipeline state (RNG positions, pending stats,
+    /// temporal buffers) under `key`.
+    fn with_checkpoint_key(mut self, key: String) -> Self {
+        self.ckpt_key = Some(key);
+        self
     }
 
     /// Attaches a reconfiguration subscriber: scheduled plans are
@@ -213,6 +245,17 @@ impl Operator<StampedTuple, StampedTuple> for PipelineOperator {
         self.apply_due_reconfiguration(wm, out);
     }
 
+    fn on_barrier(&mut self, barrier: &CheckpointBarrier) {
+        let Some(key) = &self.ckpt_key else { return };
+        let state = SubstreamState {
+            pipeline: self.pipeline.snapshot_states(),
+            log_len: self.log.lock().len() as u64,
+        };
+        if let Ok(doc) = serde_json::to_string(&state) {
+            barrier.contribute(key.clone(), doc);
+        }
+    }
+
     fn on_end(&mut self, out: &mut dyn Collector<StampedTuple>) {
         {
             let mut log = self.log.lock();
@@ -266,6 +309,18 @@ pub(crate) struct ExecSettings {
     /// Epoch-reconfiguration channel (`None` = job is not
     /// reconfigurable; only compiled plans attach one).
     pub(crate) control: Option<ControlChannel<LogicalPlan>>,
+    /// Epoch-aligned checkpointing (`None` = supervised retries restart
+    /// from tuple zero).
+    pub(crate) checkpoint: Option<CheckpointSettings>,
+}
+
+/// How a supervised run checkpoints: snapshot cadence plus an optional
+/// directory for the write-ahead checkpoint log (in-memory only when
+/// absent).
+#[derive(Debug, Clone)]
+pub(crate) struct CheckpointSettings {
+    pub(crate) dir: Option<PathBuf>,
+    pub(crate) interval_epochs: u64,
 }
 
 /// A configured pollution job: `m` pipelines plus a sub-stream
@@ -293,6 +348,7 @@ impl PollutionJob {
                 supervision: SupervisorPolicy::default(),
                 chaos: None,
                 control: None,
+                checkpoint: None,
             },
         }
     }
@@ -366,6 +422,25 @@ impl PollutionJob {
         self
     }
 
+    /// Enables epoch-aligned checkpointing for
+    /// [`PollutionJob::run_supervised`]: a barrier is injected every
+    /// `interval_epochs` watermarks, every stateful operator snapshots
+    /// its exact state, and a supervised retry resumes from the latest
+    /// complete checkpoint instead of restarting from tuple zero. When
+    /// `dir` is set, frames are additionally appended to a versioned
+    /// write-ahead log at `dir/checkpoint.wal`.
+    pub fn with_checkpointing(
+        mut self,
+        dir: Option<std::path::PathBuf>,
+        interval_epochs: u64,
+    ) -> Self {
+        self.settings.checkpoint = Some(CheckpointSettings {
+            dir,
+            interval_epochs: interval_epochs.max(1),
+        });
+        self
+    }
+
     /// Executes Algorithm 1 over an in-memory stream with the given
     /// pollution pipelines (one per sub-stream; `m = pipelines.len()`).
     ///
@@ -412,6 +487,9 @@ pub(crate) fn run_supervised_with<F>(
 where
     F: FnMut() -> Result<Vec<PollutionPipeline>>,
 {
+    if settings.checkpoint.is_some() {
+        return run_supervised_checkpointed(settings, tuples, pipelines);
+    }
     let mut supervisor = Supervisor::new(settings.supervision.clone());
     let budget = settings.chaos.as_ref().map(ChaosConfig::new_budget);
     loop {
@@ -432,6 +510,232 @@ where
                 kind,
                 message,
             }) => {
+                let parsed = icewafl_stream::fault::FailureKind::parse(&kind);
+                match supervisor.next_retry_for(&stage, parsed) {
+                    Some(backoff) => {
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                    }
+                    None => {
+                        return Err(icewafl_types::Error::Pipeline {
+                            stage,
+                            kind,
+                            message,
+                        })
+                    }
+                }
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+/// The sorter buffers whole [`StampedTuple`]s, so its snapshot codec
+/// must round-trip them *exactly*. The derived serde of
+/// [`icewafl_types::Value`] is untagged and therefore lossy
+/// (`Timestamp(5)` re-parses as `Int(5)`, `Float(5.0)` as `Int(5)`) —
+/// records travel as tagged [`StampedWire`] documents instead.
+fn stamped_codec() -> SorterStateCodec<StampedTuple> {
+    SorterStateCodec::new(
+        |t: &StampedTuple| serde_json::to_string(&StampedWire::from_tuple(t)).ok(),
+        |s: &str| {
+            serde_json::from_str::<StampedWire>(s)
+                .ok()
+                .map(StampedWire::into_tuple)
+        },
+    )
+}
+
+/// The ground-truth-log truncation point recorded in a frame: the
+/// largest per-substream `log_len` contribution. With a single
+/// sub-stream this is exact (the operator saw every pre-barrier record
+/// before snapshotting); with several, entries from sub-streams that ran
+/// ahead of the slowest barrier may interleave, making the rewind
+/// best-effort — see DESIGN.md on epoch-aligned snapshots.
+fn frame_log_len(states: &BTreeMap<String, String>) -> u64 {
+    states
+        .iter()
+        .filter(|(k, _)| k.starts_with("substream_"))
+        .filter_map(|(_, doc)| serde_json::from_str::<SubstreamState>(doc).ok())
+        .map(|s| s.log_len)
+        .max()
+        .unwrap_or(0)
+}
+
+/// The checkpointed supervised loop: instead of re-running from tuple
+/// zero, a retry restores the latest *complete* checkpoint — the shared
+/// sink and ground-truth log are truncated to the committed prefix,
+/// fresh pipelines are rewound to their snapshotted state (RNG stream
+/// positions included), and the replayable source resumes from the
+/// frame's offset with the recorded watermark-generator position.
+///
+/// The invariant is byte-identical output: a recovered run's polluted
+/// stream and log must equal an undisturbed run's, which is why
+/// snapshots carry exact RNG positions and pending buffers rather than
+/// re-seeding. A failure before the first checkpoint falls back to a
+/// full restart (offset 0), preserving plain supervised semantics.
+fn run_supervised_checkpointed<F>(
+    settings: &ExecSettings,
+    tuples: Vec<Tuple>,
+    mut pipelines: F,
+) -> Result<PollutionOutput>
+where
+    F: FnMut() -> Result<Vec<PollutionPipeline>>,
+{
+    let ckpt = settings.checkpoint.as_ref().expect("caller checked");
+    if let Some(chaos) = &settings.chaos {
+        if !chaos.is_valid() {
+            return Err(icewafl_types::Error::config(
+                "chaos rates must be probabilities in [0, 1]",
+            ));
+        }
+        install_quiet_panic_hook();
+    }
+    let store = match &ckpt.dir {
+        Some(dir) => Arc::new(CheckpointStore::with_wal(dir.join("checkpoint.wal"))?),
+        None => Arc::new(CheckpointStore::new()),
+    };
+    let mut supervisor = Supervisor::new(settings.supervision.clone());
+    let budget = settings.chaos.as_ref().map(ChaosConfig::new_budget);
+
+    // Prepare once: the prepared clean stream doubles as the replayable
+    // source, so a restore can slice off the already-checkpointed
+    // prefix instead of replaying history.
+    let mut prepare = PrepareOperator::new(&settings.schema)?;
+    let clean: Vec<StampedTuple> = tuples.into_iter().map(|t| prepare.prepare(t)).collect();
+
+    // Sink and log are shared across attempts — the committed prefix of
+    // a failed attempt is kept, not recomputed.
+    let log = Arc::new(Mutex::new(if settings.logging {
+        PollutionLog::new()
+    } else {
+        PollutionLog::disabled()
+    }));
+    let sink = SharedVecSink::new();
+
+    let mut restored_from_epoch: u64 = 0;
+    let mut replayed_tuples: u64 = 0;
+    let mut recovery_ms: u64 = 0;
+    // Absolute source offset the most recent failed attempt had reached
+    // (replay accounting for the next restore).
+    let mut processed_abs: u64 = 0;
+
+    loop {
+        let frame = store.latest();
+        let recover_start = Instant::now();
+        let base_offset = frame.as_ref().map(|f| f.source_offset).unwrap_or(0);
+        match &frame {
+            Some(f) => {
+                restored_from_epoch = f.epoch;
+                replayed_tuples += processed_abs.saturating_sub(f.source_offset);
+                sink.truncate(f.sink_committed as usize);
+                log.lock().truncate(frame_log_len(&f.states) as usize);
+            }
+            None => {
+                // No checkpoint yet: full restart (a no-op before the
+                // first attempt).
+                replayed_tuples += processed_abs;
+                sink.truncate(0);
+                log.lock().truncate(0);
+            }
+        }
+        let mut built = pipelines()?;
+        if built.is_empty() {
+            return Err(icewafl_types::Error::config(
+                "at least one pipeline is required",
+            ));
+        }
+        if let Some(f) = &frame {
+            for (i, pipeline) in built.iter_mut().enumerate() {
+                let Some(doc) = f.states.get(&format!("substream_{i}")) else {
+                    continue;
+                };
+                let state: SubstreamState = serde_json::from_str(doc)
+                    .map_err(|_| icewafl_types::Error::parse(doc.as_str(), "SubstreamState"))?;
+                if let Some(pipeline_doc) = &state.pipeline {
+                    pipeline.restore_states(pipeline_doc)?;
+                }
+            }
+            recovery_ms += recover_start.elapsed().as_millis() as u64;
+        }
+
+        let mut stat_handles: Vec<PolluterStatsHandle> = Vec::new();
+        for pipeline in &built {
+            pipeline.collect_stats(&mut stat_handles);
+        }
+        let registry = MetricsRegistry::new();
+        let coordinator = CheckpointCoordinator::new(
+            Arc::clone(&store),
+            ckpt.interval_epochs,
+            frame.as_ref().map(|f| f.epoch).unwrap_or(0),
+        );
+        let emitted = coordinator.emitted_counter();
+        let drive = CheckpointDrive {
+            coordinator,
+            base_offset,
+            resume_wm: frame.as_ref().map(|f| f.wm_state.clone()),
+            states: frame.map(|f| f.states).unwrap_or_default(),
+            sink_base: sink.len() as u64,
+        };
+        let source = VecSource::new(clean[base_offset as usize..].to_vec());
+        let attempt = drive_pipelines(
+            settings,
+            source,
+            sink.clone(),
+            built,
+            budget.clone(),
+            supervisor.deadline_instant(),
+            &registry,
+            &log,
+            Some(drive),
+        );
+        match attempt {
+            Ok(()) => {
+                let polluted = sink.take();
+                let log = log.lock().clone();
+                let log_counts = log.counts_by_polluter();
+                let polluters = stat_handles
+                    .iter()
+                    .map(|h| {
+                        let mut snap = h.snapshot();
+                        snap.log_entries = log_counts.get(&h.name).copied().unwrap_or(0) as u64;
+                        snap
+                    })
+                    .collect();
+                let report = RunReport {
+                    tuples_in: clean.len() as u64,
+                    tuples_out: polluted.len() as u64,
+                    log_entries: log.len() as u64,
+                    logging_enabled: settings.logging,
+                    metrics_compiled_in: icewafl_obs::metrics_compiled_in(),
+                    restarts: supervisor.restarts(),
+                    strategy: Some(settings.strategy.to_string()),
+                    epochs_applied: settings
+                        .control
+                        .as_ref()
+                        .map(ControlChannel::applied)
+                        .unwrap_or(0),
+                    checkpoints_taken: store.checkpoints_taken(),
+                    restored_from_epoch,
+                    replayed_tuples,
+                    recovery_ms,
+                    polluters,
+                    metrics: registry.snapshot(),
+                };
+                return Ok(PollutionOutput {
+                    clean,
+                    polluted,
+                    log,
+                    report,
+                });
+            }
+            Err(icewafl_types::Error::Pipeline {
+                stage,
+                kind,
+                message,
+            }) => {
+                processed_abs = base_offset + emitted.load(std::sync::atomic::Ordering::Relaxed);
                 let parsed = icewafl_stream::fault::FailureKind::parse(&kind);
                 match supervisor.next_retry_for(&stage, parsed) {
                     Some(backoff) => {
@@ -511,6 +815,7 @@ pub(crate) fn execute_attempt(
         deadline,
         &registry,
         &log,
+        None,
     )?;
     let polluted = sink.take();
 
@@ -542,6 +847,10 @@ pub(crate) fn execute_attempt(
             .as_ref()
             .map(ControlChannel::applied)
             .unwrap_or(0),
+        checkpoints_taken: 0,
+        restored_from_epoch: 0,
+        replayed_tuples: 0,
+        recovery_ms: 0,
         polluters,
         metrics: registry.snapshot(),
     };
@@ -611,6 +920,13 @@ impl<K: Sink<StampedTuple>> Sink<StampedTuple> for CountingSink<K> {
 /// attempt by construction: a network source cannot be replayed, so
 /// supervised restarts do not apply. Output is bit-identical to the
 /// offline path for the same plan and tuple sequence.
+///
+/// Plans with a checkpoint section still take epoch-aligned snapshots
+/// (reported in `checkpoints_taken`; durable when a WAL dir is set),
+/// even though this path never restores them itself — recovery of a
+/// streamed session is an external concern
+/// (`CheckpointStore::recover_latest` over the WAL). Sessions sharing
+/// a WAL directory overwrite each other; give each session its own.
 pub(crate) fn execute_streaming(
     settings: &ExecSettings,
     source: impl Source<Tuple> + 'static,
@@ -658,8 +974,31 @@ pub(crate) fn execute_streaming(
     let registry = MetricsRegistry::new();
     let budget = settings.chaos.as_ref().map(ChaosConfig::new_budget);
 
+    // Streaming sessions opt into checkpointing through their plan: the
+    // run still cannot auto-retry (the peer's stream is gone with the
+    // connection), but barriers flow and frames commit — with a WAL dir
+    // the session leaves durable, externally recoverable state
+    // (`CheckpointStore::recover_latest`) for post-mortem resumption.
+    let store = match settings.checkpoint.as_ref() {
+        Some(ckpt) => Some(match &ckpt.dir {
+            Some(dir) => Arc::new(CheckpointStore::with_wal(dir.join("checkpoint.wal"))?),
+            None => Arc::new(CheckpointStore::new()),
+        }),
+        None => None,
+    };
+    let drive = store
+        .as_ref()
+        .zip(settings.checkpoint.as_ref())
+        .map(|(store, ckpt)| CheckpointDrive {
+            coordinator: CheckpointCoordinator::new(Arc::clone(store), ckpt.interval_epochs, 0),
+            base_offset: 0,
+            resume_wm: None,
+            states: BTreeMap::new(),
+            sink_base: 0,
+        });
+
     drive_pipelines(
-        settings, source, sink, pipelines, budget, None, &registry, &log,
+        settings, source, sink, pipelines, budget, None, &registry, &log, drive,
     )?;
 
     let log = Arc::try_unwrap(log)
@@ -687,15 +1026,34 @@ pub(crate) fn execute_streaming(
             .as_ref()
             .map(ControlChannel::applied)
             .unwrap_or(0),
+        checkpoints_taken: store.map(|s| s.checkpoints_taken()).unwrap_or(0),
+        restored_from_epoch: 0,
+        replayed_tuples: 0,
+        recovery_ms: 0,
         polluters,
         metrics: registry.snapshot(),
     })
 }
 
+/// Checkpoint plumbing for one [`drive_pipelines`] attempt: the barrier
+/// coordinator, the absolute offset the (possibly sliced) source starts
+/// at, the watermark-generator position to resume from, the restore
+/// frame's per-operator states (chaos injectors and the sorter restore
+/// from these at build time — pipeline state is restored by the caller,
+/// where the rebuild cost is measured as `recovery_ms`), and the number
+/// of records already committed to the shared sink.
+struct CheckpointDrive {
+    coordinator: CheckpointCoordinator,
+    base_offset: u64,
+    resume_wm: Option<WatermarkGenState>,
+    states: BTreeMap<String, String>,
+    sink_base: u64,
+}
+
 /// Builds the fan-out → pollute → merge → sort topology over an
 /// arbitrary prepared source/sink pair and drives it to completion —
-/// the shared tail of the offline ([`execute_attempt`]) and streaming
-/// ([`execute_streaming`]) paths.
+/// the shared tail of the offline ([`execute_attempt`]), streaming
+/// ([`execute_streaming`]), and checkpointed-supervised paths.
 #[allow(clippy::too_many_arguments)]
 fn drive_pipelines(
     settings: &ExecSettings,
@@ -706,13 +1064,25 @@ fn drive_pipelines(
     deadline: Option<Instant>,
     registry: &MetricsRegistry,
     log: &Arc<Mutex<PollutionLog>>,
+    ckpt: Option<CheckpointDrive>,
 ) -> Result<()> {
     let m = pipelines.len();
     let selector = settings.assigner.selector(m);
+    let checkpointing = ckpt.is_some();
+    let (coordinator, base_offset, resume_wm, ckpt_states, sink_base) = match ckpt {
+        Some(c) => (
+            Some(c.coordinator),
+            c.base_offset,
+            c.resume_wm,
+            c.states,
+            c.sink_base,
+        ),
+        None => (None, 0, None, BTreeMap::new(), 0),
+    };
     let builders: Vec<SubPipelineBuilder<StampedTuple, StampedTuple>> = pipelines
         .into_iter()
         .enumerate()
-        .map(|(i, pipeline)| {
+        .map(|(i, pipeline)| -> Result<_> {
             let op = PipelineOperator::new(pipeline, i as u32, Arc::clone(log));
             // Reconfigurable jobs get a control subscriber per
             // sub-stream; all subscribers see the same broadcast
@@ -725,39 +1095,67 @@ fn drive_pipelines(
                 ),
                 None => op,
             };
+            let op = if checkpointing {
+                op.with_checkpoint_key(format!("substream_{i}"))
+            } else {
+                op
+            };
             // When chaos is on, splice an injector in front of the
             // pollution operator of every sub-stream, each with its
             // own seed but a budget shared across retries.
-            let chaos_op = settings.chaos.as_ref().map(|chaos| {
-                let mut cfg = chaos.clone();
-                cfg.seed = chaos.seed.wrapping_add(i as u64);
-                let budget = chaos_budget.clone().unwrap_or_else(|| cfg.new_budget());
-                ChaosOperator::with_shared_budget(cfg, budget)
-                    .with_metrics(ChaosMetrics::register(
-                        registry,
-                        &format!("chaos/substream_{i}"),
-                    ))
-                    .with_malform(|t: &mut StampedTuple| {
-                        for v in t.tuple.values_mut() {
-                            *v = icewafl_types::Value::Null;
+            let chaos_op = match settings.chaos.as_ref() {
+                Some(chaos) => {
+                    let mut cfg = chaos.clone();
+                    cfg.seed = chaos.seed.wrapping_add(i as u64);
+                    let budget = chaos_budget.clone().unwrap_or_else(|| cfg.new_budget());
+                    let mut chaos_op = ChaosOperator::with_shared_budget(cfg, budget)
+                        .with_metrics(ChaosMetrics::register(
+                            registry,
+                            &format!("chaos/substream_{i}"),
+                        ))
+                        .with_malform(|t: &mut StampedTuple| {
+                            for v in t.tuple.values_mut() {
+                                *v = icewafl_types::Value::Null;
+                            }
+                        });
+                    if checkpointing {
+                        let key = format!("chaos_{i}");
+                        // Restore the injector's record counter and RNG
+                        // position so a resumed attempt replays the
+                        // *same* fault schedule instead of re-rolling.
+                        if let Some(doc) = ckpt_states.get(&key) {
+                            chaos_op.restore_state(doc)?;
                         }
-                    })
-            });
+                        chaos_op = chaos_op.with_checkpoint_key(key);
+                    }
+                    Some(chaos_op)
+                }
+                None => None,
+            };
             let b: SubPipelineBuilder<StampedTuple, StampedTuple> =
                 Box::new(move |s: DataStream<StampedTuple>| match chaos_op {
                     Some(chaos_op) => s.transform(chaos_op).transform(op),
                     None => s.transform(op),
                 });
-            b
+            Ok(b)
         })
-        .collect();
+        .collect::<Result<_>>()?;
 
     let watermarks = WatermarkStrategy::bounded_out_of_orderness(
         |t: &StampedTuple| t.tau,
         icewafl_types::Duration::ZERO,
         settings.watermark_period,
     );
-    let stream = DataStream::from_source(source, watermarks);
+    let stream = match coordinator {
+        Some(coordinator) => DataStream::from_source_checkpointed(
+            source,
+            watermarks,
+            coordinator,
+            base_offset,
+            resume_wm,
+        ),
+        None => DataStream::from_source(source, watermarks),
+    };
     let batch_size = settings.batch_size.max(1);
     let merged = match settings.strategy {
         ExecutionStrategy::SplitMergeParallel => {
@@ -775,9 +1173,20 @@ fn drive_pipelines(
     // delayed tuples surface late (see `StampedTuple::arrival`).
     // A `?` here carries a typed stage failure out as
     // `Error::Pipeline` (via `From<PipelineError>`).
-    merged
-        .sort_by_event_time(|t| t.arrival)
-        .execute_into_with_options(sink, registry, deadline)?;
+    if checkpointing {
+        let mut sorter = EventTimeSorter::new(|t: &StampedTuple| t.arrival)
+            .with_state_codec("sorter", stamped_codec());
+        if let Some(doc) = ckpt_states.get("sorter") {
+            sorter.restore_state(doc)?;
+        }
+        merged
+            .sort_with(sorter)
+            .execute_into_resumed(sink, registry, deadline, sink_base)?;
+    } else {
+        merged
+            .sort_by_event_time(|t| t.arrival)
+            .execute_into_with_options(sink, registry, deadline)?;
+    }
     Ok(())
 }
 
@@ -1081,6 +1490,64 @@ mod tests {
             err,
             icewafl_types::Error::Pipeline { ref kind, .. } if kind == "injected"
         ));
+    }
+
+    #[test]
+    fn checkpointed_retry_resumes_and_is_byte_identical() {
+        let reference = PollutionJob::new(schema())
+            .with_watermark_period(16)
+            .run_supervised(raw_stream(200), || Ok(vec![null_pipeline(0.5, 42)]))
+            .unwrap();
+        let chaos = ChaosConfig {
+            kill_at_tuple: Some(120),
+            panic_budget: Some(1),
+            ..ChaosConfig::default()
+        };
+        let recovered = PollutionJob::new(schema())
+            .with_watermark_period(16)
+            .with_chaos(chaos)
+            .with_checkpointing(None, 1)
+            .with_supervision(SupervisorPolicy {
+                max_retries: 2,
+                deterministic: true,
+                ..SupervisorPolicy::default()
+            })
+            .run_supervised(raw_stream(200), || Ok(vec![null_pipeline(0.5, 42)]))
+            .unwrap();
+        assert_eq!(
+            recovered.polluted, reference.polluted,
+            "byte-identical output"
+        );
+        assert_eq!(recovered.log.entries(), reference.log.entries());
+        assert_eq!(recovered.report.restarts, 1);
+        assert!(recovered.report.checkpoints_taken > 0);
+        assert!(
+            recovered.report.restored_from_epoch > 0,
+            "resumed, not restarted"
+        );
+        assert!(
+            recovered.report.replayed_tuples < 120,
+            "replay shorter than the pre-kill prefix: {}",
+            recovered.report.replayed_tuples
+        );
+    }
+
+    #[test]
+    fn checkpointing_without_faults_leaves_output_unchanged() {
+        let plain = PollutionJob::new(schema())
+            .with_watermark_period(16)
+            .run_supervised(raw_stream(150), || Ok(vec![null_pipeline(0.5, 7)]))
+            .unwrap();
+        let ckpt = PollutionJob::new(schema())
+            .with_watermark_period(16)
+            .with_checkpointing(None, 2)
+            .run_supervised(raw_stream(150), || Ok(vec![null_pipeline(0.5, 7)]))
+            .unwrap();
+        assert_eq!(ckpt.polluted, plain.polluted, "barriers are pass-through");
+        assert_eq!(ckpt.log.entries(), plain.log.entries());
+        assert_eq!(ckpt.report.restored_from_epoch, 0);
+        assert_eq!(ckpt.report.replayed_tuples, 0);
+        assert!(ckpt.report.checkpoints_taken > 0);
     }
 
     #[test]

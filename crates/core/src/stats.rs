@@ -65,7 +65,7 @@ impl PolluterStats {
 /// cells only at watermark and end-of-stream boundaries (every
 /// `watermark_period` tuples), keeping the steady-state overhead to a
 /// few register operations per tuple.
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Copy, Default, Serialize, Deserialize)]
 pub struct PendingStats {
     /// Staged condition evaluations.
     pub condition_evals: u64,
@@ -97,6 +97,42 @@ impl PendingStats {
         if self.buffer_peak > 0 {
             stats.buffer_max.set_max(self.buffer_peak);
         }
+    }
+}
+
+/// Wire form of a polluter's cumulative stat-cell values at a
+/// checkpoint barrier: restore pre-adds them into the fresh cells of a
+/// rebuilt polluter, so a recovered run reports the same totals an
+/// undisturbed one would. With the `obs` feature off all reads are 0
+/// and all writes are no-ops — harmlessly empty on the wire.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub(crate) struct StatsTotals {
+    pub fires: u64,
+    pub skips: u64,
+    pub condition_evals: u64,
+    pub rng_draws: u64,
+    pub buffer_max: u64,
+}
+
+impl StatsTotals {
+    /// Reads the current cell values.
+    pub(crate) fn capture(stats: &PolluterStats) -> Self {
+        StatsTotals {
+            fires: stats.fires.get(),
+            skips: stats.skips.get(),
+            condition_evals: stats.condition_evals.get(),
+            rng_draws: stats.rng_draws.get(),
+            buffer_max: stats.buffer_max.get(),
+        }
+    }
+
+    /// Pre-adds the captured totals into (fresh) cells.
+    pub(crate) fn restore_into(&self, stats: &PolluterStats) {
+        stats.fires.add(self.fires);
+        stats.skips.add(self.skips);
+        stats.condition_evals.add(self.condition_evals);
+        stats.rng_draws.add(self.rng_draws);
+        stats.buffer_max.set_max(self.buffer_max);
     }
 }
 
@@ -166,6 +202,20 @@ impl CountingRng {
             self.draws.add(self.pending);
             self.pending = 0;
         }
+    }
+
+    /// The wrapped generator's exact stream position plus the staged
+    /// (unflushed) draw count — everything a checkpoint must capture.
+    pub fn state(&self) -> ([u64; 4], u64) {
+        (self.inner.state(), self.pending)
+    }
+
+    /// Restores a position captured by [`CountingRng::state`]; the
+    /// shared counter cell is left alone (cumulative totals are
+    /// restored separately).
+    pub fn restore(&mut self, inner: StdRng, pending: u64) {
+        self.inner = inner;
+        self.pending = pending;
     }
 }
 

@@ -6,10 +6,49 @@
 use crate::condition::BoxCondition;
 use crate::log::LogEntry;
 use crate::polluter::{Emission, Polluter};
-use crate::stats::{PendingStats, PolluterStats, PolluterStatsHandle};
-use icewafl_types::{Duration, Result, Schema, StampedTuple, Timestamp, Value};
+use crate::snapshot::{StampedWire, ValueWire};
+use crate::stats::{PendingStats, PolluterStats, PolluterStatsHandle, StatsTotals};
+use icewafl_types::{Duration, Error, Result, Schema, StampedTuple, Timestamp, Value};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Wire form of the checkpoint state shared by the simple gate-shaped
+/// temporal polluters ([`DropPolluter`], [`DuplicatePolluter`]): the
+/// condition's state plus staged and cumulative statistics.
+#[derive(Serialize, Deserialize)]
+struct GateState {
+    condition: Option<String>,
+    pending: PendingStats,
+    totals: StatsTotals,
+}
+
+impl GateState {
+    fn capture(condition: &BoxCondition, pending: PendingStats, stats: &PolluterStats) -> String {
+        serde_json::to_string(&GateState {
+            condition: condition.snapshot_state(),
+            pending,
+            totals: StatsTotals::capture(stats),
+        })
+        .expect("gate state serialises")
+    }
+
+    fn restore(
+        state: &str,
+        condition: &mut BoxCondition,
+        pending: &mut PendingStats,
+        stats: &PolluterStats,
+    ) -> Result<()> {
+        let st: GateState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "GateState"))?;
+        if let Some(doc) = &st.condition {
+            condition.restore_state(doc)?;
+        }
+        *pending = st.pending;
+        st.totals.restore_into(stats);
+        Ok(())
+    }
+}
 
 /// Delays matching tuples by a fixed amount — the "bad network
 /// connection" error of experiment 3.1.3.
@@ -138,6 +177,72 @@ impl Polluter for DelayPolluter {
             stats: self.stats.clone(),
         });
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        let mut held: Vec<HeldWire> = self
+            .held
+            .iter()
+            .map(|Reverse(h)| HeldWire {
+                release: h.release.0,
+                seq: h.seq,
+                tuple: StampedWire::from_tuple(&h.tuple),
+            })
+            .collect();
+        // The heap iterates in arbitrary order; serialise in release
+        // order so equal states produce equal documents.
+        held.sort_by_key(|h| (h.release, h.seq));
+        Some(
+            serde_json::to_string(&DelayState {
+                condition: self.condition.snapshot_state(),
+                held,
+                seq: self.seq,
+                pending: self.pending,
+                totals: StatsTotals::capture(&self.stats),
+            })
+            .expect("delay state serialises"),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let st: DelayState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "DelayState"))?;
+        if let Some(doc) = &st.condition {
+            self.condition.restore_state(doc)?;
+        }
+        self.held = st
+            .held
+            .into_iter()
+            .map(|h| {
+                Reverse(Held {
+                    release: Timestamp(h.release),
+                    seq: h.seq,
+                    tuple: h.tuple.into_tuple(),
+                })
+            })
+            .collect();
+        self.seq = st.seq;
+        self.pending = st.pending;
+        st.totals.restore_into(&self.stats);
+        Ok(())
+    }
+}
+
+/// Wire form of a [`DelayPolluter`]'s checkpoint state.
+#[derive(Serialize, Deserialize)]
+struct DelayState {
+    condition: Option<String>,
+    held: Vec<HeldWire>,
+    seq: u64,
+    pending: PendingStats,
+    totals: StatsTotals,
+}
+
+/// One held-back tuple on the wire.
+#[derive(Serialize, Deserialize)]
+struct HeldWire {
+    release: i64,
+    seq: u64,
+    tuple: StampedWire,
 }
 
 /// Drops matching tuples from the stream entirely (lost sensor
@@ -202,6 +307,18 @@ impl Polluter for DropPolluter {
             name: self.name.clone(),
             stats: self.stats.clone(),
         });
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(GateState::capture(
+            &self.condition,
+            self.pending,
+            &self.stats,
+        ))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        GateState::restore(state, &mut self.condition, &mut self.pending, &self.stats)
     }
 }
 
@@ -276,6 +393,18 @@ impl Polluter for DuplicatePolluter {
             name: self.name.clone(),
             stats: self.stats.clone(),
         });
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(GateState::capture(
+            &self.condition,
+            self.pending,
+            &self.stats,
+        ))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        GateState::restore(state, &mut self.condition, &mut self.pending, &self.stats)
     }
 }
 
@@ -422,6 +551,52 @@ impl Polluter for FreezePolluter {
             stats: self.stats.clone(),
         });
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(
+            serde_json::to_string(&FreezeState {
+                condition: self.condition.snapshot_state(),
+                frozen: self.frozen.as_ref().map(|f| FrozenWire {
+                    until: f.until.0,
+                    values: f.values.iter().map(ValueWire::from_value).collect(),
+                }),
+                pending: self.pending,
+                totals: StatsTotals::capture(&self.stats),
+            })
+            .expect("freeze state serialises"),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let st: FreezeState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "FreezeState"))?;
+        if let Some(doc) = &st.condition {
+            self.condition.restore_state(doc)?;
+        }
+        self.frozen = st.frozen.map(|f| FrozenState {
+            until: Timestamp(f.until),
+            values: f.values.into_iter().map(ValueWire::into_value).collect(),
+        });
+        self.pending = st.pending;
+        st.totals.restore_into(&self.stats);
+        Ok(())
+    }
+}
+
+/// Wire form of a [`FreezePolluter`]'s checkpoint state.
+#[derive(Serialize, Deserialize)]
+struct FreezeState {
+    condition: Option<String>,
+    frozen: Option<FrozenWire>,
+    pending: PendingStats,
+    totals: StatsTotals,
+}
+
+/// An active freeze on the wire.
+#[derive(Serialize, Deserialize)]
+struct FrozenWire {
+    until: i64,
+    values: Vec<ValueWire>,
 }
 
 /// Applies a static error to *every* tuple inside a time burst: when
@@ -553,6 +728,44 @@ impl Polluter for BurstPolluter {
             stats: self.stats.clone(),
         });
     }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(
+            serde_json::to_string(&BurstState {
+                condition: self.condition.snapshot_state(),
+                error_fn: self.error_fn.snapshot_state(),
+                active_until: self.active_until.map(|t| t.0),
+                pending: self.pending,
+                totals: StatsTotals::capture(&self.stats),
+            })
+            .expect("burst state serialises"),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let st: BurstState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "BurstState"))?;
+        if let Some(doc) = &st.condition {
+            self.condition.restore_state(doc)?;
+        }
+        if let Some(doc) = &st.error_fn {
+            self.error_fn.restore_state(doc)?;
+        }
+        self.active_until = st.active_until.map(Timestamp);
+        self.pending = st.pending;
+        st.totals.restore_into(&self.stats);
+        Ok(())
+    }
+}
+
+/// Wire form of a [`BurstPolluter`]'s checkpoint state.
+#[derive(Serialize, Deserialize)]
+struct BurstState {
+    condition: Option<String>,
+    error_fn: Option<String>,
+    active_until: Option<i64>,
+    pending: PendingStats,
+    totals: StatsTotals,
 }
 
 #[cfg(test)]

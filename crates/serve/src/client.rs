@@ -194,17 +194,50 @@ pub fn subscribe_telemetry(
     Ok(frames)
 }
 
+/// Connect attempts [`connect_with_retry`] makes before giving up.
+const CONNECT_ATTEMPTS: u32 = 5;
+/// Backoff before the second connect attempt; doubles per attempt.
+const CONNECT_BACKOFF_BASE: Duration = Duration::from_millis(100);
+/// Upper bound on the per-attempt connect backoff.
+const CONNECT_BACKOFF_MAX: Duration = Duration::from_millis(800);
+
+/// Bounded TCP connect with exponential backoff: up to
+/// [`CONNECT_ATTEMPTS`] tries, sleeping `min(base · 2^(n−1), max)`
+/// between them. This is what lets `icewafl top` be started *before*
+/// (or concurrently with) the server it watches instead of failing
+/// hard on the first refused connection; after the final attempt the
+/// last error surfaces unchanged.
+fn connect_with_retry(addr: &str) -> Result<TcpStream, NetError> {
+    let mut backoff = CONNECT_BACKOFF_BASE;
+    let mut last = None;
+    for attempt in 0..CONNECT_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(CONNECT_BACKOFF_MAX);
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(NetError::from_io(&e)),
+        }
+    }
+    Err(last.unwrap_or(NetError::Disconnected))
+}
+
 /// [`subscribe_telemetry`], streaming: `on_frame` runs on each
 /// [`TelemetryFrame`] *as it arrives* instead of buffering the whole
 /// stream. This is what `icewafl top` renders from. Returns the number
 /// of frames observed.
+///
+/// The initial connect retries with bounded backoff (5 attempts,
+/// 100 ms doubling to an 800 ms cap), so `icewafl top` started
+/// moments before its server still attaches.
 pub fn watch_telemetry(
     addr: &str,
     format: Option<WireFormat>,
     max_frames: usize,
     mut on_frame: impl FnMut(&TelemetryFrame),
 ) -> Result<u64, NetError> {
-    let stream = TcpStream::connect(addr).map_err(|e| NetError::from_io(&e))?;
+    let stream = connect_with_retry(addr)?;
     let _ = stream.set_nodelay(true);
     let format = format.unwrap_or_default();
     {
@@ -277,5 +310,45 @@ fn session_schema(hs: &Handshake) -> Option<Schema> {
         Some("wearable") => Some(icewafl_data::wearable::schema()),
         Some("airquality") => Some(icewafl_data::airquality::schema()),
         _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn connect_retry_attaches_to_a_late_binding_server() {
+        // Reserve a port, release it, then re-bind it only after the
+        // client has already failed its first connect attempt(s).
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(250));
+            let listener = TcpListener::bind(addr).unwrap();
+            let _conn = listener.accept().unwrap();
+        });
+        let stream = connect_with_retry(&addr.to_string()).expect("late server still reachable");
+        drop(stream);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_retry_is_bounded() {
+        // A port nothing ever listens on: the retry loop must give up
+        // with the underlying error instead of spinning forever.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let start = std::time::Instant::now();
+        let err = connect_with_retry(&addr).unwrap_err();
+        assert!(matches!(err, NetError::Io { .. } | NetError::Disconnected));
+        // 4 backoffs of at most 100+200+400+800 ms, plus connect time.
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "gave up in bounded time"
+        );
     }
 }

@@ -502,3 +502,44 @@ mod codec_properties {
         }
     }
 }
+
+#[test]
+fn sessions_opt_into_checkpointing_via_their_plan() {
+    // A streaming session cannot be restored (its source is the
+    // connection), but a plan with a checkpoint section still commits
+    // epoch-aligned frames — visible in the report — without changing
+    // a single output byte.
+    let input = tuples(300);
+    let offline = plan(42)
+        .compile(&schema())
+        .unwrap()
+        .execute(input.clone())
+        .unwrap();
+
+    let mut ckpt_plan = plan(42);
+    ckpt_plan.watermark_period = 32;
+    ckpt_plan.checkpoint = Some(icewafl_core::config::CheckpointSectionConfig {
+        dir: None,
+        interval_epochs: 1,
+    });
+    let server = TestServer::start(ServeConfig::default());
+    let hs = Handshake {
+        plan_inline: Some(ckpt_plan),
+        schema_inline: Some(schema()),
+        format: Some("binary".into()),
+        ..Handshake::default()
+    };
+    let outcome = client::run_session(&ClientConfig::new(server.addr(), hs), input).unwrap();
+    assert!(outcome.completed(), "session failed: {:?}", outcome.error);
+    assert_eq!(
+        outcome.tuples, offline.polluted,
+        "checkpointing is a pure observer"
+    );
+    let report = outcome.report.unwrap();
+    assert!(
+        report.checkpoints_taken > 0,
+        "frames committed: {}",
+        report.checkpoints_taken
+    );
+    assert_eq!(report.restored_from_epoch, 0, "streaming never restores");
+}

@@ -21,7 +21,10 @@
 //! transient fault that heals after the first restart — exactly what the
 //! `chaos_recovery` integration suite asserts recovers.
 
+use crate::checkpoint::{CheckpointBarrier, StateSnapshot};
 use crate::metrics::ChaosMetrics;
+use icewafl_types::{Error, Result};
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -57,6 +60,13 @@ impl SplitMix64 {
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
+
+    /// The generator's exact position. SplitMix64's state *is* its
+    /// counter, so `SplitMix64::new(state)` reproduces the stream from
+    /// here — captured into checkpoint frames.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 /// What faults to inject, and how often.
@@ -69,6 +79,13 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// Probability that processing a record panics.
     pub panic_rate: f64,
+    /// Deterministic fault point: panic exactly when the `n`-th record
+    /// (1-based) reaches this injector, regardless of `panic_rate`. The
+    /// kill draws nothing from the RNG (probabilistic decisions for
+    /// surrounding records are unchanged) but does consume a panic
+    /// token, so with a budget of 1 it fires once across supervised
+    /// retries — the exact-offset kill the recovery tests need.
+    pub kill_at_tuple: Option<u64>,
     /// At most this many panics are actually injected (`None` =
     /// unbounded). The budget is shared across supervised retries, so a
     /// budget of 1 models a transient fault that heals after restart.
@@ -90,6 +107,7 @@ impl Default for ChaosConfig {
         ChaosConfig {
             seed: 0,
             panic_rate: 0.0,
+            kill_at_tuple: None,
             panic_budget: None,
             delay_rate: 0.0,
             delay_ms: 1,
@@ -165,6 +183,10 @@ impl FaultPlan {
     /// record.
     fn decide(&mut self) -> Fault {
         self.seen += 1;
+        if self.cfg.kill_at_tuple == Some(self.seen) && self.take_panic_token() {
+            self.metrics.injected_panics.inc();
+            return Fault::Panic;
+        }
         if self.cfg.panic_rate > 0.0
             && self.rng.next_f64() < self.cfg.panic_rate
             && self.take_panic_token()
@@ -208,6 +230,17 @@ pub type MalformFn<T> = Box<dyn FnMut(&mut T) + Send>;
 pub struct ChaosOperator<T> {
     plan: FaultPlan,
     malform: Option<MalformFn<T>>,
+    /// Checkpoint-frame key; `None` leaves the injector un-snapshotted.
+    ckpt_key: Option<String>,
+}
+
+/// Wire form of a chaos injector snapshot: the record counter and the
+/// RNG position (everything `decide` depends on besides the shared
+/// budget, which lives outside the attempt and survives it).
+#[derive(Debug, Serialize, Deserialize)]
+struct ChaosState {
+    seen: u64,
+    rng: u64,
 }
 
 impl<T> ChaosOperator<T> {
@@ -218,12 +251,27 @@ impl<T> ChaosOperator<T> {
         Self::with_shared_budget(cfg, budget)
     }
 
+    /// An injector that panics exactly when the `n`-th record (1-based)
+    /// passes through, and never again: the kill carries a one-shot
+    /// panic budget, so sharing that budget across supervised retries
+    /// (via [`ChaosOperator::with_shared_budget`] and
+    /// [`ChaosConfig::new_budget`]) models a transient fault at an
+    /// exact, reproducible offset.
+    pub fn kill_at_tuple(n: u64) -> Self {
+        ChaosOperator::new(ChaosConfig {
+            kill_at_tuple: Some(n),
+            panic_budget: Some(1),
+            ..ChaosConfig::default()
+        })
+    }
+
     /// An injector whose panic budget is shared (typically across
     /// supervised retries of the same job).
     pub fn with_shared_budget(cfg: ChaosConfig, budget: Arc<AtomicU64>) -> Self {
         ChaosOperator {
             plan: FaultPlan::new(cfg, budget, ChaosMetrics::detached()),
             malform: None,
+            ckpt_key: None,
         }
     }
 
@@ -237,6 +285,33 @@ impl<T> ChaosOperator<T> {
     pub fn with_malform(mut self, f: impl FnMut(&mut T) + Send + 'static) -> Self {
         self.malform = Some(Box::new(f));
         self
+    }
+
+    /// Enables checkpoint snapshots under `key`: the injector's record
+    /// counter and RNG position are captured so a restored attempt
+    /// replays the *same* fault schedule instead of re-rolling it.
+    pub fn with_checkpoint_key(mut self, key: impl Into<String>) -> Self {
+        self.ckpt_key = Some(key.into());
+        self
+    }
+}
+
+impl<T> StateSnapshot for ChaosOperator<T> {
+    fn snapshot_state(&self) -> Option<String> {
+        self.ckpt_key.as_ref()?;
+        serde_json::to_string(&ChaosState {
+            seen: self.plan.seen,
+            rng: self.plan.rng.state(),
+        })
+        .ok()
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let s: ChaosState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "ChaosState"))?;
+        self.plan.seen = s.seen;
+        self.plan.rng = SplitMix64::new(s.rng);
+        Ok(())
     }
 }
 
@@ -256,6 +331,12 @@ impl<T: Send> crate::operator::Operator<T, T> for ChaosOperator<T> {
                 out.collect(record);
             }
             Fault::None => out.collect(record),
+        }
+    }
+
+    fn on_barrier(&mut self, barrier: &CheckpointBarrier) {
+        if let (Some(key), Some(doc)) = (self.ckpt_key.clone(), self.snapshot_state()) {
+            barrier.contribute(key, doc);
         }
     }
 
@@ -349,6 +430,7 @@ pub fn install_quiet_panic_hook() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::operator::Operator;
     use crate::stage::run_operator_simple;
 
     #[test]
@@ -431,6 +513,57 @@ mod tests {
         let op = ChaosOperator::<i64>::with_shared_budget(cfg, budget);
         let out: Vec<i64> = run_operator_simple(op, vec![1, 2]);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn kill_at_tuple_fires_exactly_once_at_exact_offset() {
+        install_quiet_panic_hook();
+        let cfg = ChaosConfig {
+            kill_at_tuple: Some(3),
+            panic_budget: Some(1),
+            ..ChaosConfig::default()
+        };
+        let budget = cfg.new_budget();
+        let mut op = ChaosOperator::<i64>::with_shared_budget(cfg.clone(), Arc::clone(&budget));
+        let mut out = Vec::new();
+        // Records 1 and 2 pass; record 3 kills.
+        op.on_element(1, &mut out);
+        op.on_element(2, &mut out);
+        assert_eq!(out, vec![1, 2]);
+        let killed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op.on_element(3, &mut out)))
+                .is_err();
+        assert!(killed);
+        // The retry with the shared budget passes record 3 through.
+        let op = ChaosOperator::<i64>::with_shared_budget(cfg, budget);
+        let out: Vec<i64> = run_operator_simple(op, vec![1, 2, 3, 4]);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chaos_snapshot_restores_fault_schedule_position() {
+        let cfg = ChaosConfig {
+            drop_rate: 0.3,
+            seed: 7,
+            ..ChaosConfig::default()
+        };
+        let mut a = ChaosOperator::<i64>::new(cfg.clone()).with_checkpoint_key("chaos_0");
+        let mut sink = Vec::new();
+        for x in 0..50 {
+            a.on_element(x, &mut sink);
+        }
+        let doc = a.snapshot_state().expect("key installed");
+        // A fresh injector restored from the snapshot continues the
+        // exact drop schedule the original would have produced.
+        let mut b = ChaosOperator::<i64>::new(cfg).with_checkpoint_key("chaos_0");
+        b.restore_state(&doc).unwrap();
+        let (mut ya, mut yb) = (Vec::new(), Vec::new());
+        for x in 50..100 {
+            a.on_element(x, &mut ya);
+            b.on_element(x, &mut yb);
+        }
+        assert_eq!(ya, yb);
+        assert!(ya.len() < 50, "some records must have dropped");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The unit of flow inside a stream pipeline.
 
+use crate::checkpoint::CheckpointBarrier;
 use crate::fault::StageError;
 use icewafl_types::Timestamp;
 
@@ -26,6 +27,12 @@ pub enum StreamElement<T> {
     Batch(Vec<T>),
     /// An event-time watermark.
     Watermark(Timestamp),
+    /// A checkpoint barrier, injected by the source driver right after
+    /// an epoch-closing watermark (see [`checkpoint`](crate::checkpoint)).
+    /// Like a watermark it carries no data and must never overtake
+    /// records: transports flush partial batches before forwarding it.
+    /// It is *not* terminal — the stream continues after a barrier.
+    Barrier(CheckpointBarrier),
     /// End of stream. Always the last element on an edge.
     End,
     /// Poison marker: an upstream stage failed. Terminates the edge like
@@ -70,6 +77,7 @@ impl<T> StreamElement<T> {
             StreamElement::Record(r) => StreamElement::Record(f(r)),
             StreamElement::Batch(b) => StreamElement::Batch(b.into_iter().map(f).collect()),
             StreamElement::Watermark(w) => StreamElement::Watermark(w),
+            StreamElement::Barrier(b) => StreamElement::Barrier(b),
             StreamElement::End => StreamElement::End,
             StreamElement::Failure(e) => StreamElement::Failure(e),
         }

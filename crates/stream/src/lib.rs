@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod control;
 pub mod element;
 pub mod fault;
@@ -54,6 +55,10 @@ pub mod watermark;
 pub mod window;
 
 pub use chaos::{ChaosConfig, ChaosOperator, ChaosSource, CHAOS_PANIC_MARKER};
+pub use checkpoint::{
+    CheckpointBarrier, CheckpointCoordinator, CheckpointFrame, CheckpointStore, ReplayBuffer,
+    StateSnapshot, WatermarkGenState,
+};
 pub use control::{ControlChannel, ControlSubscriber};
 pub use element::StreamElement;
 pub use fault::{FailureCell, FailureKind, PipelineError, StageError};
@@ -64,7 +69,7 @@ pub use net::{
 };
 pub use operator::{Collector, Operator};
 pub use sink::{CountSink, FnSink, NullSink, SharedVecSink, Sink};
-pub use sort::EventTimeSorter;
+pub use sort::{EventTimeSorter, SorterStateCodec};
 pub use source::{GenSource, IterSource, Source, VecSource};
 pub use stream::{DataStream, SubPipelineBuilder};
 pub use supervisor::{Supervisor, SupervisorPolicy};

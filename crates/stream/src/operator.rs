@@ -52,6 +52,20 @@ pub trait Operator<In, Out>: Send {
         let _ = (wm, out);
     }
 
+    /// Called when a [`CheckpointBarrier`] passes through this
+    /// operator: at that instant the operator has processed exactly the
+    /// records preceding the barrier, so stateful operators contribute
+    /// their snapshot via [`CheckpointBarrier::contribute`]. Barriers
+    /// never emit records — that would break the pre/post-barrier
+    /// partitioning the snapshot relies on. The default ignores the
+    /// barrier (stateless operators need nothing).
+    ///
+    /// [`CheckpointBarrier`]: crate::checkpoint::CheckpointBarrier
+    /// [`CheckpointBarrier::contribute`]: crate::checkpoint::CheckpointBarrier::contribute
+    fn on_barrier(&mut self, barrier: &crate::checkpoint::CheckpointBarrier) {
+        let _ = barrier;
+    }
+
     /// Called once when the input is exhausted; flush any remaining
     /// state.
     fn on_end(&mut self, out: &mut dyn Collector<Out>) {

@@ -53,6 +53,13 @@ impl<T> SharedVecSink<T> {
     pub fn is_empty(&self) -> bool {
         self.items.lock().is_empty()
     }
+
+    /// Truncates the collection to its first `len` records — the
+    /// restore path rewinds a shared sink to a checkpoint's committed
+    /// prefix with this before the resumed attempt appends.
+    pub fn truncate(&self, len: usize) {
+        self.items.lock().truncate(len);
+    }
 }
 
 impl<T> Default for SharedVecSink<T> {

@@ -9,10 +9,12 @@
 //! sorter reproduces exactly the "late tuple disturbs the strictly
 //! increasing order" effect that experiment 3.1.3 detects.
 
+use crate::checkpoint::{CheckpointBarrier, StateSnapshot};
 use crate::metrics::SorterMetrics;
 use crate::operator::{Collector, Operator};
 use icewafl_obs::trace;
-use icewafl_types::Timestamp;
+use icewafl_types::{Error, Result, Timestamp};
+use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
 /// Initial reorder-buffer capacity, reserved on the first record. Sized
@@ -65,6 +67,67 @@ pub struct EventTimeSorter<T, F> {
     /// only at watermark/end boundaries (a per-record atomic `set_max`
     /// is too expensive for the hot path).
     buffer_peak: u64,
+    /// Record codec for checkpoint snapshots; `None` leaves the sorter
+    /// un-snapshotted (barriers pass through without a contribution).
+    codec: Option<SorterStateCodec<T>>,
+    /// Checkpoint-frame key the snapshot is contributed under.
+    ckpt_key: String,
+}
+
+/// Encodes/decodes the sorter's buffered records for checkpointing.
+///
+/// The sorter is generic over its record type, so snapshot support is
+/// installed explicitly: the runner supplies a codec for the concrete
+/// record type it sorts. Records travel as typed JSON documents (see
+/// [`StateSnapshot`] for why dynamic values are out).
+pub struct SorterStateCodec<T> {
+    encode: EncodeFn<T>,
+    decode: DecodeFn<T>,
+}
+
+/// Boxed record encoder of a [`SorterStateCodec`].
+type EncodeFn<T> = Box<dyn Fn(&T) -> Option<String> + Send>;
+/// Boxed record decoder of a [`SorterStateCodec`].
+type DecodeFn<T> = Box<dyn Fn(&str) -> Option<T> + Send>;
+
+impl<T> SorterStateCodec<T> {
+    /// A codec from explicit encode/decode functions.
+    pub fn new(
+        encode: impl Fn(&T) -> Option<String> + Send + 'static,
+        decode: impl Fn(&str) -> Option<T> + Send + 'static,
+    ) -> Self {
+        SorterStateCodec {
+            encode: Box::new(encode),
+            decode: Box::new(decode),
+        }
+    }
+}
+
+impl<T: Serialize + Deserialize> SorterStateCodec<T> {
+    /// The obvious codec for records that are themselves serde types.
+    pub fn serde() -> Self {
+        SorterStateCodec::new(
+            |t: &T| serde_json::to_string(t).ok(),
+            |s: &str| serde_json::from_str(s).ok(),
+        )
+    }
+}
+
+/// Wire form of a sorter snapshot: buffered records in buffer order and
+/// heap entries in ascending `(ts, seq)` order, as parallel arrays (the
+/// vendored serde has no tuple impls).
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct SorterState {
+    buf_ts: Vec<i64>,
+    buf_records: Vec<String>,
+    heap_ts: Vec<i64>,
+    heap_seq: Vec<u64>,
+    heap_records: Vec<String>,
+    seq: u64,
+    overflow_max: i64,
+    last_wm: i64,
+    max_event_ts: i64,
+    buffer_peak: u64,
 }
 
 struct Entry<T> {
@@ -116,12 +179,23 @@ where
             max_event_ts: Timestamp::MIN,
             metrics: SorterMetrics::detached(),
             buffer_peak: 0,
+            codec: None,
+            ckpt_key: "sorter".to_string(),
         }
     }
 
     /// Attaches metric handles (late records, lag, buffer occupancy).
     pub fn with_metrics(mut self, metrics: SorterMetrics) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Enables checkpoint snapshots: the sorter contributes its exact
+    /// state (both buffers, tie-break counter, watermark position)
+    /// under `key` whenever a barrier passes through.
+    pub fn with_state_codec(mut self, key: impl Into<String>, codec: SorterStateCodec<T>) -> Self {
+        self.codec = Some(codec);
+        self.ckpt_key = key.into();
         self
     }
 
@@ -166,6 +240,76 @@ where
         if self.overflow.is_empty() {
             self.overflow_max = Timestamp::MIN;
         }
+    }
+}
+
+impl<T, F> StateSnapshot for EventTimeSorter<T, F> {
+    /// `None` without a codec, or when any record fails to encode (a
+    /// snapshot with holes would violate the byte-identical recovery
+    /// invariant, so none is taken at all).
+    fn snapshot_state(&self) -> Option<String> {
+        let codec = self.codec.as_ref()?;
+        let mut state = SorterState {
+            seq: self.seq,
+            overflow_max: self.overflow_max.millis(),
+            last_wm: self.last_wm.millis(),
+            max_event_ts: self.max_event_ts.millis(),
+            buffer_peak: self.buffer_peak,
+            ..SorterState::default()
+        };
+        for e in &self.buf {
+            state.buf_ts.push(e.ts.millis());
+            state.buf_records.push((codec.encode)(&e.record)?);
+        }
+        // `BinaryHeap` iteration order is arbitrary; fix it so equal
+        // runs produce byte-identical frames.
+        let mut heaped: Vec<&HeapEntry<T>> = self.overflow.iter().collect();
+        heaped.sort_by_key(|e| (e.ts, e.seq));
+        for e in heaped {
+            state.heap_ts.push(e.ts.millis());
+            state.heap_seq.push(e.seq);
+            state.heap_records.push((codec.encode)(&e.record)?);
+        }
+        serde_json::to_string(&state).ok()
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<()> {
+        let Some(codec) = self.codec.as_ref() else {
+            return Err(Error::config("sorter restore requires a state codec"));
+        };
+        let s: SorterState =
+            serde_json::from_str(state).map_err(|_| Error::parse(state, "SorterState"))?;
+        if s.buf_ts.len() != s.buf_records.len()
+            || s.heap_ts.len() != s.heap_seq.len()
+            || s.heap_ts.len() != s.heap_records.len()
+        {
+            return Err(Error::parse(state, "SorterState"));
+        }
+        self.buf.clear();
+        for (ts, doc) in s.buf_ts.iter().zip(&s.buf_records) {
+            let record =
+                (codec.decode)(doc).ok_or_else(|| Error::parse(doc.as_str(), "sorter record"))?;
+            self.buf.push(Entry {
+                ts: Timestamp(*ts),
+                record,
+            });
+        }
+        self.overflow.clear();
+        for ((ts, seq), doc) in s.heap_ts.iter().zip(&s.heap_seq).zip(&s.heap_records) {
+            let record =
+                (codec.decode)(doc).ok_or_else(|| Error::parse(doc.as_str(), "sorter record"))?;
+            self.overflow.push(HeapEntry {
+                ts: Timestamp(*ts),
+                seq: *seq,
+                record,
+            });
+        }
+        self.seq = s.seq;
+        self.overflow_max = Timestamp(s.overflow_max);
+        self.last_wm = Timestamp(s.last_wm);
+        self.max_event_ts = Timestamp(s.max_event_ts);
+        self.buffer_peak = s.buffer_peak;
+        Ok(())
     }
 }
 
@@ -238,6 +382,12 @@ where
         self.release_up_to(wm, out);
         drop(span);
         self.metrics.buffer_max.set_max(self.buffer_peak);
+    }
+
+    fn on_barrier(&mut self, barrier: &CheckpointBarrier) {
+        if let Some(doc) = self.snapshot_state() {
+            barrier.contribute(self.ckpt_key.clone(), doc);
+        }
     }
 
     fn on_end(&mut self, out: &mut dyn Collector<T>) {
@@ -321,6 +471,47 @@ mod tests {
         s.on_element((2, "b"), &mut out);
         s.on_watermark(Timestamp(3), &mut out);
         assert_eq!(out, vec![(1, "a"), (2, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_buffer_heap_and_position() {
+        let mut s = EventTimeSorter::new(|x: &i64| Timestamp(*x))
+            .with_state_codec("sorter", SorterStateCodec::serde());
+        let mut out = Vec::new();
+        // Populate the sorted buffer…
+        for x in 0..80i64 {
+            s.on_element(x * 10, &mut out);
+        }
+        s.on_watermark(Timestamp(5), &mut out);
+        // …and force two entries into the overflow heap (landing more
+        // than MAX_INSERT_SHIFT slots behind the tail).
+        s.on_element(15, &mut out);
+        s.on_element(15, &mut out);
+        assert!(s.overflow.len() == 2, "test must exercise the heap path");
+        let doc = s.snapshot_state().expect("codec installed");
+
+        let mut r = EventTimeSorter::new(|x: &i64| Timestamp(*x))
+            .with_state_codec("sorter", SorterStateCodec::serde());
+        r.restore_state(&doc).unwrap();
+        assert_eq!(r.buffered(), s.buffered());
+        assert_eq!(r.snapshot_state().unwrap(), doc);
+        // Both drain identically from here on.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        s.on_watermark(Timestamp(300), &mut a);
+        r.on_watermark(Timestamp(300), &mut b);
+        assert_eq!(a, b);
+        s.on_end(&mut a);
+        r.on_end(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_is_none_without_codec() {
+        let mut s = sorter();
+        let mut out = Vec::new();
+        s.on_element((5, "a"), &mut out);
+        assert!(s.snapshot_state().is_none());
+        assert!(s.restore_state("{}").is_err());
     }
 
     #[cfg(feature = "obs")]

@@ -13,6 +13,14 @@ use crossbeam::channel::{Sender, TrySendError};
 use icewafl_obs::{trace, Stopwatch};
 use icewafl_types::Timestamp;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Operator stages re-check the wall-clock deadline once per this many
+/// records (power-of-two mask). The source driver has its own check,
+/// but a source can drain into channels far ahead of a slow operator —
+/// enforcing the deadline *here* is what guarantees an attempt cannot
+/// outlive it no matter where the time is spent.
+const DEADLINE_CHECK_MASK: u64 = 255;
 
 /// A push-based consumer of stream elements.
 pub trait Stage<T>: Send {
@@ -34,6 +42,9 @@ pub struct SinkStage<S> {
     sink: S,
     finished: bool,
     failures: FailureCell,
+    /// Records committed to the sink so far — recorded into checkpoint
+    /// frames so restores know where to truncate a shared sink.
+    written: u64,
 }
 
 impl<S> SinkStage<S> {
@@ -45,10 +56,20 @@ impl<S> SinkStage<S> {
 
     /// Wraps a sink, recording the first observed failure into `cell`.
     pub fn with_failure_cell(sink: S, cell: FailureCell) -> Self {
+        Self::resumed(sink, cell, 0)
+    }
+
+    /// Wraps a sink whose backing store already holds `committed_base`
+    /// records from a previous (checkpoint-restored) attempt: barrier
+    /// commits count from that base, so checkpoint frames always record
+    /// *absolute* sink offsets — the truncation point a later restore
+    /// needs — rather than per-attempt ones.
+    pub fn resumed(sink: S, cell: FailureCell, committed_base: u64) -> Self {
         SinkStage {
             sink,
             finished: false,
             failures: cell,
+            written: committed_base,
         }
     }
 }
@@ -70,9 +91,12 @@ where
                     self.finished = true;
                     self.failures
                         .record(StageError::from_panic("sink", payload));
+                } else {
+                    self.written += 1;
                 }
             }
             StreamElement::Batch(batch) => {
+                let len = batch.len() as u64;
                 let sink = &mut self.sink;
                 if let Err(payload) =
                     catch_unwind(AssertUnwindSafe(move || sink.write_batch(batch)))
@@ -80,9 +104,17 @@ where
                     self.finished = true;
                     self.failures
                         .record(StageError::from_panic("sink", payload));
+                } else {
+                    self.written += len;
                 }
             }
             StreamElement::Watermark(_) => {}
+            StreamElement::Barrier(b) => {
+                // Sink-side committer: the barrier has crossed every
+                // stage, so the snapshot is complete — seal the frame
+                // with the committed-record count.
+                b.commit(self.written);
+            }
             StreamElement::End => {
                 self.finished = true;
                 let sink = &mut self.sink;
@@ -126,6 +158,10 @@ pub struct OperatorStage<Op, Out> {
     /// `Arc<AtomicU64>` increment is too expensive for the hot path.
     in_pending: u64,
     out_pending: u64,
+    /// Wall-clock deadline checked every [`DEADLINE_CHECK_MASK`]+1
+    /// records; on expiry the stage poisons itself with a
+    /// [`FailureKind::Deadline`](crate::fault::FailureKind) failure.
+    deadline: Option<Instant>,
 }
 
 impl<Op, Out> OperatorStage<Op, Out> {
@@ -152,7 +188,17 @@ impl<Op, Out> OperatorStage<Op, Out> {
             seen: 0,
             in_pending: 0,
             out_pending: 0,
+            deadline: None,
         }
+    }
+
+    /// Arms the per-stage wall-clock deadline check (`None` = never
+    /// expires). The executor wires this from the run deadline so slow
+    /// operators are cut off even when the source has long since
+    /// drained.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     fn flush_pending(&mut self) {
@@ -177,6 +223,25 @@ impl<Op, Out> OperatorStage<Op, Out> {
         self.flush_pending();
         let error = StageError::from_panic(&self.label, payload);
         self.down.push(StreamElement::Failure(error));
+    }
+
+    /// Periodic deadline enforcement: when the armed deadline has
+    /// passed, poison the stage with a `Deadline` failure (which a
+    /// supervisor never retries) instead of grinding out the rest of
+    /// the stream.
+    fn enforce_deadline(&mut self)
+    where
+        Out: Send,
+    {
+        let Some(dl) = self.deadline else { return };
+        if Instant::now() < dl {
+            return;
+        }
+        self.ended = true;
+        self.metrics.failures.inc();
+        self.flush_pending();
+        self.down
+            .push(StreamElement::Failure(StageError::deadline(&self.label)));
     }
 }
 
@@ -233,6 +298,8 @@ where
                 };
                 if let Err(payload) = result {
                     self.fail(payload);
+                } else if self.seen & DEADLINE_CHECK_MASK == 0 {
+                    self.enforce_deadline();
                 }
             }
             StreamElement::Batch(batch) => {
@@ -244,6 +311,9 @@ where
                 // 1-in-64 sample points the per-record path would hit.
                 let next_sample = (self.seen + SAMPLE_MASK) & !SAMPLE_MASK;
                 let sampled = next_sample < self.seen + len;
+                // Same crossing logic for the (coarser) deadline check.
+                let next_deadline_check = (self.seen + DEADLINE_CHECK_MASK) & !DEADLINE_CHECK_MASK;
+                let check_deadline = next_deadline_check < self.seen + len;
                 self.seen += len;
                 self.in_pending += len;
                 let result = {
@@ -276,6 +346,8 @@ where
                 };
                 if let Err(payload) = result {
                     self.fail(payload);
+                } else if check_deadline {
+                    self.enforce_deadline();
                 }
             }
             StreamElement::Watermark(wm) => {
@@ -296,6 +368,20 @@ where
                     Ok(()) => {
                         self.flush_pending();
                         self.down.push(StreamElement::Watermark(wm));
+                    }
+                    Err(payload) => self.fail(payload),
+                }
+            }
+            StreamElement::Barrier(b) => {
+                // Snapshot point: the operator has seen exactly the
+                // records preceding the barrier. Contribute state, then
+                // forward so downstream stages snapshot too.
+                let op = &mut self.op;
+                let result = catch_unwind(AssertUnwindSafe(|| op.on_barrier(&b)));
+                match result {
+                    Ok(()) => {
+                        self.flush_pending();
+                        self.down.push(StreamElement::Barrier(b));
                     }
                     Err(payload) => self.fail(payload),
                 }
@@ -517,6 +603,7 @@ where
             StreamElement::Record(r) => op.on_element(r, &mut out),
             StreamElement::Batch(b) => op.on_batch(b, &mut out),
             StreamElement::Watermark(wm) => op.on_watermark(wm, &mut out),
+            StreamElement::Barrier(b) => op.on_barrier(&b),
             StreamElement::End => op.on_end(&mut out),
             StreamElement::Failure(_) => break,
         }

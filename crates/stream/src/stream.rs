@@ -16,6 +16,7 @@
 //!   [`DataStream::split_merge_parallel`] runs sub-pipelines on their own
 //!   threads, with watermark-merged union.
 
+use crate::checkpoint::{CheckpointBarrier, CheckpointCoordinator, WatermarkGenState};
 use crate::element::StreamElement;
 use crate::fault::{FailureCell, FailureKind, PipelineError, StageError};
 use crate::keyed::KeyedProcessOperator;
@@ -36,6 +37,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use icewafl_obs::{MetricsRegistry, Stopwatch};
 use icewafl_types::{Duration, Timestamp};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -212,6 +214,89 @@ impl<T: Send + 'static> DataStream<T> {
         Self::from_source(VecSource::new(items), WatermarkStrategy::none())
     }
 
+    /// Like [`DataStream::from_source`], but the driver additionally
+    /// injects [`CheckpointBarrier`]s right after epoch-closing
+    /// watermarks, as decided by `coordinator`.
+    ///
+    /// `base_offset` is the absolute record offset the source starts at
+    /// (non-zero when resuming a replayable source mid-stream) and
+    /// `resume_wm` the watermark-generator position captured at that
+    /// offset — together they make a restored run's barrier cadence and
+    /// watermark sequence identical to the undisturbed tail.
+    pub fn from_source_checkpointed(
+        source: impl Source<T> + 'static,
+        strategy: WatermarkStrategy<T>,
+        mut coordinator: CheckpointCoordinator,
+        base_offset: u64,
+        resume_wm: Option<WatermarkGenState>,
+    ) -> Self {
+        DataStream {
+            build: Box::new(move |mut down, ctx| {
+                let mut source = source;
+                let mut generator = strategy.generator();
+                if let Some(state) = &resume_wm {
+                    generator.restore(state);
+                }
+                let label = ctx.next_stage_label("source");
+                let failures = ctx.failure_cell();
+                let deadline = ctx.deadline;
+                Box::new(move || {
+                    let mut emitted: u64 = 0;
+                    loop {
+                        let step = {
+                            let source = &mut source;
+                            let generator = &mut generator;
+                            catch_unwind(AssertUnwindSafe(move || {
+                                source.next().map(|r| {
+                                    let wm = generator.on_record(&r);
+                                    (r, wm)
+                                })
+                            }))
+                        };
+                        match step {
+                            Ok(Some((record, wm))) => {
+                                down.push(StreamElement::Record(record));
+                                emitted += 1;
+                                coordinator.on_record();
+                                if let Some(wm) = wm {
+                                    down.push(StreamElement::Watermark(wm));
+                                    if let Some(barrier) = coordinator.on_watermark(
+                                        wm,
+                                        base_offset + emitted,
+                                        generator.state(),
+                                    ) {
+                                        down.push(StreamElement::Barrier(barrier));
+                                    }
+                                }
+                            }
+                            Ok(None) => {
+                                down.push(StreamElement::Watermark(Timestamp::MAX));
+                                down.push(StreamElement::End);
+                                return;
+                            }
+                            Err(payload) => {
+                                let error = StageError::from_panic(&label, payload);
+                                failures.record(error.clone());
+                                down.push(StreamElement::Failure(error));
+                                return;
+                            }
+                        }
+                        if emitted & DEADLINE_CHECK_MASK == 0 {
+                            if let Some(dl) = deadline {
+                                if Instant::now() >= dl {
+                                    let error = StageError::deadline(&label);
+                                    failures.record(error.clone());
+                                    down.push(StreamElement::Failure(error));
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                })
+            }),
+        }
+    }
+
     /// Internal: a stream that replays raw elements (records *and*
     /// watermarks) from a channel. Used by split/merge plumbing.
     #[allow(dead_code)]
@@ -295,8 +380,12 @@ impl<T: Send + 'static> DataStream<T> {
             build: Box::new(move |down, ctx| {
                 let label = ctx.next_stage_label(Operator::<T, U>::name(&op));
                 let metrics = StageMetrics::register(ctx.registry(), &label);
+                let deadline = ctx.deadline;
                 upstream(
-                    Box::new(OperatorStage::with_metrics(op, down, metrics, label)),
+                    Box::new(
+                        OperatorStage::with_metrics(op, down, metrics, label)
+                            .with_deadline(deadline),
+                    ),
                     ctx,
                 )
             }),
@@ -355,13 +444,40 @@ impl<T: Send + 'static> DataStream<T> {
                 let stage_metrics = StageMetrics::register(ctx.registry(), &label);
                 let sorter = EventTimeSorter::new(extract)
                     .with_metrics(SorterMetrics::register(ctx.registry(), &label));
+                let deadline = ctx.deadline;
                 upstream(
-                    Box::new(OperatorStage::with_metrics(
-                        sorter,
-                        down,
-                        stage_metrics,
-                        label,
-                    )),
+                    Box::new(
+                        OperatorStage::with_metrics(sorter, down, stage_metrics, label)
+                            .with_deadline(deadline),
+                    ),
+                    ctx,
+                )
+            }),
+        }
+    }
+
+    /// Like [`DataStream::sort_by_event_time`], but over a caller-built
+    /// sorter — the hook checkpointing runners use to install a
+    /// state-snapshot codec (see
+    /// [`EventTimeSorter::with_state_codec`]) before the sorter enters
+    /// the pipeline. Metrics registration and stage labelling are
+    /// identical to the plain combinator.
+    pub fn sort_with<F>(self, sorter: EventTimeSorter<T, F>) -> DataStream<T>
+    where
+        F: FnMut(&T) -> Timestamp + Send + 'static,
+    {
+        let upstream = self.build;
+        DataStream {
+            build: Box::new(move |down, ctx| {
+                let label = ctx.next_stage_label("event_time_sorter");
+                let stage_metrics = StageMetrics::register(ctx.registry(), &label);
+                let sorter = sorter.with_metrics(SorterMetrics::register(ctx.registry(), &label));
+                let deadline = ctx.deadline;
+                upstream(
+                    Box::new(
+                        OperatorStage::with_metrics(sorter, down, stage_metrics, label)
+                            .with_deadline(deadline),
+                    ),
                     ctx,
                 )
             }),
@@ -483,12 +599,7 @@ impl<T: Send + 'static> DataStream<T> {
                         down.push(StreamElement::End);
                     });
                 }
-                let shared = Arc::new(Mutex::new(UnionInner {
-                    down,
-                    merger: WatermarkMerger::new(n),
-                    pending: n,
-                    ended: false,
-                }));
+                let shared = Arc::new(Mutex::new(UnionInner::new(down, n)));
                 let drivers: Vec<Driver> = streams
                     .into_iter()
                     .enumerate()
@@ -698,11 +809,26 @@ impl<T: Send + 'static> DataStream<T> {
         registry: &MetricsRegistry,
         deadline: Option<Instant>,
     ) -> Result<(), PipelineError> {
+        self.execute_into_resumed(sink, registry, deadline, 0)
+    }
+
+    /// Like [`DataStream::execute_into_with_options`], but for a
+    /// checkpoint-restored attempt whose sink already holds
+    /// `committed_base` records from before the restore: barrier commits
+    /// record absolute sink offsets (`committed_base` + this attempt's
+    /// writes), keeping checkpoint frames valid across nested restores.
+    pub fn execute_into_resumed(
+        self,
+        sink: impl Sink<T> + 'static,
+        registry: &MetricsRegistry,
+        deadline: Option<Instant>,
+        committed_base: u64,
+    ) -> Result<(), PipelineError> {
         let mut ctx = ExecutionContext::with_registry(registry.clone());
         ctx.set_deadline(deadline);
         let cell = ctx.failure_cell();
         let driver = (self.build)(
-            Box::new(SinkStage::with_failure_cell(sink, cell.clone())),
+            Box::new(SinkStage::resumed(sink, cell.clone(), committed_base)),
             &mut ctx,
         );
         // Stages and workers catch their own panics; this guard converts
@@ -749,6 +875,122 @@ struct UnionInner<T> {
     merger: WatermarkMerger,
     pending: usize,
     ended: bool,
+    /// Checkpoint-barrier alignment (Chandy–Lamport style): the barrier
+    /// in flight, how many inputs have delivered it, which inputs are
+    /// blocked waiting for the rest, and the elements those blocked
+    /// inputs delivered in the meantime. A consistent snapshot requires
+    /// that the barrier reaches downstream state *after* every
+    /// pre-barrier record and *before* any post-barrier record, from
+    /// every input.
+    current_barrier: Option<CheckpointBarrier>,
+    arrived: usize,
+    blocked: Vec<bool>,
+    done: Vec<bool>,
+    held: Vec<VecDeque<StreamElement<T>>>,
+}
+
+impl<T: Send> UnionInner<T> {
+    fn new(down: BoxStage<T>, n: usize) -> Self {
+        UnionInner {
+            down,
+            merger: WatermarkMerger::new(n),
+            pending: n,
+            ended: false,
+            current_barrier: None,
+            arrived: 0,
+            blocked: vec![false; n],
+            done: vec![false; n],
+            held: (0..n).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Entry point for input `idx` (called under the union lock):
+    /// elements from barrier-blocked inputs are parked, everything else
+    /// merges immediately, then any completed alignment releases.
+    fn handle(&mut self, idx: usize, element: StreamElement<T>) {
+        if self.ended {
+            return;
+        }
+        if self.blocked[idx] {
+            self.held[idx].push_back(element);
+        } else {
+            self.process(idx, element);
+        }
+        self.release_aligned();
+    }
+
+    fn process(&mut self, idx: usize, element: StreamElement<T>) {
+        match element {
+            StreamElement::Record(r) => self.down.push(StreamElement::Record(r)),
+            // Forwarded intact: one lock acquisition for the whole batch.
+            StreamElement::Batch(b) => self.down.push(StreamElement::Batch(b)),
+            StreamElement::Watermark(wm) => {
+                if let Some(combined) = self.merger.advance(idx, wm) {
+                    self.down.push(StreamElement::Watermark(combined));
+                }
+            }
+            StreamElement::Barrier(b) => {
+                // First arrival carries the barrier; the input blocks
+                // until every live input delivers its copy.
+                self.blocked[idx] = true;
+                self.arrived += 1;
+                if self.current_barrier.is_none() {
+                    self.current_barrier = Some(b);
+                }
+            }
+            StreamElement::End => {
+                self.done[idx] = true;
+                // An ended input can no longer hold the watermark back.
+                if let Some(combined) = self.merger.advance(idx, Timestamp::MAX) {
+                    self.down.push(StreamElement::Watermark(combined));
+                }
+                self.pending -= 1;
+                if self.pending == 0 {
+                    self.ended = true;
+                    self.down.push(StreamElement::End);
+                }
+            }
+            StreamElement::Failure(e) => {
+                // Poison from any input terminates the merged stream
+                // immediately; the other inputs see `ended` and drop
+                // whatever they still deliver. An in-flight alignment is
+                // abandoned — its checkpoint simply never commits.
+                self.ended = true;
+                self.down.push(StreamElement::Failure(e));
+            }
+        }
+    }
+
+    /// Forwards the in-flight barrier once every live (non-ended) input
+    /// has delivered it, then replays the elements blocked inputs
+    /// parked — in input order, each input up to its next barrier.
+    /// Loops because the replay may immediately complete the next
+    /// alignment.
+    fn release_aligned(&mut self) {
+        loop {
+            if self.ended {
+                return;
+            }
+            let live = self.done.iter().filter(|d| !**d).count();
+            if self.current_barrier.is_none() || live == 0 || self.arrived < live {
+                return;
+            }
+            let barrier = self.current_barrier.take().expect("barrier checked above");
+            self.arrived = 0;
+            for flag in self.blocked.iter_mut() {
+                *flag = false;
+            }
+            self.down.push(StreamElement::Barrier(barrier));
+            for idx in 0..self.held.len() {
+                while !self.blocked[idx] && !self.ended {
+                    let Some(element) = self.held[idx].pop_front() else {
+                        break;
+                    };
+                    self.process(idx, element);
+                }
+            }
+        }
+    }
 }
 
 /// One input leg of a union.
@@ -759,38 +1001,7 @@ struct UnionInput<T> {
 
 impl<T: Send> Stage<T> for UnionInput<T> {
     fn push(&mut self, element: StreamElement<T>) {
-        let mut inner = self.inner.lock();
-        if inner.ended {
-            return;
-        }
-        match element {
-            StreamElement::Record(r) => inner.down.push(StreamElement::Record(r)),
-            // Forwarded intact: one lock acquisition for the whole batch.
-            StreamElement::Batch(b) => inner.down.push(StreamElement::Batch(b)),
-            StreamElement::Watermark(wm) => {
-                if let Some(combined) = inner.merger.advance(self.idx, wm) {
-                    inner.down.push(StreamElement::Watermark(combined));
-                }
-            }
-            StreamElement::End => {
-                // An ended input can no longer hold the watermark back.
-                if let Some(combined) = inner.merger.advance(self.idx, Timestamp::MAX) {
-                    inner.down.push(StreamElement::Watermark(combined));
-                }
-                inner.pending -= 1;
-                if inner.pending == 0 {
-                    inner.ended = true;
-                    inner.down.push(StreamElement::End);
-                }
-            }
-            StreamElement::Failure(e) => {
-                // Poison from any input terminates the merged stream
-                // immediately; the other inputs see `ended` and drop
-                // whatever they still deliver.
-                inner.ended = true;
-                inner.down.push(StreamElement::Failure(e));
-            }
-        }
+        self.inner.lock().handle(self.idx, element);
     }
 }
 
@@ -925,6 +1136,15 @@ where
                 self.flush_all();
                 for tx in &self.txs {
                     send_metered(tx, StreamElement::Watermark(wm), &self.metrics);
+                }
+            }
+            StreamElement::Barrier(b) => {
+                // Broadcast like a watermark: clones share one pending
+                // snapshot, so every sub-stream contributes to the same
+                // frame and the union re-aligns them downstream.
+                self.flush_all();
+                for tx in &self.txs {
+                    send_metered(tx, StreamElement::Barrier(b.clone()), &self.metrics);
                 }
             }
             StreamElement::End => {

@@ -142,17 +142,33 @@ impl Supervisor {
         Some(self.backoff(attempt))
     }
 
+    /// Pre-jitter backoff in nanoseconds: `min(base · 2^(n−1), max)`,
+    /// saturating at `max` for any attempt count. Once the doubling
+    /// count reaches 127 the shift itself would overflow `u128`, so the
+    /// cap is taken *before* shifting — high attempt counts can never
+    /// wrap into a short (or zero) sleep.
+    fn raw_backoff_nanos(&self, attempt: u32) -> u128 {
+        let base = self.policy.backoff_base.as_nanos();
+        let max = self.policy.backoff_max.as_nanos();
+        if base == 0 {
+            return 0;
+        }
+        let doublings = attempt.saturating_sub(1);
+        if doublings >= 127 {
+            return max;
+        }
+        base.checked_mul(1u128 << doublings)
+            .map_or(max, |exp| exp.min(max))
+    }
+
     /// `min(base · 2^(n−1), max)` scaled by jitter in `[0.5, 1.5)`.
     fn backoff(&mut self, attempt: u32) -> Duration {
         if self.policy.deterministic {
             return Duration::ZERO;
         }
-        let base = self.policy.backoff_base.as_nanos();
-        let max = self.policy.backoff_max.as_nanos();
-        let exp = base.saturating_mul(1u128 << (attempt - 1).min(64));
-        let capped = exp.min(max) as f64;
+        let capped = self.raw_backoff_nanos(attempt).min(u64::MAX as u128) as f64;
         let jitter = 0.5 + self.rng.next_f64();
-        Duration::from_nanos((capped * jitter) as u64)
+        Duration::from_nanos((capped * jitter).min(u64::MAX as f64) as u64)
     }
 }
 
@@ -231,6 +247,60 @@ mod tests {
                 "backoff {ms}ms outside [{}, {})",
                 0.5 * base_ms,
                 1.5 * base_ms
+            );
+        }
+    }
+
+    #[test]
+    fn raw_backoff_table_is_pinned() {
+        let sup = Supervisor::new(SupervisorPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(80),
+            ..SupervisorPolicy::default()
+        });
+        let ms = |n: u32| sup.raw_backoff_nanos(n) / 1_000_000;
+        // Exact pre-jitter schedule: doubling until the cap, then flat.
+        let table: Vec<u128> = (1..=8).map(ms).collect();
+        assert_eq!(table, vec![10, 20, 40, 80, 80, 80, 80, 80]);
+        // Attempt 0 behaves like attempt 1 (no negative doubling).
+        assert_eq!(ms(0), 10);
+    }
+
+    #[test]
+    fn backoff_saturates_at_high_attempt_counts() {
+        let sup = Supervisor::new(SupervisorPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(5),
+            ..SupervisorPolicy::default()
+        });
+        let cap = Duration::from_secs(5).as_nanos();
+        // Past the doubling range the backoff is exactly the cap — it
+        // must never wrap around to a short or zero sleep.
+        for attempt in [64, 65, 127, 128, 1_000, u32::MAX] {
+            assert_eq!(sup.raw_backoff_nanos(attempt), cap, "attempt {attempt}");
+        }
+        // A zero base stays zero at any attempt (no backoff configured).
+        let zero = Supervisor::new(SupervisorPolicy {
+            backoff_base: Duration::ZERO,
+            ..SupervisorPolicy::default()
+        });
+        assert_eq!(zero.raw_backoff_nanos(u32::MAX), 0);
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_even_at_extreme_attempts() {
+        let mut sup = Supervisor::new(SupervisorPolicy {
+            max_retries: u32::MAX,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(40),
+            seed: 3,
+            ..SupervisorPolicy::default()
+        });
+        for attempt in [1, 63, 64, 65, 500, u32::MAX] {
+            let d = sup.backoff(attempt);
+            assert!(
+                d <= Duration::from_millis(60),
+                "attempt {attempt}: {d:?} exceeds 1.5 × cap"
             );
         }
     }

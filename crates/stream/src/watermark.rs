@@ -74,6 +74,23 @@ pub(crate) struct WatermarkGenerator<T> {
 }
 
 impl<T> WatermarkGenerator<T> {
+    /// The generator's exact position, captured into checkpoint frames
+    /// so a replayed source resumes the same emission cadence.
+    pub(crate) fn state(&self) -> crate::checkpoint::WatermarkGenState {
+        crate::checkpoint::WatermarkGenState {
+            max_ts: self.max_ts.millis(),
+            seen: self.seen,
+            last_emitted: self.last_emitted.map(|t| t.millis()),
+        }
+    }
+
+    /// Restores a position captured by [`WatermarkGenerator::state`].
+    pub(crate) fn restore(&mut self, state: &crate::checkpoint::WatermarkGenState) {
+        self.max_ts = Timestamp(state.max_ts);
+        self.seen = state.seen;
+        self.last_emitted = state.last_emitted.map(Timestamp);
+    }
+
     /// Observes a record; returns a watermark to emit after it, if any.
     pub(crate) fn on_record(&mut self, record: &T) -> Option<Timestamp> {
         match &mut self.kind {

@@ -52,6 +52,7 @@ fn main() {
         ],
         supervision: None,
         chaos: None,
+        checkpoint: None,
         execution: None,
     };
     let pipelines = config.build(&schema).expect("config builds");

@@ -56,6 +56,7 @@ USAGE:
                    [--clean CLEAN.csv] [--log LOG.json] [--seed N] [--parallel]
                    [--batch-size N] [--explain] [--report]
                    [--metrics-json METRICS.json] [--max-retries N] [--fail-fast]
+                   [--checkpoint-dir DIR] [--checkpoint-interval-epochs N]
                    [--trace-out TRACE.json]
   icewafl validate --schema S --input IN.csv --suite SUITE.json
   icewafl profile  --schema S --input IN.csv
@@ -75,6 +76,14 @@ USAGE:
   --metrics-json F  write the run report as JSON to F
   --max-retries N   allow N supervised restarts per failing stage
   --fail-fast       disable restarts even if the config enables them
+  --checkpoint-dir DIR
+                    enable epoch-aligned checkpointing with a write-ahead
+                    log at DIR/checkpoint.wal: supervised retries resume
+                    from the latest checkpoint instead of restarting
+  --checkpoint-interval-epochs N
+                    take a checkpoint every N source epochs (default 1;
+                    implies in-memory checkpointing when --checkpoint-dir
+                    is absent)
   --trace-out F     capture a Chrome trace of the run (stage spans, backpressure
                     blocking, epoch swaps) — open F in Perfetto or chrome://tracing
 
@@ -163,6 +172,19 @@ fn cmd_pollute(args: &[String]) -> Result<()> {
         let mut supervision = plan.supervision.unwrap_or_default();
         supervision.max_retries = 0;
         plan.supervision = Some(supervision);
+    }
+    if let Some(dir) = flag(args, "--checkpoint-dir") {
+        let mut ckpt = plan.checkpoint.clone().unwrap_or_default();
+        ckpt.dir = Some(dir);
+        plan.checkpoint = Some(ckpt);
+    }
+    if let Some(every) = flag(args, "--checkpoint-interval-epochs") {
+        let every: u64 = every.parse().map_err(|_| {
+            Error::config(format_args!("bad --checkpoint-interval-epochs `{every}`"))
+        })?;
+        let mut ckpt = plan.checkpoint.clone().unwrap_or_default();
+        ckpt.interval_epochs = every.max(1);
+        plan.checkpoint = Some(ckpt);
     }
     let physical = plan.compile(&schema)?;
     if present(args, "--explain") {
