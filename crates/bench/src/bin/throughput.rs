@@ -41,7 +41,7 @@
 use std::time::Instant;
 
 use icewafl_core::config::{ConditionConfig, ErrorConfig, PolluterConfig};
-use icewafl_core::plan::{AssignerSpec, LogicalPlan, StrategyHint};
+use icewafl_core::plan::{AssignerSpec, LogicalPlan, ReprHint, StrategyHint};
 use icewafl_types::{DataType, Schema, Timestamp, Tuple, Value};
 
 /// Pipeline length ℓ of the reference workload.
@@ -50,6 +50,9 @@ const PIPELINE_LEN: usize = 4;
 const SUB_STREAMS: usize = 4;
 /// Batch sizes swept per strategy (1 = unbatched transport).
 const BATCH_SIZES: [usize; 3] = [1, 64, 256];
+/// Batch sizes swept by the columnar group. Starts at 64 — a columnar
+/// kernel over a 1-tuple batch only measures conversion overhead.
+const COLUMNAR_BATCH_SIZES: [usize; 3] = [64, 256, 4096];
 
 fn schema() -> Schema {
     Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
@@ -83,11 +86,21 @@ fn pipeline() -> Vec<PolluterConfig> {
 }
 
 fn plan(strategy: StrategyHint, batch_size: usize) -> LogicalPlan {
+    plan_repr(strategy, batch_size, ReprHint::Row)
+}
+
+/// The reference workload with an explicit batch representation. The
+/// historical strategy groups pin `ReprHint::Row` so their numbers keep
+/// meaning across the columnar rollout; the `columnar/*` group pins
+/// `ReprHint::Columnar` so a silent fall-back to rows shows up as a
+/// compile error rather than a quietly wrong measurement.
+fn plan_repr(strategy: StrategyHint, batch_size: usize, repr: ReprHint) -> LogicalPlan {
     let mut plan = LogicalPlan::new(42, vec![pipeline(); SUB_STREAMS]);
     plan.assigner = AssignerSpec::RoundRobin;
     plan.strategy = strategy;
     plan.logging = false;
     plan.batch_size = batch_size;
+    plan.repr = repr;
     plan
 }
 
@@ -100,8 +113,19 @@ struct Measurement {
 }
 
 fn measure(strategy: StrategyHint, batch_size: usize, n: i64, reps: u32) -> Measurement {
+    measure_repr(strategy, batch_size, n, reps, ReprHint::Row, None)
+}
+
+fn measure_repr(
+    strategy: StrategyHint,
+    batch_size: usize,
+    n: i64,
+    reps: u32,
+    repr: ReprHint,
+    group: Option<&str>,
+) -> Measurement {
     let schema = schema();
-    let physical = plan(strategy, batch_size)
+    let physical = plan_repr(strategy, batch_size, repr)
         .compile(&schema)
         .expect("reference plan compiles");
     let data = tuples(n);
@@ -117,12 +141,12 @@ fn measure(strategy: StrategyHint, batch_size: usize, n: i64, reps: u32) -> Meas
         assert_eq!(out.polluted.len(), n as usize);
         best = best.min(elapsed);
     }
-    let strategy_name = match strategy {
+    let strategy_name = group.unwrap_or(match strategy {
         StrategyHint::Sequential => "sequential",
         StrategyHint::Pipelined => "pipelined",
         StrategyHint::SplitMergeParallel => "split_merge_parallel",
         _ => "other",
-    };
+    });
     Measurement {
         name: format!("{strategy_name}/batch_{batch_size}"),
         strategy: strategy_name.to_string(),
@@ -311,6 +335,16 @@ fn render(
 /// tracks raw machine speed.
 const REFERENCE_CONFIG: &str = "sequential/batch_1";
 
+/// Minimum columnar-over-row sequential speedup the `--relative` gate
+/// accepts, measured against [`REFERENCE_CONFIG`]. Both sides run on
+/// the same machine in the same process, so unlike absolute tuples/sec
+/// this ratio is stable across hardware. The floor sits well under the
+/// ~2.2–2.6x this workload measures because its job is to catch a
+/// silent fall-back to the row path (ratio ~1.0), not to pin the exact
+/// speedup — the gaussian-noise kernels are compute-heavy enough that
+/// Amdahl caps the transport win, and machine noise must not flake CI.
+const COLUMNAR_SPEEDUP_FLOOR: f64 = 1.5;
+
 /// Compares measured throughput against a committed baseline; returns
 /// the names of configurations that regressed beyond `tolerance`. In
 /// relative mode both sides are divided by their own
@@ -372,6 +406,34 @@ fn check(
             ));
         }
     }
+    if relative {
+        // The columnar/row speedup ratio is the headline number of the
+        // columnar rollout; gate it directly so a silent fall-back to
+        // the row path (ratio ~1.0) fails CI even when every absolute
+        // configuration stays inside tolerance.
+        let best_tps = |group: &str| {
+            results
+                .iter()
+                .filter(|m| m.strategy == group)
+                .map(|m| m.tuples_per_sec)
+                .fold(f64::NAN, f64::max)
+        };
+        let columnar = best_tps("columnar");
+        let row = results
+            .iter()
+            .find(|m| m.name == REFERENCE_CONFIG)
+            .map(|m| m.tuples_per_sec)
+            .unwrap_or(f64::NAN);
+        let ratio = columnar / row;
+        if ratio.is_finite() {
+            eprintln!("columnar/row sequential speedup: {ratio:.2}x (floor {COLUMNAR_SPEEDUP_FLOOR:.1}x)");
+            if ratio < COLUMNAR_SPEEDUP_FLOOR {
+                regressions.push(format!(
+                    "columnar/row speedup: {ratio:.2}x < floor {COLUMNAR_SPEEDUP_FLOOR:.1}x"
+                ));
+            }
+        }
+    }
     regressions
 }
 
@@ -411,6 +473,26 @@ fn main() {
             );
             results.push(m);
         }
+    }
+    // Columnar scenario group: the sequential reference workload with
+    // `repr = columnar`, swept over the columnar batch sizes. Lands in
+    // `results` so the `--check --relative` gate compares its speedup
+    // over `sequential/batch_1` across machines, the same way it gates
+    // the row groups.
+    for batch_size in COLUMNAR_BATCH_SIZES {
+        let m = measure_repr(
+            StrategyHint::Sequential,
+            batch_size,
+            n,
+            reps,
+            ReprHint::Columnar,
+            Some("columnar"),
+        );
+        eprintln!(
+            "{:<32} {:>12.0} tuples/s  (best {:.2} ms)",
+            m.name, m.tuples_per_sec, m.best_ms
+        );
+        results.push(m);
     }
 
     let mut serve_results = Vec::new();

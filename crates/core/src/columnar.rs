@@ -1,0 +1,697 @@
+//! Columnar kernel compilation: lowering standard polluters onto
+//! [`ColumnBatch`]es.
+//!
+//! A plan names, at compile time, exactly which columns each polluter's
+//! condition reads and its error function writes. When every polluter in
+//! a sub-stream pipeline is a *schema-known, 1:1* stage — a
+//! [`StandardPolluter`] whose error function provably writes values of
+//! the column's own type — the pipeline lowers to a [`ColumnPipeline`]:
+//! a sequence of column kernels that run directly over a batch's typed
+//! attribute vectors instead of per-tuple `ValueVec`s.
+//!
+//! **Exactness by construction.** A kernel does not reimplement the
+//! polluter — it *wraps* the very same [`StandardPolluter`] the row path
+//! would build (same component seed paths, so identical RNG streams,
+//! stats cells, and checkpoint state documents) and trampolines each row
+//! through [`StandardPolluter::process_in_place`] via one reusable
+//! scratch tuple. Only the columns a stage touches are materialised into
+//! the scratch; everything else stays columnar. Output, ground-truth
+//! log, and checkpoint snapshots are therefore byte-identical to row
+//! execution — the property `tests/batch_determinism.rs` pins.
+//!
+//! **What stays on the row path.** Anything that is not 1:1 or not
+//! schema-typed: native temporal polluters (delay/drop/duplicate/freeze
+//! hold tuples across watermarks), composites and one-ofs (children may
+//! be temporal), propagation/keyed/burst (stateful), and standard
+//! polluters whose error function could write a value outside the
+//! column's domain. [`lower_pipeline`] returns `None` for those and the
+//! runner keeps `Vec<StampedTuple>` batches; `--explain` names the
+//! blocking polluter.
+
+use crate::config::{build_standard, ConditionConfig, ErrorConfig, PolluterConfig};
+use crate::log::PollutionLog;
+use crate::polluter::{Emission, StandardPolluter};
+use crate::rng::{ComponentPath, SeedFactory};
+use crate::snapshot::SlotState;
+use crate::stats::PolluterStatsHandle;
+use icewafl_types::{ColumnBatch, DataType, Result, Schema, StampedTuple, Timestamp, Tuple, Value};
+
+/// Column indices a condition reads, appended to `out`. Probability-,
+/// time-, and pattern-based conditions read only the stamp fields;
+/// value conditions read one named column; composites read the union of
+/// their children.
+fn condition_reads(cond: &ConditionConfig, schema: &Schema, out: &mut Vec<usize>) {
+    match cond {
+        ConditionConfig::Always
+        | ConditionConfig::Never
+        | ConditionConfig::Probability { .. }
+        | ConditionConfig::TimeWindow { .. }
+        | ConditionConfig::HourRange { .. }
+        | ConditionConfig::Sinusoidal { .. }
+        | ConditionConfig::LinearRamp { .. }
+        | ConditionConfig::Pattern { .. } => {}
+        ConditionConfig::Value { attribute, .. } => {
+            if let Some(idx) = schema.index_of(attribute) {
+                out.push(idx);
+            }
+        }
+        ConditionConfig::And { children } | ConditionConfig::Or { children } => {
+            for c in children {
+                condition_reads(c, schema, out);
+            }
+        }
+        ConditionConfig::Not { inner } => condition_reads(inner, schema, out),
+    }
+}
+
+/// Whether `error` provably writes values of its target columns' own
+/// types (or NULL) — the condition for a typed column store to absorb
+/// its output without falling back to rows.
+///
+/// The numeric family (`map_numeric`-based errors) preserves the value
+/// family by construction: an `Int` stays `Int`, a `Float` stays
+/// `Float`, a `Bool` stays `Bool`. `SwapAttributes` is safe because
+/// `validate` already rejects mixed-domain pairs. Anything whose output
+/// type depends on runtime data it might not control is rejected.
+fn error_lowerable(error: &ErrorConfig, attrs: &[usize], schema: &Schema) -> bool {
+    let dtype = |i: usize| schema.field(i).map(|f| f.dtype);
+    match error {
+        ErrorConfig::GaussianNoise { .. }
+        | ErrorConfig::UniformNoise { .. }
+        | ErrorConfig::Scale { .. }
+        | ErrorConfig::Outlier { .. }
+        | ErrorConfig::Round { .. }
+        | ErrorConfig::UnitConversion { .. } => attrs
+            .iter()
+            .all(|&i| dtype(i).is_some_and(|d| d.is_numeric())),
+        ErrorConfig::MissingValue => true,
+        ErrorConfig::Constant { value } => match value.dtype() {
+            None => true, // a NULL constant clears validity on any column
+            Some(d) => attrs.iter().all(|&i| dtype(i) == Some(d)),
+        },
+        ErrorConfig::Typo { .. } | ErrorConfig::IncorrectCategory { .. } => attrs
+            .iter()
+            .all(|&i| dtype(i) == Some(DataType::Str)),
+        // Validation enforces same-domain pairs, so swaps are
+        // type-preserving once bound.
+        ErrorConfig::SwapAttributes => true,
+        ErrorConfig::TimestampShift { .. } => attrs
+            .iter()
+            .all(|&i| dtype(i) == Some(DataType::Timestamp)),
+    }
+}
+
+/// Why `polluter` cannot lower to a column kernel, or `None` if it can.
+fn polluter_blocker(polluter: &PolluterConfig, schema: &Schema) -> Option<String> {
+    match polluter {
+        PolluterConfig::Standard {
+            name,
+            attributes,
+            error,
+            ..
+        } => {
+            let attrs: Vec<usize> = match attributes
+                .iter()
+                .map(|a| schema.require(a))
+                .collect::<Result<_>>()
+            {
+                Ok(v) => v,
+                Err(_) => return Some(format!("`{name}`: unresolved attribute")),
+            };
+            if error_lowerable(error, &attrs, schema) {
+                None
+            } else {
+                Some(format!(
+                    "`{name}`: error output type not provable for its columns"
+                ))
+            }
+        }
+        PolluterConfig::Composite { name, .. } | PolluterConfig::OneOf { name, .. } => {
+            Some(format!("`{name}`: composite"))
+        }
+        PolluterConfig::Delay { name, .. }
+        | PolluterConfig::Drop { name, .. }
+        | PolluterConfig::Duplicate { name, .. }
+        | PolluterConfig::Freeze { name, .. }
+        | PolluterConfig::Burst { name, .. } => {
+            Some(format!("`{name}`: stateful temporal polluter"))
+        }
+        PolluterConfig::Propagation { name, .. } => {
+            Some(format!("`{name}`: stateful temporal polluter"))
+        }
+        PolluterConfig::Keyed { name, .. } => Some(format!("`{name}`: per-key state")),
+    }
+}
+
+/// Why a sub-stream pipeline stays on the row path, or `None` if every
+/// stage lowers. What `--explain` renders next to a `row` stage.
+pub fn lowering_blocker(polluters: &[PolluterConfig], schema: &Schema) -> Option<String> {
+    polluters.iter().find_map(|p| polluter_blocker(p, schema))
+}
+
+/// Whether a sub-stream pipeline lowers fully to column kernels.
+pub fn pipeline_lowerable(polluters: &[PolluterConfig], schema: &Schema) -> bool {
+    lowering_blocker(polluters, schema).is_none()
+}
+
+/// One column kernel: a real [`StandardPolluter`] plus the column sets
+/// its trampoline materialises (reads ∪ writes) and writes back.
+struct ColumnStage {
+    polluter: StandardPolluter,
+    /// Columns copied into the scratch tuple before the row runs —
+    /// everything the condition reads plus everything the error writes.
+    touched: Vec<usize>,
+    /// Columns written back after the row runs (the error's `A_p`).
+    writes: Vec<usize>,
+}
+
+impl ColumnStage {
+    /// Runs one row through the kernel: stamp + touched columns into the
+    /// scratch tuple, the polluter's exact 1:1 core, written columns
+    /// back out.
+    #[inline]
+    fn apply(
+        &mut self,
+        batch: &mut ColumnBatch,
+        row: usize,
+        scratch: &mut StampedTuple,
+        log: &mut PollutionLog,
+    ) {
+        let (id, tau, arrival, sub_stream) = batch.stamp(row);
+        scratch.id = id;
+        scratch.tau = tau;
+        scratch.arrival = arrival;
+        scratch.sub_stream = sub_stream;
+        for &idx in &self.touched {
+            *scratch.tuple.get_mut(idx).expect("scratch has schema arity") =
+                batch.column(idx).value_at(row);
+        }
+        self.polluter.process_in_place(scratch, log);
+        for &idx in &self.writes {
+            let value = std::mem::replace(
+                scratch.tuple.get_mut(idx).expect("scratch has schema arity"),
+                Value::Null,
+            );
+            let stored = batch.column_mut(idx).set_value(row, value);
+            debug_assert!(stored, "lowering matrix guarantees type-preserving writes");
+        }
+    }
+}
+
+/// A fully lowered sub-stream pipeline: column kernels applied in stage
+/// order over a [`ColumnBatch`], behaviourally identical to feeding each
+/// row through the equivalent
+/// [`PollutionPipeline`](crate::pipeline::PollutionPipeline).
+pub struct ColumnPipeline {
+    stages: Vec<ColumnStage>,
+    /// One reusable full-arity tuple the trampoline writes rows into;
+    /// slots no kernel touches stay NULL forever.
+    scratch: StampedTuple,
+    /// The schema batches are typed against.
+    schema: Schema,
+}
+
+impl ColumnPipeline {
+    /// Number of kernel stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` iff the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Runs a batch through every stage in place.
+    ///
+    /// With logging enabled the loop is row-major (a row crosses all
+    /// stages before the next row starts) so ground-truth log entries
+    /// land in exactly the order the row path writes them. With logging
+    /// disabled there is no observable ordering between rows — each
+    /// component's RNG sees rows in the same order either way — so the
+    /// loop flips to stage-major and walks one attribute vector at a
+    /// time.
+    pub fn process_batch(&mut self, batch: &mut ColumnBatch, log: &mut PollutionLog) {
+        if log.is_enabled() {
+            for row in 0..batch.len() {
+                for stage in &mut self.stages {
+                    stage.apply(batch, row, &mut self.scratch, log);
+                }
+            }
+        } else {
+            for stage in &mut self.stages {
+                for row in 0..batch.len() {
+                    stage.apply(batch, row, &mut self.scratch, log);
+                }
+            }
+        }
+    }
+
+    /// Runs one loose row through every stage in place — the exact
+    /// per-tuple sequence the row path executes, used for unbatched
+    /// records and for rows a batch conversion handed back.
+    pub fn process_row(&mut self, tuple: &mut StampedTuple, log: &mut PollutionLog) {
+        for stage in &mut self.stages {
+            stage.polluter.process_in_place(tuple, log);
+        }
+    }
+
+    /// Runs a row batch through the kernels: columnarize, process,
+    /// reconstruct. Rows that do not fit the schema's column types
+    /// (foreign arity or mismatched values) make the whole batch fall
+    /// back to [`ColumnPipeline::process_row`] — same output, row by
+    /// row.
+    pub fn process_rows(
+        &mut self,
+        rows: Vec<StampedTuple>,
+        log: &mut PollutionLog,
+    ) -> Vec<StampedTuple> {
+        match ColumnBatch::from_rows(&self.schema, rows) {
+            Ok(mut batch) => {
+                self.process_batch(&mut batch, log);
+                batch.into_rows()
+            }
+            Err(mut rows) => {
+                for row in &mut rows {
+                    self.process_row(row, log);
+                }
+                rows
+            }
+        }
+    }
+
+    /// Advances event time through every stage. Standard polluters hold
+    /// no tuples, so nothing is released — this flushes staged stats and
+    /// RNG draw counts exactly like the row path's watermark hook.
+    pub fn on_watermark(&mut self, wm: Timestamp, log: &mut PollutionLog) {
+        let mut buf = Vec::new();
+        for stage in &mut self.stages {
+            let mut em = Emission::new(&mut buf, log);
+            crate::polluter::Polluter::on_watermark(&mut stage.polluter, wm, &mut em);
+        }
+        debug_assert!(buf.is_empty(), "standard polluters release nothing");
+    }
+
+    /// Ends the stream: every stage flushes its staged stats.
+    pub fn finish(&mut self, log: &mut PollutionLog) {
+        let mut buf = Vec::new();
+        for stage in &mut self.stages {
+            let mut em = Emission::new(&mut buf, log);
+            crate::polluter::Polluter::finish(&mut stage.polluter, &mut em);
+        }
+        debug_assert!(buf.is_empty(), "standard polluters release nothing");
+    }
+
+    /// Live stat handles, in stage order (same cells the row path would
+    /// expose).
+    pub fn collect_stats(&self, out: &mut Vec<PolluterStatsHandle>) {
+        for stage in &self.stages {
+            crate::polluter::Polluter::collect_stats(&stage.polluter, out);
+        }
+    }
+
+    /// Every stage's checkpoint state, positionally — the *same*
+    /// document a row
+    /// [`PollutionPipeline`](crate::pipeline::PollutionPipeline) of
+    /// this configuration produces, because the stages are the same
+    /// objects. A checkpoint
+    /// taken under one representation restores under the other.
+    pub fn snapshot_states(&self) -> Option<String> {
+        SlotState::doc(
+            self.stages
+                .iter()
+                .map(|s| crate::polluter::Polluter::snapshot_state(&s.polluter))
+                .collect(),
+        )
+    }
+
+    /// Restores per-stage states captured by
+    /// [`ColumnPipeline::snapshot_states`] — or by the row path's
+    /// `PollutionPipeline::snapshot_states`, interchangeably.
+    pub fn restore_states(&mut self, state: &str) -> Result<()> {
+        let slots = SlotState::parse(state, self.stages.len(), "pollution pipeline")?;
+        for (stage, slot) in self.stages.iter_mut().zip(slots) {
+            if let Some(doc) = slot {
+                crate::polluter::Polluter::restore_state(&mut stage.polluter, &doc)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles one sub-stream's polluter configs into a [`ColumnPipeline`],
+/// or `None` when any stage cannot lower (the caller keeps the row
+/// path). `pipeline_idx` must be the sub-stream's index in the plan:
+/// component RNGs derive from `pipeline[<idx>][<stage>].{cond,error,pattern}`
+/// — the identical paths `build_pipelines` uses — so the lowered
+/// pipeline is the row pipeline, re-expressed.
+pub fn lower_pipeline(
+    seed: u64,
+    pipeline_idx: usize,
+    polluters: &[PolluterConfig],
+    schema: &Schema,
+) -> Result<Option<ColumnPipeline>> {
+    if !pipeline_lowerable(polluters, schema) {
+        return Ok(None);
+    }
+    let seeds = SeedFactory::new(seed);
+    let path = ComponentPath::root().child("pipeline").index(pipeline_idx);
+    let mut stages = Vec::with_capacity(polluters.len());
+    for (j, p) in polluters.iter().enumerate() {
+        let PolluterConfig::Standard {
+            name,
+            attributes,
+            error,
+            condition,
+            pattern,
+        } = p
+        else {
+            unreachable!("pipeline_lowerable admits only standard polluters");
+        };
+        let polluter = build_standard(
+            name,
+            attributes,
+            error,
+            condition,
+            pattern,
+            schema,
+            &seeds,
+            &path.index(j),
+        )?;
+        let mut touched = polluter.attrs().to_vec();
+        condition_reads(condition, schema, &mut touched);
+        touched.sort_unstable();
+        touched.dedup();
+        stages.push(ColumnStage {
+            writes: polluter.attrs().to_vec(),
+            touched,
+            polluter,
+        });
+    }
+    Ok(Some(ColumnPipeline {
+        stages,
+        scratch: StampedTuple::new(
+            0,
+            Timestamp(0),
+            Tuple::new(vec![Value::Null; schema.len()]),
+        ),
+        schema: schema.clone(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::build_pipelines;
+    use crate::pattern::ChangePattern;
+    use crate::polluter::Emission;
+    use icewafl_types::Timestamp;
+
+    fn schema() -> Schema {
+        Schema::from_pairs([
+            ("Time", DataType::Timestamp),
+            ("BPM", DataType::Int),
+            ("Distance", DataType::Float),
+            ("sensor", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn rows(n: u64) -> Vec<StampedTuple> {
+        (0..n)
+            .map(|i| {
+                let mut t = StampedTuple::new(
+                    i,
+                    Timestamp(i as i64 * 60_000),
+                    Tuple::new(vec![
+                        Value::Timestamp(Timestamp(i as i64 * 60_000)),
+                        Value::Int(60 + (i as i64 % 80)),
+                        Value::Float(i as f64 * 0.25),
+                        Value::Str(format!("s{}", i % 3)),
+                    ]),
+                );
+                t.arrival = Timestamp(i as i64 * 60_000 + 3);
+                t.sub_stream = 0;
+                t
+            })
+            .collect()
+    }
+
+    fn noisy_pipeline() -> Vec<PolluterConfig> {
+        vec![
+            PolluterConfig::Standard {
+                name: "noise".into(),
+                attributes: vec!["Distance".into()],
+                error: ErrorConfig::GaussianNoise {
+                    sigma: 2.0,
+                    relative: false,
+                },
+                condition: ConditionConfig::Probability { p: 0.5 },
+                pattern: None,
+            },
+            PolluterConfig::Standard {
+                name: "bpm-null".into(),
+                attributes: vec!["BPM".into()],
+                error: ErrorConfig::MissingValue,
+                condition: ConditionConfig::Value {
+                    attribute: "BPM".into(),
+                    op: crate::condition::CmpOp::Gt,
+                    value: Value::Int(100),
+                },
+                pattern: None,
+            },
+            PolluterConfig::Standard {
+                name: "scale-late".into(),
+                attributes: vec!["Distance".into()],
+                error: ErrorConfig::Scale { factor: 2.0 },
+                condition: ConditionConfig::Probability { p: 0.3 },
+                pattern: Some(ChangePattern::Gradual {
+                    from: Timestamp(0),
+                    to: Timestamp(3_600_000),
+                }),
+            },
+        ]
+    }
+
+    /// Feeds `rows` through the row pipeline tuple-by-tuple, mirroring
+    /// what the pollution operator does per batch.
+    fn run_rows(
+        polluters: &[PolluterConfig],
+        seed: u64,
+        input: Vec<StampedTuple>,
+        logging: bool,
+    ) -> (Vec<StampedTuple>, PollutionLog) {
+        let mut pipeline = build_pipelines(seed, &[polluters.to_vec()], &schema())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let mut out = Vec::new();
+        let mut log = if logging {
+            PollutionLog::new()
+        } else {
+            PollutionLog::disabled()
+        };
+        for (k, t) in input.into_iter().enumerate() {
+            if k > 0 && k % 64 == 0 {
+                let wm = Timestamp((k as i64 - 1) * 60_000);
+                let mut em = Emission::new(&mut out, &mut log);
+                pipeline.on_watermark(wm, &mut em);
+            }
+            let mut em = Emission::new(&mut out, &mut log);
+            pipeline.process(t, &mut em);
+        }
+        let mut em = Emission::new(&mut out, &mut log);
+        pipeline.finish(&mut em);
+        (out, log)
+    }
+
+    /// Same schedule through the lowered column pipeline.
+    fn run_columns(
+        polluters: &[PolluterConfig],
+        seed: u64,
+        input: Vec<StampedTuple>,
+        logging: bool,
+    ) -> (Vec<StampedTuple>, PollutionLog) {
+        let mut pipeline = lower_pipeline(seed, 0, polluters, &schema())
+            .unwrap()
+            .expect("lowerable");
+        let mut log = if logging {
+            PollutionLog::new()
+        } else {
+            PollutionLog::disabled()
+        };
+        let mut out = Vec::new();
+        for (k, chunk) in input.chunks(64).enumerate() {
+            if k > 0 {
+                let wm = Timestamp((k as i64 * 64 - 1) * 60_000);
+                pipeline.on_watermark(wm, &mut log);
+            }
+            let mut batch = ColumnBatch::from_rows(&schema(), chunk.to_vec()).unwrap();
+            pipeline.process_batch(&mut batch, &mut log);
+            out.extend(batch.into_rows());
+        }
+        pipeline.finish(&mut log);
+        (out, log)
+    }
+
+    #[test]
+    fn kernels_match_row_path_byte_for_byte() {
+        for logging in [true, false] {
+            let (rows_out, rows_log) = run_rows(&noisy_pipeline(), 42, rows(500), logging);
+            let (cols_out, cols_log) = run_columns(&noisy_pipeline(), 42, rows(500), logging);
+            assert_eq!(cols_out, rows_out, "tuples (logging={logging})");
+            assert_eq!(
+                serde_json::to_string(cols_log.entries()).unwrap(),
+                serde_json::to_string(rows_log.entries()).unwrap(),
+                "ground-truth log (logging={logging})"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_are_interchangeable_across_representations() {
+        let polluters = noisy_pipeline();
+        // Run the column pipeline halfway and snapshot it.
+        let mut cols = lower_pipeline(7, 0, &polluters, &schema()).unwrap().unwrap();
+        let mut log = PollutionLog::new();
+        let mut batch = ColumnBatch::from_rows(&schema(), rows(100)).unwrap();
+        cols.process_batch(&mut batch, &mut log);
+        let snap = cols.snapshot_states().expect("stateful stages");
+
+        // Restore it onto a fresh ROW pipeline and onto a fresh column
+        // pipeline; both must continue identically.
+        let mut row_pipeline = build_pipelines(7, &[polluters.clone()], &schema())
+            .unwrap()
+            .pop()
+            .unwrap();
+        row_pipeline.restore_states(&snap).unwrap();
+        let mut cols2 = lower_pipeline(7, 0, &polluters, &schema()).unwrap().unwrap();
+        cols2.restore_states(&snap).unwrap();
+
+        let tail: Vec<StampedTuple> = rows(200).split_off(100);
+        let mut row_out = Vec::new();
+        let mut row_log = PollutionLog::new();
+        for t in tail.clone() {
+            let mut em = Emission::new(&mut row_out, &mut row_log);
+            row_pipeline.process(t, &mut em);
+        }
+        let mut col_log = PollutionLog::new();
+        let mut tail_batch = ColumnBatch::from_rows(&schema(), tail).unwrap();
+        cols2.process_batch(&mut tail_batch, &mut col_log);
+        assert_eq!(tail_batch.into_rows(), row_out);
+        assert_eq!(
+            serde_json::to_string(col_log.entries()).unwrap(),
+            serde_json::to_string(row_log.entries()).unwrap()
+        );
+    }
+
+    #[test]
+    fn temporal_and_composite_polluters_block_lowering() {
+        let s = schema();
+        let delay = PolluterConfig::Delay {
+            name: "d".into(),
+            condition: ConditionConfig::Always,
+            delay_ms: 1000,
+        };
+        let blocker = lowering_blocker(&[delay], &s).unwrap();
+        assert!(blocker.contains("stateful temporal"), "{blocker}");
+        let composite = PolluterConfig::Composite {
+            name: "c".into(),
+            condition: ConditionConfig::Always,
+            children: vec![],
+        };
+        assert!(lowering_blocker(&[composite], &s).is_some());
+        assert!(pipeline_lowerable(&noisy_pipeline(), &s));
+        assert!(
+            lower_pipeline(1, 0, &[], &s).unwrap().is_some(),
+            "empty pipeline lowers to the identity"
+        );
+    }
+
+    #[test]
+    fn type_unsafe_constants_block_lowering() {
+        let s = schema();
+        let bad = PolluterConfig::Standard {
+            name: "bad".into(),
+            attributes: vec!["Distance".into()],
+            error: ErrorConfig::Constant {
+                value: Value::Str("oops".into()),
+            },
+            condition: ConditionConfig::Always,
+            pattern: None,
+        };
+        assert!(lowering_blocker(&[bad], &s).is_some());
+        let good = PolluterConfig::Standard {
+            name: "good".into(),
+            attributes: vec!["Distance".into()],
+            error: ErrorConfig::Constant {
+                value: Value::Float(0.0),
+            },
+            condition: ConditionConfig::Always,
+            pattern: None,
+        };
+        assert!(lowering_blocker(&[good], &s).is_none());
+        // Typos lower on Str columns only.
+        let typo = |attr: &str| PolluterConfig::Standard {
+            name: "typo".into(),
+            attributes: vec![attr.into()],
+            error: ErrorConfig::Typo {
+                kind: crate::error_fn::TypoKind::Any,
+            },
+            condition: ConditionConfig::Always,
+            pattern: None,
+        };
+        assert!(lowering_blocker(&[typo("sensor")], &s).is_none());
+        assert!(lowering_blocker(&[typo("Distance")], &s).is_some());
+    }
+
+    #[test]
+    fn string_kernels_match_row_path() {
+        let polluters = vec![PolluterConfig::Standard {
+            name: "typo".into(),
+            attributes: vec!["sensor".into()],
+            error: ErrorConfig::Typo {
+                kind: crate::error_fn::TypoKind::Any,
+            },
+            condition: ConditionConfig::Probability { p: 0.4 },
+            pattern: None,
+        }];
+        let (rows_out, rows_log) = run_rows(&polluters, 9, rows(300), true);
+        let (cols_out, cols_log) = run_columns(&polluters, 9, rows(300), true);
+        assert_eq!(cols_out, rows_out);
+        assert_eq!(cols_log.len(), rows_log.len());
+    }
+
+    #[test]
+    fn value_condition_reads_are_materialised() {
+        // A condition on a column a *previous* stage writes: the kernel
+        // must see the updated value, as the row path does.
+        let polluters = vec![
+            PolluterConfig::Standard {
+                name: "bpm-zero".into(),
+                attributes: vec!["BPM".into()],
+                error: ErrorConfig::Constant {
+                    value: Value::Int(0),
+                },
+                condition: ConditionConfig::Probability { p: 0.5 },
+                pattern: None,
+            },
+            PolluterConfig::Standard {
+                name: "null-if-zero".into(),
+                attributes: vec!["Distance".into()],
+                error: ErrorConfig::MissingValue,
+                condition: ConditionConfig::Value {
+                    attribute: "BPM".into(),
+                    op: crate::condition::CmpOp::Eq,
+                    value: Value::Int(0),
+                },
+                pattern: None,
+            },
+        ];
+        for logging in [true, false] {
+            let (rows_out, _) = run_rows(&polluters, 11, rows(400), logging);
+            let (cols_out, _) = run_columns(&polluters, 11, rows(400), logging);
+            assert_eq!(cols_out, rows_out, "logging={logging}");
+        }
+    }
+}

@@ -105,6 +105,7 @@ impl JobConfig {
             pipelines: self.pipelines.clone(),
             assigner: execution.assigner,
             strategy: execution.strategy,
+            repr: execution.repr,
             watermark_period: execution.watermark_period.unwrap_or(64),
             batch_size: execution
                 .batch_size
@@ -126,6 +127,9 @@ pub struct ExecutionSectionConfig {
     /// Execution strategy hint.
     #[serde(default)]
     pub strategy: crate::plan::StrategyHint,
+    /// Batch representation hint (row vs columnar kernels).
+    #[serde(default)]
+    pub repr: crate::plan::ReprHint,
     /// Source watermark period in tuples (absent = plan default).
     #[serde(default)]
     pub watermark_period: Option<u64>,
@@ -734,6 +738,37 @@ pub fn build_error_fn(
     })
 }
 
+/// Builds a concrete [`StandardPolluter`] from its configuration parts —
+/// the one construction path shared by [`build_polluter`] and the
+/// columnar lowering in [`crate::columnar`]. Both derive component RNGs
+/// from the same seed paths (`<path>.cond` / `.error` / `.pattern`), so
+/// a polluter built here behaves identically whichever representation
+/// executes it — including its checkpoint state format.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_standard(
+    name: &str,
+    attributes: &[String],
+    error: &ErrorConfig,
+    condition: &ConditionConfig,
+    pattern: &Option<ChangePattern>,
+    schema: &Schema,
+    seeds: &SeedFactory,
+    path: &ComponentPath,
+) -> Result<StandardPolluter> {
+    let cond = build_condition(condition, schema, seeds, &path.child("cond"))?;
+    let error_fn = build_error_fn(error, seeds, &path.child("error"))?;
+    let attr_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+    StandardPolluter::bind(
+        name.to_string(),
+        error_fn,
+        cond,
+        &attr_refs,
+        pattern.clone().unwrap_or(ChangePattern::Constant),
+        schema,
+        seeds.rng_for(path.child("pattern").as_str()),
+    )
+}
+
 /// Builds a runtime polluter from its configuration.
 pub fn build_polluter(
     config: &PolluterConfig,
@@ -748,20 +783,9 @@ pub fn build_polluter(
             error,
             condition,
             pattern,
-        } => {
-            let cond = build_condition(condition, schema, seeds, &path.child("cond"))?;
-            let error_fn = build_error_fn(error, seeds, &path.child("error"))?;
-            let attr_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
-            Box::new(StandardPolluter::bind(
-                name.clone(),
-                error_fn,
-                cond,
-                &attr_refs,
-                pattern.clone().unwrap_or(ChangePattern::Constant),
-                schema,
-                seeds.rng_for(path.child("pattern").as_str()),
-            )?)
-        }
+        } => Box::new(build_standard(
+            name, attributes, error, condition, pattern, schema, seeds, path,
+        )?),
         PolluterConfig::Composite {
             name,
             condition,

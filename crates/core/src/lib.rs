@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod columnar;
 pub mod condition;
 pub mod config;
 pub mod error_fn;
@@ -79,6 +80,7 @@ pub mod stats;
 pub mod temporal;
 
 pub use catalog::PlanCatalog;
+pub use columnar::{lower_pipeline, lowering_blocker, pipeline_lowerable, ColumnPipeline};
 pub use condition::Condition;
 pub use config::{
     ChaosSectionConfig, CheckpointSectionConfig, ConditionConfig, ErrorConfig,
@@ -90,7 +92,7 @@ pub use pattern::ChangePattern;
 pub use pipeline::{CompositePolluter, OneOfPolluter, PollutionPipeline};
 pub use plan::{
     AssignerSpec, ControlHandle, ExecutionStrategy, LogicalPlan, PhysicalPlan, PlanDelta,
-    StageInfo, StrategyHint, DEFAULT_BATCH_SIZE,
+    ReprHint, StageInfo, StrategyHint, SubstreamRepr, DEFAULT_BATCH_SIZE,
 };
 pub use polluter::{BoxPolluter, Emission, Polluter, StandardPolluter};
 pub use report::RunReport;
@@ -120,7 +122,7 @@ pub mod prelude {
     pub use crate::pipeline::{CompositePolluter, OneOfPolluter, PollutionPipeline};
     pub use crate::plan::{
         AssignerSpec, ControlHandle, ExecutionStrategy, LogicalPlan, PhysicalPlan, PlanDelta,
-        StrategyHint, DEFAULT_BATCH_SIZE,
+        ReprHint, StrategyHint, SubstreamRepr, DEFAULT_BATCH_SIZE,
     };
     pub use crate::polluter::{BoxPolluter, Emission, Polluter, StandardPolluter};
     pub use crate::propagation::{KeyedPolluter, PropagationPolluter};

@@ -57,14 +57,15 @@
 //! assert_eq!(out.polluted.len(), 32);
 //! ```
 
+use crate::columnar::{lower_pipeline, lowering_blocker};
 use crate::config::{
     build_pipelines, ChaosSectionConfig, CheckpointSectionConfig, ConditionConfig, ErrorConfig,
     PolluterConfig, SupervisionConfig,
 };
 use crate::pipeline::PollutionPipeline;
 use crate::runner::{
-    execute_attempt, execute_streaming, run_supervised_with, CheckpointSettings, ExecSettings,
-    PollutionOutput, SubStreamAssigner,
+    execute_attempt, execute_streaming, run_supervised_with, BuiltPipeline, CheckpointSettings,
+    ExecSettings, PollutionOutput, SubStreamAssigner,
 };
 use icewafl_stream::chaos::ChaosConfig;
 use icewafl_stream::control::ControlChannel;
@@ -113,6 +114,51 @@ impl StrategyHint {
                 capacity: PIPELINED_CAPACITY,
             },
             StrategyHint::SplitMergeParallel => ExecutionStrategy::SplitMergeParallel,
+        }
+    }
+}
+
+/// Declarative choice of batch representation (part of the logical
+/// plan); resolved to a per-sub-stream [`SubstreamRepr`] at compile
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum ReprHint {
+    /// Let the compiler decide per sub-stream: columnar kernels where
+    /// the whole pipeline lowers (see [`crate::columnar`]), rows
+    /// otherwise. Output is byte-identical either way, so this is a pure
+    /// performance decision.
+    #[default]
+    Auto,
+    /// Force row batches everywhere (the pre-columnar behavior).
+    Row,
+    /// Require columnar kernels on every sub-stream; compiling fails —
+    /// naming the blocking polluter — if any pipeline cannot lower.
+    Columnar,
+}
+
+/// The batch representation a sub-stream's pollution stage was compiled
+/// to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubstreamRepr {
+    /// The pipeline lowered to column kernels over
+    /// [`icewafl_types::ColumnBatch`]es.
+    Columnar,
+    /// The pipeline processes row batches; `reason` says why (forced by
+    /// the plan, or the first non-lowerable polluter).
+    Row {
+        /// Why this sub-stream stays on the row path.
+        reason: String,
+    },
+}
+
+impl SubstreamRepr {
+    /// `"columnar"` or `"row"` — the short form for tables and wire
+    /// reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SubstreamRepr::Columnar => "columnar",
+            SubstreamRepr::Row { .. } => "row",
         }
     }
 }
@@ -226,6 +272,9 @@ pub struct LogicalPlan {
     /// Which execution strategy to compile to.
     #[serde(default)]
     pub strategy: StrategyHint,
+    /// Which batch representation the pollution stages compile to.
+    #[serde(default)]
+    pub repr: ReprHint,
     /// Emit a source watermark every this many tuples — also the grain
     /// of reconfiguration epochs.
     #[serde(default = "default_watermark_period")]
@@ -259,6 +308,7 @@ impl LogicalPlan {
             pipelines,
             assigner: AssignerSpec::Auto,
             strategy: StrategyHint::Auto,
+            repr: ReprHint::Auto,
             watermark_period: default_watermark_period(),
             batch_size: DEFAULT_BATCH_SIZE,
             logging: true,
@@ -288,6 +338,57 @@ impl LogicalPlan {
     /// restores identical RNG state.
     pub fn build_pipelines(&self, schema: &Schema) -> Result<Vec<PollutionPipeline>> {
         build_pipelines(self.seed, &self.pipelines, schema)
+    }
+
+    /// Resolves the plan's [`ReprHint`] into one [`SubstreamRepr`] per
+    /// sub-stream pipeline. `Auto` picks columnar kernels exactly where
+    /// the whole pipeline lowers (output is byte-identical either way);
+    /// `Columnar` fails — naming the blocking polluter — when a
+    /// sub-stream cannot lower.
+    pub fn substream_reprs(&self, schema: &Schema) -> Result<Vec<SubstreamRepr>> {
+        self.pipelines
+            .iter()
+            .enumerate()
+            .map(|(i, polluters)| match self.repr {
+                ReprHint::Row => Ok(SubstreamRepr::Row {
+                    reason: "repr = row".into(),
+                }),
+                ReprHint::Auto => Ok(match lowering_blocker(polluters, schema) {
+                    None => SubstreamRepr::Columnar,
+                    Some(reason) => SubstreamRepr::Row { reason },
+                }),
+                ReprHint::Columnar => match lowering_blocker(polluters, schema) {
+                    None => Ok(SubstreamRepr::Columnar),
+                    Some(reason) => Err(Error::plan(format_args!(
+                        "repr = columnar but sub-stream {i} cannot lower: {reason}"
+                    ))),
+                },
+            })
+            .collect()
+    }
+
+    /// Builds the runnable per-sub-stream pipelines in their compiled
+    /// representation: a lowered column-kernel pipeline where
+    /// [`LogicalPlan::substream_reprs`] says columnar, a row pipeline
+    /// otherwise. Deterministic in `seed` exactly like
+    /// [`LogicalPlan::build_pipelines`] — both representations derive
+    /// component RNGs from the same paths, so rebuilding under either
+    /// restores identical state.
+    pub(crate) fn build_exec_pipelines(&self, schema: &Schema) -> Result<Vec<BuiltPipeline>> {
+        let reprs = self.substream_reprs(schema)?;
+        let rows = self.build_pipelines(schema)?;
+        rows.into_iter()
+            .zip(reprs)
+            .enumerate()
+            .map(|(i, (row, repr))| match repr {
+                SubstreamRepr::Columnar => {
+                    let cols = lower_pipeline(self.seed, i, &self.pipelines[i], schema)?
+                        .expect("substream_reprs said lowerable");
+                    Ok(BuiltPipeline::Columnar(cols))
+                }
+                SubstreamRepr::Row { .. } => Ok(BuiltPipeline::Row(row)),
+            })
+            .collect()
     }
 
     /// The supervision policy this plan runs under (fail-fast default
@@ -341,7 +442,8 @@ impl LogicalPlan {
         }
         let m = self.substreams();
         let strategy = self.strategy.resolve();
-        let stages = predict_stages(m, strategy, chaos.is_some());
+        let reprs = self.substream_reprs(schema)?;
+        let stages = predict_stages(m, strategy, chaos.is_some(), &reprs);
         let control = ControlChannel::new();
         let settings = ExecSettings {
             schema: schema.clone(),
@@ -362,6 +464,7 @@ impl LogicalPlan {
             logical: self.clone(),
             settings,
             stages,
+            reprs,
             latest: Arc::new(Mutex::new(self.clone())),
         })
     }
@@ -629,7 +732,12 @@ fn channel_metrics(label: &str) -> Vec<String> {
 /// the source the highest index; the fan-out router is labeled before
 /// its sub-pipelines, and within a sub-pipeline the outermost operator
 /// (the pollution pipeline) is labeled before a spliced chaos injector.
-fn predict_stages(m: usize, strategy: ExecutionStrategy, chaos: bool) -> Vec<StageInfo> {
+fn predict_stages(
+    m: usize,
+    strategy: ExecutionStrategy,
+    chaos: bool,
+    reprs: &[SubstreamRepr],
+) -> Vec<StageInfo> {
     let mut seq = 0u32;
     let mut label = |name: &str| {
         let l = format!("stage/{seq:02}_{name}");
@@ -667,9 +775,16 @@ fn predict_stages(m: usize, strategy: ExecutionStrategy, chaos: bool) -> Vec<Sta
     });
     for i in 0..m {
         let l = label("pollution_pipeline");
+        let repr = match reprs.get(i) {
+            Some(SubstreamRepr::Columnar) => {
+                " [columnar kernels; rows→columns→rows per transport batch]".to_string()
+            }
+            Some(SubstreamRepr::Row { reason }) => format!(" [row batches; {reason}]"),
+            None => String::new(),
+        };
         stages.push(StageInfo {
             metrics: operator_metrics(&l),
-            role: format!("sub-stream {i} polluters"),
+            role: format!("sub-stream {i} polluters{repr}"),
             label: l,
         });
         if chaos {
@@ -711,6 +826,7 @@ pub struct PhysicalPlan {
     logical: LogicalPlan,
     settings: ExecSettings,
     stages: Vec<StageInfo>,
+    reprs: Vec<SubstreamRepr>,
     /// The most recently *validated* plan (initial or scheduled); the
     /// base against which the next delta is applied.
     latest: Arc<Mutex<LogicalPlan>>,
@@ -735,6 +851,43 @@ impl PhysicalPlan {
     /// The predicted stage layout (labels count sink-first).
     pub fn stages(&self) -> &[StageInfo] {
         &self.stages
+    }
+
+    /// The compiled batch representation of each sub-stream's pollution
+    /// stage.
+    pub fn substream_reprs(&self) -> &[SubstreamRepr] {
+        &self.reprs
+    }
+
+    /// A one-word summary of the compiled representations: `columnar`,
+    /// `row`, or `mixed(k/m columnar)`.
+    pub fn repr_summary(&self) -> String {
+        let cols = self
+            .reprs
+            .iter()
+            .filter(|r| matches!(r, SubstreamRepr::Columnar))
+            .count();
+        match cols {
+            0 => "row".into(),
+            n if n == self.reprs.len() => "columnar".into(),
+            n => format!("mixed({n}/{} columnar)", self.reprs.len()),
+        }
+    }
+
+    /// Scopes this plan's durable checkpoint state into `sub` below the
+    /// configured checkpoint directory. A no-op when the plan does not
+    /// checkpoint to disk.
+    ///
+    /// Multi-tenant hosts (one compiled plan per serve session) call
+    /// this with a per-session name: two sessions running the same
+    /// checkpointing plan would otherwise overwrite each other's
+    /// `checkpoint.wal` in the shared directory.
+    pub fn scope_checkpoint_dir(&mut self, sub: &str) {
+        if let Some(ckpt) = &mut self.settings.checkpoint {
+            if let Some(dir) = &mut ckpt.dir {
+                dir.push(sub);
+            }
+        }
     }
 
     /// A handle for scheduling epoch-applied reconfigurations. Handles
@@ -764,6 +917,7 @@ impl PhysicalPlan {
             self.settings.strategy
         );
         let _ = writeln!(s, "sub-streams:      {m}");
+        let _ = writeln!(s, "representation:   {}", self.repr_summary());
         let _ = writeln!(s, "assigner:         {}", self.logical.assigner.describe(m));
         let _ = writeln!(s, "seed:             {}", self.logical.seed);
         let _ = writeln!(
@@ -848,7 +1002,7 @@ impl PhysicalPlan {
     /// calls are reproducible; scheduled reconfigurations re-apply at
     /// the same epochs on every call.
     pub fn execute(&self, tuples: Vec<Tuple>) -> Result<PollutionOutput> {
-        let pipelines = self.logical.build_pipelines(&self.settings.schema)?;
+        let pipelines = self.logical.build_exec_pipelines(&self.settings.schema)?;
         let budget = self.settings.chaos.as_ref().map(ChaosConfig::new_budget);
         execute_attempt(&self.settings, tuples, pipelines, budget, None)
     }
@@ -858,7 +1012,7 @@ impl PhysicalPlan {
     /// per-stage retry budget.
     pub fn execute_supervised(&self, tuples: Vec<Tuple>) -> Result<PollutionOutput> {
         run_supervised_with(&self.settings, tuples, || {
-            self.logical.build_pipelines(&self.settings.schema)
+            self.logical.build_exec_pipelines(&self.settings.schema)
         })
     }
 
@@ -881,7 +1035,7 @@ impl PhysicalPlan {
         source: impl Source<Tuple> + 'static,
         sink: impl Sink<StampedTuple> + 'static,
     ) -> Result<crate::report::RunReport> {
-        let pipelines = self.logical.build_pipelines(&self.settings.schema)?;
+        let pipelines = self.logical.build_exec_pipelines(&self.settings.schema)?;
         execute_streaming(&self.settings, source, sink, pipelines)
     }
 }
@@ -923,6 +1077,9 @@ impl ControlHandle {
             )));
         }
         next.build_pipelines(&self.schema)?;
+        // A `repr = columnar` plan must stay lowerable across swaps; an
+        // auto plan re-decides per sub-stream at the epoch boundary.
+        next.substream_reprs(&self.schema)?;
         self.channel.schedule(at, next.clone());
         *latest = next.clone();
         Ok(next)

@@ -180,13 +180,17 @@ impl StandardPolluter {
     pub fn attrs(&self) -> &[usize] {
         &self.attrs
     }
-}
 
-impl Polluter for StandardPolluter {
-    fn process(&mut self, mut tuple: StampedTuple, out: &mut Emission) {
+    /// The 1:1 in-place core of [`Polluter::process`]: evaluates the
+    /// condition, draws the pattern intensity, and applies the error
+    /// function to `tuple` without emitting it. The column kernels in
+    /// [`crate::columnar`] call this per row against a reusable scratch
+    /// tuple; `process` is this plus an emit, so the two paths share one
+    /// RNG/stats/log sequence by construction.
+    pub fn process_in_place(&mut self, tuple: &mut StampedTuple, log: &mut PollutionLog) {
         self.pending.condition_evals += 1;
         let mut fired = false;
-        if self.condition.evaluate(&tuple) {
+        if self.condition.evaluate(tuple) {
             let intensity = self.pattern.intensity(tuple.tau, &mut self.pattern_rng);
             if intensity > 0.0 {
                 // A fire = the error function was applied, whether or
@@ -196,7 +200,7 @@ impl Polluter for StandardPolluter {
                 // single-attribute, always-changing error functions).
                 fired = true;
                 self.pending.fires += 1;
-                if out.logging() {
+                if log.is_enabled() {
                     self.before.clear();
                     self.before.extend(
                         self.attrs
@@ -208,7 +212,7 @@ impl Polluter for StandardPolluter {
                     for (k, &idx) in self.attrs.iter().enumerate() {
                         let after = tuple.tuple.get(idx).cloned().unwrap_or(Value::Null);
                         if self.before[k] != after {
-                            out.record(LogEntry::ValueChanged {
+                            log.record(LogEntry::ValueChanged {
                                 tuple_id: tuple.id,
                                 polluter: self.name.clone(),
                                 attr: self.attr_names[k].clone(),
@@ -229,6 +233,12 @@ impl Polluter for StandardPolluter {
         if !fired {
             self.pending.skips += 1;
         }
+    }
+}
+
+impl Polluter for StandardPolluter {
+    fn process(&mut self, mut tuple: StampedTuple, out: &mut Emission) {
+        self.process_in_place(&mut tuple, out.log);
         out.emit(tuple);
     }
 

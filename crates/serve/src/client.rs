@@ -153,6 +153,14 @@ pub fn run_session(config: &ClientConfig, tuples: Vec<Tuple>) -> Result<SessionO
                         std::thread::sleep(pause);
                     }
                 }
+                // Columnar frames arrive only on binary sessions, whose
+                // typed codec never needs schema coercion.
+                Ok(ServerEvent::Batch(batch)) => {
+                    outcome.tuples.extend(batch);
+                    if let Some(pause) = config.slow_reader {
+                        std::thread::sleep(pause);
+                    }
+                }
                 Ok(ServerEvent::Report(report)) => {
                     outcome.report = Some(*report);
                     break Ok(());

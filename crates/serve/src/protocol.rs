@@ -50,6 +50,9 @@ pub const TAG_ERROR: u8 = 5;
 /// Binary frame tag: server → client, a periodic [`TelemetryFrame`]
 /// (JSON payload; telemetry sessions only).
 pub const TAG_TELEMETRY: u8 = 6;
+/// Binary frame tag: server → client, a batch of polluted
+/// [`StampedTuple`]s in columnar layout (see [`encode_columns`]).
+pub const TAG_COLUMNS: u8 = 7;
 
 /// The first line of every session: what to run and how to talk.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
@@ -155,6 +158,14 @@ pub struct SessionTelemetry {
     pub id: u64,
     /// Session type: `pollute` or `telemetry`.
     pub kind: String,
+    /// Wire format on this session's socket: `ndjson` or `binary`.
+    #[serde(default)]
+    pub format: String,
+    /// Compiled batch representation of the session's plan (`columnar`,
+    /// `row`, or `mixed(k/m columnar)`); `-` for sessions that run no
+    /// plan (telemetry subscribers).
+    #[serde(default)]
+    pub repr: String,
     /// Frames received from the session's client so far.
     #[serde(default)]
     pub frames_in: u64,
@@ -223,6 +234,9 @@ struct ServerLine {
 pub enum ServerEvent {
     /// One polluted tuple.
     Tuple(StampedTuple),
+    /// A batch of polluted tuples from one columnar frame (binary
+    /// sessions only; NDJSON sessions always stream per-tuple lines).
+    Batch(Vec<StampedTuple>),
     /// The final session report — the stream completed.
     Report(Box<RunReport>),
     /// The session failed with a typed error.
@@ -431,6 +445,92 @@ pub fn decode_stamped(buf: &[u8]) -> Result<StampedTuple, NetError> {
     Ok(t)
 }
 
+/// Encodes a batch of [`StampedTuple`]s as one columnar binary payload:
+/// `u32` row count, the four stamp fields as contiguous arrays (`id`,
+/// `tau`, `arrival`, `sub_stream`), a `u16` arity, then tagged values
+/// column-major (`values[col][row]`). The column-major layout lets a
+/// columnar plan serialize each output column in one pass, and packs
+/// same-typed tags together. Rows beyond the stated arity are rejected
+/// at encode time: every row must have the same arity, which holds for
+/// plan output (pollution is value-preserving per column).
+pub fn encode_columns(batch: &[StampedTuple]) -> Vec<u8> {
+    let rows = batch.len();
+    let arity = batch.first().map_or(0, |t| t.tuple.values().len());
+    debug_assert!(
+        batch.iter().all(|t| t.tuple.values().len() == arity),
+        "columnar frames require a uniform arity"
+    );
+    let mut out = Vec::with_capacity(4 + rows * 28 + 2 + rows * arity * 9);
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    for t in batch {
+        out.extend_from_slice(&t.id.to_le_bytes());
+    }
+    for t in batch {
+        out.extend_from_slice(&t.tau.0.to_le_bytes());
+    }
+    for t in batch {
+        out.extend_from_slice(&t.arrival.0.to_le_bytes());
+    }
+    for t in batch {
+        out.extend_from_slice(&t.sub_stream.to_le_bytes());
+    }
+    out.extend_from_slice(&(arity as u16).to_le_bytes());
+    for col in 0..arity {
+        for t in batch {
+            put_value(&mut out, &t.tuple.values()[col]);
+        }
+    }
+    out
+}
+
+/// Decodes a columnar binary payload back into row-major
+/// [`StampedTuple`]s, rejecting trailing garbage.
+pub fn decode_columns(buf: &[u8]) -> Result<Vec<StampedTuple>, NetError> {
+    let mut d = Dec::new(buf);
+    let rows = d.u32()? as usize;
+    // Bound the allocation by what the payload could actually hold:
+    // each row needs at least the 28 stamp bytes.
+    if rows.saturating_mul(28) > buf.len() {
+        return Err(NetError::malformed("columnar row count exceeds payload"));
+    }
+    let mut ids = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        ids.push(d.u64()?);
+    }
+    let mut taus = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        taus.push(d.i64()?);
+    }
+    let mut arrivals = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        arrivals.push(d.i64()?);
+    }
+    let mut sub_streams = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        sub_streams.push(d.u32()?);
+    }
+    let arity = d.u16()? as usize;
+    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let mut col = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            col.push(get_value(&mut d)?);
+        }
+        columns.push(col);
+    }
+    d.finish()?;
+    let mut batch = Vec::with_capacity(rows);
+    for row in (0..rows).rev() {
+        let values = columns.iter_mut().map(|col| col.pop().unwrap()).collect();
+        let mut t = StampedTuple::new(ids[row], Timestamp(taus[row]), Tuple::new(values));
+        t.arrival = Timestamp(arrivals[row]);
+        t.sub_stream = sub_streams[row];
+        batch.push(t);
+    }
+    batch.reverse();
+    Ok(batch)
+}
+
 // ---------------------------------------------------------------------
 // Frame construction / interpretation
 // ---------------------------------------------------------------------
@@ -478,6 +578,16 @@ pub fn encode_stamped_frame(t: &StampedTuple, format: WireFormat) -> WireFrame {
             tuple: Some(t.clone()),
             ..ServerLine::default()
         })),
+    }
+}
+
+/// Server → client: a batch of polluted stamped tuples as one columnar
+/// frame. Binary only — NDJSON sessions fall back to per-tuple
+/// [`encode_stamped_frame`] lines, so callers gate on the wire format.
+pub fn encode_columns_frame(batch: &[StampedTuple]) -> WireFrame {
+    WireFrame::Binary {
+        tag: TAG_COLUMNS,
+        payload: encode_columns(batch),
     }
 }
 
@@ -557,6 +667,10 @@ pub fn decode_server_frame(frame: WireFrame) -> Result<ServerEvent, NetError> {
             tag: TAG_STAMPED,
             payload,
         } => Ok(ServerEvent::Tuple(decode_stamped(&payload)?)),
+        WireFrame::Binary {
+            tag: TAG_COLUMNS,
+            payload,
+        } => Ok(ServerEvent::Batch(decode_columns(&payload)?)),
         WireFrame::Binary {
             tag: TAG_REPORT,
             payload,
@@ -704,6 +818,39 @@ mod tests {
     }
 
     #[test]
+    fn columnar_batch_round_trips_and_rejects_garbage() {
+        let batch: Vec<StampedTuple> = (0..5)
+            .map(|i| {
+                stamped(
+                    i,
+                    vec![
+                        Value::Float(i as f64 * 1.5),
+                        if i == 2 { Value::Null } else { Value::Int(i as i64) },
+                        Value::Str(format!("row{i}")),
+                    ],
+                )
+            })
+            .collect();
+        assert_eq!(decode_columns(&encode_columns(&batch)).unwrap(), batch);
+        // Empty batches are legal (rows = 0, arity = 0).
+        assert_eq!(decode_columns(&encode_columns(&[])).unwrap(), vec![]);
+        // Truncation and trailing garbage are both malformed.
+        let mut bytes = encode_columns(&batch);
+        bytes.pop();
+        assert!(decode_columns(&bytes).is_err(), "truncated");
+        let mut bytes = encode_columns(&batch);
+        bytes.push(0);
+        assert!(decode_columns(&bytes).is_err(), "trailing garbage");
+        // A row count the payload cannot hold must not allocate.
+        assert!(decode_columns(&u32::MAX.to_le_bytes()).is_err());
+        // The frame decodes as a Batch event.
+        match decode_server_frame(encode_columns_frame(&batch)).unwrap() {
+            ServerEvent::Batch(back) => assert_eq!(back, batch),
+            other => panic!("columnar frame decoded as {other:?}"),
+        }
+    }
+
+    #[test]
     fn telemetry_frames_round_trip_in_both_formats() {
         let frame = TelemetryFrame {
             seq: 3,
@@ -713,6 +860,8 @@ mod tests {
             sessions: vec![SessionTelemetry {
                 id: 7,
                 kind: "pollute".into(),
+                format: "binary".into(),
+                repr: "columnar".into(),
                 frames_in: 100,
                 frames_out: 120,
                 bytes_out: 4096,

@@ -25,9 +25,9 @@
 //! untouched.
 
 use crate::protocol::{
-    coerce_tuple, decode_client_frame, encode_error_frame, encode_report_frame,
-    encode_stamped_frame, encode_telemetry_frame, Handshake, HandshakeReply, SessionErrorFrame,
-    SessionTelemetry, TelemetryFrame,
+    coerce_tuple, decode_client_frame, encode_columns_frame, encode_error_frame,
+    encode_report_frame, encode_stamped_frame, encode_telemetry_frame, Handshake, HandshakeReply,
+    SessionErrorFrame, SessionTelemetry, TelemetryFrame,
 };
 use icewafl_core::plan::PhysicalPlan;
 use icewafl_core::PlanCatalog;
@@ -93,6 +93,11 @@ impl Default for ServeConfig {
 /// thread.
 struct SessionHandles {
     kind: &'static str,
+    /// Wire format on the session's socket (`ndjson` / `binary`).
+    format: &'static str,
+    /// Compiled batch representation of the session's plan; `-` when
+    /// the session runs no plan (telemetry subscribers).
+    repr: String,
     frames_in: Arc<AtomicU64>,
     frames_out: Arc<AtomicU64>,
     bytes_out: Arc<AtomicU64>,
@@ -101,9 +106,11 @@ struct SessionHandles {
 }
 
 impl SessionHandles {
-    fn new(kind: &'static str) -> Self {
+    fn new(kind: &'static str, format: WireFormat, repr: String) -> Self {
         SessionHandles {
             kind,
+            format: format.as_str(),
+            repr,
             frames_in: Arc::new(AtomicU64::new(0)),
             frames_out: Arc::new(AtomicU64::new(0)),
             bytes_out: Arc::new(AtomicU64::new(0)),
@@ -153,6 +160,8 @@ impl Shared {
             .map(|(id, h)| SessionTelemetry {
                 id: *id,
                 kind: h.kind.to_string(),
+                format: h.format.to_string(),
+                repr: h.repr.clone(),
                 frames_in: h.frames_in.load(Ordering::Relaxed),
                 frames_out: h.frames_out.load(Ordering::Relaxed),
                 bytes_out: h.bytes_out.load(Ordering::Relaxed),
@@ -454,7 +463,7 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
         }
     }
 
-    let (plan, format) = match resolve(&hs, &shared.plans) {
+    let (mut plan, format) = match resolve(&hs, &shared.plans) {
         Ok(resolved) => resolved,
         Err(reason) => {
             shared.counter("serve/sessions_rejected").inc();
@@ -462,6 +471,10 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
             return;
         }
     };
+    // Checkpointing plans get a per-session WAL subdirectory: sessions
+    // running the same plan (or any plans sharing a checkpoint dir)
+    // must not overwrite each other's `checkpoint.wal`.
+    plan.scope_checkpoint_dir(&format!("session_{session_id}"));
 
     let reply = HandshakeReply::accepted(
         session_id,
@@ -502,6 +515,15 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
         Box::new(move |t: &StampedTuple| encode_stamped_frame(t, format)),
         error_cell.clone(),
     );
+    // Binary sessions serialize whole output batches as one columnar
+    // frame — encode once per batch instead of once per tuple. NDJSON
+    // stays line-per-tuple so `nc`/`jq` consumers keep working.
+    let sink = match format {
+        WireFormat::Binary => {
+            sink.with_batch_encode(Box::new(|batch: &[StampedTuple]| encode_columns_frame(batch)))
+        }
+        WireFormat::Ndjson => sink,
+    };
     let frames_in = source.frames_in_handle();
     let frames_out = sink.frames_out_handle();
     let _entry = SessionEntry::register(
@@ -509,6 +531,8 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
         session_id,
         SessionHandles {
             kind: "pollute",
+            format: format.as_str(),
+            repr: plan.repr_summary(),
             frames_in: Arc::clone(&frames_in),
             frames_out: Arc::clone(&frames_out),
             bytes_out: sink.bytes_out_handle(),
@@ -568,7 +592,7 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
 /// registers itself in the table it reports, so a subscriber always
 /// sees at least its own row.
 fn run_telemetry_session(stream: TcpStream, shared: &Shared, session_id: u64, format: WireFormat) {
-    let handles = SessionHandles::new("telemetry");
+    let handles = SessionHandles::new("telemetry", format, "-".into());
     let frames_out = Arc::clone(&handles.frames_out);
     let bytes_out = Arc::clone(&handles.bytes_out);
     let _entry = SessionEntry::register(shared, session_id, handles);

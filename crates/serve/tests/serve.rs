@@ -408,6 +408,7 @@ fn telemetry_session_streams_periodic_frames_with_session_table() {
         .expect("telemetry session lists itself");
     assert!(own.frames_out >= 1, "telemetry row: {own:?}");
     assert!(own.bytes_out > 0, "telemetry row: {own:?}");
+    assert_eq!(own.repr, "-", "telemetry sessions run no plan: {own:?}");
     // The held-open pollute session appears with its live counters; the
     // timing-dependent ones are only read, not asserted.
     let pollute_row = last
@@ -416,6 +417,11 @@ fn telemetry_session_streams_periodic_frames_with_session_table() {
         .find(|s| s.kind == "pollute")
         .expect("pollute session in the table");
     assert!(pollute_row.frames_in >= 1, "pollute row: {pollute_row:?}");
+    // The table distinguishes wire format and batch representation per
+    // session: the test plan is all value polluters, so it compiles
+    // columnar.
+    assert_eq!(pollute_row.format, "ndjson", "pollute row: {pollute_row:?}");
+    assert_eq!(pollute_row.repr, "columnar", "pollute row: {pollute_row:?}");
     let _ = pollute_row.bytes_out + pollute_row.encode_ns + pollute_row.blocked_write_ns;
 
     // With metrics compiled in, the sampler fed at least one registry
@@ -504,6 +510,71 @@ mod codec_properties {
 }
 
 #[test]
+fn binary_sessions_stream_columnar_batch_frames() {
+    // Binary sessions encode whole output batches as single columnar
+    // frames (TAG_COLUMNS). Speak the protocol raw to see the actual
+    // frame tags, and check the reassembled stream is still identical
+    // to the offline reference.
+    use icewafl_serve::protocol::{
+        decode_server_frame, encode_end_frame, encode_tuple_frame, ServerEvent, TAG_COLUMNS,
+    };
+    use icewafl_stream::net::{FrameReader, FrameWriter, WireFormat, WireFrame};
+
+    let input = tuples(300);
+    let offline = plan(42)
+        .compile(&schema())
+        .unwrap()
+        .execute(input.clone())
+        .unwrap();
+
+    let server = TestServer::start(ServeConfig::default());
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut hs_line = serde_json::to_string(&handshake("binary")).unwrap();
+    hs_line.push('\n');
+    (&stream).write_all(hs_line.as_bytes()).unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"ok\":true"), "rejected: {reply}");
+
+    let writer_stream = stream.try_clone().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut w = FrameWriter::new(writer_stream, WireFormat::Binary);
+        for t in &input {
+            w.write(&encode_tuple_frame(t, WireFormat::Binary)).unwrap();
+        }
+        w.write(&encode_end_frame(WireFormat::Binary)).unwrap();
+        w.flush().unwrap();
+    });
+
+    let mut reader = FrameReader::new(reader, WireFormat::Binary, 1 << 20);
+    let mut columnar_frames = 0usize;
+    let mut got = Vec::new();
+    loop {
+        let frame = reader.read().unwrap().expect("server closed early");
+        if matches!(frame, WireFrame::Binary { tag, .. } if tag == TAG_COLUMNS) {
+            columnar_frames += 1;
+        }
+        match decode_server_frame(frame).unwrap() {
+            ServerEvent::Tuple(t) => got.push(t),
+            ServerEvent::Batch(batch) => got.extend(batch),
+            ServerEvent::Report(_) => break,
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    writer.join().unwrap();
+    assert!(
+        columnar_frames > 0,
+        "a batched binary session must emit columnar frames"
+    );
+    assert!(
+        columnar_frames < got.len(),
+        "columnar frames carry many tuples each"
+    );
+    assert_eq!(got, offline.polluted, "reassembled stream is identical");
+}
+
+#[test]
 fn sessions_opt_into_checkpointing_via_their_plan() {
     // A streaming session cannot be restored (its source is the
     // connection), but a plan with a checkpoint section still commits
@@ -542,4 +613,76 @@ fn sessions_opt_into_checkpointing_via_their_plan() {
         report.checkpoints_taken
     );
     assert_eq!(report.restored_from_epoch, 0, "streaming never restores");
+}
+
+#[test]
+fn concurrent_checkpointing_sessions_get_separate_wals() {
+    // Two sessions running the same plan against the same checkpoint
+    // directory must not overwrite each other's WAL: the server scopes
+    // each session into its own subdirectory.
+    let dir = std::env::temp_dir().join(format!(
+        "icewafl-serve-wal-test-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut ckpt_plan = plan(42);
+    ckpt_plan.watermark_period = 32;
+    ckpt_plan.checkpoint = Some(icewafl_core::config::CheckpointSectionConfig {
+        dir: Some(dir.to_string_lossy().into_owned()),
+        interval_epochs: 1,
+    });
+    let offline = plan(42)
+        .compile(&schema())
+        .unwrap()
+        .execute(tuples(300))
+        .unwrap();
+
+    let server = TestServer::start(ServeConfig {
+        max_sessions: 2,
+        ..ServeConfig::default()
+    });
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let hs = Handshake {
+                plan_inline: Some(ckpt_plan.clone()),
+                schema_inline: Some(schema()),
+                format: Some("binary".into()),
+                ..Handshake::default()
+            };
+            let config = ClientConfig::new(server.addr(), hs);
+            std::thread::spawn(move || client::run_session(&config, tuples(300)).unwrap())
+        })
+        .collect();
+    for worker in workers {
+        let outcome = worker.join().unwrap();
+        assert!(outcome.completed(), "session failed: {:?}", outcome.error);
+        assert_eq!(outcome.tuples, offline.polluted, "sessions are isolated");
+        assert!(outcome.report.unwrap().checkpoints_taken > 0);
+    }
+
+    let mut wals: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().join("checkpoint.wal").is_file())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    wals.sort();
+    assert_eq!(
+        wals.len(),
+        2,
+        "each session writes its own WAL subdirectory: {wals:?}"
+    );
+    for name in &wals {
+        assert!(
+            name.starts_with("session_"),
+            "per-session subdirectory naming: {name}"
+        );
+        let len = std::fs::metadata(dir.join(name).join("checkpoint.wal"))
+            .unwrap()
+            .len();
+        assert!(len > 0, "WAL {name} has committed frames");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -484,6 +484,26 @@ impl<T: Send + 'static> DataStream<T> {
         }
     }
 
+    /// Coalesces consecutive records into [`StreamElement::Batch`]
+    /// frames of up to `batch_size` before the next stage — e.g. so a
+    /// sink with a whole-batch fast path (columnar frame encode) sees
+    /// batches even behind a per-record emitter like the event-time
+    /// sorter. Record order is unchanged and buffered records flush
+    /// before any watermark, barrier, or terminal marker, so this is
+    /// invisible to event-time and checkpoint semantics. A `batch_size`
+    /// of 0 or 1 is the identity.
+    pub fn rebatched(self, batch_size: usize) -> DataStream<T> {
+        if batch_size <= 1 {
+            return self;
+        }
+        let upstream = self.build;
+        DataStream {
+            build: Box::new(move |down, ctx| {
+                upstream(Box::new(BatchingStage::new(down, batch_size)), ctx)
+            }),
+        }
+    }
+
     /// Groups records into count-based micro-batches.
     pub fn micro_batch(self, size: usize) -> DataStream<Vec<T>> {
         self.transform(MicroBatcher::new(size))

@@ -1,0 +1,545 @@
+//! Columnar batches: a structure-of-arrays alternative to `Vec<StampedTuple>`.
+//!
+//! A [`ColumnBatch`] holds the same information as a row batch — the
+//! stamp fields (`id`, `tau`, `arrival`, `sub_stream`) and every
+//! attribute value of every tuple — but laid out per *column*: one typed
+//! vector per schema attribute plus a validity bitmap marking which
+//! slots hold a value (a cleared bit is SQL `NULL`). Column kernels in
+//! `icewafl-core` iterate one attribute vector at a time instead of
+//! hopping across per-tuple `ValueVec`s, and the serve codec can encode
+//! a whole batch without per-tuple framing.
+//!
+//! The representation is *lossless but narrower* than rows: a row whose
+//! value does not match its column's declared [`DataType`] (and is not
+//! `Null`) cannot be stored. [`ColumnBatch::from_rows`] therefore
+//! returns the rows back untouched when any value disagrees with the
+//! schema, and callers fall back to row execution — the conversion is a
+//! checked boundary, never a coercion. `from_rows` followed by
+//! [`ColumnBatch::into_rows`] reproduces the input exactly, byte for
+//! byte, which is what lets the columnar execution path share the
+//! engine's pinned byte-identical-output invariants.
+
+use crate::schema::{DataType, Schema};
+use crate::time::Timestamp;
+use crate::tuple::{StampedTuple, Tuple};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// The typed values of one column. Invalid (NULL) slots hold the type's
+/// default value and are masked by the owning [`Column`]'s validity
+/// bitmap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnData {
+    /// Boolean attribute values.
+    Bool(Vec<bool>),
+    /// 64-bit integer attribute values.
+    Int(Vec<i64>),
+    /// 64-bit float attribute values.
+    Float(Vec<f64>),
+    /// String attribute values.
+    Str(Vec<String>),
+    /// Millisecond timestamps.
+    Timestamp(Vec<i64>),
+}
+
+impl ColumnData {
+    fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        match dtype {
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(cap)),
+            DataType::Timestamp => ColumnData::Timestamp(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The schema type this column stores.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Timestamp(v) => v.len(),
+        }
+    }
+
+    /// Pushes the type's default value (the slot for a NULL).
+    fn push_default(&mut self) {
+        match self {
+            ColumnData::Bool(v) => v.push(false),
+            ColumnData::Int(v) => v.push(0),
+            ColumnData::Float(v) => v.push(0.0),
+            ColumnData::Str(v) => v.push(String::new()),
+            ColumnData::Timestamp(v) => v.push(0),
+        }
+    }
+
+    /// Pushes a matching value; `false` (nothing pushed) on a type
+    /// mismatch.
+    fn push_value(&mut self, value: Value) -> bool {
+        match (self, value) {
+            (ColumnData::Bool(v), Value::Bool(b)) => v.push(b),
+            (ColumnData::Int(v), Value::Int(i)) => v.push(i),
+            (ColumnData::Float(v), Value::Float(f)) => v.push(f),
+            (ColumnData::Str(v), Value::Str(s)) => v.push(s),
+            (ColumnData::Timestamp(v), Value::Timestamp(t)) => v.push(t.0),
+            _ => return false,
+        }
+        true
+    }
+
+    fn value_at(&self, row: usize) -> Value {
+        match self {
+            ColumnData::Bool(v) => Value::Bool(v[row]),
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Float(v) => Value::Float(v[row]),
+            ColumnData::Str(v) => Value::Str(v[row].clone()),
+            ColumnData::Timestamp(v) => Value::Timestamp(Timestamp(v[row])),
+        }
+    }
+
+    fn take_value_at(&mut self, row: usize) -> Value {
+        match self {
+            ColumnData::Bool(v) => Value::Bool(v[row]),
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Float(v) => Value::Float(v[row]),
+            ColumnData::Str(v) => Value::Str(std::mem::take(&mut v[row])),
+            ColumnData::Timestamp(v) => Value::Timestamp(Timestamp(v[row])),
+        }
+    }
+
+    /// Overwrites a slot with a matching value; `false` (slot untouched)
+    /// on a type mismatch.
+    fn set_value(&mut self, row: usize, value: Value) -> bool {
+        match (self, value) {
+            (ColumnData::Bool(v), Value::Bool(b)) => v[row] = b,
+            (ColumnData::Int(v), Value::Int(i)) => v[row] = i,
+            (ColumnData::Float(v), Value::Float(f)) => v[row] = f,
+            (ColumnData::Str(v), Value::Str(s)) => v[row] = s,
+            (ColumnData::Timestamp(v), Value::Timestamp(t)) => v[row] = t.0,
+            _ => return false,
+        }
+        true
+    }
+}
+
+/// One attribute column: typed values plus a validity bitmap (bit set =
+/// the slot holds a value, bit clear = NULL).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    data: ColumnData,
+    /// One bit per row, little-endian within each `u64` word.
+    validity: Vec<u64>,
+}
+
+impl Column {
+    fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        Column {
+            data: ColumnData::with_capacity(dtype, cap),
+            validity: Vec::with_capacity(cap.div_ceil(64)),
+        }
+    }
+
+    /// The typed value vector.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Mutable access to the typed value vector (kernels). Changing a
+    /// slot's value does not touch its validity bit; use
+    /// [`Column::set_valid`] alongside.
+    pub fn data_mut(&mut self) -> &mut ColumnData {
+        &mut self.data
+    }
+
+    /// The schema type of this column.
+    pub fn dtype(&self) -> DataType {
+        self.data.dtype()
+    }
+
+    /// Whether `row` holds a value (`false` = NULL).
+    pub fn is_valid(&self, row: usize) -> bool {
+        self.validity[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Sets or clears `row`'s validity bit.
+    pub fn set_valid(&mut self, row: usize, valid: bool) {
+        let (word, bit) = (row / 64, row % 64);
+        if valid {
+            self.validity[word] |= 1 << bit;
+        } else {
+            self.validity[word] &= !(1 << bit);
+        }
+    }
+
+    fn push_validity(&mut self, valid: bool) {
+        let row = self.data.len() - 1;
+        if row % 64 == 0 {
+            self.validity.push(0);
+        }
+        if valid {
+            self.validity[row / 64] |= 1 << (row % 64);
+        }
+    }
+
+    /// The value at `row` as a dynamic [`Value`] (NULL slots read as
+    /// [`Value::Null`]). Strings are cloned.
+    pub fn value_at(&self, row: usize) -> Value {
+        if self.is_valid(row) {
+            self.data.value_at(row)
+        } else {
+            Value::Null
+        }
+    }
+
+    /// Like [`Column::value_at`] but *moves* a string out, leaving an
+    /// empty slot behind — only safe when the batch is being consumed.
+    fn take_value_at(&mut self, row: usize) -> Value {
+        if self.is_valid(row) {
+            self.data.take_value_at(row)
+        } else {
+            Value::Null
+        }
+    }
+
+    /// Writes `value` into `row`. `Null` clears the validity bit; a
+    /// matching value overwrites the slot and sets it. Returns `false`
+    /// (slot untouched) when the value's type disagrees with the column.
+    pub fn set_value(&mut self, row: usize, value: Value) -> bool {
+        match value {
+            Value::Null => {
+                self.set_valid(row, false);
+                true
+            }
+            v => {
+                if self.data.set_value(row, v) {
+                    self.set_valid(row, true);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// A batch of stamped tuples in structure-of-arrays layout: parallel
+/// stamp vectors plus one [`Column`] per schema attribute.
+///
+/// Invariant: every vector has the same length, and every row of every
+/// column either matches the column's [`DataType`] or is NULL — the
+/// type discipline rows lack. See the module docs for the conversion
+/// contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnBatch {
+    ids: Vec<u64>,
+    taus: Vec<i64>,
+    arrivals: Vec<i64>,
+    sub_streams: Vec<u32>,
+    columns: Vec<Column>,
+}
+
+impl ColumnBatch {
+    /// An empty batch shaped for `schema`, with room for `cap` rows.
+    pub fn with_capacity(schema: &Schema, cap: usize) -> Self {
+        ColumnBatch {
+            ids: Vec::with_capacity(cap),
+            taus: Vec::with_capacity(cap),
+            arrivals: Vec::with_capacity(cap),
+            sub_streams: Vec::with_capacity(cap),
+            columns: schema
+                .fields()
+                .iter()
+                .map(|f| Column::with_capacity(f.dtype, cap))
+                .collect(),
+        }
+    }
+
+    /// Converts a row batch, consuming it. Returns `Err(rows)` — the
+    /// input handed back untouched — when any tuple's arity differs from
+    /// the schema or any non-NULL value disagrees with its column's
+    /// type; callers then continue on the row path.
+    pub fn from_rows(schema: &Schema, rows: Vec<StampedTuple>) -> Result<Self, Vec<StampedTuple>> {
+        // Validate first so the move below cannot fail halfway.
+        let fits = rows.iter().all(|t| {
+            t.tuple.len() == schema.len()
+                && t.tuple
+                    .values()
+                    .iter()
+                    .zip(schema.fields())
+                    .all(|(v, f)| matches!(v, Value::Null) || v.dtype() == Some(f.dtype))
+        });
+        if !fits {
+            return Err(rows);
+        }
+        let mut batch = ColumnBatch::with_capacity(schema, rows.len());
+        for t in rows {
+            batch.ids.push(t.id);
+            batch.taus.push(t.tau.0);
+            batch.arrivals.push(t.arrival.0);
+            batch.sub_streams.push(t.sub_stream);
+            for (col, value) in batch.columns.iter_mut().zip(t.tuple.into_values()) {
+                match value {
+                    Value::Null => {
+                        col.data.push_default();
+                        col.push_validity(false);
+                    }
+                    v => {
+                        let pushed = col.data.push_value(v);
+                        debug_assert!(pushed, "validated above");
+                        col.push_validity(true);
+                    }
+                }
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Reconstructs the row batch this batch was built from, exactly:
+    /// same stamps, same values, NULLs where validity bits are clear.
+    pub fn into_rows(mut self) -> Vec<StampedTuple> {
+        let n = self.len();
+        let mut rows = Vec::with_capacity(n);
+        for row in 0..n {
+            let values: Vec<Value> = self
+                .columns
+                .iter_mut()
+                .map(|c| c.take_value_at(row))
+                .collect();
+            let mut t = StampedTuple::new(self.ids[row], Timestamp(self.taus[row]), Tuple::new(values));
+            t.arrival = Timestamp(self.arrivals[row]);
+            t.sub_stream = self.sub_streams[row];
+            rows.push(t);
+        }
+        rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` iff the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of attribute columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The tuple ids, in row order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The event times `τ` (ms), in row order.
+    pub fn taus(&self) -> &[i64] {
+        &self.taus
+    }
+
+    /// The arrival times (ms), in row order.
+    pub fn arrivals(&self) -> &[i64] {
+        &self.arrivals
+    }
+
+    /// The sub-stream assignments, in row order.
+    pub fn sub_streams(&self) -> &[u32] {
+        &self.sub_streams
+    }
+
+    /// Overwrites every row's sub-stream (what the pollution operator
+    /// does on emit).
+    pub fn set_sub_stream(&mut self, sub_stream: u32) {
+        self.sub_streams.iter_mut().for_each(|s| *s = sub_stream);
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Mutable column access (kernels).
+    pub fn column_mut(&mut self, idx: usize) -> &mut Column {
+        &mut self.columns[idx]
+    }
+
+    /// The stamp fields of one row, without its values.
+    pub fn stamp(&self, row: usize) -> (u64, Timestamp, Timestamp, u32) {
+        (
+            self.ids[row],
+            Timestamp(self.taus[row]),
+            Timestamp(self.arrivals[row]),
+            self.sub_streams[row],
+        )
+    }
+}
+
+impl Value {
+    /// The [`DataType`] this value inhabits; `None` for `Null` (a member
+    /// of every domain).
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs([
+            ("Time", DataType::Timestamp),
+            ("BPM", DataType::Int),
+            ("Distance", DataType::Float),
+            ("sensor", DataType::Str),
+            ("ok", DataType::Bool),
+        ])
+        .unwrap()
+    }
+
+    fn row(id: u64, values: Vec<Value>) -> StampedTuple {
+        let mut t = StampedTuple::new(id, Timestamp(id as i64 * 1000), Tuple::new(values));
+        t.arrival = Timestamp(id as i64 * 1000 + 7);
+        t.sub_stream = (id % 3) as u32;
+        t
+    }
+
+    fn rows() -> Vec<StampedTuple> {
+        (0..100)
+            .map(|i| {
+                row(
+                    i,
+                    vec![
+                        Value::Timestamp(Timestamp(i as i64 * 1000)),
+                        if i % 7 == 0 { Value::Null } else { Value::Int(70 + i as i64) },
+                        Value::Float(i as f64 * 0.5),
+                        Value::Str(format!("s{}", i % 4)),
+                        Value::Bool(i % 2 == 0),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let input = rows();
+        let batch = ColumnBatch::from_rows(&schema(), input.clone()).unwrap();
+        assert_eq!(batch.len(), 100);
+        assert_eq!(batch.arity(), 5);
+        assert_eq!(batch.into_rows(), input);
+    }
+
+    #[test]
+    fn nulls_survive_the_round_trip_per_column() {
+        let input = vec![row(
+            0,
+            vec![Value::Null, Value::Null, Value::Null, Value::Null, Value::Null],
+        )];
+        let batch = ColumnBatch::from_rows(&schema(), input.clone()).unwrap();
+        for col in 0..5 {
+            assert!(!batch.column(col).is_valid(0));
+            assert_eq!(batch.column(col).value_at(0), Value::Null);
+        }
+        assert_eq!(batch.into_rows(), input);
+    }
+
+    #[test]
+    fn mismatched_value_hands_rows_back() {
+        let mut input = rows();
+        // A string where an Int belongs: not representable.
+        input[3].tuple.replace(1, Value::Str("oops".into()));
+        let back = ColumnBatch::from_rows(&schema(), input.clone()).unwrap_err();
+        assert_eq!(back, input, "input returned untouched");
+    }
+
+    #[test]
+    fn arity_mismatch_hands_rows_back() {
+        let mut input = rows();
+        input[0] = row(0, vec![Value::Int(1)]);
+        assert!(ColumnBatch::from_rows(&schema(), input).is_err());
+    }
+
+    #[test]
+    fn set_value_enforces_types_and_tracks_validity() {
+        let mut batch = ColumnBatch::from_rows(&schema(), rows()).unwrap();
+        let col = batch.column_mut(2);
+        assert!(col.set_value(5, Value::Float(99.5)));
+        assert_eq!(col.value_at(5), Value::Float(99.5));
+        assert!(col.set_value(5, Value::Null));
+        assert!(!col.is_valid(5));
+        assert_eq!(col.value_at(5), Value::Null);
+        // Nulled slot can be revived.
+        assert!(col.set_value(5, Value::Float(1.0)));
+        assert!(col.is_valid(5));
+        // Wrong type: rejected, slot untouched.
+        assert!(!col.set_value(5, Value::Int(3)));
+        assert_eq!(col.value_at(5), Value::Float(1.0));
+    }
+
+    #[test]
+    fn validity_bitmap_crosses_word_boundaries() {
+        let input: Vec<StampedTuple> = (0..130)
+            .map(|i| {
+                row(
+                    i,
+                    vec![
+                        Value::Timestamp(Timestamp(0)),
+                        if i % 2 == 0 { Value::Null } else { Value::Int(i as i64) },
+                        Value::Float(0.0),
+                        Value::Str(String::new()),
+                        Value::Bool(false),
+                    ],
+                )
+            })
+            .collect();
+        let batch = ColumnBatch::from_rows(&schema(), input.clone()).unwrap();
+        for i in 0..130 {
+            assert_eq!(batch.column(1).is_valid(i), i % 2 == 1, "row {i}");
+        }
+        assert_eq!(batch.into_rows(), input);
+    }
+
+    #[test]
+    fn stamps_are_preserved() {
+        let batch = ColumnBatch::from_rows(&schema(), rows()).unwrap();
+        assert_eq!(batch.stamp(9), (9, Timestamp(9000), Timestamp(9007), 0));
+        assert_eq!(batch.ids()[42], 42);
+        assert_eq!(batch.sub_streams()[5], 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let batch = ColumnBatch::from_rows(&schema(), rows()).unwrap();
+        let json = serde_json::to_string(&batch).unwrap();
+        let back: ColumnBatch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let batch = ColumnBatch::from_rows(&schema(), Vec::new()).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.into_rows(), Vec::new());
+    }
+}

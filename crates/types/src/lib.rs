@@ -13,12 +13,14 @@
 
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod error;
 pub mod schema;
 pub mod time;
 pub mod tuple;
 pub mod value;
 
+pub use column::{Column, ColumnBatch, ColumnData};
 pub use error::{Error, Result};
 pub use schema::{DataType, Field, Schema};
 pub use time::{parse_timestamp, DateTime, Duration, Timestamp};

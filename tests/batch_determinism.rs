@@ -214,6 +214,235 @@ fn epoch_boundary_is_batch_size_invariant() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Columnar vs row representation
+// ---------------------------------------------------------------------
+
+/// Batch sizes for the representation sweep. 1 exercises the degenerate
+/// single-row column kernels; 4096 exceeds every internal buffer.
+const REPR_BATCH_SIZES: [usize; 4] = [1, 64, 256, 4096];
+
+/// A value-only plan (noise + scale) that lowers to column kernels,
+/// with the representation pinned so a silent fallback would fail the
+/// compile instead of silently testing row against row.
+fn repr_plan(strategy: StrategyHint, batch_size: usize, repr: ReprHint) -> LogicalPlan {
+    let pipeline = |i: usize| {
+        vec![
+            noise(format!("noise-{i}")),
+            PolluterConfig::Standard {
+                name: format!("scale-{i}"),
+                attributes: vec!["x".into()],
+                error: ErrorConfig::Scale { factor: 1.5 },
+                condition: ConditionConfig::Probability { p: 0.3 },
+                pattern: None,
+            },
+        ]
+    };
+    let mut plan = LogicalPlan::new(42, (0..3).map(pipeline).collect());
+    plan.assigner = AssignerSpec::RoundRobin;
+    plan.strategy = strategy;
+    plan.batch_size = batch_size;
+    plan.repr = repr;
+    plan
+}
+
+#[test]
+fn columnar_output_is_byte_identical_to_row() {
+    // The tentpole invariant: representation is a pure performance
+    // knob. Polluted stream, clean stream, and ground-truth log are
+    // byte-identical between row and columnar execution for every
+    // strategy and batch size.
+    // The thread-parallel merge appends log entries from concurrent
+    // workers, so entry *order* is scheduler-dependent there (content
+    // is not) — canonicalize by the stable identity before comparing.
+    let canon_log = |out: &PollutionOutput| {
+        let mut entries = out.log.entries().to_vec();
+        entries.sort_by_key(|e| (e.tuple_id(), e.polluter().to_string(), e.tau()));
+        entries
+    };
+    let base = run(&repr_plan(StrategyHint::Sequential, 1, ReprHint::Row), 500);
+    for strategy in STRATEGIES {
+        for batch_size in REPR_BATCH_SIZES {
+            for repr in [ReprHint::Row, ReprHint::Columnar] {
+                let plan = repr_plan(strategy, batch_size, repr);
+                let physical = plan.compile(&schema()).expect("plan compiles");
+                let expected = match repr {
+                    ReprHint::Columnar => "columnar",
+                    _ => "row",
+                };
+                assert_eq!(physical.repr_summary(), expected);
+                let out = physical.execute(tuples(500)).expect("run succeeds");
+                assert_eq!(
+                    out.polluted, base.polluted,
+                    "polluted stream changed ({strategy:?}, batch {batch_size}, {repr:?})"
+                );
+                assert_eq!(out.clean, base.clean);
+                if matches!(strategy, StrategyHint::SplitMergeParallel) {
+                    assert_eq!(
+                        canon_log(&out),
+                        canon_log(&base),
+                        "ground truth changed ({strategy:?}, batch {batch_size}, {repr:?})"
+                    );
+                } else {
+                    assert_eq!(
+                        out.log.entries(),
+                        base.log.entries(),
+                        "ground truth changed ({strategy:?}, batch {batch_size}, {repr:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn direct_columnar_drive_matches_the_channel_paths() {
+    // With logging off, a sequential all-columnar plan takes the direct
+    // drive (bucket → pivot once → kernels → scatter, no channels or
+    // sorter heap). Its output must match both the row channel path and
+    // the columnar channel path (logging on forces the latter).
+    let run_with = |repr: ReprHint, logging: bool, batch_size: usize| {
+        let mut plan = repr_plan(StrategyHint::Sequential, batch_size, repr);
+        plan.logging = logging;
+        run(&plan, 500)
+    };
+    for batch_size in [64usize, 4096] {
+        let row = run_with(ReprHint::Row, false, batch_size);
+        let direct = run_with(ReprHint::Columnar, false, batch_size);
+        let channel = run_with(ReprHint::Columnar, true, batch_size);
+        assert_eq!(
+            direct.polluted, row.polluted,
+            "direct columnar drive diverged from row (batch {batch_size})"
+        );
+        assert_eq!(direct.clean, row.clean);
+        assert_eq!(
+            direct.polluted, channel.polluted,
+            "direct drive diverged from channel columnar (batch {batch_size})"
+        );
+    }
+}
+
+#[test]
+fn multi_membership_assigners_fall_back_identically() {
+    // Broadcast (every tuple in every sub-stream) and probabilistic
+    // overlap defeat the direct drive's single-membership requirement;
+    // it must bail to the channel driver before any side effect, and
+    // columnar must still match row byte-for-byte.
+    for assigner in [
+        AssignerSpec::Broadcast,
+        AssignerSpec::Probabilistic { p: 0.6 },
+    ] {
+        let run_with = |repr: ReprHint| {
+            let mut plan = repr_plan(StrategyHint::Sequential, 256, repr);
+            plan.assigner = assigner.clone();
+            plan.logging = false;
+            run(&plan, 300)
+        };
+        let row = run_with(ReprHint::Row);
+        let col = run_with(ReprHint::Columnar);
+        assert_eq!(
+            col.polluted, row.polluted,
+            "fallback diverged under {assigner:?}"
+        );
+        assert_eq!(col.clean, row.clean);
+    }
+}
+
+#[test]
+fn reconfiguration_is_repr_invariant() {
+    // A mid-stream epoch flip lands on the same tuple under columnar
+    // execution: Fries-style reconfiguration semantics are preserved
+    // byte-for-byte (the epoch boundary is a watermark property, not a
+    // representation property).
+    let flipped = |repr: ReprHint, batch_size: usize| {
+        let mut plan = LogicalPlan::new(
+            7,
+            vec![vec![PolluterConfig::Standard {
+                name: "scale".into(),
+                attributes: vec!["x".into()],
+                error: ErrorConfig::Scale { factor: 2.0 },
+                condition: ConditionConfig::Always,
+                pattern: None,
+            }]],
+        );
+        plan.batch_size = batch_size;
+        plan.repr = repr;
+        let physical = plan.compile(&schema()).expect("plan compiles");
+        physical
+            .control_handle()
+            .reconfigure_at(
+                Timestamp(256_000),
+                &[PlanDelta::SetError {
+                    polluter: "scale".into(),
+                    error: ErrorConfig::Scale { factor: 0.5 },
+                }],
+            )
+            .expect("delta validates");
+        physical.execute(tuples(400)).expect("run succeeds")
+    };
+    let base = flipped(ReprHint::Row, 1);
+    for batch_size in REPR_BATCH_SIZES {
+        let out = flipped(ReprHint::Columnar, batch_size);
+        assert_eq!(out.report.epochs_applied, 1);
+        assert_eq!(
+            out.polluted, base.polluted,
+            "epoch split moved (columnar, batch {batch_size})"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_recovery_on_a_columnar_plan_is_byte_identical() {
+    // A transient kill healed by checkpoint restore on a columnar plan
+    // produces the same bytes as an undisturbed columnar run — and as
+    // an undisturbed row run.
+    let config = |kill: bool| {
+        let chaos = if kill {
+            r#""chaos": { "kill_at_tuple": 120, "panic_budget": 1 },"#
+        } else {
+            ""
+        };
+        JobConfig::from_json(&format!(
+            r#"{{
+                "seed": 42,
+                "pipelines": [[{{
+                    "type": "standard",
+                    "name": "null-x",
+                    "attributes": ["x"],
+                    "error": {{ "type": "missing_value" }},
+                    "condition": {{ "type": "probability", "p": 0.5 }}
+                }}]],
+                "supervision": {{ "max_retries": 2, "deterministic": true }},
+                {chaos}
+                "checkpoint": {{ "interval_epochs": 1 }},
+                "execution": {{ "watermark_period": 16, "batch_size": 256 }}
+            }}"#
+        ))
+        .expect("config parses")
+    };
+    let run_with = |kill: bool, repr: ReprHint| {
+        let mut plan = config(kill).to_plan();
+        plan.repr = repr;
+        plan.compile(&schema())
+            .expect("plan compiles")
+            .execute_supervised(tuples(200))
+            .expect("run succeeds")
+    };
+    let row_calm = run_with(false, ReprHint::Row);
+    let col_calm = run_with(false, ReprHint::Columnar);
+    let col_hurt = run_with(true, ReprHint::Columnar);
+    assert_eq!(col_calm.polluted, row_calm.polluted, "repr changed bytes");
+    assert_eq!(
+        col_hurt.polluted, col_calm.polluted,
+        "recovery changed bytes on the columnar plan"
+    );
+    assert_eq!(col_hurt.log.entries(), col_calm.log.entries());
+    let r = &col_hurt.report;
+    assert_eq!(r.restarts, 1, "exactly one restart");
+    assert!(r.checkpoints_taken > 0, "checkpoints committed");
+    assert!(r.restored_from_epoch > 0, "restored from a real epoch");
+}
+
 fn chaotic_config(max_retries: u32) -> JobConfig {
     JobConfig::from_json(&format!(
         r#"{{
