@@ -13,6 +13,7 @@
 //!   serve_client --addr HOST:PORT [--sessions 4] [--tuples 10000]
 //!                [--format ndjson|binary] [--plan NAME | --plan-file F]
 //!                [--slow-reader-ms N] [--out OUT.json] [--seed 42]
+//!                [--shared STREAM] [--verify | --verify-offline FILE]
 //!   serve_client --offline [--tuples 10000] [--plan-file F]
 //!                [--out OUT.json] [--seed 42]
 //!
@@ -20,6 +21,15 @@
 //! exercise server-side backpressure. Without `--plan`/`--plan-file` the
 //! harness inlines the throughput reference plan (4 sub-streams of 4
 //! gaussian-noise polluters) and its 2-column schema.
+//!
+//! `--shared STREAM` switches to shared-plan fan-out: session 0
+//! publishes its output on the named stream and every other session
+//! subscribes to it, so the server encodes each frame once and fans the
+//! bytes out. `--verify` byte-compares every session's polluted stream
+//! against an in-process offline run of the same plan (exit 1 on any
+//! divergence); `--verify-offline FILE` compares against a previously
+//! written `--offline --out` artifact instead. Sessions scale to 1000+
+//! (connects are staggered so the listener backlog is never the limit).
 
 use icewafl_core::config::{ConditionConfig, ErrorConfig, PolluterConfig};
 use icewafl_core::plan::{AssignerSpec, LogicalPlan, StrategyHint};
@@ -116,6 +126,24 @@ fn main() {
     }
 
     let addr = arg_value(&args, "--addr").expect("--addr is required (or use --offline)");
+    let shared_stream = arg_value(&args, "--shared");
+    // The byte-identity reference every session is held against: an
+    // in-process offline run (`--verify`) or a prior `--offline --out`
+    // artifact (`--verify-offline FILE`).
+    let reference_bytes: Option<String> = if let Some(path) = arg_value(&args, "--verify-offline") {
+        Some(std::fs::read_to_string(&path).expect("read --verify-offline artifact"))
+    } else if args.iter().any(|a| a == "--verify") {
+        let out = plan
+            .clone()
+            .compile(&schema())
+            .expect("plan compiles")
+            .execute(input.clone())
+            .expect("offline run succeeds");
+        Some(serde_json::to_string(&out.polluted).expect("polluted stream serializes"))
+    } else {
+        None
+    };
+
     let handshake = Handshake {
         // A named plan refers to the server's --plans-dir; otherwise the
         // plan ships inline.
@@ -123,18 +151,45 @@ fn main() {
         plan_inline: plan_name.is_none().then(|| plan.clone()),
         schema_inline: Some(schema()),
         format: Some(format.clone()),
+        // In shared mode session 0 publishes on the named stream.
+        stream: shared_stream.clone(),
+        ..Handshake::default()
+    };
+    let subscribe = Handshake {
+        session: Some("subscribe".into()),
+        stream: shared_stream.clone(),
+        format: Some(format.clone()),
         ..Handshake::default()
     };
 
     let start = Instant::now();
     let workers: Vec<_> = (0..sessions)
         .map(|i| {
-            let mut config = ClientConfig::new(addr.clone(), handshake.clone());
+            let handshake = if shared_stream.is_some() && i > 0 {
+                subscribe.clone()
+            } else {
+                handshake.clone()
+            };
+            let mut config = ClientConfig::new(addr.clone(), handshake);
             if i == 0 {
                 config.slow_reader = slow_reader;
             }
-            let input = input.clone();
+            let input = if shared_stream.is_some() && i > 0 {
+                Vec::new()
+            } else {
+                input.clone()
+            };
+            let publisher_delay = shared_stream.is_some() && i == 0;
             std::thread::spawn(move || {
+                if publisher_delay {
+                    // Let the subscribers attach first: the stream's hub
+                    // is retired once the publisher closes.
+                    std::thread::sleep(Duration::from_millis(150));
+                } else {
+                    // Stagger connects so the listener backlog never
+                    // throttles a 1000-session run.
+                    std::thread::sleep(Duration::from_millis((i % 64) as u64));
+                }
                 let t0 = Instant::now();
                 let outcome = client::run_session(&config, input).expect("session transport");
                 (outcome, t0.elapsed())
@@ -144,6 +199,8 @@ fn main() {
 
     let mut first_output: Option<Vec<StampedTuple>> = None;
     let mut failed = 0usize;
+    let mut diverged = 0usize;
+    let quiet = sessions > 16;
     for (i, worker) in workers.into_iter().enumerate() {
         let (outcome, elapsed) = worker.join().expect("session thread");
         if !outcome.reply.ok {
@@ -162,17 +219,27 @@ fn main() {
             failed += 1;
             continue;
         }
-        eprintln!(
-            "session {i}: {} tuples in {:.2} ms ({:.0} tuples/s){}",
-            outcome.tuples.len(),
-            elapsed.as_secs_f64() * 1e3,
-            outcome.tuples.len() as f64 / elapsed.as_secs_f64(),
-            if i == 0 && slow_reader.is_some() {
-                "  [slow reader]"
-            } else {
-                ""
+        if !quiet {
+            eprintln!(
+                "session {i}: {} tuples in {:.2} ms ({:.0} tuples/s){}",
+                outcome.tuples.len(),
+                elapsed.as_secs_f64() * 1e3,
+                outcome.tuples.len() as f64 / elapsed.as_secs_f64(),
+                if i == 0 && slow_reader.is_some() {
+                    "  [slow reader]"
+                } else {
+                    ""
+                }
+            );
+        }
+        if let Some(expected) = &reference_bytes {
+            let served =
+                serde_json::to_string(&outcome.tuples).expect("polluted stream serializes");
+            if &served != expected {
+                eprintln!("session {i}: output diverged from the offline reference");
+                diverged += 1;
             }
-        );
+        }
         if i == 0 {
             first_output = Some(outcome.tuples);
         }
@@ -180,17 +247,25 @@ fn main() {
 
     let elapsed = start.elapsed().as_secs_f64();
     eprintln!(
-        "total: {} sessions x {} tuples in {:.2} s ({:.0} tuples/s aggregate), {} failed",
+        "total: {} sessions x {} tuples in {:.2} s ({:.0} tuples/s aggregate), {} failed{}",
         sessions,
         n,
         elapsed,
         (sessions as i64 * n) as f64 / elapsed,
-        failed
+        failed,
+        if reference_bytes.is_some() {
+            format!(", {diverged} diverged")
+        } else {
+            String::new()
+        }
     );
+    if reference_bytes.is_some() && diverged == 0 && failed == 0 {
+        eprintln!("verify: all {sessions} sessions byte-identical to offline");
+    }
     if let (Some(path), Some(polluted)) = (&out_path, &first_output) {
         write_polluted(path, polluted);
     }
-    if failed > 0 {
+    if failed > 0 || diverged > 0 {
         std::process::exit(1);
     }
 }

@@ -18,9 +18,10 @@
 //! throughput: it starts an in-process `icewafl-serve` server and
 //! drives concurrent sessions of the same workload through it, once per
 //! wire format. Serve numbers land under a separate `serve` key in the
-//! JSON — they measure socket + codec overhead on top of the runtime
-//! and are deliberately outside the `results` array the `--check` gate
-//! iterates.
+//! JSON — absolute network rates are machine-dependent and stay outside
+//! the `results` array the `--check` gate iterates — but in `--relative`
+//! mode the binary serve / offline sequential *ratio* from the same run
+//! is gated against a floor (see `SERVE_BINARY_RATIO_FLOOR`).
 //!
 //! Every run also measures checkpointed recovery: a chaos kill halfway
 //! through the pipelined workload, restored from the latest
@@ -345,14 +346,26 @@ const REFERENCE_CONFIG: &str = "sequential/batch_1";
 /// Amdahl caps the transport win, and machine noise must not flake CI.
 const COLUMNAR_SPEEDUP_FLOOR: f64 = 1.5;
 
+/// Minimum binary-serve over offline-sequential throughput ratio the
+/// `--relative` gate accepts when this run measured serve (`--serve`).
+/// Both sides run on the same machine in the same process, so the ratio
+/// is hardware-independent; the floor guards the event-driven serving
+/// path against regressing back toward the ~0.3x the thread-per-session
+/// server measured, while staying far enough under the measured ratio
+/// that scheduler noise cannot flake CI.
+const SERVE_BINARY_RATIO_FLOOR: f64 = 0.5;
+
 /// Compares measured throughput against a committed baseline; returns
 /// the names of configurations that regressed beyond `tolerance`. In
 /// relative mode both sides are divided by their own
 /// [`REFERENCE_CONFIG`] throughput first, comparing speedup ratios
-/// instead of machine-dependent absolute rates.
+/// instead of machine-dependent absolute rates — and, when this run
+/// measured serve, the binary serve/offline ratio is gated against
+/// [`SERVE_BINARY_RATIO_FLOOR`].
 fn check(
     baseline_json: &str,
     results: &[Measurement],
+    serve: &[Measurement],
     tolerance: f64,
     relative: bool,
 ) -> Vec<String> {
@@ -426,10 +439,35 @@ fn check(
             .unwrap_or(f64::NAN);
         let ratio = columnar / row;
         if ratio.is_finite() {
-            eprintln!("columnar/row sequential speedup: {ratio:.2}x (floor {COLUMNAR_SPEEDUP_FLOOR:.1}x)");
+            eprintln!(
+                "columnar/row sequential speedup: {ratio:.2}x (floor {COLUMNAR_SPEEDUP_FLOOR:.1}x)"
+            );
             if ratio < COLUMNAR_SPEEDUP_FLOOR {
                 regressions.push(format!(
                     "columnar/row speedup: {ratio:.2}x < floor {COLUMNAR_SPEEDUP_FLOOR:.1}x"
+                ));
+            }
+        }
+        // The serve/offline gap is ROADMAP item 1's headline number:
+        // gate the best binary serve configuration against the offline
+        // sequential reference from the same run, so the event-driven
+        // server cannot silently regress toward thread-per-session
+        // territory. Only active when this run measured serve.
+        let serve_binary = serve
+            .iter()
+            .filter(|m| m.strategy == "serve_binary")
+            .map(|m| m.tuples_per_sec)
+            .fold(f64::NAN, f64::max);
+        let serve_ratio = serve_binary / row;
+        if serve_ratio.is_finite() {
+            eprintln!(
+                "binary serve / offline sequential: {serve_ratio:.2}x \
+                 (floor {SERVE_BINARY_RATIO_FLOOR:.1}x)"
+            );
+            if serve_ratio < SERVE_BINARY_RATIO_FLOOR {
+                regressions.push(format!(
+                    "binary serve/offline ratio: {serve_ratio:.2}x < floor \
+                     {SERVE_BINARY_RATIO_FLOOR:.1}x"
                 ));
             }
         }
@@ -527,7 +565,7 @@ fn main() {
 
     if let Some(path) = check_path {
         let baseline = std::fs::read_to_string(&path).expect("read baseline");
-        let regressions = check(&baseline, &results, tolerance, relative);
+        let regressions = check(&baseline, &results, &serve_results, tolerance, relative);
         if !regressions.is_empty() {
             eprintln!("throughput regressions beyond {:.0}%:", tolerance * 100.0);
             for r in &regressions {

@@ -89,15 +89,15 @@ fn error_lowerable(error: &ErrorConfig, attrs: &[usize], schema: &Schema) -> boo
             None => true, // a NULL constant clears validity on any column
             Some(d) => attrs.iter().all(|&i| dtype(i) == Some(d)),
         },
-        ErrorConfig::Typo { .. } | ErrorConfig::IncorrectCategory { .. } => attrs
-            .iter()
-            .all(|&i| dtype(i) == Some(DataType::Str)),
+        ErrorConfig::Typo { .. } | ErrorConfig::IncorrectCategory { .. } => {
+            attrs.iter().all(|&i| dtype(i) == Some(DataType::Str))
+        }
         // Validation enforces same-domain pairs, so swaps are
         // type-preserving once bound.
         ErrorConfig::SwapAttributes => true,
-        ErrorConfig::TimestampShift { .. } => attrs
-            .iter()
-            .all(|&i| dtype(i) == Some(DataType::Timestamp)),
+        ErrorConfig::TimestampShift { .. } => {
+            attrs.iter().all(|&i| dtype(i) == Some(DataType::Timestamp))
+        }
     }
 }
 
@@ -183,13 +183,18 @@ impl ColumnStage {
         scratch.arrival = arrival;
         scratch.sub_stream = sub_stream;
         for &idx in &self.touched {
-            *scratch.tuple.get_mut(idx).expect("scratch has schema arity") =
-                batch.column(idx).value_at(row);
+            *scratch
+                .tuple
+                .get_mut(idx)
+                .expect("scratch has schema arity") = batch.column(idx).value_at(row);
         }
         self.polluter.process_in_place(scratch, log);
         for &idx in &self.writes {
             let value = std::mem::replace(
-                scratch.tuple.get_mut(idx).expect("scratch has schema arity"),
+                scratch
+                    .tuple
+                    .get_mut(idx)
+                    .expect("scratch has schema arity"),
                 Value::Null,
             );
             let stored = batch.column_mut(idx).set_value(row, value);
@@ -390,11 +395,7 @@ pub fn lower_pipeline(
     }
     Ok(Some(ColumnPipeline {
         stages,
-        scratch: StampedTuple::new(
-            0,
-            Timestamp(0),
-            Tuple::new(vec![Value::Null; schema.len()]),
-        ),
+        scratch: StampedTuple::new(0, Timestamp(0), Tuple::new(vec![Value::Null; schema.len()])),
         schema: schema.clone(),
     }))
 }
@@ -552,7 +553,9 @@ mod tests {
     fn snapshots_are_interchangeable_across_representations() {
         let polluters = noisy_pipeline();
         // Run the column pipeline halfway and snapshot it.
-        let mut cols = lower_pipeline(7, 0, &polluters, &schema()).unwrap().unwrap();
+        let mut cols = lower_pipeline(7, 0, &polluters, &schema())
+            .unwrap()
+            .unwrap();
         let mut log = PollutionLog::new();
         let mut batch = ColumnBatch::from_rows(&schema(), rows(100)).unwrap();
         cols.process_batch(&mut batch, &mut log);
@@ -560,12 +563,14 @@ mod tests {
 
         // Restore it onto a fresh ROW pipeline and onto a fresh column
         // pipeline; both must continue identically.
-        let mut row_pipeline = build_pipelines(7, &[polluters.clone()], &schema())
+        let mut row_pipeline = build_pipelines(7, std::slice::from_ref(&polluters), &schema())
             .unwrap()
             .pop()
             .unwrap();
         row_pipeline.restore_states(&snap).unwrap();
-        let mut cols2 = lower_pipeline(7, 0, &polluters, &schema()).unwrap().unwrap();
+        let mut cols2 = lower_pipeline(7, 0, &polluters, &schema())
+            .unwrap()
+            .unwrap();
         cols2.restore_states(&snap).unwrap();
 
         let tail: Vec<StampedTuple> = rows(200).split_off(100);

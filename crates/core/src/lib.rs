@@ -91,8 +91,8 @@ pub use log::{LogEntry, PollutionLog};
 pub use pattern::ChangePattern;
 pub use pipeline::{CompositePolluter, OneOfPolluter, PollutionPipeline};
 pub use plan::{
-    AssignerSpec, ControlHandle, ExecutionStrategy, LogicalPlan, PhysicalPlan, PlanDelta,
-    ReprHint, StageInfo, StrategyHint, SubstreamRepr, DEFAULT_BATCH_SIZE,
+    AssignerSpec, ControlHandle, ExecutionStrategy, LogicalPlan, PhysicalPlan, PlanDelta, ReprHint,
+    StageInfo, StrategyHint, SubstreamRepr, DEFAULT_BATCH_SIZE,
 };
 pub use polluter::{BoxPolluter, Emission, Polluter, StandardPolluter};
 pub use report::RunReport;

@@ -562,11 +562,7 @@ impl PollutionJob {
     /// shared across attempts, so a bounded fault is transient — it
     /// heals after restart instead of re-arming. On success the report
     /// records how many restarts were consumed.
-    pub fn run_supervised<F>(
-        &self,
-        tuples: Vec<Tuple>,
-        mut pipelines: F,
-    ) -> Result<PollutionOutput>
+    pub fn run_supervised<F>(&self, tuples: Vec<Tuple>, mut pipelines: F) -> Result<PollutionOutput>
     where
         F: FnMut() -> Result<Vec<PollutionPipeline>>,
     {

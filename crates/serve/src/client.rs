@@ -10,8 +10,8 @@
 //! stream outgrows the kernel socket buffers.
 
 use crate::protocol::{
-    coerce_tuple, decode_server_frame, encode_end_frame, encode_tuple_frame, Handshake,
-    HandshakeReply, ServerEvent, SessionErrorFrame, TelemetryFrame,
+    coerce_tuple, decode_server_frame, encode_end_frame, encode_tuple_columns_frame,
+    encode_tuple_frame, Handshake, HandshakeReply, ServerEvent, SessionErrorFrame, TelemetryFrame,
 };
 use icewafl_core::report::RunReport;
 use icewafl_stream::net::{FrameReader, FrameWriter, NetError, WireFormat, WireFrame};
@@ -20,6 +20,29 @@ use icewafl_types::{StampedTuple, Tuple};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// Tuples per columnar upload frame on binary sessions: large enough
+/// to amortize framing and decode dispatch, small enough that a frame
+/// stays far under the server's per-frame cap.
+const UPLOAD_BATCH: usize = 512;
+
+/// Splits `tuples` into chunks of at most `max` where every tuple in a
+/// chunk has the same arity — the invariant columnar frames require.
+fn uniform_arity_chunks(tuples: &[Tuple], max: usize) -> impl Iterator<Item = &[Tuple]> {
+    let mut rest = tuples;
+    std::iter::from_fn(move || {
+        let first = rest.first()?;
+        let arity = first.values().len();
+        let len = rest
+            .iter()
+            .take(max)
+            .take_while(|t| t.values().len() == arity)
+            .count();
+        let (run, tail) = rest.split_at(len);
+        rest = tail;
+        Some(run)
+    })
+}
 
 /// Client-side knobs for [`run_session`].
 #[derive(Debug, Clone)]
@@ -118,16 +141,37 @@ pub fn run_session(config: &ClientConfig, tuples: Vec<Tuple>) -> Result<SessionO
 
     // Writer thread: stream the input and the end marker. Write errors
     // are swallowed — if the server killed the session, the interesting
-    // signal is the error frame (or disconnect) the reader sees.
-    let writer_thread = std::thread::spawn(move || {
-        let mut writer = FrameWriter::new(BufWriter::new(write_stream), format);
-        for tuple in &tuples {
-            if writer.write(&encode_tuple_frame(tuple, format)).is_err() {
-                return;
+    // signal is the error frame (or disconnect) the reader sees. A
+    // `subscribe` session sends nothing after its handshake: the data
+    // comes from the publisher it attached to.
+    let subscriber = config.handshake.session.as_deref() == Some("subscribe");
+    let writer_thread = (!subscriber).then(|| {
+        std::thread::spawn(move || {
+            let mut writer = FrameWriter::new(BufWriter::new(write_stream), format);
+            if format == WireFormat::Binary {
+                // Columnar upload: one frame per run of same-arity
+                // tuples, so the server decodes a batch at a time
+                // instead of 5 header bytes + one payload per tuple.
+                for run in uniform_arity_chunks(&tuples, UPLOAD_BATCH) {
+                    let frame = if run.len() >= 2 {
+                        encode_tuple_columns_frame(run)
+                    } else {
+                        encode_tuple_frame(&run[0], format)
+                    };
+                    if writer.write(&frame).is_err() {
+                        return;
+                    }
+                }
+            } else {
+                for tuple in &tuples {
+                    if writer.write(&encode_tuple_frame(tuple, format)).is_err() {
+                        return;
+                    }
+                }
             }
-        }
-        let _ = writer.write(&encode_end_frame(format));
-        let _ = writer.flush();
+            let _ = writer.write(&encode_end_frame(format));
+            let _ = writer.flush();
+        })
     });
 
     // Reader: drain the session to its tail frame. Over NDJSON the
@@ -180,7 +224,9 @@ pub fn run_session(config: &ClientConfig, tuples: Vec<Tuple>) -> Result<SessionO
             Err(e) => break Err(e),
         }
     };
-    let _ = writer_thread.join();
+    if let Some(writer_thread) = writer_thread {
+        let _ = writer_thread.join();
+    }
     result.map(|()| outcome)
 }
 

@@ -21,6 +21,16 @@
 //! failure path of `icewafl-stream` and are answered with a typed
 //! [error frame](protocol::SessionErrorFrame).
 //!
+//! On Linux the server core is event-driven: an epoll readiness loop
+//! (hand-rolled behind the tiny [`poll`]-module abstraction — no tokio,
+//! mio, or libc crate) multiplexes every session over a worker pool
+//! sized to cores, so concurrency is bounded by file descriptors and
+//! buffered bytes rather than threads. Sessions that publish to a named
+//! `stream` are fanned out to `subscribe` sessions from pre-serialized
+//! frames — each output frame is encoded once and shared as
+//! `Arc<[u8]>`. Other platforms fall back to the original blocking
+//! thread-per-session driver.
+//!
 //! Entry points: [`Server::bind`] + [`Server::run`] on the server side,
 //! [`client::run_session`] on the client side, `icewafl serve` on the
 //! command line.
@@ -28,7 +38,10 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod poll;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod server;
 pub mod signal;
 

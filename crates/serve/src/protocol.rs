@@ -53,6 +53,11 @@ pub const TAG_TELEMETRY: u8 = 6;
 /// Binary frame tag: server → client, a batch of polluted
 /// [`StampedTuple`]s in columnar layout (see [`encode_columns`]).
 pub const TAG_COLUMNS: u8 = 7;
+/// Binary frame tag: client → server, a batch of input [`Tuple`]s in
+/// columnar layout (see [`encode_tuple_columns`]). The upload-side
+/// counterpart of [`TAG_COLUMNS`]: one frame header and one decode per
+/// batch instead of per tuple.
+pub const TAG_TUPLE_COLUMNS: u8 = 8;
 
 /// The first line of every session: what to run and how to talk.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
@@ -74,9 +79,18 @@ pub struct Handshake {
     pub format: Option<String>,
     /// Session type: `pollute` (default) runs a plan over the client's
     /// tuples; `telemetry` subscribes to periodic [`TelemetryFrame`]s
-    /// instead (no plan or schema required, nothing is sent upstream).
+    /// instead (no plan or schema required, nothing is sent upstream);
+    /// `subscribe` attaches to a named shared stream (see `stream`) and
+    /// receives the publisher's pre-serialized output frames.
     #[serde(default)]
     pub session: Option<String>,
+    /// Shared-stream name. On a `pollute` session this *publishes*: the
+    /// session's output frames are encoded once and fanned out (as
+    /// shared `Arc<[u8]>` buffers) to every `subscribe` session naming
+    /// the same stream. Subscribers must use the publisher's wire
+    /// format. At most one live publisher per name.
+    #[serde(default)]
+    pub stream: Option<String>,
 }
 
 impl Handshake {
@@ -531,6 +545,59 @@ pub fn decode_columns(buf: &[u8]) -> Result<Vec<StampedTuple>, NetError> {
     Ok(batch)
 }
 
+/// Encodes a batch of input [`Tuple`]s as one columnar binary payload:
+/// `u32` row count, `u16` arity, then tagged values column-major. The
+/// client-upload mirror of [`encode_columns`] minus the stamp arrays
+/// (inputs are unstamped). Every row must share the batch's arity;
+/// callers chunk on arity boundaries.
+pub fn encode_tuple_columns(batch: &[Tuple]) -> Vec<u8> {
+    let rows = batch.len();
+    let arity = batch.first().map_or(0, |t| t.values().len());
+    debug_assert!(
+        batch.iter().all(|t| t.values().len() == arity),
+        "columnar upload frames require a uniform arity"
+    );
+    let mut out = Vec::with_capacity(6 + rows * arity * 9);
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    out.extend_from_slice(&(arity as u16).to_le_bytes());
+    for col in 0..arity {
+        for t in batch {
+            put_value(&mut out, &t.values()[col]);
+        }
+    }
+    out
+}
+
+/// Decodes a columnar upload payload back into row-major [`Tuple`]s,
+/// rejecting trailing garbage.
+pub fn decode_tuple_columns(buf: &[u8]) -> Result<Vec<Tuple>, NetError> {
+    let mut d = Dec::new(buf);
+    let rows = d.u32()? as usize;
+    let arity = d.u16()? as usize;
+    // Bound the allocation by what the payload could actually hold:
+    // every value is at least one tag byte (arity 0 still caps rows at
+    // the payload length).
+    if rows.saturating_mul(arity.max(1)) > buf.len() {
+        return Err(NetError::malformed("columnar row count exceeds payload"));
+    }
+    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let mut col = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            col.push(get_value(&mut d)?);
+        }
+        columns.push(col);
+    }
+    d.finish()?;
+    let mut batch = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let values = columns.iter_mut().map(|col| col.pop().unwrap()).collect();
+        batch.push(Tuple::new(values));
+    }
+    batch.reverse();
+    Ok(batch)
+}
+
 // ---------------------------------------------------------------------
 // Frame construction / interpretation
 // ---------------------------------------------------------------------
@@ -550,6 +617,16 @@ pub fn encode_tuple_frame(t: &Tuple, format: WireFormat) -> WireFrame {
             tuple: Some(t.clone()),
             end: None,
         })),
+    }
+}
+
+/// Client → server: a batch of input tuples as one columnar frame.
+/// Binary only — NDJSON sessions stay line-per-tuple — and every tuple
+/// in the batch must share one arity (chunk on arity boundaries).
+pub fn encode_tuple_columns_frame(batch: &[Tuple]) -> WireFrame {
+    WireFrame::Binary {
+        tag: TAG_TUPLE_COLUMNS,
+        payload: encode_tuple_columns(batch),
     }
 }
 
@@ -642,6 +719,10 @@ pub fn decode_client_frame(frame: WireFrame) -> Result<NetPoll<Tuple>, NetError>
             tag: TAG_TUPLE,
             payload,
         } => Ok(NetPoll::Record(decode_tuple(&payload)?)),
+        WireFrame::Binary {
+            tag: TAG_TUPLE_COLUMNS,
+            payload,
+        } => Ok(NetPoll::Batch(decode_tuple_columns(&payload)?)),
         WireFrame::Binary { tag: TAG_END, .. } => Ok(NetPoll::End),
         WireFrame::Binary { tag, .. } => Err(NetError::malformed(format!(
             "unexpected client frame tag {tag}"
@@ -772,13 +853,54 @@ mod tests {
         for format in [WireFormat::Ndjson, WireFormat::Binary] {
             match decode_client_frame(encode_tuple_frame(&t, format)).unwrap() {
                 NetPoll::Record(back) => assert_eq!(back, t),
-                NetPoll::End => panic!("tuple frame decoded as end"),
+                _ => panic!("tuple frame decoded as something else"),
             }
             assert!(matches!(
                 decode_client_frame(encode_end_frame(format)).unwrap(),
                 NetPoll::End
             ));
         }
+    }
+
+    #[test]
+    fn tuple_columns_round_trip_and_reject_garbage() {
+        let batch: Vec<Tuple> = (0..5)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Timestamp(Timestamp(i * 1000)),
+                    if i == 3 {
+                        Value::Null
+                    } else {
+                        Value::Float(i as f64)
+                    },
+                    Value::Str(format!("row{i}")),
+                ])
+            })
+            .collect();
+        let bytes = encode_tuple_columns(&batch);
+        assert_eq!(decode_tuple_columns(&bytes).unwrap(), batch);
+        match decode_client_frame(encode_tuple_columns_frame(&batch)).unwrap() {
+            NetPoll::Batch(back) => assert_eq!(back, batch),
+            _ => panic!("columnar upload frame decoded as something else"),
+        }
+        // Empty batches are legal (zero rows, zero arity).
+        assert_eq!(
+            decode_tuple_columns(&encode_tuple_columns(&[])).unwrap(),
+            Vec::<Tuple>::new()
+        );
+
+        let mut truncated = encode_tuple_columns(&batch);
+        truncated.pop();
+        assert!(decode_tuple_columns(&truncated).is_err(), "truncated");
+        let mut trailing = encode_tuple_columns(&batch);
+        trailing.push(0);
+        assert!(decode_tuple_columns(&trailing).is_err(), "trailing garbage");
+        // A row count far beyond the payload must be rejected before
+        // any allocation sized by it.
+        let mut bogus = Vec::new();
+        bogus.extend_from_slice(&u32::MAX.to_le_bytes());
+        bogus.extend_from_slice(&1u16.to_le_bytes());
+        assert!(decode_tuple_columns(&bogus).is_err(), "bogus row count");
     }
 
     #[test]
@@ -825,7 +947,11 @@ mod tests {
                     i,
                     vec![
                         Value::Float(i as f64 * 1.5),
-                        if i == 2 { Value::Null } else { Value::Int(i as i64) },
+                        if i == 2 {
+                            Value::Null
+                        } else {
+                            Value::Int(i as i64)
+                        },
                         Value::Str(format!("row{i}")),
                     ],
                 )

@@ -1,51 +1,55 @@
 //! The multi-client streaming server.
 //!
-//! [`Server::bind`] opens a listener; [`Server::run`] accepts
-//! connections until shutdown is requested (via the
+//! [`Server::bind`] opens a listener; [`Server::run`] serves sessions
+//! until shutdown is requested (via the
 //! [handle](Server::shutdown_handle) or [SIGINT](crate::signal)) and
 //! then drains: no new sessions are accepted, in-flight sessions run to
 //! completion, and `run` returns once the last one finishes.
 //!
-//! Each connection becomes one session on its own thread (see
-//! [`crate::protocol`] for the wire protocol). The session compiles its
-//! plan against its schema at handshake time and drives the regular
-//! batched runtime with a [`NetSource`] and [`NetSink`] in place of the
-//! in-memory source/sink. Backpressure is free: the pipeline pulls from
-//! the socket one element at a time and pushes through bounded
-//! channels, so a client that stops reading eventually blocks the
-//! sink's socket writes, which blocks the pipeline, which stops the
-//! source reading — TCP flow control then throttles the client's
-//! ingest. Memory per session stays bounded by the pipeline's channel
-//! capacities plus the kernel socket buffers, however slow the reader.
+//! On Linux the session core is event-driven (see the private
+//! `reactor` module):
+//! one epoll loop watches every socket and a worker pool sized to cores
+//! drives per-connection state machines, so thousands of concurrent
+//! sessions cost file descriptors and buffered bytes, not threads. A
+//! session buffers its decoded input and, at the end frame, runs the
+//! identical offline execution path — served output is byte-identical
+//! to offline by construction. Per-session memory during ingest is
+//! O(stream), the same order the engine's sorter already holds.
+//! Elsewhere the server falls back to the original thread-per-session
+//! blocking driver in this module.
 //!
-//! A protocol error (malformed frame, oversized frame, mid-stream
-//! disconnect) poisons only the affected session's pipeline via the
-//! typed failure path; the session replies with an error frame naming
-//! the failure kind and transport code, and every other session is
-//! untouched.
+//! Backpressure: a client that stops reading parks its session's state
+//! machine on write readiness (event-driven) or blocks its driver
+//! thread (fallback); either way only that session slows down. A
+//! protocol error (malformed frame, oversized frame, mid-stream
+//! disconnect) fails only the offending session, which replies with an
+//! error frame naming the failure kind and transport code; every other
+//! session is untouched.
+//!
+//! The [`PlanCatalog`] is immutable behind the shared `Arc` — plan
+//! lookups at handshake time are lock-free reads. The per-session
+//! telemetry table is sharded (`SESSION_SHARDS` ways) so session
+//! churn never contends on a single map lock.
 
-use crate::protocol::{
-    coerce_tuple, decode_client_frame, encode_columns_frame, encode_error_frame,
-    encode_report_frame, encode_stamped_frame, encode_telemetry_frame, Handshake, HandshakeReply,
-    SessionErrorFrame, SessionTelemetry, TelemetryFrame,
-};
+#[cfg(not(target_os = "linux"))]
+use crate::protocol::HandshakeReply;
+use crate::protocol::{encode_telemetry_frame, Handshake, SessionTelemetry, TelemetryFrame};
 use icewafl_core::plan::PhysicalPlan;
 use icewafl_core::PlanCatalog;
 use icewafl_obs::{MetricsRegistry, TelemetrySampler};
-use icewafl_stream::net::{
-    FrameReader, FrameWriter, NetErrorCell, NetSink, NetSource, WireFormat, DEFAULT_MAX_FRAME_BYTES,
-};
-use icewafl_types::{Error, Result, StampedTuple};
+use icewafl_stream::net::{FrameWriter, WireFormat, DEFAULT_MAX_FRAME_BYTES};
+use icewafl_types::{Error, Result};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
-use std::io::{BufReader, BufWriter, Write};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long the accept loop sleeps when no connection is pending.
+/// How long the fallback accept loop sleeps when no connection is
+/// pending.
+#[cfg(not(target_os = "linux"))]
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
 /// How long a telemetry session sleeps per slice while waiting for the
@@ -55,6 +59,11 @@ const TELEMETRY_POLL: Duration = Duration::from_millis(5);
 /// Ring capacity handed to the server's [`TelemetrySampler`]: how many
 /// delta frames / series points are retained for late subscribers.
 const SAMPLER_CAPACITY: usize = 256;
+
+/// Shards of the live session table. Registration and removal hash by
+/// session id, so 1k sessions arriving at once spread across 16 locks
+/// instead of convoying on one.
+const SESSION_SHARDS: usize = 16;
 
 /// Configuration for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -73,6 +82,10 @@ pub struct ServeConfig {
     /// Interval between registry samples and telemetry frames, in
     /// milliseconds (clamped to at least 1).
     pub telemetry_interval_ms: u64,
+    /// Worker threads driving session state machines on the
+    /// event-driven path; `0` sizes the pool to the machine's cores.
+    /// Ignored by the thread-per-session fallback.
+    pub workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -83,26 +96,26 @@ impl Default for ServeConfig {
             max_sessions: 8,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             telemetry_interval_ms: 250,
+            workers: 0,
         }
     }
 }
 
 /// Live transfer counters one session exposes to the telemetry table.
-/// Handles are plain atomics shared with the session's
-/// [`NetSource`]/[`NetSink`], so reading them never touches the session
-/// thread.
-struct SessionHandles {
-    kind: &'static str,
+/// Handles are plain atomics shared with the session's driver, so
+/// reading them never touches the session itself.
+pub(crate) struct SessionHandles {
+    pub(crate) kind: &'static str,
     /// Wire format on the session's socket (`ndjson` / `binary`).
-    format: &'static str,
+    pub(crate) format: &'static str,
     /// Compiled batch representation of the session's plan; `-` when
-    /// the session runs no plan (telemetry subscribers).
-    repr: String,
-    frames_in: Arc<AtomicU64>,
-    frames_out: Arc<AtomicU64>,
-    bytes_out: Arc<AtomicU64>,
-    encode_ns: Arc<AtomicU64>,
-    blocked_write_ns: Arc<AtomicU64>,
+    /// the session runs no plan (telemetry and subscribe sessions).
+    pub(crate) repr: String,
+    pub(crate) frames_in: Arc<AtomicU64>,
+    pub(crate) frames_out: Arc<AtomicU64>,
+    pub(crate) bytes_out: Arc<AtomicU64>,
+    pub(crate) encode_ns: Arc<AtomicU64>,
+    pub(crate) blocked_write_ns: Arc<AtomicU64>,
 }
 
 impl SessionHandles {
@@ -120,59 +133,100 @@ impl SessionHandles {
     }
 }
 
-/// Shared state every session thread sees.
-struct Shared {
-    plans: PlanCatalog,
-    max_sessions: usize,
-    max_frame_bytes: usize,
-    telemetry_interval_ms: u64,
-    registry: MetricsRegistry,
-    active: AtomicUsize,
+/// One shared stream: the frames a publisher session has emitted so
+/// far, pre-serialized to wire bytes exactly once, plus the subscriber
+/// sessions waiting on more. Fan-out clones the `Arc`, never the bytes.
+#[derive(Default)]
+pub(crate) struct HubState {
+    /// Wire format the publisher negotiated (fixed at registration;
+    /// mismatched subscribers are failed at pull time).
+    pub(crate) format: Option<WireFormat>,
+    /// Every frame published so far, in emission order.
+    pub(crate) frames: Vec<Arc<[u8]>>,
+    /// The publisher finished (tail frame included in `frames`).
+    pub(crate) done: bool,
+    pub(crate) has_publisher: bool,
+    /// Tokens of subscribed sessions, kicked when frames arrive.
+    pub(crate) subscribers: Vec<u64>,
+}
+
+/// Shared state every session driver sees.
+pub(crate) struct Shared {
+    pub(crate) plans: PlanCatalog,
+    pub(crate) max_sessions: usize,
+    pub(crate) max_frame_bytes: usize,
+    pub(crate) telemetry_interval_ms: u64,
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    pub(crate) workers: usize,
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) active: AtomicUsize,
     /// Mirrors the server's shutdown flag so long-lived telemetry
     /// sessions stop at drain instead of holding the join forever.
-    shutdown: Arc<AtomicBool>,
+    pub(crate) shutdown: Arc<AtomicBool>,
     /// When the server started, the zero point of frame `at_ms` stamps.
-    started: Instant,
-    /// Per-session live counters, keyed by session id. Entries appear
-    /// when a handshake is accepted and vanish when the session thread
-    /// exits (see [`SessionEntry`]).
-    sessions: Mutex<BTreeMap<u64, SessionHandles>>,
+    pub(crate) started: Instant,
+    /// Per-session live counters, sharded by session id. Entries appear
+    /// when a handshake is accepted and vanish when the session ends.
+    sessions: Vec<Mutex<BTreeMap<u64, SessionHandles>>>,
+    /// Shared-stream hubs by stream name (see [`HubState`]).
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    pub(crate) hubs: Mutex<HashMap<String, Arc<Mutex<HubState>>>>,
     /// The background registry sampler; taken (and thereby joined) at
     /// drain. `None` after drain or when metrics are compiled out of
     /// any use.
-    sampler: Mutex<Option<TelemetrySampler>>,
+    pub(crate) sampler: Mutex<Option<TelemetrySampler>>,
 }
 
 impl Shared {
-    fn counter(&self, name: &str) -> icewafl_obs::Counter {
+    pub(crate) fn counter(&self, name: &str) -> icewafl_obs::Counter {
         self.registry.counter(name)
     }
 
-    fn stopping(&self) -> bool {
+    pub(crate) fn stopping(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || crate::signal::triggered()
     }
 
-    /// A snapshot of the active-session table, ordered by id.
-    fn session_table(&self) -> Vec<SessionTelemetry> {
-        self.sessions
+    pub(crate) fn register_session(&self, id: u64, handles: SessionHandles) {
+        self.sessions[(id as usize) % SESSION_SHARDS]
             .lock()
+            .insert(id, handles);
+    }
+
+    pub(crate) fn remove_session(&self, id: u64) {
+        self.sessions[(id as usize) % SESSION_SHARDS]
+            .lock()
+            .remove(&id);
+    }
+
+    /// A snapshot of the active-session table, ordered by id.
+    pub(crate) fn session_table(&self) -> Vec<SessionTelemetry> {
+        let mut rows: Vec<SessionTelemetry> = self
+            .sessions
             .iter()
-            .map(|(id, h)| SessionTelemetry {
-                id: *id,
-                kind: h.kind.to_string(),
-                format: h.format.to_string(),
-                repr: h.repr.clone(),
-                frames_in: h.frames_in.load(Ordering::Relaxed),
-                frames_out: h.frames_out.load(Ordering::Relaxed),
-                bytes_out: h.bytes_out.load(Ordering::Relaxed),
-                encode_ns: h.encode_ns.load(Ordering::Relaxed),
-                blocked_write_ns: h.blocked_write_ns.load(Ordering::Relaxed),
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .iter()
+                    .map(|(id, h)| SessionTelemetry {
+                        id: *id,
+                        kind: h.kind.to_string(),
+                        format: h.format.to_string(),
+                        repr: h.repr.clone(),
+                        frames_in: h.frames_in.load(Ordering::Relaxed),
+                        frames_out: h.frames_out.load(Ordering::Relaxed),
+                        bytes_out: h.bytes_out.load(Ordering::Relaxed),
+                        encode_ns: h.encode_ns.load(Ordering::Relaxed),
+                        blocked_write_ns: h.blocked_write_ns.load(Ordering::Relaxed),
+                    })
+                    .collect::<Vec<_>>()
             })
-            .collect()
+            .collect();
+        rows.sort_by_key(|row| row.id);
+        rows
     }
 }
 
-/// Removes a session's row from the telemetry table when its thread
+/// Removes a session's row from the telemetry table when its driver
 /// exits, however it exits.
 struct SessionEntry<'a> {
     shared: &'a Shared,
@@ -181,21 +235,23 @@ struct SessionEntry<'a> {
 
 impl<'a> SessionEntry<'a> {
     fn register(shared: &'a Shared, id: u64, handles: SessionHandles) -> Self {
-        shared.sessions.lock().insert(id, handles);
+        shared.register_session(id, handles);
         SessionEntry { shared, id }
     }
 }
 
 impl Drop for SessionEntry<'_> {
     fn drop(&mut self) {
-        self.shared.sessions.lock().remove(&self.id);
+        self.shared.remove_session(self.id);
     }
 }
 
 /// Decrements the live-session count (and gauge) when a session thread
 /// exits, however it exits.
+#[cfg(not(target_os = "linux"))]
 struct ActiveGuard<'a>(&'a Shared);
 
+#[cfg(not(target_os = "linux"))]
 impl Drop for ActiveGuard<'_> {
     fn drop(&mut self) {
         self.0.active.fetch_sub(1, Ordering::SeqCst);
@@ -213,7 +269,7 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener. The accept loop does not start until
+    /// Binds the listener. Serving does not start until
     /// [`run`](Server::run) is called.
     pub fn bind(config: ServeConfig) -> Result<Server> {
         let listener = TcpListener::bind(&config.addr).map_err(|e| {
@@ -243,11 +299,15 @@ impl Server {
                 max_sessions: config.max_sessions,
                 max_frame_bytes: config.max_frame_bytes,
                 telemetry_interval_ms: interval_ms,
+                workers: config.workers,
                 registry,
                 active: AtomicUsize::new(0),
                 shutdown: Arc::clone(&shutdown),
                 started: Instant::now(),
-                sessions: Mutex::new(BTreeMap::new()),
+                sessions: (0..SESSION_SHARDS)
+                    .map(|_| Mutex::new(BTreeMap::new()))
+                    .collect(),
+                hubs: Mutex::new(HashMap::new()),
                 sampler: Mutex::new(Some(sampler)),
             }),
             shutdown,
@@ -279,14 +339,44 @@ impl Server {
         self.shared.active.load(Ordering::SeqCst)
     }
 
+    pub(crate) fn shared_arc(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    pub(crate) fn listener(&self) -> &TcpListener {
+        &self.listener
+    }
+
+    pub(crate) fn stop_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || crate::signal::triggered()
+    }
+
+    /// Allocates the next session id (ids start at 1; the reactor uses
+    /// 0 for its listener token).
+    pub(crate) fn next_session_id(&self) -> u64 {
+        self.next_session.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
     /// Accepts and serves sessions until the [shutdown
     /// handle](Server::shutdown_handle) is set or [SIGINT
     /// arrives](crate::signal::triggered), then drains: in-flight
     /// sessions run to completion before this returns.
+    #[cfg(target_os = "linux")]
     pub fn run(&self) -> Result<()> {
-        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        crate::reactor::run(self)
+    }
+
+    /// Accepts and serves sessions until the [shutdown
+    /// handle](Server::shutdown_handle) is set or [SIGINT
+    /// arrives](crate::signal::triggered), then drains: in-flight
+    /// sessions run to completion before this returns.
+    ///
+    /// Non-Linux fallback: one blocking driver thread per session.
+    #[cfg(not(target_os = "linux"))]
+    pub fn run(&self) -> Result<()> {
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
-            if self.shutdown.load(Ordering::SeqCst) || crate::signal::triggered() {
+            if self.stop_requested() {
                 break;
             }
             match self.listener.accept() {
@@ -315,9 +405,10 @@ impl Server {
 
     /// Routes one accepted connection: rejects it at capacity, or
     /// spawns a session thread.
-    fn dispatch(&self, stream: TcpStream, handles: &mut Vec<JoinHandle<()>>) {
+    #[cfg(not(target_os = "linux"))]
+    fn dispatch(&self, stream: TcpStream, handles: &mut Vec<std::thread::JoinHandle<()>>) {
         let shared = Arc::clone(&self.shared);
-        let session_id = self.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+        let session_id = self.next_session_id();
         shared.counter("serve/connections_total").inc();
         let _ = stream.set_nodelay(true);
         let _ = stream.set_nonblocking(false);
@@ -351,7 +442,10 @@ impl Server {
 /// Writes one JSON value as an NDJSON line straight to the socket
 /// (handshake replies and rejections, which precede format
 /// negotiation).
-fn write_json_line<T: serde::Serialize>(mut stream: &TcpStream, value: &T) -> std::io::Result<()> {
+pub(crate) fn write_json_line<T: serde::Serialize>(
+    mut stream: &TcpStream,
+    value: &T,
+) -> std::io::Result<()> {
     let line = serde_json::to_string(value).expect("protocol frames are always serializable");
     stream.write_all(line.as_bytes())?;
     stream.write_all(b"\n")?;
@@ -360,7 +454,7 @@ fn write_json_line<T: serde::Serialize>(mut stream: &TcpStream, value: &T) -> st
 
 /// Resolves a handshake to a compiled plan and wire format, or a
 /// rejection reason.
-fn resolve(
+pub(crate) fn resolve(
     hs: &Handshake,
     plans: &PlanCatalog,
 ) -> std::result::Result<(PhysicalPlan, WireFormat), String> {
@@ -390,10 +484,20 @@ fn resolve(
     Ok((physical, format))
 }
 
-/// One session, handshake to tail frame. Every exit path on this thread
-/// is local to the session: errors are answered on the wire (best
-/// effort) and recorded in `serve/*` metrics, never propagated.
+/// One session, handshake to tail frame, on its own blocking thread.
+/// Every exit path is local to the session: errors are answered on the
+/// wire (best effort) and recorded in `serve/*` metrics, never
+/// propagated.
+#[cfg(not(target_os = "linux"))]
 fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
+    use crate::protocol::{
+        coerce_tuple, decode_client_frame, encode_columns_frame, encode_error_frame,
+        encode_report_frame, encode_stamped_frame, SessionErrorFrame,
+    };
+    use icewafl_stream::net::{FrameReader, NetErrorCell, NetSink, NetSource};
+    use icewafl_types::StampedTuple;
+    use std::io::BufReader;
+
     let Ok(write_stream) = stream.try_clone() else {
         shared.counter("serve/sessions_failed").inc();
         return;
@@ -453,6 +557,13 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
             run_telemetry_session(write_stream, shared, session_id, format);
             return;
         }
+        Some("subscribe") => {
+            shared.counter("serve/sessions_rejected").inc();
+            let reply =
+                HandshakeReply::rejected("subscribe sessions require the event-driven server");
+            let _ = write_json_line(&tail_stream, &reply);
+            return;
+        }
         Some(other) => {
             shared.counter("serve/sessions_rejected").inc();
             let reply = HandshakeReply::rejected(format!(
@@ -500,6 +611,12 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
                 icewafl_stream::net::NetPoll::Record(t) => {
                     icewafl_stream::net::NetPoll::Record(coerce_tuple(&schema, t))
                 }
+                icewafl_stream::net::NetPoll::Batch(batch) => icewafl_stream::net::NetPoll::Batch(
+                    batch
+                        .into_iter()
+                        .map(|t| coerce_tuple(&schema, t))
+                        .collect(),
+                ),
                 end => end,
             })
         }),
@@ -519,9 +636,9 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
     // frame — encode once per batch instead of once per tuple. NDJSON
     // stays line-per-tuple so `nc`/`jq` consumers keep working.
     let sink = match format {
-        WireFormat::Binary => {
-            sink.with_batch_encode(Box::new(|batch: &[StampedTuple]| encode_columns_frame(batch)))
-        }
+        WireFormat::Binary => sink.with_batch_encode(Box::new(|batch: &[StampedTuple]| {
+            encode_columns_frame(batch)
+        })),
         WireFormat::Ndjson => sink,
     };
     let frames_in = source.frames_in_handle();
@@ -591,7 +708,12 @@ fn run_session(stream: TcpStream, shared: &Shared, session_id: u64) {
 /// until the client disconnects or the server drains. The session
 /// registers itself in the table it reports, so a subscriber always
 /// sees at least its own row.
-fn run_telemetry_session(stream: TcpStream, shared: &Shared, session_id: u64, format: WireFormat) {
+pub(crate) fn run_telemetry_session(
+    stream: TcpStream,
+    shared: &Shared,
+    session_id: u64,
+    format: WireFormat,
+) {
     let handles = SessionHandles::new("telemetry", format, "-".into());
     let frames_out = Arc::clone(&handles.frames_out);
     let bytes_out = Arc::clone(&handles.bytes_out);

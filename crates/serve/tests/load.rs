@@ -1,0 +1,470 @@
+//! Many-session load tests for the event-driven server: hundreds of
+//! concurrent sessions byte-identical to offline, per-session error
+//! isolation at scale, shared-stream fan-out, and tolerance to
+//! arbitrarily fragmented reads. This file doubles as the CI serve load
+//! smoke (run in both the default and `--no-default-features`
+//! matrices).
+
+use icewafl_core::config::{ConditionConfig, ErrorConfig, PolluterConfig};
+use icewafl_core::plan::LogicalPlan;
+use icewafl_serve::{client, ClientConfig, Handshake, ServeConfig, Server};
+use icewafl_types::{DataType, Schema, Timestamp, Tuple, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn schema() -> Schema {
+    Schema::from_pairs([("Time", DataType::Timestamp), ("x", DataType::Float)]).unwrap()
+}
+
+fn plan(seed: u64) -> LogicalPlan {
+    LogicalPlan::new(
+        seed,
+        vec![
+            vec![PolluterConfig::Standard {
+                name: "noise".into(),
+                attributes: vec!["x".into()],
+                error: ErrorConfig::GaussianNoise {
+                    sigma: 2.0,
+                    relative: false,
+                },
+                condition: ConditionConfig::Probability { p: 0.5 },
+                pattern: None,
+            }],
+            vec![PolluterConfig::Standard {
+                name: "null".into(),
+                attributes: vec!["x".into()],
+                error: ErrorConfig::MissingValue,
+                condition: ConditionConfig::Probability { p: 0.2 },
+                pattern: None,
+            }],
+        ],
+    )
+}
+
+fn tuples(n: usize) -> Vec<Tuple> {
+    (0..n as i64)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Timestamp(Timestamp(i * 1000)),
+                Value::Float(i as f64 / 7.0),
+            ])
+        })
+        .collect()
+}
+
+fn handshake(format: &str) -> Handshake {
+    Handshake {
+        plan_inline: Some(plan(42)),
+        schema_inline: Some(schema()),
+        format: Some(format.into()),
+        ..Handshake::default()
+    }
+}
+
+struct TestServer {
+    server: Arc<Server>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<icewafl_types::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(config: ServeConfig) -> Self {
+        let server = Arc::new(Server::bind(config).unwrap());
+        let shutdown = server.shutdown_handle();
+        let runner = Arc::clone(&server);
+        let handle = std::thread::spawn(move || runner.run());
+        TestServer {
+            server,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    fn addr(&self) -> String {
+        self.server.local_addr().to_string()
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            handle.join().unwrap().unwrap();
+        }
+    }
+}
+
+/// The CI load smoke: 256 concurrent sessions — slow readers included —
+/// every one byte-identical to the offline run of the same plan.
+#[test]
+fn load_smoke_256_sessions_byte_identical_to_offline() {
+    const SESSIONS: usize = 256;
+    let input = tuples(120);
+    let offline = plan(42)
+        .compile(&schema())
+        .unwrap()
+        .execute(input.clone())
+        .unwrap();
+    let offline_bytes = serde_json::to_string(&offline.polluted).unwrap();
+
+    let server = TestServer::start(ServeConfig {
+        max_sessions: SESSIONS + 8,
+        ..ServeConfig::default()
+    });
+
+    let workers: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let addr = server.addr();
+            let input = input.clone();
+            std::thread::spawn(move || {
+                // Stagger connects so the listener backlog (128) is
+                // never the thing under test.
+                std::thread::sleep(Duration::from_millis((i % 32) as u64));
+                let format = if i % 4 == 0 { "ndjson" } else { "binary" };
+                let mut config = ClientConfig::new(addr, handshake(format));
+                if i % 64 == 0 {
+                    // A sprinkling of slow readers: their backpressure
+                    // parks their own state machine, nothing else.
+                    config.slow_reader = Some(Duration::from_millis(1));
+                }
+                client::run_session(&config, input).unwrap()
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        let outcome = worker.join().unwrap();
+        assert!(outcome.completed(), "session failed: {:?}", outcome.error);
+        let served = serde_json::to_string(&outcome.tuples).unwrap();
+        assert_eq!(served, offline_bytes, "served bytes diverged from offline");
+    }
+
+    let snapshot = server.server.registry().snapshot();
+    if !snapshot.is_empty() {
+        assert_eq!(
+            snapshot.counter("serve/sessions_completed"),
+            SESSIONS as u64
+        );
+        assert_eq!(snapshot.counter("serve/sessions_failed"), 0);
+        assert_eq!(snapshot.gauge("serve/sessions_active"), 0);
+    }
+}
+
+/// One malformed, one oversized, and one mid-stream-disconnecting
+/// session die alone: 100+ sibling sessions sharing the event loop all
+/// finish byte-identical to offline.
+#[test]
+fn bad_sessions_kill_only_themselves_among_100_siblings() {
+    const SIBLINGS: usize = 104;
+    let input = tuples(100);
+    let offline = plan(42)
+        .compile(&schema())
+        .unwrap()
+        .execute(input.clone())
+        .unwrap();
+
+    let server = TestServer::start(ServeConfig {
+        max_sessions: SIBLINGS + 8,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let siblings: Vec<_> = (0..SIBLINGS)
+        .map(|i| {
+            let addr = addr.clone();
+            let input = input.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis((i % 16) as u64));
+                let format = if i % 2 == 0 { "binary" } else { "ndjson" };
+                client::run_session(&ClientConfig::new(addr, handshake(format)), input).unwrap()
+            })
+        })
+        .collect();
+
+    // While the siblings run, misbehave three ways.
+    let hs_line = serde_json::to_string(&handshake("ndjson")).unwrap();
+
+    // 1. Malformed data frame.
+    let mut malformed = TcpStream::connect(&addr).unwrap();
+    malformed.write_all(hs_line.as_bytes()).unwrap();
+    malformed.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(malformed.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    assert!(reply.contains("\"ok\":true"), "handshake failed: {reply}");
+    malformed.write_all(b"this is not json\n").unwrap();
+    malformed.flush().unwrap();
+    let mut tail = String::new();
+    BufReader::new(malformed.try_clone().unwrap())
+        .read_to_string(&mut tail)
+        .unwrap();
+    assert!(
+        tail.contains("\"protocol\":\"malformed\""),
+        "expected a malformed-protocol error frame, got: {tail}"
+    );
+
+    // 2. Oversized frame: a line bigger than the 1 MiB default cap.
+    let mut oversized = TcpStream::connect(&addr).unwrap();
+    oversized.write_all(hs_line.as_bytes()).unwrap();
+    oversized.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(oversized.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    assert!(reply.contains("\"ok\":true"), "handshake failed: {reply}");
+    let long_line = format!(
+        "{{\"tuple\":{{\"values\":[\"{}\"]}}}}\n",
+        "9".repeat(2 * 1024 * 1024)
+    );
+    let _ = oversized.write_all(long_line.as_bytes());
+    let _ = oversized.flush();
+    let mut tail = String::new();
+    let _ = BufReader::new(oversized.try_clone().unwrap()).read_to_string(&mut tail);
+    assert!(
+        tail.contains("\"protocol\":\"oversized\""),
+        "expected an oversized-protocol error frame, got: {tail}"
+    );
+
+    // 3. Mid-stream disconnect: handshake, send one frame, vanish.
+    let mut vanishing = TcpStream::connect(&addr).unwrap();
+    vanishing.write_all(hs_line.as_bytes()).unwrap();
+    vanishing.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(vanishing.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    assert!(reply.contains("\"ok\":true"), "handshake failed: {reply}");
+    vanishing
+        .write_all(b"{\"tuple\":{\"values\":[0,1.0]}}\n")
+        .unwrap();
+    drop(vanishing);
+
+    // Every sibling is untouched.
+    for sibling in siblings {
+        let outcome = sibling.join().unwrap();
+        assert!(outcome.completed(), "sibling failed: {:?}", outcome.error);
+        assert_eq!(outcome.tuples, offline.polluted);
+    }
+    let snapshot = server.server.registry().snapshot();
+    if !snapshot.is_empty() {
+        assert_eq!(
+            snapshot.counter("serve/sessions_completed"),
+            SIBLINGS as u64
+        );
+    }
+}
+
+/// Shared-stream fan-out on Linux: one publisher, many subscribers, all
+/// of them receiving the publisher's exact output (the frames are
+/// encoded once and shared). Elsewhere the fallback server rejects
+/// subscribe sessions, which this test accepts as the documented
+/// non-Linux behavior.
+#[test]
+fn shared_stream_fans_out_to_subscribers() {
+    const SUBSCRIBERS: usize = 12;
+    let input = tuples(200);
+    let offline = plan(42)
+        .compile(&schema())
+        .unwrap()
+        .execute(input.clone())
+        .unwrap();
+
+    let server = TestServer::start(ServeConfig {
+        max_sessions: SUBSCRIBERS + 4,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // Subscribers first: they park until the publisher's frames arrive.
+    let subs: Vec<_> = (0..SUBSCRIBERS)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let hs = Handshake {
+                    session: Some("subscribe".into()),
+                    stream: Some("load-test".into()),
+                    format: Some("binary".into()),
+                    ..Handshake::default()
+                };
+                client::run_session(&ClientConfig::new(addr, hs), Vec::new())
+            })
+        })
+        .collect();
+    // Give the subscribers time to attach: the hub is retired when the
+    // publisher closes, so late subscribers would miss the stream.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let publisher_hs = Handshake {
+        stream: Some("load-test".into()),
+        ..handshake("binary")
+    };
+    let publisher =
+        client::run_session(&ClientConfig::new(addr.clone(), publisher_hs), input).unwrap();
+
+    if !publisher.reply.ok {
+        // The thread-per-session fallback (non-Linux) has no hubs.
+        if cfg!(target_os = "linux") {
+            panic!("publisher rejected on Linux: {:?}", publisher.reply.error);
+        }
+        for sub in subs {
+            let outcome = sub.join().unwrap().unwrap();
+            assert!(!outcome.reply.ok, "subscriber accepted without hubs");
+        }
+        return;
+    }
+    assert!(
+        publisher.completed(),
+        "publisher failed: {:?}",
+        publisher.error
+    );
+    assert_eq!(publisher.tuples, offline.polluted);
+
+    for sub in subs {
+        let outcome = sub.join().unwrap().unwrap();
+        assert!(
+            outcome.completed(),
+            "subscriber failed: {:?} / {:?}",
+            outcome.reply.error,
+            outcome.error
+        );
+        assert_eq!(outcome.tuples, offline.polluted, "fan-out diverged");
+    }
+}
+
+/// A publisher that dies mid-stream fails its subscribers with a typed
+/// error frame instead of hanging them (Linux event-driven path only).
+#[cfg(target_os = "linux")]
+#[test]
+fn publisher_death_fails_subscribers_with_error_frame() {
+    let server = TestServer::start(ServeConfig::default());
+    let addr = server.addr();
+
+    let sub = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let hs = Handshake {
+                session: Some("subscribe".into()),
+                stream: Some("doomed".into()),
+                format: Some("ndjson".into()),
+                ..Handshake::default()
+            };
+            client::run_session(&ClientConfig::new(addr, hs), Vec::new())
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    let publisher_hs = Handshake {
+        stream: Some("doomed".into()),
+        ..handshake("ndjson")
+    };
+    let mut publisher = TcpStream::connect(&addr).unwrap();
+    publisher
+        .write_all(serde_json::to_string(&publisher_hs).unwrap().as_bytes())
+        .unwrap();
+    publisher.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(publisher.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    assert!(reply.contains("\"ok\":true"), "handshake failed: {reply}");
+    publisher
+        .write_all(b"{\"tuple\":{\"values\":[0,1.0]}}\n")
+        .unwrap();
+    drop(publisher);
+
+    let outcome = sub.join().unwrap().unwrap();
+    assert!(
+        outcome.reply.ok,
+        "subscriber rejected: {:?}",
+        outcome.reply.error
+    );
+    let error = outcome
+        .error
+        .expect("subscriber must receive the publisher's failure");
+    assert_eq!(
+        error.kind, "disconnect",
+        "unexpected error frame: {error:?}"
+    );
+}
+
+/// The server survives a client that delivers its handshake and frames
+/// one byte at a time, with pauses — end-to-end proof that the decoder
+/// tolerates arbitrary read-boundary splits on a live socket.
+#[test]
+fn handshake_and_frames_survive_byte_by_byte_delivery() {
+    let input = tuples(40);
+    let offline = plan(42)
+        .compile(&schema())
+        .unwrap()
+        .execute(input.clone())
+        .unwrap();
+
+    let server = TestServer::start(ServeConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    use icewafl_serve::protocol::{encode_end_frame, encode_tuple_frame};
+    use icewafl_stream::net::{WireFormat, WireFrame};
+    let mut payload = serde_json::to_string(&handshake("ndjson")).unwrap();
+    payload.push('\n');
+    for t in &input {
+        let WireFrame::Line(line) = encode_tuple_frame(t, WireFormat::Ndjson) else {
+            unreachable!("ndjson tuples are lines");
+        };
+        payload.push_str(&line);
+        payload.push('\n');
+    }
+    let WireFrame::Line(end) = encode_end_frame(WireFormat::Ndjson) else {
+        unreachable!("the ndjson end marker is a line");
+    };
+    payload.push_str(&end);
+    payload.push('\n');
+
+    // Drip the whole conversation through the socket in 1–7 byte
+    // shreds, pausing now and then so the server sees WouldBlock
+    // between nearly every fragment.
+    let reader = {
+        let stream = stream.try_clone().unwrap();
+        std::thread::spawn(move || {
+            let mut tuples = Vec::new();
+            let mut lines = BufReader::new(stream).lines();
+            let reply = lines.next().unwrap().unwrap();
+            assert!(reply.contains("\"ok\":true"), "handshake failed: {reply}");
+            for line in lines {
+                let line = line.unwrap();
+                let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+                if v.get("report").is_some_and(|r| !r.is_null()) {
+                    return (tuples, true);
+                }
+                if v.get("error").is_some_and(|e| !e.is_null()) {
+                    panic!("session failed: {line}");
+                }
+                tuples.push(line);
+            }
+            (tuples, false)
+        })
+    };
+
+    let bytes = payload.as_bytes();
+    let mut at = 0;
+    let mut step = 1;
+    while at < bytes.len() {
+        let n = step.min(bytes.len() - at);
+        stream.write_all(&bytes[at..at + n]).unwrap();
+        stream.flush().unwrap();
+        at += n;
+        step = step % 7 + 1;
+        if at % 97 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    let (served, saw_report) = reader.join().unwrap();
+    assert!(saw_report, "server closed without a report frame");
+    assert_eq!(served.len(), offline.polluted.len());
+}

@@ -620,10 +620,7 @@ fn concurrent_checkpointing_sessions_get_separate_wals() {
     // Two sessions running the same plan against the same checkpoint
     // directory must not overwrite each other's WAL: the server scopes
     // each session into its own subdirectory.
-    let dir = std::env::temp_dir().join(format!(
-        "icewafl-serve-wal-test-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("icewafl-serve-wal-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
 

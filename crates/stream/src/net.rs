@@ -202,6 +202,231 @@ impl WireFrame {
     }
 }
 
+/// Serializes one frame to its exact wire bytes (the `[tag][len]`
+/// header for binary frames, the trailing newline for NDJSON lines) —
+/// the building block of non-blocking write paths that queue encoded
+/// bytes instead of writing through a [`FrameWriter`].
+pub fn frame_bytes(frame: &WireFrame) -> Vec<u8> {
+    match frame {
+        WireFrame::Binary { tag, payload } => {
+            let mut out = Vec::with_capacity(5 + payload.len());
+            out.push(*tag);
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(payload);
+            out
+        }
+        WireFrame::Line(line) => {
+            let mut out = Vec::with_capacity(line.len() + 1);
+            out.extend_from_slice(line.as_bytes());
+            out.push(b'\n');
+            out
+        }
+    }
+}
+
+/// An incremental, push-based frame decoder: the non-blocking
+/// counterpart of [`FrameReader`].
+///
+/// Bytes arrive in arbitrary slices ([`push`](FrameDecoder::push) —
+/// whatever a non-blocking `read` returned before `WouldBlock`), and
+/// [`next`](FrameDecoder::next) pops complete frames as they become
+/// available. Frames are returned in exactly the order their bytes
+/// arrived, whatever the split boundaries; a read that returned zero
+/// new bytes simply leaves the decoder where it was. The per-frame size
+/// cap is enforced *before* a payload is fully buffered, exactly like
+/// [`FrameReader`]: an announced binary length or an accumulated
+/// newline-less line beyond the cap fails with [`NetError::Oversized`]
+/// without waiting for the rest of the frame.
+///
+/// The format can be switched mid-stream
+/// ([`set_format`](FrameDecoder::set_format)) with buffered bytes
+/// preserved — exactly what a session needs after its NDJSON handshake
+/// line when the negotiated data format is binary.
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted opportunistically.
+    start: usize,
+    format: WireFormat,
+    max_frame: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder for `format` with a per-frame cap of `max_frame` bytes.
+    pub fn new(format: WireFormat, max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            start: 0,
+            format,
+            max_frame: max_frame.max(1),
+        }
+    }
+
+    /// Switches the wire format for frames not yet decoded. Buffered
+    /// bytes are preserved: data the peer pipelined behind a handshake
+    /// line is re-interpreted in the new format.
+    pub fn set_format(&mut self, format: WireFormat) {
+        self.format = format;
+    }
+
+    /// Appends newly-read bytes to the decode buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by the
+        // largest in-flight frame instead of the whole stream.
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= 64 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Takes the undecoded residue out of the decoder (e.g. to hand a
+    /// connection over to a blocking reader after a handshake).
+    pub fn take_residual(&mut self) -> Vec<u8> {
+        let rest = self.buf.split_off(self.start);
+        self.buf.clear();
+        self.start = 0;
+        rest
+    }
+
+    /// Pops the next complete frame, `Ok(None)` when more bytes are
+    /// needed. Oversized and malformed frames fail exactly like
+    /// [`FrameReader::read`]; EOF handling stays with the caller (a
+    /// peer that closed while [`buffered`](FrameDecoder::buffered) is
+    /// non-zero, or mid-stream, vanished before a frame boundary).
+    ///
+    /// Not an [`Iterator`]: `Ok(None)` means "feed me more bytes", not
+    /// end of stream.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<WireFrame>, NetError> {
+        match self.format {
+            WireFormat::Ndjson => self.next_line(),
+            WireFormat::Binary => self.next_binary(),
+        }
+    }
+
+    fn next_line(&mut self) -> Result<Option<WireFrame>, NetError> {
+        let window = &self.buf[self.start..];
+        match window.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if pos > self.max_frame {
+                    return Err(NetError::Oversized {
+                        len: pos,
+                        max: self.max_frame,
+                    });
+                }
+                let line = std::str::from_utf8(&window[..pos])
+                    .map_err(|_| NetError::malformed("line is not valid UTF-8"))?
+                    .to_string();
+                self.start += pos + 1;
+                Ok(Some(WireFrame::Line(line)))
+            }
+            None => {
+                if window.len() > self.max_frame {
+                    return Err(NetError::Oversized {
+                        len: window.len(),
+                        max: self.max_frame,
+                    });
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn next_binary(&mut self) -> Result<Option<WireFrame>, NetError> {
+        let window = &self.buf[self.start..];
+        if window.len() < 5 {
+            return Ok(None);
+        }
+        let tag = window[0];
+        let len = u32::from_le_bytes([window[1], window[2], window[3], window[4]]) as usize;
+        if len > self.max_frame {
+            return Err(NetError::Oversized {
+                len,
+                max: self.max_frame,
+            });
+        }
+        if window.len() < 5 + len {
+            return Ok(None);
+        }
+        let payload = window[5..5 + len].to_vec();
+        self.start += 5 + len;
+        Ok(Some(WireFrame::Binary { tag, payload }))
+    }
+}
+
+/// A queue of encoded frame bytes awaiting a non-blocking writer: the
+/// `WouldBlock`-tolerant counterpart of [`FrameWriter`].
+///
+/// Buffers are shared `Arc<[u8]>` slices so the *same* encoded frame
+/// can sit in many sessions' queues at once (pre-serialized fan-out:
+/// encode once, clone the `Arc` per subscriber). [`write_to`] pushes as
+/// many bytes as the transport accepts and remembers the partial-write
+/// offset, so a write interrupted anywhere inside a frame resumes at
+/// the exact byte.
+///
+/// [`write_to`]: WriteQueue::write_to
+#[derive(Default)]
+pub struct WriteQueue {
+    bufs: std::collections::VecDeque<(Arc<[u8]>, usize)>,
+    pending: usize,
+}
+
+impl WriteQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        WriteQueue::default()
+    }
+
+    /// Queues one encoded buffer (cheap: the bytes are shared, not
+    /// copied).
+    pub fn push(&mut self, bytes: Arc<[u8]>) {
+        self.pending += bytes.len();
+        self.bufs.push_back((bytes, 0));
+    }
+
+    /// Bytes queued and not yet accepted by the transport.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// `true` when everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// Writes queued bytes until the queue empties or the transport
+    /// pushes back. Returns `Ok(true)` when the queue drained,
+    /// `Ok(false)` when the transport returned `WouldBlock` (call again
+    /// on writability); everything else is a typed transport error.
+    pub fn write_to<W: Write>(&mut self, writer: &mut W) -> Result<bool, NetError> {
+        while let Some((buf, offset)) = self.bufs.front_mut() {
+            match writer.write(&buf[*offset..]) {
+                Ok(0) => {
+                    return Err(NetError::Io {
+                        detail: "transport accepted zero bytes".into(),
+                    })
+                }
+                Ok(n) => {
+                    *offset += n;
+                    self.pending -= n;
+                    if *offset == buf.len() {
+                        self.bufs.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(NetError::from_io(&e)),
+            }
+        }
+        Ok(true)
+    }
+}
+
 /// Reads [`WireFrame`]s of one format from a buffered byte stream,
 /// enforcing a per-frame size cap *before* buffering payloads.
 pub struct FrameReader<R> {
@@ -360,6 +585,10 @@ impl<W: Write> FrameWriter<W> {
 pub enum NetPoll<T> {
     /// One record to feed into the pipeline.
     Record(T),
+    /// A whole batch of records from one frame (columnar upload); the
+    /// runtime feeds them in order, exactly as if each had arrived as
+    /// its own [`Record`](NetPoll::Record).
+    Batch(Vec<T>),
     /// The peer's end-of-stream marker: finish cleanly.
     End,
 }
@@ -393,6 +622,8 @@ pub struct NetSource<R, T> {
     decode: DecodeFn<T>,
     error: NetErrorCell,
     frames_in: Arc<AtomicU64>,
+    /// Records still owed from the last batch frame, drained first.
+    pending: std::collections::VecDeque<T>,
 }
 
 impl<R: BufRead + Send, T> NetSource<R, T> {
@@ -404,6 +635,7 @@ impl<R: BufRead + Send, T> NetSource<R, T> {
             decode,
             error,
             frames_in: Arc::new(AtomicU64::new(0)),
+            pending: std::collections::VecDeque::new(),
         }
     }
 
@@ -422,19 +654,31 @@ impl<R: BufRead + Send, T> NetSource<R, T> {
 
 impl<R: BufRead + Send, T: Send> Source<T> for NetSource<R, T> {
     fn next(&mut self) -> Option<T> {
-        let frame = match self.reader.read() {
-            Ok(Some(frame)) => frame,
-            // EOF without the protocol's end marker: the peer vanished.
-            Ok(None) => self.fail(NetError::Disconnected),
-            Err(e) => self.fail(e),
-        };
-        match (self.decode)(frame) {
-            Ok(NetPoll::Record(t)) => {
-                self.frames_in.fetch_add(1, Ordering::Relaxed);
-                Some(t)
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Some(t);
             }
-            Ok(NetPoll::End) => None,
-            Err(e) => self.fail(e),
+            let frame = match self.reader.read() {
+                Ok(Some(frame)) => frame,
+                // EOF without the protocol's end marker: the peer
+                // vanished.
+                Ok(None) => self.fail(NetError::Disconnected),
+                Err(e) => self.fail(e),
+            };
+            match (self.decode)(frame) {
+                Ok(NetPoll::Record(t)) => {
+                    self.frames_in.fetch_add(1, Ordering::Relaxed);
+                    return Some(t);
+                }
+                // An empty batch is legal: count the frame, keep
+                // reading.
+                Ok(NetPoll::Batch(batch)) => {
+                    self.frames_in.fetch_add(1, Ordering::Relaxed);
+                    self.pending.extend(batch);
+                }
+                Ok(NetPoll::End) => return None,
+                Err(e) => self.fail(e),
+            }
         }
     }
 }
@@ -850,5 +1094,263 @@ mod tests {
         assert_eq!(WireFormat::parse("binary"), Some(WireFormat::Binary));
         assert_eq!(WireFormat::parse("msgpack"), None);
         assert_eq!(WireFormat::Binary.as_str(), "binary");
+    }
+
+    #[test]
+    fn decoder_pops_frames_across_arbitrary_pushes() {
+        let mut dec = FrameDecoder::new(WireFormat::Binary, 1024);
+        let bytes = frame_bytes(&WireFrame::Binary {
+            tag: 3,
+            payload: vec![9, 8, 7],
+        });
+        // One byte at a time: no frame until the last byte lands.
+        for b in &bytes[..bytes.len() - 1] {
+            dec.push(&[*b]);
+            assert!(dec.next().unwrap().is_none());
+        }
+        dec.push(&bytes[bytes.len() - 1..]);
+        assert_eq!(
+            dec.next().unwrap(),
+            Some(WireFrame::Binary {
+                tag: 3,
+                payload: vec![9, 8, 7]
+            })
+        );
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_switches_format_with_residual_bytes() {
+        // A handshake line with binary data pipelined right behind it —
+        // the exact shape a non-blocking session read produces.
+        let mut dec = FrameDecoder::new(WireFormat::Ndjson, 1024);
+        let mut bytes = frame_bytes(&WireFrame::Line("{\"hello\":true}".into()));
+        bytes.extend_from_slice(&frame_bytes(&WireFrame::Binary {
+            tag: 1,
+            payload: vec![42],
+        }));
+        dec.push(&bytes);
+        assert_eq!(
+            dec.next().unwrap(),
+            Some(WireFrame::Line("{\"hello\":true}".into()))
+        );
+        dec.set_format(WireFormat::Binary);
+        assert_eq!(
+            dec.next().unwrap(),
+            Some(WireFrame::Binary {
+                tag: 1,
+                payload: vec![42]
+            })
+        );
+    }
+
+    #[test]
+    fn decoder_enforces_cap_before_buffering() {
+        // Binary: the announced length alone trips the cap.
+        let mut dec = FrameDecoder::new(WireFormat::Binary, 16);
+        let mut header = vec![3u8];
+        header.extend_from_slice(&1_000_000u32.to_le_bytes());
+        dec.push(&header);
+        assert!(matches!(
+            dec.next(),
+            Err(NetError::Oversized {
+                len: 1_000_000,
+                max: 16
+            })
+        ));
+        // NDJSON: a newline-less run past the cap fails without
+        // waiting for the terminator.
+        let mut dec = FrameDecoder::new(WireFormat::Ndjson, 16);
+        dec.push(&[b'x'; 17]);
+        assert!(matches!(dec.next(), Err(NetError::Oversized { .. })));
+    }
+
+    #[test]
+    fn decoder_rejects_invalid_utf8_lines() {
+        let mut dec = FrameDecoder::new(WireFormat::Ndjson, 64);
+        dec.push(&[0xFF, 0xFE, b'\n']);
+        assert!(matches!(dec.next(), Err(NetError::Malformed { .. })));
+    }
+
+    #[test]
+    fn write_queue_resumes_partial_writes() {
+        /// A writer that accepts two bytes, pushes back once, then
+        /// accepts the rest — a miniature slow reader.
+        struct Trickle {
+            out: Vec<u8>,
+            calls: usize,
+        }
+        impl Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.calls += 1;
+                if self.calls == 2 {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                let n = buf.len().min(2);
+                self.out.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut q = WriteQueue::new();
+        q.push(Arc::from(&b"abcdef"[..]));
+        q.push(Arc::from(&b"gh"[..]));
+        let mut w = Trickle {
+            out: Vec::new(),
+            calls: 0,
+        };
+        assert!(!q.write_to(&mut w).unwrap()); // parked on WouldBlock
+        assert_eq!(q.pending(), 6);
+        while !q.write_to(&mut w).unwrap() {}
+        assert_eq!(w.out, b"abcdefgh");
+        assert!(q.is_empty());
+        assert_eq!(q.pending(), 0);
+    }
+
+    mod split_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Deterministically builds a frame sequence from a seed:
+        /// binary frames with varied tags/payloads or NDJSON lines.
+        fn frames_from(seed: u64, count: usize, format: WireFormat) -> Vec<WireFrame> {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            (0..count)
+                .map(|i| {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    match format {
+                        WireFormat::Binary => WireFrame::Binary {
+                            tag: (state % 7) as u8 + 1,
+                            payload: (0..(state % 40) as usize)
+                                .map(|j| (state as usize + i + j) as u8)
+                                .collect(),
+                        },
+                        WireFormat::Ndjson => {
+                            WireFrame::Line(format!("{{\"i\":{i},\"s\":{}}}", state % 1000))
+                        }
+                    }
+                })
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// Core partial-read property: however the byte stream is
+            /// split — including zero-length reads standing in for
+            /// `WouldBlock` — the decoder yields the identical frame
+            /// sequence, in order, with no corruption.
+            #[test]
+            fn decoder_survives_arbitrary_split_boundaries(
+                seed in 0u64..u64::MAX,
+                count in 0usize..20,
+                fmt in 0u8..2,
+                chunk_seed in 0u64..u64::MAX,
+            ) {
+                let format = if fmt == 0 { WireFormat::Binary } else { WireFormat::Ndjson };
+                let frames = frames_from(seed, count, format);
+                let bytes: Vec<u8> = frames.iter().flat_map(frame_bytes).collect();
+
+                let mut dec = FrameDecoder::new(format, 1 << 20);
+                let mut got = Vec::new();
+                let mut pos = 0usize;
+                let mut cstate = chunk_seed | 1;
+                while pos < bytes.len() {
+                    cstate = cstate
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    // 0 stands in for a read that returned WouldBlock.
+                    let step = (cstate % 9) as usize;
+                    let end = (pos + step).min(bytes.len());
+                    dec.push(&bytes[pos..end]);
+                    pos = end;
+                    while let Some(frame) = dec.next().unwrap() {
+                        got.push(frame);
+                    }
+                }
+                prop_assert_eq!(got, frames);
+                prop_assert_eq!(dec.buffered(), 0);
+            }
+
+            /// The incremental decoder agrees byte-for-byte with the
+            /// blocking `FrameReader` over the same stream.
+            #[test]
+            fn decoder_matches_frame_reader(
+                seed in 0u64..u64::MAX,
+                count in 1usize..16,
+                fmt in 0u8..2,
+            ) {
+                let format = if fmt == 0 { WireFormat::Binary } else { WireFormat::Ndjson };
+                let frames = frames_from(seed, count, format);
+                let bytes: Vec<u8> = frames.iter().flat_map(frame_bytes).collect();
+
+                let mut reader =
+                    FrameReader::new(Cursor::new(bytes.clone()), format, DEFAULT_MAX_FRAME_BYTES);
+                let mut via_reader = Vec::new();
+                while let Some(f) = reader.read().unwrap() {
+                    via_reader.push(f);
+                }
+
+                let mut dec = FrameDecoder::new(format, DEFAULT_MAX_FRAME_BYTES);
+                dec.push(&bytes);
+                let mut via_decoder = Vec::new();
+                while let Some(f) = dec.next().unwrap() {
+                    via_decoder.push(f);
+                }
+                prop_assert_eq!(via_reader, via_decoder);
+            }
+
+            /// A `WriteQueue` fed through a transport that accepts
+            /// arbitrary partial writes and interleaves `WouldBlock`
+            /// reproduces the exact byte stream.
+            #[test]
+            fn write_queue_survives_partial_writes(
+                seed in 0u64..u64::MAX,
+                count in 0usize..12,
+                fmt in 0u8..2,
+                chunk_seed in 0u64..u64::MAX,
+            ) {
+                struct Choppy {
+                    out: Vec<u8>,
+                    state: u64,
+                }
+                impl Write for Choppy {
+                    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                        self.state = self
+                            .state
+                            .wrapping_mul(6_364_136_223_846_793_005)
+                            .wrapping_add(1_442_695_040_888_963_407);
+                        match self.state % 7 {
+                            0 => Err(std::io::ErrorKind::WouldBlock.into()),
+                            1 => Err(std::io::ErrorKind::Interrupted.into()),
+                            r => {
+                                let n = buf.len().min(r as usize);
+                                self.out.extend_from_slice(&buf[..n]);
+                                Ok(n)
+                            }
+                        }
+                    }
+                    fn flush(&mut self) -> std::io::Result<()> {
+                        Ok(())
+                    }
+                }
+
+                let format = if fmt == 0 { WireFormat::Binary } else { WireFormat::Ndjson };
+                let frames = frames_from(seed, count, format);
+                let bytes: Vec<u8> = frames.iter().flat_map(frame_bytes).collect();
+
+                let mut q = WriteQueue::new();
+                for f in &frames {
+                    q.push(Arc::from(frame_bytes(f).into_boxed_slice()));
+                }
+                let mut w = Choppy { out: Vec::new(), state: chunk_seed | 1 };
+                while !q.write_to(&mut w).unwrap() {}
+                prop_assert_eq!(w.out, bytes);
+            }
+        }
     }
 }

@@ -185,7 +185,7 @@ impl Column {
 
     fn push_validity(&mut self, valid: bool) {
         let row = self.data.len() - 1;
-        if row % 64 == 0 {
+        if row.is_multiple_of(64) {
             self.validity.push(0);
         }
         if valid {
@@ -317,7 +317,8 @@ impl ColumnBatch {
                 .iter_mut()
                 .map(|c| c.take_value_at(row))
                 .collect();
-            let mut t = StampedTuple::new(self.ids[row], Timestamp(self.taus[row]), Tuple::new(values));
+            let mut t =
+                StampedTuple::new(self.ids[row], Timestamp(self.taus[row]), Tuple::new(values));
             t.arrival = Timestamp(self.arrivals[row]);
             t.sub_stream = self.sub_streams[row];
             rows.push(t);
@@ -431,7 +432,11 @@ mod tests {
                     i,
                     vec![
                         Value::Timestamp(Timestamp(i as i64 * 1000)),
-                        if i % 7 == 0 { Value::Null } else { Value::Int(70 + i as i64) },
+                        if i % 7 == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int(70 + i as i64)
+                        },
                         Value::Float(i as f64 * 0.5),
                         Value::Str(format!("s{}", i % 4)),
                         Value::Bool(i % 2 == 0),
@@ -454,7 +459,13 @@ mod tests {
     fn nulls_survive_the_round_trip_per_column() {
         let input = vec![row(
             0,
-            vec![Value::Null, Value::Null, Value::Null, Value::Null, Value::Null],
+            vec![
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ],
         )];
         let batch = ColumnBatch::from_rows(&schema(), input.clone()).unwrap();
         for col in 0..5 {
@@ -505,7 +516,11 @@ mod tests {
                     i,
                     vec![
                         Value::Timestamp(Timestamp(0)),
-                        if i % 2 == 0 { Value::Null } else { Value::Int(i as i64) },
+                        if i % 2 == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int(i as i64)
+                        },
                         Value::Float(0.0),
                         Value::Str(String::new()),
                         Value::Bool(false),

@@ -63,7 +63,7 @@ USAGE:
   icewafl generate --dataset wearable|airquality[:STATION] --output OUT.csv [--seed N]
   icewafl serve    [--addr HOST:PORT] [--plans-dir DIR] [--max-sessions N]
                    [--max-frame-bytes N] [--metrics-json METRICS.json]
-                   [--telemetry-interval-ms N]
+                   [--telemetry-interval-ms N] [--workers N]
   icewafl top      HOST:PORT [--frames N] [--plain]
   icewafl example-config
 
@@ -92,12 +92,15 @@ USAGE:
                     schema, streams tuples in, and receives polluted tuples plus
                     a final run report; SIGINT drains in-flight sessions first;
                     --telemetry-interval-ms sets the sampling cadence of the
-                    telemetry stream (default 250)
+                    telemetry stream (default 250); --workers N sizes the
+                    event-loop worker pool (default: one per CPU core)
 
   top               watch a running server: subscribe to its telemetry stream
                     and render a refreshing table of sessions and hot metrics
                     (--frames N stops after N frames, --plain skips the screen
-                    clearing between frames)
+                    clearing between frames); past 20 live sessions the table
+                    keeps the top 20 by bytes sent and folds the rest into
+                    one summary row
 
 A stage failure (panic, injected fault, deadline) exits non-zero with a
 one-line diagnostic naming the failing stage."
@@ -378,6 +381,12 @@ fn cmd_serve(args: &[String]) -> Result<()> {
             .parse()
             .map_err(|_| Error::config(format_args!("bad --telemetry-interval-ms `{n}`")))?;
     }
+    if let Some(n) = flag(args, "--workers") {
+        config.workers =
+            n.parse::<usize>().ok().filter(|&w| w > 0).ok_or_else(|| {
+                Error::config(format_args!("bad --workers `{n}` (want a count > 0)"))
+            })?;
+    }
 
     let server = Server::bind(config)?;
     signal::install();
@@ -431,8 +440,14 @@ fn cmd_top(args: &[String]) -> Result<()> {
     Ok(())
 }
 
-/// One `icewafl top` screen: the session table plus the metrics that
-/// moved during the last sampling interval.
+/// Live session rows shown before `icewafl top` folds the remainder
+/// into one summary line — a 1000-session server must not scroll the
+/// terminal through a thousand rows per refresh.
+const TOP_SESSION_ROWS: usize = 20;
+
+/// One `icewafl top` screen: the session table (top
+/// [`TOP_SESSION_ROWS`] by bytes sent, the rest summarized) plus the
+/// metrics that moved during the last sampling interval.
 fn render_top_frame(f: &icewafl::serve::TelemetryFrame) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -455,7 +470,9 @@ fn render_top_frame(f: &icewafl::serve::TelemetryFrame) -> String {
         "encode_ms",
         "blocked_write_ms"
     );
-    for s in &f.sessions {
+    let mut ranked: Vec<_> = f.sessions.iter().collect();
+    ranked.sort_by(|a, b| b.bytes_out.cmp(&a.bytes_out).then(a.id.cmp(&b.id)));
+    for s in ranked.iter().take(TOP_SESSION_ROWS) {
         let dash = |v: &str| if v.is_empty() { "-" } else { v }.to_string();
         let _ = writeln!(
             out,
@@ -469,6 +486,21 @@ fn render_top_frame(f: &icewafl::serve::TelemetryFrame) -> String {
             s.bytes_out,
             s.encode_ns as f64 / 1e6,
             s.blocked_write_ns as f64 / 1e6
+        );
+    }
+    let rest = &ranked[ranked.len().min(TOP_SESSION_ROWS)..];
+    if !rest.is_empty() {
+        let (frames_in, frames_out, bytes_out) =
+            rest.iter().fold((0u64, 0u64, 0u64), |(fi, fo, bo), s| {
+                (fi + s.frames_in, fo + s.frames_out, bo + s.bytes_out)
+            });
+        let _ = writeln!(
+            out,
+            "  ...and {} more session(s) totalling {:>10} {:>11} {:>12}",
+            rest.len(),
+            frames_in,
+            frames_out,
+            bytes_out
         );
     }
     let Some(delta) = &f.delta else {

@@ -334,7 +334,7 @@ fn multi_membership_assigners_fall_back_identically() {
     ] {
         let run_with = |repr: ReprHint| {
             let mut plan = repr_plan(StrategyHint::Sequential, 256, repr);
-            plan.assigner = assigner.clone();
+            plan.assigner = assigner;
             plan.logging = false;
             run(&plan, 300)
         };
