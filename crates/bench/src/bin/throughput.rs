@@ -14,6 +14,15 @@
 //!              [--check BASELINE.json] [--tolerance 0.30] [--relative]
 //!              [--serve] [--serve-sessions 4]
 //!
+//! Every run also measures the per-kernel-family microbench: each
+//! vectorized kernel family runs on a single-stage pipeline in three
+//! modes — loose-row `process_row`, columnar transport with the row
+//! trampoline forced, and the vectorized kernels — and the element/s
+//! land under a `kernels` key. In `--relative` mode the geometric mean
+//! of the vectorized/trampoline speedups from the same run is gated
+//! against `KERNEL_SPEEDUP_FLOOR`, so the kernels cannot silently
+//! degenerate into the per-row loop.
+//!
 //! With `--serve`, the harness additionally measures end-to-end network
 //! throughput: it starts an in-process `icewafl-serve` server and
 //! drives concurrent sessions of the same workload through it, once per
@@ -41,9 +50,12 @@
 
 use std::time::Instant;
 
+use icewafl_core::columnar::lower_pipeline;
+use icewafl_core::condition::CmpOp;
 use icewafl_core::config::{ConditionConfig, ErrorConfig, PolluterConfig};
+use icewafl_core::log::PollutionLog;
 use icewafl_core::plan::{AssignerSpec, LogicalPlan, ReprHint, StrategyHint};
-use icewafl_types::{DataType, Schema, Timestamp, Tuple, Value};
+use icewafl_types::{DataType, Schema, StampedTuple, Timestamp, Tuple, Value};
 
 /// Pipeline length ℓ of the reference workload.
 const PIPELINE_LEN: usize = 4;
@@ -155,6 +167,262 @@ fn measure_repr(
         tuples_per_sec: n as f64 / best,
         best_ms: best * 1e3,
     }
+}
+
+/// Row-batch size the kernel microbench feeds `process_rows` — matches
+/// the largest columnar transport batch so per-batch conversion cost is
+/// amortized the same way in both columnar modes.
+const KERNEL_CHUNK: usize = 4096;
+
+/// Per-kernel-family throughput in the three execution modes the
+/// columnar layer supports. All three run the *same* single-stage
+/// [`ColumnPipeline`](icewafl_core::ColumnPipeline) object, so the
+/// numbers isolate the kernel itself:
+///
+/// * `row` — `process_row` over loose tuples: the tuple-at-a-time path
+///   every non-columnar sub-stream executes.
+/// * `trampoline` — `process_rows` with `set_vectorized(false)`:
+///   columnar transport, but each stage walks the batch row by row.
+/// * `vectorized` — `process_rows` with kernels on: bulk RNG draws,
+///   branch-free masked selects.
+struct KernelMeasurement {
+    family: String,
+    row_elems_per_sec: f64,
+    trampoline_elems_per_sec: f64,
+    vectorized_elems_per_sec: f64,
+}
+
+impl KernelMeasurement {
+    /// The machine-independent number the `--relative` gate consumes:
+    /// same pipeline, same machine, same run — only the inner loop
+    /// differs.
+    fn speedup(&self) -> f64 {
+        self.vectorized_elems_per_sec / self.trampoline_elems_per_sec
+    }
+}
+
+/// Four-column schema exercising every column layout the kernels
+/// handle: timestamps, ints, floats, and strings.
+fn kernel_schema() -> Schema {
+    Schema::from_pairs([
+        ("Time", DataType::Timestamp),
+        ("BPM", DataType::Int),
+        ("Distance", DataType::Float),
+        ("sensor", DataType::Str),
+    ])
+    .unwrap()
+}
+
+/// One row per minute (so hour-of-day conditions cycle over the run),
+/// with a sprinkling of NULLs so the validity-mask intersection is on
+/// every kernel's hot path.
+fn kernel_rows(n: i64) -> Vec<StampedTuple> {
+    (0..n)
+        .map(|i| {
+            let bpm = if i % 13 == 0 {
+                Value::Null
+            } else {
+                Value::Int(60 + i % 90)
+            };
+            StampedTuple::new(
+                i as u64,
+                Timestamp(i * 60_000),
+                Tuple::new(vec![
+                    Value::Timestamp(Timestamp(i * 60_000)),
+                    bpm,
+                    Value::Float(5.0 + (i % 1000) as f64 * 0.01),
+                    Value::Str(format!("s{}", i % 8)),
+                ]),
+            )
+        })
+        .collect()
+}
+
+/// One polluter per vectorized kernel family, paired with a condition
+/// kernel that fires on a substantial share of rows — a microbench over
+/// an all-zero mask would measure mask evaluation, not the error
+/// kernel.
+fn kernel_families() -> Vec<(&'static str, PolluterConfig)> {
+    let std = |name: &'static str, attr: &str, error: ErrorConfig, condition: ConditionConfig| {
+        (
+            name,
+            PolluterConfig::Standard {
+                name: name.into(),
+                attributes: vec![attr.into()],
+                error,
+                condition,
+                pattern: None,
+            },
+        )
+    };
+    vec![
+        std(
+            "round",
+            "Distance",
+            ErrorConfig::Round { precision: 1 },
+            ConditionConfig::Always,
+        ),
+        std(
+            "unit_conversion",
+            "Distance",
+            ErrorConfig::UnitConversion { factor: 1.60934 },
+            ConditionConfig::TimeWindow {
+                from: Some("1970-01-01 12:00:00".into()),
+                to: None,
+            },
+        ),
+        std(
+            "outlier",
+            "BPM",
+            ErrorConfig::Outlier { magnitude: 3.0 },
+            ConditionConfig::HourRange { start: 6, end: 18 },
+        ),
+        std(
+            "uniform_noise",
+            "Distance",
+            ErrorConfig::UniformNoise { a: 0.0, b: 0.3 },
+            ConditionConfig::Sinusoidal {
+                amplitude: 0.25,
+                offset: 0.5,
+            },
+        ),
+        std(
+            "constant",
+            "sensor",
+            ErrorConfig::Constant {
+                value: Value::Str("fixed".into()),
+            },
+            ConditionConfig::LinearRamp {
+                from: "1970-01-01 00:00:00".into(),
+                to: "1970-01-08 00:00:00".into(),
+                p0: 0.2,
+                p1: 0.8,
+            },
+        ),
+        std(
+            "timestamp_shift",
+            "Time",
+            ErrorConfig::TimestampShift {
+                delta_ms: -3_600_000,
+            },
+            ConditionConfig::Probability { p: 0.5 },
+        ),
+        std(
+            "missing_value",
+            "BPM",
+            ErrorConfig::MissingValue,
+            ConditionConfig::Probability { p: 0.3 },
+        ),
+        std(
+            "gaussian_noise",
+            "Distance",
+            ErrorConfig::GaussianNoise {
+                sigma: 0.1,
+                relative: true,
+            },
+            ConditionConfig::Value {
+                attribute: "Distance".into(),
+                op: CmpOp::Gt,
+                value: Value::Float(10.0),
+            },
+        ),
+        std(
+            "scale",
+            "BPM",
+            ErrorConfig::Scale { factor: 1.5 },
+            ConditionConfig::Probability { p: 0.7 },
+        ),
+    ]
+}
+
+/// Best wall-clock of `reps` timed runs, after one untimed warm-up.
+fn best_secs(reps: u32, mut run: impl FnMut() -> f64) -> f64 {
+    run();
+    (0..reps).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+/// Measures every kernel family in all three modes. Element counts are
+/// rows (each family targets one attribute), so the three rates are
+/// directly comparable per family.
+fn measure_kernels(n: i64, reps: u32) -> Vec<KernelMeasurement> {
+    use icewafl_types::ColumnBatch;
+
+    let schema = kernel_schema();
+    let rows = kernel_rows(n);
+    // Batches are converted ONCE, outside every timed region: the
+    // microbench isolates the stage inner loop, so rows↔columns
+    // conversion — identical in both columnar modes and measured by the
+    // `columnar/*` scenario group above — must not dilute the ratio.
+    let batches: Vec<ColumnBatch> = rows
+        .chunks(KERNEL_CHUNK)
+        .map(|chunk| {
+            ColumnBatch::from_rows(&schema, chunk.to_vec()).expect("bench rows fit the schema")
+        })
+        .collect();
+    let mut log = PollutionLog::disabled();
+    let mut out = Vec::new();
+    for (family, config) in kernel_families() {
+        let mut pipeline = lower_pipeline(42, 0, std::slice::from_ref(&config), &schema)
+            .expect("kernel family compiles")
+            .expect("kernel family lowers to columns");
+        assert_eq!(
+            pipeline.vectorized_stages(),
+            1,
+            "`{family}` must ship a column kernel"
+        );
+
+        // Row mode: loose tuples through `process_row`, no conversion.
+        let best_row = best_secs(reps, || {
+            let mut input = rows.clone();
+            let start = Instant::now();
+            for tuple in &mut input {
+                pipeline.process_row(tuple, &mut log);
+            }
+            start.elapsed().as_secs_f64()
+        });
+
+        // Columnar batches, per-row trampoline inner loop.
+        pipeline.set_vectorized(false);
+        let best_tramp = best_secs(reps, || {
+            let mut input = batches.clone();
+            let start = Instant::now();
+            for batch in &mut input {
+                pipeline.process_batch(batch, &mut log);
+            }
+            start.elapsed().as_secs_f64()
+        });
+
+        // Columnar batches, vectorized kernels.
+        pipeline.set_vectorized(true);
+        let best_vec = best_secs(reps, || {
+            let mut input = batches.clone();
+            let start = Instant::now();
+            for batch in &mut input {
+                pipeline.process_batch(batch, &mut log);
+            }
+            start.elapsed().as_secs_f64()
+        });
+
+        out.push(KernelMeasurement {
+            family: family.to_string(),
+            row_elems_per_sec: n as f64 / best_row,
+            trampoline_elems_per_sec: n as f64 / best_tramp,
+            vectorized_elems_per_sec: n as f64 / best_vec,
+        });
+    }
+    out
+}
+
+/// Geometric mean of the per-family vectorized/trampoline speedups —
+/// one number summarizing whether the kernels still beat the row-by-row
+/// inner loop. Geometric (not arithmetic) so one huge bitmap-kernel
+/// ratio cannot mask a regression in the compute-bound families.
+fn kernel_speedup_geomean(kernels: &[KernelMeasurement]) -> f64 {
+    if kernels.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = kernels.iter().map(|k| k.speedup().ln()).sum();
+    (log_sum / kernels.len() as f64).exp()
 }
 
 /// Network throughput of one serve configuration: an in-process server
@@ -274,6 +542,7 @@ fn render(
     n: i64,
     reps: u32,
     results: &[Measurement],
+    kernels: &[KernelMeasurement],
     serve: &[Measurement],
     recovery: Option<&icewafl_core::report::RunReport>,
 ) -> String {
@@ -297,6 +566,26 @@ fn render(
         ));
     }
     out.push_str("  ]");
+    if !kernels.is_empty() {
+        // Absolute element/s are machine-dependent and stay outside the
+        // `results` array the `--check` gate iterates; the `--relative`
+        // gate consumes only the same-run speedup ratio.
+        out.push_str(",\n  \"kernels\": [\n");
+        for (i, k) in kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"family\": \"{}\", \"row_elems_per_sec\": {:.0}, \
+                 \"trampoline_elems_per_sec\": {:.0}, \"vectorized_elems_per_sec\": {:.0}, \
+                 \"speedup\": {:.2} }}{}\n",
+                k.family,
+                k.row_elems_per_sec,
+                k.trampoline_elems_per_sec,
+                k.vectorized_elems_per_sec,
+                k.speedup(),
+                if i + 1 < kernels.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
     if !serve.is_empty() {
         // Outside `results` on purpose: the --check gate must not
         // compare network numbers across machines.
@@ -355,6 +644,16 @@ const COLUMNAR_SPEEDUP_FLOOR: f64 = 1.5;
 /// that scheduler noise cannot flake CI.
 const SERVE_BINARY_RATIO_FLOOR: f64 = 0.5;
 
+/// Minimum geometric-mean vectorized/trampoline kernel speedup the
+/// `--relative` gate accepts. Both inner loops run on the same pipeline
+/// object in the same process, so the ratio is hardware-independent.
+/// The bitmap and select kernels measure well above this; the floor's
+/// job is to catch the kernels silently degenerating into the per-row
+/// trampoline (geomean ~1.0), while sitting far enough under the
+/// measured geomean that the branchy stochastic families (gaussian,
+/// outlier) cannot flake CI on a noisy machine.
+const KERNEL_SPEEDUP_FLOOR: f64 = 1.3;
+
 /// Compares measured throughput against a committed baseline; returns
 /// the names of configurations that regressed beyond `tolerance`. In
 /// relative mode both sides are divided by their own
@@ -365,6 +664,7 @@ const SERVE_BINARY_RATIO_FLOOR: f64 = 0.5;
 fn check(
     baseline_json: &str,
     results: &[Measurement],
+    kernels: &[KernelMeasurement],
     serve: &[Measurement],
     tolerance: f64,
     relative: bool,
@@ -445,6 +745,22 @@ fn check(
             if ratio < COLUMNAR_SPEEDUP_FLOOR {
                 regressions.push(format!(
                     "columnar/row speedup: {ratio:.2}x < floor {COLUMNAR_SPEEDUP_FLOOR:.1}x"
+                ));
+            }
+        }
+        // The kernel-level win is this rollout's second gated ratio:
+        // the batch-size sweep above can stay healthy on transport
+        // savings alone even if every kernel quietly falls back to the
+        // row-by-row trampoline, so gate the inner loops directly.
+        let geomean = kernel_speedup_geomean(kernels);
+        if geomean.is_finite() {
+            eprintln!(
+                "vectorized/trampoline kernel speedup (geomean): {geomean:.2}x \
+                 (floor {KERNEL_SPEEDUP_FLOOR:.1}x)"
+            );
+            if geomean < KERNEL_SPEEDUP_FLOOR {
+                regressions.push(format!(
+                    "kernel speedup geomean: {geomean:.2}x < floor {KERNEL_SPEEDUP_FLOOR:.1}x"
                 ));
             }
         }
@@ -533,6 +849,20 @@ fn main() {
         results.push(m);
     }
 
+    // Kernel microbench: every vectorized kernel family, element/s in
+    // row vs trampoline vs vectorized mode on one pipeline object.
+    let kernels = measure_kernels(n, reps);
+    for k in &kernels {
+        eprintln!(
+            "kernel/{:<24} {:>12.0} row  {:>12.0} tramp  {:>12.0} vec elems/s  ({:.2}x)",
+            k.family,
+            k.row_elems_per_sec,
+            k.trampoline_elems_per_sec,
+            k.vectorized_elems_per_sec,
+            k.speedup()
+        );
+    }
+
     let mut serve_results = Vec::new();
     if args.iter().any(|a| a == "--serve") {
         let sessions: usize = arg_value(&args, "--serve-sessions")
@@ -557,7 +887,7 @@ fn main() {
         recovery.recovery_ms
     );
 
-    let report = render(n, reps, &results, &serve_results, Some(&recovery));
+    let report = render(n, reps, &results, &kernels, &serve_results, Some(&recovery));
     match &out_path {
         Some(path) => std::fs::write(path, &report).expect("write report"),
         None => print!("{report}"),
@@ -565,7 +895,14 @@ fn main() {
 
     if let Some(path) = check_path {
         let baseline = std::fs::read_to_string(&path).expect("read baseline");
-        let regressions = check(&baseline, &results, &serve_results, tolerance, relative);
+        let regressions = check(
+            &baseline,
+            &results,
+            &kernels,
+            &serve_results,
+            tolerance,
+            relative,
+        );
         if !regressions.is_empty() {
             eprintln!("throughput regressions beyond {:.0}%:", tolerance * 100.0);
             for r in &regressions {

@@ -12,21 +12,43 @@
 //! **Exactness by construction.** A kernel does not reimplement the
 //! polluter — it *wraps* the very same [`StandardPolluter`] the row path
 //! would build (same component seed paths, so identical RNG streams,
-//! stats cells, and checkpoint state documents) and trampolines each row
-//! through [`StandardPolluter::process_in_place`] via one reusable
-//! scratch tuple. Only the columns a stage touches are materialised into
-//! the scratch; everything else stays columnar. Output, ground-truth
+//! stats cells, and checkpoint state documents). Output, ground-truth
 //! log, and checkpoint snapshots are therefore byte-identical to row
 //! execution — the property `tests/batch_determinism.rs` pins.
 //!
-//! **What stays on the row path.** Anything that is not 1:1 or not
-//! schema-typed: native temporal polluters (delay/drop/duplicate/freeze
-//! hold tuples across watermarks), composites and one-ofs (children may
-//! be temporal), propagation/keyed/burst (stateful), and standard
-//! polluters whose error function could write a value outside the
-//! column's domain. [`lower_pipeline`] returns `None` for those and the
-//! runner keeps `Vec<StampedTuple>` batches; `--explain` names the
-//! blocking polluter.
+//! **Two execution modes per stage.** When logging is off and both of a
+//! stage's components ship a column kernel
+//! ([`StandardPolluter::has_column_kernels`]), the stage runs
+//! *vectorized*: the condition fills a branch-free byte mask over the
+//! whole batch ([bulk RNG draws](crate::rng::fill_uniform) service the
+//! stochastic conditions), pattern intensities are drawn for masked
+//! rows, and the error function's kernel edits the attribute vectors
+//! directly — combining the mask with the column validity bitmap, no
+//! tuple materialisation at all. Otherwise the stage *trampolines*:
+//! each row is staged into one reusable scratch tuple and fed through
+//! [`StandardPolluter::process_in_place`] — slower, but exact for every
+//! component. The dispatch is per stage, so one typo polluter does not
+//! rob its neighbours of their kernels. `docs/kernels.md` derives why
+//! both modes emit identical bytes.
+//!
+//! **Eligibility rules.** Lowering (and vectorization within a lowered
+//! pipeline) is governed by three named rules, reported verbatim by
+//! `--explain` when a sub-stream falls back to rows:
+//!
+//! - `stateless-1to1` — the polluter maps one tuple to one tuple with
+//!   no cross-tuple state: native temporal polluters (delay, drop,
+//!   duplicate, freeze hold tuples across watermarks), propagation,
+//!   burst, keyed, and composites/one-ofs (children may be temporal)
+//!   fail it.
+//! - `resolved-attributes` — every attribute the polluter names exists
+//!   in the schema, so reads and writes bind to column indices.
+//! - `schema-typed-writes` — the error function provably writes values
+//!   of its target columns' own types (or NULL), so a typed column
+//!   store absorbs the output without re-deriving types per row.
+//!
+//! [`lower_pipeline`] returns `None` when any stage breaks a rule and
+//! the runner keeps `Vec<StampedTuple>` batches; [`lowering_blocker`]
+//! names the polluter *and* the rule it broke.
 
 use crate::config::{build_standard, ConditionConfig, ErrorConfig, PolluterConfig};
 use crate::log::PollutionLog;
@@ -102,6 +124,9 @@ fn error_lowerable(error: &ErrorConfig, attrs: &[usize], schema: &Schema) -> boo
 }
 
 /// Why `polluter` cannot lower to a column kernel, or `None` if it can.
+/// Each message names the polluter, the eligibility rule it broke (see
+/// the module docs), and what about the polluter breaks it — the string
+/// `--explain` renders next to a `row` stage.
 fn polluter_blocker(polluter: &PolluterConfig, schema: &Schema) -> Option<String> {
     match polluter {
         PolluterConfig::Standard {
@@ -116,30 +141,40 @@ fn polluter_blocker(polluter: &PolluterConfig, schema: &Schema) -> Option<String
                 .collect::<Result<_>>()
             {
                 Ok(v) => v,
-                Err(_) => return Some(format!("`{name}`: unresolved attribute")),
+                Err(_) => {
+                    return Some(format!(
+                        "`{name}` breaks rule resolved-attributes: names an attribute \
+                         outside the schema"
+                    ))
+                }
             };
             if error_lowerable(error, &attrs, schema) {
                 None
             } else {
                 Some(format!(
-                    "`{name}`: error output type not provable for its columns"
+                    "`{name}` breaks rule schema-typed-writes: error output type not \
+                     provable for its columns"
                 ))
             }
         }
-        PolluterConfig::Composite { name, .. } | PolluterConfig::OneOf { name, .. } => {
-            Some(format!("`{name}`: composite"))
-        }
+        PolluterConfig::Composite { name, .. } | PolluterConfig::OneOf { name, .. } => Some(
+            format!("`{name}` breaks rule stateless-1to1: composite children may be temporal"),
+        ),
         PolluterConfig::Delay { name, .. }
         | PolluterConfig::Drop { name, .. }
         | PolluterConfig::Duplicate { name, .. }
         | PolluterConfig::Freeze { name, .. }
-        | PolluterConfig::Burst { name, .. } => {
-            Some(format!("`{name}`: stateful temporal polluter"))
-        }
-        PolluterConfig::Propagation { name, .. } => {
-            Some(format!("`{name}`: stateful temporal polluter"))
-        }
-        PolluterConfig::Keyed { name, .. } => Some(format!("`{name}`: per-key state")),
+        | PolluterConfig::Burst { name, .. } => Some(format!(
+            "`{name}` breaks rule stateless-1to1: stateful temporal polluter holds \
+             tuples across watermarks"
+        )),
+        PolluterConfig::Propagation { name, .. } => Some(format!(
+            "`{name}` breaks rule stateless-1to1: stateful temporal polluter repeats \
+             earlier values"
+        )),
+        PolluterConfig::Keyed { name, .. } => Some(format!(
+            "`{name}` breaks rule stateless-1to1: per-key state spans tuples"
+        )),
     }
 }
 
@@ -154,6 +189,63 @@ pub fn pipeline_lowerable(polluters: &[PolluterConfig], schema: &Schema) -> bool
     lowering_blocker(polluters, schema).is_none()
 }
 
+/// Config-level mirror of [`StandardPolluter::has_column_kernels`]:
+/// whether a standard polluter with this condition and error runs
+/// vectorized inside a lowered pipeline, decidable at plan time without
+/// building the polluter. The agreement between the two is pinned by a
+/// test; keep them in lockstep when adding kernels.
+pub fn kernel_vectorizable(condition: &ConditionConfig, error: &ErrorConfig) -> bool {
+    let cond_ok = match condition {
+        ConditionConfig::Always
+        | ConditionConfig::Never
+        | ConditionConfig::Probability { .. }
+        | ConditionConfig::Value { .. }
+        | ConditionConfig::TimeWindow { .. }
+        | ConditionConfig::HourRange { .. }
+        | ConditionConfig::Sinusoidal { .. }
+        | ConditionConfig::LinearRamp { .. } => true,
+        // Pattern interleaves two draws from one RNG per row; composites
+        // would need short-circuit-exact mask combination. Neither has a
+        // byte-identity proof yet.
+        ConditionConfig::Pattern { .. }
+        | ConditionConfig::And { .. }
+        | ConditionConfig::Or { .. }
+        | ConditionConfig::Not { .. } => false,
+    };
+    let error_ok = match error {
+        ErrorConfig::GaussianNoise { .. }
+        | ErrorConfig::UniformNoise { .. }
+        | ErrorConfig::Scale { .. }
+        | ErrorConfig::Outlier { .. }
+        | ErrorConfig::Round { .. }
+        | ErrorConfig::UnitConversion { .. }
+        | ErrorConfig::MissingValue
+        | ErrorConfig::Constant { .. }
+        | ErrorConfig::TimestampShift { .. } => true,
+        // Per-row string surgery and pairwise swaps stay on the
+        // trampoline.
+        ErrorConfig::Typo { .. }
+        | ErrorConfig::IncorrectCategory { .. }
+        | ErrorConfig::SwapAttributes => false,
+    };
+    cond_ok && error_ok
+}
+
+/// How many of a lowerable pipeline's stages run vectorized (the rest
+/// trampoline row by row inside the column pipeline). What `--explain`
+/// renders next to a `columnar` stage.
+pub fn vectorized_stage_count(polluters: &[PolluterConfig]) -> usize {
+    polluters
+        .iter()
+        .filter(|p| match p {
+            PolluterConfig::Standard {
+                condition, error, ..
+            } => kernel_vectorizable(condition, error),
+            _ => false,
+        })
+        .count()
+}
+
 /// One column kernel: a real [`StandardPolluter`] plus the column sets
 /// its trampoline materialises (reads ∪ writes) and writes back.
 struct ColumnStage {
@@ -163,6 +255,9 @@ struct ColumnStage {
     touched: Vec<usize>,
     /// Columns written back after the row runs (the error's `A_p`).
     writes: Vec<usize>,
+    /// Whether both components ship a column kernel, captured at
+    /// lowering time ([`StandardPolluter::has_column_kernels`]).
+    vectorized: bool,
 }
 
 impl ColumnStage {
@@ -214,6 +309,15 @@ pub struct ColumnPipeline {
     scratch: StampedTuple,
     /// The schema batches are typed against.
     schema: Schema,
+    /// Condition-mask scratch for the vectorized path, one byte per
+    /// row, reused across batches and stages.
+    mask: Vec<u8>,
+    /// Pattern-intensity scratch for the vectorized path.
+    intensities: Vec<f64>,
+    /// Escape hatch: `true` forces every stage through the row-exact
+    /// trampoline even when its kernels exist. The microbench uses this
+    /// to measure the kernels' win on the same pipeline object.
+    force_trampoline: bool,
 }
 
 impl ColumnPipeline {
@@ -227,15 +331,32 @@ impl ColumnPipeline {
         self.stages.is_empty()
     }
 
+    /// How many stages run vectorized (condition *and* error ship
+    /// column kernels); the remaining `len() - vectorized_stages()`
+    /// stages trampoline row by row.
+    pub fn vectorized_stages(&self) -> usize {
+        self.stages.iter().filter(|s| s.vectorized).count()
+    }
+
+    /// Forces (`on = false`) or re-enables (`on = true`) the vectorized
+    /// kernels. Output is byte-identical either way; the kernel
+    /// microbench flips this to measure the speedup on one pipeline
+    /// object without rebuilding state.
+    pub fn set_vectorized(&mut self, on: bool) {
+        self.force_trampoline = !on;
+    }
+
     /// Runs a batch through every stage in place.
     ///
     /// With logging enabled the loop is row-major (a row crosses all
     /// stages before the next row starts) so ground-truth log entries
-    /// land in exactly the order the row path writes them. With logging
-    /// disabled there is no observable ordering between rows — each
-    /// component's RNG sees rows in the same order either way — so the
-    /// loop flips to stage-major and walks one attribute vector at a
-    /// time.
+    /// land in exactly the order the row path writes them, every stage
+    /// on the trampoline. With logging disabled there is no observable
+    /// ordering between rows — each component's RNG sees rows in the
+    /// same order either way — so the loop flips to stage-major:
+    /// stages with column kernels run them over the whole batch
+    /// ([`StandardPolluter::process_columns`]), the rest trampoline one
+    /// attribute vector at a time.
     pub fn process_batch(&mut self, batch: &mut ColumnBatch, log: &mut PollutionLog) {
         if log.is_enabled() {
             for row in 0..batch.len() {
@@ -245,8 +366,14 @@ impl ColumnPipeline {
             }
         } else {
             for stage in &mut self.stages {
-                for row in 0..batch.len() {
-                    stage.apply(batch, row, &mut self.scratch, log);
+                if stage.vectorized && !self.force_trampoline {
+                    stage
+                        .polluter
+                        .process_columns(batch, &mut self.mask, &mut self.intensities);
+                } else {
+                    for row in 0..batch.len() {
+                        stage.apply(batch, row, &mut self.scratch, log);
+                    }
                 }
             }
         }
@@ -390,6 +517,7 @@ pub fn lower_pipeline(
         stages.push(ColumnStage {
             writes: polluter.attrs().to_vec(),
             touched,
+            vectorized: polluter.has_column_kernels(),
             polluter,
         });
     }
@@ -397,6 +525,9 @@ pub fn lower_pipeline(
         stages,
         scratch: StampedTuple::new(0, Timestamp(0), Tuple::new(vec![Value::Null; schema.len()])),
         schema: schema.clone(),
+        mask: Vec::new(),
+        intensities: Vec::new(),
+        force_trampoline: false,
     }))
 }
 
@@ -533,6 +664,238 @@ mod tests {
         }
         pipeline.finish(&mut log);
         (out, log)
+    }
+
+    /// One polluter per vectorized kernel family: every condition kernel
+    /// (always, never, probability, value, time-window, hour-range,
+    /// sinusoid, ramp) and every error kernel family (scale, noise,
+    /// rounding, freeze/missing, constant, outlier, uniform noise, unit
+    /// conversion, timestamp shift), plus non-constant change patterns.
+    fn every_kernel_family() -> Vec<PolluterConfig> {
+        let std = |name: &str,
+                   attr: &str,
+                   error: ErrorConfig,
+                   condition: ConditionConfig,
+                   pattern: Option<ChangePattern>| {
+            PolluterConfig::Standard {
+                name: name.into(),
+                attributes: vec![attr.into()],
+                error,
+                condition,
+                pattern,
+            }
+        };
+        vec![
+            std(
+                "always-round",
+                "Distance",
+                ErrorConfig::Round { precision: 1 },
+                ConditionConfig::Always,
+                None,
+            ),
+            std(
+                "window-unit",
+                "Distance",
+                ErrorConfig::UnitConversion { factor: 1000.0 },
+                ConditionConfig::TimeWindow {
+                    from: Some("1970-01-01 01:00:00".into()),
+                    to: Some("1970-01-01 05:00:00".into()),
+                },
+                None,
+            ),
+            std(
+                "hours-outlier",
+                "BPM",
+                ErrorConfig::Outlier { magnitude: 3.0 },
+                ConditionConfig::HourRange { start: 2, end: 7 },
+                None,
+            ),
+            std(
+                "sin-uniform",
+                "Distance",
+                ErrorConfig::UniformNoise { a: 0.0, b: 0.3 },
+                ConditionConfig::Sinusoidal {
+                    amplitude: 0.25,
+                    offset: 0.25,
+                },
+                None,
+            ),
+            std(
+                "ramp-const",
+                "sensor",
+                ErrorConfig::Constant {
+                    value: Value::Str("fixed".into()),
+                },
+                ConditionConfig::LinearRamp {
+                    from: "1970-01-01 00:30:00".into(),
+                    to: "1970-01-01 07:00:00".into(),
+                    p0: 0.1,
+                    p1: 0.9,
+                },
+                None,
+            ),
+            std(
+                "shift-time",
+                "Time",
+                ErrorConfig::TimestampShift {
+                    delta_ms: -3_600_000,
+                },
+                ConditionConfig::Probability { p: 0.4 },
+                None,
+            ),
+            std(
+                "never-null",
+                "BPM",
+                ErrorConfig::MissingValue,
+                ConditionConfig::Never,
+                None,
+            ),
+            std(
+                "gauss-on-big",
+                "Distance",
+                ErrorConfig::GaussianNoise {
+                    sigma: 0.1,
+                    relative: true,
+                },
+                ConditionConfig::Value {
+                    attribute: "Distance".into(),
+                    op: crate::condition::CmpOp::Gt,
+                    value: Value::Float(10.0),
+                },
+                Some(ChangePattern::Incremental {
+                    from: Timestamp(0),
+                    to: Timestamp(4 * 3_600_000),
+                }),
+            ),
+            std(
+                "scale-gradual",
+                "BPM",
+                ErrorConfig::Scale { factor: 1.5 },
+                ConditionConfig::Probability { p: 0.7 },
+                Some(ChangePattern::Gradual {
+                    from: Timestamp(0),
+                    to: Timestamp(6 * 3_600_000),
+                }),
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_vectorized_family_matches_row_path() {
+        let polluters = every_kernel_family();
+        for logging in [true, false] {
+            let (rows_out, rows_log) = run_rows(&polluters, 23, rows(500), logging);
+            let (cols_out, cols_log) = run_columns(&polluters, 23, rows(500), logging);
+            assert_eq!(cols_out, rows_out, "tuples (logging={logging})");
+            assert_eq!(
+                serde_json::to_string(cols_log.entries()).unwrap(),
+                serde_json::to_string(rows_log.entries()).unwrap(),
+                "ground-truth log (logging={logging})"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_trampoline_matches_vectorized() {
+        let polluters = every_kernel_family();
+        let run = |vectorized: bool| {
+            let mut pipeline = lower_pipeline(5, 0, &polluters, &schema())
+                .unwrap()
+                .expect("lowerable");
+            pipeline.set_vectorized(vectorized);
+            let mut log = PollutionLog::disabled();
+            let mut out = Vec::new();
+            for chunk in rows(500).chunks(96) {
+                let mut batch = ColumnBatch::from_rows(&schema(), chunk.to_vec()).unwrap();
+                pipeline.process_batch(&mut batch, &mut log);
+                out.extend(batch.into_rows());
+            }
+            pipeline.finish(&mut log);
+            out
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn plan_time_vectorizability_agrees_with_built_kernels() {
+        // The config-level predicate and the built polluter's
+        // `has_column_kernels` must never disagree — `--explain`'s
+        // vectorized-stage counts come from the former, dispatch from
+        // the latter.
+        let mut cases = every_kernel_family();
+        cases.extend(noisy_pipeline());
+        cases.push(PolluterConfig::Standard {
+            name: "typo".into(),
+            attributes: vec!["sensor".into()],
+            error: ErrorConfig::Typo {
+                kind: crate::error_fn::TypoKind::Any,
+            },
+            condition: ConditionConfig::Always,
+            pattern: None,
+        });
+        cases.push(PolluterConfig::Standard {
+            name: "pattern-cond".into(),
+            attributes: vec!["BPM".into()],
+            error: ErrorConfig::MissingValue,
+            condition: ConditionConfig::Pattern {
+                pattern: ChangePattern::Abrupt { at: Timestamp(0) },
+                p_min: 0.0,
+                p_max: 1.0,
+            },
+            pattern: None,
+        });
+        for p in &cases {
+            let single = std::slice::from_ref(p);
+            let predicted = vectorized_stage_count(single);
+            let built = lower_pipeline(3, 0, single, &schema())
+                .unwrap()
+                .expect("all cases lower")
+                .vectorized_stages();
+            let PolluterConfig::Standard { name, .. } = p else {
+                unreachable!()
+            };
+            assert_eq!(predicted, built, "`{name}`");
+        }
+        assert_eq!(
+            vectorized_stage_count(&every_kernel_family()),
+            every_kernel_family().len(),
+            "the family matrix is fully vectorized"
+        );
+    }
+
+    #[test]
+    fn blockers_name_the_broken_rule() {
+        let s = schema();
+        let delay = PolluterConfig::Delay {
+            name: "d".into(),
+            condition: ConditionConfig::Always,
+            delay_ms: 1000,
+        };
+        assert!(lowering_blocker(&[delay], &s)
+            .unwrap()
+            .contains("stateless-1to1"));
+        let ghost = PolluterConfig::Standard {
+            name: "ghost".into(),
+            attributes: vec!["Nope".into()],
+            error: ErrorConfig::MissingValue,
+            condition: ConditionConfig::Always,
+            pattern: None,
+        };
+        assert!(lowering_blocker(&[ghost], &s)
+            .unwrap()
+            .contains("resolved-attributes"));
+        let bad = PolluterConfig::Standard {
+            name: "bad".into(),
+            attributes: vec!["Distance".into()],
+            error: ErrorConfig::Constant {
+                value: Value::Str("oops".into()),
+            },
+            condition: ConditionConfig::Always,
+            pattern: None,
+        };
+        assert!(lowering_blocker(&[bad], &s)
+            .unwrap()
+            .contains("schema-typed-writes"));
     }
 
     #[test]

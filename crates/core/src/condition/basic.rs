@@ -1,8 +1,9 @@
 //! Random and value-dependent conditions.
 
 use super::Condition;
+use crate::rng::fill_bernoulli;
 use crate::snapshot::{rng_doc, rng_from_doc};
-use icewafl_types::{Result, StampedTuple, Value};
+use icewafl_types::{Column, ColumnBatch, ColumnData, Result, StampedTuple, Value};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -24,6 +25,14 @@ impl Condition for Always {
     fn name(&self) -> &'static str {
         "always"
     }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn evaluate_columns(&mut self, _batch: &ColumnBatch, mask: &mut [u8]) {
+        mask.fill(1);
+    }
 }
 
 /// Never fires (useful as a pipeline no-op and in tests).
@@ -41,6 +50,14 @@ impl Condition for Never {
 
     fn name(&self) -> &'static str {
         "never"
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn evaluate_columns(&mut self, _batch: &ColumnBatch, mask: &mut [u8]) {
+        mask.fill(0);
     }
 }
 
@@ -87,6 +104,17 @@ impl Condition for Probability {
     fn restore_state(&mut self, state: &str) -> Result<()> {
         self.rng = rng_from_doc(state)?;
         Ok(())
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn evaluate_columns(&mut self, _batch: &ColumnBatch, mask: &mut [u8]) {
+        // `fill_bernoulli` keeps the exact draw discipline of
+        // `random_bool`: boundary probabilities consume no randomness,
+        // interior ones consume one uniform per row (docs/kernels.md).
+        fill_bernoulli(&mut self.rng, self.p, mask);
     }
 }
 
@@ -165,6 +193,53 @@ impl ValueCondition {
             }
         }
     }
+
+    /// Columnar mirror of [`Value::compare`] against `self.value`:
+    /// same-typed pairs compare natively, everything else goes through
+    /// the numeric (`as_f64`) fallback, and an invalid slot (or a
+    /// non-numeric cross-type pair) yields `None`. `accept` maps the
+    /// three-valued ordering — plus the slot's validity, which the `Ne`
+    /// NULL rule needs — to the mask byte.
+    fn fill_cmp_mask(
+        &self,
+        col: &Column,
+        mask: &mut [u8],
+        accept: impl Fn(Option<Ordering>, bool) -> bool,
+    ) {
+        match (col.data(), &self.value) {
+            (ColumnData::Str(xs), Value::Str(s)) => {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    let valid = col.is_valid(i);
+                    let ord = valid.then(|| xs[i].as_str().cmp(s.as_str()));
+                    *m = u8::from(accept(ord, valid));
+                }
+            }
+            (ColumnData::Timestamp(xs), Value::Timestamp(t)) => {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    let valid = col.is_valid(i);
+                    let ord = valid.then(|| xs[i].cmp(&t.0));
+                    *m = u8::from(accept(ord, valid));
+                }
+            }
+            (ColumnData::Bool(xs), Value::Bool(b)) => {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    let valid = col.is_valid(i);
+                    let ord = valid.then(|| xs[i].cmp(b));
+                    *m = u8::from(accept(ord, valid));
+                }
+            }
+            _ => {
+                let rhs = self.value.as_f64();
+                for (i, m) in mask.iter_mut().enumerate() {
+                    let ord = match (col.numeric_at(i), rhs) {
+                        (Some(a), Some(b)) => a.partial_cmp(&b),
+                        _ => None,
+                    };
+                    *m = u8::from(accept(ord, col.is_valid(i)));
+                }
+            }
+        }
+    }
 }
 
 impl Condition for ValueCondition {
@@ -182,6 +257,54 @@ impl Condition for ValueCondition {
 
     fn name(&self) -> &'static str {
         "value"
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn evaluate_columns(&mut self, batch: &ColumnBatch, mask: &mut [u8]) {
+        if self.attr >= batch.arity() {
+            // Row path: `tuple.get(attr)` is `None`, never fires.
+            mask.fill(0);
+            return;
+        }
+        let col = batch.column(self.attr);
+        match &self.op {
+            CmpOp::IsNull => {
+                col.fill_validity_mask(mask);
+                for m in mask.iter_mut() {
+                    *m ^= 1;
+                }
+            }
+            CmpOp::NotNull => col.fill_validity_mask(mask),
+            CmpOp::InSet(set) => {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    let v = col.value_at(i);
+                    *m = u8::from(set.iter().any(|s| v.compare(s) == Some(Ordering::Equal)));
+                }
+            }
+            CmpOp::Eq => self.fill_cmp_mask(col, mask, |ord, _| ord == Some(Ordering::Equal)),
+            CmpOp::Ne => {
+                let rhs_null = self.value.is_null();
+                self.fill_cmp_mask(col, mask, |ord, valid| match ord {
+                    Some(ord) => ord != Ordering::Equal,
+                    // NULL vs anything: "different" fires only if
+                    // exactly one side is NULL (mirrors `matches`) —
+                    // i.e. the slot is valid and the operand is NULL,
+                    // or vice versa.
+                    None => valid == rhs_null,
+                });
+            }
+            CmpOp::Lt => self.fill_cmp_mask(col, mask, |ord, _| ord == Some(Ordering::Less)),
+            CmpOp::Le => self.fill_cmp_mask(col, mask, |ord, _| {
+                matches!(ord, Some(Ordering::Less | Ordering::Equal))
+            }),
+            CmpOp::Gt => self.fill_cmp_mask(col, mask, |ord, _| ord == Some(Ordering::Greater)),
+            CmpOp::Ge => self.fill_cmp_mask(col, mask, |ord, _| {
+                matches!(ord, Some(Ordering::Greater | Ordering::Equal))
+            }),
+        }
     }
 }
 

@@ -16,7 +16,7 @@ pub use temporal::{
     HourRange, LinearRampProbability, PatternProbability, SinusoidalProbability, TimeWindow,
 };
 
-use icewafl_types::{Result, StampedTuple};
+use icewafl_types::{ColumnBatch, Result, StampedTuple};
 
 /// Decides, per tuple, whether a polluter fires.
 ///
@@ -52,6 +52,28 @@ pub trait Condition: Send {
     fn restore_state(&mut self, state: &str) -> Result<()> {
         let _ = state;
         Ok(())
+    }
+
+    /// `true` iff [`Condition::evaluate_columns`] is implemented and
+    /// byte-identical to calling [`Condition::evaluate`] row by row —
+    /// same answers *and* the same RNG draw sequence for stochastic
+    /// conditions. Conditions without a proof of that equivalence (the
+    /// interleaved-draw [`PatternProbability`], composites) leave this
+    /// `false` and the columnar pipeline falls back to the row-exact
+    /// trampoline for the whole polluter.
+    fn has_column_kernel(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the condition over a whole batch, writing one byte per
+    /// row into `mask` (`1` = fires, `0` = not). `mask.len()` equals
+    /// `batch.len()`; prior contents are overwritten.
+    ///
+    /// Only called when [`Condition::has_column_kernel`] is `true`; the
+    /// default is unreachable by construction.
+    fn evaluate_columns(&mut self, batch: &ColumnBatch, mask: &mut [u8]) {
+        let _ = (batch, mask);
+        unreachable!("evaluate_columns called on a condition without a column kernel");
     }
 }
 

@@ -3,10 +3,35 @@
 
 use super::Condition;
 use crate::pattern::ChangePattern;
+use crate::rng::fill_bernoulli_each;
 use crate::snapshot::{rng_doc, rng_from_doc};
-use icewafl_types::{Result, StampedTuple, Timestamp};
+use icewafl_types::{ColumnBatch, Result, StampedTuple, Timestamp};
 use rand::rngs::StdRng;
 use rand::RngExt;
+
+/// Chunk size for the per-row-probability kernels: probabilities are
+/// staged 64 at a time so the buffer lives on the stack.
+const P_CHUNK: usize = 64;
+
+/// Shared kernel for conditions whose probability varies per row:
+/// stage `probability_at(τ)` for a chunk of rows, then draw via
+/// [`fill_bernoulli_each`], which reproduces `random_bool`'s boundary
+/// rule (p ≤ 0 / p ≥ 1 consume no randomness) row by row.
+fn bernoulli_each_by_tau(
+    rng: &mut StdRng,
+    taus: &[i64],
+    mask: &mut [u8],
+    probability_at: impl Fn(Timestamp) -> f64,
+) {
+    let mut ps = [0.0f64; P_CHUNK];
+    for (taus, mask) in taus.chunks(P_CHUNK).zip(mask.chunks_mut(P_CHUNK)) {
+        let ps = &mut ps[..taus.len()];
+        for (p, &tau) in ps.iter_mut().zip(taus) {
+            *p = probability_at(Timestamp(tau));
+        }
+        fill_bernoulli_each(rng, ps, mask);
+    }
+}
 
 /// Fires while `τ` lies in `[from, to)`. Either bound may be open.
 ///
@@ -61,6 +86,28 @@ impl Condition for TimeWindow {
     fn name(&self) -> &'static str {
         "time_window"
     }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn evaluate_columns(&mut self, batch: &ColumnBatch, mask: &mut [u8]) {
+        // Branch-free over rows: both bounds collapse to i64 compares.
+        let lo = self.from.map_or(i64::MIN, |f| f.millis());
+        match self.to {
+            None => {
+                for (m, &tau) in mask.iter_mut().zip(batch.taus()) {
+                    *m = u8::from(tau >= lo);
+                }
+            }
+            Some(t) => {
+                let hi = t.millis();
+                for (m, &tau) in mask.iter_mut().zip(batch.taus()) {
+                    *m = u8::from(tau >= lo) & u8::from(tau < hi);
+                }
+            }
+        }
+    }
 }
 
 /// Fires during a daily hour-of-day range `[start, end)`, e.g. `13..15`
@@ -108,6 +155,26 @@ impl Condition for HourRange {
     fn name(&self) -> &'static str {
         "hour_range"
     }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn evaluate_columns(&mut self, batch: &ColumnBatch, mask: &mut [u8]) {
+        // Hoist the wrap-around branch out of the row loop.
+        let (start, end) = (self.start, self.end);
+        if start <= end {
+            for (m, &tau) in mask.iter_mut().zip(batch.taus()) {
+                let h = Timestamp(tau).hour_of_day();
+                *m = u8::from(h >= start) & u8::from(h < end);
+            }
+        } else {
+            for (m, &tau) in mask.iter_mut().zip(batch.taus()) {
+                let h = Timestamp(tau).hour_of_day();
+                *m = u8::from(h >= start) | u8::from(h < end);
+            }
+        }
+    }
 }
 
 /// Fires with a probability that follows the paper's §3.1.1 sinusoid
@@ -141,9 +208,16 @@ impl SinusoidalProbability {
 
     /// The firing probability at event time `tau`.
     pub fn probability_at(&self, tau: Timestamp) -> f64 {
-        let t = tau.fractional_hour_of_day();
-        (self.amplitude * (std::f64::consts::PI / 12.0 * t).cos() + self.offset).clamp(0.0, 1.0)
+        sinusoid_probability(self.amplitude, self.offset, tau)
     }
+}
+
+/// Free-function form of [`SinusoidalProbability::probability_at`], so
+/// the column kernel can compute probabilities while holding a mutable
+/// borrow of the condition's RNG.
+fn sinusoid_probability(amplitude: f64, offset: f64, tau: Timestamp) -> f64 {
+    let t = tau.fractional_hour_of_day();
+    (amplitude * (std::f64::consts::PI / 12.0 * t).cos() + offset).clamp(0.0, 1.0)
 }
 
 impl Condition for SinusoidalProbability {
@@ -167,6 +241,17 @@ impl Condition for SinusoidalProbability {
     fn restore_state(&mut self, state: &str) -> Result<()> {
         self.rng = rng_from_doc(state)?;
         Ok(())
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn evaluate_columns(&mut self, batch: &ColumnBatch, mask: &mut [u8]) {
+        let (amplitude, offset) = (self.amplitude, self.offset);
+        bernoulli_each_by_tau(&mut self.rng, batch.taus(), mask, |tau| {
+            sinusoid_probability(amplitude, offset, tau)
+        });
     }
 }
 
@@ -202,18 +287,25 @@ impl LinearRampProbability {
 
     /// The firing probability at event time `tau`.
     pub fn probability_at(&self, tau: Timestamp) -> f64 {
-        let progress = if self.to <= self.from {
-            if tau >= self.from {
-                1.0
-            } else {
-                0.0
-            }
-        } else {
-            let span = (self.to.millis() - self.from.millis()) as f64;
-            (((tau.millis() - self.from.millis()) as f64) / span).clamp(0.0, 1.0)
-        };
-        self.p0 + (self.p1 - self.p0) * progress
+        ramp_probability(self.from, self.to, self.p0, self.p1, tau)
     }
+}
+
+/// Free-function form of [`LinearRampProbability::probability_at`], so
+/// the column kernel can compute probabilities while holding a mutable
+/// borrow of the condition's RNG.
+fn ramp_probability(from: Timestamp, to: Timestamp, p0: f64, p1: f64, tau: Timestamp) -> f64 {
+    let progress = if to <= from {
+        if tau >= from {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        let span = (to.millis() - from.millis()) as f64;
+        (((tau.millis() - from.millis()) as f64) / span).clamp(0.0, 1.0)
+    };
+    p0 + (p1 - p0) * progress
 }
 
 impl Condition for LinearRampProbability {
@@ -237,6 +329,17 @@ impl Condition for LinearRampProbability {
     fn restore_state(&mut self, state: &str) -> Result<()> {
         self.rng = rng_from_doc(state)?;
         Ok(())
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn evaluate_columns(&mut self, batch: &ColumnBatch, mask: &mut [u8]) {
+        let (from, to, p0, p1) = (self.from, self.to, self.p0, self.p1);
+        bernoulli_each_by_tau(&mut self.rng, batch.taus(), mask, |tau| {
+            ramp_probability(from, to, p0, p1, tau)
+        });
     }
 }
 

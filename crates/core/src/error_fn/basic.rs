@@ -2,7 +2,9 @@
 //! swaps, timestamp shifts.
 
 use super::{validate_typed, ErrorFunction};
-use icewafl_types::{DataType, Duration, Error, Result, Schema, Timestamp, Tuple, Value};
+use icewafl_types::{
+    ColumnBatch, DataType, Duration, Error, Result, Schema, Timestamp, Tuple, Value,
+};
 
 /// Sets the target attributes to NULL — "Missing Value" in Fig. 3 and
 /// the polluter of experiment 3.1.1.
@@ -20,6 +22,24 @@ impl ErrorFunction for MissingValue {
 
     fn name(&self) -> &'static str {
         "missing_value"
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn apply_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        attrs: &[usize],
+        mask: &[u8],
+        _intensities: &[f64],
+    ) {
+        // The freeze family's columnar form: clearing validity bits is
+        // the whole kernel, 64 rows per word operation.
+        for &idx in attrs {
+            batch.column_mut(idx).clear_validity_masked(mask);
+        }
     }
 }
 
@@ -63,6 +83,25 @@ impl ErrorFunction for Constant {
 
     fn name(&self) -> &'static str {
         "constant"
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn apply_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        attrs: &[usize],
+        mask: &[u8],
+        _intensities: &[f64],
+    ) {
+        for &idx in attrs {
+            let stored = batch.column_mut(idx).overwrite_masked(mask, &self.value);
+            // `validate` checked `dtype.admits(value)` at bind time, so
+            // the column's type always matches (or the value is NULL).
+            debug_assert!(stored, "constant type mismatch escaped validation");
+        }
     }
 }
 
@@ -146,6 +185,27 @@ impl ErrorFunction for TimestampShift {
 
     fn name(&self) -> &'static str {
         "timestamp_shift"
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn apply_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        attrs: &[usize],
+        mask: &[u8],
+        _intensities: &[f64],
+    ) {
+        let delta = self.delta;
+        for &idx in attrs {
+            // NULL slots are skipped by the validity select, mirroring
+            // the row path's `if let Some(Value::Timestamp(..))`.
+            batch
+                .column_mut(idx)
+                .map_timestamps_masked(mask, |t| Timestamp(t).saturating_add(delta).millis());
+        }
     }
 }
 

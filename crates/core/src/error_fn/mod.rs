@@ -19,7 +19,7 @@ pub use numeric::{
 };
 pub use string::{StringTypo, TypoKind};
 
-use icewafl_types::{DataType, Error, Result, Schema, Timestamp, Tuple};
+use icewafl_types::{ColumnBatch, DataType, Error, Result, Schema, Timestamp, Tuple};
 
 /// A transformation applied to the target attributes of a tuple.
 ///
@@ -57,6 +57,34 @@ pub trait ErrorFunction: Send {
     fn restore_state(&mut self, state: &str) -> Result<()> {
         let _ = state;
         Ok(())
+    }
+
+    /// `true` iff [`ErrorFunction::apply_columns`] is implemented and
+    /// byte-identical to calling [`ErrorFunction::apply`] on each fired
+    /// row in order — same values *and* the same RNG draw sequence.
+    /// Functions without a proof of that equivalence (string typos,
+    /// category swaps, attribute swaps) leave this `false` and the
+    /// columnar pipeline falls back to the row-exact trampoline.
+    fn has_column_kernel(&self) -> bool {
+        false
+    }
+
+    /// Applies the error to every row of `batch` whose `mask` byte is
+    /// nonzero, using `intensities[row]` as that row's pattern
+    /// intensity. `mask` and `intensities` both have `batch.len()`
+    /// entries; masked-off rows' intensities are unspecified.
+    ///
+    /// Only called when [`ErrorFunction::has_column_kernel`] is `true`;
+    /// the default is unreachable by construction.
+    fn apply_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        attrs: &[usize],
+        mask: &[u8],
+        intensities: &[f64],
+    ) {
+        let _ = (batch, attrs, mask, intensities);
+        unreachable!("apply_columns called on an error function without a column kernel");
     }
 }
 

@@ -2,7 +2,7 @@
 //! conversion.
 
 use super::{map_numeric, validate_numeric, ErrorFunction};
-use icewafl_types::{Result, Schema, Timestamp, Tuple};
+use icewafl_types::{ColumnBatch, Result, Schema, Timestamp, Tuple};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use rand_distr::{Distribution, Normal};
@@ -73,6 +73,42 @@ impl ErrorFunction for GaussianNoise {
         self.rng = crate::snapshot::rng_from_doc(state)?;
         Ok(())
     }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn apply_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        attrs: &[usize],
+        mask: &[u8],
+        intensities: &[f64],
+    ) {
+        // Stochastic: the draw order (row-outer, attr-inner, one normal
+        // per valid numeric slot) must match the row path exactly, so
+        // the loop stays scalar — the win over the trampoline is
+        // skipping the column↔tuple materialisation round trip.
+        let relative = self.relative;
+        for row in 0..batch.len() {
+            if mask[row] == 0 {
+                continue;
+            }
+            let sigma = self.sigma * intensities[row];
+            if sigma <= 0.0 {
+                continue;
+            }
+            let normal = Normal::new(0.0, sigma).expect("sigma validated non-negative");
+            for &idx in attrs {
+                let col = batch.column_mut(idx);
+                if let Some(x) = col.numeric_at(row) {
+                    let n = normal.sample(&mut self.rng);
+                    let y = if relative { x * (1.0 + n) } else { x + n };
+                    col.set_numeric_at(row, y);
+                }
+            }
+        }
+    }
 }
 
 /// The paper's experiment-2 noise (§3.2.1, equation (3)): draw
@@ -137,6 +173,45 @@ impl ErrorFunction for UniformMultiplicativeNoise {
         self.rng = crate::snapshot::rng_from_doc(state)?;
         Ok(())
     }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn apply_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        attrs: &[usize],
+        mask: &[u8],
+        intensities: &[f64],
+    ) {
+        // Stochastic: scalar row-outer loop to preserve the exact draw
+        // sequence (`u` iff `b > a`, then always one coin, per valid
+        // numeric slot in attr order).
+        for row in 0..batch.len() {
+            if mask[row] == 0 {
+                continue;
+            }
+            let a = self.a_max * intensities[row];
+            let b = self.b_max * intensities[row];
+            for &idx in attrs {
+                let col = batch.column_mut(idx);
+                if let Some(x) = col.numeric_at(row) {
+                    let u = if b > a {
+                        self.rng.random_range(a..b)
+                    } else {
+                        a
+                    };
+                    let y = if self.rng.random_bool(0.5) {
+                        x * (1.0 + u)
+                    } else {
+                        x * (1.0 - u)
+                    };
+                    col.set_numeric_at(row, y);
+                }
+            }
+        }
+    }
 }
 
 /// Scales values by a constant factor — "Scaled by Factor" in Fig. 3,
@@ -167,6 +242,25 @@ impl ErrorFunction for ScaleByFactor {
 
     fn name(&self) -> &'static str {
         "scale_by_factor"
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn apply_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        attrs: &[usize],
+        mask: &[u8],
+        intensities: &[f64],
+    ) {
+        let factor = self.factor;
+        for &idx in attrs {
+            batch
+                .column_mut(idx)
+                .map_numeric_masked(mask, |row, x| x * (1.0 + (factor - 1.0) * intensities[row]));
+        }
     }
 }
 
@@ -202,6 +296,25 @@ impl ErrorFunction for UnitConversion {
 
     fn name(&self) -> &'static str {
         "unit_conversion"
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn apply_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        attrs: &[usize],
+        mask: &[u8],
+        _intensities: &[f64],
+    ) {
+        let factor = self.factor;
+        for &idx in attrs {
+            batch
+                .column_mut(idx)
+                .map_numeric_masked(mask, |_, x| x * factor);
+        }
     }
 }
 
@@ -249,6 +362,35 @@ impl ErrorFunction for Outlier {
         self.rng = crate::snapshot::rng_from_doc(state)?;
         Ok(())
     }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn apply_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        attrs: &[usize],
+        mask: &[u8],
+        intensities: &[f64],
+    ) {
+        // Stochastic: one direction coin per valid numeric slot, in row
+        // order — magnitude does not gate the draw (the row path tosses
+        // even when the shift is zero).
+        for row in 0..batch.len() {
+            if mask[row] == 0 {
+                continue;
+            }
+            let magnitude = self.magnitude * intensities[row];
+            for &idx in attrs {
+                let col = batch.column_mut(idx);
+                if let Some(x) = col.numeric_at(row) {
+                    let dir = if self.rng.random_bool(0.5) { 1.0 } else { -1.0 };
+                    col.set_numeric_at(row, x + dir * magnitude * x.abs().max(1.0));
+                }
+            }
+        }
+    }
 }
 
 /// Rounds values to a fixed number of decimal places — the
@@ -277,6 +419,25 @@ impl ErrorFunction for Rounding {
 
     fn name(&self) -> &'static str {
         "rounding"
+    }
+
+    fn has_column_kernel(&self) -> bool {
+        true
+    }
+
+    fn apply_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        attrs: &[usize],
+        mask: &[u8],
+        _intensities: &[f64],
+    ) {
+        let scale = 10f64.powi(self.precision.min(15) as i32);
+        for &idx in attrs {
+            batch
+                .column_mut(idx)
+                .map_numeric_masked(mask, |_, x| (x * scale).round() / scale);
+        }
     }
 }
 

@@ -57,7 +57,7 @@
 //! assert_eq!(out.polluted.len(), 32);
 //! ```
 
-use crate::columnar::{lower_pipeline, lowering_blocker};
+use crate::columnar::{lower_pipeline, lowering_blocker, vectorized_stage_count};
 use crate::config::{
     build_pipelines, ChaosSectionConfig, CheckpointSectionConfig, ConditionConfig, ErrorConfig,
     PolluterConfig, SupervisionConfig,
@@ -143,9 +143,17 @@ pub enum ReprHint {
 pub enum SubstreamRepr {
     /// The pipeline lowered to column kernels over
     /// [`icewafl_types::ColumnBatch`]es.
-    Columnar,
-    /// The pipeline processes row batches; `reason` says why (forced by
-    /// the plan, or the first non-lowerable polluter).
+    Columnar {
+        /// Stages running genuinely vectorized (both components ship a
+        /// column kernel); the rest trampoline row by row inside the
+        /// column pipeline.
+        vectorized: usize,
+        /// Total kernel stages in the pipeline.
+        stages: usize,
+    },
+    /// The pipeline processes row batches; `reason` names the polluter
+    /// and the eligibility rule it broke (or "repr = row" when forced
+    /// by the plan).
     Row {
         /// Why this sub-stream stays on the row path.
         reason: String,
@@ -157,7 +165,7 @@ impl SubstreamRepr {
     /// reports.
     pub fn as_str(&self) -> &'static str {
         match self {
-            SubstreamRepr::Columnar => "columnar",
+            SubstreamRepr::Columnar { .. } => "columnar",
             SubstreamRepr::Row { .. } => "row",
         }
     }
@@ -349,20 +357,26 @@ impl LogicalPlan {
         self.pipelines
             .iter()
             .enumerate()
-            .map(|(i, polluters)| match self.repr {
-                ReprHint::Row => Ok(SubstreamRepr::Row {
-                    reason: "repr = row".into(),
-                }),
-                ReprHint::Auto => Ok(match lowering_blocker(polluters, schema) {
-                    None => SubstreamRepr::Columnar,
-                    Some(reason) => SubstreamRepr::Row { reason },
-                }),
-                ReprHint::Columnar => match lowering_blocker(polluters, schema) {
-                    None => Ok(SubstreamRepr::Columnar),
-                    Some(reason) => Err(Error::plan(format_args!(
-                        "repr = columnar but sub-stream {i} cannot lower: {reason}"
-                    ))),
-                },
+            .map(|(i, polluters)| {
+                let columnar = || SubstreamRepr::Columnar {
+                    vectorized: vectorized_stage_count(polluters),
+                    stages: polluters.len(),
+                };
+                match self.repr {
+                    ReprHint::Row => Ok(SubstreamRepr::Row {
+                        reason: "repr = row".into(),
+                    }),
+                    ReprHint::Auto => Ok(match lowering_blocker(polluters, schema) {
+                        None => columnar(),
+                        Some(reason) => SubstreamRepr::Row { reason },
+                    }),
+                    ReprHint::Columnar => match lowering_blocker(polluters, schema) {
+                        None => Ok(columnar()),
+                        Some(reason) => Err(Error::plan(format_args!(
+                            "repr = columnar but sub-stream {i} cannot lower: {reason}"
+                        ))),
+                    },
+                }
             })
             .collect()
     }
@@ -381,7 +395,7 @@ impl LogicalPlan {
             .zip(reprs)
             .enumerate()
             .map(|(i, (row, repr))| match repr {
-                SubstreamRepr::Columnar => {
+                SubstreamRepr::Columnar { .. } => {
                     let cols = lower_pipeline(self.seed, i, &self.pipelines[i], schema)?
                         .expect("substream_reprs said lowerable");
                     Ok(BuiltPipeline::Columnar(cols))
@@ -776,9 +790,10 @@ fn predict_stages(
     for i in 0..m {
         let l = label("pollution_pipeline");
         let repr = match reprs.get(i) {
-            Some(SubstreamRepr::Columnar) => {
-                " [columnar kernels; rows→columns→rows per transport batch]".to_string()
-            }
+            Some(SubstreamRepr::Columnar { vectorized, stages }) => format!(
+                " [columnar kernels; {vectorized}/{stages} stages vectorized; \
+                 rows→columns→rows per transport batch]"
+            ),
             Some(SubstreamRepr::Row { reason }) => format!(" [row batches; {reason}]"),
             None => String::new(),
         };
@@ -865,7 +880,7 @@ impl PhysicalPlan {
         let cols = self
             .reprs
             .iter()
-            .filter(|r| matches!(r, SubstreamRepr::Columnar))
+            .filter(|r| matches!(r, SubstreamRepr::Columnar { .. }))
             .count();
         match cols {
             0 => "row".into(),
@@ -1227,6 +1242,29 @@ mod tests {
         assert!(explain.contains("stage/03_source"));
         assert!(explain.contains("stage/02_pollution_pipeline/elements_in"));
         assert!(explain.contains("Fries-style epochs"));
+    }
+
+    #[test]
+    fn explain_reports_vectorization_and_fallback_rules() {
+        // A lowerable pipeline reports its vectorized-stage count…
+        let plan = LogicalPlan::new(1, vec![vec![null_spec(0.5)]]);
+        let explain = plan.compile(&schema()).unwrap().explain();
+        assert!(
+            explain.contains("1/1 stages vectorized"),
+            "missing count in: {explain}"
+        );
+        // …and a blocked one names the eligibility rule that failed.
+        let delay = PolluterConfig::Delay {
+            name: "lag".into(),
+            condition: ConditionConfig::Always,
+            delay_ms: 500,
+        };
+        let plan = LogicalPlan::new(1, vec![vec![delay]]);
+        let explain = plan.compile(&schema()).unwrap().explain();
+        assert!(
+            explain.contains("`lag` breaks rule stateless-1to1"),
+            "missing rule in: {explain}"
+        );
     }
 
     #[test]

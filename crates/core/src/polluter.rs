@@ -12,7 +12,7 @@ use crate::log::{LogEntry, PollutionLog};
 use crate::pattern::ChangePattern;
 use crate::snapshot::rng_from_words;
 use crate::stats::{CountingRng, PendingStats, PolluterStats, PolluterStatsHandle, StatsTotals};
-use icewafl_types::{Error, Result, Schema, StampedTuple, Timestamp, Value};
+use icewafl_types::{ColumnBatch, Error, Result, Schema, StampedTuple, Timestamp, Value};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -232,6 +232,69 @@ impl StandardPolluter {
         }
         if !fired {
             self.pending.skips += 1;
+        }
+    }
+
+    /// Whether both components of this polluter ship a column kernel,
+    /// i.e. [`StandardPolluter::process_columns`] is byte-identical to
+    /// running [`StandardPolluter::process_in_place`] over the batch row
+    /// by row. Lowering checks this per polluter; a `false` keeps the
+    /// stage on the row-exact trampoline.
+    pub fn has_column_kernels(&self) -> bool {
+        self.condition.has_column_kernel() && self.error_fn.has_column_kernel()
+    }
+
+    /// The whole-batch form of [`StandardPolluter::process_in_place`]
+    /// (logging disabled): evaluate the condition over all rows into a
+    /// byte mask, draw pattern intensities for the masked rows in row
+    /// order, then hand the surviving mask to the error function's
+    /// column kernel. Each component owns a private RNG, so running the
+    /// three phases batch-at-a-time instead of interleaved per row
+    /// leaves every RNG's draw sequence unchanged — the byte-identity
+    /// argument is spelled out in `docs/kernels.md`.
+    ///
+    /// `mask` and `intensities` are caller-owned scratch, resized to
+    /// `batch.len()` here.
+    pub fn process_columns(
+        &mut self,
+        batch: &mut ColumnBatch,
+        mask: &mut Vec<u8>,
+        intensities: &mut Vec<f64>,
+    ) {
+        let n = batch.len();
+        self.pending.condition_evals += n as u64;
+        mask.clear();
+        mask.resize(n, 0);
+        self.condition.evaluate_columns(batch, mask);
+        intensities.clear();
+        let mut fires: u64 = 0;
+        if matches!(self.pattern, ChangePattern::Constant) {
+            // Constant pattern: intensity 1 with no draws, so the whole
+            // per-row loop reduces to a popcount of the mask.
+            intensities.resize(n, 1.0);
+            fires = mask.iter().filter(|&&m| m != 0).count() as u64;
+        } else {
+            intensities.resize(n, 0.0);
+            for row in 0..n {
+                if mask[row] == 0 {
+                    continue;
+                }
+                let i = self
+                    .pattern
+                    .intensity(Timestamp(batch.taus()[row]), &mut self.pattern_rng);
+                if i > 0.0 {
+                    intensities[row] = i;
+                    fires += 1;
+                } else {
+                    mask[row] = 0;
+                }
+            }
+        }
+        self.pending.fires += fires;
+        self.pending.skips += n as u64 - fires;
+        if fires > 0 {
+            self.error_fn
+                .apply_columns(batch, &self.attrs, mask, intensities);
         }
     }
 }

@@ -12,7 +12,7 @@
 //! polluter does not perturb the random draws of its siblings.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// Derives per-component RNGs from one master seed.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +46,88 @@ impl SeedFactory {
     /// An RNG for the component at `path`.
     pub fn rng_for(&self, path: &str) -> StdRng {
         StdRng::seed_from_u64(self.seed_for(path))
+    }
+}
+
+/// `2⁻⁵³` — the scale the vendored `rand` uses to map the top 53 bits
+/// of a `u64` draw onto `[0, 1)`. Bulk draws below must use the exact
+/// same constant or they stop matching the sequential state machine.
+const UNIT_SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// How many rows a bulk draw processes per inner chunk. The raw `u64`
+/// states are buffered on the stack so the integer→float conversion and
+/// the threshold compare run over a plain array — the loops the
+/// autovectorizer can turn into SIMD lanes.
+const DRAW_CHUNK: usize = 64;
+
+/// Fills `out` with uniform `[0, 1)` draws, one per slot, in slot order.
+///
+/// Each slot gets exactly the value a sequential
+/// `f64::random_from(rng)` call would produce at the same stream
+/// position: the generator state advances once per slot (the xoshiro
+/// recurrence `s_{i+1} = step(s_i)` is inherently serial), and the
+/// mapping `(u >> 11) · 2⁻⁵³` is applied to the buffered raw draws in a
+/// separate, vectorizable pass. See `docs/kernels.md` for the
+/// derivation and the byte-identity argument.
+pub fn fill_uniform<R: RngCore + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    let mut raw = [0u64; DRAW_CHUNK];
+    for chunk in out.chunks_mut(DRAW_CHUNK) {
+        let raw = &mut raw[..chunk.len()];
+        for r in raw.iter_mut() {
+            *r = rng.next_u64();
+        }
+        for (o, r) in chunk.iter_mut().zip(raw.iter()) {
+            *o = (*r >> 11) as f64 * UNIT_SCALE;
+        }
+    }
+}
+
+/// Fills `out` with Bernoulli(`p`) trials as `{0, 1}` bytes, one per
+/// slot, in slot order — the bulk counterpart of calling
+/// `rng.random_bool(p)` once per slot.
+///
+/// Draw discipline matches the sequential machine exactly, including
+/// the boundaries: `p ≤ 0` writes all zeros and `p ≥ 1` all ones
+/// *without consuming any randomness*, because `random_bool` short-
+/// circuits there; for `0 < p < 1` every slot consumes exactly one
+/// `u64` and tests `uniform < p`.
+pub fn fill_bernoulli<R: RngCore + ?Sized>(rng: &mut R, p: f64, out: &mut [u8]) {
+    if p <= 0.0 {
+        out.fill(0);
+        return;
+    }
+    if p >= 1.0 {
+        out.fill(1);
+        return;
+    }
+    let mut uniforms = [0.0f64; DRAW_CHUNK];
+    for chunk in out.chunks_mut(DRAW_CHUNK) {
+        let u = &mut uniforms[..chunk.len()];
+        fill_uniform(rng, u);
+        for (m, u) in chunk.iter_mut().zip(u.iter()) {
+            *m = u8::from(*u < p);
+        }
+    }
+}
+
+/// Fills `out` with Bernoulli trials under a *per-slot* probability —
+/// the bulk counterpart of `rng.random_bool(ps[i])` per slot, used by
+/// conditions whose probability varies with event time (sinusoid,
+/// linear ramp).
+///
+/// The per-slot boundary semantics are preserved: a slot whose `p` hits
+/// `≤ 0` or `≥ 1` consumes no randomness (e.g. the paper's sinusoid at
+/// noon draws nothing), so the draw count — and therefore every later
+/// draw's value — matches the sequential machine slot for slot.
+pub fn fill_bernoulli_each<R: RngCore + ?Sized>(rng: &mut R, ps: &[f64], out: &mut [u8]) {
+    for (m, &p) in out.iter_mut().zip(ps) {
+        *m = if p <= 0.0 {
+            0
+        } else if p >= 1.0 {
+            1
+        } else {
+            u8::from((rng.next_u64() >> 11) as f64 * UNIT_SCALE < p)
+        };
     }
 }
 
@@ -148,5 +230,124 @@ mod tests {
             .index(2)
             .child("cond");
         assert_eq!(p.as_str(), "/pipeline/2/cond");
+    }
+
+    mod bulk_draw_properties {
+        //! Property tests pinning the bulk-draw APIs to the sequential
+        //! state machine: any length, any split point, any
+        //! reconfiguration epoch — same draws, bit for bit, and the
+        //! same final generator state.
+        use super::super::*;
+        use proptest::prelude::*;
+        use rand::RngExt;
+
+        proptest! {
+            #[test]
+            fn uniform_matches_sequential(seed in 0u64..u64::MAX, len in 0usize..700) {
+                let mut bulk = StdRng::seed_from_u64(seed);
+                let mut seq = StdRng::seed_from_u64(seed);
+                let mut out = vec![0.0; len];
+                fill_uniform(&mut bulk, &mut out);
+                for (i, &v) in out.iter().enumerate() {
+                    let expect: f64 = seq.random();
+                    prop_assert_eq!(v.to_bits(), expect.to_bits(), "slot {}", i);
+                }
+                prop_assert_eq!(bulk.state(), seq.state(), "final generator state");
+            }
+
+            #[test]
+            fn uniform_splits_are_invisible(
+                seed in 0u64..u64::MAX,
+                len in 0usize..600,
+                split_frac in 0.0f64..1.0,
+            ) {
+                // Filling a column in one call equals filling it in two
+                // arbitrary halves — the batch recurrence has no
+                // per-call state beyond the generator itself.
+                let split = ((len as f64) * split_frac) as usize;
+                let mut whole = vec![0.0; len];
+                let mut halves = vec![0.0; len];
+                let mut a = StdRng::seed_from_u64(seed);
+                let mut b = StdRng::seed_from_u64(seed);
+                fill_uniform(&mut a, &mut whole);
+                let (lo, hi) = halves.split_at_mut(split);
+                fill_uniform(&mut b, lo);
+                fill_uniform(&mut b, hi);
+                prop_assert_eq!(whole, halves);
+                prop_assert_eq!(a.state(), b.state());
+            }
+
+            #[test]
+            fn bernoulli_matches_sequential(
+                seed in 0u64..u64::MAX,
+                p in -0.5f64..1.5,
+                len in 0usize..600,
+            ) {
+                let mut bulk = StdRng::seed_from_u64(seed);
+                let mut seq = StdRng::seed_from_u64(seed);
+                let mut mask = vec![0u8; len];
+                fill_bernoulli(&mut bulk, p, &mut mask);
+                for (i, &m) in mask.iter().enumerate() {
+                    prop_assert_eq!(m, u8::from(seq.random_bool(p)), "slot {}", i);
+                }
+                // Boundary probabilities must leave the stream
+                // untouched; interior ones advance it one u64 per slot.
+                prop_assert_eq!(bulk.state(), seq.state(), "final generator state");
+            }
+
+            #[test]
+            fn bernoulli_each_matches_sequential(
+                seed in 0u64..u64::MAX,
+                raw in proptest::collection::vec(-0.4f64..1.4, 0..500),
+            ) {
+                // Snap a band of the raw draws to the exact boundaries
+                // so the zero-draw cases (p = 0, p = 1) are exercised
+                // alongside out-of-range and interior probabilities.
+                let ps: Vec<f64> = raw
+                    .into_iter()
+                    .map(|p| match p {
+                        p if (0.45..0.50).contains(&p) => 0.0,
+                        p if (0.50..0.55).contains(&p) => 1.0,
+                        p => p,
+                    })
+                    .collect();
+                let mut bulk = StdRng::seed_from_u64(seed);
+                let mut seq = StdRng::seed_from_u64(seed);
+                let mut mask = vec![0u8; ps.len()];
+                fill_bernoulli_each(&mut bulk, &ps, &mut mask);
+                for (i, (&m, &p)) in mask.iter().zip(&ps).enumerate() {
+                    prop_assert_eq!(m, u8::from(seq.random_bool(p)), "slot {} (p={})", i, p);
+                }
+                prop_assert_eq!(bulk.state(), seq.state(), "final generator state");
+            }
+
+            #[test]
+            fn reconfiguration_epochs_resume_exactly(
+                seed in 0u64..u64::MAX,
+                len in 1usize..500,
+                epoch_frac in 0.0f64..1.0,
+                p in 0.01f64..0.99,
+            ) {
+                // A checkpoint mid-column: snapshot the generator state
+                // at an arbitrary epoch boundary, restore it onto a
+                // fresh generator, and finish the column there. The
+                // spliced column must equal the uninterrupted one —
+                // this is what keeps bulk draws safe across
+                // `reconfigure_at` epoch swaps.
+                let epoch = ((len as f64) * epoch_frac) as usize;
+                let mut uninterrupted = vec![0u8; len];
+                let mut rng = StdRng::seed_from_u64(seed);
+                fill_bernoulli(&mut rng, p, &mut uninterrupted);
+
+                let mut spliced = vec![0u8; len];
+                let mut first = StdRng::seed_from_u64(seed);
+                fill_bernoulli(&mut first, p, &mut spliced[..epoch]);
+                let snapshot = first.state();
+                let mut resumed = StdRng::from_state(snapshot);
+                fill_bernoulli(&mut resumed, p, &mut spliced[epoch..]);
+                prop_assert_eq!(uninterrupted, spliced);
+                prop_assert_eq!(rng.state(), resumed.state());
+            }
+        }
     }
 }

@@ -18,11 +18,30 @@
 //! [`ColumnBatch::into_rows`] reproduces the input exactly, byte for
 //! byte, which is what lets the columnar execution path share the
 //! engine's pinned byte-identical-output invariants.
+//!
+//! # Masks
+//!
+//! Vectorized kernels describe row subsets with two representations
+//! that this module converts between:
+//!
+//! * the **validity bitmap** every [`Column`] carries (one bit per row,
+//!   little-endian within `u64` words; a set bit means the slot holds a
+//!   value), and
+//! * **byte masks** (`&[u8]`, one byte per row, `0` = excluded,
+//!   non-zero = selected) — the form condition kernels fill and error
+//!   kernels consume, chosen so the select loops below compile to
+//!   branch-free SIMD compares instead of per-row bit extraction.
+//!
+//! [`Column::fill_validity_mask`] expands the bitmap into a byte mask,
+//! [`Column::mask_and_validity`] intersects a byte mask with the
+//! bitmap, and [`Column::clear_validity_masked`] /
+//! [`Column::set_validity_masked`] fold a byte mask back into the
+//! bitmap word-wise (64 rows per `u64` operation).
 
 use crate::schema::{DataType, Schema};
 use crate::time::Timestamp;
 use crate::tuple::{StampedTuple, Tuple};
-use crate::value::Value;
+use crate::value::{round_to_i64, Value};
 use serde::{Deserialize, Serialize};
 
 /// The typed values of one column. Invalid (NULL) slots hold the type's
@@ -230,6 +249,223 @@ impl Column {
                     false
                 }
             }
+        }
+    }
+
+    /// Expands the validity bitmap into a byte mask: `out[i]` becomes
+    /// `1` when row `i` holds a value and `0` when it is NULL. `out`
+    /// must not be longer than the column.
+    ///
+    /// ```
+    /// use icewafl_types::{ColumnBatch, DataType, Schema, StampedTuple, Timestamp, Tuple, Value};
+    /// let schema = Schema::from_pairs([("x", DataType::Int)]).unwrap();
+    /// let rows = vec![
+    ///     StampedTuple::new(0, Timestamp(0), Tuple::new(vec![Value::Int(7)])),
+    ///     StampedTuple::new(1, Timestamp(1), Tuple::new(vec![Value::Null])),
+    /// ];
+    /// let batch = ColumnBatch::from_rows(&schema, rows).unwrap();
+    /// let mut mask = [0u8; 2];
+    /// batch.column(0).fill_validity_mask(&mut mask);
+    /// assert_eq!(mask, [1, 0]);
+    /// ```
+    pub fn fill_validity_mask(&self, out: &mut [u8]) {
+        debug_assert!(out.len() <= self.data.len());
+        for (w, chunk) in out.chunks_mut(64).enumerate() {
+            let word = self.validity[w];
+            for (bit, m) in chunk.iter_mut().enumerate() {
+                *m = (word >> bit) as u8 & 1;
+            }
+        }
+    }
+
+    /// Intersects a byte mask with the validity bitmap in place: rows
+    /// whose slot is NULL drop out of the mask, selected rows normalize
+    /// to `1`. `mask` must not be longer than the column.
+    pub fn mask_and_validity(&self, mask: &mut [u8]) {
+        debug_assert!(mask.len() <= self.data.len());
+        for (w, chunk) in mask.chunks_mut(64).enumerate() {
+            let word = self.validity[w];
+            for (bit, m) in chunk.iter_mut().enumerate() {
+                *m = u8::from(*m != 0) & (word >> bit) as u8 & 1;
+            }
+        }
+    }
+
+    /// Clears the validity bit of every selected row — the whole-column
+    /// form of writing NULL (what the missing-value kernel does),
+    /// folding 64 mask bytes into one bitmap word per step. Slot values
+    /// are left in place; a cleared row reads as [`Value::Null`].
+    pub fn clear_validity_masked(&mut self, mask: &[u8]) {
+        debug_assert!(mask.len() <= self.data.len());
+        for (w, chunk) in mask.chunks(64).enumerate() {
+            let mut selected = 0u64;
+            for (bit, &m) in chunk.iter().enumerate() {
+                selected |= u64::from(m != 0) << bit;
+            }
+            self.validity[w] &= !selected;
+        }
+    }
+
+    /// Sets the validity bit of every selected row — used after a
+    /// kernel stores concrete values through [`Column::data_mut`] into
+    /// possibly-NULL slots.
+    pub fn set_validity_masked(&mut self, mask: &[u8]) {
+        debug_assert!(mask.len() <= self.data.len());
+        for (w, chunk) in mask.chunks(64).enumerate() {
+            let mut selected = 0u64;
+            for (bit, &m) in chunk.iter().enumerate() {
+                selected |= u64::from(m != 0) << bit;
+            }
+            self.validity[w] |= selected;
+        }
+    }
+
+    /// Applies `f(row, x)` to every *selected, valid* slot of a numeric
+    /// column (`Int`, `Float`, `Bool`), preserving the column's value
+    /// family exactly like [`Value::with_numeric`]: `Int` results round
+    /// to nearest (saturating), `Bool` results become `x ≠ 0`. Non-
+    /// numeric columns are untouched.
+    ///
+    /// The inner loops are branch-free selects: `f` is evaluated for
+    /// every row and the result discarded on unselected or NULL lanes,
+    /// so `f` must be pure (no side effects, no randomness — stochastic
+    /// kernels iterate selected rows explicitly instead).
+    ///
+    /// ```
+    /// use icewafl_types::{ColumnBatch, DataType, Schema, StampedTuple, Timestamp, Tuple, Value};
+    /// let schema = Schema::from_pairs([("x", DataType::Int)]).unwrap();
+    /// let rows = (0..3)
+    ///     .map(|i| StampedTuple::new(i, Timestamp(0), Tuple::new(vec![Value::Int(i as i64)])))
+    ///     .collect();
+    /// let mut batch = ColumnBatch::from_rows(&schema, rows).unwrap();
+    /// batch.column_mut(0).map_numeric_masked(&[1, 0, 1], |_, x| x * 10.0);
+    /// let out = batch.into_rows();
+    /// assert_eq!(out[0].tuple.get(0), Some(&Value::Int(0)));
+    /// assert_eq!(out[1].tuple.get(0), Some(&Value::Int(1)), "unselected row untouched");
+    /// assert_eq!(out[2].tuple.get(0), Some(&Value::Int(20)));
+    /// ```
+    pub fn map_numeric_masked(&mut self, mask: &[u8], f: impl Fn(usize, f64) -> f64) {
+        debug_assert!(mask.len() <= self.data.len());
+        let validity = &self.validity;
+        let live = |i: usize| mask[i] != 0 && validity[i / 64] >> (i % 64) & 1 == 1;
+        match &mut self.data {
+            ColumnData::Float(v) => {
+                for (i, x) in v.iter_mut().enumerate().take(mask.len()) {
+                    let y = f(i, *x);
+                    *x = if live(i) { y } else { *x };
+                }
+            }
+            ColumnData::Int(v) => {
+                for (i, x) in v.iter_mut().enumerate().take(mask.len()) {
+                    let y = round_to_i64(f(i, *x as f64));
+                    *x = if live(i) { y } else { *x };
+                }
+            }
+            ColumnData::Bool(v) => {
+                for (i, x) in v.iter_mut().enumerate().take(mask.len()) {
+                    let y = f(i, f64::from(*x)) != 0.0;
+                    *x = if live(i) { y } else { *x };
+                }
+            }
+            ColumnData::Str(_) | ColumnData::Timestamp(_) => {}
+        }
+    }
+
+    /// Applies `f(millis)` to every selected, valid slot of a
+    /// `Timestamp` column (branch-free select, like
+    /// [`Column::map_numeric_masked`]). Other column types are
+    /// untouched.
+    pub fn map_timestamps_masked(&mut self, mask: &[u8], f: impl Fn(i64) -> i64) {
+        debug_assert!(mask.len() <= self.data.len());
+        let validity = &self.validity;
+        if let ColumnData::Timestamp(v) = &mut self.data {
+            for (i, x) in v.iter_mut().enumerate().take(mask.len()) {
+                let live = mask[i] != 0 && validity[i / 64] >> (i % 64) & 1 == 1;
+                let y = f(*x);
+                *x = if live { y } else { *x };
+            }
+        }
+    }
+
+    /// Writes `value` into every selected row — the whole-column form
+    /// of [`Column::set_value`], used by the constant kernel. `Null`
+    /// clears the selected validity bits; a matching value overwrites
+    /// the selected slots (valid or NULL) and sets their bits. Returns
+    /// `false` (column untouched) when a non-NULL value's type
+    /// disagrees with the column.
+    pub fn overwrite_masked(&mut self, mask: &[u8], value: &Value) -> bool {
+        debug_assert!(mask.len() <= self.data.len());
+        if matches!(value, Value::Null) {
+            self.clear_validity_masked(mask);
+            return true;
+        }
+        let stored = match (&mut self.data, value) {
+            (ColumnData::Bool(v), Value::Bool(c)) => {
+                for (i, x) in v.iter_mut().enumerate().take(mask.len()) {
+                    *x = if mask[i] != 0 { *c } else { *x };
+                }
+                true
+            }
+            (ColumnData::Int(v), Value::Int(c)) => {
+                for (i, x) in v.iter_mut().enumerate().take(mask.len()) {
+                    *x = if mask[i] != 0 { *c } else { *x };
+                }
+                true
+            }
+            (ColumnData::Float(v), Value::Float(c)) => {
+                for (i, x) in v.iter_mut().enumerate().take(mask.len()) {
+                    *x = if mask[i] != 0 { *c } else { *x };
+                }
+                true
+            }
+            (ColumnData::Timestamp(v), Value::Timestamp(c)) => {
+                for (i, x) in v.iter_mut().enumerate().take(mask.len()) {
+                    *x = if mask[i] != 0 { c.0 } else { *x };
+                }
+                true
+            }
+            (ColumnData::Str(v), Value::Str(c)) => {
+                for (i, x) in v.iter_mut().enumerate().take(mask.len()) {
+                    if mask[i] != 0 {
+                        x.clone_from(c);
+                    }
+                }
+                true
+            }
+            _ => false,
+        };
+        if stored {
+            self.set_validity_masked(mask);
+        }
+        stored
+    }
+
+    /// The slot's numeric view, mirroring [`Value::as_f64`] over the
+    /// column store: `Some` for valid `Int`/`Float`/`Bool` slots, `None`
+    /// for NULLs and non-numeric columns.
+    pub fn numeric_at(&self, row: usize) -> Option<f64> {
+        if !self.is_valid(row) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[row] as f64),
+            ColumnData::Float(v) => Some(v[row]),
+            ColumnData::Bool(v) => Some(f64::from(v[row])),
+            ColumnData::Str(_) | ColumnData::Timestamp(_) => None,
+        }
+    }
+
+    /// Writes a numeric result back into a slot, preserving the
+    /// column's value family exactly like [`Value::with_numeric`].
+    /// Non-numeric columns are untouched; validity is not changed (the
+    /// caller read the slot through [`Column::numeric_at`], so it was
+    /// valid).
+    pub fn set_numeric_at(&mut self, row: usize, x: f64) {
+        match &mut self.data {
+            ColumnData::Int(v) => v[row] = round_to_i64(x),
+            ColumnData::Float(v) => v[row] = x,
+            ColumnData::Bool(v) => v[row] = x != 0.0,
+            ColumnData::Str(_) | ColumnData::Timestamp(_) => {}
         }
     }
 }
@@ -556,5 +792,123 @@ mod tests {
         let batch = ColumnBatch::from_rows(&schema(), Vec::new()).unwrap();
         assert!(batch.is_empty());
         assert_eq!(batch.into_rows(), Vec::new());
+    }
+
+    #[test]
+    fn validity_mask_expansion_and_intersection() {
+        let batch = ColumnBatch::from_rows(&schema(), rows()).unwrap();
+        let col = batch.column(1); // BPM: NULL on multiples of 7
+        let mut mask = vec![0u8; 100];
+        col.fill_validity_mask(&mut mask);
+        for (i, &m) in mask.iter().enumerate() {
+            assert_eq!(m, u8::from(i % 7 != 0), "row {i}");
+        }
+        // Intersection drops NULL rows and normalizes set bytes to 1.
+        let mut all = vec![7u8; 100];
+        col.mask_and_validity(&mut all);
+        assert_eq!(all, mask);
+        let mut none = vec![0u8; 100];
+        col.mask_and_validity(&mut none);
+        assert!(none.iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn masked_validity_updates_work_word_wise() {
+        let mut batch = ColumnBatch::from_rows(&schema(), rows()).unwrap();
+        let mask: Vec<u8> = (0..100).map(|i| u8::from(i % 3 == 0)).collect();
+        batch.column_mut(2).clear_validity_masked(&mask);
+        for i in 0..100 {
+            assert_eq!(batch.column(2).is_valid(i), i % 3 != 0, "row {i}");
+        }
+        batch.column_mut(2).set_validity_masked(&mask);
+        for i in 0..100 {
+            assert!(batch.column(2).is_valid(i), "row {i} revived");
+        }
+    }
+
+    #[test]
+    fn map_numeric_masked_preserves_families_and_nulls() {
+        let mut batch = ColumnBatch::from_rows(&schema(), rows()).unwrap();
+        let mask = vec![1u8; 100];
+        batch
+            .column_mut(1)
+            .map_numeric_masked(&mask, |_, x| x * 2.5);
+        batch
+            .column_mut(2)
+            .map_numeric_masked(&mask, |_, x| x + 0.5);
+        for i in 0..100 {
+            if i % 7 == 0 {
+                assert!(!batch.column(1).is_valid(i), "NULL slots stay NULL");
+            } else {
+                // Int family: rounds to nearest like Value::with_numeric.
+                let expect = ((70 + i as i64) as f64 * 2.5).round() as i64;
+                assert_eq!(batch.column(1).value_at(i), Value::Int(expect));
+            }
+            assert_eq!(
+                batch.column(2).value_at(i),
+                Value::Float(i as f64 * 0.5 + 0.5)
+            );
+        }
+        // Row index reaches the closure (per-row factors).
+        let mut batch = ColumnBatch::from_rows(&schema(), rows()).unwrap();
+        batch
+            .column_mut(2)
+            .map_numeric_masked(&mask, |row, x| x + row as f64);
+        assert_eq!(batch.column(2).value_at(4), Value::Float(4.0 * 0.5 + 4.0));
+    }
+
+    #[test]
+    fn overwrite_masked_matches_set_value_semantics() {
+        let mut batch = ColumnBatch::from_rows(&schema(), rows()).unwrap();
+        let mask: Vec<u8> = (0..100).map(|i| u8::from(i < 50)).collect();
+        // Constant over a column with NULLs: selected rows (valid or
+        // NULL) all end up holding the constant.
+        assert!(batch.column_mut(1).overwrite_masked(&mask, &Value::Int(9)));
+        for i in 0..100 {
+            let expect = if i < 50 {
+                Value::Int(9)
+            } else if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Int(70 + i as i64)
+            };
+            assert_eq!(batch.column(1).value_at(i), expect, "row {i}");
+        }
+        // NULL constant clears validity; type mismatch is rejected.
+        assert!(batch.column_mut(1).overwrite_masked(&mask, &Value::Null));
+        assert!(!batch.column(1).is_valid(0));
+        assert!(!batch
+            .column_mut(1)
+            .overwrite_masked(&mask, &Value::Str("x".into())));
+    }
+
+    #[test]
+    fn numeric_slot_round_trip() {
+        let mut batch = ColumnBatch::from_rows(&schema(), rows()).unwrap();
+        assert_eq!(batch.column(1).numeric_at(1), Some(71.0));
+        assert_eq!(batch.column(1).numeric_at(0), None, "NULL slot");
+        assert_eq!(batch.column(3).numeric_at(1), None, "string column");
+        batch.column_mut(1).set_numeric_at(1, 99.6);
+        assert_eq!(batch.column(1).value_at(1), Value::Int(100), "rounds");
+        batch.column_mut(4).set_numeric_at(1, 0.0);
+        assert_eq!(batch.column(4).value_at(1), Value::Bool(false));
+    }
+
+    #[test]
+    fn timestamp_masked_map() {
+        let mut batch = ColumnBatch::from_rows(&schema(), rows()).unwrap();
+        let mask: Vec<u8> = (0..100).map(|i| u8::from(i % 2 == 0)).collect();
+        batch
+            .column_mut(0)
+            .map_timestamps_masked(&mask, |t| t + 500);
+        assert_eq!(
+            batch.column(0).value_at(2),
+            Value::Timestamp(Timestamp(2500))
+        );
+        assert_eq!(
+            batch.column(0).value_at(3),
+            Value::Timestamp(Timestamp(3000)),
+            "unselected row untouched"
+        );
     }
 }

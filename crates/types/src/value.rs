@@ -184,7 +184,9 @@ impl Value {
 }
 
 /// Rounds to nearest, ties away from zero, saturating at the `i64` range.
-fn round_to_i64(x: f64) -> i64 {
+/// Shared with the column kernels so an `Int` column and an `Int` value
+/// quantize numeric results identically.
+pub(crate) fn round_to_i64(x: f64) -> i64 {
     if x.is_nan() {
         0
     } else if x >= i64::MAX as f64 {
